@@ -1,0 +1,37 @@
+#include "bench_common.hh"
+
+#include <map>
+
+namespace wasp::bench
+{
+
+const harness::BenchResult &
+cachedRun(const harness::ConfigSpec &spec, const std::string &app)
+{
+    // Key on the config name plus the knobs that vary across figures.
+    static std::map<std::string, harness::BenchResult> cache;
+    std::string key = spec.name + "|" + app + "|" +
+                      std::to_string(spec.gpu.dramBytesPerCycle) + "|" +
+                      std::to_string(spec.gpu.rfqEntries) + "|" +
+                      std::to_string(static_cast<int>(spec.gpu.sched)) +
+                      "|" +
+                      std::to_string(spec.copts.emitTma) +
+                      std::to_string(spec.gpu.waspTmaEnabled);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    harness::BenchResult result =
+        harness::runBenchmark(spec, workloads::benchmark(app));
+    return cache.emplace(key, std::move(result)).first->second;
+}
+
+std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> names;
+    for (const auto &b : workloads::suite())
+        names.push_back(b.name);
+    return names;
+}
+
+} // namespace wasp::bench

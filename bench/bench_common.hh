@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure benchmark binaries: a
+ * memoized benchmark runner (each (app, config) simulation runs once
+ * per process) and the standard list of Table II applications.
+ */
+
+#ifndef WASP_BENCH_COMMON_HH
+#define WASP_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace wasp::bench
+{
+
+/** Run (or fetch the cached result of) one app under one config. */
+const harness::BenchResult &cachedRun(const harness::ConfigSpec &spec,
+                                      const std::string &app);
+
+/** Names of all Table II applications, in paper order. */
+std::vector<std::string> allApps();
+
+} // namespace wasp::bench
+
+#endif // WASP_BENCH_COMMON_HH

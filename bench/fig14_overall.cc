@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 14: overall speedup of the WASP compiler and hardware over the
+ * modern GPU baseline (which models CUTLASS warp specialization on GEMM
+ * kernels). Four configurations per application, speedups normalized to
+ * BASELINE, geometric mean across the suite.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+const std::vector<PaperConfig> kConfigs = {
+    PaperConfig::Baseline, PaperConfig::CompilerTile,
+    PaperConfig::CompilerAll, PaperConfig::WaspGpu};
+
+void
+run(benchmark::State &state, const std::string &app, PaperConfig which)
+{
+    ConfigSpec spec = makeConfig(which);
+    for (auto _ : state) {
+        const BenchResult &result = cachedRun(spec, app);
+        benchmark::DoNotOptimize(result.weightedCycles);
+    }
+    const BenchResult &result = cachedRun(spec, app);
+    const BenchResult &base =
+        cachedRun(makeConfig(PaperConfig::Baseline), app);
+    state.counters["sim_cycles"] = result.weightedCycles;
+    state.counters["speedup_vs_baseline"] = speedup(base, result);
+}
+
+void
+printFigure()
+{
+    Table table({"Benchmark", "BASELINE", "WASP_COMPILER_TILE",
+                 "WASP_COMPILER_ALL", "WASP_GPU+COMPILER_ALL"});
+    std::vector<std::vector<double>> speedups(kConfigs.size());
+    for (const auto &app : allApps()) {
+        const BenchResult &base =
+            cachedRun(makeConfig(PaperConfig::Baseline), app);
+        std::vector<std::string> row{app};
+        for (size_t c = 0; c < kConfigs.size(); ++c) {
+            const BenchResult &result =
+                cachedRun(makeConfig(kConfigs[c]), app);
+            double s = speedup(base, result);
+            speedups[c].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &s : speedups)
+        gm.push_back(fmtSpeedup(geomean(s)));
+    table.row(gm);
+    printf("\n=== Figure 14: speedup over modern GPU baseline ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        for (PaperConfig which : kConfigs) {
+            std::string name =
+                "fig14/" + app + "/" + paperConfigName(which);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [app, which](benchmark::State &state) {
+                    run(state, app, which);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 15: runtime improvement of the WASP GPU hardware features,
+ * added progressively on top of the WASP compiler (WASP_COMPILER_ALL):
+ * per-stage register allocation, WASP-TMA, register file queues, and
+ * pipeline-aware warp mapping & scheduling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+const std::vector<PaperConfig> kStack = {
+    PaperConfig::CompilerAll, PaperConfig::PlusRegAlloc,
+    PaperConfig::PlusTma, PaperConfig::PlusRfq, PaperConfig::WaspGpu};
+
+void
+printFigure()
+{
+    Table table({"Benchmark", "+regalloc", "+wasp_tma", "+rfq",
+                 "+map_sched (full WASP)"});
+    std::vector<std::vector<double>> speedups(kStack.size() - 1);
+    for (const auto &app : allApps()) {
+        const BenchResult &base =
+            cachedRun(makeConfig(PaperConfig::CompilerAll), app);
+        std::vector<std::string> row{app};
+        for (size_t c = 1; c < kStack.size(); ++c) {
+            const BenchResult &result =
+                cachedRun(makeConfig(kStack[c]), app);
+            double s = speedup(base, result);
+            speedups[c - 1].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &s : speedups)
+        gm.push_back(fmtSpeedup(geomean(s)));
+    table.row(gm);
+    printf("\n=== Figure 15: WASP hardware features added progressively "
+           "(speedup over WASP compiler alone) ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        for (PaperConfig which : kStack) {
+            std::string name =
+                "fig15/" + app + "/" + paperConfigName(which);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [app, which](benchmark::State &state) {
+                    ConfigSpec spec = makeConfig(which);
+                    for (auto _ : state) {
+                        benchmark::DoNotOptimize(
+                            cachedRun(spec, app).weightedCycles);
+                    }
+                    state.counters["sim_cycles"] =
+                        cachedRun(spec, app).weightedCycles;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 16: register footprint per thread block for the top kernel of
+ * each benchmark — uniform allocation (every warp sized for the largest
+ * stage, current-GPU behaviour) vs WASP's per-stage allocation, both
+ * normalized to the non-warp-specialized original kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "compiler/waspc.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+struct Footprints
+{
+    double baseline = 0.0; ///< original kernel, registers per block
+    double uniform = 0.0;  ///< warp specialized, uniform allocation
+    double perStage = 0.0; ///< warp specialized, per-stage (WASP)
+};
+
+Footprints
+analyze(const workloads::BenchmarkDef &bench)
+{
+    // Top kernel == highest weight entry of the mix.
+    const workloads::KernelMix *top = &bench.kernels[0];
+    for (const auto &mix : bench.kernels) {
+        if (mix.weight > top->weight)
+            top = &mix;
+    }
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = top->build(gmem);
+    compiler::CompileOptions opts;
+    opts.streamGather = true;
+    compiler::CompileResult cr = compiler::warpSpecialize(k.prog, opts);
+
+    Footprints f;
+    const auto &tb0 = k.prog.tb;
+    f.baseline = static_cast<double>(k.prog.numRegs) * tb0.totalThreads();
+    if (!cr.report.transformed) {
+        f.uniform = f.baseline;
+        f.perStage = f.baseline;
+        return f;
+    }
+    const auto &tb = cr.program.tb;
+    int warps_per_stage = tb.warpsPerStage();
+    int max_regs = 1;
+    for (int r : tb.stageRegs)
+        max_regs = std::max(max_regs, r);
+    f.uniform = static_cast<double>(max_regs) * tb.totalThreads();
+    for (int r : tb.stageRegs)
+        f.perStage += static_cast<double>(r) * warps_per_stage *
+                      isa::kWarpSize;
+    return f;
+}
+
+void
+printFigure()
+{
+    Table table({"Benchmark", "Uniform/Orig", "WASP PerStage/Orig",
+                 "PerStage savings vs Uniform"});
+    double sum_uniform = 0.0;
+    double sum_perstage = 0.0;
+    int count = 0;
+    for (const auto &bench : workloads::suite()) {
+        Footprints f = analyze(bench);
+        double u = f.uniform / f.baseline;
+        double p = f.perStage / f.baseline;
+        table.row({bench.name, fmtDouble(u), fmtDouble(p),
+                   fmtPercent(1.0 - p / u)});
+        sum_uniform += u;
+        sum_perstage += p;
+        ++count;
+    }
+    table.row({"average", fmtDouble(sum_uniform / count),
+               fmtDouble(sum_perstage / count),
+               fmtPercent(1.0 - sum_perstage / sum_uniform)});
+    printf("\n=== Figure 16: thread block register footprint "
+           "(normalized to non-specialized kernel) ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &bench : workloads::suite()) {
+        std::string name = "fig16/" + bench.name;
+        const workloads::BenchmarkDef *def = &bench;
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [def](benchmark::State &state) {
+                Footprints f;
+                for (auto _ : state)
+                    f = analyze(*def);
+                state.counters["uniform_ratio"] = f.uniform / f.baseline;
+                state.counters["perstage_ratio"] =
+                    f.perStage / f.baseline;
+            })
+            ->Iterations(1);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 17: pipeline-aware warp scheduling policies against the
+ * greedy-then-oldest (GTO) baseline, all on otherwise-full WASP
+ * hardware: producer-first, consumer-first, full-queue-first, and the
+ * combined WASP policy (full queues, then ready queues, then earlier
+ * stages).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "core/sched_policy.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+const std::vector<sim::SchedPolicy> kPolicies = {
+    sim::SchedPolicy::Gto, sim::SchedPolicy::ProducerFirst,
+    sim::SchedPolicy::ConsumerFirst, sim::SchedPolicy::QueueFullFirst,
+    sim::SchedPolicy::WaspCombined};
+
+ConfigSpec
+specFor(sim::SchedPolicy policy)
+{
+    ConfigSpec spec = makeConfig(PaperConfig::WaspGpu);
+    spec.gpu.sched = policy;
+    spec.name = std::string("WASP+") + core::schedPolicyName(policy);
+    return spec;
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (auto p : kPolicies) {
+        if (p != sim::SchedPolicy::Gto)
+            headers.push_back(core::schedPolicyName(p));
+    }
+    Table table(headers);
+    std::vector<std::vector<double>> speedups(kPolicies.size() - 1);
+    for (const auto &app : allApps()) {
+        const BenchResult &base =
+            cachedRun(specFor(sim::SchedPolicy::Gto), app);
+        std::vector<std::string> row{app};
+        for (size_t c = 1; c < kPolicies.size(); ++c) {
+            const BenchResult &result =
+                cachedRun(specFor(kPolicies[c]), app);
+            double s = speedup(base, result);
+            speedups[c - 1].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &s : speedups)
+        gm.push_back(fmtSpeedup(geomean(s)));
+    table.row(gm);
+    printf("\n=== Figure 17: pipeline-aware warp scheduling vs "
+           "greedy-then-oldest ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        for (auto policy : kPolicies) {
+            std::string name = "fig17/" + app + "/" +
+                               core::schedPolicyName(policy);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [app, policy](benchmark::State &state) {
+                    ConfigSpec spec = specFor(policy);
+                    for (auto _ : state) {
+                        benchmark::DoNotOptimize(
+                            cachedRun(spec, app).weightedCycles);
+                    }
+                    state.counters["sim_cycles"] =
+                        cachedRun(spec, app).weightedCycles;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 18: sensitivity to register file queue size. Sweeps 8..64
+ * entries per queue on the full WASP configuration; larger queues buy
+ * more overlap until register pressure cuts SM occupancy.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+const std::vector<int> kSizes = {8, 16, 32, 64};
+
+ConfigSpec
+specFor(int entries)
+{
+    ConfigSpec spec = makeConfig(PaperConfig::WaspGpu, 1.0, entries);
+    spec.name = "WASP_RFQ" + std::to_string(entries);
+    return spec;
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (int s : kSizes)
+        headers.push_back(std::to_string(s) + " entries");
+    Table table(headers);
+    std::vector<std::vector<double>> speedups(kSizes.size());
+    for (const auto &app : allApps()) {
+        const BenchResult &base = cachedRun(specFor(kSizes[0]), app);
+        std::vector<std::string> row{app};
+        for (size_t c = 0; c < kSizes.size(); ++c) {
+            const BenchResult &result = cachedRun(specFor(kSizes[c]), app);
+            double s = speedup(base, result);
+            speedups[c].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean vs 8"};
+    for (const auto &s : speedups)
+        gm.push_back(fmtSpeedup(geomean(s)));
+    table.row(gm);
+    printf("\n=== Figure 18: performance vs RFQ size "
+           "(normalized to 8 entries) ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        for (int entries : kSizes) {
+            std::string name =
+                "fig18/" + app + "/rfq" + std::to_string(entries);
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [app, entries](benchmark::State &state) {
+                    ConfigSpec spec = specFor(entries);
+                    for (auto _ : state) {
+                        benchmark::DoNotOptimize(
+                            cachedRun(spec, app).weightedCycles);
+                    }
+                    state.counters["sim_cycles"] =
+                        cachedRun(spec, app).weightedCycles;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 19: dynamic warp instructions executed, by category, for the
+ * baseline (B), WASP with software address generation (W: WASP GPU but
+ * loops generating addresses on the processing blocks), and WASP-TMA
+ * (T: address streams offloaded to the TMA engine). Counts are
+ * normalized to the baseline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+ConfigSpec
+waspNoTma()
+{
+    ConfigSpec spec = makeConfig(PaperConfig::WaspGpu);
+    spec.copts.emitTma = false;
+    spec.gpu.waspTmaEnabled = false;
+    spec.name = "WASP_SW_ADDR";
+    return spec;
+}
+
+double
+total(const BenchResult &result)
+{
+    double t = 0.0;
+    for (double v : result.dynInstrs)
+        t += v;
+    return t;
+}
+
+void
+printFigure()
+{
+    Table table({"Benchmark", "B total", "W total/B", "T total/B",
+                 "W addr+ctrl share", "T addr+ctrl share"});
+    for (const auto &app : allApps()) {
+        const BenchResult &b =
+            cachedRun(makeConfig(PaperConfig::Baseline), app);
+        const BenchResult &w = cachedRun(waspNoTma(), app);
+        const BenchResult &t =
+            cachedRun(makeConfig(PaperConfig::WaspGpu), app);
+        auto share = [](const BenchResult &r) {
+            using isa::InstrCategory;
+            double addr =
+                r.dynInstrs[static_cast<size_t>(InstrCategory::Address)] +
+                r.dynInstrs[static_cast<size_t>(InstrCategory::Control)] +
+                r.dynInstrs[static_cast<size_t>(InstrCategory::Overhead)];
+            return addr / std::max(total(r), 1.0);
+        };
+        table.row({app, fmtDouble(total(b), 0),
+                   fmtDouble(total(w) / total(b)),
+                   fmtDouble(total(t) / total(b)), fmtPercent(share(w)),
+                   fmtPercent(share(t))});
+    }
+    printf("\n=== Figure 19: dynamic instructions — baseline (B), WASP "
+           "software address generation (W), WASP-TMA (T) ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        benchmark::RegisterBenchmark(
+            ("fig19/" + app).c_str(),
+            [app](benchmark::State &state) {
+                for (auto _ : state) {
+                    benchmark::DoNotOptimize(
+                        total(cachedRun(makeConfig(PaperConfig::WaspGpu),
+                                        app)));
+                }
+                const BenchResult &b =
+                    cachedRun(makeConfig(PaperConfig::Baseline), app);
+                const BenchResult &t =
+                    cachedRun(makeConfig(PaperConfig::WaspGpu), app);
+                state.counters["tma_over_baseline"] =
+                    total(t) / std::max(total(b), 1.0);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 20: sensitivity to the memory bandwidth / compute ratio.
+ * Baseline and WASP GPUs at half, nominal, and double L2+DRAM
+ * bandwidth, all normalized to the nominal baseline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "common/stats.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    PaperConfig which;
+    double bw;
+};
+
+const std::vector<Variant> kVariants = {
+    {"A100_halfBW", PaperConfig::Baseline, 0.5},
+    {"A100", PaperConfig::Baseline, 1.0},
+    {"A100_2xBW", PaperConfig::Baseline, 2.0},
+    {"WASP_halfBW", PaperConfig::WaspGpu, 0.5},
+    {"WASP", PaperConfig::WaspGpu, 1.0},
+    {"WASP_2xBW", PaperConfig::WaspGpu, 2.0},
+};
+
+ConfigSpec
+specFor(const Variant &v)
+{
+    ConfigSpec spec = makeConfig(v.which, v.bw);
+    spec.name = v.label;
+    return spec;
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto &v : kVariants)
+        headers.push_back(v.label);
+    Table table(headers);
+    std::vector<std::vector<double>> speedups(kVariants.size());
+    for (const auto &app : allApps()) {
+        const BenchResult &base = cachedRun(specFor(kVariants[1]), app);
+        std::vector<std::string> row{app};
+        for (size_t c = 0; c < kVariants.size(); ++c) {
+            double s = speedup(base, cachedRun(specFor(kVariants[c]), app));
+            speedups[c].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &s : speedups)
+        gm.push_back(fmtSpeedup(geomean(s)));
+    table.row(gm);
+    printf("\n=== Figure 20: bandwidth sensitivity "
+           "(normalized to nominal A100 baseline) ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        for (const auto &v : kVariants) {
+            std::string name =
+                "fig20/" + app + "/" + std::string(v.label);
+            const Variant *vp = &v;
+            benchmark::RegisterBenchmark(
+                name.c_str(),
+                [app, vp](benchmark::State &state) {
+                    ConfigSpec spec = specFor(*vp);
+                    for (auto _ : state) {
+                        benchmark::DoNotOptimize(
+                            cachedRun(spec, app).weightedCycles);
+                    }
+                    state.counters["sim_cycles"] =
+                        cachedRun(spec, app).weightedCycles;
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

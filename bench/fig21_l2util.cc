@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 21: L2 bandwidth utilization on the baseline and on WASP. The
+ * point of warp specialization is overlap, which shows up directly as
+ * higher sustained L2 (and DRAM) bandwidth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+void
+printFigure()
+{
+    Table table({"Benchmark", "BASELINE L2 util", "WASP L2 util",
+                 "BASELINE DRAM util", "WASP DRAM util", "L1 hit B->W"});
+    for (const auto &app : allApps()) {
+        const BenchResult &b =
+            cachedRun(makeConfig(PaperConfig::Baseline), app);
+        const BenchResult &w =
+            cachedRun(makeConfig(PaperConfig::WaspGpu), app);
+        table.row({app, fmtPercent(b.l2Utilization),
+                   fmtPercent(w.l2Utilization),
+                   fmtPercent(b.dramUtilization),
+                   fmtPercent(w.dramUtilization),
+                   fmtPercent(b.l1HitRate) + " -> " +
+                       fmtPercent(w.l1HitRate)});
+    }
+    printf("\n=== Figure 21: L2 bandwidth utilization, baseline vs WASP "
+           "===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &app : allApps()) {
+        benchmark::RegisterBenchmark(
+            ("fig21/" + app).c_str(),
+            [app](benchmark::State &state) {
+                for (auto _ : state) {
+                    benchmark::DoNotOptimize(
+                        cachedRun(makeConfig(PaperConfig::WaspGpu), app)
+                            .l2Utilization);
+                }
+                state.counters["baseline_l2_util"] =
+                    cachedRun(makeConfig(PaperConfig::Baseline), app)
+                        .l2Utilization;
+                state.counters["wasp_l2_util"] =
+                    cachedRun(makeConfig(PaperConfig::WaspGpu), app)
+                        .l2Utilization;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printFigure();
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table II: the benchmark suite with per-kernel median and maximum
+ * speedups of WASP (hardware + compiler) over the baseline.
+ */
+
+#include <algorithm>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::bench;
+using namespace wasp::harness;
+
+namespace
+{
+
+struct KernelSpeedups
+{
+    double median = 1.0;
+    double max = 1.0;
+    int kernels = 0;
+};
+
+KernelSpeedups
+analyze(const std::string &app)
+{
+    const BenchResult &base =
+        cachedRun(makeConfig(PaperConfig::Baseline), app);
+    const BenchResult &wasp =
+        cachedRun(makeConfig(PaperConfig::WaspGpu), app);
+    std::vector<double> speedups;
+    for (size_t i = 0; i < base.kernelCycles.size(); ++i) {
+        double b = base.kernelCycles[i].second;
+        double w = wasp.kernelCycles[i].second;
+        if (w > 0.0)
+            speedups.push_back(b / w);
+    }
+    KernelSpeedups result;
+    result.kernels = static_cast<int>(speedups.size());
+    if (speedups.empty())
+        return result;
+    std::sort(speedups.begin(), speedups.end());
+    result.median = speedups[speedups.size() / 2];
+    result.max = speedups.back();
+    return result;
+}
+
+void
+printTable()
+{
+    Table table({"Name", "Category", "# Kernels", "Median Speedup",
+                 "Max Speedup"});
+    for (const auto &bench : workloads::suite()) {
+        KernelSpeedups s = analyze(bench.name);
+        table.row({bench.name, bench.category,
+                   std::to_string(s.kernels), fmtSpeedup(s.median),
+                   fmtSpeedup(s.max)});
+    }
+    printf("\n=== Table II: benchmarks and per-kernel WASP speedups "
+           "===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &bench : workloads::suite()) {
+        std::string app = bench.name;
+        benchmark::RegisterBenchmark(
+            ("table2/" + app).c_str(),
+            [app](benchmark::State &state) {
+                KernelSpeedups s;
+                for (auto _ : state)
+                    s = analyze(app);
+                state.counters["median_speedup"] = s.median;
+                state.counters["max_speedup"] = s.max;
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

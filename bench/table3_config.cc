@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table III: the simulator configuration used throughout the
+ * evaluation (a bandwidth-scaled A100 per DESIGN.md) and the WASP
+ * additions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/configs.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+void
+printTable()
+{
+    ConfigSpec wasp = makeConfig(PaperConfig::WaspGpu);
+    const sim::GpuConfig &g = wasp.gpu;
+    Table table({"Parameter", "Value"});
+    table.row({"SMs", std::to_string(g.numSms) +
+                          " (scaled A100; see DESIGN.md)"});
+    table.row({"Processing Blocks", std::to_string(g.pbsPerSm) +
+                                        " per SM"});
+    table.row({"Register File",
+               std::to_string(g.regsPerPb * g.pbsPerSm * 4 / 1024) +
+                   " KB per SM"});
+    table.row({"L1/SMEM",
+               std::to_string(g.l1Bytes / 1024) + " KB L1 + " +
+                   std::to_string(g.smemPerSm / 1024) + " KB SMEM"});
+    table.row({"L2 Cache", std::to_string(g.l2Bytes / 1024) + " KB, " +
+                               std::to_string(g.l2Banks) + " banks"});
+    table.row({"DRAM", fmtDouble(g.dramBytesPerCycle, 0) +
+                           " B/cycle, " +
+                           std::to_string(g.dramLatency) +
+                           " cycle latency"});
+    table.row({"Warp scheduling (baseline)", "Greedy-then-oldest (GTO)"});
+    table.row({"Warp Specialization",
+               "HW arrive/wait barriers; TMA-like offload accelerator"});
+    table.row({"WASP RFQ", std::to_string(g.rfqEntries) +
+                               "-entry RFQ per warp"});
+    table.row({"WASP mapping/scheduling",
+               "group_pipeline mapping; combined queue/stage policy"});
+    table.row({"WASP register allocation", "per-stage"});
+    table.row({"WASP-TMA", "stream + gather offload, " +
+                               std::to_string(g.tmaSectorsPerCycle) +
+                               " sectors/cycle"});
+    table.row({"Max pipeline stages", std::to_string(g.maxStages)});
+    printf("\n=== Table III: simulated GPU configuration ===\n%s\n",
+           table.render().c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark("table3/config",
+                                 [](benchmark::State &state) {
+                                     for (auto _ : state) {
+                                         ConfigSpec spec = makeConfig(
+                                             PaperConfig::WaspGpu);
+                                         benchmark::DoNotOptimize(
+                                             spec.gpu.numSms);
+                                     }
+                                 })
+        ->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

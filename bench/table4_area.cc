@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Table IV: WASP area overhead (storage requirements) — the analytical
+ * model evaluated at the paper's full-size GPU (108 SMs, 64 warps/SM,
+ * 32 CTAs/SM).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/area_model.hh"
+#include "harness/report.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+void
+printTable()
+{
+    sim::GpuConfig config;
+    config.maxTbPerSm = 32;
+    config.pbsPerSm = 4;
+    config.warpSlotsPerPb = 16;
+    core::AreaReport report = core::waspAreaOverhead(config, 108);
+    Table table({"Item", "Per-SM Storage", "Per GPU (108 SMs)"});
+    for (const auto &item : report.items) {
+        table.row({item.name, item.perSm,
+                   "~" + fmtDouble(item.perGpuKB, 1) + " KB"});
+    }
+    table.row({"Total", "",
+               "~" + fmtDouble(report.totalKB, 1) + " KB"});
+    printf("\n=== Table IV: WASP area overhead (storage requirements) "
+           "===\n%s\n",
+           table.render().c_str());
+    printf("Estimated to be < 1%% of total GPU chip area (control "
+           "metadata only; no new datapaths).\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::RegisterBenchmark(
+        "table4/area",
+        [](benchmark::State &state) {
+            sim::GpuConfig config;
+            for (auto _ : state) {
+                core::AreaReport report =
+                    core::waspAreaOverhead(config, 108);
+                benchmark::DoNotOptimize(report.totalKB);
+            }
+        })
+        ->Iterations(1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    printTable();
+    return 0;
+}

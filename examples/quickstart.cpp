@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: write a WSASS kernel as text, automatically warp
+ * specialize it with the WASP compiler, and run both versions on the
+ * simulated GPU.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "compiler/waspc.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+
+using namespace wasp;
+
+int
+main()
+{
+    // A simple streaming kernel: out[i] = in[i] * 3 + 1, with each
+    // 32-thread block walking 16 warp-wide chunks.
+    isa::Program prog = isa::assemble(R"(
+.kernel scale_add
+.tb 32
+    S2R R0, SR_TID_X
+    SHL R1, R0, 2
+    S2R R2, SR_CTAID_X
+    IMUL R3, R2, 2048        ; 16 chunks * 128 bytes
+    IADD R1, R1, R3
+    IADD R4, R1, c[0]        ; input pointer
+    IADD R5, R1, c[1]        ; output pointer
+    MOV R6, 0
+loop:
+    LDG R7, [R4]
+    FMUL R8, R7, 3.0f
+    FADD R8, R8, 1.0f
+    STG [R5], R8
+    IADD R4, R4, 128
+    IADD R5, R5, 128
+    IADD R6, R6, 1
+    ISETP.LT P0, R6, 16
+    @P0 BRA loop
+    EXIT
+)");
+
+    // Place the data.
+    mem::GlobalMemory gmem;
+    const int blocks = 16;
+    const int n = blocks * 16 * 32;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i) * 0.25f);
+
+    // Automatically warp specialize: the load stream is decoupled into
+    // a producer stage feeding the compute stage through a register
+    // file queue, then offloaded to WASP-TMA.
+    compiler::CompileOptions opts;
+    opts.emitTma = true;
+    compiler::CompileResult cr = compiler::warpSpecialize(prog, opts);
+    printf("compiler: %d stages, %d extracted loads, %d TMA streams\n\n",
+           cr.report.numStages, cr.report.extractedLoads,
+           cr.report.tmaStreams);
+    printf("---- warp specialized WSASS ----\n%s\n",
+           isa::disassemble(cr.program).c_str());
+
+    // Run the original on a baseline GPU...
+    sim::GpuConfig base_gpu;
+    sim::RunStats base =
+        sim::runProgram(base_gpu, gmem, prog, blocks, {in, out});
+
+    // ...and the specialized version on a WASP GPU.
+    sim::GpuConfig wasp_gpu;
+    wasp_gpu.queueBackend = sim::QueueBackend::Rfq;
+    wasp_gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+    wasp_gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+    wasp_gpu.sched = sim::SchedPolicy::WaspCombined;
+    wasp_gpu.waspTmaEnabled = true;
+    sim::RunStats wasp =
+        sim::runProgram(wasp_gpu, gmem, cr.program, blocks, {in, out});
+
+    // Verify the specialized kernel computed the same thing.
+    int bad = 0;
+    for (int i = 0; i < n; ++i) {
+        float expect = static_cast<float>(i) * 0.25f * 3.0f + 1.0f;
+        if (gmem.readF32(out + static_cast<uint32_t>(i) * 4) != expect)
+            ++bad;
+    }
+
+    printf("baseline: %llu cycles\n",
+           static_cast<unsigned long long>(base.cycles));
+    printf("WASP:     %llu cycles  (%.2fx speedup)\n",
+           static_cast<unsigned long long>(wasp.cycles),
+           static_cast<double>(base.cycles) /
+               static_cast<double>(wasp.cycles));
+    printf("verification: %s\n", bad == 0 ? "PASS" : "FAIL");
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CUTLASS-style tile pipeline (paper Figs. 1, 10, 13): a GEMM mainloop
+ * proxy that stages tiles through shared memory between BAR.SYNCs. The
+ * WASP compiler fuses the transfer into LDGSTS, splits the kernel into
+ * a memory stage and a compute stage connected by arrive/wait barriers,
+ * and double-buffers the SMEM tile.
+ *
+ * Build & run:  ./build/examples/tiled_gemm
+ */
+
+#include <cstdio>
+
+#include "compiler/waspc.hh"
+#include "sim/gpu.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+
+int
+main()
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::tileMma(gmem, 8, 16, 8);
+
+    printf("---- original kernel (Fig. 1a pattern) ----\n%s\n",
+           isa::disassemble(k.prog).c_str());
+
+    compiler::CompileOptions opts;
+    opts.streamGather = false; // coarse-grained tiles only
+    opts.doubleBuffer = true;
+    compiler::CompileResult cr = compiler::warpSpecialize(k.prog, opts);
+    printf("compiler: stages=%d tiled=%s doubleBuffered=%s "
+           "(SMEM %u -> %u bytes, %zu arrive/wait barriers)\n\n",
+           cr.report.numStages, cr.report.tiled ? "yes" : "no",
+           cr.report.doubleBuffered ? "yes" : "no", k.prog.tb.smemBytes,
+           cr.program.tb.smemBytes, cr.program.tb.barriers.size());
+    printf("---- warp specialized pipeline (Fig. 1b / Fig. 10) ----\n%s\n",
+           isa::disassemble(cr.program).c_str());
+
+    sim::GpuConfig baseline;
+    sim::RunStats base =
+        sim::runProgram(baseline, gmem, k.prog, k.grid, k.params);
+    sim::GpuConfig wasp = baseline;
+    wasp.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+    wasp.regAlloc = sim::RegAllocPolicy::PerStage;
+    wasp.sched = sim::SchedPolicy::WaspCombined;
+    sim::RunStats ws =
+        sim::runProgram(wasp, gmem, cr.program, k.grid, k.params);
+
+    int bad = 0;
+    for (uint32_t i = 0; i < k.outWords; ++i) {
+        if (gmem.read32(k.outAddr + i * 4) != k.expected[i])
+            ++bad;
+    }
+    printf("baseline (no specialization): %llu cycles\n",
+           static_cast<unsigned long long>(base.cycles));
+    printf("WASP tile pipeline:           %llu cycles (%.2fx)\n",
+           static_cast<unsigned long long>(ws.cycles),
+           static_cast<double>(base.cycles) /
+               static_cast<double>(ws.cycles));
+    printf("verification: %s\n", bad == 0 ? "PASS" : "FAIL");
+    return bad == 0 ? 0 : 1;
+}

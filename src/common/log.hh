@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, following the gem5 idiom:
+ * panic() for simulator bugs, fatal() for user/configuration errors,
+ * warn()/inform() for status messages.
+ */
+
+#ifndef WASP_COMMON_LOG_HH
+#define WASP_COMMON_LOG_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace wasp
+{
+
+/** Abort with a message: a condition that indicates a simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit with a message: a condition that is the user's fault. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable behaviour. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Assertion that stays active in release builds. */
+#define wasp_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::wasp::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
+                          __FILE__, __LINE__,                               \
+                          ::wasp::strprintf(__VA_ARGS__).c_str());          \
+    } while (0)
+
+} // namespace wasp
+
+#endif // WASP_COMMON_LOG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workload
+ * data. All simulation inputs are generated through this class with
+ * fixed seeds so that every run of the suite is reproducible.
+ */
+
+#ifndef WASP_COMMON_RNG_HH
+#define WASP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace wasp
+{
+
+/** xoshiro128** generator; small, fast, and seed-stable across builds. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to fill the state.
+        for (auto &word : state) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = static_cast<uint32_t>((z ^ (z >> 31)) & 0xffffffffu);
+        }
+    }
+
+    /** Next raw 32-bit value. */
+    uint32_t
+    next()
+    {
+        const uint32_t result = rotl(state[1] * 5, 7) * 9;
+        const uint32_t t = state[1] << 9;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 11);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint32_t
+    below(uint32_t bound)
+    {
+        return static_cast<uint32_t>(
+            (static_cast<uint64_t>(next()) * bound) >> 32);
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    uint32_t
+    range(uint32_t lo, uint32_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
+    }
+
+  private:
+    static uint32_t
+    rotl(uint32_t x, int k)
+    {
+        return (x << k) | (x >> (32 - k));
+    }
+
+    uint32_t state[4] = {};
+};
+
+} // namespace wasp
+
+#endif // WASP_COMMON_RNG_HH

@@ -1,0 +1,52 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace wasp
+{
+
+uint64_t
+StatGroup::sumSuffix(const std::string &suffix) const
+{
+    uint64_t total = 0;
+    for (const auto &[name, counter] : counters_) {
+        if (name.size() >= suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0) {
+            total += counter.value();
+        }
+    }
+    return total;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : counters_) {
+        if (counter.value() != 0)
+            os << name << " = " << counter.value() << "\n";
+    }
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace wasp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight statistics framework used across the simulator. A
+ * StatGroup owns named scalar counters and distributions; components
+ * register their statistics with the group owned by the top-level GPU
+ * object so that experiments can query and reset them between kernels.
+ */
+
+#ifndef WASP_COMMON_STATS_HH
+#define WASP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wasp
+{
+
+/** A named scalar counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator+=(uint64_t v) { value_ += v; return *this; }
+    Counter &operator++() { ++value_; return *this; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A registry of named counters. Hierarchical names use '.' separators,
+ * e.g. "sm0.pb2.issued". Counters are created on first access.
+ */
+class StatGroup
+{
+  public:
+    /** Fetch (creating if needed) the counter with the given name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Value of a counter, 0 if it was never touched. */
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    /** Sum of all counters whose name ends with the given suffix. */
+    uint64_t sumSuffix(const std::string &suffix) const;
+
+    /** Reset every counter to zero. */
+    void resetAll();
+
+    /** Render all non-zero counters, sorted by name. */
+    std::string dump() const;
+
+    const std::map<std::string, Counter> &all() const { return counters_; }
+
+  private:
+    std::map<std::string, Counter> counters_;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace wasp
+
+#endif // WASP_COMMON_STATS_HH

@@ -1,0 +1,240 @@
+#include "compiler/affine.hh"
+
+#include "common/log.hh"
+
+namespace wasp::compiler
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+Affine
+Affine::add(const Affine &o, int64_t sign) const
+{
+    Affine r;
+    if (!valid || !o.valid)
+        return r;
+    r.valid = true;
+    r.c0 = c0 + sign * o.c0;
+    r.cTid = cTid + sign * o.cTid;
+    r.cCta = cCta + sign * o.cCta;
+    r.cParam = cParam;
+    for (const auto &[slot, coeff] : o.cParam)
+        r.cParam[slot] += sign * coeff;
+    std::erase_if(r.cParam, [](const auto &kv) { return kv.second == 0; });
+    return r;
+}
+
+Affine
+Affine::scale(int64_t k) const
+{
+    Affine r;
+    if (!valid)
+        return r;
+    r.valid = true;
+    r.c0 = c0 * k;
+    r.cTid = cTid * k;
+    r.cCta = cCta * k;
+    for (const auto &[slot, coeff] : cParam) {
+        if (coeff * k != 0)
+            r.cParam[slot] = coeff * k;
+    }
+    return r;
+}
+
+AffineAnalysis::AffineAnalysis(const isa::Program &prog,
+                               const isa::Cfg &cfg)
+    : prog_(prog)
+{
+    // Canonical loop: exactly one natural loop, single basic block,
+    // whose header is reached fall-through from the prologue.
+    auto loops = cfg.loops();
+    if (loops.size() != 1 || !loops[0].singleBlock())
+        return;
+    const auto &bb = cfg.blocks()[static_cast<size_t>(loops[0].header)];
+    loop_header_ = loops[0].header;
+    loop_first_ = bb.first;
+    loop_last_ = bb.last;
+    // The prologue must be straight-line (no branches before the loop).
+    for (int i = 0; i < loop_first_; ++i) {
+        if (prog.instrs[static_cast<size_t>(i)].isBranch()) {
+            loop_header_ = -1;
+            return;
+        }
+    }
+    analyzePrologue(prog);
+    analyzeSteps(prog);
+}
+
+void
+AffineAnalysis::analyzePrologue(const isa::Program &prog)
+{
+    auto value_of = [&](const Operand &op) -> Affine {
+        switch (op.kind) {
+          case OperandKind::Imm:
+            return Affine::constant(op.imm);
+          case OperandKind::CParam:
+            return Affine::param(op.reg);
+          case OperandKind::SReg:
+            if (op.sreg == isa::SpecialReg::TID_X)
+                return Affine::tid();
+            if (op.sreg == isa::SpecialReg::CTAID_X)
+                return Affine::cta();
+            return Affine{};
+          case OperandKind::Reg: {
+            if (op.reg == isa::kRegZero)
+                return Affine::constant(0);
+            auto it = values_.find(op.reg);
+            return it == values_.end() ? Affine{} : it->second;
+          }
+          default:
+            return Affine{};
+        }
+    };
+
+    for (int i = 0; i < loop_first_; ++i) {
+        const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
+        if (inst.dsts.size() != 1 ||
+            inst.dsts[0].kind != OperandKind::Reg || inst.isGuarded()) {
+            for (int r : inst.dstRegs())
+                values_[r] = Affine{};
+            continue;
+        }
+        int d = inst.dsts[0].reg;
+        auto src = [&](size_t k) {
+            return k < inst.srcs.size() ? value_of(inst.srcs[k]) : Affine{};
+        };
+        Affine v;
+        switch (inst.op) {
+          case Opcode::MOV:
+          case Opcode::S2R:
+            v = src(0);
+            break;
+          case Opcode::IADD:
+            v = src(0).add(src(1));
+            break;
+          case Opcode::ISUB:
+            v = src(0).add(src(1), -1);
+            break;
+          case Opcode::SHL:
+            if (inst.srcs.size() == 2 && src(1).isConst())
+                v = src(0).scale(int64_t{1} << src(1).c0);
+            break;
+          case Opcode::IMUL:
+            if (src(1).isConst())
+                v = src(0).scale(src(1).c0);
+            else if (src(0).isConst())
+                v = src(1).scale(src(0).c0);
+            break;
+          case Opcode::IMAD:
+            if (src(1).isConst())
+                v = src(0).scale(src(1).c0).add(src(2));
+            else if (src(0).isConst())
+                v = src(1).scale(src(0).c0).add(src(2));
+            break;
+          case Opcode::LEA:
+            if (inst.srcs.size() == 3 && src(2).isConst())
+                v = src(0).scale(int64_t{1} << src(2).c0).add(src(1));
+            break;
+          default:
+            break;
+        }
+        values_[d] = v;
+    }
+}
+
+void
+AffineAnalysis::analyzeSteps(const isa::Program &prog)
+{
+    // A register has a well-defined step when every in-loop write is the
+    // single self-increment IADD r, r, imm (or there are no writes).
+    std::map<int, int> write_count;
+    for (int i = loop_first_; i <= loop_last_; ++i) {
+        const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
+        for (int r : inst.dstRegs())
+            ++write_count[r];
+    }
+    for (int i = loop_first_; i <= loop_last_; ++i) {
+        const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
+        for (int r : inst.dstRegs()) {
+            if (write_count[r] != 1 || inst.isGuarded()) {
+                steps_[r] = std::nullopt;
+                continue;
+            }
+            if (inst.op == Opcode::IADD && inst.srcs.size() == 2 &&
+                inst.srcs[0].kind == OperandKind::Reg &&
+                inst.srcs[0].reg == r &&
+                inst.srcs[1].kind == OperandKind::Imm) {
+                steps_[r] = inst.srcs[1].imm;
+            } else {
+                steps_[r] = std::nullopt;
+            }
+        }
+    }
+}
+
+Affine
+AffineAnalysis::valueAtLoop(int reg) const
+{
+    auto it = values_.find(reg);
+    return it == values_.end() ? Affine{} : it->second;
+}
+
+std::optional<int64_t>
+AffineAnalysis::stepOf(int reg) const
+{
+    auto it = steps_.find(reg);
+    if (it == steps_.end())
+        return int64_t{0}; // never written in the loop: invariant
+    return it->second;
+}
+
+LoopBound
+AffineAnalysis::tripCount() const
+{
+    LoopBound bound;
+    if (loop_header_ < 0)
+        return bound;
+    // Canonical backedge: ... ISETP.LT P, Ri, bound; @P BRA header.
+    const Instruction &bra = prog_.instrs[static_cast<size_t>(loop_last_)];
+    if (!bra.isBranch() || !bra.isGuarded() || bra.target != loop_first_)
+        return bound;
+    // Find the ISETP defining the guard inside the loop.
+    for (int i = loop_last_ - 1; i >= loop_first_; --i) {
+        const Instruction &inst = prog_.instrs[static_cast<size_t>(i)];
+        if (inst.op != Opcode::ISETP || inst.dsts.empty() ||
+            inst.dsts[0].reg != bra.guardPred)
+            continue;
+        if (inst.cmp != isa::CmpOp::LT || bra.guardNeg)
+            return bound;
+        if (inst.srcs[0].kind != OperandKind::Reg)
+            return bound;
+        int ri = inst.srcs[0].reg;
+        // Induction: starts at 0 in the prologue, steps by 1.
+        Affine init = valueAtLoop(ri);
+        auto step = stepOf(ri);
+        if (!init.isConst() || init.c0 != 0 || !step || *step != 1)
+            return bound;
+        Affine trips;
+        if (inst.srcs[1].kind == OperandKind::Imm)
+            trips = Affine::constant(inst.srcs[1].imm);
+        else if (inst.srcs[1].kind == OperandKind::Reg)
+            trips = valueAtLoop(inst.srcs[1].reg);
+        if (!trips.valid || trips.cTid != 0 || trips.cCta != 0)
+            return bound;
+        // Constant or single-parameter bounds are supported.
+        if (!trips.isConst() &&
+            !(trips.c0 == 0 && trips.cParam.size() == 1 &&
+              trips.cParam.begin()->second == 1))
+            return bound;
+        bound.valid = true;
+        bound.inductionReg = ri;
+        bound.trips = trips;
+        return bound;
+    }
+    return bound;
+}
+
+} // namespace wasp::compiler

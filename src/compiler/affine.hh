@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Affine address analysis for WASP-TMA offload detection (paper
+ * Sections III-E and IV-A). For canonical kernels — a straight-line
+ * prologue followed by a single-basic-block loop — this derives, for
+ * every register:
+ *
+ *   value = c0 + cTid * tid + sum_k cParam[k] * param_k      (prologue)
+ *   step  = constant per loop iteration                      (in loop)
+ *
+ * which is exactly what the compiler needs to prove that a decoupled
+ * load stream is a fixed-stride stream (TMA.STREAM) or a gather of an
+ * affine index stream (TMA.GATHER).
+ */
+
+#ifndef WASP_COMPILER_AFFINE_HH
+#define WASP_COMPILER_AFFINE_HH
+
+#include <map>
+#include <optional>
+
+#include "isa/cfg.hh"
+#include "isa/program.hh"
+
+namespace wasp::compiler
+{
+
+struct Affine
+{
+    bool valid = false;
+    int64_t c0 = 0;
+    int64_t cTid = 0;
+    int64_t cCta = 0; ///< coefficient on ctaid (uniform within a warp)
+    std::map<int, int64_t> cParam; ///< param slot -> coefficient
+
+    /** True when the value is a compile-time constant. */
+    bool
+    isConst() const
+    {
+        return valid && cTid == 0 && cCta == 0 && cParam.empty();
+    }
+
+    static Affine constant(int64_t v)
+    {
+        Affine a; a.valid = true; a.c0 = v;
+        return a;
+    }
+    static Affine tid()
+    {
+        Affine a; a.valid = true; a.cTid = 1;
+        return a;
+    }
+    static Affine cta()
+    {
+        Affine a; a.valid = true; a.cCta = 1;
+        return a;
+    }
+    static Affine param(int slot)
+    {
+        Affine a; a.valid = true; a.cParam[slot] = 1;
+        return a;
+    }
+
+    Affine add(const Affine &o, int64_t sign = 1) const;
+    Affine scale(int64_t k) const;
+};
+
+/** Loop bound of a canonical counted loop. */
+struct LoopBound
+{
+    bool valid = false;
+    int inductionReg = -1;
+    /** Trip count: either a constant or a single kernel parameter. */
+    Affine trips;
+};
+
+/**
+ * Analysis over the canonical shape: [prologue][single-BB loop][rest].
+ * Invalid results (not this shape, non-affine values) simply report
+ * !valid; callers fall back to the non-offloaded path.
+ */
+class AffineAnalysis
+{
+  public:
+    AffineAnalysis(const isa::Program &prog, const isa::Cfg &cfg);
+
+    bool hasCanonicalLoop() const { return loop_header_ >= 0; }
+    int loopFirst() const { return loop_first_; }
+    int loopLast() const { return loop_last_; }
+
+    /** Affine value of a register at loop entry (after the prologue). */
+    Affine valueAtLoop(int reg) const;
+
+    /** Per-iteration additive step of a register inside the loop. */
+    std::optional<int64_t> stepOf(int reg) const;
+
+    /** Trip count of the canonical loop (counter from 0 step 1). */
+    LoopBound tripCount() const;
+
+  private:
+    void analyzePrologue(const isa::Program &prog);
+    void analyzeSteps(const isa::Program &prog);
+
+    int loop_header_ = -1;
+    int loop_first_ = -1;
+    int loop_last_ = -1;
+    std::map<int, Affine> values_;
+    std::map<int, std::optional<int64_t>> steps_;
+    const isa::Program &prog_;
+};
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_AFFINE_HH

@@ -1,0 +1,160 @@
+#include "compiler/dataflow.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.hh"
+
+namespace wasp::compiler
+{
+
+using isa::Instruction;
+using isa::Operand;
+using isa::OperandKind;
+
+std::vector<int>
+UseDef::readSet(const Instruction &inst)
+{
+    std::vector<int> regs = inst.srcRegs();
+    for (int p : inst.srcPreds())
+        regs.push_back(kPredBase + p);
+    return regs;
+}
+
+std::vector<int>
+UseDef::writeSet(const Instruction &inst)
+{
+    std::vector<int> regs = inst.dstRegs();
+    for (int p : inst.dstPreds())
+        regs.push_back(kPredBase + p);
+    return regs;
+}
+
+UseDef::UseDef(const isa::Program &prog, const isa::Cfg &cfg) : prog_(prog)
+{
+    const int n = prog.size();
+    use_defs_.resize(static_cast<size_t>(n));
+    def_uses_.resize(static_cast<size_t>(n));
+
+    using DefMap = std::map<int, std::vector<int>>; // reg -> def ids
+    const auto &blocks = cfg.blocks();
+    const int nb = cfg.numBlocks();
+    std::vector<DefMap> in(static_cast<size_t>(nb));
+    std::vector<DefMap> out(static_cast<size_t>(nb));
+
+    auto merge_into = [](DefMap &dst, const DefMap &src) -> bool {
+        bool changed = false;
+        for (const auto &[reg, defs] : src) {
+            auto &slot = dst[reg];
+            for (int d : defs) {
+                if (std::find(slot.begin(), slot.end(), d) == slot.end()) {
+                    slot.push_back(d);
+                    changed = true;
+                }
+            }
+        }
+        return changed;
+    };
+
+    auto transfer = [&](int b, const DefMap &block_in) {
+        DefMap cur = block_in;
+        for (int i = blocks[static_cast<size_t>(b)].first;
+             i <= blocks[static_cast<size_t>(b)].last; ++i) {
+            const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
+            for (int r : writeSet(inst)) {
+                // A guarded write may not happen; merge rather than kill.
+                if (inst.isGuarded())
+                    cur[r].push_back(i);
+                else
+                    cur[r] = {i};
+            }
+        }
+        return cur;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < nb; ++b) {
+            DefMap block_in;
+            for (int p : blocks[static_cast<size_t>(b)].preds)
+                merge_into(block_in, out[static_cast<size_t>(p)]);
+            DefMap block_out = transfer(b, block_in);
+            if (merge_into(out[static_cast<size_t>(b)], block_out))
+                changed = true;
+            in[static_cast<size_t>(b)] = std::move(block_in);
+        }
+    }
+
+    // Final pass: record use-def links per instruction.
+    for (int b = 0; b < nb; ++b) {
+        DefMap cur = in[static_cast<size_t>(b)];
+        for (int i = blocks[static_cast<size_t>(b)].first;
+             i <= blocks[static_cast<size_t>(b)].last; ++i) {
+            const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
+            for (int r : readSet(inst)) {
+                auto it = cur.find(r);
+                std::vector<int> defs =
+                    it == cur.end() ? std::vector<int>{} : it->second;
+                std::sort(defs.begin(), defs.end());
+                defs.erase(std::unique(defs.begin(), defs.end()),
+                           defs.end());
+                for (int d : defs) {
+                    auto &uses = def_uses_[static_cast<size_t>(d)];
+                    if (std::find(uses.begin(), uses.end(), i) ==
+                        uses.end())
+                        uses.push_back(i);
+                }
+                use_defs_[static_cast<size_t>(i)].emplace_back(r, defs);
+            }
+            for (int r : writeSet(inst)) {
+                if (inst.isGuarded())
+                    cur[r].push_back(i);
+                else
+                    cur[r] = {i};
+            }
+        }
+    }
+}
+
+const std::vector<int> &
+UseDef::defsReaching(int instr, int reg) const
+{
+    for (const auto &[r, defs] : use_defs_[static_cast<size_t>(instr)]) {
+        if (r == reg)
+            return defs;
+    }
+    return empty_;
+}
+
+const std::vector<int> &
+UseDef::usesOf(int instr) const
+{
+    return def_uses_[static_cast<size_t>(instr)];
+}
+
+std::set<int>
+UseDef::backslice(int instr) const
+{
+    std::set<int> slice;
+    std::vector<int> work;
+    auto push_deps = [&](int i) {
+        for (const auto &[reg, defs] : use_defs_[static_cast<size_t>(i)]) {
+            (void)reg;
+            for (int d : defs)
+                work.push_back(d);
+        }
+    };
+    push_deps(instr);
+    while (!work.empty()) {
+        int i = work.back();
+        work.pop_back();
+        if (slice.count(i))
+            continue;
+        slice.insert(i);
+        push_deps(i);
+    }
+    return slice;
+}
+
+} // namespace wasp::compiler

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Register/predicate use-def chains over a WSASS program, built from
+ * iterative reaching-definitions dataflow on the CFG. This is the data
+ * side of the paper's program dependence graph (Section IV-A); the
+ * control side comes from isa::Cfg.
+ */
+
+#ifndef WASP_COMPILER_DATAFLOW_HH
+#define WASP_COMPILER_DATAFLOW_HH
+
+#include <set>
+#include <vector>
+
+#include "isa/cfg.hh"
+#include "isa/program.hh"
+
+namespace wasp::compiler
+{
+
+/**
+ * Use-def and def-use chains. Predicate registers are folded into the
+ * register namespace at kPredBase + p so slices naturally cross
+ * ISETP/guard boundaries.
+ */
+class UseDef
+{
+  public:
+    static constexpr int kPredBase = 512;
+
+    UseDef(const isa::Program &prog, const isa::Cfg &cfg);
+
+    /** Definitions that may reach the read of `reg` at instruction i. */
+    const std::vector<int> &defsReaching(int instr, int reg) const;
+
+    /** Instructions that may read the value defined at instruction i. */
+    const std::vector<int> &usesOf(int instr) const;
+
+    /** All registers (incl. folded preds) read by instruction i. */
+    static std::vector<int> readSet(const isa::Instruction &inst);
+    /** All registers (incl. folded preds) written by instruction i. */
+    static std::vector<int> writeSet(const isa::Instruction &inst);
+
+    /**
+     * Transitive data backslice of an instruction: every instruction
+     * whose value may flow into its sources (including guard
+     * predicates). Does not include `instr` itself unless it is part of
+     * a dependence cycle.
+     */
+    std::set<int> backslice(int instr) const;
+
+    /** True when the instruction participates in a dependence cycle. */
+    bool
+    inCycle(int instr) const
+    {
+        return backslice(instr).count(instr) != 0;
+    }
+
+  private:
+    const isa::Program &prog_;
+    // use_defs_[i] : flattened (reg, def) pairs per instruction.
+    std::vector<std::vector<std::pair<int, std::vector<int>>>> use_defs_;
+    std::vector<std::vector<int>> def_uses_;
+    std::vector<int> empty_;
+};
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_DATAFLOW_HH

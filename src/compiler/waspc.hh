@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The WASP compiler (paper Section IV): programmer-directed automatic
+ * warp specialization of WSASS kernels.
+ *
+ * The transformation follows the paper:
+ *  1. Build the PDG (CFG + use-def chains).
+ *  2. Identify eligible global loads (backslice free of LDS and of
+ *     dependence cycles) and classify LDG->STS-only pairs as tile
+ *     (LDGSTS) candidates.
+ *  3. Group extracted loads into memory stages by memory indirection
+ *     level (the stage-merge scheme of OUTRIDER), capped at maxStages.
+ *  4. Emit one program per stage: the load's address backslice plus the
+ *     replicated control skeleton; the compute stage keeps everything
+ *     else. Decoupled values flow through per-load named queues; the
+ *     consumer pop is merged into a single dependent instruction when
+ *     possible.
+ *  5. Tile loads become LDGSTS with the enclosing BAR.SYNC pair turned
+ *     into arrive/wait barriers, optionally double buffered (Fig. 10).
+ *  6. Optionally offload affine streams and gathers to WASP-TMA.
+ *  7. Finalize: per-stage register compaction, thread block
+ *     specification (Table I) and the jump table.
+ */
+
+#ifndef WASP_COMPILER_WASPC_HH
+#define WASP_COMPILER_WASPC_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace wasp::compiler
+{
+
+struct CompileOptions
+{
+    /** Transform coarse-grained tile transfers (LDGSTS + barriers). */
+    bool tile = true;
+    /** Transform fine-grained streaming/gather loads through queues. */
+    bool streamGather = true;
+    /** Offload affine streams / gathers to WASP-TMA. */
+    bool emitTma = false;
+    /** Double-buffer SMEM tile pipelines when the loop allows it. */
+    bool doubleBuffer = true;
+    int maxStages = 16;
+    int queueEntries = 32;
+};
+
+struct CompileReport
+{
+    int numStages = 1;
+    bool transformed = false;
+    bool tiled = false;
+    bool doubleBuffered = false;
+    int extractedLoads = 0;
+    int tmaStreams = 0;
+    int tmaGathers = 0;
+    std::vector<std::string> notes;
+};
+
+struct CompileResult
+{
+    isa::Program program;
+    CompileReport report;
+};
+
+/**
+ * Automatically warp-specialize a kernel. When no profitable or legal
+ * transformation is found the input program is returned unchanged with
+ * report.transformed == false.
+ */
+CompileResult warpSpecialize(const isa::Program &input,
+                             const CompileOptions &opts);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_WASPC_HH

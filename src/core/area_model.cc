@@ -1,0 +1,53 @@
+#include "core/area_model.hh"
+
+#include "common/log.hh"
+
+namespace wasp::core
+{
+
+AreaReport
+waspAreaOverhead(const sim::GpuConfig &config, int full_gpu_sms)
+{
+    AreaReport report;
+    const int warps_per_sm = config.pbsPerSm * config.warpSlotsPerPb;
+
+    auto add = [&](const std::string &name, const std::string &expr,
+                   double per_sm_bits) {
+        AreaItem item;
+        item.name = name;
+        item.perSm = expr;
+        item.perSmBits = per_sm_bits;
+        item.perGpuKB = per_sm_bits / 8.0 * full_gpu_sms / 1024.0;
+        report.items.push_back(item);
+        report.totalKB += item.perGpuKB;
+    };
+
+    // Warp mapper: per-CTA spec = 4 bits of stage count + 16 bytes of
+    // per-stage register sizes = 132 bits per entry.
+    double mapper_bits_per_cta = 4.0 + 16.0 * 8.0;
+    add("Warp Mapper",
+        std::to_string(config.maxTbPerSm) + " CTAs x " +
+            std::to_string(static_cast<int>(mapper_bits_per_cta)) +
+            " bits per entry",
+        config.maxTbPerSm * mapper_bits_per_cta);
+
+    // Warp scheduler: Table IV lists "7 bits per entry" but its ~48 KB
+    // per-GPU total is only consistent with 7 bytes per entry (stage id,
+    // queue status, and per-warp priority state); we follow the total.
+    add("Warp Scheduler",
+        std::to_string(warps_per_sm) + " Warps x 7 bytes per entry",
+        warps_per_sm * 7.0 * 8.0);
+
+    // RFQ metadata: head, tail, alloc start, alloc end — four 9-bit
+    // indices into a 512-entry register file per warp queue.
+    add("RFQ Metadata",
+        std::to_string(warps_per_sm) + " Warps x (4 x 9 bits per entry)",
+        warps_per_sm * 4.0 * 9.0);
+
+    // WASP-TMA: two 128-byte ping-pong entries for gather indices.
+    add("WASP-TMA", "2 x 128 bytes per entry", 2.0 * 128.0 * 8.0);
+
+    return report;
+}
+
+} // namespace wasp::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * WASP hardware area overhead model (paper Section V-J, Table IV).
+ * Everything WASP adds is control metadata storage; this model computes
+ * the per-SM and per-GPU storage requirements from the configuration.
+ */
+
+#ifndef WASP_CORE_AREA_MODEL_HH
+#define WASP_CORE_AREA_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace wasp::core
+{
+
+struct AreaItem
+{
+    std::string name;
+    std::string perSm;   ///< human-readable per-SM storage expression
+    double perSmBits = 0.0;
+    double perGpuKB = 0.0;
+};
+
+struct AreaReport
+{
+    std::vector<AreaItem> items;
+    double totalKB = 0.0;
+};
+
+/**
+ * Compute the WASP storage overhead for a GPU configuration, following
+ * Table IV's accounting:
+ *  - warp mapper: per-CTA augmented thread block specification
+ *    (4 bits stage count + 16 bytes of per-stage register sizes);
+ *  - warp scheduler: 7 bits per warp (stage id, is_empty, is_full,
+ *    priority state);
+ *  - RFQ metadata: 4 pointers/bounds of 9 bits per warp queue;
+ *  - WASP-TMA: two 128-byte ping-pong buffer entries.
+ */
+AreaReport waspAreaOverhead(const sim::GpuConfig &config, int full_gpu_sms);
+
+} // namespace wasp::core
+
+#endif // WASP_CORE_AREA_MODEL_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Register File Queue (RFQ) state (paper Section III-C, Fig. 6).
+ *
+ * A named queue connects a producer pipeline stage to a consumer stage
+ * within one pipeline slice. Entries are warp-wide (32 lanes x 32 bits)
+ * and are virtualised onto the processing block's physical register
+ * file; this class models the queue state table (head/tail/bounds) and
+ * the is_empty / is_full scoreboard bits.
+ *
+ * Slots are *reserved in program order* at producer issue and *filled*
+ * when the decoupled load returns, so FIFO order is preserved even when
+ * memory completes out of order. The consumer pops only when the head
+ * slot is valid.
+ */
+
+#ifndef WASP_CORE_RFQ_HH
+#define WASP_CORE_RFQ_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "isa/instruction.hh"
+
+namespace wasp::core
+{
+
+using LaneData = std::array<uint32_t, isa::kWarpSize>;
+
+class Rfq
+{
+  public:
+    explicit Rfq(int entries = 32) : entries_(entries)
+    {
+        slots_.resize(static_cast<size_t>(entries));
+        valid_.assign(static_cast<size_t>(entries), false);
+    }
+
+    int capacity() const { return entries_; }
+    int occupancy() const { return count_; }
+
+    /** Scoreboard bit: no reserved entries at all. */
+    bool isEmpty() const { return count_ == 0; }
+    /** Scoreboard bit: every entry reserved. */
+    bool isFull() const { return count_ == entries_; }
+    /** Consumer may pop: the head slot has valid data. */
+    bool canPop() const { return count_ > 0 && valid_[static_cast<size_t>(head_)]; }
+    /** Producer may reserve a slot. */
+    bool canReserve() const { return !isFull(); }
+
+    /**
+     * Reserve the next slot in order (producer issue time).
+     * @return slot index to pass to fill().
+     */
+    int
+    reserve()
+    {
+        wasp_assert(canReserve(), "RFQ reserve on full queue");
+        int slot = tail_;
+        tail_ = (tail_ + 1) % entries_;
+        ++count_;
+        valid_[static_cast<size_t>(slot)] = false;
+        return slot;
+    }
+
+    /** Deliver data into a reserved slot (load return time). */
+    void
+    fill(int slot, const LaneData &data)
+    {
+        wasp_assert(!valid_[static_cast<size_t>(slot)],
+                    "RFQ double fill of slot %d", slot);
+        slots_[static_cast<size_t>(slot)] = data;
+        valid_[static_cast<size_t>(slot)] = true;
+    }
+
+    /** Pop the head entry (consumer issue time). */
+    LaneData
+    pop()
+    {
+        wasp_assert(canPop(), "RFQ pop without valid head");
+        LaneData data = slots_[static_cast<size_t>(head_)];
+        valid_[static_cast<size_t>(head_)] = false;
+        head_ = (head_ + 1) % entries_;
+        --count_;
+        return data;
+    }
+
+  private:
+    int entries_;
+    int head_ = 0;
+    int tail_ = 0;
+    int count_ = 0;
+    std::vector<LaneData> slots_;
+    std::vector<bool> valid_;
+};
+
+} // namespace wasp::core
+
+#endif // WASP_CORE_RFQ_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pipeline-aware warp scheduling priorities (paper Section III-D,
+ * Fig. 17). The warp scheduler computes a score per ready warp; higher
+ * scores issue first, with greedy continuation and oldest-first as tie
+ * breakers.
+ *
+ * The paper's best policy ("WaspCombined") prioritizes warps whose
+ * incoming queue is full, then warps with ready (non-empty) queues,
+ * then earlier pipeline stages.
+ */
+
+#ifndef WASP_CORE_SCHED_POLICY_HH
+#define WASP_CORE_SCHED_POLICY_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+
+namespace wasp::core
+{
+
+struct WarpSchedInfo
+{
+    int stage = 0;
+    bool inQueueFull = false;  ///< an incoming queue is full
+    bool inQueueReady = false; ///< an incoming queue has data
+};
+
+/** Priority score for one warp under a policy; higher issues first. */
+inline int64_t
+schedScore(sim::SchedPolicy policy, const WarpSchedInfo &info)
+{
+    constexpr int64_t kStageBias = 1024; // stages are < 16
+    switch (policy) {
+      case sim::SchedPolicy::Gto:
+        return 0;
+      case sim::SchedPolicy::ProducerFirst:
+        return kStageBias - info.stage;
+      case sim::SchedPolicy::ConsumerFirst:
+        return info.stage;
+      case sim::SchedPolicy::QueueFullFirst:
+        return info.inQueueFull ? 1 : 0;
+      case sim::SchedPolicy::WaspCombined:
+        return (info.inQueueFull ? (1 << 20) : 0) +
+               (info.inQueueReady ? (1 << 10) : 0) +
+               (kStageBias - info.stage);
+    }
+    return 0;
+}
+
+inline const char *
+schedPolicyName(sim::SchedPolicy policy)
+{
+    switch (policy) {
+      case sim::SchedPolicy::Gto: return "gto";
+      case sim::SchedPolicy::ProducerFirst: return "producer_first";
+      case sim::SchedPolicy::ConsumerFirst: return "consumer_first";
+      case sim::SchedPolicy::QueueFullFirst: return "queue_full_first";
+      case sim::SchedPolicy::WaspCombined: return "wasp_combined";
+    }
+    return "?";
+}
+
+} // namespace wasp::core
+
+#endif // WASP_CORE_SCHED_POLICY_HH

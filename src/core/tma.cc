@@ -1,0 +1,274 @@
+#include "core/tma.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "mem/req.hh"
+
+namespace wasp::core
+{
+
+namespace
+{
+constexpr uint32_t kIndexEntryFlag = 0x80000000u;
+}
+
+std::vector<uint32_t>
+TmaEngine::coalesce(const LaneData &addrs, uint32_t lane_mask)
+{
+    std::vector<uint32_t> sectors;
+    for (int l = 0; l < isa::kWarpSize; ++l) {
+        if (!(lane_mask & (1u << l)))
+            continue;
+        uint32_t sector = addrs[static_cast<size_t>(l)] &
+                          ~(mem::kSectorBytes - 1);
+        if (std::find(sectors.begin(), sectors.end(), sector) ==
+            sectors.end())
+            sectors.push_back(sector);
+    }
+    return sectors;
+}
+
+void
+TmaEngine::submit(const TmaDescriptor &desc)
+{
+    wasp_assert(canSubmit(), "TMA submit with no free descriptor slot");
+    ActiveDesc d;
+    d.desc = desc;
+    d.id = next_desc_id_++;
+    active_.push_back(std::move(d));
+}
+
+void
+TmaEngine::tick(uint64_t now)
+{
+    (void)now;
+    int budget = config_.tmaSectorsPerCycle;
+    // Round-robin across descriptors so stalled ones (e.g. waiting on
+    // queue space) never starve the rest.
+    const size_t n = active_.size();
+    for (size_t k = 0; k < n; ++k) {
+        if (budget <= 0)
+            break;
+        auto &d = active_[(rr_start_ + k) % n];
+        stepDesc(d, budget);
+    }
+    if (n > 0)
+        rr_start_ = (rr_start_ + 1) % n;
+    for (auto &d : active_)
+        finishIfDone(d);
+    std::erase_if(active_, [](const ActiveDesc &d) { return d.id == 0; });
+}
+
+void
+TmaEngine::stepDesc(ActiveDesc &d, int &budget)
+{
+    // Inject one sector toward L2; false stops this descriptor's turn.
+    auto inject = [&](uint32_t addr, uint32_t entry_key) -> bool {
+        if (budget <= 0)
+            return false;
+        uint32_t txn = next_txn_;
+        if (!host_.tmaInject(addr, txn))
+            return false;
+        ++next_txn_;
+        txn_map_[txn] = {d.id, entry_key};
+        ++d.sectorsOutstanding;
+        ++sectors_issued_;
+        --budget;
+        return true;
+    };
+    // Drain previously generated sectors first; false == stalled.
+    auto drain = [&]() -> bool {
+        while (!d.pendingSectors.empty()) {
+            auto [addr, key] = d.pendingSectors.front();
+            if (!inject(addr, key))
+                return false;
+            d.pendingSectors.pop_front();
+        }
+        return true;
+    };
+    // Build one warp-wide entry: compute lane addresses/data and queue
+    // its sectors. `addr_of(lane_index)` gives the lane address.
+    auto makeEntry = [&](uint32_t first_idx, uint32_t limit, auto addr_of,
+                         int rfq_slot, uint32_t key,
+                         std::unordered_map<uint32_t, Entry> &table) {
+        Entry entry;
+        entry.rfqSlot = rfq_slot;
+        LaneData addrs{};
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            uint32_t idx = first_idx + static_cast<uint32_t>(l);
+            if (idx >= limit)
+                break;
+            entry.laneMask |= 1u << l;
+            addrs[static_cast<size_t>(l)] = addr_of(idx, l);
+            entry.data[static_cast<size_t>(l)] =
+                host_.tmaGmemRead(addrs[static_cast<size_t>(l)]);
+        }
+        auto sectors = coalesce(addrs, entry.laneMask);
+        entry.sectorsLeft = static_cast<int>(sectors.size());
+        table[key] = entry;
+        for (uint32_t s : sectors)
+            d.pendingSectors.emplace_back(s, key);
+    };
+
+    switch (d.desc.kind) {
+      case TmaKind::Tile: {
+        if (!drain())
+            return;
+        while (d.nextElem < d.desc.count) {
+            uint32_t addr = d.desc.gbase + d.nextElem * mem::kSectorBytes;
+            if (!inject(addr, 0))
+                return;
+            ++d.nextElem;
+        }
+        d.generationDone = true;
+        break;
+      }
+      case TmaKind::Stream: {
+        const uint32_t total_entries =
+            (d.desc.count + isa::kWarpSize - 1) / isa::kWarpSize;
+        while (drain()) {
+            if (d.nextElem >= total_entries) {
+                d.generationDone = true;
+                return;
+            }
+            Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
+                                        d.desc.queueIdx);
+            wasp_assert(queue, "TMA stream without queue");
+            if (!queue->canReserve())
+                return; // backpressure from is_full
+            uint32_t e = d.nextElem++;
+            makeEntry(e * isa::kWarpSize, d.desc.count,
+                      [&](uint32_t idx, int) {
+                          return d.desc.gbase + idx * d.desc.stride;
+                      },
+                      queue->reserve(), d.nextEntryId++, d.entries);
+        }
+        break;
+      }
+      case TmaKind::GatherQueue:
+      case TmaKind::GatherSmem: {
+        const uint32_t total_entries =
+            (d.desc.count + isa::kWarpSize - 1) / isa::kWarpSize;
+        while (drain()) {
+            // Phase 2 first: turn completed index entries into data
+            // requests (they hold the ping-pong buffer).
+            if (!d.readyIndices.empty()) {
+                uint32_t e = d.readyIndices.front().first;
+                LaneData idx_data = d.readyIndices.front().second;
+                int rfq_slot = -1;
+                if (d.desc.kind == TmaKind::GatherQueue) {
+                    Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
+                                                d.desc.queueIdx);
+                    wasp_assert(queue, "TMA gather without queue");
+                    if (!queue->canReserve())
+                        return;
+                    rfq_slot = queue->reserve();
+                }
+                makeEntry(e * isa::kWarpSize, d.desc.count,
+                          [&](uint32_t, int l) {
+                              return d.desc.gbase +
+                                     idx_data[static_cast<size_t>(l)] * 4;
+                          },
+                          rfq_slot, e, d.entries);
+                d.readyIndices.pop_front();
+                continue;
+            }
+            // Phase 1: fetch index entries, at most two in flight.
+            if (d.nextElem < total_entries &&
+                d.indexEntriesInFlight + d.readyIndices.size() < 2) {
+                uint32_t e = d.nextElem++;
+                makeEntry(e * isa::kWarpSize, d.desc.count,
+                          [&](uint32_t idx, int) {
+                              return d.desc.ibase + idx * 4;
+                          },
+                          -1, e | kIndexEntryFlag, d.indexEntries);
+                ++d.indexEntriesInFlight;
+                continue;
+            }
+            if (d.nextElem >= total_entries && d.indexEntries.empty() &&
+                d.readyIndices.empty())
+                d.generationDone = true;
+            return;
+        }
+        break;
+      }
+    }
+}
+
+void
+TmaEngine::sectorResponse(uint32_t txn)
+{
+    auto it = txn_map_.find(txn);
+    wasp_assert(it != txn_map_.end(), "unknown TMA txn %u", txn);
+    auto [desc_id, entry_key] = it->second;
+    txn_map_.erase(it);
+    auto dit = std::find_if(active_.begin(), active_.end(),
+                            [&](const ActiveDesc &a) {
+                                return a.id == desc_id;
+                            });
+    wasp_assert(dit != active_.end(), "TMA response for retired desc %d",
+                desc_id);
+    ActiveDesc &d = *dit;
+    --d.sectorsOutstanding;
+    if (d.desc.kind != TmaKind::Tile) {
+        if (entry_key & kIndexEntryFlag) {
+            auto eit = d.indexEntries.find(entry_key);
+            wasp_assert(eit != d.indexEntries.end(), "lost index entry");
+            if (--eit->second.sectorsLeft == 0) {
+                d.readyIndices.emplace_back(entry_key & ~kIndexEntryFlag,
+                                            eit->second.data);
+                d.indexEntries.erase(eit);
+                --d.indexEntriesInFlight;
+            }
+        } else {
+            auto eit = d.entries.find(entry_key);
+            wasp_assert(eit != d.entries.end(), "lost data entry");
+            Entry &entry = eit->second;
+            if (--entry.sectorsLeft == 0) {
+                if (entry.rfqSlot >= 0) {
+                    Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
+                                                d.desc.queueIdx);
+                    queue->fill(entry.rfqSlot, entry.data);
+                } else {
+                    // Gather-to-SMEM: commit the entry's lanes.
+                    for (int l = 0; l < isa::kWarpSize; ++l) {
+                        if (!(entry.laneMask & (1u << l)))
+                            continue;
+                        uint32_t idx = entry_key * isa::kWarpSize +
+                                       static_cast<uint32_t>(l);
+                        host_.tmaSmemWrite(
+                            d.desc.tbSlot, d.desc.smemOff + idx * 4,
+                            entry.data[static_cast<size_t>(l)]);
+                    }
+                }
+                ++d.elemsCompleted;
+                d.entries.erase(eit);
+            }
+        }
+    }
+    finishIfDone(d);
+    std::erase_if(active_, [](const ActiveDesc &a) { return a.id == 0; });
+}
+
+void
+TmaEngine::finishIfDone(ActiveDesc &d)
+{
+    if (d.id == 0 || !d.generationDone || d.sectorsOutstanding > 0 ||
+        !d.pendingSectors.empty() || !d.entries.empty() ||
+        !d.indexEntries.empty() || !d.readyIndices.empty())
+        return;
+    if (d.desc.kind == TmaKind::Tile) {
+        // Functional commit of the whole tile into SMEM.
+        for (uint32_t b = 0; b < d.desc.count * mem::kSectorBytes; b += 4) {
+            host_.tmaSmemWrite(d.desc.tbSlot, d.desc.smemOff + b,
+                               host_.tmaGmemRead(d.desc.gbase + b));
+        }
+    }
+    if (d.desc.barrierId >= 0)
+        host_.tmaBarArrive(d.desc.tbSlot, d.desc.barrierId);
+    host_.tmaDescDone(d.desc.tbSlot);
+    d.id = 0; // mark retired
+}
+
+} // namespace wasp::core

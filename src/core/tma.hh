@@ -1,0 +1,151 @@
+/**
+ * @file
+ * WASP-TMA offload engine (paper Section III-E, Fig. 8). One engine per
+ * SM executes descriptors launched by TMA.TILE / TMA.STREAM /
+ * TMA.GATHER instructions:
+ *
+ *  - tile:   coarse-grained global -> SMEM transfer; arrives on a named
+ *            barrier when complete.
+ *  - stream: fine-grained global -> RFQ stream of warp-wide entries,
+ *            with backpressure from the queue's is_full scoreboard.
+ *  - gather: two-phase C[i] = B[A[i]]: an index stream is fetched and
+ *            held in a two-entry ping-pong buffer, then combined with a
+ *            base address into a second request stream targeting an RFQ
+ *            or SMEM, without writing indices back to SMEM.
+ *
+ * The engine issues sector requests directly to L2 (bypassing L1) at a
+ * configurable rate, replacing the address-generation / control
+ * instruction stream the warps would otherwise execute.
+ */
+
+#ifndef WASP_CORE_TMA_HH
+#define WASP_CORE_TMA_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rfq.hh"
+#include "sim/config.hh"
+
+namespace wasp::core
+{
+
+/** Services the engine needs from its SM; implemented by sim::Sm. */
+class TmaHost
+{
+  public:
+    virtual ~TmaHost() = default;
+    /** Inject a read sector toward L2; false when the path is full. */
+    virtual bool tmaInject(uint32_t addr, uint32_t txn) = 0;
+    /** Resolve a named queue instance. */
+    virtual Rfq *tmaQueue(int tb_slot, int slice, int queue_idx) = 0;
+    /** Arrive on a named barrier of a resident thread block. */
+    virtual void tmaBarArrive(int tb_slot, int bar_id) = 0;
+    /** Functional global memory read (for stream/gather data). */
+    virtual uint32_t tmaGmemRead(uint32_t addr) = 0;
+    /** Functional SMEM write into a resident thread block. */
+    virtual void tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t v) = 0;
+    /** Descriptor retired (thread block bookkeeping). */
+    virtual void tmaDescDone(int tb_slot) = 0;
+};
+
+enum class TmaKind : uint8_t { Tile, Stream, GatherQueue, GatherSmem };
+
+/** A descriptor as captured at TMA.* instruction issue. */
+struct TmaDescriptor
+{
+    TmaKind kind = TmaKind::Stream;
+    int tbSlot = 0;
+    int slice = 0;
+    int queueIdx = -1;   ///< stream / gather-to-queue destination
+    int barrierId = -1;  ///< tile / gather-to-SMEM completion barrier
+    uint32_t smemOff = 0;
+    uint32_t gbase = 0;  ///< data base address
+    uint32_t ibase = 0;  ///< index base address (gather)
+    uint32_t count = 0;  ///< elements (stream/gather) or sectors (tile)
+    uint32_t stride = 4; ///< element stride in bytes (stream)
+};
+
+class TmaEngine
+{
+  public:
+    TmaEngine(const sim::GpuConfig &config, TmaHost &host)
+        : config_(config), host_(host)
+    {}
+
+    /**
+     * The descriptor table is memory-backed and effectively unbounded
+     * (a hard cap would deadlock pipelines whose descriptors can only
+     * drain after later descriptors are submitted); the per-cycle
+     * request-generation bandwidth is the real resource. A large safety
+     * cap guards against runaway kernels.
+     */
+    bool
+    canSubmit() const
+    {
+        return active_.size() < 4096;
+    }
+
+    void submit(const TmaDescriptor &desc);
+
+    /** Generate up to tmaSectorsPerCycle requests. */
+    void tick(uint64_t now);
+
+    /** A sector request issued by this engine completed. */
+    void sectorResponse(uint32_t txn);
+
+    bool idle() const { return active_.empty(); }
+
+    uint64_t sectorsIssued() const { return sectors_issued_; }
+
+  private:
+    struct Entry
+    {
+        int rfqSlot = -1;
+        LaneData data{};
+        int sectorsLeft = 0;
+        uint32_t laneMask = 0;
+    };
+
+    struct ActiveDesc
+    {
+        TmaDescriptor desc;
+        uint32_t nextElem = 0;       ///< next element/sector to generate
+        uint32_t sectorsOutstanding = 0;
+        bool generationDone = false;
+        // Stream/gather per-entry tracking (entry id -> state).
+        std::unordered_map<uint32_t, Entry> entries;
+        uint32_t nextEntryId = 0;
+        // Sector requests generated but not yet injected to L2.
+        std::deque<std::pair<uint32_t, uint32_t>> pendingSectors;
+        // Gather: completed index entries awaiting phase 2 (ping-pong).
+        std::deque<std::pair<uint32_t, LaneData>> readyIndices;
+        // Gather phase-1 entries in flight: entryId -> {sectorsLeft,data}.
+        std::unordered_map<uint32_t, Entry> indexEntries;
+        uint32_t indexEntriesInFlight = 0;
+        uint32_t elemsCompleted = 0;
+        int id = 0;
+    };
+
+    void stepDesc(ActiveDesc &d, int &budget);
+    void finishIfDone(ActiveDesc &d);
+
+    /** Coalesce lane addresses into unique sector addresses. */
+    static std::vector<uint32_t> coalesce(const LaneData &addrs,
+                                          uint32_t lane_mask);
+
+    const sim::GpuConfig &config_;
+    TmaHost &host_;
+    std::vector<ActiveDesc> active_;
+    std::unordered_map<uint32_t, std::pair<int, uint32_t>> txn_map_;
+    uint32_t next_txn_ = 1;
+    int next_desc_id_ = 1;
+    size_t rr_start_ = 0;
+    uint64_t sectors_issued_ = 0;
+};
+
+} // namespace wasp::core
+
+#endif // WASP_CORE_TMA_HH

@@ -1,0 +1,67 @@
+#include "core/warp_mapper.hh"
+
+#include "common/log.hh"
+
+namespace wasp::core
+{
+
+namespace
+{
+
+/** Try preferred PB first, then the others in order. */
+int
+placeWarp(int preferred, int regs, std::vector<int> &free_slots,
+          std::vector<int> &free_regs)
+{
+    const int num_pbs = static_cast<int>(free_slots.size());
+    for (int k = 0; k < num_pbs; ++k) {
+        int pb = (preferred + k) % num_pbs;
+        if (free_slots[static_cast<size_t>(pb)] > 0 &&
+            free_regs[static_cast<size_t>(pb)] >= regs) {
+            --free_slots[static_cast<size_t>(pb)];
+            free_regs[static_cast<size_t>(pb)] -= regs;
+            return pb;
+        }
+    }
+    return -1;
+}
+
+} // namespace
+
+MapResult
+mapWarps(sim::WarpMapPolicy policy, const MapRequest &req,
+         std::vector<int> free_slots, std::vector<int> free_regs,
+         int rotation)
+{
+    wasp_assert(static_cast<int>(req.warpRegs.size()) == req.totalWarps,
+                "warpRegs size mismatch");
+    const int num_pbs = static_cast<int>(free_slots.size());
+    MapResult result;
+    result.pbOf.assign(static_cast<size_t>(req.totalWarps), -1);
+    for (int wid = 0; wid < req.totalWarps; ++wid) {
+        int preferred;
+        if (policy == sim::WarpMapPolicy::GroupPipeline &&
+            req.numStages > 1) {
+            // Rotate the starting block per thread block so pipelines
+            // with few slices still spread across the SM. Blocks that
+            // are not warp specialized have no pipeline to group; they
+            // map exactly as under the baseline policy.
+            int slice = wid / req.numStages;
+            preferred = (slice + rotation) % num_pbs;
+        } else {
+            // Baseline round robin deals warps in warp-id order, which
+            // lands same-stage warps on the same processing block
+            // (paper Fig. 5).
+            preferred = wid % num_pbs;
+        }
+        int pb = placeWarp(preferred, req.warpRegs[static_cast<size_t>(wid)],
+                           free_slots, free_regs);
+        if (pb < 0)
+            return result; // ok == false
+        result.pbOf[static_cast<size_t>(wid)] = pb;
+    }
+    result.ok = true;
+    return result;
+}
+
+} // namespace wasp::core

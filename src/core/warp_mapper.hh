@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pipeline-aware warp-to-processing-block mapping (paper Section III-B,
+ * Fig. 5). Warps are numbered slice-major (wid = slice * numStages +
+ * stage); the baseline round-robin mapper deals warps across processing
+ * blocks one at a time, which lands same-stage warps on the same block;
+ * WASP's group_pipeline mapper keeps each pipeline slice together on
+ * one processing block, balancing resource usage.
+ */
+
+#ifndef WASP_CORE_WARP_MAPPER_HH
+#define WASP_CORE_WARP_MAPPER_HH
+
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace wasp::core
+{
+
+struct MapRequest
+{
+    int totalWarps = 0;
+    int numStages = 1;
+    /** Register demand per warp (architectural + RFQ storage). */
+    std::vector<int> warpRegs;
+};
+
+struct MapResult
+{
+    bool ok = false;
+    /** Processing block assigned to each warp. */
+    std::vector<int> pbOf;
+};
+
+/**
+ * Map a thread block's warps onto processing blocks.
+ *
+ * @param free_slots free warp slots per processing block
+ * @param free_regs free registers per processing block
+ * @param rotation starting processing-block offset (rotated per thread
+ *        block so single-slice pipelines spread across the SM)
+ */
+MapResult mapWarps(sim::WarpMapPolicy policy, const MapRequest &req,
+                   std::vector<int> free_slots, std::vector<int> free_regs,
+                   int rotation = 0);
+
+} // namespace wasp::core
+
+#endif // WASP_CORE_WARP_MAPPER_HH

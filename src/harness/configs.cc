@@ -1,0 +1,91 @@
+#include "harness/configs.hh"
+
+#include "common/log.hh"
+
+namespace wasp::harness
+{
+
+const char *
+paperConfigName(PaperConfig which)
+{
+    switch (which) {
+      case PaperConfig::Baseline: return "BASELINE";
+      case PaperConfig::CompilerTile: return "WASP_COMPILER_TILE";
+      case PaperConfig::CompilerAll: return "WASP_COMPILER_ALL";
+      case PaperConfig::PlusRegAlloc: return "+REGALLOC";
+      case PaperConfig::PlusTma: return "+WASP_TMA";
+      case PaperConfig::PlusRfq: return "+RFQ";
+      case PaperConfig::WaspGpu: return "WASP_GPU";
+    }
+    return "?";
+}
+
+ConfigSpec
+makeConfig(PaperConfig which, double bw_scale, int rfq_entries)
+{
+    ConfigSpec spec;
+    spec.name = paperConfigName(which);
+    sim::GpuConfig &gpu = spec.gpu;
+    compiler::CompileOptions &copts = spec.copts;
+
+    // Baseline machine (Table III): fast barriers + TMA tile offload.
+    gpu.hwBarriers = true;
+    gpu.tmaTileEnabled = true;
+    gpu.mapPolicy = sim::WarpMapPolicy::RoundRobin;
+    gpu.regAlloc = sim::RegAllocPolicy::Uniform;
+    gpu.sched = sim::SchedPolicy::Gto;
+    gpu.queueBackend = sim::QueueBackend::Smem;
+    gpu.waspTmaEnabled = false;
+
+    copts.tile = true;
+    copts.doubleBuffer = true;
+    copts.streamGather = false;
+    copts.emitTma = false;
+    // GEMM kernels model CUTLASS in every configuration (Section V-A):
+    // library kernels keep their hand-tuned (idealized) warp mapping.
+    spec.gemmIdealMapping = true;
+
+    switch (which) {
+      case PaperConfig::Baseline:
+        spec.compileNonGemm = false;
+        break;
+      case PaperConfig::CompilerTile:
+        break;
+      case PaperConfig::CompilerAll:
+        copts.streamGather = true;
+        break;
+      case PaperConfig::PlusRegAlloc:
+        copts.streamGather = true;
+        gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+        break;
+      case PaperConfig::PlusTma:
+        copts.streamGather = true;
+        copts.emitTma = true;
+        gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+        gpu.waspTmaEnabled = true;
+        break;
+      case PaperConfig::PlusRfq:
+        copts.streamGather = true;
+        copts.emitTma = true;
+        gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+        gpu.waspTmaEnabled = true;
+        gpu.queueBackend = sim::QueueBackend::Rfq;
+        break;
+      case PaperConfig::WaspGpu:
+        copts.streamGather = true;
+        copts.emitTma = true;
+        gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+        gpu.waspTmaEnabled = true;
+        gpu.queueBackend = sim::QueueBackend::Rfq;
+        gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+        gpu.sched = sim::SchedPolicy::WaspCombined;
+        break;
+    }
+    if (bw_scale != 1.0)
+        gpu.scaleBandwidth(bw_scale);
+    if (rfq_entries > 0)
+        gpu.rfqEntries = rfq_entries;
+    return spec;
+}
+
+} // namespace wasp::harness

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The evaluation configurations of the paper (Section V-A/V-B):
+ *
+ *  - BASELINE: modern GPU with fast arrive/wait barriers and a TMA-like
+ *    accelerator; GEMM kernels model CUTLASS warp specialization
+ *    (compiled with the tile-only pipeline and idealized warp mapping).
+ *  - WASP_COMPILER_TILE: the WASP compiler, coarse-grained tiles only,
+ *    on baseline hardware.
+ *  - WASP_COMPILER_ALL: + streaming/gather extraction, with the
+ *    inter-stage queues implemented in SMEM (software queues).
+ *  - WASP_GPU: WASP hardware (RFQs, group_pipeline mapping, per-stage
+ *    register allocation, pipeline-aware scheduling, WASP-TMA) driven
+ *    by the full compiler.
+ *
+ * Figure 15's progressive feature stack is exposed as intermediate
+ * configurations between WASP_COMPILER_ALL and WASP_GPU.
+ */
+
+#ifndef WASP_HARNESS_CONFIGS_HH
+#define WASP_HARNESS_CONFIGS_HH
+
+#include <string>
+
+#include "compiler/waspc.hh"
+#include "sim/config.hh"
+
+namespace wasp::harness
+{
+
+enum class PaperConfig
+{
+    Baseline,
+    CompilerTile,
+    CompilerAll,
+    // Fig 15 progressive hardware features on top of CompilerAll:
+    PlusRegAlloc,
+    PlusTma,
+    PlusRfq,
+    WaspGpu ///< + pipeline-aware mapping & scheduling (full WASP)
+};
+
+struct ConfigSpec
+{
+    std::string name;
+    sim::GpuConfig gpu;
+    compiler::CompileOptions copts;
+    /** Warp-specialize non-GEMM kernels at all? (false for Baseline) */
+    bool compileNonGemm = true;
+    /** GEMM kernels: idealized mapping per the paper's baseline. */
+    bool gemmIdealMapping = false;
+};
+
+/** Build a configuration, optionally scaling memory bandwidth
+ * (Fig 20) and overriding the RFQ size (Fig 18). */
+ConfigSpec makeConfig(PaperConfig which, double bw_scale = 1.0,
+                      int rfq_entries = 0);
+
+const char *paperConfigName(PaperConfig which);
+
+} // namespace wasp::harness
+
+#endif // WASP_HARNESS_CONFIGS_HH

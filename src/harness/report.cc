@@ -1,0 +1,74 @@
+#include "harness/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace wasp::harness
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::vector<std::string> rule;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule.push_back(std::string(widths[c], '-'));
+    emit(rule);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtSpeedup(double s)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << s << "x";
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << fraction * 100.0
+       << "%";
+    return os.str();
+}
+
+} // namespace wasp::harness

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark binaries: aligned
+ * columns, speedup formatting, geometric means.
+ */
+
+#ifndef WASP_HARNESS_REPORT_HH
+#define WASP_HARNESS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace wasp::harness
+{
+
+/** A simple aligned-column table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+    void row(std::vector<std::string> cells);
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "1.47x" style formatting. */
+std::string fmtSpeedup(double s);
+/** Fixed-precision double. */
+std::string fmtDouble(double v, int precision = 2);
+/** Percentage, e.g. "47%". */
+std::string fmtPercent(double fraction, int precision = 0);
+
+} // namespace wasp::harness
+
+#endif // WASP_HARNESS_REPORT_HH

@@ -1,0 +1,110 @@
+#include "harness/runner.hh"
+
+#include "common/log.hh"
+
+namespace wasp::harness
+{
+
+KernelResult
+runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
+          mem::GlobalMemory &gmem)
+{
+    KernelResult result;
+
+    // Decide the compile options for this kernel under this config.
+    bool transform = spec.compileNonGemm || k.isGemm;
+    compiler::CompileOptions copts = spec.copts;
+    if (k.isGemm) {
+        // GEMM kernels model CUTLASS: coarse tiles only in every config.
+        copts.streamGather = spec.copts.streamGather;
+        copts.tile = true;
+    }
+    if (transform) {
+        compiler::CompileResult cr =
+            compiler::warpSpecialize(k.prog, copts);
+        result.compiled = std::move(cr.program);
+        result.creport = cr.report;
+    } else {
+        result.compiled = k.prog;
+    }
+
+    sim::GpuConfig gpu = spec.gpu;
+    if (k.isGemm && spec.gemmIdealMapping)
+        gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+
+    result.stats =
+        sim::runProgram(gpu, gmem, result.compiled, k.grid, k.params);
+
+    // Per Section V-A, the compiler is directed per kernel: warp
+    // specialization is only kept when it beats the untransformed
+    // kernel on the same hardware.
+    if (transform && result.creport.transformed && spec.compileNonGemm) {
+        sim::RunStats raw =
+            sim::runProgram(gpu, gmem, k.prog, k.grid, k.params);
+        if (raw.cycles < result.stats.cycles) {
+            result.stats = raw;
+            result.compiled = k.prog;
+            result.creport = compiler::CompileReport{};
+            result.creport.notes.push_back(
+                "specialization not profitable; original kept");
+        }
+    }
+
+    // Verify functional output against the CPU reference.
+    result.verified = true;
+    for (uint32_t i = 0; i < k.outWords; ++i) {
+        uint32_t got = gmem.read32(k.outAddr + i * 4);
+        if (got != k.expected[i]) {
+            ++result.verifyMismatches;
+            result.verified = false;
+        }
+    }
+    if (!result.verified) {
+        warn("kernel '%s' under %s: %d/%u output mismatches",
+             k.prog.name.c_str(), spec.name.c_str(),
+             result.verifyMismatches, k.outWords);
+    }
+    return result;
+}
+
+BenchResult
+runBenchmark(const ConfigSpec &spec, const workloads::BenchmarkDef &bench)
+{
+    BenchResult result;
+    result.benchmark = bench.name;
+    result.config = spec.name;
+    double total_weight = 0.0;
+    for (const auto &mix : bench.kernels) {
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        KernelResult kr = runKernel(spec, k, gmem);
+        result.verified = result.verified && kr.verified;
+        double cycles = static_cast<double>(kr.stats.cycles);
+        result.weightedCycles += mix.weight * cycles;
+        result.kernelCycles.emplace_back(mix.label, cycles);
+        for (size_t c = 0; c < result.dynInstrs.size(); ++c)
+            result.dynInstrs[c] +=
+                mix.weight * static_cast<double>(kr.stats.dynInstrs[c]);
+        result.l2Utilization += mix.weight * kr.stats.l2Utilization();
+        result.dramUtilization +=
+            mix.weight * kr.stats.dramUtilization();
+        result.l1HitRate += mix.weight * kr.stats.l1HitRate();
+        total_weight += mix.weight;
+    }
+    if (total_weight > 0.0) {
+        result.l2Utilization /= total_weight;
+        result.dramUtilization /= total_weight;
+        result.l1HitRate /= total_weight;
+    }
+    return result;
+}
+
+double
+speedup(const BenchResult &base, const BenchResult &other)
+{
+    if (other.weightedCycles <= 0.0)
+        return 0.0;
+    return base.weightedCycles / other.weightedCycles;
+}
+
+} // namespace wasp::harness

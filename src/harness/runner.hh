@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Experiment runner: compile a kernel per the configuration's options,
+ * run it on the configured GPU, verify its output against the CPU
+ * reference, and aggregate weighted per-benchmark results.
+ */
+
+#ifndef WASP_HARNESS_RUNNER_HH
+#define WASP_HARNESS_RUNNER_HH
+
+#include <array>
+#include <string>
+
+#include "harness/configs.hh"
+#include "sim/gpu.hh"
+#include "workloads/benchmarks.hh"
+
+namespace wasp::harness
+{
+
+struct KernelResult
+{
+    sim::RunStats stats;
+    compiler::CompileReport creport;
+    bool verified = false;
+    int verifyMismatches = 0;
+    isa::Program compiled; ///< post-compiler program (static analysis)
+};
+
+/** Compile (per config) and run one built kernel; verifies output. */
+KernelResult runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
+                       mem::GlobalMemory &gmem);
+
+struct BenchResult
+{
+    std::string benchmark;
+    std::string config;
+    double weightedCycles = 0.0;
+    bool verified = true;
+    /** Aggregated (weighted) statistics for the figures. */
+    std::array<double, 6> dynInstrs{};
+    double l2Utilization = 0.0;    ///< cycle-weighted average
+    double dramUtilization = 0.0;
+    double l1HitRate = 0.0;
+    /** Per-kernel cycle counts (Table II per-kernel speedups). */
+    std::vector<std::pair<std::string, double>> kernelCycles;
+};
+
+/** Run every kernel of a benchmark under a configuration. */
+BenchResult runBenchmark(const ConfigSpec &spec,
+                         const workloads::BenchmarkDef &bench);
+
+/** Geometric-mean speedup helper: base time / config time per
+ * benchmark, geomean across benchmarks. */
+double speedup(const BenchResult &base, const BenchResult &other);
+
+} // namespace wasp::harness
+
+#endif // WASP_HARNESS_RUNNER_HH

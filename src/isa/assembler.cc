@@ -1,0 +1,390 @@
+/**
+ * @file
+ * WSASS text assembler. Parses the textual form produced by
+ * disassemble() back into a Program; used by tests, examples, and as a
+ * stable on-disk kernel format.
+ */
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/log.hh"
+#include "isa/program.hh"
+
+namespace wasp::isa
+{
+
+namespace
+{
+
+/** Remove comments and surrounding whitespace. */
+std::string
+cleanLine(const std::string &raw)
+{
+    std::string line = raw;
+    auto cut = line.find(';');
+    if (cut != std::string::npos)
+        line = line.substr(0, cut);
+    cut = line.find("//");
+    if (cut != std::string::npos)
+        line = line.substr(0, cut);
+    size_t begin = line.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = line.find_last_not_of(" \t\r\n");
+    return line.substr(begin, end - begin + 1);
+}
+
+/** Split an operand list on commas (ignoring commas inside brackets). */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '[')
+            ++depth;
+        if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        parts.push_back(cur);
+    for (auto &p : parts) {
+        std::string c = cleanLine(p);
+        p = c;
+    }
+    return parts;
+}
+
+bool
+looksLikeFloat(const std::string &tok)
+{
+    return tok.find('.') != std::string::npos ||
+           (tok.back() == 'f' && tok.find("0x") == std::string::npos);
+}
+
+struct PendingBranch
+{
+    int instr_index;
+    std::string label;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Program
+    run()
+    {
+        std::istringstream in(text_);
+        std::string raw;
+        int line_no = 0;
+        while (std::getline(in, raw)) {
+            ++line_no;
+            line_no_ = line_no;
+            std::string line = cleanLine(raw);
+            if (line.empty())
+                continue;
+            if (line[0] == '.') {
+                parseDirective(line);
+            } else if (line.back() == ':') {
+                std::string label = line.substr(0, line.size() - 1);
+                prog_.labels[label] = prog_.size();
+            } else {
+                parseInstruction(line);
+            }
+        }
+        // Resolve branch labels.
+        for (const auto &pb : pending_) {
+            auto it = prog_.labels.find(pb.label);
+            if (it == prog_.labels.end()) {
+                // Allow "L<index>" numeric labels from the disassembler.
+                if (pb.label.size() > 1 && pb.label[0] == 'L' &&
+                    std::isdigit(static_cast<unsigned char>(pb.label[1]))) {
+                    prog_.instrs[pb.instr_index].target =
+                        std::atoi(pb.label.c_str() + 1);
+                    continue;
+                }
+                fatal("assembler: undefined label '%s'", pb.label.c_str());
+            }
+            prog_.instrs[pb.instr_index].target = it->second;
+        }
+        prog_.recomputeNumRegs();
+        prog_.renumber();
+        prog_.validate();
+        return prog_;
+    }
+
+  private:
+    [[noreturn]] void
+    err(const std::string &what)
+    {
+        fatal("assembler:%d: %s", line_no_, what.c_str());
+    }
+
+    void
+    parseDirective(const std::string &line)
+    {
+        std::istringstream is(line);
+        std::string key;
+        is >> key;
+        if (key == ".kernel") {
+            is >> prog_.name;
+        } else if (key == ".tb") {
+            is >> prog_.tb.dimX;
+            if (!(is >> prog_.tb.dimY))
+                prog_.tb.dimY = 1;
+            if (!(is >> prog_.tb.dimZ))
+                prog_.tb.dimZ = 1;
+        } else if (key == ".stages") {
+            is >> prog_.tb.numStages;
+        } else if (key == ".stageregs") {
+            int r;
+            while (is >> r)
+                prog_.tb.stageRegs.push_back(r);
+        } else if (key == ".queue") {
+            QueueSpec q;
+            is >> q.srcStage >> q.dstStage >> q.entries;
+            prog_.tb.queues.push_back(q);
+        } else if (key == ".barrier") {
+            BarrierSpec b;
+            is >> b.expected >> b.initialPhase;
+            prog_.tb.barriers.push_back(b);
+        } else if (key == ".smem") {
+            is >> prog_.tb.smemBytes;
+        } else if (key == ".stageentry") {
+            int e;
+            while (is >> e)
+                prog_.tb.stageEntry.push_back(e);
+        } else {
+            err("unknown directive '" + key + "'");
+        }
+    }
+
+    int
+    parseRegToken(const std::string &tok)
+    {
+        if (tok == "RZ")
+            return kRegZero;
+        if (tok.size() < 2 || tok[0] != 'R')
+            err("expected register, got '" + tok + "'");
+        return std::atoi(tok.c_str() + 1);
+    }
+
+    Operand
+    parseOperand(const std::string &tok, MemSpace default_space)
+    {
+        wasp_assert(!tok.empty(), "empty operand");
+        if (tok[0] == '[') {
+            // [Rn], [Rn+imm], [Rn-imm]
+            std::string body = tok.substr(1, tok.size() - 2);
+            size_t split = body.find_first_of("+-", 1);
+            int32_t off = 0;
+            std::string reg_tok = body;
+            if (split != std::string::npos) {
+                reg_tok = body.substr(0, split);
+                off = std::atoi(body.c_str() + split);
+            }
+            return Operand::makeMem(default_space, parseRegToken(reg_tok),
+                                    off);
+        }
+        if (tok == "RZ" || (tok[0] == 'R' && tok.size() > 1 &&
+                            std::isdigit(static_cast<unsigned char>(tok[1]))))
+            return Operand::makeReg(parseRegToken(tok));
+        if (tok == "PT")
+            return Operand::makePred(kPredTrue);
+        if (tok == "!PT")
+            return Operand::makePred(kPredTrue, true);
+        if (tok[0] == 'P' && tok.size() > 1 &&
+            std::isdigit(static_cast<unsigned char>(tok[1])))
+            return Operand::makePred(std::atoi(tok.c_str() + 1));
+        if (tok[0] == '!' && tok.size() > 2 && tok[1] == 'P')
+            return Operand::makePred(std::atoi(tok.c_str() + 2), true);
+        if (tok[0] == 'Q' && tok.size() > 1 &&
+            std::isdigit(static_cast<unsigned char>(tok[1])))
+            return Operand::makeQueue(std::atoi(tok.c_str() + 1));
+        if (tok.rfind("SR_", 0) == 0)
+            return Operand::makeSreg(parseSreg(tok));
+        if (tok.rfind("c[", 0) == 0)
+            return Operand::makeCParam(std::atoi(tok.c_str() + 2));
+        if (looksLikeFloat(tok))
+            return Operand::makeFImm(std::strtof(tok.c_str(), nullptr));
+        if (std::isdigit(static_cast<unsigned char>(tok[0])) ||
+            tok[0] == '-' || tok[0] == '+') {
+            return Operand::makeImm(
+                static_cast<int32_t>(std::strtol(tok.c_str(), nullptr, 0)));
+        }
+        err("cannot parse operand '" + tok + "'");
+    }
+
+    void
+    parseInstruction(const std::string &line)
+    {
+        Instruction inst;
+        std::string rest = line;
+
+        // Optional guard predicate @P0 / @!P0.
+        if (rest[0] == '@') {
+            size_t sp = rest.find_first_of(" \t");
+            if (sp == std::string::npos)
+                err("guard without instruction");
+            std::string guard = rest.substr(1, sp - 1);
+            bool neg = false;
+            if (!guard.empty() && guard[0] == '!') {
+                neg = true;
+                guard = guard.substr(1);
+            }
+            if (guard == "PT")
+                inst.guardPred = kPredTrue;
+            else if (guard[0] == 'P')
+                inst.guardPred =
+                    static_cast<int8_t>(std::atoi(guard.c_str() + 1));
+            else
+                err("bad guard '" + guard + "'");
+            inst.guardNeg = neg;
+            rest = cleanLine(rest.substr(sp));
+        }
+
+        size_t sp = rest.find_first_of(" \t");
+        std::string mnem = sp == std::string::npos ? rest
+                                                   : rest.substr(0, sp);
+        std::string ops_text =
+            sp == std::string::npos ? "" : cleanLine(rest.substr(sp));
+
+        // Comparison modifier (ISETP.LT etc.) — but BAR.SYNC and TMA.*
+        // contain a dot in the mnemonic itself.
+        std::string modifier;
+        if (parseOpcode(mnem) == Opcode::NUM_OPCODES) {
+            size_t dot = mnem.rfind('.');
+            if (dot != std::string::npos) {
+                modifier = mnem.substr(dot + 1);
+                mnem = mnem.substr(0, dot);
+            }
+        }
+        Opcode op = parseOpcode(mnem);
+        if (op == Opcode::NUM_OPCODES)
+            err("unknown opcode '" + mnem + "'");
+        inst.op = op;
+        if (!modifier.empty())
+            inst.cmp = parseCmp(modifier);
+
+        std::vector<std::string> toks = splitOperands(ops_text);
+        buildOperands(inst, toks);
+        inst.category = defaultCategory(op);
+        prog_.instrs.push_back(inst);
+    }
+
+    static InstrCategory
+    defaultCategory(Opcode op)
+    {
+        const OpInfo &info = opInfo(op);
+        if (info.isMem)
+            return InstrCategory::Memory;
+        if (info.isBranch || op == Opcode::EXIT || op == Opcode::NOP)
+            return InstrCategory::Control;
+        if (info.isBarrier)
+            return InstrCategory::Queue;
+        if (op == Opcode::TMA_TILE || op == Opcode::TMA_STREAM ||
+            op == Opcode::TMA_GATHER)
+            return InstrCategory::Memory;
+        return InstrCategory::Compute;
+    }
+
+    void
+    buildOperands(Instruction &inst, const std::vector<std::string> &toks)
+    {
+        auto opnd = [&](size_t i, MemSpace space = MemSpace::Global) {
+            if (i >= toks.size())
+                err("missing operand");
+            return parseOperand(toks[i], space);
+        };
+        switch (inst.op) {
+          case Opcode::STG:
+            inst.dsts = {opnd(0, MemSpace::Global)};
+            inst.srcs = {opnd(1)};
+            break;
+          case Opcode::STS:
+            inst.dsts = {opnd(0, MemSpace::Shared)};
+            inst.srcs = {opnd(1)};
+            break;
+          case Opcode::LDG:
+            inst.dsts = {opnd(0)};
+            inst.srcs = {opnd(1, MemSpace::Global)};
+            break;
+          case Opcode::LDS:
+            inst.dsts = {opnd(0)};
+            inst.srcs = {opnd(1, MemSpace::Shared)};
+            break;
+          case Opcode::LDGSTS:
+            inst.dsts = {opnd(0, MemSpace::Shared)};
+            inst.srcs = {opnd(1, MemSpace::Global)};
+            break;
+          case Opcode::ATOMG_ADD:
+            inst.dsts = {opnd(0)};
+            inst.srcs = {opnd(1, MemSpace::Global), opnd(2)};
+            break;
+          case Opcode::BRA:
+            if (toks.empty())
+                err("BRA needs a target label");
+            pending_.push_back({prog_.size(), toks[0]});
+            break;
+          case Opcode::EXIT:
+          case Opcode::NOP:
+          case Opcode::BAR_SYNC:
+            break;
+          case Opcode::BAR_ARRIVE:
+          case Opcode::BAR_WAIT:
+            inst.srcs = {opnd(0)};
+            break;
+          case Opcode::TMA_TILE:
+            // TMA.TILE [Rsmem+off], Rglobal, Rlines, barrier_imm
+            inst.dsts = {opnd(0, MemSpace::Shared)};
+            inst.srcs = {opnd(1), opnd(2), opnd(3)};
+            break;
+          case Opcode::TMA_STREAM:
+            // TMA.STREAM Qd, Rbase, Rcount, stride_imm
+            inst.dsts = {opnd(0)};
+            inst.srcs = {opnd(1), opnd(2), opnd(3)};
+            break;
+          case Opcode::TMA_GATHER:
+            // TMA.GATHER Qd|[Rsmem], Ridx, Rdata, Rcount, barrier_imm
+            inst.dsts = {opnd(0, MemSpace::Shared)};
+            inst.srcs = {opnd(1), opnd(2), opnd(3), opnd(4)};
+            break;
+          default: {
+            // Generic form: first operand is the destination.
+            if (toks.empty())
+                err("missing operands");
+            inst.dsts = {opnd(0)};
+            for (size_t i = 1; i < toks.size(); ++i)
+                inst.srcs.push_back(opnd(i));
+            break;
+          }
+        }
+    }
+
+    std::string text_;
+    Program prog_;
+    std::vector<PendingBranch> pending_;
+    int line_no_ = 0;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace wasp::isa

@@ -1,0 +1,130 @@
+#include "isa/builder.hh"
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    prog_.name = std::move(name);
+}
+
+KernelBuilder &
+KernelBuilder::tbDim(int x, int y, int z)
+{
+    prog_.tb.dimX = x;
+    prog_.tb.dimY = y;
+    prog_.tb.dimZ = z;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::smemBytes(uint32_t bytes)
+{
+    prog_.tb.smemBytes = bytes;
+    return *this;
+}
+
+int
+KernelBuilder::queue(int src_stage, int dst_stage, int entries)
+{
+    prog_.tb.queues.push_back({src_stage, dst_stage, entries});
+    return static_cast<int>(prog_.tb.queues.size()) - 1;
+}
+
+int
+KernelBuilder::barrier(int expected, int initial_phase)
+{
+    prog_.tb.barriers.push_back({expected, initial_phase});
+    return static_cast<int>(prog_.tb.barriers.size()) - 1;
+}
+
+KernelBuilder &
+KernelBuilder::stages(int n)
+{
+    prog_.tb.numStages = n;
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::stageRegs(std::vector<int> regs)
+{
+    prog_.tb.stageRegs = std::move(regs);
+    return *this;
+}
+
+std::string
+KernelBuilder::freshLabel(const std::string &hint)
+{
+    return hint + "_" + std::to_string(next_label_++);
+}
+
+void
+KernelBuilder::place(const std::string &label)
+{
+    wasp_assert(!label_pos_.count(label), "label '%s' placed twice",
+                label.c_str());
+    label_pos_[label] = position();
+    prog_.labels[label] = position();
+}
+
+KernelBuilder &
+KernelBuilder::pred(int p, bool neg)
+{
+    pending_guard_ = p;
+    pending_guard_neg_ = neg;
+    return *this;
+}
+
+Instruction &
+KernelBuilder::emit(Opcode op, std::vector<Operand> dsts,
+                    std::vector<Operand> srcs)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.dsts = std::move(dsts);
+    inst.srcs = std::move(srcs);
+    inst.guardPred = static_cast<int8_t>(pending_guard_);
+    inst.guardNeg = pending_guard_neg_;
+    pending_guard_ = kPredTrue;
+    pending_guard_neg_ = false;
+
+    const OpInfo &info = opInfo(op);
+    if (info.isMem || inst.isTma())
+        inst.category = InstrCategory::Memory;
+    else if (info.isBranch || op == Opcode::EXIT || op == Opcode::NOP)
+        inst.category = InstrCategory::Control;
+    else if (info.isBarrier)
+        inst.category = InstrCategory::Queue;
+    else
+        inst.category = InstrCategory::Compute;
+
+    prog_.instrs.push_back(std::move(inst));
+    return prog_.instrs.back();
+}
+
+void
+KernelBuilder::bra(const std::string &label)
+{
+    Instruction &inst = emit(Opcode::BRA, {}, {});
+    (void)inst;
+    pending_branches_.emplace_back(position() - 1, label);
+}
+
+Program
+KernelBuilder::finish()
+{
+    for (const auto &[index, label] : pending_branches_) {
+        auto it = label_pos_.find(label);
+        wasp_assert(it != label_pos_.end(), "unplaced label '%s'",
+                    label.c_str());
+        prog_.instrs[index].target = it->second;
+    }
+    prog_.recomputeNumRegs();
+    prog_.renumber();
+    prog_.validate();
+    return prog_;
+}
+
+} // namespace wasp::isa

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Programmatic WSASS kernel construction. Workload generators and the
+ * WASP compiler use this instead of textual assembly; labels are
+ * resolved when finish() is called.
+ */
+
+#ifndef WASP_ISA_BUILDER_HH
+#define WASP_ISA_BUILDER_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace wasp::isa
+{
+
+/** Shorthand operand constructors. */
+inline Operand R(int r) { return Operand::makeReg(r); }
+inline Operand RZ() { return Operand::makeReg(kRegZero); }
+inline Operand P(int p, bool neg = false)
+{
+    return Operand::makePred(p, neg);
+}
+inline Operand Imm(int32_t v) { return Operand::makeImm(v); }
+inline Operand FImm(float v) { return Operand::makeFImm(v); }
+inline Operand Q(int q) { return Operand::makeQueue(q); }
+inline Operand CParam(int slot) { return Operand::makeCParam(slot); }
+inline Operand Sreg(SpecialReg sr) { return Operand::makeSreg(sr); }
+inline Operand GMem(int base, int32_t off = 0)
+{
+    return Operand::makeMem(MemSpace::Global, base, off);
+}
+inline Operand SMem(int base, int32_t off = 0)
+{
+    return Operand::makeMem(MemSpace::Shared, base, off);
+}
+
+/** Incremental builder for WSASS programs. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // -- Thread block specification -------------------------------------
+    KernelBuilder &tbDim(int x, int y = 1, int z = 1);
+    KernelBuilder &smemBytes(uint32_t bytes);
+    /** Declare a named queue; returns its index. */
+    int queue(int src_stage, int dst_stage, int entries);
+    /** Declare a named barrier; returns its index. */
+    int barrier(int expected, int initial_phase = 0);
+    KernelBuilder &stages(int n);
+    KernelBuilder &stageRegs(std::vector<int> regs);
+
+    // -- Labels ----------------------------------------------------------
+    /** Create a fresh unique label name (not yet placed). */
+    std::string freshLabel(const std::string &hint = "L");
+    /** Bind a label to the current position. */
+    void place(const std::string &label);
+
+    /** Guard the next emitted instruction. */
+    KernelBuilder &pred(int p, bool neg = false);
+
+    // -- Generic emit ------------------------------------------------------
+    Instruction &emit(Opcode op, std::vector<Operand> dsts,
+                      std::vector<Operand> srcs);
+
+    // -- ALU ---------------------------------------------------------------
+    void mov(int d, Operand src) { emit(Opcode::MOV, {R(d)}, {src}); }
+    void s2r(int d, SpecialReg sr) { emit(Opcode::S2R, {R(d)}, {Sreg(sr)}); }
+    void iadd(int d, Operand a, Operand b)
+    {
+        emit(Opcode::IADD, {R(d)}, {a, b});
+    }
+    void isub(int d, Operand a, Operand b)
+    {
+        emit(Opcode::ISUB, {R(d)}, {a, b});
+    }
+    void imul(int d, Operand a, Operand b)
+    {
+        emit(Opcode::IMUL, {R(d)}, {a, b});
+    }
+    void imad(int d, Operand a, Operand b, Operand c)
+    {
+        emit(Opcode::IMAD, {R(d)}, {a, b, c});
+    }
+    void shl(int d, Operand a, Operand b)
+    {
+        emit(Opcode::SHL, {R(d)}, {a, b});
+    }
+    void shr(int d, Operand a, Operand b)
+    {
+        emit(Opcode::SHR, {R(d)}, {a, b});
+    }
+    void and_(int d, Operand a, Operand b)
+    {
+        emit(Opcode::AND, {R(d)}, {a, b});
+    }
+    void imin(int d, Operand a, Operand b)
+    {
+        emit(Opcode::IMIN, {R(d)}, {a, b});
+    }
+    void imax(int d, Operand a, Operand b)
+    {
+        emit(Opcode::IMAX, {R(d)}, {a, b});
+    }
+    void isetp(int p, CmpOp cmp, Operand a, Operand b)
+    {
+        Instruction &inst = emit(Opcode::ISETP, {P(p)}, {a, b});
+        inst.cmp = cmp;
+    }
+    void fsetp(int p, CmpOp cmp, Operand a, Operand b)
+    {
+        Instruction &inst = emit(Opcode::FSETP, {P(p)}, {a, b});
+        inst.cmp = cmp;
+    }
+    void sel(int d, Operand p, Operand a, Operand b)
+    {
+        emit(Opcode::SEL, {R(d)}, {p, a, b});
+    }
+    void fadd(int d, Operand a, Operand b)
+    {
+        emit(Opcode::FADD, {R(d)}, {a, b});
+    }
+    void fmul(int d, Operand a, Operand b)
+    {
+        emit(Opcode::FMUL, {R(d)}, {a, b});
+    }
+    void ffma(int d, Operand a, Operand b, Operand c)
+    {
+        emit(Opcode::FFMA, {R(d)}, {a, b, c});
+    }
+    void fmin(int d, Operand a, Operand b)
+    {
+        emit(Opcode::FMIN, {R(d)}, {a, b});
+    }
+    void fmax(int d, Operand a, Operand b)
+    {
+        emit(Opcode::FMAX, {R(d)}, {a, b});
+    }
+    void frcp(int d, Operand a) { emit(Opcode::FRCP, {R(d)}, {a}); }
+    void fsqrt(int d, Operand a) { emit(Opcode::FSQRT, {R(d)}, {a}); }
+    void i2f(int d, Operand a) { emit(Opcode::I2F, {R(d)}, {a}); }
+    void f2i(int d, Operand a) { emit(Opcode::F2I, {R(d)}, {a}); }
+    void hmma(int d, Operand a, Operand b, Operand c)
+    {
+        emit(Opcode::HMMA, {R(d)}, {a, b, c});
+    }
+
+    // -- Memory --------------------------------------------------------------
+    void ldg(int d, int base, int32_t off = 0)
+    {
+        emit(Opcode::LDG, {R(d)}, {GMem(base, off)});
+    }
+    void ldgQueue(int q, int base, int32_t off = 0)
+    {
+        emit(Opcode::LDG, {Q(q)}, {GMem(base, off)});
+    }
+    void stg(int base, int32_t off, Operand val)
+    {
+        emit(Opcode::STG, {GMem(base, off)}, {val});
+    }
+    void lds(int d, int base, int32_t off = 0)
+    {
+        emit(Opcode::LDS, {R(d)}, {SMem(base, off)});
+    }
+    void sts(int base, int32_t off, Operand val)
+    {
+        emit(Opcode::STS, {SMem(base, off)}, {val});
+    }
+    void ldgsts(int sbase, int32_t soff, int gbase, int32_t goff)
+    {
+        emit(Opcode::LDGSTS, {SMem(sbase, soff)}, {GMem(gbase, goff)});
+    }
+    void atomgAdd(int d, int base, int32_t off, Operand val)
+    {
+        emit(Opcode::ATOMG_ADD, {R(d)}, {GMem(base, off), val});
+    }
+
+    // -- Control ---------------------------------------------------------------
+    void bra(const std::string &label);
+    void exit() { emit(Opcode::EXIT, {}, {}); }
+    void nop() { emit(Opcode::NOP, {}, {}); }
+    void barSync() { emit(Opcode::BAR_SYNC, {}, {}); }
+    void barArrive(int b) { emit(Opcode::BAR_ARRIVE, {}, {Imm(b)}); }
+    void barWait(int b) { emit(Opcode::BAR_WAIT, {}, {Imm(b)}); }
+
+    // -- WASP-TMA -----------------------------------------------------------------
+    void tmaStream(int q, int base_reg, int count_reg, int32_t stride)
+    {
+        emit(Opcode::TMA_STREAM, {Q(q)},
+             {R(base_reg), R(count_reg), Imm(stride)});
+    }
+    void tmaTile(int smem_base_reg, int32_t smem_off, int gbase_reg,
+                 int lines_reg, int barrier_id)
+    {
+        emit(Opcode::TMA_TILE, {SMem(smem_base_reg, smem_off)},
+             {R(gbase_reg), R(lines_reg), Imm(barrier_id)});
+    }
+    void tmaGatherQueue(int q, int idx_reg, int data_reg, int count_reg)
+    {
+        emit(Opcode::TMA_GATHER, {Q(q)},
+             {R(idx_reg), R(data_reg), R(count_reg), Imm(-1)});
+    }
+    void tmaGatherSmem(int smem_base_reg, int32_t smem_off, int idx_reg,
+                       int data_reg, int count_reg, int barrier_id)
+    {
+        emit(Opcode::TMA_GATHER, {SMem(smem_base_reg, smem_off)},
+             {R(idx_reg), R(data_reg), R(count_reg), Imm(barrier_id)});
+    }
+
+    /** Number of instructions emitted so far. */
+    int position() const { return static_cast<int>(prog_.instrs.size()); }
+
+    /** Resolve labels, validate and return the program. */
+    Program finish();
+
+  private:
+    Program prog_;
+    std::unordered_map<std::string, int> label_pos_;
+    std::vector<std::pair<int, std::string>> pending_branches_;
+    int next_label_ = 0;
+    int pending_guard_ = kPredTrue;
+    bool pending_guard_neg_ = false;
+};
+
+} // namespace wasp::isa
+
+#endif // WASP_ISA_BUILDER_HH

@@ -1,0 +1,247 @@
+#include "isa/cfg.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+namespace
+{
+
+/**
+ * Iterative bitset dominator computation. Returns the full dominator
+ * sets; entry nodes hold only themselves. `virtual_entry` nodes are the
+ * roots of the flow (entry block for dominators, exit blocks for
+ * post-dominators on the reversed graph).
+ */
+std::vector<std::vector<bool>>
+dominatorSets(int n, const std::vector<std::vector<int>> &preds,
+              const std::vector<bool> &is_entry)
+{
+    std::vector<std::vector<bool>> dom(
+        static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n),
+                                                  true));
+    for (int b = 0; b < n; ++b) {
+        if (is_entry[static_cast<size_t>(b)]) {
+            std::fill(dom[static_cast<size_t>(b)].begin(),
+                      dom[static_cast<size_t>(b)].end(), false);
+            dom[static_cast<size_t>(b)][static_cast<size_t>(b)] = true;
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = 0; b < n; ++b) {
+            if (is_entry[static_cast<size_t>(b)])
+                continue;
+            std::vector<bool> next(static_cast<size_t>(n), true);
+            bool any_pred = false;
+            for (int p : preds[static_cast<size_t>(b)]) {
+                any_pred = true;
+                for (int i = 0; i < n; ++i) {
+                    next[static_cast<size_t>(i)] =
+                        next[static_cast<size_t>(i)] &&
+                        dom[static_cast<size_t>(p)][static_cast<size_t>(i)];
+                }
+            }
+            if (!any_pred)
+                std::fill(next.begin(), next.end(), false);
+            next[static_cast<size_t>(b)] = true;
+            if (next != dom[static_cast<size_t>(b)]) {
+                dom[static_cast<size_t>(b)] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+/** Immediate dominator from full sets: the deepest strict dominator. */
+std::vector<int>
+immediateFromSets(const std::vector<std::vector<bool>> &dom)
+{
+    int n = static_cast<int>(dom.size());
+    auto count = [&](int b) {
+        int c = 0;
+        for (int i = 0; i < n; ++i)
+            if (dom[static_cast<size_t>(b)][static_cast<size_t>(i)])
+                ++c;
+        return c;
+    };
+    std::vector<int> idom(static_cast<size_t>(n), -1);
+    for (int b = 0; b < n; ++b) {
+        int best = -1;
+        int best_depth = -1;
+        for (int d = 0; d < n; ++d) {
+            if (d == b ||
+                !dom[static_cast<size_t>(b)][static_cast<size_t>(d)])
+                continue;
+            int depth = count(d);
+            if (depth > best_depth) {
+                best_depth = depth;
+                best = d;
+            }
+        }
+        idom[static_cast<size_t>(b)] = best;
+    }
+    return idom;
+}
+
+} // namespace
+
+Cfg::Cfg(const Program &prog) : prog_(prog)
+{
+    buildBlocks(prog);
+    computeDominators();
+    computePostDominators();
+}
+
+void
+Cfg::buildBlocks(const Program &prog)
+{
+    const int n = prog.size();
+    wasp_assert(n > 0, "empty program");
+    std::vector<bool> leader(static_cast<size_t>(n), false);
+    leader[0] = true;
+    for (int i = 0; i < n; ++i) {
+        const Instruction &inst = prog.instrs[i];
+        if (inst.isBranch()) {
+            leader[static_cast<size_t>(inst.target)] = true;
+            if (i + 1 < n)
+                leader[static_cast<size_t>(i + 1)] = true;
+        } else if (inst.op == Opcode::EXIT && i + 1 < n) {
+            leader[static_cast<size_t>(i + 1)] = true;
+        }
+    }
+    block_of_.assign(static_cast<size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+        if (leader[static_cast<size_t>(i)]) {
+            if (!blocks_.empty())
+                blocks_.back().last = i - 1;
+            BasicBlock bb;
+            bb.first = i;
+            blocks_.push_back(bb);
+        }
+        block_of_[static_cast<size_t>(i)] =
+            static_cast<int>(blocks_.size()) - 1;
+    }
+    blocks_.back().last = n - 1;
+
+    for (int b = 0; b < numBlocks(); ++b) {
+        const Instruction &last = prog.instrs[blocks_[
+            static_cast<size_t>(b)].last];
+        auto add_edge = [&](int succ) {
+            blocks_[static_cast<size_t>(b)].succs.push_back(succ);
+            blocks_[static_cast<size_t>(succ)].preds.push_back(b);
+        };
+        if (last.isBranch()) {
+            add_edge(blockOf(last.target));
+            if (last.isGuarded() &&
+                blocks_[static_cast<size_t>(b)].last + 1 < prog.size()) {
+                add_edge(blockOf(blocks_[static_cast<size_t>(b)].last + 1));
+            }
+        } else if (last.op != Opcode::EXIT &&
+                   blocks_[static_cast<size_t>(b)].last + 1 < prog.size()) {
+            add_edge(blockOf(blocks_[static_cast<size_t>(b)].last + 1));
+        }
+    }
+}
+
+void
+Cfg::computeDominators()
+{
+    const int n = numBlocks();
+    std::vector<std::vector<int>> preds(static_cast<size_t>(n));
+    std::vector<bool> is_entry(static_cast<size_t>(n), false);
+    is_entry[0] = true;
+    for (int b = 0; b < n; ++b)
+        preds[static_cast<size_t>(b)] = blocks_[static_cast<size_t>(b)].preds;
+    idom_ = immediateFromSets(dominatorSets(n, preds, is_entry));
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Reverse the graph with a virtual exit node that all exit blocks
+    // reach; post-dominators are dominators of the reversed graph.
+    const int n = numBlocks();
+    const int vexit = n;
+    std::vector<std::vector<int>> rpreds(static_cast<size_t>(n + 1));
+    std::vector<bool> is_entry(static_cast<size_t>(n + 1), false);
+    is_entry[static_cast<size_t>(vexit)] = true;
+    std::vector<bool> has_succ(static_cast<size_t>(n + 1), false);
+    for (int b = 0; b < n; ++b) {
+        for (int s : blocks_[static_cast<size_t>(b)].succs) {
+            rpreds[static_cast<size_t>(b)].push_back(s);
+            has_succ[static_cast<size_t>(b)] = true;
+        }
+    }
+    for (int b = 0; b < n; ++b) {
+        if (!has_succ[static_cast<size_t>(b)])
+            rpreds[static_cast<size_t>(b)].push_back(vexit);
+    }
+    auto sets = dominatorSets(n + 1, rpreds, is_entry);
+    std::vector<int> full = immediateFromSets(sets);
+    ipdom_.assign(static_cast<size_t>(n), -1);
+    for (int b = 0; b < n; ++b) {
+        int d = full[static_cast<size_t>(b)];
+        ipdom_[static_cast<size_t>(b)] = (d == vexit) ? -1 : d;
+    }
+}
+
+bool
+Cfg::dominates(int a, int b) const
+{
+    while (b != -1) {
+        if (b == a)
+            return true;
+        b = idom_[static_cast<size_t>(b)];
+    }
+    return false;
+}
+
+int
+Cfg::reconvergencePc(int branch_instr) const
+{
+    int b = blockOf(branch_instr);
+    int p = ipdom_[static_cast<size_t>(b)];
+    if (p == -1)
+        return -1;
+    return blocks_[static_cast<size_t>(p)].first;
+}
+
+std::vector<Loop>
+Cfg::loops() const
+{
+    std::vector<Loop> result;
+    for (int b = 0; b < numBlocks(); ++b) {
+        for (int s : blocks_[static_cast<size_t>(b)].succs) {
+            if (!dominates(s, b))
+                continue;
+            // Back edge b -> s: collect the natural loop body.
+            Loop loop;
+            loop.header = s;
+            std::vector<bool> in(static_cast<size_t>(numBlocks()), false);
+            std::vector<int> stack{b};
+            in[static_cast<size_t>(s)] = true;
+            loop.blocks.push_back(s);
+            while (!stack.empty()) {
+                int cur = stack.back();
+                stack.pop_back();
+                if (in[static_cast<size_t>(cur)])
+                    continue;
+                in[static_cast<size_t>(cur)] = true;
+                loop.blocks.push_back(cur);
+                for (int p : blocks_[static_cast<size_t>(cur)].preds)
+                    stack.push_back(p);
+            }
+            std::sort(loop.blocks.begin(), loop.blocks.end());
+            result.push_back(std::move(loop));
+        }
+    }
+    return result;
+}
+
+} // namespace wasp::isa

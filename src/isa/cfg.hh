@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Control-flow graph over a WSASS program: basic blocks, dominators,
+ * post-dominators and natural loops. Used by the simulator to compute
+ * SIMT reconvergence points (immediate post-dominators) and by the WASP
+ * compiler for pipeline stage extraction.
+ */
+
+#ifndef WASP_ISA_CFG_HH
+#define WASP_ISA_CFG_HH
+
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace wasp::isa
+{
+
+struct BasicBlock
+{
+    int first = 0; ///< first instruction index
+    int last = 0;  ///< last instruction index (inclusive)
+    std::vector<int> succs;
+    std::vector<int> preds;
+};
+
+/** A natural loop: header block plus body blocks (including header). */
+struct Loop
+{
+    int header = -1;
+    std::vector<int> blocks;
+    /** True when the loop is a single basic block. */
+    bool singleBlock() const { return blocks.size() == 1; }
+};
+
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &prog);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    int numBlocks() const { return static_cast<int>(blocks_.size()); }
+
+    /** Block containing an instruction. */
+    int blockOf(int instr) const { return block_of_[instr]; }
+
+    /** Immediate dominator per block (-1 for entry). */
+    const std::vector<int> &idom() const { return idom_; }
+    /** Immediate post-dominator per block (-1 when none / exits). */
+    const std::vector<int> &ipdom() const { return ipdom_; }
+
+    /** True when block a dominates block b. */
+    bool dominates(int a, int b) const;
+
+    /**
+     * SIMT reconvergence PC for a conditional branch: the first
+     * instruction of the branch block's immediate post-dominator, or -1
+     * when control never reconverges (then reconvergence happens at
+     * EXIT).
+     */
+    int reconvergencePc(int branch_instr) const;
+
+    /** Natural loops (back edge b->h where h dominates b). */
+    std::vector<Loop> loops() const;
+
+  private:
+    void buildBlocks(const Program &prog);
+    void computeDominators();
+    void computePostDominators();
+
+    const Program &prog_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> block_of_;
+    std::vector<int> idom_;
+    std::vector<int> ipdom_;
+};
+
+} // namespace wasp::isa
+
+#endif // WASP_ISA_CFG_HH

@@ -1,0 +1,147 @@
+#include "isa/program.hh"
+
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+namespace
+{
+
+std::string
+operandText(const Operand &o)
+{
+    std::ostringstream os;
+    switch (o.kind) {
+      case OperandKind::None:
+        os << "<none>";
+        break;
+      case OperandKind::Reg:
+        if (o.reg == kRegZero)
+            os << "RZ";
+        else
+            os << "R" << static_cast<int>(o.reg);
+        break;
+      case OperandKind::Pred:
+        if (o.negPred)
+            os << "!";
+        if (o.reg == kPredTrue)
+            os << "PT";
+        else
+            os << "P" << static_cast<int>(o.reg);
+        break;
+      case OperandKind::Imm:
+        os << o.imm;
+        break;
+      case OperandKind::FImm:
+        os << o.fimm;
+        if (os.str().find('.') == std::string::npos &&
+            os.str().find('e') == std::string::npos)
+            os << ".0";
+        os << "f";
+        break;
+      case OperandKind::SReg:
+        os << sregName(o.sreg);
+        break;
+      case OperandKind::Queue:
+        os << "Q" << static_cast<int>(o.reg);
+        break;
+      case OperandKind::CParam:
+        os << "c[" << static_cast<int>(o.reg) << "]";
+        break;
+      case OperandKind::Mem:
+        os << "[";
+        if (o.reg == kRegZero)
+            os << "RZ";
+        else
+            os << "R" << static_cast<int>(o.reg);
+        if (o.imm > 0)
+            os << "+" << o.imm;
+        else if (o.imm < 0)
+            os << o.imm;
+        os << "]";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    if (inst.isGuarded() || inst.guardNeg) {
+        os << "@";
+        if (inst.guardNeg)
+            os << "!";
+        os << "P" << static_cast<int>(inst.guardPred) << " ";
+    }
+    os << opName(inst.op);
+    if (inst.op == Opcode::ISETP || inst.op == Opcode::FSETP)
+        os << "." << cmpName(inst.cmp);
+
+    bool first = true;
+    auto emit = [&](const Operand &o) {
+        os << (first ? " " : ", ") << operandText(o);
+        first = false;
+    };
+    for (const auto &d : inst.dsts)
+        emit(d);
+    for (const auto &s : inst.srcs)
+        emit(s);
+    if (inst.isBranch()) {
+        os << (first ? " " : ", ") << "L" << inst.target;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    os << ".kernel " << prog.name << "\n";
+    os << ".tb " << prog.tb.dimX << " " << prog.tb.dimY << " "
+       << prog.tb.dimZ << "\n";
+    if (prog.tb.numStages > 1)
+        os << ".stages " << prog.tb.numStages << "\n";
+    if (!prog.tb.stageRegs.empty()) {
+        os << ".stageregs";
+        for (int r : prog.tb.stageRegs)
+            os << " " << r;
+        os << "\n";
+    }
+    for (const auto &q : prog.tb.queues) {
+        os << ".queue " << q.srcStage << " " << q.dstStage << " "
+           << q.entries << "\n";
+    }
+    for (const auto &b : prog.tb.barriers) {
+        os << ".barrier " << b.expected << " " << b.initialPhase << "\n";
+    }
+    if (prog.tb.smemBytes > 0)
+        os << ".smem " << prog.tb.smemBytes << "\n";
+    if (!prog.tb.stageEntry.empty()) {
+        os << ".stageentry";
+        for (int e : prog.tb.stageEntry)
+            os << " " << e;
+        os << "\n";
+    }
+
+    // Branch targets need labels.
+    std::set<int> targets;
+    for (const auto &inst : prog.instrs) {
+        if (inst.isBranch())
+            targets.insert(inst.target);
+    }
+    for (int i = 0; i < prog.size(); ++i) {
+        if (targets.count(i))
+            os << "L" << i << ":\n";
+        os << "    " << disassemble(prog.instrs[i]) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace wasp::isa

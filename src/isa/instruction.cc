@@ -1,0 +1,124 @@
+#include "isa/instruction.hh"
+
+#include <array>
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+namespace
+{
+
+constexpr std::array<const char *, static_cast<size_t>(
+    SpecialReg::NUM_SREGS)> kSregNames = {
+    "SR_TID_X", "SR_NTID_X", "SR_CTAID_X", "SR_NCTAID_X",
+    "SR_LANEID", "SR_WARPID", "SR_PIPE_STAGE", "SR_SLICE_ID"};
+
+constexpr std::array<const char *, 6> kCategoryNames = {
+    "compute", "address", "control", "memory", "queue", "overhead"};
+
+} // namespace
+
+const char *
+sregName(SpecialReg sr)
+{
+    return kSregNames[static_cast<size_t>(sr)];
+}
+
+SpecialReg
+parseSreg(const std::string &name)
+{
+    for (size_t i = 0; i < kSregNames.size(); ++i) {
+        if (name == kSregNames[i])
+            return static_cast<SpecialReg>(i);
+    }
+    panic("unknown special register '%s'", name.c_str());
+}
+
+const char *
+categoryName(InstrCategory c)
+{
+    return kCategoryNames[static_cast<size_t>(c)];
+}
+
+bool
+Instruction::writesReg(int r) const
+{
+    for (const auto &d : dsts) {
+        if (d.kind == OperandKind::Reg && d.reg == r)
+            return true;
+    }
+    return false;
+}
+
+bool
+Instruction::readsReg(int r) const
+{
+    for (const auto &s : srcs) {
+        if ((s.kind == OperandKind::Reg || s.kind == OperandKind::Mem) &&
+            s.reg == r) {
+            return true;
+        }
+    }
+    // Memory destinations (stores) read their base register too.
+    for (const auto &d : dsts) {
+        if (d.kind == OperandKind::Mem && d.reg == r)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+Instruction::srcRegs() const
+{
+    std::vector<int> regs;
+    for (const auto &s : srcs) {
+        if ((s.kind == OperandKind::Reg || s.kind == OperandKind::Mem) &&
+            s.reg != kRegZero) {
+            regs.push_back(s.reg);
+        }
+    }
+    for (const auto &d : dsts) {
+        if (d.kind == OperandKind::Mem && d.reg != kRegZero)
+            regs.push_back(d.reg);
+    }
+    return regs;
+}
+
+std::vector<int>
+Instruction::dstRegs() const
+{
+    std::vector<int> regs;
+    for (const auto &d : dsts) {
+        if (d.kind == OperandKind::Reg && d.reg != kRegZero)
+            regs.push_back(d.reg);
+    }
+    return regs;
+}
+
+std::vector<int>
+Instruction::srcPreds() const
+{
+    std::vector<int> preds;
+    if (guardPred != kPredTrue)
+        preds.push_back(guardPred);
+    for (const auto &s : srcs) {
+        if (s.kind == OperandKind::Pred && s.reg != kPredTrue)
+            preds.push_back(s.reg);
+    }
+    return preds;
+}
+
+std::vector<int>
+Instruction::dstPreds() const
+{
+    std::vector<int> preds;
+    for (const auto &d : dsts) {
+        if (d.kind == OperandKind::Pred && d.reg != kPredTrue)
+            preds.push_back(d.reg);
+    }
+    return preds;
+}
+
+} // namespace wasp::isa

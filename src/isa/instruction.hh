@@ -1,0 +1,213 @@
+/**
+ * @file
+ * WSASS instruction and operand representation.
+ *
+ * Instructions are guarded (optionally) by a predicate register, have up
+ * to two destination operands and up to four source operands, and carry
+ * a category annotation used by the WASP compiler and the dynamic
+ * instruction accounting of Figure 19 in the paper.
+ */
+
+#ifndef WASP_ISA_INSTRUCTION_HH
+#define WASP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hh"
+
+namespace wasp::isa
+{
+
+/** Architectural limits of WSASS. */
+constexpr int kMaxRegs = 256;      ///< R0..R254, R255 == RZ
+constexpr int kRegZero = 255;      ///< RZ reads as 0, writes discarded
+constexpr int kMaxPreds = 8;       ///< P0..P6, P7 == PT
+constexpr int kPredTrue = 7;       ///< PT always reads true
+constexpr int kMaxQueues = 4;      ///< named queues addressable per warp
+constexpr int kWarpSize = 32;
+
+/** Special (hardware state) registers readable via S2R. */
+enum class SpecialReg : uint8_t
+{
+    TID_X,      ///< logical thread id within the original block shape
+    NTID_X,     ///< logical block dimension
+    CTAID_X,    ///< thread block id
+    NCTAID_X,   ///< grid dimension
+    LANEID,
+    WARPID,     ///< raw hardware warp id within the block
+    PIPE_STAGE, ///< WASP: pipeline stage id of this warp
+    SLICE_ID,   ///< WASP: pipeline slice index of this warp
+    NUM_SREGS
+};
+
+const char *sregName(SpecialReg sr);
+SpecialReg parseSreg(const std::string &name);
+
+/** Memory space of a memory operand. */
+enum class MemSpace : uint8_t { Global, Shared };
+
+enum class OperandKind : uint8_t
+{
+    None,
+    Reg,    ///< general-purpose register index
+    Pred,   ///< predicate register index
+    Imm,    ///< 32-bit integer immediate
+    FImm,   ///< fp32 immediate
+    SReg,   ///< special register
+    Queue,  ///< named register file queue index
+    CParam, ///< kernel parameter (constant bank) slot
+    Mem     ///< memory reference [Rbase + offset]
+};
+
+/** A single instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    int16_t reg = 0;        ///< Reg / Pred / Queue / CParam index
+    int32_t imm = 0;        ///< Imm value or Mem offset
+    float fimm = 0.0f;      ///< FImm value
+    SpecialReg sreg = SpecialReg::TID_X;
+    MemSpace space = MemSpace::Global; ///< for Mem operands
+    bool negPred = false;   ///< Pred source: test for false
+
+    static Operand none() { return {}; }
+    static Operand
+    makeReg(int r)
+    {
+        Operand o; o.kind = OperandKind::Reg; o.reg = static_cast<int16_t>(r);
+        return o;
+    }
+    static Operand
+    makePred(int p, bool neg = false)
+    {
+        Operand o; o.kind = OperandKind::Pred;
+        o.reg = static_cast<int16_t>(p); o.negPred = neg;
+        return o;
+    }
+    static Operand
+    makeImm(int32_t v)
+    {
+        Operand o; o.kind = OperandKind::Imm; o.imm = v;
+        return o;
+    }
+    static Operand
+    makeFImm(float v)
+    {
+        Operand o; o.kind = OperandKind::FImm; o.fimm = v;
+        return o;
+    }
+    static Operand
+    makeSreg(SpecialReg sr)
+    {
+        Operand o; o.kind = OperandKind::SReg; o.sreg = sr;
+        return o;
+    }
+    static Operand
+    makeQueue(int q)
+    {
+        Operand o; o.kind = OperandKind::Queue;
+        o.reg = static_cast<int16_t>(q);
+        return o;
+    }
+    static Operand
+    makeCParam(int slot)
+    {
+        Operand o; o.kind = OperandKind::CParam;
+        o.reg = static_cast<int16_t>(slot);
+        return o;
+    }
+    static Operand
+    makeMem(MemSpace space, int base_reg, int32_t offset)
+    {
+        Operand o; o.kind = OperandKind::Mem;
+        o.reg = static_cast<int16_t>(base_reg); o.imm = offset;
+        o.space = space;
+        return o;
+    }
+
+    bool isReg() const { return kind == OperandKind::Reg; }
+    bool isQueue() const { return kind == OperandKind::Queue; }
+    bool isMem() const { return kind == OperandKind::Mem; }
+
+    bool operator==(const Operand &other) const = default;
+};
+
+/**
+ * Category annotation used for the paper's Figure 19 dynamic instruction
+ * accounting; set by the assembler from the opcode and refined by the
+ * compiler (address-generation backslices, replicated control flow).
+ */
+enum class InstrCategory : uint8_t
+{
+    Compute,
+    Address,  ///< address-generation backslice
+    Control,  ///< branches and loop bookkeeping
+    Memory,   ///< loads/stores
+    Queue,    ///< queue push/pop and synchronization
+    Overhead  ///< warp-specialization bookkeeping (replicated control)
+};
+
+const char *categoryName(InstrCategory c);
+
+/** One WSASS instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    CmpOp cmp = CmpOp::LT;   ///< for ISETP / FSETP
+
+    /** Guard predicate: instruction executes per-lane when guard holds. */
+    int8_t guardPred = kPredTrue;
+    bool guardNeg = false;
+
+    std::vector<Operand> dsts;
+    std::vector<Operand> srcs;
+
+    /** Branch target as an instruction index (resolved by assembler). */
+    int32_t target = -1;
+
+    InstrCategory category = InstrCategory::Compute;
+
+    /** Stable id assigned at program construction; survives transforms. */
+    int32_t id = -1;
+
+    bool isMem() const { return opInfo(op).isMem; }
+    bool isBranch() const { return op == Opcode::BRA; }
+    bool isBarrier() const { return opInfo(op).isBarrier; }
+    bool
+    isTma() const
+    {
+        return op == Opcode::TMA_TILE || op == Opcode::TMA_STREAM ||
+               op == Opcode::TMA_GATHER;
+    }
+    bool isGuarded() const { return guardPred != kPredTrue; }
+
+    /** True when this instruction can fall through to the next one. */
+    bool
+    fallsThrough() const
+    {
+        if (op == Opcode::EXIT)
+            return false;
+        if (op == Opcode::BRA && !isGuarded())
+            return false;
+        return true;
+    }
+
+    /** True when any destination is the given register. */
+    bool writesReg(int r) const;
+    /** True when any source (incl. mem base) reads the given register. */
+    bool readsReg(int r) const;
+    /** Registers read, including memory base registers. */
+    std::vector<int> srcRegs() const;
+    /** Registers written. */
+    std::vector<int> dstRegs() const;
+    /** Predicates read (guard + predicate sources). */
+    std::vector<int> srcPreds() const;
+    /** Predicates written. */
+    std::vector<int> dstPreds() const;
+};
+
+} // namespace wasp::isa
+
+#endif // WASP_ISA_INSTRUCTION_HH

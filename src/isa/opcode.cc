@@ -1,0 +1,101 @@
+#include "isa/opcode.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+namespace
+{
+
+constexpr int kNumOps = static_cast<int>(Opcode::NUM_OPCODES);
+
+// name, pipe, latency, issueCost, isMem, isBranch, isBarrier, writesPred
+constexpr std::array<OpInfo, kNumOps> kOpTable = {{
+    {"IADD",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"ISUB",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"IMUL",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"IMAD",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"IMIN",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"IMAX",       Pipe::Alu,    4,  1, false, false, false, false},
+    {"SHL",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"SHR",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"AND",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"OR",         Pipe::Alu,    4,  1, false, false, false, false},
+    {"XOR",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"LEA",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"ISETP",      Pipe::Alu,    4,  1, false, false, false, true},
+    {"FADD",       Pipe::Fma,    4,  1, false, false, false, false},
+    {"FMUL",       Pipe::Fma,    4,  1, false, false, false, false},
+    {"FFMA",       Pipe::Fma,    4,  1, false, false, false, false},
+    {"FMIN",       Pipe::Fma,    4,  1, false, false, false, false},
+    {"FMAX",       Pipe::Fma,    4,  1, false, false, false, false},
+    {"FSETP",      Pipe::Fma,    4,  1, false, false, false, true},
+    {"FRCP",       Pipe::Sfu,   16,  4, false, false, false, false},
+    {"FSQRT",      Pipe::Sfu,   16,  4, false, false, false, false},
+    {"I2F",        Pipe::Fma,    4,  1, false, false, false, false},
+    {"F2I",        Pipe::Fma,    4,  1, false, false, false, false},
+    {"HMMA",       Pipe::Tensor, 16, 4, false, false, false, false},
+    {"MOV",        Pipe::Alu,    2,  1, false, false, false, false},
+    {"SEL",        Pipe::Alu,    4,  1, false, false, false, false},
+    {"S2R",        Pipe::Alu,    2,  1, false, false, false, false},
+    {"LDG",        Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"STG",        Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"LDS",        Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"STS",        Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"LDGSTS",     Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"ATOMG_ADD",  Pipe::Lsu,    0,  1, true,  false, false, false},
+    {"BRA",        Pipe::Ctrl,   1,  1, false, true,  false, false},
+    {"EXIT",       Pipe::Ctrl,   1,  1, false, false, false, false},
+    {"NOP",        Pipe::Ctrl,   1,  1, false, false, false, false},
+    {"BAR.SYNC",   Pipe::Ctrl,   1,  1, false, false, true,  false},
+    {"BAR.ARRIVE", Pipe::Ctrl,   1,  1, false, false, true,  false},
+    {"BAR.WAIT",   Pipe::Ctrl,   1,  1, false, false, true,  false},
+    {"TMA.TILE",   Pipe::Ctrl,   1,  1, false, false, false, false},
+    {"TMA.STREAM", Pipe::Ctrl,   1,  1, false, false, false, false},
+    {"TMA.GATHER", Pipe::Ctrl,   1,  1, false, false, false, false},
+}};
+
+constexpr std::array<const char *, 6> kCmpNames = {
+    "LT", "LE", "GT", "GE", "EQ", "NE"};
+
+} // namespace
+
+const OpInfo &
+opInfo(Opcode op)
+{
+    wasp_assert(op < Opcode::NUM_OPCODES, "bad opcode %d",
+                static_cast<int>(op));
+    return kOpTable[static_cast<size_t>(op)];
+}
+
+Opcode
+parseOpcode(const std::string &name)
+{
+    for (int i = 0; i < kNumOps; ++i) {
+        if (name == kOpTable[static_cast<size_t>(i)].name)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NUM_OPCODES;
+}
+
+const char *
+cmpName(CmpOp op)
+{
+    return kCmpNames[static_cast<size_t>(op)];
+}
+
+CmpOp
+parseCmp(const std::string &name)
+{
+    for (size_t i = 0; i < kCmpNames.size(); ++i) {
+        if (name == kCmpNames[i])
+            return static_cast<CmpOp>(i);
+    }
+    panic("unknown comparison modifier '%s'", name.c_str());
+}
+
+} // namespace wasp::isa

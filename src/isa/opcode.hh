@@ -1,0 +1,120 @@
+/**
+ * @file
+ * WSASS opcode definitions and static traits.
+ *
+ * WSASS is a SASS-like ISA: the instruction mnemonics, operand styles
+ * and memory-space split (LDG/STG global, LDS/STS shared, the fused
+ * LDGSTS, BAR.* barriers) follow NVIDIA SASS so that the WASP compiler
+ * transformation described in the paper maps one-to-one onto it. WASP
+ * additions are queue operands (Q0..), the decoupled LDG-to-queue form,
+ * and the WASP-TMA descriptor instructions.
+ */
+
+#ifndef WASP_ISA_OPCODE_HH
+#define WASP_ISA_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wasp::isa
+{
+
+enum class Opcode : uint8_t
+{
+    // Integer ALU.
+    IADD,
+    ISUB,
+    IMUL,
+    IMAD, ///< d = a * b + c
+    IMIN,
+    IMAX,
+    SHL,
+    SHR,
+    AND,
+    OR,
+    XOR,
+    LEA,  ///< d = (a << shift_imm) + b
+    ISETP,
+    // Floating point.
+    FADD,
+    FMUL,
+    FFMA, ///< d = a * b + c
+    FMIN,
+    FMAX,
+    FSETP,
+    FRCP,
+    FSQRT,
+    I2F,
+    F2I,
+    // Tensor core: warp-collective MMA tile operation.
+    HMMA,
+    // Data movement.
+    MOV,
+    SEL,  ///< d = psrc ? a : b
+    S2R,  ///< read special register
+    // Memory.
+    LDG,
+    STG,
+    LDS,
+    STS,
+    LDGSTS, ///< fused global load + shared store
+    ATOMG_ADD, ///< global atomic add, returns old value
+    // Control.
+    BRA,
+    EXIT,
+    NOP,
+    BAR_SYNC,   ///< thread-block-wide barrier
+    BAR_ARRIVE, ///< named arrive/wait barrier: arrive (non-blocking)
+    BAR_WAIT,   ///< named arrive/wait barrier: wait (blocking)
+    // WASP-TMA descriptor launch instructions (Section III-E).
+    TMA_TILE,   ///< coarse global->SMEM tile transfer + barrier arrive
+    TMA_STREAM, ///< fine-grained global->RFQ stream
+    TMA_GATHER, ///< two-phase gather: index stream -> data -> SMEM/RFQ
+    NUM_OPCODES
+};
+
+/** Execution pipe an opcode issues to. */
+enum class Pipe : uint8_t
+{
+    Alu,    ///< integer / move, 1 per cycle
+    Fma,    ///< fp32 pipe, 1 per cycle
+    Sfu,    ///< transcendental, throughput-limited
+    Tensor, ///< HMMA
+    Lsu,    ///< all memory operations
+    Ctrl    ///< branches, barriers, TMA launches
+};
+
+/** Comparison modifier for ISETP / FSETP. */
+enum class CmpOp : uint8_t { LT, LE, GT, GE, EQ, NE };
+
+/** Static per-opcode information. */
+struct OpInfo
+{
+    const char *name;
+    Pipe pipe;
+    uint8_t latency;     ///< result latency in cycles (non-memory)
+    uint8_t issueCost;   ///< cycles the pipe is busy per issue
+    bool isMem;
+    bool isBranch;
+    bool isBarrier;
+    bool writesPred;
+};
+
+/** Traits for an opcode. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic, e.g. "IMAD". */
+inline const char *opName(Opcode op) { return opInfo(op).name; }
+
+/** Parse a mnemonic; returns NUM_OPCODES when unknown. */
+Opcode parseOpcode(const std::string &name);
+
+/** Name of a comparison modifier, e.g. "LT". */
+const char *cmpName(CmpOp op);
+
+/** Parse a comparison modifier name; aborts on unknown names. */
+CmpOp parseCmp(const std::string &name);
+
+} // namespace wasp::isa
+
+#endif // WASP_ISA_OPCODE_HH

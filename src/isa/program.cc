@@ -1,0 +1,76 @@
+#include "isa/program.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace wasp::isa
+{
+
+void
+Program::recomputeNumRegs()
+{
+    int max_reg = -1;
+    auto scan = [&](const Operand &o) {
+        if ((o.kind == OperandKind::Reg || o.kind == OperandKind::Mem) &&
+            o.reg != kRegZero) {
+            max_reg = std::max(max_reg, static_cast<int>(o.reg));
+        }
+    };
+    for (const auto &inst : instrs) {
+        for (const auto &d : inst.dsts)
+            scan(d);
+        for (const auto &s : inst.srcs)
+            scan(s);
+    }
+    numRegs = max_reg + 1;
+}
+
+void
+Program::renumber()
+{
+    for (size_t i = 0; i < instrs.size(); ++i)
+        instrs[i].id = static_cast<int32_t>(i);
+}
+
+void
+Program::validate() const
+{
+    const int n = size();
+    for (int i = 0; i < n; ++i) {
+        const Instruction &inst = instrs[i];
+        if (inst.isBranch()) {
+            wasp_assert(inst.target >= 0 && inst.target < n,
+                        "instr %d: branch target %d out of range", i,
+                        inst.target);
+        }
+        auto check_queue = [&](const Operand &o) {
+            if (o.kind != OperandKind::Queue)
+                return;
+            wasp_assert(o.reg >= 0 &&
+                        o.reg < static_cast<int>(tb.queues.size()),
+                        "instr %d: queue Q%d not declared", i,
+                        static_cast<int>(o.reg));
+        };
+        for (const auto &d : inst.dsts)
+            check_queue(d);
+        for (const auto &s : inst.srcs)
+            check_queue(s);
+        if (inst.op == Opcode::BAR_ARRIVE || inst.op == Opcode::BAR_WAIT) {
+            wasp_assert(!inst.srcs.empty() &&
+                        inst.srcs[0].kind == OperandKind::Imm,
+                        "instr %d: named barrier needs immediate id", i);
+            int b = inst.srcs[0].imm;
+            wasp_assert(b >= 0 && b < static_cast<int>(tb.barriers.size()),
+                        "instr %d: barrier %d not declared", i, b);
+        }
+    }
+    if (tb.numStages > 1) {
+        wasp_assert(static_cast<int>(tb.stageRegs.size()) == tb.numStages ||
+                    tb.stageRegs.empty(),
+                    "stageRegs size %zu != numStages %d",
+                    tb.stageRegs.size(), tb.numStages);
+    }
+}
+
+} // namespace wasp::isa

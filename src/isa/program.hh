@@ -1,0 +1,125 @@
+/**
+ * @file
+ * WSASS program container and the WASP thread block specification
+ * (Table I of the paper): thread dimensions, number of pipeline stages,
+ * per-stage register counts, named queues, named barrier configuration
+ * and SMEM usage.
+ */
+
+#ifndef WASP_ISA_PROGRAM_HH
+#define WASP_ISA_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace wasp::isa
+{
+
+/** Named queue between two pipeline stages: {src_id, dst_id, size}. */
+struct QueueSpec
+{
+    int srcStage = 0;
+    int dstStage = 1;
+    int entries = 32;
+
+    bool operator==(const QueueSpec &) const = default;
+};
+
+/**
+ * Named arrive/wait barrier. `expected` arrivals advance the phase by
+ * one; BAR.WAIT blocks until the next phase is reached. `initialPhase`
+ * implements the "barrier A initially set as arrived" convention of the
+ * double-buffering transformation (Fig. 10).
+ */
+struct BarrierSpec
+{
+    int expected = 1;
+    int initialPhase = 0;
+
+    bool operator==(const BarrierSpec &) const = default;
+};
+
+/** WASP thread block specification (paper Table I). */
+struct ThreadBlockSpec
+{
+    int dimX = 32;
+    int dimY = 1;
+    int dimZ = 1;
+    /** Depth of the warp specialized pipeline; 1 == not specialized. */
+    int numStages = 1;
+    /** Registers per thread for each stage; size == numStages. */
+    std::vector<int> stageRegs;
+    /** Named RFQ queues connecting stages. */
+    std::vector<QueueSpec> queues;
+    /** Named arrive/wait barriers. */
+    std::vector<BarrierSpec> barriers;
+    /** Shared memory bytes per thread block. */
+    uint32_t smemBytes = 0;
+    /**
+     * Entry PC for each stage (instruction index). Kept alongside the
+     * emitted jump table for verification and tooling.
+     */
+    std::vector<int> stageEntry;
+
+    /** Warps per pipeline slice (the original block's warp count). */
+    int
+    warpsPerStage() const
+    {
+        return (dimX * dimY * dimZ + kWarpSize - 1) / kWarpSize;
+    }
+
+    /** Total hardware warps the block occupies. */
+    int totalWarps() const { return warpsPerStage() * numStages; }
+
+    /** Total threads launched for the block. */
+    int totalThreads() const { return totalWarps() * kWarpSize; }
+
+    /** Register count for a stage (uniform fallback when unset). */
+    int
+    regsForStage(int stage, int uniform_regs) const
+    {
+        if (stage < static_cast<int>(stageRegs.size()))
+            return stageRegs[stage];
+        return uniform_regs;
+    }
+};
+
+/** A complete WSASS kernel program. */
+struct Program
+{
+    std::string name = "kernel";
+    std::vector<Instruction> instrs;
+    ThreadBlockSpec tb;
+    /** Uniform per-thread register count (max over stages). */
+    int numRegs = 0;
+    /** Label -> instruction index, preserved for disassembly. */
+    std::map<std::string, int> labels;
+
+    int size() const { return static_cast<int>(instrs.size()); }
+
+    /** Recompute numRegs from the register operands used. */
+    void recomputeNumRegs();
+
+    /** Assign fresh sequential instruction ids. */
+    void renumber();
+
+    /** Sanity checks: branch targets in range, queue indices valid. */
+    void validate() const;
+};
+
+/** Render a program as WSASS text. */
+std::string disassemble(const Program &prog);
+
+/** Render one instruction (without label) as WSASS text. */
+std::string disassemble(const Instruction &inst);
+
+/** Parse WSASS text into a program. Fatals on syntax errors. */
+Program assemble(const std::string &text);
+
+} // namespace wasp::isa
+
+#endif // WASP_ISA_PROGRAM_HH

@@ -1,0 +1,105 @@
+#include "mem/cache.hh"
+
+#include "common/log.hh"
+
+namespace wasp::mem
+{
+
+TimingCache::TimingCache(uint32_t total_bytes, int ways, int mshrs)
+    : ways_(ways), max_mshrs_(mshrs)
+{
+    uint32_t num_lines = total_bytes / kSectorBytes;
+    wasp_assert(num_lines >= static_cast<uint32_t>(ways),
+                "cache too small: %u bytes", total_bytes);
+    sets_ = static_cast<int>(num_lines) / ways;
+    lines_.resize(static_cast<size_t>(sets_) * ways_);
+}
+
+uint32_t
+TimingCache::lineIndexBase(uint32_t addr) const
+{
+    uint32_t line_addr = addr / kSectorBytes;
+    return (line_addr % static_cast<uint32_t>(sets_)) *
+           static_cast<uint32_t>(ways_);
+}
+
+bool
+TimingCache::probe(uint32_t addr) const
+{
+    uint32_t base = lineIndexBase(addr);
+    uint32_t tag = addr / kSectorBytes;
+    for (int w = 0; w < ways_; ++w) {
+        const Line &line = lines_[base + static_cast<uint32_t>(w)];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheOutcome
+TimingCache::access(uint32_t addr, const MshrWaiter &waiter)
+{
+    ++tick_;
+    uint32_t base = lineIndexBase(addr);
+    uint32_t tag = addr / kSectorBytes;
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<uint32_t>(w)];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            ++hits_;
+            return CacheOutcome::Hit;
+        }
+    }
+    ++misses_;
+    auto it = mshrs_.find(tag);
+    if (it != mshrs_.end()) {
+        it->second.push_back(waiter);
+        return CacheOutcome::MissMerged;
+    }
+    if (static_cast<int>(mshrs_.size()) >= max_mshrs_) {
+        --misses_; // retried later; do not double count
+        return CacheOutcome::Blocked;
+    }
+    mshrs_[tag].push_back(waiter);
+    return CacheOutcome::Miss;
+}
+
+std::vector<MshrWaiter>
+TimingCache::fill(uint32_t addr)
+{
+    insert(addr);
+    uint32_t tag = addr / kSectorBytes;
+    auto it = mshrs_.find(tag);
+    if (it == mshrs_.end())
+        return {};
+    std::vector<MshrWaiter> waiters = std::move(it->second);
+    mshrs_.erase(it);
+    return waiters;
+}
+
+void
+TimingCache::insert(uint32_t addr)
+{
+    ++tick_;
+    uint32_t base = lineIndexBase(addr);
+    uint32_t tag = addr / kSectorBytes;
+    Line *victim = nullptr;
+    for (int w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + static_cast<uint32_t>(w)];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick_;
+            return;
+        }
+        if (!line.valid) {
+            if (!victim || victim->valid)
+                victim = &line; // prefer an invalid way
+        } else if (!victim || (victim->valid && line.lru < victim->lru)) {
+            victim = &line;     // otherwise evict the LRU way
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick_;
+}
+
+} // namespace wasp::mem

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Timing-only set-associative cache with MSHRs. Stores tags and LRU
+ * state; data always comes from the functional GlobalMemory at issue
+ * time. Used for both the per-SM L1 and each L2 bank.
+ */
+
+#ifndef WASP_MEM_CACHE_HH
+#define WASP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/req.hh"
+
+namespace wasp::mem
+{
+
+/** A waiter parked on an MSHR, completed when the line fills. */
+struct MshrWaiter
+{
+    ReqSource source = ReqSource::Lsu;
+    uint16_t sm = 0;
+    uint32_t txn = 0;
+};
+
+/** Result of a timing lookup. */
+enum class CacheOutcome : uint8_t
+{
+    Hit,
+    Miss,       ///< new MSHR allocated; forward the request downstream
+    MissMerged, ///< merged into an existing MSHR; no downstream request
+    Blocked     ///< no MSHR available; retry later
+};
+
+/** Tag/LRU/MSHR model for one cache (or one bank of a banked cache). */
+class TimingCache
+{
+  public:
+    TimingCache(uint32_t total_bytes, int ways, int mshrs);
+
+    /**
+     * Perform a timing access for a sector-aligned address.
+     * On Miss the caller forwards one request downstream; the waiter is
+     * parked either way (Miss or MissMerged).
+     */
+    CacheOutcome access(uint32_t addr, const MshrWaiter &waiter);
+
+    /** Probe without state change (for tests). */
+    bool probe(uint32_t addr) const;
+
+    /** True when a miss for this line is already outstanding. */
+    bool
+    mshrPending(uint32_t addr) const
+    {
+        return mshrs_.count(addr / kSectorBytes) != 0;
+    }
+
+    /**
+     * Fill the line for `addr`, returning (moving out) the waiters that
+     * were parked on its MSHR.
+     */
+    std::vector<MshrWaiter> fill(uint32_t addr);
+
+    /** Insert a line without an MSHR (e.g. store allocation). */
+    void insert(uint32_t addr);
+
+    int mshrsInUse() const { return static_cast<int>(mshrs_.size()); }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    void clearStats() { hits_ = 0; misses_ = 0; }
+
+  private:
+    struct Line
+    {
+        uint32_t tag = 0;
+        bool valid = false;
+        uint64_t lru = 0;
+    };
+
+    uint32_t lineIndexBase(uint32_t addr) const;
+
+    int sets_;
+    int ways_;
+    int max_mshrs_;
+    std::vector<Line> lines_;
+    std::unordered_map<uint32_t, std::vector<MshrWaiter>> mshrs_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_CACHE_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DRAM model: a bounded request queue served at a configurable byte
+ * bandwidth with a fixed access latency. The bandwidth knob implements
+ * the paper's Figure 20 sensitivity study (half / double bandwidth).
+ */
+
+#ifndef WASP_MEM_DRAM_HH
+#define WASP_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/req.hh"
+
+namespace wasp::mem
+{
+
+class Dram
+{
+  public:
+    /**
+     * @param bytes_per_cycle peak service bandwidth
+     * @param latency access latency applied to read responses
+     * @param queue_depth bounded request queue depth
+     */
+    Dram(double bytes_per_cycle, int latency, int queue_depth)
+        : bandwidth_(bytes_per_cycle), latency_(latency),
+          queue_depth_(queue_depth)
+    {}
+
+    /** True when inject() will accept another request. */
+    bool
+    canAccept() const
+    {
+        return static_cast<int>(queue_.size()) < queue_depth_;
+    }
+
+    /** Enqueue a request; false when the queue is full. */
+    bool
+    inject(const MemReq &req)
+    {
+        if (static_cast<int>(queue_.size()) >= queue_depth_)
+            return false;
+        queue_.push_back(req);
+        return true;
+    }
+
+    /** Serve requests for one cycle. */
+    void
+    tick(uint64_t now)
+    {
+        budget_ += bandwidth_;
+        // Cap the accumulated budget so idle periods cannot bank
+        // unbounded burst bandwidth.
+        if (budget_ > 8.0 * bandwidth_ + kSectorBytes)
+            budget_ = 8.0 * bandwidth_ + kSectorBytes;
+        while (!queue_.empty() && budget_ >= kSectorBytes) {
+            MemReq req = queue_.front();
+            queue_.pop_front();
+            budget_ -= kSectorBytes;
+            if (req.write)
+                bytes_written_ += kSectorBytes;
+            else
+                bytes_read_ += kSectorBytes;
+            if (!req.write)
+                responses_.push(req, now + static_cast<uint64_t>(latency_));
+        }
+    }
+
+    DelayQueue<MemReq> &responses() { return responses_; }
+
+    uint64_t bytesRead() const { return bytes_read_; }
+    uint64_t bytesWritten() const { return bytes_written_; }
+    double bandwidth() const { return bandwidth_; }
+
+    void
+    clearStats()
+    {
+        bytes_read_ = 0;
+        bytes_written_ = 0;
+    }
+
+  private:
+    double bandwidth_;
+    int latency_;
+    int queue_depth_;
+    double budget_ = 0.0;
+    std::deque<MemReq> queue_;
+    DelayQueue<MemReq> responses_;
+    uint64_t bytes_read_ = 0;
+    uint64_t bytes_written_ = 0;
+};
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_DRAM_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Functional global memory: a paged, sparsely allocated 32-bit address
+ * space plus a bump allocator used by workloads to place their arrays.
+ */
+
+#ifndef WASP_MEM_GLOBAL_MEMORY_HH
+#define WASP_MEM_GLOBAL_MEMORY_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace wasp::mem
+{
+
+/** Byte-addressable functional memory with 4 KiB pages. */
+class GlobalMemory
+{
+  public:
+    static constexpr uint32_t kPageBytes = 4096;
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        const Page *page = findPage(addr);
+        if (!page)
+            return 0;
+        uint32_t result;
+        std::memcpy(&result, page->data() + (addr & (kPageBytes - 1)), 4);
+        return result;
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        Page &page = touchPage(addr);
+        std::memcpy(page.data() + (addr & (kPageBytes - 1)), &value, 4);
+    }
+
+    float readF32(uint32_t addr) const
+    {
+        return std::bit_cast<float>(read32(addr));
+    }
+    void writeF32(uint32_t addr, float value)
+    {
+        write32(addr, std::bit_cast<uint32_t>(value));
+    }
+
+    /** Allocate `bytes` of address space, 256-byte aligned. */
+    uint32_t
+    alloc(uint32_t bytes)
+    {
+        uint32_t addr = next_;
+        next_ = (next_ + bytes + 255u) & ~255u;
+        return addr;
+    }
+
+    /** Copy a span of 32-bit words into memory. */
+    void
+    writeWords(uint32_t addr, const std::vector<uint32_t> &words)
+    {
+        for (size_t i = 0; i < words.size(); ++i)
+            write32(addr + static_cast<uint32_t>(i) * 4, words[i]);
+    }
+
+    /** Read a span of 32-bit words. */
+    std::vector<uint32_t>
+    readWords(uint32_t addr, uint32_t count) const
+    {
+        std::vector<uint32_t> out(count);
+        for (uint32_t i = 0; i < count; ++i)
+            out[i] = read32(addr + i * 4);
+        return out;
+    }
+
+    void
+    reset()
+    {
+        pages_.clear();
+        next_ = 256;
+    }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    const Page *
+    findPage(uint32_t addr) const
+    {
+        auto it = pages_.find(addr / kPageBytes);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    touchPage(uint32_t addr)
+    {
+        auto &slot = pages_[addr / kPageBytes];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    uint32_t next_ = 256; ///< keep address 0 unmapped
+};
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_GLOBAL_MEMORY_HH

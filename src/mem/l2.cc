@@ -1,0 +1,118 @@
+#include "mem/l2.hh"
+
+#include "common/log.hh"
+
+namespace wasp::mem
+{
+
+L2Cache::L2Cache(const L2Params &params, Dram &dram)
+    : params_(params), dram_(dram)
+{
+    banks_.reserve(static_cast<size_t>(params_.banks));
+    for (int b = 0; b < params_.banks; ++b)
+        banks_.emplace_back(params_);
+}
+
+bool
+L2Cache::inject(const MemReq &req)
+{
+    Bank &bank = banks_[static_cast<size_t>(bankOf(req.addr))];
+    if (static_cast<int>(bank.in.size()) >= params_.bankQueueDepth)
+        return false;
+    bank.in.push_back(req);
+    return true;
+}
+
+void
+L2Cache::tick(uint64_t now)
+{
+    // Drain DRAM responses: fill the owning bank and wake waiters.
+    auto &dram_resp = dram_.responses();
+    while (dram_resp.ready(now)) {
+        MemReq resp = dram_resp.pop();
+        Bank &bank = banks_[static_cast<size_t>(bankOf(resp.addr))];
+        for (const MshrWaiter &w : bank.cache.fill(resp.addr)) {
+            MemReq out = resp;
+            out.source = w.source;
+            out.sm = w.sm;
+            out.txn = w.txn;
+            responses_.push(out, now + 1);
+        }
+    }
+
+    // Each bank serves one request per cycle.
+    for (Bank &bank : banks_) {
+        if (bank.in.empty())
+            continue;
+        const MemReq &req = bank.in.front();
+        if (req.write) {
+            // Write-through, posted: consumes bank and DRAM bandwidth,
+            // produces no response.
+            MemReq down = req;
+            if (!dram_.inject(down))
+                continue; // DRAM full: retry next cycle
+            bank.cache.insert(req.addr);
+            bytes_accessed_ += kSectorBytes;
+            bank.in.pop_front();
+            continue;
+        }
+        // Conservatively stall reads while DRAM cannot accept a miss,
+        // so an MSHR allocation never has to be rolled back.
+        if (!dram_.canAccept())
+            continue;
+        MshrWaiter waiter{req.source, req.sm, req.txn};
+        CacheOutcome outcome = bank.cache.access(req.addr, waiter);
+        switch (outcome) {
+          case CacheOutcome::Hit: {
+            MemReq out = req;
+            responses_.push(out,
+                            now + static_cast<uint64_t>(params_.hitLatency));
+            bytes_accessed_ += kSectorBytes;
+            bank.in.pop_front();
+            break;
+          }
+          case CacheOutcome::MissMerged:
+            bytes_accessed_ += kSectorBytes;
+            bank.in.pop_front();
+            break;
+          case CacheOutcome::Miss: {
+            MemReq down = req;
+            bool accepted = dram_.inject(down);
+            wasp_assert(accepted, "DRAM rejected after canAccept()");
+            bytes_accessed_ += kSectorBytes;
+            bank.in.pop_front();
+            break;
+          }
+          case CacheOutcome::Blocked:
+            break; // retry next cycle
+        }
+    }
+}
+
+uint64_t
+L2Cache::hits() const
+{
+    uint64_t total = 0;
+    for (const Bank &bank : banks_)
+        total += bank.cache.hits();
+    return total;
+}
+
+uint64_t
+L2Cache::misses() const
+{
+    uint64_t total = 0;
+    for (const Bank &bank : banks_)
+        total += bank.cache.misses();
+    return total;
+}
+
+void
+L2Cache::clearStats()
+{
+    bytes_accessed_ = 0;
+    for (Bank &bank : banks_)
+        bank.cache.clearStats();
+}
+
+} // namespace wasp::mem

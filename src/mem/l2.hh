@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Banked shared L2 cache. Each bank owns a TimingCache slice and serves
+ * one sector request per cycle (the chip's L2 bandwidth is therefore
+ * banks * 32 bytes/cycle). Misses allocate MSHRs and go to DRAM; fills
+ * wake all merged waiters. Writes are write-through and posted.
+ */
+
+#ifndef WASP_MEM_L2_HH
+#define WASP_MEM_L2_HH
+
+#include <deque>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/req.hh"
+
+namespace wasp::mem
+{
+
+struct L2Params
+{
+    uint32_t totalBytes = 1u << 20;
+    int ways = 16;
+    int banks = 4;
+    int mshrsPerBank = 64;
+    int hitLatency = 90;
+    int bankQueueDepth = 16;
+};
+
+class L2Cache
+{
+  public:
+    L2Cache(const L2Params &params, Dram &dram);
+
+    /** Enqueue a request into its bank; false when the queue is full. */
+    bool inject(const MemReq &req);
+
+    /** Serve each bank and drain DRAM responses for one cycle. */
+    void tick(uint64_t now);
+
+    /** Responses back toward the SMs (both L2 hits and DRAM fills). */
+    DelayQueue<MemReq> &responses() { return responses_; }
+
+    uint64_t hits() const;
+    uint64_t misses() const;
+    /** Total sector bytes served (read + write), for Fig 21 utilization. */
+    uint64_t bytesAccessed() const { return bytes_accessed_; }
+    /** Peak bytes per cycle across all banks. */
+    double peakBytesPerCycle() const
+    {
+        return static_cast<double>(params_.banks) * kSectorBytes;
+    }
+
+    void clearStats();
+
+  private:
+    int bankOf(uint32_t addr) const
+    {
+        return static_cast<int>((addr / kSectorBytes) %
+                                static_cast<uint32_t>(params_.banks));
+    }
+
+    struct Bank
+    {
+        TimingCache cache;
+        std::deque<MemReq> in;
+        explicit Bank(const L2Params &p)
+            : cache(p.totalBytes / static_cast<uint32_t>(p.banks), p.ways,
+                    p.mshrsPerBank)
+        {}
+    };
+
+    L2Params params_;
+    Dram &dram_;
+    std::vector<Bank> banks_;
+    DelayQueue<MemReq> responses_;
+    uint64_t bytes_accessed_ = 0;
+};
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_L2_HH

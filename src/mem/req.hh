@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory request/response plumbing shared by the LSU, caches, DRAM and
+ * the WASP-TMA engine.
+ *
+ * The timing and functional models are split: data moves at instruction
+ * issue through the functional GlobalMemory, while MemReq objects carry
+ * only addresses through the timing hierarchy. Requests are sector
+ * sized (32 bytes); the coalescer reduces each warp access to a set of
+ * sectors.
+ */
+
+#ifndef WASP_MEM_REQ_HH
+#define WASP_MEM_REQ_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace wasp::mem
+{
+
+/** Sector granularity of the timing hierarchy, in bytes. */
+constexpr uint32_t kSectorBytes = 32;
+
+/** Source of a memory request, for response routing. */
+enum class ReqSource : uint8_t
+{
+    Lsu, ///< a warp load/store transaction; txn routed to the SM
+    Tma  ///< a WASP-TMA descriptor; txn routed to the SM's TMA engine
+};
+
+/** A sector-sized timing request. */
+struct MemReq
+{
+    uint32_t addr = 0;   ///< sector-aligned address
+    bool write = false;
+    ReqSource source = ReqSource::Lsu;
+    uint16_t sm = 0;     ///< originating SM
+    uint32_t txn = 0;    ///< opaque transaction token owned by the source
+};
+
+/**
+ * FIFO whose entries become visible only after a fixed latency. Push
+ * order equals pop order; all pushes in cycle c with latency L are
+ * visible at cycle c + L.
+ */
+template <typename T>
+class DelayQueue
+{
+  public:
+    void
+    push(T item, uint64_t ready_cycle)
+    {
+        queue_.push_back({std::move(item), ready_cycle});
+    }
+
+    bool
+    ready(uint64_t now) const
+    {
+        return !queue_.empty() && queue_.front().ready <= now;
+    }
+
+    T
+    pop()
+    {
+        T item = std::move(queue_.front().item);
+        queue_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    size_t size() const { return queue_.size(); }
+
+  private:
+    struct Entry
+    {
+        T item;
+        uint64_t ready;
+    };
+    std::deque<Entry> queue_;
+};
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_REQ_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared memory scratchpad (SMEM): per-thread-block functional storage
+ * plus the classic 32-bank conflict model used by the LSU to charge
+ * serialization cycles for LDS/STS.
+ */
+
+#ifndef WASP_MEM_SMEM_HH
+#define WASP_MEM_SMEM_HH
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace wasp::mem
+{
+
+constexpr int kSmemBanks = 32;
+
+/** Functional SMEM storage for one resident thread block. */
+class SmemStorage
+{
+  public:
+    explicit SmemStorage(uint32_t bytes) : data_(bytes, 0) {}
+
+    uint32_t
+    read32(uint32_t addr) const
+    {
+        wasp_assert(addr + 4 <= data_.size(), "SMEM read OOB: %u", addr);
+        uint32_t v;
+        std::memcpy(&v, data_.data() + addr, 4);
+        return v;
+    }
+
+    void
+    write32(uint32_t addr, uint32_t value)
+    {
+        wasp_assert(addr + 4 <= data_.size(), "SMEM write OOB: %u", addr);
+        std::memcpy(data_.data() + addr, &value, 4);
+    }
+
+    uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+
+  private:
+    std::vector<uint8_t> data_;
+};
+
+/**
+ * Bank-conflict cycles for a warp SMEM access: the maximum number of
+ * distinct 4-byte words mapped to any one bank. A conflict-free access
+ * costs 1 cycle of SMEM port occupancy.
+ */
+inline int
+smemConflictCycles(const std::vector<uint32_t> &addrs)
+{
+    if (addrs.empty())
+        return 1;
+    // Count distinct 4-byte words per bank; same-word accesses broadcast.
+    std::vector<uint32_t> seen[kSmemBanks];
+    int worst = 1;
+    for (uint32_t a : addrs) {
+        uint32_t word = a / 4;
+        int bank = static_cast<int>(word % kSmemBanks);
+        auto &words = seen[bank];
+        bool duplicate = false;
+        for (uint32_t w : words) {
+            if (w == word) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate) {
+            words.push_back(word);
+            if (static_cast<int>(words.size()) > worst)
+                worst = static_cast<int>(words.size());
+        }
+    }
+    return worst;
+}
+
+} // namespace wasp::mem
+
+#endif // WASP_MEM_SMEM_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GPU configuration: the machine the simulator models (scaled-down
+ * Ampere A100 per DESIGN.md) plus every WASP feature knob the paper's
+ * evaluation toggles (Table III, Figures 14-20).
+ */
+
+#ifndef WASP_SIM_CONFIG_HH
+#define WASP_SIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace wasp::sim
+{
+
+/** Warp-to-processing-block mapping algorithm (paper Fig. 5). */
+enum class WarpMapPolicy : uint8_t
+{
+    RoundRobin,    ///< baseline: warps dealt one at a time across PBs
+    GroupPipeline  ///< WASP: all warps of a pipeline slice on one PB
+};
+
+/** Warp register allocation (paper Fig. 7). */
+enum class RegAllocPolicy : uint8_t
+{
+    Uniform,  ///< every warp gets max(stage regs); baseline behaviour
+    PerStage  ///< WASP: exact per-stage allocation
+};
+
+/** Warp scheduling policy (paper Fig. 17). */
+enum class SchedPolicy : uint8_t
+{
+    Gto,            ///< greedy-then-oldest baseline
+    ProducerFirst,  ///< earlier pipeline stages first
+    ConsumerFirst,  ///< later pipeline stages first
+    QueueFullFirst, ///< full incoming queues first, then GTO
+    WaspCombined    ///< full queues, then ready queues, then earlier stage
+};
+
+/** Where inter-stage queues live (Section III-C / V-C). */
+enum class QueueBackend : uint8_t
+{
+    Rfq, ///< WASP register file queues
+    Smem ///< software queues in shared memory (compiler-only config)
+};
+
+struct GpuConfig
+{
+    // -- machine size (scaled A100; see DESIGN.md) -----------------------
+    int numSms = 4;
+    int pbsPerSm = 4;
+    int warpSlotsPerPb = 16;       ///< 64 warps per SM
+    int regsPerPb = 16384;         ///< 256 KB per SM / 4 PBs / 4 B
+    uint32_t smemPerSm = 128u << 10;
+    int maxTbPerSm = 32;
+
+    // -- latencies (cycles) ----------------------------------------------
+    int smemLatency = 24;
+    int l1Latency = 32;
+
+    // -- L1 ----------------------------------------------------------------
+    uint32_t l1Bytes = 32u << 10;
+    int l1Ways = 4;
+    int l1Mshrs = 64;
+    int l1SectorsPerCycle = 4;    ///< L1 lookup bandwidth per SM
+
+    // -- L2 / DRAM ----------------------------------------------------------
+    uint32_t l2Bytes = 1536u << 10;
+    int l2Ways = 16;
+    int l2Banks = 4;              ///< 32 B/cycle each
+    int l2Mshrs = 64;
+    int l2HitLatency = 90;
+    double dramBytesPerCycle = 48.0;
+    int dramLatency = 220;
+    int dramQueueDepth = 64;
+
+    // -- LSU ---------------------------------------------------------------
+    int lsuQueueDepth = 8;         ///< pending warp mem instrs per PB
+
+    // -- baseline warp-specialization support (Table III) --------------------
+    bool hwBarriers = true;        ///< fast arrive/wait barriers
+    bool tmaTileEnabled = true;    ///< TMA-like tile offload accelerator
+
+    // -- WASP hardware features ------------------------------------------------
+    WarpMapPolicy mapPolicy = WarpMapPolicy::RoundRobin;
+    RegAllocPolicy regAlloc = RegAllocPolicy::Uniform;
+    SchedPolicy sched = SchedPolicy::Gto;
+    QueueBackend queueBackend = QueueBackend::Rfq;
+    bool waspTmaEnabled = false;   ///< stream/gather offload patterns
+    int rfqEntries = 32;           ///< per-warp RFQ entries (Fig 18)
+    int maxStages = 16;
+
+    // -- TMA engine ---------------------------------------------------------
+    int tmaDescSlots = 8;
+    int tmaSectorsPerCycle = 4;
+
+    // -- instrumentation -----------------------------------------------------
+    int timelineInterval = 0;      ///< >0: record per-interval utilization
+    uint64_t maxCycles = 80'000'000;
+
+    /** Apply a DRAM+L2 bandwidth scale factor (paper Fig. 20). */
+    void
+    scaleBandwidth(double factor)
+    {
+        dramBytesPerCycle *= factor;
+        if (factor >= 2.0)
+            l2Banks *= 2;
+        else if (factor <= 0.5)
+            l2Banks = l2Banks > 1 ? l2Banks / 2 : 1;
+    }
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_CONFIG_HH

@@ -1,0 +1,169 @@
+#include "sim/gpu.hh"
+
+#include "common/log.hh"
+
+namespace wasp::sim
+{
+
+Gpu::Gpu(const GpuConfig &config, mem::GlobalMemory &gmem)
+    : config_(config), gmem_(gmem)
+{
+}
+
+void
+Gpu::buildMachine()
+{
+    dram_ = std::make_unique<mem::Dram>(config_.dramBytesPerCycle,
+                                        config_.dramLatency,
+                                        config_.dramQueueDepth);
+    mem::L2Params l2_params;
+    l2_params.totalBytes = config_.l2Bytes;
+    l2_params.ways = config_.l2Ways;
+    l2_params.banks = config_.l2Banks;
+    l2_params.mshrsPerBank = config_.l2Mshrs;
+    l2_params.hitLatency = config_.l2HitLatency;
+    l2_ = std::make_unique<mem::L2Cache>(l2_params, *dram_);
+    sms_.clear();
+    stats_ = RunStats{};
+    for (int s = 0; s < config_.numSms; ++s)
+        sms_.push_back(std::make_unique<Sm>(s, config_, gmem_, *l2_,
+                                            stats_));
+}
+
+void
+Gpu::tick(uint64_t now)
+{
+    // Thread block dispatch: hand the next CTAs to SMs with space.
+    while (next_cta_ < launch_->gridDim) {
+        bool placed = false;
+        for (int k = 0; k < config_.numSms; ++k) {
+            int s = (next_sm_ + k) % config_.numSms;
+            if (sms_[static_cast<size_t>(s)]->tryAccept(
+                    *launch_, static_cast<uint32_t>(next_cta_))) {
+                ++next_cta_;
+                next_sm_ = (s + 1) % config_.numSms;
+                placed = true;
+                break;
+            }
+        }
+        if (!placed)
+            break;
+    }
+
+    for (auto &sm : sms_)
+        sm->tick(now);
+
+    l2_->tick(now);
+    dram_->tick(now);
+
+    // Route L2 responses back to their SMs / TMA engines.
+    auto &responses = l2_->responses();
+    while (responses.ready(now)) {
+        mem::MemReq resp = responses.pop();
+        Sm &sm = *sms_[resp.sm];
+        if (resp.source == mem::ReqSource::Lsu)
+            sm.lsuResponse(resp.txn, now);
+        else
+            sm.tmaEngine().sectorResponse(resp.txn);
+    }
+
+    // Timeline sampling (Fig 3).
+    if (config_.timelineInterval > 0 &&
+        now - last_sample_cycle_ >=
+            static_cast<uint64_t>(config_.timelineInterval)) {
+        TimelineSample sample;
+        sample.cycle = now;
+        double interval = static_cast<double>(now - last_sample_cycle_);
+        // Tensor pipe peak: one HMMA per issueCost cycles per PB.
+        double tensor_peak = interval / 4.0 *
+                             static_cast<double>(config_.numSms *
+                                                 config_.pbsPerSm);
+        sample.tensorUtil =
+            static_cast<double>(stats_.tensorIssues - last_tensor_issues_) /
+            std::max(tensor_peak, 1.0);
+        double l2_peak = interval * l2_->peakBytesPerCycle();
+        sample.l2Util =
+            static_cast<double>(l2_->bytesAccessed() - last_l2_bytes_) /
+            std::max(l2_peak, 1.0);
+        stats_.timeline.push_back(sample);
+        last_sample_cycle_ = now;
+        last_tensor_issues_ = stats_.tensorIssues;
+        last_l2_bytes_ = l2_->bytesAccessed();
+    }
+}
+
+RunStats
+Gpu::run(const Launch &launch)
+{
+    wasp_assert(launch.prog && launch.cfg, "launch missing program/cfg");
+    wasp_assert(launch.prog->tb.numStages <= config_.maxStages,
+                "kernel uses %d stages, SM supports %d",
+                launch.prog->tb.numStages, config_.maxStages);
+    buildMachine();
+    launch_ = &launch;
+    next_cta_ = 0;
+    next_sm_ = 0;
+    last_sample_cycle_ = 0;
+    last_tensor_issues_ = 0;
+    last_l2_bytes_ = 0;
+
+    uint64_t now = 0;
+    for (;; ++now) {
+        tick(now);
+        if (next_cta_ >= launch.gridDim) {
+            bool all_idle = true;
+            for (const auto &sm : sms_) {
+                if (!sm->idle()) {
+                    all_idle = false;
+                    break;
+                }
+            }
+            if (all_idle)
+                break;
+        }
+        if (now >= config_.maxCycles) {
+            std::string state;
+            for (const auto &sm : sms_)
+                state += sm->debugState();
+            panic("kernel '%s' exceeded %llu cycles (deadlock?)\n%s",
+                  launch.prog->name.c_str(),
+                  static_cast<unsigned long long>(config_.maxCycles),
+                  state.c_str());
+        }
+    }
+
+    stats_.cycles = now + 1;
+    uint64_t l1_hits = 0;
+    uint64_t l1_misses = 0;
+    for (const auto &sm : sms_) {
+        l1_hits += sm->l1().hits();
+        l1_misses += sm->l1().misses();
+    }
+    stats_.l1Hits = l1_hits;
+    stats_.l1Misses = l1_misses;
+    stats_.l2Hits = l2_->hits();
+    stats_.l2Misses = l2_->misses();
+    stats_.l2Bytes = l2_->bytesAccessed();
+    stats_.dramBytes = dram_->bytesRead() + dram_->bytesWritten();
+    stats_.l2PeakBytesPerCycle = l2_->peakBytesPerCycle();
+    stats_.dramPeakBytesPerCycle = dram_->bandwidth();
+    launch_ = nullptr;
+    return stats_;
+}
+
+RunStats
+runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
+           const isa::Program &prog, int grid_dim,
+           const std::vector<uint32_t> &params)
+{
+    isa::Cfg cfg(prog);
+    Launch launch;
+    launch.prog = &prog;
+    launch.cfg = &cfg;
+    launch.gridDim = grid_dim;
+    launch.params = params;
+    Gpu gpu(config, gmem);
+    return gpu.run(launch);
+}
+
+} // namespace wasp::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level GPU: thread-block scheduler (GigaThread), SMs, shared L2
+ * and DRAM, the global cycle loop, and the kernel run API.
+ */
+
+#ifndef WASP_SIM_GPU_HH
+#define WASP_SIM_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "isa/cfg.hh"
+#include "mem/dram.hh"
+#include "mem/global_memory.hh"
+#include "mem/l2.hh"
+#include "sim/config.hh"
+#include "sim/run_stats.hh"
+#include "sim/sm.hh"
+
+namespace wasp::sim
+{
+
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &config, mem::GlobalMemory &gmem);
+
+    /**
+     * Run one kernel to completion and return its statistics. The
+     * machine state (caches, SMs) is rebuilt per run so comparisons
+     * start cold and deterministic.
+     */
+    RunStats run(const Launch &launch);
+
+    const GpuConfig &config() const { return config_; }
+
+  private:
+    void buildMachine();
+    void tick(uint64_t now);
+
+    GpuConfig config_;
+    mem::GlobalMemory &gmem_;
+    std::unique_ptr<mem::Dram> dram_;
+    std::unique_ptr<mem::L2Cache> l2_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    RunStats stats_;
+    const Launch *launch_ = nullptr;
+    int next_cta_ = 0;
+    int next_sm_ = 0;
+    // Timeline recording.
+    uint64_t last_sample_cycle_ = 0;
+    uint64_t last_tensor_issues_ = 0;
+    uint64_t last_l2_bytes_ = 0;
+};
+
+/**
+ * Convenience wrapper: build a Cfg for the program, launch it on a
+ * fresh GPU and return the statistics.
+ */
+RunStats runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
+                    const isa::Program &prog, int grid_dim,
+                    const std::vector<uint32_t> &params);
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_GPU_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-kernel-run statistics snapshot returned by Gpu::run(). Covers
+ * everything the paper's evaluation plots: cycles, dynamic instruction
+ * categories (Fig 19), L2/DRAM traffic (Fig 21), cache behaviour,
+ * register footprint (Fig 16), and optional utilization timelines
+ * (Fig 3).
+ */
+
+#ifndef WASP_SIM_RUN_STATS_HH
+#define WASP_SIM_RUN_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace wasp::sim
+{
+
+/** One sample of the chip-wide utilization timeline (Fig 3). */
+struct TimelineSample
+{
+    uint64_t cycle = 0;
+    double tensorUtil = 0.0; ///< tensor-pipe issue slots used, 0..1
+    double l2Util = 0.0;     ///< L2 bytes moved / peak, 0..1
+};
+
+struct RunStats
+{
+    uint64_t cycles = 0;
+
+    /** Dynamic warp instructions issued, by category (Fig 19). */
+    std::array<uint64_t, 6> dynInstrs{};
+
+    uint64_t totalDynInstrs() const
+    {
+        uint64_t total = 0;
+        for (uint64_t v : dynInstrs)
+            total += v;
+        return total;
+    }
+    uint64_t
+    category(isa::InstrCategory c) const
+    {
+        return dynInstrs[static_cast<size_t>(c)];
+    }
+
+    // -- memory system ----------------------------------------------------
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+    uint64_t l2Bytes = 0;
+    uint64_t dramBytes = 0;
+    double l2PeakBytesPerCycle = 0.0;
+    double dramPeakBytesPerCycle = 0.0;
+
+    double
+    l2Utilization() const
+    {
+        if (cycles == 0 || l2PeakBytesPerCycle <= 0.0)
+            return 0.0;
+        return static_cast<double>(l2Bytes) /
+               (static_cast<double>(cycles) * l2PeakBytesPerCycle);
+    }
+    double
+    dramUtilization() const
+    {
+        if (cycles == 0 || dramPeakBytesPerCycle <= 0.0)
+            return 0.0;
+        return static_cast<double>(dramBytes) /
+               (static_cast<double>(cycles) * dramPeakBytesPerCycle);
+    }
+    double
+    l1HitRate() const
+    {
+        uint64_t total = l1Hits + l1Misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(l1Hits) /
+                                static_cast<double>(total);
+    }
+
+    // -- occupancy & registers --------------------------------------------
+    /** Registers allocated per thread block (Fig 16). */
+    uint64_t tbRegisterFootprint = 0;
+    /** Max thread blocks concurrently resident on one SM. */
+    int maxResidentTbPerSm = 0;
+    uint64_t tensorIssues = 0;
+
+    // -- timeline (Fig 3) ----------------------------------------------------
+    std::vector<TimelineSample> timeline;
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_RUN_STATS_HH

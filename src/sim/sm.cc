@@ -1,0 +1,492 @@
+#include "sim/sm.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "core/warp_mapper.hh"
+
+namespace wasp::sim
+{
+
+Sm::Sm(int id, const GpuConfig &config, mem::GlobalMemory &gmem,
+       mem::L2Cache &l2, RunStats &stats)
+    : id_(id), cfg_(config), gmem_(gmem), l2_(l2), stats_(stats),
+      l1_(config.l1Bytes, config.l1Ways, config.l1Mshrs),
+      tma_(config, *this)
+{
+    pbs_.resize(static_cast<size_t>(cfg_.pbsPerSm));
+    for (auto &pb : pbs_) {
+        pb.warps.resize(static_cast<size_t>(cfg_.warpSlotsPerPb));
+        pb.regData.assign(static_cast<size_t>(cfg_.warpSlotsPerPb) *
+                              isa::kMaxRegs * isa::kWarpSize,
+                          0u);
+    }
+    tbs_.resize(static_cast<size_t>(cfg_.maxTbPerSm));
+}
+
+int
+Sm::effectiveQueueEntries(const isa::QueueSpec &spec) const
+{
+    return cfg_.rfqEntries > 0 ? cfg_.rfqEntries : spec.entries;
+}
+
+std::vector<int>
+Sm::incomingQueues(const isa::ThreadBlockSpec &tb, int stage)
+{
+    std::vector<int> result;
+    for (size_t q = 0; q < tb.queues.size(); ++q) {
+        if (tb.queues[q].dstStage == stage)
+            result.push_back(static_cast<int>(q));
+    }
+    return result;
+}
+
+core::Rfq *
+Sm::queueRef(int tb_slot, int slice, int queue_idx)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    wasp_assert(tb.valid, "queueRef on invalid TB slot %d", tb_slot);
+    size_t nspecs = tb.launch->prog->tb.queues.size();
+    size_t index = static_cast<size_t>(slice) * nspecs +
+                   static_cast<size_t>(queue_idx);
+    wasp_assert(index < tb.queues.size(), "queue index OOB");
+    return &tb.queues[index];
+}
+
+bool
+Sm::tryAccept(const Launch &launch, uint32_t ctaid)
+{
+    const isa::ThreadBlockSpec &tb_spec = launch.prog->tb;
+    const int num_stages = tb_spec.numStages;
+    const int total_warps = tb_spec.totalWarps();
+
+    // Find a free thread-block slot.
+    int tb_slot = -1;
+    for (int s = 0; s < cfg_.maxTbPerSm; ++s) {
+        if (!tbs_[static_cast<size_t>(s)].valid) {
+            tb_slot = s;
+            break;
+        }
+    }
+    if (tb_slot < 0)
+        return false;
+
+    // SMEM: program usage plus software queue storage when queues are
+    // backed by SMEM (Section III-C / V-C).
+    uint32_t smem_need = tb_spec.smemBytes;
+    const int warps_per_stage = tb_spec.warpsPerStage();
+    if (cfg_.queueBackend == QueueBackend::Smem) {
+        for (const auto &q : tb_spec.queues) {
+            smem_need += static_cast<uint32_t>(effectiveQueueEntries(q)) *
+                         isa::kWarpSize * 4u *
+                         static_cast<uint32_t>(warps_per_stage);
+        }
+    }
+    if (smem_used_ + smem_need > cfg_.smemPerSm)
+        return false;
+
+    // Register demand per warp (architectural + RFQ storage on the
+    // consumer warp's processing block).
+    core::MapRequest req;
+    req.totalWarps = total_warps;
+    req.numStages = num_stages;
+    req.warpRegs.resize(static_cast<size_t>(total_warps));
+    bool per_stage =
+        cfg_.regAlloc == RegAllocPolicy::PerStage &&
+        static_cast<int>(tb_spec.stageRegs.size()) == num_stages;
+    for (int wid = 0; wid < total_warps; ++wid) {
+        int stage = wid % num_stages;
+        int arch = per_stage ? tb_spec.stageRegs[static_cast<size_t>(stage)]
+                             : launch.prog->numRegs;
+        arch = std::max(arch, 1);
+        int rfq_regs = 0;
+        if (cfg_.queueBackend == QueueBackend::Rfq) {
+            for (int q : incomingQueues(tb_spec, stage))
+                rfq_regs += effectiveQueueEntries(
+                    tb_spec.queues[static_cast<size_t>(q)]);
+        }
+        req.warpRegs[static_cast<size_t>(wid)] =
+            (arch + rfq_regs) * isa::kWarpSize;
+    }
+
+    std::vector<int> free_slots(static_cast<size_t>(cfg_.pbsPerSm));
+    std::vector<int> free_regs(static_cast<size_t>(cfg_.pbsPerSm));
+    for (int p = 0; p < cfg_.pbsPerSm; ++p) {
+        int used = 0;
+        for (const Warp &w : pbs_[static_cast<size_t>(p)].warps)
+            if (w.valid)
+                ++used;
+        free_slots[static_cast<size_t>(p)] = cfg_.warpSlotsPerPb - used;
+        free_regs[static_cast<size_t>(p)] =
+            cfg_.regsPerPb - pbs_[static_cast<size_t>(p)].regsUsed;
+    }
+    core::MapResult map = core::mapWarps(cfg_.mapPolicy, req, free_slots,
+                                         free_regs, tb_rotation_);
+    if (!map.ok)
+        return false;
+    ++tb_rotation_;
+
+    // ---- Commit ---------------------------------------------------------
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    tb.valid = true;
+    tb.ctaid = ctaid;
+    tb.launch = &launch;
+    tb.smem = std::make_unique<mem::SmemStorage>(
+        std::max<uint32_t>(tb_spec.smemBytes, 4));
+    tb.smemFootprint = smem_need;
+    tb.syncArrived = 0;
+    tb.totalWarps = total_warps;
+    tb.warpsDone = 0;
+    tb.outstanding = 0;
+    tb.warpRefs.clear();
+    tb.regsPerPb.assign(static_cast<size_t>(cfg_.pbsPerSm), 0);
+    tb.bars.clear();
+    for (const auto &bar : tb_spec.barriers)
+        tb.bars.push_back({0, bar.initialPhase});
+    tb.queues.clear();
+    for (int slice = 0; slice < warps_per_stage; ++slice) {
+        for (const auto &q : tb_spec.queues)
+            tb.queues.emplace_back(effectiveQueueEntries(q));
+    }
+    smem_used_ += smem_need;
+
+    uint64_t tb_reg_footprint = 0;
+    for (int wid = 0; wid < total_warps; ++wid) {
+        int pb_idx = map.pbOf[static_cast<size_t>(wid)];
+        Pb &pb = pbs_[static_cast<size_t>(pb_idx)];
+        int slot = -1;
+        for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
+            if (!pb.warps[static_cast<size_t>(s)].valid) {
+                slot = s;
+                break;
+            }
+        }
+        wasp_assert(slot >= 0, "mapper accepted but no free slot");
+        Warp &w = pb.warps[static_cast<size_t>(slot)];
+        w = Warp{};
+        w.valid = true;
+        w.tbSlot = tb_slot;
+        w.widInTb = wid;
+        w.stage = wid % num_stages;
+        w.slice = wid / num_stages;
+        w.ctaid = ctaid;
+        w.age = warp_seq_++;
+        int arch = per_stage
+                       ? tb_spec.stageRegs[static_cast<size_t>(w.stage)]
+                       : launch.prog->numRegs;
+        w.regCount = std::max(arch, 1);
+        w.regBusy.assign(static_cast<size_t>(isa::kMaxRegs), 0);
+        w.barWaitCount.assign(tb_spec.barriers.size(), 0);
+        uint32_t init_mask = 0;
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (w.slice * isa::kWarpSize + l < tb_spec.dimX)
+                init_mask |= 1u << l;
+        }
+        w.stack.push_back({0, -1, init_mask});
+        // Zero this slot's registers for reproducibility.
+        std::fill_n(pb.regData.begin() +
+                        static_cast<long>(slot) * isa::kMaxRegs *
+                            isa::kWarpSize,
+                    isa::kMaxRegs * isa::kWarpSize, 0u);
+        int regs = req.warpRegs[static_cast<size_t>(wid)];
+        pb.regsUsed += regs;
+        tb.regsPerPb[static_cast<size_t>(pb_idx)] += regs;
+        tb.warpRefs.emplace_back(pb_idx, slot);
+        tb_reg_footprint += static_cast<uint64_t>(regs);
+    }
+    stats_.tbRegisterFootprint =
+        std::max(stats_.tbRegisterFootprint, tb_reg_footprint);
+    stats_.maxResidentTbPerSm =
+        std::max(stats_.maxResidentTbPerSm, residentTbs());
+    return true;
+}
+
+int
+Sm::residentTbs() const
+{
+    int count = 0;
+    for (const auto &tb : tbs_)
+        if (tb.valid)
+            ++count;
+    return count;
+}
+
+bool
+Sm::idle() const
+{
+    return residentTbs() == 0 && txns_.empty() && tma_.idle();
+}
+
+void
+Sm::releaseBarSync(int tb_slot)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    for (auto [pb_idx, slot] : tb.warpRefs) {
+        Warp &w = pbs_[static_cast<size_t>(pb_idx)]
+                      .warps[static_cast<size_t>(slot)];
+        w.blockedOnBarSync = false;
+    }
+    tb.syncArrived = 0;
+}
+
+void
+Sm::maybeReleaseTb(int tb_slot)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    if (tb.valid && tb.warpsDone == tb.totalWarps && tb.outstanding == 0)
+        releaseTb(tb_slot);
+}
+
+void
+Sm::releaseTb(int tb_slot)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    for (auto [pb_idx, slot] : tb.warpRefs) {
+        pbs_[static_cast<size_t>(pb_idx)]
+            .warps[static_cast<size_t>(slot)].valid = false;
+    }
+    for (int p = 0; p < cfg_.pbsPerSm; ++p)
+        pbs_[static_cast<size_t>(p)].regsUsed -=
+            tb.regsPerPb[static_cast<size_t>(p)];
+    smem_used_ -= tb.smemFootprint;
+    tb.valid = false;
+    tb.smem.reset();
+    tb.queues.clear();
+}
+
+void
+Sm::chargeSmemPort(uint64_t now, int cycles)
+{
+    smem_port_free_ = std::max(smem_port_free_, now) +
+                      static_cast<uint64_t>(cycles);
+}
+
+void
+Sm::tick(uint64_t now)
+{
+    now_ = now;
+    // Complete L1-hit sectors.
+    while (l1_hit_queue_.ready(now))
+        sectorDone(l1_hit_queue_.pop(), now);
+    // TMA request generation.
+    tma_.tick(now);
+    // Processing blocks issue.
+    for (int p = 0; p < cfg_.pbsPerSm; ++p)
+        tickPb(p, now);
+    // LSU sector dispatch into L1/L2.
+    dispatchSectors(now);
+}
+
+void
+Sm::dispatchSectors(uint64_t now)
+{
+    int budget = cfg_.l1SectorsPerCycle;
+    for (int k = 0; k < cfg_.pbsPerSm && budget > 0; ++k) {
+        int pb_idx = (rr_pb_ + k) % cfg_.pbsPerSm;
+        Pb &pb = pbs_[static_cast<size_t>(pb_idx)];
+        while (!pb.lsuQueue.empty() && budget > 0) {
+            uint32_t txn_id = pb.lsuQueue.front();
+            auto it = txns_.find(txn_id);
+            wasp_assert(it != txns_.end(), "stale LSU txn");
+            MemTxn &txn = it->second;
+            bool stalled = false;
+            while (txn.nextSector < txn.sectors.size() && budget > 0) {
+                uint32_t addr = txn.sectors[txn.nextSector];
+                if (txn.kind == MemTxn::Kind::Store) {
+                    mem::MemReq req{addr, true, mem::ReqSource::Lsu,
+                                    static_cast<uint16_t>(id_), addr};
+                    if (!l2_.inject(req)) {
+                        stalled = true;
+                        break;
+                    }
+                    ++txn.nextSector;
+                    --budget;
+                    continue;
+                }
+                mem::MshrWaiter waiter{mem::ReqSource::Lsu,
+                                       static_cast<uint16_t>(id_), txn_id};
+                // Reserve L2 capacity before allocating the L1 MSHR so
+                // nothing has to be rolled back.
+                mem::MemReq req{addr, false, mem::ReqSource::Lsu,
+                                static_cast<uint16_t>(id_), addr};
+                mem::CacheOutcome outcome = mem::CacheOutcome::Blocked;
+                bool need_l2 = !l1_.probe(addr) && !l1_.mshrPending(addr);
+                if (need_l2 && !l2_.inject(req)) {
+                    stalled = true;
+                    break;
+                }
+                outcome = l1_.access(addr, waiter);
+                switch (outcome) {
+                  case mem::CacheOutcome::Hit:
+                    l1_hit_queue_.push(
+                        txn_id, now + static_cast<uint64_t>(cfg_.l1Latency));
+                    break;
+                  case mem::CacheOutcome::Miss:
+                  case mem::CacheOutcome::MissMerged:
+                    // Request already sent to L2 above on Miss; a merged
+                    // miss rides the existing MSHR (the L2 request we
+                    // reserved is redundant but harmless: it will be
+                    // merged at the L2 MSHR as well).
+                    break;
+                  case mem::CacheOutcome::Blocked:
+                    stalled = true;
+                    break;
+                }
+                if (stalled)
+                    break;
+                ++txn.nextSector;
+                --budget;
+            }
+            if (stalled)
+                break;
+            if (txn.nextSector == txn.sectors.size()) {
+                pb.lsuQueue.pop_front();
+                if (txn.kind == MemTxn::Kind::Store) {
+                    --pb.lsuInflight;
+                    txns_.erase(it);
+                }
+            } else {
+                break; // budget exhausted mid-transaction
+            }
+        }
+    }
+    rr_pb_ = (rr_pb_ + 1) % cfg_.pbsPerSm;
+}
+
+void
+Sm::lsuResponse(uint32_t addr, uint64_t now)
+{
+    for (const mem::MshrWaiter &w : l1_.fill(addr))
+        sectorDone(w.txn, now);
+}
+
+void
+Sm::sectorDone(uint32_t txn_id, uint64_t now)
+{
+    auto it = txns_.find(txn_id);
+    wasp_assert(it != txns_.end(), "sectorDone for unknown txn %u", txn_id);
+    MemTxn &txn = it->second;
+    if (--txn.sectorsLeft == 0)
+        completeTxn(txn_id, txn, now);
+}
+
+void
+Sm::completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now)
+{
+    Pb &pb = pbs_[static_cast<size_t>(txn.pb)];
+    Warp &w = pb.warps[static_cast<size_t>(txn.slot)];
+    ResidentTb &tb = tbs_[static_cast<size_t>(txn.tbSlot)];
+    switch (txn.kind) {
+      case MemTxn::Kind::LoadReg:
+      case MemTxn::Kind::Atom:
+        wasp_assert(txn.dstReg >= 0, "load without destination");
+        if (txn.dstReg != isa::kRegZero) {
+            wasp_assert(w.regBusy[static_cast<size_t>(txn.dstReg)] > 0,
+                        "scoreboard underflow");
+            --w.regBusy[static_cast<size_t>(txn.dstReg)];
+        }
+        --w.pendingLoads;
+        break;
+      case MemTxn::Kind::LoadQueue: {
+        core::Rfq *queue = queueRef(txn.tbSlot, w.slice, txn.queueIdx);
+        // Data was computed at issue and stashed in the reserved slot's
+        // pending fill; reconstruct it from functional memory is not
+        // needed — the LaneData travels in the txn.
+        queue->fill(txn.rfqSlot, txn.data);
+        if (cfg_.queueBackend == QueueBackend::Smem)
+            chargeSmemPort(now, 1); // the STS into the software queue
+        break;
+      }
+      case MemTxn::Kind::Ldgsts:
+        wasp_assert(w.pendingLdgsts > 0, "LDGSTS underflow");
+        --w.pendingLdgsts;
+        chargeSmemPort(now, 1); // shared-memory write of the tile chunk
+        break;
+      case MemTxn::Kind::Store:
+        break;
+    }
+    --pb.lsuInflight;
+    --tb.outstanding;
+    int tb_slot = txn.tbSlot; // txn dies with the erase below
+    txns_.erase(txn_id);
+    maybeReleaseTb(tb_slot);
+}
+
+// ---- core::TmaHost ------------------------------------------------------
+
+bool
+Sm::tmaInject(uint32_t addr, uint32_t txn)
+{
+    mem::MemReq req{addr & ~(mem::kSectorBytes - 1), false,
+                    mem::ReqSource::Tma, static_cast<uint16_t>(id_), txn};
+    return l2_.inject(req);
+}
+
+core::Rfq *
+Sm::tmaQueue(int tb_slot, int slice, int queue_idx)
+{
+    return queueRef(tb_slot, slice, queue_idx);
+}
+
+void
+Sm::tmaBarArrive(int tb_slot, int bar_id)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    wasp_assert(bar_id >= 0 &&
+                bar_id < static_cast<int>(tb.bars.size()),
+                "TMA barrier %d OOB", bar_id);
+    NamedBar &bar = tb.bars[static_cast<size_t>(bar_id)];
+    const auto &spec = tb.launch->prog->tb.barriers[
+        static_cast<size_t>(bar_id)];
+    if (++bar.count >= spec.expected) {
+        bar.count = 0;
+        ++bar.phase;
+    }
+}
+
+uint32_t
+Sm::tmaGmemRead(uint32_t addr)
+{
+    return gmem_.read32(addr);
+}
+
+void
+Sm::tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t value)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    if (tb.valid && tb.smem && addr + 4 <= tb.smem->size())
+        tb.smem->write32(addr, value);
+}
+
+void
+Sm::tmaDescDone(int tb_slot)
+{
+    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    wasp_assert(tb.outstanding > 0, "TMA desc done underflow");
+    --tb.outstanding;
+    maybeReleaseTb(tb_slot);
+}
+
+std::string
+Sm::debugState() const
+{
+    std::ostringstream os;
+    for (int p = 0; p < cfg_.pbsPerSm; ++p) {
+        for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
+            const Warp &w = pbs_[static_cast<size_t>(p)]
+                                .warps[static_cast<size_t>(s)];
+            if (!w.valid || w.done)
+                continue;
+            os << "sm" << id_ << ".pb" << p << ".w" << s << " tb="
+               << w.tbSlot << " stage=" << w.stage << " slice=" << w.slice
+               << " pc=" << (w.stack.empty() ? -1 : w.pc())
+               << " barSync=" << w.blockedOnBarSync
+               << " ldgsts=" << w.pendingLdgsts
+               << " loads=" << w.pendingLoads << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace wasp::sim

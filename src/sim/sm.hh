@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Streaming Multiprocessor model. An SM owns four processing blocks
+ * (each with a warp scheduler, register file and execution pipes), a
+ * shared L1 cache and SMEM, per-thread-block barrier state, the WASP
+ * register file queues, and the (WASP-)TMA offload engine (paper
+ * Figs. 2 and 4).
+ *
+ * Execution is functional-at-issue: when an instruction issues, its
+ * architectural effects happen immediately; the scoreboard, functional
+ * unit and memory latencies model timing.
+ */
+
+#ifndef WASP_SIM_SM_HH
+#define WASP_SIM_SM_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rfq.hh"
+#include "core/tma.hh"
+#include "isa/cfg.hh"
+#include "isa/program.hh"
+#include "mem/cache.hh"
+#include "mem/global_memory.hh"
+#include "mem/l2.hh"
+#include "mem/smem.hh"
+#include "sim/config.hh"
+#include "sim/run_stats.hh"
+#include "sim/warp.hh"
+
+namespace wasp::sim
+{
+
+/** A kernel launch: program + grid + parameters. */
+struct Launch
+{
+    const isa::Program *prog = nullptr;
+    const isa::Cfg *cfg = nullptr;
+    int gridDim = 1;
+    std::vector<uint32_t> params;
+};
+
+class Sm : public core::TmaHost
+{
+  public:
+    Sm(int id, const GpuConfig &config, mem::GlobalMemory &gmem,
+       mem::L2Cache &l2, RunStats &stats);
+    ~Sm() override = default;
+
+    /** Try to make a thread block resident; false when it does not fit. */
+    bool tryAccept(const Launch &launch, uint32_t ctaid);
+
+    /** Advance one cycle. */
+    void tick(uint64_t now);
+
+    /** L2 response for an LSU-sourced sector (txn == sector address). */
+    void lsuResponse(uint32_t addr, uint64_t now);
+
+    core::TmaEngine &tmaEngine() { return tma_; }
+
+    bool idle() const;
+    int residentTbs() const;
+
+    const mem::TimingCache &l1() const { return l1_; }
+    mem::TimingCache &l1() { return l1_; }
+
+    // -- core::TmaHost ----------------------------------------------------
+    bool tmaInject(uint32_t addr, uint32_t txn) override;
+    core::Rfq *tmaQueue(int tb_slot, int slice, int queue_idx) override;
+    void tmaBarArrive(int tb_slot, int bar_id) override;
+    uint32_t tmaGmemRead(uint32_t addr) override;
+    void tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t value) override;
+    void tmaDescDone(int tb_slot) override;
+
+    /** Debug: one line per live warp (deadlock diagnostics). */
+    std::string debugState() const;
+
+  private:
+    // -- internal structures ------------------------------------------------
+    struct WbEvent
+    {
+        int pb = 0;
+        int slot = 0;
+        std::vector<int> regs;
+        std::vector<int> preds;
+    };
+
+    struct MemTxn
+    {
+        enum class Kind : uint8_t { LoadReg, LoadQueue, Ldgsts, Atom, Store };
+        Kind kind = Kind::LoadReg;
+        int pb = 0;
+        int slot = 0;
+        int tbSlot = 0;
+        int dstReg = -1;
+        int queueIdx = -1;
+        int rfqSlot = -1;
+        core::LaneData data{}; ///< queue fill payload (LoadQueue)
+        std::vector<uint32_t> sectors;
+        size_t nextSector = 0;
+        int sectorsLeft = 0;
+    };
+
+    struct Pb
+    {
+        std::vector<Warp> warps;
+        std::vector<uint32_t> regData; ///< slots x 256 regs x 32 lanes
+        int regsUsed = 0;
+        std::array<uint64_t, 6> pipeFreeAt{};
+        mem::DelayQueue<WbEvent> writebacks;
+        std::deque<uint32_t> lsuQueue; ///< txn ids awaiting dispatch
+        int lsuInflight = 0;
+        int lastIssued = -1;
+    };
+
+    struct NamedBar
+    {
+        int count = 0;
+        int phase = 0;
+    };
+
+    struct ResidentTb
+    {
+        bool valid = false;
+        uint32_t ctaid = 0;
+        const Launch *launch = nullptr;
+        std::unique_ptr<mem::SmemStorage> smem;
+        std::vector<core::Rfq> queues; ///< slice-major: slice*nspecs + q
+        std::vector<NamedBar> bars;
+        int syncArrived = 0;
+        int totalWarps = 0;
+        int warpsDone = 0;
+        int outstanding = 0; ///< in-flight mem txns + TMA descriptors
+        uint32_t smemFootprint = 0;
+        std::vector<std::pair<int, int>> warpRefs; ///< (pb, slot)
+        std::vector<int> regsPerPb;
+    };
+
+    // -- helpers -------------------------------------------------------------
+    uint32_t &
+    regRef(Pb &pb, int slot, int r, int lane)
+    {
+        return pb.regData[(static_cast<size_t>(slot) * isa::kMaxRegs +
+                           static_cast<size_t>(r)) * isa::kWarpSize +
+                          static_cast<size_t>(lane)];
+    }
+    uint32_t readReg(Pb &pb, int slot, int r, int lane);
+    void writeReg(Pb &pb, int slot, int r, int lane, uint32_t v);
+
+    /** Effective RFQ entry count for a queue spec. */
+    int effectiveQueueEntries(const isa::QueueSpec &spec) const;
+    core::Rfq *queueRef(int tb_slot, int slice, int queue_idx);
+    /** Incoming queue specs for a stage (indices into tb.queues). */
+    static std::vector<int> incomingQueues(const isa::ThreadBlockSpec &tb,
+                                           int stage);
+
+    void tickPb(int pb_idx, uint64_t now);
+    /** Pop reconverged/empty SIMT entries; handle warp completion. */
+    void normalizeWarp(Warp &warp);
+    bool canIssue(Pb &pb, Warp &warp, uint64_t now);
+    void issue(int pb_idx, int slot, uint64_t now);
+    void executeAlu(Pb &pb, int slot, const isa::Instruction &inst,
+                    uint32_t exec_mask, uint64_t now);
+    void executeMem(int pb_idx, int slot, const isa::Instruction &inst,
+                    uint32_t exec_mask, uint64_t now);
+    void executeTma(Pb &pb, int slot, const isa::Instruction &inst,
+                    uint64_t now);
+    void executeBranch(Pb &pb, int slot, const isa::Instruction &inst,
+                       uint32_t exec_mask);
+    /** Read one source operand into lane values (pops queue sources). */
+    void gatherSrc(Pb &pb, int slot, const isa::Operand &op,
+                   core::LaneData &out, uint64_t now, int &extra_latency);
+    uint32_t sregValue(const Warp &warp, const ResidentTb &tb,
+                       isa::SpecialReg sr, int lane) const;
+    uint32_t guardMask(const Warp &warp, const isa::Instruction &inst) const;
+
+    void dispatchSectors(uint64_t now);
+    void sectorDone(uint32_t txn, uint64_t now);
+    void completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now);
+    void releaseBarSync(int tb_slot);
+    void maybeReleaseTb(int tb_slot);
+    void releaseTb(int tb_slot);
+    void chargeSmemPort(uint64_t now, int cycles);
+
+    // -- state ------------------------------------------------------------------
+    int id_;
+    const GpuConfig &cfg_;
+    mem::GlobalMemory &gmem_;
+    mem::L2Cache &l2_;
+    RunStats &stats_;
+    mem::TimingCache l1_;
+    std::vector<Pb> pbs_;
+    std::vector<ResidentTb> tbs_;
+    core::TmaEngine tma_;
+    std::unordered_map<uint32_t, MemTxn> txns_;
+    uint32_t next_txn_ = 1;
+    uint64_t smem_port_free_ = 0;
+    mem::DelayQueue<uint32_t> l1_hit_queue_;
+    uint64_t warp_seq_ = 0;
+    int rr_pb_ = 0;
+    int tb_rotation_ = 0;
+    uint32_t smem_used_ = 0;
+    uint64_t now_ = 0;
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_SM_HH

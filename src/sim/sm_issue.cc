@@ -1,0 +1,770 @@
+/**
+ * @file
+ * SM issue and execution: per-cycle warp scheduling in each processing
+ * block, functional execution of WSASS instructions, SIMT divergence,
+ * barrier and queue semantics, and memory transaction creation.
+ */
+
+#include <algorithm>
+#include <bit>
+#include <climits>
+#include <cmath>
+
+#include "common/log.hh"
+#include "core/sched_policy.hh"
+#include "sim/sm.hh"
+
+namespace wasp::sim
+{
+
+using isa::Instruction;
+using isa::InstrCategory;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace
+{
+
+float asF(uint32_t v) { return std::bit_cast<float>(v); }
+uint32_t asU(float v) { return std::bit_cast<uint32_t>(v); }
+
+bool
+cmpInt(isa::CmpOp cmp, int32_t a, int32_t b)
+{
+    switch (cmp) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::GE: return a >= b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::NE: return a != b;
+    }
+    return false;
+}
+
+bool
+cmpFloat(isa::CmpOp cmp, float a, float b)
+{
+    switch (cmp) {
+      case isa::CmpOp::LT: return a < b;
+      case isa::CmpOp::LE: return a <= b;
+      case isa::CmpOp::GT: return a > b;
+      case isa::CmpOp::GE: return a >= b;
+      case isa::CmpOp::EQ: return a == b;
+      case isa::CmpOp::NE: return a != b;
+    }
+    return false;
+}
+
+/** Per-lane ALU semantics; a/b/c are the gathered source values. */
+uint32_t
+evalLane(const Instruction &inst, uint32_t a, uint32_t b, uint32_t c)
+{
+    switch (inst.op) {
+      case Opcode::IADD: return a + b;
+      case Opcode::ISUB: return a - b;
+      case Opcode::IMUL: return a * b;
+      case Opcode::IMAD: return a * b + c;
+      case Opcode::IMIN:
+        return static_cast<uint32_t>(
+            std::min(static_cast<int32_t>(a), static_cast<int32_t>(b)));
+      case Opcode::IMAX:
+        return static_cast<uint32_t>(
+            std::max(static_cast<int32_t>(a), static_cast<int32_t>(b)));
+      case Opcode::SHL: return a << (b & 31u);
+      case Opcode::SHR: return a >> (b & 31u);
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::LEA: return (a << (c & 31u)) + b;
+      case Opcode::MOV: return a;
+      case Opcode::S2R: return a; // resolved in gatherSrc
+      case Opcode::SEL: return a != 0 ? b : c;
+      case Opcode::FADD: return asU(asF(a) + asF(b));
+      case Opcode::FMUL: return asU(asF(a) * asF(b));
+      case Opcode::FFMA:
+      case Opcode::HMMA: return asU(asF(a) * asF(b) + asF(c));
+      case Opcode::FMIN: return asU(std::min(asF(a), asF(b)));
+      case Opcode::FMAX: return asU(std::max(asF(a), asF(b)));
+      case Opcode::FRCP: return asU(1.0f / asF(a));
+      case Opcode::FSQRT: return asU(std::sqrt(asF(a)));
+      case Opcode::I2F:
+        return asU(static_cast<float>(static_cast<int32_t>(a)));
+      case Opcode::F2I:
+        return static_cast<uint32_t>(static_cast<int32_t>(asF(a)));
+      default:
+        panic("evalLane: unhandled opcode %s", isa::opName(inst.op));
+    }
+}
+
+/** Coalesce active-lane addresses into unique 32 B sectors. */
+std::vector<uint32_t>
+coalesceSectors(const core::LaneData &addrs, uint32_t mask)
+{
+    std::vector<uint32_t> sectors;
+    for (int l = 0; l < isa::kWarpSize; ++l) {
+        if (!(mask & (1u << l)))
+            continue;
+        uint32_t sector = addrs[static_cast<size_t>(l)] &
+                          ~(mem::kSectorBytes - 1);
+        if (std::find(sectors.begin(), sectors.end(), sector) ==
+            sectors.end())
+            sectors.push_back(sector);
+    }
+    return sectors;
+}
+
+} // namespace
+
+uint32_t
+Sm::readReg(Pb &pb, int slot, int r, int lane)
+{
+    if (r == isa::kRegZero)
+        return 0;
+    return regRef(pb, slot, r, lane);
+}
+
+void
+Sm::writeReg(Pb &pb, int slot, int r, int lane, uint32_t v)
+{
+    if (r == isa::kRegZero)
+        return;
+    regRef(pb, slot, r, lane) = v;
+}
+
+uint32_t
+Sm::sregValue(const Warp &warp, const ResidentTb &tb, isa::SpecialReg sr,
+              int lane) const
+{
+    const isa::ThreadBlockSpec &spec = tb.launch->prog->tb;
+    switch (sr) {
+      case isa::SpecialReg::TID_X:
+        return static_cast<uint32_t>(warp.slice * isa::kWarpSize + lane);
+      case isa::SpecialReg::NTID_X:
+        return static_cast<uint32_t>(spec.dimX);
+      case isa::SpecialReg::CTAID_X:
+        return tb.ctaid;
+      case isa::SpecialReg::NCTAID_X:
+        return static_cast<uint32_t>(tb.launch->gridDim);
+      case isa::SpecialReg::LANEID:
+        return static_cast<uint32_t>(lane);
+      case isa::SpecialReg::WARPID:
+        return static_cast<uint32_t>(warp.widInTb);
+      case isa::SpecialReg::PIPE_STAGE:
+        return static_cast<uint32_t>(warp.stage);
+      case isa::SpecialReg::SLICE_ID:
+        return static_cast<uint32_t>(warp.slice);
+      default:
+        panic("bad special register");
+    }
+}
+
+uint32_t
+Sm::guardMask(const Warp &warp, const Instruction &inst) const
+{
+    if (inst.guardPred == isa::kPredTrue)
+        return inst.guardNeg ? 0u : ~0u;
+    uint32_t bits = warp.preds[static_cast<size_t>(inst.guardPred)];
+    return inst.guardNeg ? ~bits : bits;
+}
+
+void
+Sm::gatherSrc(Pb &pb, int slot, const Operand &op, core::LaneData &out,
+              uint64_t now, int &extra_latency)
+{
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+    switch (op.kind) {
+      case OperandKind::Reg:
+        for (int l = 0; l < isa::kWarpSize; ++l)
+            out[static_cast<size_t>(l)] = readReg(pb, slot, op.reg, l);
+        break;
+      case OperandKind::Imm:
+        out.fill(static_cast<uint32_t>(op.imm));
+        break;
+      case OperandKind::FImm:
+        out.fill(asU(op.fimm));
+        break;
+      case OperandKind::CParam: {
+        const auto &params = tb.launch->params;
+        wasp_assert(op.reg >= 0 &&
+                    op.reg < static_cast<int>(params.size()),
+                    "kernel parameter c[%d] out of range",
+                    static_cast<int>(op.reg));
+        out.fill(params[static_cast<size_t>(op.reg)]);
+        break;
+      }
+      case OperandKind::SReg:
+        for (int l = 0; l < isa::kWarpSize; ++l)
+            out[static_cast<size_t>(l)] = sregValue(w, tb, op.sreg, l);
+        break;
+      case OperandKind::Pred: {
+        uint32_t bits = op.reg == isa::kPredTrue
+                            ? ~0u
+                            : w.preds[static_cast<size_t>(op.reg)];
+        if (op.negPred)
+            bits = ~bits;
+        for (int l = 0; l < isa::kWarpSize; ++l)
+            out[static_cast<size_t>(l)] = (bits >> l) & 1u;
+        break;
+      }
+      case OperandKind::Queue: {
+        core::Rfq *queue = queueRef(w.tbSlot, w.slice, op.reg);
+        out = queue->pop();
+        if (cfg_.queueBackend == QueueBackend::Smem) {
+            // Software queue in SMEM: the pop is an LDS plus address /
+            // flag bookkeeping instructions (Section III-C).
+            extra_latency += cfg_.smemLatency;
+            w.issueDebt += 1;
+            chargeSmemPort(now, 1);
+        }
+        break;
+      }
+      default:
+        panic("gatherSrc: bad operand kind");
+    }
+}
+
+void
+Sm::executeAlu(Pb &pb, int slot, const Instruction &inst,
+               uint32_t exec_mask, uint64_t now)
+{
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    int extra_latency = 0;
+
+    std::vector<core::LaneData> srcs(inst.srcs.size());
+    for (size_t i = 0; i < inst.srcs.size(); ++i)
+        gatherSrc(pb, slot, inst.srcs[i], srcs[static_cast<size_t>(i)], now,
+                  extra_latency);
+
+    auto src = [&](size_t i, int lane) -> uint32_t {
+        return i < srcs.size() ? srcs[i][static_cast<size_t>(lane)] : 0u;
+    };
+
+    WbEvent event;
+    event.pb = 0; // filled by caller context: pb index not needed here
+    event.slot = slot;
+
+    if (info.writesPred) {
+        int p = inst.dsts[0].reg;
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (!(exec_mask & (1u << l)))
+                continue;
+            bool result;
+            if (inst.op == Opcode::ISETP) {
+                result = cmpInt(inst.cmp, static_cast<int32_t>(src(0, l)),
+                                static_cast<int32_t>(src(1, l)));
+            } else {
+                result = cmpFloat(inst.cmp, asF(src(0, l)),
+                                  asF(src(1, l)));
+            }
+            if (result)
+                w.preds[static_cast<size_t>(p)] |= 1u << l;
+            else
+                w.preds[static_cast<size_t>(p)] &= ~(1u << l);
+        }
+        if (p != isa::kPredTrue) {
+            ++w.predBusy[static_cast<size_t>(p)];
+            event.preds.push_back(p);
+        }
+    } else {
+        int d = inst.dsts[0].reg;
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (!(exec_mask & (1u << l)))
+                continue;
+            writeReg(pb, slot, d, l,
+                     evalLane(inst, src(0, l), src(1, l), src(2, l)));
+        }
+        if (d != isa::kRegZero) {
+            ++w.regBusy[static_cast<size_t>(d)];
+            event.regs.push_back(d);
+        }
+    }
+
+    if (!event.regs.empty() || !event.preds.empty()) {
+        ++w.pendingWb;
+        pb.writebacks.push(std::move(event),
+                           now + info.latency +
+                               static_cast<uint64_t>(extra_latency));
+    }
+}
+
+void
+Sm::executeBranch(Pb &pb, int slot, const Instruction &inst,
+                  uint32_t exec_mask)
+{
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+    uint32_t active = w.activeMask();
+    uint32_t taken = exec_mask;
+    uint32_t not_taken = active & ~taken;
+    int pc = w.pc();
+    if (not_taken == 0) {
+        w.setPc(inst.target);
+        return;
+    }
+    if (taken == 0) {
+        w.setPc(pc + 1);
+        return;
+    }
+    // Divergence: reconverge at the immediate post-dominator.
+    int rpc = tb.launch->cfg->reconvergencePc(pc);
+    SimtEntry cur = w.stack.back();
+    w.stack.pop_back();
+    if (rpc >= 0)
+        w.stack.push_back({rpc, cur.rpc, cur.mask});
+    w.stack.push_back({pc + 1, rpc, not_taken});
+    w.stack.push_back({inst.target, rpc, taken});
+}
+
+void
+Sm::executeTma(Pb &pb, int slot, const Instruction &inst, uint64_t now)
+{
+    (void)now;
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+    uint32_t active = w.activeMask();
+    int lane0 = std::countr_zero(active);
+    auto rv = [&](const Operand &op) -> uint32_t {
+        wasp_assert(op.kind == OperandKind::Reg, "TMA operand must be reg");
+        return readReg(pb, slot, op.reg, lane0);
+    };
+
+    core::TmaDescriptor d;
+    d.tbSlot = w.tbSlot;
+    d.slice = w.slice;
+    switch (inst.op) {
+      case Opcode::TMA_STREAM:
+        d.kind = core::TmaKind::Stream;
+        d.queueIdx = inst.dsts[0].reg;
+        d.gbase = rv(inst.srcs[0]);
+        d.count = rv(inst.srcs[1]);
+        d.stride = static_cast<uint32_t>(inst.srcs[2].imm);
+        break;
+      case Opcode::TMA_TILE:
+        d.kind = core::TmaKind::Tile;
+        d.smemOff = readReg(pb, slot, inst.dsts[0].reg, lane0) +
+                    static_cast<uint32_t>(inst.dsts[0].imm);
+        d.gbase = rv(inst.srcs[0]);
+        d.count = rv(inst.srcs[1]); // sectors
+        d.barrierId = inst.srcs[2].imm;
+        break;
+      case Opcode::TMA_GATHER:
+        if (inst.dsts[0].kind == OperandKind::Queue) {
+            d.kind = core::TmaKind::GatherQueue;
+            d.queueIdx = inst.dsts[0].reg;
+        } else {
+            d.kind = core::TmaKind::GatherSmem;
+            d.smemOff = readReg(pb, slot, inst.dsts[0].reg, lane0) +
+                        static_cast<uint32_t>(inst.dsts[0].imm);
+        }
+        d.ibase = rv(inst.srcs[0]);
+        d.gbase = rv(inst.srcs[1]);
+        d.count = rv(inst.srcs[2]);
+        d.barrierId = inst.srcs[3].imm;
+        break;
+      default:
+        panic("executeTma: not a TMA op");
+    }
+    ++tb.outstanding;
+    tma_.submit(d);
+}
+
+void
+Sm::executeMem(int pb_idx, int slot, const Instruction &inst,
+               uint32_t exec_mask, uint64_t now)
+{
+    Pb &pb = pbs_[static_cast<size_t>(pb_idx)];
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+
+    auto laneAddrs = [&](const Operand &mem_op) {
+        core::LaneData addrs{};
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (!(exec_mask & (1u << l)))
+                continue;
+            addrs[static_cast<size_t>(l)] =
+                readReg(pb, slot, mem_op.reg, l) +
+                static_cast<uint32_t>(mem_op.imm);
+        }
+        return addrs;
+    };
+    auto conflictCycles = [&](const core::LaneData &addrs) {
+        std::vector<uint32_t> active;
+        for (int l = 0; l < isa::kWarpSize; ++l)
+            if (exec_mask & (1u << l))
+                active.push_back(addrs[static_cast<size_t>(l)]);
+        return mem::smemConflictCycles(active);
+    };
+    auto newGlobalTxn = [&](MemTxn::Kind kind,
+                            const core::LaneData &addrs) -> MemTxn & {
+        uint32_t id = next_txn_++;
+        MemTxn &txn = txns_[id];
+        txn.kind = kind;
+        txn.pb = pb_idx;
+        txn.slot = slot;
+        txn.tbSlot = w.tbSlot;
+        txn.sectors = coalesceSectors(addrs, exec_mask);
+        txn.sectorsLeft = static_cast<int>(txn.sectors.size());
+        ++pb.lsuInflight;
+        pb.lsuQueue.push_back(id);
+        if (kind != MemTxn::Kind::Store)
+            ++tb.outstanding;
+        return txn;
+    };
+
+    switch (inst.op) {
+      case Opcode::LDS: {
+        core::LaneData addrs = laneAddrs(inst.srcs[0]);
+        int d = inst.dsts[0].reg;
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (exec_mask & (1u << l))
+                writeReg(pb, slot, d, l,
+                         tb.smem->read32(addrs[static_cast<size_t>(l)]));
+        }
+        int conflict = conflictCycles(addrs);
+        uint64_t port_start = std::max(now, smem_port_free_);
+        chargeSmemPort(now, conflict);
+        if (d != isa::kRegZero) {
+            ++w.regBusy[static_cast<size_t>(d)];
+            ++w.pendingWb;
+            WbEvent event;
+            event.slot = slot;
+            event.regs.push_back(d);
+            pb.writebacks.push(std::move(event),
+                               port_start + conflict + cfg_.smemLatency);
+        }
+        break;
+      }
+      case Opcode::STS: {
+        core::LaneData addrs = laneAddrs(inst.dsts[0]);
+        int extra_latency = 0;
+        core::LaneData vals{};
+        gatherSrc(pb, slot, inst.srcs[0], vals, now, extra_latency);
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (exec_mask & (1u << l))
+                tb.smem->write32(addrs[static_cast<size_t>(l)],
+                                 vals[static_cast<size_t>(l)]);
+        }
+        chargeSmemPort(now, conflictCycles(addrs));
+        break;
+      }
+      case Opcode::STG: {
+        core::LaneData addrs = laneAddrs(inst.dsts[0]);
+        int extra_latency = 0;
+        core::LaneData vals{};
+        gatherSrc(pb, slot, inst.srcs[0], vals, now, extra_latency);
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (exec_mask & (1u << l))
+                gmem_.write32(addrs[static_cast<size_t>(l)],
+                              vals[static_cast<size_t>(l)]);
+        }
+        newGlobalTxn(MemTxn::Kind::Store, addrs);
+        break;
+      }
+      case Opcode::LDG: {
+        core::LaneData addrs = laneAddrs(inst.srcs[0]);
+        if (inst.dsts[0].kind == OperandKind::Queue) {
+            int q = inst.dsts[0].reg;
+            core::Rfq *queue = queueRef(w.tbSlot, w.slice, q);
+            MemTxn &txn = newGlobalTxn(MemTxn::Kind::LoadQueue, addrs);
+            txn.queueIdx = q;
+            txn.rfqSlot = queue->reserve();
+            for (int l = 0; l < isa::kWarpSize; ++l) {
+                if (exec_mask & (1u << l))
+                    txn.data[static_cast<size_t>(l)] =
+                        gmem_.read32(addrs[static_cast<size_t>(l)]);
+            }
+            if (cfg_.queueBackend == QueueBackend::Smem) {
+                // Software queue: address generation + STS + flag check.
+                w.issueDebt += 1;
+                chargeSmemPort(now, 1);
+            }
+        } else {
+            int d = inst.dsts[0].reg;
+            for (int l = 0; l < isa::kWarpSize; ++l) {
+                if (exec_mask & (1u << l))
+                    writeReg(pb, slot, d, l,
+                             gmem_.read32(addrs[static_cast<size_t>(l)]));
+            }
+            MemTxn &txn = newGlobalTxn(MemTxn::Kind::LoadReg, addrs);
+            txn.dstReg = d;
+            if (d != isa::kRegZero)
+                ++w.regBusy[static_cast<size_t>(d)];
+            ++w.pendingLoads;
+        }
+        break;
+      }
+      case Opcode::LDGSTS: {
+        core::LaneData gaddrs = laneAddrs(inst.srcs[0]);
+        core::LaneData saddrs = laneAddrs(inst.dsts[0]);
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (exec_mask & (1u << l))
+                tb.smem->write32(
+                    saddrs[static_cast<size_t>(l)],
+                    gmem_.read32(gaddrs[static_cast<size_t>(l)]));
+        }
+        newGlobalTxn(MemTxn::Kind::Ldgsts, gaddrs);
+        ++w.pendingLdgsts;
+        break;
+      }
+      case Opcode::ATOMG_ADD: {
+        core::LaneData addrs = laneAddrs(inst.srcs[0]);
+        int extra_latency = 0;
+        core::LaneData vals{};
+        gatherSrc(pb, slot, inst.srcs[1], vals, now, extra_latency);
+        int d = inst.dsts[0].reg;
+        for (int l = 0; l < isa::kWarpSize; ++l) {
+            if (!(exec_mask & (1u << l)))
+                continue;
+            uint32_t addr = addrs[static_cast<size_t>(l)];
+            uint32_t old = gmem_.read32(addr);
+            gmem_.write32(addr, old + vals[static_cast<size_t>(l)]);
+            writeReg(pb, slot, d, l, old);
+        }
+        MemTxn &txn = newGlobalTxn(MemTxn::Kind::Atom, addrs);
+        txn.dstReg = d;
+        if (d != isa::kRegZero)
+            ++w.regBusy[static_cast<size_t>(d)];
+        ++w.pendingLoads;
+        break;
+      }
+      default:
+        panic("executeMem: not a memory op");
+    }
+}
+
+bool
+Sm::canIssue(Pb &pb, Warp &w, uint64_t now)
+{
+    if (!w.valid || w.done || w.blockedOnBarSync)
+        return false;
+    if (w.issueDebt > 0)
+        return pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)] <= now;
+    const isa::Program &prog = *tbs_[static_cast<size_t>(w.tbSlot)]
+                                    .launch->prog;
+    const Instruction &inst = prog.instrs[static_cast<size_t>(w.pc())];
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    if (pb.pipeFreeAt[static_cast<size_t>(info.pipe)] > now)
+        return false;
+    if (!w.regsReady(inst))
+        return false;
+    // A fully predicated-off instruction is a no-op: it must not stall
+    // on queue, LSU or TMA state (that could deadlock a pipeline).
+    bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
+    if (effective) {
+        for (const auto &s : inst.srcs) {
+            if (s.kind == OperandKind::Queue &&
+                !queueRef(w.tbSlot, w.slice, s.reg)->canPop())
+                return false;
+        }
+        for (const auto &d : inst.dsts) {
+            if (d.kind == OperandKind::Queue &&
+                !queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
+                return false;
+        }
+        if (info.isMem && inst.op != Opcode::LDS &&
+            inst.op != Opcode::STS &&
+            pb.lsuInflight >= cfg_.lsuQueueDepth)
+            return false;
+        if (inst.isTma() && !tma_.canSubmit())
+            return false;
+    }
+    if (inst.op == Opcode::EXIT && w.pendingWb > 0)
+        return false; // the slot may be reused; drain writebacks first
+    if (info.isBarrier) {
+        if (w.pendingLdgsts > 0)
+            return false;
+        if (inst.op == Opcode::BAR_WAIT) {
+            int b = inst.srcs[0].imm;
+            const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+            if (tb.bars[static_cast<size_t>(b)].phase <=
+                w.barWaitCount[static_cast<size_t>(b)])
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+Sm::normalizeWarp(Warp &w)
+{
+    if (!w.valid || w.done)
+        return;
+    while (!w.stack.empty()) {
+        SimtEntry &top = w.stack.back();
+        if ((top.mask & ~w.exitedLanes) == 0) {
+            w.stack.pop_back();
+            continue;
+        }
+        if (top.rpc >= 0 && top.pc == top.rpc) {
+            w.stack.pop_back();
+            continue;
+        }
+        break;
+    }
+    if (w.stack.empty()) {
+        w.done = true;
+        ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+        ++tb.warpsDone;
+        maybeReleaseTb(w.tbSlot);
+    }
+}
+
+void
+Sm::issue(int pb_idx, int slot, uint64_t now)
+{
+    Pb &pb = pbs_[static_cast<size_t>(pb_idx)];
+    Warp &w = pb.warps[static_cast<size_t>(slot)];
+    pb.lastIssued = slot;
+    w.lastIssueCycle = now;
+
+    if (w.issueDebt > 0) {
+        --w.issueDebt;
+        pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)] = now + 1;
+        ++stats_.dynInstrs[static_cast<size_t>(InstrCategory::Queue)];
+        return;
+    }
+
+    ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+    const isa::Program &prog = *tb.launch->prog;
+    const Instruction &inst = prog.instrs[static_cast<size_t>(w.pc())];
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    ++stats_.dynInstrs[static_cast<size_t>(inst.category)];
+    pb.pipeFreeAt[static_cast<size_t>(info.pipe)] = now + info.issueCost;
+    if (inst.op == Opcode::HMMA)
+        ++stats_.tensorIssues;
+
+    uint32_t active = w.activeMask();
+    uint32_t exec = active & guardMask(w, inst);
+    int pc = w.pc();
+
+    switch (inst.op) {
+      case Opcode::BRA:
+        executeBranch(pb, slot, inst, exec);
+        return;
+      case Opcode::EXIT: {
+        w.exitedLanes |= exec;
+        if ((w.stack.back().mask & ~w.exitedLanes) == 0)
+            normalizeWarp(w);
+        else
+            w.setPc(pc + 1);
+        return;
+      }
+      case Opcode::NOP:
+        w.setPc(pc + 1);
+        return;
+      case Opcode::BAR_SYNC: {
+        ++tb.syncArrived;
+        w.blockedOnBarSync = true;
+        w.setPc(pc + 1);
+        if (tb.syncArrived >= tb.totalWarps - tb.warpsDone)
+            releaseBarSync(w.tbSlot);
+        return;
+      }
+      case Opcode::BAR_ARRIVE: {
+        int b = inst.srcs[0].imm;
+        NamedBar &bar = tb.bars[static_cast<size_t>(b)];
+        const auto &spec = prog.tb.barriers[static_cast<size_t>(b)];
+        if (++bar.count >= spec.expected) {
+            bar.count = 0;
+            ++bar.phase;
+        }
+        w.setPc(pc + 1);
+        return;
+      }
+      case Opcode::BAR_WAIT: {
+        int b = inst.srcs[0].imm;
+        ++w.barWaitCount[static_cast<size_t>(b)];
+        w.setPc(pc + 1);
+        return;
+      }
+      case Opcode::TMA_TILE:
+      case Opcode::TMA_STREAM:
+      case Opcode::TMA_GATHER:
+        if (exec != 0)
+            executeTma(pb, slot, inst, now);
+        w.setPc(pc + 1);
+        return;
+      default:
+        break;
+    }
+
+    if (exec == 0) {
+        // Entirely predicated off: consumes the issue slot only.
+        w.setPc(pc + 1);
+        return;
+    }
+    if (info.isMem)
+        executeMem(pb_idx, slot, inst, exec, now);
+    else
+        executeAlu(pb, slot, inst, exec, now);
+    w.setPc(pc + 1);
+}
+
+void
+Sm::tickPb(int pb_idx, uint64_t now)
+{
+    Pb &pb = pbs_[static_cast<size_t>(pb_idx)];
+    // Retire completed writebacks (frees scoreboard entries).
+    while (pb.writebacks.ready(now)) {
+        WbEvent event = pb.writebacks.pop();
+        Warp &w = pb.warps[static_cast<size_t>(event.slot)];
+        wasp_assert(w.pendingWb > 0, "writeback for retired warp slot");
+        --w.pendingWb;
+        for (int r : event.regs) {
+            wasp_assert(w.regBusy[static_cast<size_t>(r)] > 0,
+                        "writeback underflow r%d", r);
+            --w.regBusy[static_cast<size_t>(r)];
+        }
+        for (int p : event.preds) {
+            wasp_assert(w.predBusy[static_cast<size_t>(p)] > 0,
+                        "writeback underflow p%d", p);
+            --w.predBusy[static_cast<size_t>(p)];
+        }
+    }
+
+    // Select and issue one warp.
+    int best = -1;
+    int64_t best_score = LLONG_MIN;
+    for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
+        Warp &w = pb.warps[static_cast<size_t>(s)];
+        normalizeWarp(w);
+        if (!canIssue(pb, w, now))
+            continue;
+        core::WarpSchedInfo info;
+        info.stage = w.stage;
+        if (w.valid && !w.done) {
+            const auto &tb_spec =
+                tbs_[static_cast<size_t>(w.tbSlot)].launch->prog->tb;
+            for (int q : incomingQueues(tb_spec, w.stage)) {
+                core::Rfq *queue = queueRef(w.tbSlot, w.slice, q);
+                info.inQueueFull = info.inQueueFull || queue->isFull();
+                info.inQueueReady = info.inQueueReady || queue->canPop();
+            }
+        }
+        int64_t score = core::schedScore(cfg_.sched, info);
+        bool better = false;
+        if (score > best_score) {
+            better = true;
+        } else if (score == best_score && best >= 0) {
+            // Tie break: greedy continuation, then oldest.
+            if (s == pb.lastIssued) {
+                better = true;
+            } else if (best != pb.lastIssued &&
+                       w.age < pb.warps[static_cast<size_t>(best)].age) {
+                better = true;
+            }
+        }
+        if (better) {
+            best = s;
+            best_score = score;
+        }
+    }
+    if (best >= 0)
+        issue(pb_idx, best, now);
+}
+
+} // namespace wasp::sim

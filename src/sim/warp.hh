@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-warp execution context: SIMT reconvergence stack, predicate file,
+ * register scoreboard, pipeline-stage naming, and the stall state the
+ * warp scheduler inspects.
+ */
+
+#ifndef WASP_SIM_WARP_HH
+#define WASP_SIM_WARP_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace wasp::sim
+{
+
+/** One entry of the immediate-post-dominator reconvergence stack. */
+struct SimtEntry
+{
+    int pc = 0;
+    int rpc = -1;          ///< reconvergence PC; -1 == never (exit)
+    uint32_t mask = 0;
+};
+
+struct Warp
+{
+    bool valid = false;
+    bool done = false;
+
+    // -- identity ---------------------------------------------------------
+    int tbSlot = -1;       ///< resident thread block slot in the SM
+    int widInTb = 0;       ///< hardware warp id within the block
+    int stage = 0;         ///< WASP pipe_stageId
+    int slice = 0;         ///< WASP pipeline slice index
+    uint32_t ctaid = 0;
+    uint64_t age = 0;      ///< mapping sequence number (GTO "oldest")
+
+    // -- control flow --------------------------------------------------------
+    std::vector<SimtEntry> stack;
+    uint32_t exitedLanes = 0;
+
+    // -- registers ------------------------------------------------------------
+    int regCount = 0;      ///< architectural registers allocated
+    std::array<uint32_t, isa::kMaxPreds> preds{};  ///< per-lane bits
+    std::vector<uint8_t> regBusy;                   ///< pending writes
+    std::array<uint8_t, isa::kMaxPreds> predBusy{};
+
+    // -- stall state -------------------------------------------------------------
+    bool blockedOnBarSync = false;
+    int pendingLdgsts = 0;  ///< outstanding LDGSTS transactions
+    int pendingLoads = 0;   ///< outstanding register-load transactions
+    int pendingWb = 0;      ///< in-flight writeback events (EXIT gate)
+    /** Per named barrier: phases already consumed by BAR.WAIT. */
+    std::vector<int> barWaitCount;
+    /** Phantom issue slots owed (SMEM software-queue overhead). */
+    int issueDebt = 0;
+    uint64_t lastIssueCycle = 0;
+
+    int pc() const { return stack.back().pc; }
+    void setPc(int pc) { stack.back().pc = pc; }
+
+    uint32_t
+    activeMask() const
+    {
+        return stack.empty() ? 0u : (stack.back().mask & ~exitedLanes);
+    }
+
+    bool
+    regsReady(const isa::Instruction &inst) const
+    {
+        for (int r : inst.srcRegs())
+            if (regBusy[static_cast<size_t>(r)])
+                return false;
+        for (int r : inst.dstRegs())
+            if (regBusy[static_cast<size_t>(r)])
+                return false;
+        for (int p : inst.srcPreds())
+            if (predBusy[static_cast<size_t>(p)])
+                return false;
+        for (int p : inst.dstPreds())
+            if (predBusy[static_cast<size_t>(p)])
+                return false;
+        return true;
+    }
+
+    /** Drop exited lanes from the stack, popping empty entries. */
+    void
+    cleanStack()
+    {
+        while (!stack.empty() && (stack.back().mask & ~exitedLanes) == 0)
+            stack.pop_back();
+        if (stack.empty())
+            done = true;
+    }
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_WARP_HH

@@ -1,0 +1,175 @@
+#include "workloads/benchmarks.hh"
+
+#include "common/log.hh"
+
+namespace wasp::workloads
+{
+
+namespace
+{
+
+using Build = std::function<BuiltKernel(mem::GlobalMemory &)>;
+
+Build
+triad(int blocks, int chunks, int flops, bool hmma = false)
+{
+    return [=](mem::GlobalMemory &g) {
+        return streamTriad(g, blocks, chunks, flops, hmma);
+    };
+}
+
+Build
+gather(int blocks, int chunks, int table, int hot, int flops,
+       bool hmma = false, uint64_t seed = 7)
+{
+    return [=](mem::GlobalMemory &g) {
+        return gatherScale(g, blocks, chunks, table, hot, flops, hmma,
+                           seed);
+    };
+}
+
+Build
+chained(int blocks, int chunks, int table, uint64_t seed = 11)
+{
+    return [=](mem::GlobalMemory &g) {
+        return chainedGather(g, blocks, chunks, table, seed);
+    };
+}
+
+Build
+gemm(int blocks, int tiles, int reps)
+{
+    return [=](mem::GlobalMemory &g) {
+        return tileMma(g, blocks, tiles, reps);
+    };
+}
+
+/** A tile-pipeline kernel that is NOT a cuBLAS/CUTLASS GEMM (e.g. a
+ * fused custom kernel): the baseline runs it unspecialized, so the
+ * WASP compiler's automatic tile transformation gets to win. */
+Build
+tileCustom(int blocks, int tiles, int reps)
+{
+    return [=](mem::GlobalMemory &g) {
+        BuiltKernel k = tileMma(g, blocks, tiles, reps);
+        k.isGemm = false;
+        return k;
+    };
+}
+
+Build
+spmv(int blocks, int avg_nnz, int skew, int flops, uint64_t seed = 13)
+{
+    return [=](mem::GlobalMemory &g) {
+        return spmvCsr(g, blocks, avg_nnz, skew, flops, seed);
+    };
+}
+
+Build
+stencil(int blocks, int chunks)
+{
+    return [=](mem::GlobalMemory &g) { return stencil5(g, blocks, chunks); };
+}
+
+Build
+sweep(int blocks, int chunks)
+{
+    return [=](mem::GlobalMemory &g) { return sweepScan(g, blocks, chunks); };
+}
+
+std::vector<BenchmarkDef>
+makeSuite()
+{
+    std::vector<BenchmarkDef> s;
+    // -- ML / Robotics ------------------------------------------------------
+    s.push_back({"3d_unet", "ML/Robotics",
+                 {{"gemm", 0.45, gemm(16, 32, 8)},
+                  {"gather", 0.25, gather(24, 24, 65536, 4096, 4, true)},
+                  {"conv_tile", 0.12, tileCustom(12, 24, 6)},
+                  {"stream", 0.18, triad(24, 24, 2)}}});
+    s.push_back({"bert", "ML/Robotics",
+                 {{"gemm", 0.56, gemm(16, 32, 10)},
+                  {"stream", 0.30, triad(24, 24, 6)},
+                  {"gather", 0.14, gather(16, 16, 32768, 0, 2)}}});
+    s.push_back({"curobo", "ML/Robotics",
+                 {{"gather", 0.60, gather(24, 24, 32768, 0, 12, true)},
+                  {"stream", 0.40, triad(20, 24, 16)}}});
+    s.push_back({"dlrm", "ML/Robotics",
+                 {{"gemm", 0.56, gemm(16, 32, 8)},
+                  {"embed", 0.44, gather(24, 24, 262144, 0, 0)}}});
+    s.push_back({"gpt2", "ML/Robotics",
+                 {{"gemm", 0.17, gemm(16, 32, 10)},
+                  {"stream", 0.35, triad(28, 28, 4)},
+                  {"fused_tile", 0.14, tileCustom(12, 24, 4)},
+                  {"gather", 0.34, gather(24, 24, 65536, 0, 2)}}});
+    s.push_back({"pointnet", "ML/Robotics",
+                 {{"gather", 0.70, gather(28, 28, 65536, 0, 8, true)},
+                  {"stream", 0.30, triad(20, 24, 6, true)}}});
+    s.push_back({"rnnt", "ML/Robotics",
+                 {{"cell", 0.45, sweep(24, 28)},
+                  {"joint_tile", 0.12, tileCustom(10, 24, 4)},
+                  {"stream", 0.25, triad(20, 24, 8)},
+                  {"gather", 0.18, gather(16, 16, 32768, 0, 2)}}});
+    // -- cuSPARSE -------------------------------------------------------------
+    s.push_back({"spmv1_g3", "cuSPARSE",
+                 {{"spmv", 1.0, spmv(64, 5, 0, 0, 21)}}});
+    s.push_back({"spmv2_web", "cuSPARSE",
+                 {{"spmv", 1.0, spmv(64, 8, 1, 0, 22)}}});
+    s.push_back({"spmm1_g3", "cuSPARSE",
+                 {{"spmm", 1.0, spmv(56, 5, 0, 6, 23)}}});
+    s.push_back({"spmm2_web", "cuSPARSE",
+                 {{"spmm", 1.0, spmv(56, 8, 1, 6, 24)}}});
+    s.push_back({"spgemm1_econ", "cuSPARSE",
+                 {{"hash", 0.60, chained(24, 20, 65536, 25)},
+                  {"spmv", 0.40, spmv(48, 5, 0, 0, 26)}}});
+    s.push_back({"spgemm2_road", "cuSPARSE",
+                 {{"hash", 0.50, chained(24, 20, 131072, 27)},
+                  {"spmv", 0.50, spmv(48, 3, 0, 0, 28)}}});
+    // -- HPC ---------------------------------------------------------------------
+    s.push_back({"hpcg", "HPC",
+                 {{"smooth", 0.60, stencil(28, 28)},
+                  {"spmv", 0.40, spmv(48, 8, 0, 0, 29)}}});
+    s.push_back({"hpgmg", "HPC",
+                 {{"fine", 0.70, stencil(32, 32)},
+                  {"coarse", 0.30, stencil(12, 12)}}});
+    s.push_back({"lulesh", "HPC",
+                 {{"gather", 0.50, gather(24, 24, 65536, 0, 8, false, 31)},
+                  {"stream", 0.30, triad(20, 24, 6)},
+                  {"stencil", 0.20, stencil(16, 16)}}});
+    s.push_back({"snap", "HPC",
+                 {{"sweep", 0.60, sweep(28, 32)},
+                  {"moment_tile", 0.15, tileCustom(10, 24, 4)},
+                  {"stream", 0.25, triad(16, 20, 4)}}});
+    // -- Graph ------------------------------------------------------------------
+    s.push_back({"lonestar_bfs", "Graph",
+                 {{"expand", 0.80, spmv(64, 4, 2, 0, 33)},
+                  {"filter", 0.20, triad(16, 16, 0)}}});
+    s.push_back({"lonestar_mst", "Graph",
+                 {{"find", 0.60, chained(24, 20, 65536, 34)},
+                  {"edges", 0.40, spmv(48, 6, 1, 0, 35)}}});
+    s.push_back({"lonestar_sp", "Graph",
+                 {{"prop", 0.50, gather(28, 24, 65536, 0, 2, false, 36)},
+                  {"update", 0.50, spmv(48, 6, 1, 0, 37)}}});
+    return s;
+}
+
+} // namespace
+
+const std::vector<BenchmarkDef> &
+suite()
+{
+    static const std::vector<BenchmarkDef> s = makeSuite();
+    return s;
+}
+
+const BenchmarkDef &
+benchmark(const std::string &name)
+{
+    for (const auto &b : suite()) {
+        if (b.name == name)
+            return b;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace wasp::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The benchmark suite of the paper's Table II, modelled as weighted
+ * mixes of the synthetic kernels in kernels.hh. Each benchmark's mix
+ * reflects its dominant access patterns and compute/memory balance
+ * (GEMM fraction from Table II, gather/stream/sparse structure from the
+ * application domain); see DESIGN.md for the substitution rationale.
+ */
+
+#ifndef WASP_WORKLOADS_BENCHMARKS_HH
+#define WASP_WORKLOADS_BENCHMARKS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/kernels.hh"
+
+namespace wasp::workloads
+{
+
+struct KernelMix
+{
+    std::string label;
+    double weight = 1.0;
+    std::function<BuiltKernel(mem::GlobalMemory &)> build;
+};
+
+struct BenchmarkDef
+{
+    std::string name;
+    std::string category;
+    std::vector<KernelMix> kernels;
+};
+
+/** All 20 benchmarks of Table II. */
+const std::vector<BenchmarkDef> &suite();
+
+/** Look up one benchmark by name; fatals when unknown. */
+const BenchmarkDef &benchmark(const std::string &name);
+
+} // namespace wasp::workloads
+
+#endif // WASP_WORKLOADS_BENCHMARKS_HH

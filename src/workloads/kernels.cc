@@ -1,0 +1,503 @@
+#include "workloads/kernels.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "isa/builder.hh"
+
+namespace wasp::workloads
+{
+
+using namespace isa;
+
+namespace
+{
+
+constexpr int kLanes = kWarpSize;
+
+float asF(uint32_t v) { return std::bit_cast<float>(v); }
+uint32_t asU(float v) { return std::bit_cast<uint32_t>(v); }
+
+/** Allocate and fill an array of n float words in [0,1). */
+uint32_t
+allocFloats(mem::GlobalMemory &gmem, int n, Rng &rng)
+{
+    uint32_t addr = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(addr + static_cast<uint32_t>(i) * 4, rng.uniform());
+    return addr;
+}
+
+/** Extra per-element compute: `flops` FMULs by 0.9999 (or HMMAs). */
+void
+emitFlopChain(KernelBuilder &b, int reg, int flops, bool use_hmma)
+{
+    for (int f = 0; f < flops; ++f) {
+        if (use_hmma)
+            b.hmma(reg, R(reg), FImm(0.9999f), RZ());
+        else
+            b.fmul(reg, R(reg), FImm(0.9999f));
+    }
+}
+
+float
+refFlopChain(float v, int flops)
+{
+    for (int f = 0; f < flops; ++f)
+        v *= 0.9999f;
+    return v;
+}
+
+} // namespace
+
+BuiltKernel
+streamTriad(mem::GlobalMemory &gmem, int blocks, int chunks, int flops,
+            bool use_hmma)
+{
+    Rng rng(101);
+    const int n = blocks * chunks * kLanes;
+    BuiltKernel k;
+    uint32_t a = allocFloats(gmem, n, rng);
+    uint32_t bb = allocFloats(gmem, n, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+
+    KernelBuilder b("stream_triad");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(chunks * kLanes * 4));
+    b.iadd(1, R(1), R(3));
+    b.iadd(4, R(1), CParam(0)); // a
+    b.iadd(5, R(1), CParam(1)); // b
+    b.iadd(6, R(1), CParam(2)); // out
+    b.mov(7, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(8, 4, 0);
+    b.ldg(9, 5, 0);
+    b.ffma(10, R(8), FImm(2.5f), R(9));
+    emitFlopChain(b, 10, flops, use_hmma);
+    b.stg(6, 0, R(10));
+    b.iadd(4, R(4), Imm(kLanes * 4));
+    b.iadd(5, R(5), Imm(kLanes * 4));
+    b.iadd(6, R(6), Imm(kLanes * 4));
+    b.iadd(7, R(7), Imm(1));
+    b.isetp(0, CmpOp::LT, R(7), Imm(chunks));
+    b.pred(0).bra(loop);
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {a, bb, out};
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(n);
+    k.expected.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        float va = gmem.readF32(a + static_cast<uint32_t>(i) * 4);
+        float vb = gmem.readF32(bb + static_cast<uint32_t>(i) * 4);
+        k.expected[static_cast<size_t>(i)] =
+            asU(refFlopChain(va * 2.5f + vb, flops));
+    }
+    return k;
+}
+
+BuiltKernel
+gatherScale(mem::GlobalMemory &gmem, int blocks, int chunks,
+            int table_words, int hot, int flops, bool use_hmma,
+            uint64_t seed)
+{
+    Rng rng(seed);
+    const int n = blocks * chunks * kLanes;
+    BuiltKernel k;
+    uint32_t idx = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    uint32_t table = allocFloats(gmem, table_words, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    const uint32_t span =
+        static_cast<uint32_t>(hot > 0 ? hot : table_words);
+    for (int i = 0; i < n; ++i)
+        gmem.write32(idx + static_cast<uint32_t>(i) * 4, rng.below(span));
+
+    KernelBuilder b("gather_scale");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(chunks * kLanes * 4));
+    b.iadd(1, R(1), R(3));
+    b.iadd(4, R(1), CParam(0)); // idx
+    b.iadd(5, R(1), CParam(2)); // out
+    b.mov(6, CParam(1));        // table base
+    b.mov(7, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(8, 4, 0);             // index
+    b.shl(9, R(8), Imm(2));
+    b.iadd(10, R(9), R(6));
+    b.ldg(11, 10, 0);           // gathered value
+    b.fmul(12, R(11), FImm(2.0f));
+    emitFlopChain(b, 12, flops, use_hmma);
+    b.stg(5, 0, R(12));
+    b.iadd(4, R(4), Imm(kLanes * 4));
+    b.iadd(5, R(5), Imm(kLanes * 4));
+    b.iadd(7, R(7), Imm(1));
+    b.isetp(0, CmpOp::LT, R(7), Imm(chunks));
+    b.pred(0).bra(loop);
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {idx, table, out};
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(n);
+    k.expected.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        uint32_t ix = gmem.read32(idx + static_cast<uint32_t>(i) * 4);
+        float v = gmem.readF32(table + ix * 4);
+        k.expected[static_cast<size_t>(i)] =
+            asU(refFlopChain(v * 2.0f, flops));
+    }
+    return k;
+}
+
+BuiltKernel
+chainedGather(mem::GlobalMemory &gmem, int blocks, int chunks,
+              int table_words, uint64_t seed)
+{
+    Rng rng(seed);
+    const int n = blocks * chunks * kLanes;
+    BuiltKernel k;
+    uint32_t a = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    uint32_t bt = gmem.alloc(static_cast<uint32_t>(table_words) * 4);
+    uint32_t ct = allocFloats(gmem, table_words, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.write32(a + static_cast<uint32_t>(i) * 4,
+                     rng.below(static_cast<uint32_t>(table_words)));
+    for (int i = 0; i < table_words; ++i)
+        gmem.write32(bt + static_cast<uint32_t>(i) * 4,
+                     rng.below(static_cast<uint32_t>(table_words)));
+
+    KernelBuilder b("chained_gather");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(chunks * kLanes * 4));
+    b.iadd(1, R(1), R(3));
+    b.iadd(4, R(1), CParam(0)); // a
+    b.iadd(5, R(1), CParam(3)); // out
+    b.mov(6, CParam(1));        // b table
+    b.mov(14, CParam(2));       // c table
+    b.mov(7, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(8, 4, 0);   // i0 = a[i]
+    b.shl(9, R(8), Imm(2));
+    b.iadd(10, R(9), R(6));
+    b.ldg(11, 10, 0); // i1 = b[i0]
+    b.shl(12, R(11), Imm(2));
+    b.iadd(13, R(12), R(14));
+    b.ldg(15, 13, 0); // v = c[i1]
+    b.fadd(16, R(15), FImm(1.0f));
+    b.stg(5, 0, R(16));
+    b.iadd(4, R(4), Imm(kLanes * 4));
+    b.iadd(5, R(5), Imm(kLanes * 4));
+    b.iadd(7, R(7), Imm(1));
+    b.isetp(0, CmpOp::LT, R(7), Imm(chunks));
+    b.pred(0).bra(loop);
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {a, bt, ct, out};
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(n);
+    k.expected.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        uint32_t i0 = gmem.read32(a + static_cast<uint32_t>(i) * 4);
+        uint32_t i1 = gmem.read32(bt + i0 * 4);
+        float v = gmem.readF32(ct + i1 * 4);
+        k.expected[static_cast<size_t>(i)] = asU(v + 1.0f);
+    }
+    return k;
+}
+
+BuiltKernel
+tileMma(mem::GlobalMemory &gmem, int blocks, int tiles, int reps)
+{
+    Rng rng(31);
+    const int tb = 128;
+    const int n = blocks * tiles * tb;
+    BuiltKernel k;
+    uint32_t a = allocFloats(gmem, n, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(blocks * tb) * 4);
+
+    KernelBuilder b("tile_mma");
+    b.tbDim(tb).smemBytes(tb * 4);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2)); // SMEM slot / lane byte
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(tiles * tb * 4));
+    b.iadd(4, R(3), CParam(0));
+    b.iadd(4, R(4), R(1)); // global pointer
+    b.mov(5, Imm(0));      // k
+    b.mov(6, Imm(0));      // acc (0.0f)
+    // Rotated SMEM read index (bank-conflict-free, data reuse).
+    b.iadd(8, R(0), Imm(1));
+    b.and_(8, R(8), Imm(tb - 1));
+    b.shl(8, R(8), Imm(2));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.barSync();
+    b.ldg(7, 4, 0);
+    b.sts(1, 0, R(7));
+    b.barSync();
+    b.lds(9, 8, 0);
+    for (int r = 0; r < reps; ++r)
+        b.hmma(6, R(9), R(9), R(6));
+    b.iadd(4, R(4), Imm(tb * 4));
+    b.iadd(5, R(5), Imm(1));
+    b.isetp(0, CmpOp::LT, R(5), Imm(tiles));
+    b.pred(0).bra(loop);
+    b.imul(10, R(2), Imm(tb * 4));
+    b.iadd(10, R(10), CParam(1));
+    b.iadd(10, R(10), R(1));
+    b.stg(10, 0, R(6));
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {a, out};
+    k.isGemm = true;
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(blocks * tb);
+    k.expected.resize(static_cast<size_t>(blocks * tb));
+    for (int blk = 0; blk < blocks; ++blk) {
+        for (int t = 0; t < tb; ++t) {
+            float acc = 0.0f;
+            int rot = (t + 1) & (tb - 1);
+            for (int kk = 0; kk < tiles; ++kk) {
+                float v = gmem.readF32(
+                    a + static_cast<uint32_t>(
+                            (blk * tiles + kk) * tb + rot) * 4);
+                for (int r = 0; r < reps; ++r)
+                    acc = v * v + acc;
+            }
+            k.expected[static_cast<size_t>(blk * tb + t)] = asU(acc);
+        }
+    }
+    return k;
+}
+
+BuiltKernel
+spmvCsr(mem::GlobalMemory &gmem, int blocks, int avg_nnz, int skew,
+        int flops, uint64_t seed)
+{
+    Rng rng(seed);
+    const int rows = blocks * kLanes;
+    BuiltKernel k;
+    // Row lengths: near-uniform (banded G3_circuit style) or skewed
+    // (webbase style power law).
+    std::vector<uint32_t> row_ptr(static_cast<size_t>(rows) + 1, 0);
+    for (int r = 0; r < rows; ++r) {
+        uint32_t nnz;
+        if (skew == 0) {
+            nnz = static_cast<uint32_t>(avg_nnz) - 1 + rng.below(3);
+        } else {
+            float u = rng.uniform() + 1e-4f;
+            nnz = 1 + static_cast<uint32_t>(
+                          static_cast<float>(avg_nnz) *
+                          std::pow(u, -0.5f) / 2.0f);
+            nnz = std::min(nnz, static_cast<uint32_t>(avg_nnz * 8));
+        }
+        row_ptr[static_cast<size_t>(r) + 1] =
+            row_ptr[static_cast<size_t>(r)] + nnz;
+    }
+    const uint32_t nnz_total = row_ptr[static_cast<size_t>(rows)];
+    uint32_t rp = gmem.alloc(static_cast<uint32_t>(rows + 1) * 4);
+    gmem.writeWords(rp, row_ptr);
+    uint32_t ci = gmem.alloc(nnz_total * 4);
+    uint32_t vals = allocFloats(gmem, static_cast<int>(nnz_total), rng);
+    uint32_t x = allocFloats(gmem, rows, rng);
+    uint32_t y = gmem.alloc(static_cast<uint32_t>(rows) * 4);
+    for (uint32_t j = 0; j < nnz_total; ++j)
+        gmem.write32(ci + j * 4,
+                     rng.below(static_cast<uint32_t>(rows)));
+
+    KernelBuilder b("spmv_csr");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.s2r(1, SpecialReg::CTAID_X);
+    b.imad(2, R(1), Imm(kLanes), R(0)); // row
+    b.shl(3, R(2), Imm(2));
+    b.iadd(4, R(3), CParam(0));
+    b.ldg(5, 4, 0);  // start
+    b.ldg(6, 4, 4);  // end
+    b.mov(7, Imm(0)); // acc
+    b.mov(8, R(5));   // j
+    auto done = b.freshLabel("done");
+    auto loop = b.freshLabel("loop");
+    b.isetp(0, CmpOp::GE, R(8), R(6));
+    b.pred(0).bra(done);
+    b.place(loop);
+    b.shl(9, R(8), Imm(2));
+    b.iadd(10, R(9), CParam(1));
+    b.ldg(11, 10, 0); // col
+    b.iadd(12, R(9), CParam(2));
+    b.ldg(13, 12, 0); // val
+    b.shl(14, R(11), Imm(2));
+    b.iadd(14, R(14), CParam(3));
+    b.ldg(15, 14, 0); // x[col]
+    b.fmul(16, R(13), R(15));
+    for (int f = 0; f < flops; ++f)
+        b.fmul(16, R(16), FImm(0.9999f));
+    b.fadd(7, R(7), R(16));
+    b.iadd(8, R(8), Imm(1));
+    b.isetp(0, CmpOp::LT, R(8), R(6));
+    b.pred(0).bra(loop);
+    b.place(done);
+    b.iadd(17, R(3), CParam(4));
+    b.stg(17, 0, R(7));
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {rp, ci, vals, x, y};
+    k.outAddr = y;
+    k.outWords = static_cast<uint32_t>(rows);
+    k.expected.resize(static_cast<size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+        float acc = 0.0f;
+        for (uint32_t j = row_ptr[static_cast<size_t>(r)];
+             j < row_ptr[static_cast<size_t>(r) + 1]; ++j) {
+            uint32_t col = gmem.read32(ci + j * 4);
+            float t = gmem.readF32(vals + j * 4) *
+                      gmem.readF32(x + col * 4);
+            t = refFlopChain(t, flops);
+            acc += t;
+        }
+        k.expected[static_cast<size_t>(r)] = asU(acc);
+    }
+    return k;
+}
+
+BuiltKernel
+stencil5(mem::GlobalMemory &gmem, int blocks, int chunks)
+{
+    Rng rng(47);
+    const int n = blocks * chunks * kLanes;
+    BuiltKernel k;
+    uint32_t in = allocFloats(gmem, n + 4, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+
+    KernelBuilder b("stencil5");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(chunks * kLanes * 4));
+    b.iadd(1, R(1), R(3));
+    b.iadd(4, R(1), CParam(0));
+    b.iadd(5, R(4), Imm(4));
+    b.iadd(6, R(4), Imm(8));
+    b.iadd(7, R(4), Imm(12));
+    b.iadd(8, R(4), Imm(16));
+    b.iadd(9, R(1), CParam(1));
+    b.mov(10, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(11, 4, 0);
+    b.ldg(12, 5, 0);
+    b.ldg(13, 6, 0);
+    b.ldg(14, 7, 0);
+    b.ldg(15, 8, 0);
+    b.fmul(16, R(11), FImm(0.1f));
+    b.ffma(16, R(12), FImm(0.2f), R(16));
+    b.ffma(16, R(13), FImm(0.4f), R(16));
+    b.ffma(16, R(14), FImm(0.2f), R(16));
+    b.ffma(16, R(15), FImm(0.1f), R(16));
+    b.stg(9, 0, R(16));
+    for (int reg = 4; reg <= 9; ++reg)
+        b.iadd(reg, R(reg), Imm(kLanes * 4));
+    b.iadd(10, R(10), Imm(1));
+    b.isetp(0, CmpOp::LT, R(10), Imm(chunks));
+    b.pred(0).bra(loop);
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {in, out};
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(n);
+    k.expected.resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto at = [&](int off) {
+            return gmem.readF32(in + static_cast<uint32_t>(i + off) * 4);
+        };
+        float v = at(0) * 0.1f;
+        v = at(1) * 0.2f + v;
+        v = at(2) * 0.4f + v;
+        v = at(3) * 0.2f + v;
+        v = at(4) * 0.1f + v;
+        k.expected[static_cast<size_t>(i)] = asU(v);
+    }
+    return k;
+}
+
+BuiltKernel
+sweepScan(mem::GlobalMemory &gmem, int blocks, int chunks)
+{
+    Rng rng(59);
+    const int n = blocks * chunks * kLanes;
+    BuiltKernel k;
+    uint32_t in = allocFloats(gmem, n, rng);
+    uint32_t out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+
+    KernelBuilder b("sweep_scan");
+    b.tbDim(kLanes);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.s2r(2, SpecialReg::CTAID_X);
+    b.imul(3, R(2), Imm(chunks * kLanes * 4));
+    b.iadd(1, R(1), R(3));
+    b.iadd(4, R(1), CParam(0));
+    b.iadd(5, R(1), CParam(1));
+    b.mov(6, Imm(0)); // acc = 0.0f
+    b.mov(7, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(8, 4, 0);
+    b.fmul(6, R(6), FImm(0.5f));
+    b.fadd(6, R(6), R(8));
+    b.stg(5, 0, R(6));
+    b.iadd(4, R(4), Imm(kLanes * 4));
+    b.iadd(5, R(5), Imm(kLanes * 4));
+    b.iadd(7, R(7), Imm(1));
+    b.isetp(0, CmpOp::LT, R(7), Imm(chunks));
+    b.pred(0).bra(loop);
+    b.exit();
+
+    k.prog = b.finish();
+    k.grid = blocks;
+    k.params = {in, out};
+    k.outAddr = out;
+    k.outWords = static_cast<uint32_t>(n);
+    k.expected.resize(static_cast<size_t>(n));
+    for (int blk = 0; blk < blocks; ++blk) {
+        for (int l = 0; l < kLanes; ++l) {
+            float acc = 0.0f;
+            for (int c = 0; c < chunks; ++c) {
+                int i = blk * chunks * kLanes + c * kLanes + l;
+                acc = acc * 0.5f +
+                      gmem.readF32(in + static_cast<uint32_t>(i) * 4);
+                k.expected[static_cast<size_t>(i)] = asU(acc);
+            }
+        }
+    }
+    return k;
+}
+
+} // namespace wasp::workloads

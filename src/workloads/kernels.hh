@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Synthetic WSASS kernels reproducing the memory access patterns of the
+ * paper's benchmark suite (Table II): streaming, gather, chained
+ * (two-level) gather, SMEM tile pipelines with TensorCore compute, CSR
+ * sparse kernels, stencils, and scan-style recurrences.
+ *
+ * Every builder allocates and initialises its inputs in functional
+ * global memory, computes a CPU reference result, and returns the
+ * kernel plus the output region to verify — so every simulated
+ * configuration (baseline, compiler-only, WASP) can be checked for
+ * functional correctness, not just timed.
+ *
+ * Kernels are written in the canonical forms the WASP compiler
+ * understands (straight-line prologue + counted loops), mirroring the
+ * well-structured CUDA kernels the paper's compiler targets.
+ */
+
+#ifndef WASP_WORKLOADS_KERNELS_HH
+#define WASP_WORKLOADS_KERNELS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+
+namespace wasp::workloads
+{
+
+/** A ready-to-run kernel with inputs placed and reference computed. */
+struct BuiltKernel
+{
+    isa::Program prog;
+    int grid = 1;
+    std::vector<uint32_t> params;
+    /** Output region for verification. */
+    uint32_t outAddr = 0;
+    uint32_t outWords = 0;
+    std::vector<uint32_t> expected;
+    /** True for GEMM-class kernels (CUTLASS-modelled in the baseline). */
+    bool isGemm = false;
+    /** Compare as float with tolerance (HMMA accumulation order). */
+    bool floatCompare = false;
+};
+
+/** out[i] = a[i] * 2.5 + b[i], with `flops` extra FFMAs per element.
+ * Streaming pattern (Fig 11); one warp per block, `chunks` warp-wide
+ * elements per block. */
+BuiltKernel streamTriad(mem::GlobalMemory &gmem, int blocks, int chunks,
+                        int flops, bool use_hmma = false);
+
+/** out[i] = table[idx[i]] * 2 (+ extra flops): the use-once gather
+ * pattern (Fig 12 / Pointnet++). `hot` < tableWords concentrates the
+ * indices to model locality. */
+BuiltKernel gatherScale(mem::GlobalMemory &gmem, int blocks, int chunks,
+                        int table_words, int hot, int flops,
+                        bool use_hmma = false, uint64_t seed = 7);
+
+/** out[i] = c[b[a[i]]]: two-level indirection (SpGEMM/MST proxy). */
+BuiltKernel chainedGather(mem::GlobalMemory &gmem, int blocks, int chunks,
+                          int table_words, uint64_t seed = 11);
+
+/** SMEM tile pipeline with HMMA compute (Fig 1 / Fig 13 / CUTLASS
+ * GEMM mainloop proxy): per tile, global->SMEM transfer guarded by
+ * BAR.SYNCs, then `reps` HMMA accumulations over the tile. */
+BuiltKernel tileMma(mem::GlobalMemory &gmem, int blocks, int tiles,
+                    int reps);
+
+/** CSR sparse matrix-vector product, one row per thread. `skew` > 0
+ * draws row lengths from a power-law-ish distribution (webbase-style);
+ * 0 gives near-uniform rows (G3_circuit-style). `flops` models SpMM's
+ * extra work per nonzero. */
+BuiltKernel spmvCsr(mem::GlobalMemory &gmem, int blocks, int avg_nnz,
+                    int skew, int flops, uint64_t seed = 13);
+
+/** 1-D 5-point stencil: five affine streams in, one stream out
+ * (HPCG/HPGMG smoother proxy). */
+BuiltKernel stencil5(mem::GlobalMemory &gmem, int blocks, int chunks);
+
+/** Streaming recurrence: acc = acc * 0.5 + in[i] (SNAP sweep proxy). */
+BuiltKernel sweepScan(mem::GlobalMemory &gmem, int blocks, int chunks);
+
+} // namespace wasp::workloads
+
+#endif // WASP_WORKLOADS_KERNELS_HH

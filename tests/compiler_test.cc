@@ -1,0 +1,337 @@
+/**
+ * @file
+ * WASP compiler tests: dataflow analysis, affine analysis, stage
+ * extraction structure, and — most importantly — functional equivalence
+ * of every transformed kernel with its original on the simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/affine.hh"
+#include "compiler/dataflow.hh"
+#include "compiler/waspc.hh"
+#include "isa/builder.hh"
+#include "sim/gpu.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+using namespace wasp::compiler;
+
+namespace
+{
+
+sim::GpuConfig
+waspHw()
+{
+    sim::GpuConfig config;
+    config.numSms = 2;
+    config.queueBackend = sim::QueueBackend::Rfq;
+    config.regAlloc = sim::RegAllocPolicy::PerStage;
+    config.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+    config.sched = sim::SchedPolicy::WaspCombined;
+    config.waspTmaEnabled = true;
+    config.maxCycles = 5'000'000;
+    return config;
+}
+
+/** Run the kernel and check the output region against the reference. */
+void
+expectCorrect(const Program &prog, workloads::BuiltKernel &k,
+              mem::GlobalMemory &gmem, const sim::GpuConfig &config,
+              const char *what)
+{
+    // Clear the output region first so stale results can't pass.
+    for (uint32_t i = 0; i < k.outWords; ++i)
+        gmem.write32(k.outAddr + i * 4, 0xdeadbeef);
+    sim::runProgram(config, gmem, prog, k.grid, k.params);
+    int mismatches = 0;
+    for (uint32_t i = 0; i < k.outWords; ++i) {
+        if (gmem.read32(k.outAddr + i * 4) != k.expected[i])
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0) << what;
+}
+
+} // namespace
+
+TEST(Dataflow, UseDefChainsFollowLoop)
+{
+    Program prog = assemble(R"(
+.kernel ud
+.tb 32
+    MOV R0, 0
+    MOV R1, 5
+top:
+    IADD R0, R0, R1
+    ISETP.LT P0, R0, 100
+    @P0 BRA top
+    STG [R2], R0
+    EXIT
+)");
+    Cfg cfg(prog);
+    UseDef ud(prog, cfg);
+    // The IADD (2) reads R0 from both the MOV (0) and itself (loop).
+    auto defs = ud.defsReaching(2, 0);
+    EXPECT_EQ(defs.size(), 2u);
+    // The store reads R0 defined only by the IADD.
+    auto store_defs = ud.defsReaching(5, 0);
+    ASSERT_EQ(store_defs.size(), 1u);
+    EXPECT_EQ(store_defs[0], 2);
+    // Backslice of the store contains the whole accumulation chain.
+    auto slice = ud.backslice(5);
+    EXPECT_TRUE(slice.count(0));
+    EXPECT_TRUE(slice.count(1));
+    EXPECT_TRUE(slice.count(2));
+    // The IADD is in a dependence cycle with itself.
+    EXPECT_TRUE(ud.inCycle(2));
+}
+
+TEST(AffineAnalysis, DerivesStridedAddresses)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::streamTriad(gmem, 2, 8, 0);
+    Cfg cfg(k.prog);
+    AffineAnalysis aff(k.prog, cfg);
+    ASSERT_TRUE(aff.hasCanonicalLoop());
+    // R4 = a + tid*4 + cta*chunks*128: coefficient on tid is 4.
+    Affine v = aff.valueAtLoop(4);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.cTid, 4);
+    EXPECT_EQ(v.cParam.at(0), 1);
+    auto step = aff.stepOf(4);
+    ASSERT_TRUE(step.has_value());
+    EXPECT_EQ(*step, 128);
+    LoopBound bound = aff.tripCount();
+    ASSERT_TRUE(bound.valid);
+    EXPECT_TRUE(bound.trips.isConst());
+    EXPECT_EQ(bound.trips.c0, 8);
+}
+
+TEST(WaspCompiler, StreamKernelBecomesTwoStages)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::streamTriad(gmem, 2, 8, 2);
+    CompileOptions opts;
+    opts.emitTma = false;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_EQ(cr.report.numStages, 2);
+    EXPECT_EQ(cr.report.extractedLoads, 2); // a[i] and b[i]
+    EXPECT_EQ(cr.program.tb.queues.size(), 2u);
+    EXPECT_EQ(cr.program.tb.numStages, 2);
+    ASSERT_EQ(cr.program.tb.stageRegs.size(), 2u);
+    // The memory stage needs fewer registers than the compute stage
+    // needs uniform allocation (per-stage savings, Fig 7/16).
+    EXPECT_LT(cr.program.tb.stageRegs[0], k.prog.numRegs);
+    expectCorrect(cr.program, k, gmem, waspHw(), "stream 2-stage");
+}
+
+TEST(WaspCompiler, GatherKernelBecomesThreeStages)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k =
+        workloads::gatherScale(gmem, 2, 8, 4096, 0, 1);
+    CompileOptions opts;
+    opts.emitTma = false;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_EQ(cr.report.numStages, 3); // index stream, gather, compute
+    EXPECT_EQ(cr.report.extractedLoads, 2);
+    expectCorrect(cr.program, k, gmem, waspHw(), "gather 3-stage");
+}
+
+TEST(WaspCompiler, TmaCollapsesGatherToTwoStages)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k =
+        workloads::gatherScale(gmem, 2, 8, 4096, 0, 1);
+    CompileOptions opts;
+    opts.emitTma = true;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_EQ(cr.report.numStages, 2);
+    EXPECT_EQ(cr.report.tmaGathers, 1);
+    bool has_tma_gather = false;
+    for (const auto &inst : cr.program.instrs)
+        has_tma_gather |= inst.op == Opcode::TMA_GATHER;
+    EXPECT_TRUE(has_tma_gather);
+    expectCorrect(cr.program, k, gmem, waspHw(), "TMA gather");
+}
+
+TEST(WaspCompiler, TmaStreamsReplaceProducerLoop)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::streamTriad(gmem, 2, 8, 0);
+    CompileOptions opts;
+    opts.emitTma = true;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_EQ(cr.report.tmaStreams, 2);
+    int tma_count = 0;
+    int producer_ldg = 0;
+    for (const auto &inst : cr.program.instrs) {
+        if (inst.op == Opcode::TMA_STREAM)
+            ++tma_count;
+        if (inst.op == Opcode::LDG &&
+            !inst.dsts.empty() && inst.dsts[0].isQueue())
+            ++producer_ldg;
+    }
+    EXPECT_EQ(tma_count, 2);
+    EXPECT_EQ(producer_ldg, 0); // the loop-based producer is gone
+    expectCorrect(cr.program, k, gmem, waspHw(), "TMA stream");
+}
+
+TEST(WaspCompiler, TileKernelUsesLdgstsAndArriveWaitBarriers)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::tileMma(gmem, 2, 8, 2);
+    CompileOptions opts;
+    opts.streamGather = false;
+    opts.doubleBuffer = false;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_TRUE(cr.report.tiled);
+    EXPECT_FALSE(cr.report.doubleBuffered);
+    EXPECT_EQ(cr.report.numStages, 2);
+    int ldgsts = 0;
+    int bar_sync = 0;
+    int arrive = 0;
+    int wait = 0;
+    for (const auto &inst : cr.program.instrs) {
+        if (inst.op == Opcode::LDGSTS)
+            ++ldgsts;
+        if (inst.op == Opcode::BAR_SYNC)
+            ++bar_sync;
+        if (inst.op == Opcode::BAR_ARRIVE)
+            ++arrive;
+        if (inst.op == Opcode::BAR_WAIT)
+            ++wait;
+    }
+    EXPECT_EQ(ldgsts, 1);
+    EXPECT_EQ(bar_sync, 0); // both rewritten per stage
+    EXPECT_EQ(arrive, 2);
+    EXPECT_EQ(wait, 2);
+    EXPECT_EQ(cr.program.tb.barriers.size(), 2u);
+    expectCorrect(cr.program, k, gmem, waspHw(), "tile single-buffer");
+}
+
+TEST(WaspCompiler, DoubleBufferingDoublesSmemAndBarriers)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::tileMma(gmem, 2, 8, 2);
+    CompileOptions opts;
+    opts.streamGather = false;
+    opts.doubleBuffer = true;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_TRUE(cr.report.doubleBuffered);
+    EXPECT_EQ(cr.program.tb.smemBytes, k.prog.tb.smemBytes * 2);
+    EXPECT_EQ(cr.program.tb.barriers.size(), 4u);
+    expectCorrect(cr.program, k, gmem, waspHw(), "tile double-buffer");
+}
+
+TEST(WaspCompiler, SpmvExtractsIndirectionChain)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::spmvCsr(gmem, 2, 6, 1, 0);
+    CompileOptions opts;
+    opts.emitTma = false;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    // col+val streams (level 0), x gather (level 1), compute.
+    EXPECT_EQ(cr.report.numStages, 3);
+    EXPECT_EQ(cr.report.extractedLoads, 3);
+    expectCorrect(cr.program, k, gmem, waspHw(), "spmv chain");
+}
+
+TEST(WaspCompiler, PassthroughWhenNothingToExtract)
+{
+    KernelBuilder b("pure_compute");
+    b.tbDim(32);
+    b.s2r(0, SpecialReg::TID_X);
+    b.imul(1, R(0), R(0));
+    b.shl(2, R(0), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 0, R(1));
+    b.exit();
+    Program prog = b.finish();
+    CompileResult cr = warpSpecialize(prog, CompileOptions{});
+    EXPECT_FALSE(cr.report.transformed);
+    EXPECT_EQ(cr.report.numStages, 1);
+    EXPECT_EQ(cr.program.size(), prog.size());
+}
+
+TEST(WaspCompiler, PointerChaseIsNotExtracted)
+{
+    // p = load(p) in a loop: dependence cycle, must stay unspecialized.
+    KernelBuilder b("chase");
+    b.tbDim(32);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.mov(2, Imm(0));
+    auto loop = b.freshLabel("loop");
+    b.place(loop);
+    b.ldg(1, 1, 0);
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(0, CmpOp::LT, R(2), Imm(4));
+    b.pred(0).bra(loop);
+    b.shl(3, R(0), Imm(2));
+    b.iadd(3, R(3), CParam(1));
+    b.stg(3, 0, R(1));
+    b.exit();
+    Program prog = b.finish();
+    CompileResult cr = warpSpecialize(prog, CompileOptions{});
+    EXPECT_FALSE(cr.report.transformed);
+}
+
+TEST(WaspCompiler, CompiledProgramsValidateAndDisassemble)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::stencil5(gmem, 2, 8);
+    CompileOptions opts;
+    opts.emitTma = true;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    cr.program.validate();
+    std::string text = disassemble(cr.program);
+    Program again = assemble(text);
+    EXPECT_EQ(again.size(), cr.program.size());
+    EXPECT_EQ(again.tb.numStages, cr.program.tb.numStages);
+}
+
+TEST(WaspCompiler, StageRegistersAreSmallerThanUniform)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::gatherScale(gmem, 2, 8, 4096,
+                                                      0, 8);
+    CompileResult cr = warpSpecialize(k.prog, CompileOptions{});
+    ASSERT_TRUE(cr.report.transformed);
+    int max_stage = 0;
+    int sum_mem_stages = 0;
+    for (size_t s = 0; s < cr.program.tb.stageRegs.size(); ++s) {
+        max_stage = std::max(max_stage, cr.program.tb.stageRegs[s]);
+        if (s + 1 < cr.program.tb.stageRegs.size())
+            sum_mem_stages += cr.program.tb.stageRegs[s];
+    }
+    // Memory stages are much leaner than the compute stage (Fig 7).
+    EXPECT_LT(cr.program.tb.stageRegs[0], max_stage);
+}
+
+TEST(WaspCompiler, ManyTmaStreamsWithTinyQueuesDoNotDeadlock)
+{
+    // Regression: five TMA stream descriptors per block with 8-entry
+    // queues used to deadlock on a bounded global descriptor table.
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::stencil5(gmem, 12, 12);
+    CompileOptions opts;
+    opts.emitTma = true;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    EXPECT_EQ(cr.report.tmaStreams, 5);
+    sim::GpuConfig config = waspHw();
+    config.rfqEntries = 8;
+    config.maxCycles = 3'000'000;
+    expectCorrect(cr.program, k, gmem, config, "5-stream tiny queues");
+}

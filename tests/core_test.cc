@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit tests for the WASP core (the paper's contribution): register
+ * file queues (ordering, backpressure, out-of-order fill), the
+ * pipeline-aware warp mapper (Fig 5 scenario), the scheduling policy
+ * scores (Fig 17), and the area model (Table IV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hh"
+#include "core/rfq.hh"
+#include "core/sched_policy.hh"
+#include "core/warp_mapper.hh"
+
+using namespace wasp;
+using namespace wasp::core;
+
+namespace
+{
+
+LaneData
+lanes(uint32_t base)
+{
+    LaneData d{};
+    for (int l = 0; l < isa::kWarpSize; ++l)
+        d[static_cast<size_t>(l)] = base + static_cast<uint32_t>(l);
+    return d;
+}
+
+} // namespace
+
+TEST(Rfq, FifoOrderPreservedWithOutOfOrderFills)
+{
+    Rfq q(4);
+    int s0 = q.reserve();
+    int s1 = q.reserve();
+    EXPECT_FALSE(q.canPop()); // reserved but not valid
+    // Memory returns out of order: slot 1 fills first.
+    q.fill(s1, lanes(100));
+    EXPECT_FALSE(q.canPop()); // head (s0) still pending
+    q.fill(s0, lanes(200));
+    EXPECT_TRUE(q.canPop());
+    EXPECT_EQ(q.pop()[0], 200u); // program order, not fill order
+    EXPECT_EQ(q.pop()[0], 100u);
+    EXPECT_TRUE(q.isEmpty());
+}
+
+TEST(Rfq, FullAndEmptyScoreboardBits)
+{
+    Rfq q(2);
+    EXPECT_TRUE(q.isEmpty());
+    EXPECT_TRUE(q.canReserve());
+    int s0 = q.reserve();
+    int s1 = q.reserve();
+    EXPECT_TRUE(q.isFull());
+    EXPECT_FALSE(q.canReserve());
+    q.fill(s0, lanes(0));
+    q.fill(s1, lanes(1));
+    q.pop();
+    EXPECT_FALSE(q.isFull());
+    EXPECT_TRUE(q.canReserve());
+    q.pop();
+    EXPECT_TRUE(q.isEmpty());
+}
+
+TEST(Rfq, WrapsAroundCircularly)
+{
+    Rfq q(3);
+    for (int round = 0; round < 5; ++round) {
+        int s = q.reserve();
+        q.fill(s, lanes(static_cast<uint32_t>(round)));
+        EXPECT_EQ(q.pop()[0], static_cast<uint32_t>(round));
+    }
+    EXPECT_EQ(q.occupancy(), 0);
+}
+
+TEST(WarpMapper, RoundRobinSegregatesStagesAcrossPbs)
+{
+    // Paper Fig 5: 2-stage pipeline, 4 slices, slice-major warp
+    // numbering. Round robin lands same-stage warps on the same PB.
+    MapRequest req;
+    req.totalWarps = 8;
+    req.numStages = 2;
+    req.warpRegs.assign(8, 32);
+    std::vector<int> slots(4, 16);
+    std::vector<int> regs(4, 16384);
+    MapResult rr = mapWarps(sim::WarpMapPolicy::RoundRobin, req, slots,
+                            regs);
+    ASSERT_TRUE(rr.ok);
+    // wid 0 (slice0,S0) -> PB0, wid 4 (slice2,S0) -> PB0: imbalance.
+    EXPECT_EQ(rr.pbOf[0], 0);
+    EXPECT_EQ(rr.pbOf[4], 0);
+    EXPECT_EQ(rr.pbOf[1], 1);
+    EXPECT_EQ(rr.pbOf[5], 1);
+}
+
+TEST(WarpMapper, GroupPipelineKeepsSlicesTogether)
+{
+    MapRequest req;
+    req.totalWarps = 8;
+    req.numStages = 2;
+    req.warpRegs.assign(8, 32);
+    std::vector<int> slots(4, 16);
+    std::vector<int> regs(4, 16384);
+    MapResult gp = mapWarps(sim::WarpMapPolicy::GroupPipeline, req, slots,
+                            regs);
+    ASSERT_TRUE(gp.ok);
+    for (int slice = 0; slice < 4; ++slice) {
+        int s0 = gp.pbOf[static_cast<size_t>(slice * 2)];
+        int s1 = gp.pbOf[static_cast<size_t>(slice * 2 + 1)];
+        EXPECT_EQ(s0, s1) << "slice " << slice;
+        EXPECT_EQ(s0, slice % 4);
+    }
+}
+
+TEST(WarpMapper, FallsBackWhenPreferredPbIsFull)
+{
+    MapRequest req;
+    req.totalWarps = 2;
+    req.numStages = 1;
+    req.warpRegs.assign(2, 32);
+    std::vector<int> slots = {0, 16, 16, 16}; // PB0 has no slots
+    std::vector<int> regs(4, 16384);
+    MapResult m = mapWarps(sim::WarpMapPolicy::RoundRobin, req, slots,
+                           regs);
+    ASSERT_TRUE(m.ok);
+    EXPECT_NE(m.pbOf[0], 0);
+}
+
+TEST(WarpMapper, RejectsWhenRegistersExhausted)
+{
+    MapRequest req;
+    req.totalWarps = 4;
+    req.numStages = 1;
+    req.warpRegs.assign(4, 10000);
+    std::vector<int> slots(4, 16);
+    std::vector<int> regs(4, 8000); // none fits
+    MapResult m = mapWarps(sim::WarpMapPolicy::GroupPipeline, req, slots,
+                           regs);
+    EXPECT_FALSE(m.ok);
+}
+
+TEST(SchedPolicy, OrderingMatchesPaperPriorities)
+{
+    WarpSchedInfo early_producer{0, false, false};
+    WarpSchedInfo late_consumer{3, false, false};
+    WarpSchedInfo consumer_full{3, true, true};
+    WarpSchedInfo consumer_ready{3, false, true};
+
+    using sim::SchedPolicy;
+    // GTO: everyone equal.
+    EXPECT_EQ(schedScore(SchedPolicy::Gto, early_producer),
+              schedScore(SchedPolicy::Gto, consumer_full));
+    // Producer-first prefers earlier stages.
+    EXPECT_GT(schedScore(SchedPolicy::ProducerFirst, early_producer),
+              schedScore(SchedPolicy::ProducerFirst, late_consumer));
+    // Consumer-first prefers later stages.
+    EXPECT_GT(schedScore(SchedPolicy::ConsumerFirst, late_consumer),
+              schedScore(SchedPolicy::ConsumerFirst, early_producer));
+    // The combined WASP policy: full queue > ready queue > early stage.
+    EXPECT_GT(schedScore(SchedPolicy::WaspCombined, consumer_full),
+              schedScore(SchedPolicy::WaspCombined, consumer_ready));
+    EXPECT_GT(schedScore(SchedPolicy::WaspCombined, consumer_ready),
+              schedScore(SchedPolicy::WaspCombined, late_consumer));
+    EXPECT_GT(schedScore(SchedPolicy::WaspCombined, early_producer),
+              schedScore(SchedPolicy::WaspCombined, late_consumer));
+}
+
+TEST(AreaModel, ScalesWithMachineSize)
+{
+    sim::GpuConfig small;
+    small.maxTbPerSm = 16;
+    small.pbsPerSm = 2;
+    small.warpSlotsPerPb = 8;
+    sim::GpuConfig big;
+    big.maxTbPerSm = 32;
+    big.pbsPerSm = 4;
+    big.warpSlotsPerPb = 16;
+    AreaReport s = waspAreaOverhead(small, 108);
+    AreaReport b = waspAreaOverhead(big, 108);
+    EXPECT_LT(s.totalKB, b.totalKB);
+    // Mapper entry is 132 bits per CTA as in Table IV.
+    EXPECT_DOUBLE_EQ(b.items[0].perSmBits, 32.0 * 132.0);
+}
+
+TEST(WarpMapper, RotationSpreadsSingleSlicePipelines)
+{
+    // One-slice (32-thread) two-stage blocks must not all land on PB0:
+    // the mapper rotates the preferred PB per thread block.
+    MapRequest req;
+    req.totalWarps = 2;
+    req.numStages = 2;
+    req.warpRegs.assign(2, 32);
+    std::vector<int> slots(4, 16);
+    std::vector<int> regs(4, 16384);
+    std::set<int> pbs;
+    for (int tb = 0; tb < 4; ++tb) {
+        MapResult m = mapWarps(sim::WarpMapPolicy::GroupPipeline, req,
+                               slots, regs, tb);
+        ASSERT_TRUE(m.ok);
+        pbs.insert(m.pbOf[0]);
+    }
+    EXPECT_EQ(pbs.size(), 4u);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * End-to-end harness tests: every Table II benchmark kernel runs and
+ * verifies (bit-exact against the CPU reference) under every paper
+ * configuration, and the headline performance ordering holds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area_model.hh"
+#include "harness/runner.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+class BenchmarkVerify
+    : public ::testing::TestWithParam<std::tuple<const char *, PaperConfig>>
+{
+};
+
+} // namespace
+
+TEST_P(BenchmarkVerify, OutputsMatchReference)
+{
+    auto [name, which] = GetParam();
+    ConfigSpec spec = makeConfig(which);
+    const auto &bench = workloads::benchmark(name);
+    BenchResult result = runBenchmark(spec, bench);
+    EXPECT_TRUE(result.verified) << name << " under " << spec.name;
+    EXPECT_GT(result.weightedCycles, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkVerify,
+    ::testing::Combine(
+        ::testing::Values("3d_unet", "bert", "curobo", "dlrm", "gpt2",
+                          "pointnet", "rnnt", "spmv1_g3", "spmv2_web",
+                          "spmm1_g3", "spmm2_web", "spgemm1_econ",
+                          "spgemm2_road", "hpcg", "hpgmg", "lulesh",
+                          "snap", "lonestar_bfs", "lonestar_mst",
+                          "lonestar_sp"),
+        ::testing::Values(PaperConfig::Baseline, PaperConfig::CompilerAll,
+                          PaperConfig::WaspGpu)),
+    [](const auto &info) {
+        std::string name = std::get<0>(info.param);
+        name += "_";
+        name += paperConfigName(std::get<1>(info.param));
+        for (auto &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(HarnessOrdering, WaspBeatsBaselineOnMemoryBoundApps)
+{
+    for (const char *name : {"pointnet", "hpcg", "lonestar_bfs"}) {
+        const auto &bench = workloads::benchmark(name);
+        BenchResult base =
+            runBenchmark(makeConfig(PaperConfig::Baseline), bench);
+        BenchResult wasp =
+            runBenchmark(makeConfig(PaperConfig::WaspGpu), bench);
+        EXPECT_GT(speedup(base, wasp), 1.05) << name;
+    }
+}
+
+TEST(HarnessOrdering, CompilerAllBetweenTileAndWaspOnGatherApps)
+{
+    const auto &bench = workloads::benchmark("pointnet");
+    BenchResult tile =
+        runBenchmark(makeConfig(PaperConfig::CompilerTile), bench);
+    BenchResult all =
+        runBenchmark(makeConfig(PaperConfig::CompilerAll), bench);
+    BenchResult wasp =
+        runBenchmark(makeConfig(PaperConfig::WaspGpu), bench);
+    EXPECT_GE(speedup(tile, all), 1.0);
+    EXPECT_GT(speedup(all, wasp), 1.0);
+}
+
+TEST(HarnessBandwidth, HalfBandwidthSlowsTheBaseline)
+{
+    const auto &bench = workloads::benchmark("hpcg");
+    BenchResult full =
+        runBenchmark(makeConfig(PaperConfig::Baseline), bench);
+    BenchResult half =
+        runBenchmark(makeConfig(PaperConfig::Baseline, 0.5), bench);
+    EXPECT_GT(half.weightedCycles, full.weightedCycles * 1.1);
+}
+
+TEST(AreaModel, MatchesTableFourTotals)
+{
+    sim::GpuConfig config;
+    config.maxTbPerSm = 32;
+    config.pbsPerSm = 4;
+    config.warpSlotsPerPb = 16; // 64 warps per SM
+    core::AreaReport report = core::waspAreaOverhead(config, 108);
+    ASSERT_EQ(report.items.size(), 4u);
+    // Table IV: ~56 KB mapper, ~48 KB scheduler, ~30 KB RFQ, ~27 KB TMA,
+    // ~162 KB total on a 108-SM GPU.
+    EXPECT_NEAR(report.items[0].perGpuKB, 56.0, 3.0);
+    EXPECT_NEAR(report.items[1].perGpuKB, 48.0, 3.0);
+    EXPECT_NEAR(report.items[2].perGpuKB, 30.0, 3.0);
+    EXPECT_NEAR(report.items[3].perGpuKB, 27.0, 3.0);
+    EXPECT_NEAR(report.totalKB, 162.0, 8.0);
+}

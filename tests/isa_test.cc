@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the WSASS ISA: opcode traits, operand handling,
+ * assembler/disassembler round trips, the builder API, and CFG
+ * analysis (dominators, post-dominators, loops, reconvergence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hh"
+#include "isa/cfg.hh"
+#include "isa/program.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+
+TEST(Opcode, TraitsAreConsistent)
+{
+    EXPECT_STREQ(opName(Opcode::IMAD), "IMAD");
+    EXPECT_STREQ(opName(Opcode::BAR_SYNC), "BAR.SYNC");
+    EXPECT_TRUE(opInfo(Opcode::LDG).isMem);
+    EXPECT_TRUE(opInfo(Opcode::BRA).isBranch);
+    EXPECT_TRUE(opInfo(Opcode::ISETP).writesPred);
+    EXPECT_EQ(opInfo(Opcode::HMMA).pipe, Pipe::Tensor);
+    EXPECT_EQ(parseOpcode("FFMA"), Opcode::FFMA);
+    EXPECT_EQ(parseOpcode("BOGUS"), Opcode::NUM_OPCODES);
+}
+
+TEST(Opcode, EveryOpcodeRoundTripsByName)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NUM_OPCODES); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(parseOpcode(opName(op)), op) << opName(op);
+    }
+}
+
+TEST(Assembler, ParsesSimpleKernel)
+{
+    Program prog = assemble(R"(
+.kernel saxpy
+.tb 128
+    S2R R0, SR_TID_X
+    S2R R1, SR_CTAID_X
+    IMAD R2, R1, 128, R0
+    SHL R3, R2, 2
+    IADD R4, R3, c[0]
+    LDG R5, [R4]
+    FMUL R6, R5, 2.0f
+    IADD R7, R3, c[1]
+    STG [R7], R6
+    EXIT
+)");
+    EXPECT_EQ(prog.name, "saxpy");
+    EXPECT_EQ(prog.tb.dimX, 128);
+    EXPECT_EQ(prog.size(), 10);
+    EXPECT_EQ(prog.instrs[5].op, Opcode::LDG);
+    EXPECT_EQ(prog.instrs[5].srcs[0].kind, OperandKind::Mem);
+    EXPECT_EQ(prog.instrs[8].op, Opcode::STG);
+    EXPECT_EQ(prog.instrs[8].dsts[0].kind, OperandKind::Mem);
+    EXPECT_EQ(prog.numRegs, 8);
+}
+
+TEST(Assembler, ParsesGuardsLabelsAndBranches)
+{
+    Program prog = assemble(R"(
+.kernel loop
+.tb 32
+    MOV R0, 0
+top:
+    IADD R0, R0, 1
+    ISETP.LT P0, R0, 10
+    @P0 BRA top
+    @!P1 MOV R1, 5
+    EXIT
+)");
+    const Instruction &bra = prog.instrs[3];
+    EXPECT_TRUE(bra.isBranch());
+    EXPECT_EQ(bra.target, 1);
+    EXPECT_EQ(bra.guardPred, 0);
+    EXPECT_FALSE(bra.guardNeg);
+    const Instruction &mov = prog.instrs[4];
+    EXPECT_EQ(mov.guardPred, 1);
+    EXPECT_TRUE(mov.guardNeg);
+    EXPECT_EQ(prog.instrs[2].cmp, CmpOp::LT);
+}
+
+TEST(Assembler, ParsesWaspDirectivesAndQueueOps)
+{
+    Program prog = assemble(R"(
+.kernel ws
+.tb 64
+.stages 2
+.stageregs 6 12
+.queue 0 1 32
+.barrier 2 1
+.smem 1024
+    LDG Q0, [R2]
+    MOV R3, Q0
+    BAR.ARRIVE 0
+    BAR.WAIT 0
+    EXIT
+)");
+    EXPECT_EQ(prog.tb.numStages, 2);
+    ASSERT_EQ(prog.tb.stageRegs.size(), 2u);
+    EXPECT_EQ(prog.tb.stageRegs[1], 12);
+    ASSERT_EQ(prog.tb.queues.size(), 1u);
+    EXPECT_EQ(prog.tb.queues[0].entries, 32);
+    ASSERT_EQ(prog.tb.barriers.size(), 1u);
+    EXPECT_EQ(prog.tb.barriers[0].initialPhase, 1);
+    EXPECT_EQ(prog.tb.smemBytes, 1024u);
+    EXPECT_TRUE(prog.instrs[0].dsts[0].isQueue());
+    EXPECT_TRUE(prog.instrs[1].srcs[0].isQueue());
+}
+
+TEST(Assembler, RoundTripsThroughDisassembler)
+{
+    Program prog = assemble(R"(
+.kernel rt
+.tb 96
+.stages 2
+.stageregs 4 8
+.queue 0 1 16
+    S2R R0, SR_PIPE_STAGE
+    ISETP.EQ P0, R0, 0
+    @P0 BRA prod
+    MOV R1, Q0
+    STG [R1], R1
+    EXIT
+prod:
+    LDG Q0, [R2+64]
+    EXIT
+)");
+    std::string text = disassemble(prog);
+    Program again = assemble(text);
+    ASSERT_EQ(again.size(), prog.size());
+    for (int i = 0; i < prog.size(); ++i) {
+        EXPECT_EQ(again.instrs[i].op, prog.instrs[i].op) << i;
+        EXPECT_EQ(again.instrs[i].dsts, prog.instrs[i].dsts) << i;
+        EXPECT_EQ(again.instrs[i].srcs, prog.instrs[i].srcs) << i;
+        EXPECT_EQ(again.instrs[i].target, prog.instrs[i].target) << i;
+        EXPECT_EQ(again.instrs[i].guardPred, prog.instrs[i].guardPred) << i;
+    }
+    EXPECT_EQ(again.tb.numStages, prog.tb.numStages);
+    EXPECT_EQ(again.tb.queues, prog.tb.queues);
+}
+
+TEST(Builder, EmitsSameShapeAsAssembler)
+{
+    KernelBuilder b("built");
+    b.tbDim(64);
+    int q = b.queue(0, 1, 32);
+    auto loop = b.freshLabel("loop");
+    b.mov(0, Imm(0));
+    b.place(loop);
+    b.ldgQueue(q, 2, 0);
+    b.iadd(0, R(0), Imm(1));
+    b.isetp(0, CmpOp::LT, R(0), Imm(8));
+    b.pred(0).bra(loop);
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(prog.size(), 6);
+    EXPECT_EQ(prog.instrs[4].target, 1);
+    EXPECT_EQ(prog.instrs[4].guardPred, 0);
+    EXPECT_EQ(prog.numRegs, 3);
+    prog.validate();
+}
+
+TEST(Instruction, RegisterScansIncludeMemBases)
+{
+    Program prog = assemble(R"(
+.kernel scan
+.tb 32
+    STG [R4+8], R5
+    LDG R6, [R7]
+    EXIT
+)");
+    auto stg_srcs = prog.instrs[0].srcRegs();
+    EXPECT_NE(std::find(stg_srcs.begin(), stg_srcs.end(), 4),
+              stg_srcs.end());
+    EXPECT_NE(std::find(stg_srcs.begin(), stg_srcs.end(), 5),
+              stg_srcs.end());
+    EXPECT_TRUE(prog.instrs[1].writesReg(6));
+    EXPECT_TRUE(prog.instrs[1].readsReg(7));
+}
+
+TEST(Cfg, StraightLineIsOneBlock)
+{
+    Program prog = assemble(R"(
+.kernel s
+.tb 32
+    MOV R0, 1
+    IADD R1, R0, 2
+    EXIT
+)");
+    Cfg cfg(prog);
+    EXPECT_EQ(cfg.numBlocks(), 1);
+}
+
+TEST(Cfg, IfElseDiamondHasReconvergence)
+{
+    // 0: ISETP; 1: @P0 BRA else; 2: MOV(then); 3: BRA join;
+    // 4: MOV(else); 5: join MOV; 6: EXIT
+    Program prog = assemble(R"(
+.kernel diamond
+.tb 32
+    ISETP.LT P0, R0, 5
+    @P0 BRA else
+    MOV R1, 1
+    BRA join
+else:
+    MOV R1, 2
+join:
+    MOV R2, R1
+    EXIT
+)");
+    Cfg cfg(prog);
+    EXPECT_EQ(cfg.numBlocks(), 4);
+    // The guarded branch (instr 1) reconverges at the join block.
+    EXPECT_EQ(cfg.reconvergencePc(1), 5);
+}
+
+TEST(Cfg, LoopDetection)
+{
+    Program prog = assemble(R"(
+.kernel loop
+.tb 32
+    MOV R0, 0
+top:
+    IADD R0, R0, 1
+    ISETP.LT P0, R0, 10
+    @P0 BRA top
+    EXIT
+)");
+    Cfg cfg(prog);
+    auto loops = cfg.loops();
+    ASSERT_EQ(loops.size(), 1u);
+    EXPECT_TRUE(loops[0].singleBlock());
+    EXPECT_EQ(cfg.blocks()[loops[0].header].first, 1);
+}
+
+TEST(Cfg, DominatorsOfNestedFlow)
+{
+    Program prog = assemble(R"(
+.kernel nest
+.tb 32
+    MOV R0, 0
+outer:
+    MOV R1, 0
+inner:
+    IADD R1, R1, 1
+    ISETP.LT P0, R1, 4
+    @P0 BRA inner
+    IADD R0, R0, 1
+    ISETP.LT P1, R0, 4
+    @P1 BRA outer
+    EXIT
+)");
+    Cfg cfg(prog);
+    auto loops = cfg.loops();
+    EXPECT_EQ(loops.size(), 2u);
+    // Entry block dominates everything.
+    for (int b = 0; b < cfg.numBlocks(); ++b)
+        EXPECT_TRUE(cfg.dominates(0, b));
+}
+
+TEST(Program, ValidateCatchesUndeclaredQueue)
+{
+    KernelBuilder b("bad");
+    b.tbDim(32);
+    b.emit(Opcode::MOV, {R(0)}, {Q(0)});
+    b.exit();
+    EXPECT_DEATH({ b.finish(); }, "queue");
+}
+
+TEST(Program, RecomputeNumRegs)
+{
+    KernelBuilder b("regs");
+    b.tbDim(32);
+    b.mov(17, Imm(1));
+    b.exit();
+    Program prog = b.finish();
+    EXPECT_EQ(prog.numRegs, 18);
+}

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * Integration tests for the GPU simulator: functional correctness of
+ * kernels end-to-end (memory in, memory out), SIMT divergence, barriers,
+ * decoupled queue producer/consumer pipelines, SMEM tiles and the
+ * WASP-TMA engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "compiler/waspc.hh"
+#include "isa/builder.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+using namespace wasp::sim;
+
+namespace
+{
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig config;
+    config.numSms = 2;
+    config.maxCycles = 2'000'000;
+    return config;
+}
+
+/** out[i] = a * in[i] + b over n elements; params: in, out, n. */
+Program
+saxpyKernel(int tb = 128)
+{
+    KernelBuilder b("saxpy");
+    b.tbDim(tb);
+    b.s2r(0, SpecialReg::TID_X);
+    b.s2r(1, SpecialReg::CTAID_X);
+    b.imad(2, R(1), Imm(tb), R(0));     // gid
+    b.shl(3, R(2), Imm(2));             // byte offset
+    b.iadd(4, R(3), CParam(0));         // &in[gid]
+    b.ldg(5, 4, 0);
+    b.fmul(6, R(5), FImm(2.0f));
+    b.fadd(6, R(6), FImm(1.0f));
+    b.iadd(7, R(3), CParam(1));         // &out[gid]
+    b.stg(7, 0, R(6));
+    b.exit();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(SimBasic, SaxpyComputesCorrectValues)
+{
+    mem::GlobalMemory gmem;
+    const int n = 1024;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i) * 0.5f);
+
+    Program prog = saxpyKernel();
+    RunStats stats = runProgram(smallConfig(), gmem, prog, n / 128,
+                                {in, out});
+    EXPECT_GT(stats.cycles, 0u);
+    for (int i = 0; i < n; ++i) {
+        float expect = static_cast<float>(i) * 0.5f * 2.0f + 1.0f;
+        EXPECT_FLOAT_EQ(gmem.readF32(out + static_cast<uint32_t>(i) * 4),
+                        expect)
+            << i;
+    }
+    EXPECT_GT(stats.totalDynInstrs(), 0u);
+}
+
+TEST(SimBasic, PartialWarpMasksOffTailLanes)
+{
+    // dimX = 40: second warp has only 8 active lanes.
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(64 * 4);
+    KernelBuilder b("partial");
+    b.tbDim(40);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.iadd(2, R(0), Imm(7));
+    b.stg(1, 0, R(2));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 1, {out});
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(i + 7));
+    for (int i = 40; i < 64; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4), 0u);
+}
+
+TEST(SimControl, LoopAccumulates)
+{
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(32 * 4);
+    KernelBuilder b("loop");
+    b.tbDim(32);
+    b.s2r(0, SpecialReg::TID_X);
+    b.mov(1, Imm(0));
+    b.mov(2, Imm(0));
+    auto top = b.freshLabel("top");
+    b.place(top);
+    b.iadd(1, R(1), R(0));   // acc += tid
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(0, CmpOp::LT, R(2), Imm(10));
+    b.pred(0).bra(top);
+    b.shl(3, R(0), Imm(2));
+    b.iadd(3, R(3), CParam(0));
+    b.stg(3, 0, R(1));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 1, {out});
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(10 * i));
+}
+
+TEST(SimControl, DivergentBranchesReconverge)
+{
+    // out[i] = (i < 10) ? i*3 : i+100 — then all lanes add 1 after the
+    // reconvergence point.
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(32 * 4);
+    KernelBuilder b("diverge");
+    b.tbDim(32);
+    b.s2r(0, SpecialReg::TID_X);
+    b.isetp(0, CmpOp::LT, R(0), Imm(10));
+    auto els = b.freshLabel("else");
+    auto join = b.freshLabel("join");
+    b.pred(0, true).bra(els);
+    b.imul(1, R(0), Imm(3));
+    b.bra(join);
+    b.place(els);
+    b.iadd(1, R(0), Imm(100));
+    b.place(join);
+    b.iadd(1, R(1), Imm(1));
+    b.shl(2, R(0), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 0, R(1));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 1, {out});
+    for (int i = 0; i < 32; ++i) {
+        uint32_t expect = i < 10 ? static_cast<uint32_t>(i * 3 + 1)
+                                 : static_cast<uint32_t>(i + 101);
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4), expect)
+            << i;
+    }
+}
+
+TEST(SimControl, DataDependentLoopTripCounts)
+{
+    // Each lane loops tid%4+1 times: exercises divergent loop exits.
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(32 * 4);
+    KernelBuilder b("dloop");
+    b.tbDim(32);
+    b.s2r(0, SpecialReg::TID_X);
+    b.and_(1, R(0), Imm(3));
+    b.iadd(1, R(1), Imm(1)); // trips
+    b.mov(2, Imm(0));        // i
+    b.mov(3, Imm(0));        // acc
+    auto top = b.freshLabel("top");
+    b.place(top);
+    b.iadd(3, R(3), Imm(5));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(0, CmpOp::LT, R(2), R(1));
+    b.pred(0).bra(top);
+    b.shl(4, R(0), Imm(2));
+    b.iadd(4, R(4), CParam(0));
+    b.stg(4, 0, R(3));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 1, {out});
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(5 * (i % 4 + 1)))
+            << i;
+}
+
+TEST(SimSmem, TileThroughSharedMemoryWithBarrier)
+{
+    // Stage pattern of Fig 1a: all warps store to SMEM, barrier, read
+    // a rotated element back.
+    mem::GlobalMemory gmem;
+    const int tb = 64;
+    uint32_t in = gmem.alloc(tb * 4);
+    uint32_t out = gmem.alloc(tb * 4);
+    for (int i = 0; i < tb; ++i)
+        gmem.write32(in + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(1000 + i));
+    KernelBuilder b("smem_tile");
+    b.tbDim(tb).smemBytes(tb * 4);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(2, R(1), CParam(0));
+    b.ldg(3, 2, 0);
+    b.sts(1, 0, R(3));
+    b.barSync();
+    // read smem[(tid+1) % tb]
+    b.iadd(4, R(0), Imm(1));
+    b.and_(4, R(4), Imm(tb - 1));
+    b.shl(4, R(4), Imm(2));
+    b.lds(5, 4, 0);
+    b.iadd(6, R(1), CParam(1));
+    b.stg(6, 0, R(5));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 1, {in, out});
+    for (int i = 0; i < tb; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(1000 + (i + 1) % tb))
+            << i;
+}
+
+TEST(SimQueue, ProducerConsumerPipelineThroughRfq)
+{
+    // Two-stage warp-specialized pipeline: stage 0 streams the input
+    // into an RFQ, stage 1 pops, doubles, and stores.
+    mem::GlobalMemory gmem;
+    const int tb = 32;     // one slice
+    const int chunks = 16; // entries streamed per slice
+    uint32_t in = gmem.alloc(tb * chunks * 4);
+    uint32_t out = gmem.alloc(tb * chunks * 4);
+    for (int i = 0; i < tb * chunks; ++i)
+        gmem.write32(in + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(i));
+
+    KernelBuilder b("pipe");
+    b.tbDim(tb).stages(2).stageRegs({8, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ptop = b.freshLabel("ptop");
+    auto ctop = b.freshLabel("ctop");
+    // Jump table.
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    // -- consumer (stage 1)
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.iadd(3, R(3), R(3)); // double
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(tb * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ctop);
+    b.exit();
+    // -- producer (stage 0)
+    b.place(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.mov(2, Imm(0));
+    b.place(ptop);
+    b.ldgQueue(q, 1, 0);
+    b.iadd(1, R(1), Imm(tb * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ptop);
+    b.exit();
+    Program prog = b.finish();
+
+    runProgram(smallConfig(), gmem, prog, 2, {in, out});
+    for (int i = 0; i < tb * chunks; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(2 * i))
+            << i;
+}
+
+TEST(SimQueue, SmemBackendProducesSameResult)
+{
+    // The SMEM software-queue backend changes timing, not values.
+    mem::GlobalMemory gmem;
+    uint32_t in = gmem.alloc(32 * 4);
+    uint32_t out_rfq = gmem.alloc(32 * 4);
+    uint32_t out_smem = gmem.alloc(32 * 4);
+    for (int i = 0; i < 32; ++i)
+        gmem.write32(in + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(i * 3));
+
+    KernelBuilder b("pipe1");
+    b.tbDim(32).stages(2).stageRegs({4, 4});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Q(q));
+    b.iadd(2, R(2), Imm(1));
+    b.stg(1, 0, R(2));
+    b.exit();
+    b.place(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.ldgQueue(q, 1, 0);
+    b.exit();
+    Program prog = b.finish();
+
+    GpuConfig rfq_config = smallConfig();
+    RunStats rfq_stats = runProgram(rfq_config, gmem, prog, 1,
+                                    {in, out_rfq});
+    GpuConfig smem_config = smallConfig();
+    smem_config.queueBackend = QueueBackend::Smem;
+    RunStats smem_stats = runProgram(smem_config, gmem, prog, 1,
+                                     {in, out_smem});
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(gmem.read32(out_rfq + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(i * 3 + 1));
+        EXPECT_EQ(gmem.read32(out_smem + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(i * 3 + 1));
+    }
+    // Software queues execute extra bookkeeping instructions.
+    EXPECT_GT(smem_stats.totalDynInstrs(), rfq_stats.totalDynInstrs());
+}
+
+TEST(SimTma, StreamDescriptorFillsQueue)
+{
+    // Stage 0 launches one TMA.STREAM covering the whole input; stage 1
+    // pops and stores.
+    mem::GlobalMemory gmem;
+    const int n = 32 * 8;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.write32(in + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(i + 42));
+
+    KernelBuilder b("tma_stream");
+    b.tbDim(32).stages(2).stageRegs({4, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(n / 32));
+    b.pred(1).bra(ctop);
+    b.exit();
+    b.place(prod);
+    b.mov(1, CParam(0));
+    b.mov(2, Imm(n));
+    b.tmaStream(q, 1, 2, 4);
+    b.exit();
+    Program prog = b.finish();
+
+    GpuConfig config = smallConfig();
+    config.waspTmaEnabled = true;
+    runProgram(config, gmem, prog, 1, {in, out});
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(i + 42))
+            << i;
+}
+
+TEST(SimTma, GatherDescriptorIndirectsThroughIndexArray)
+{
+    mem::GlobalMemory gmem;
+    const int n = 64;
+    uint32_t idx = gmem.alloc(n * 4);
+    uint32_t data = gmem.alloc(256 * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < 256; ++i)
+        gmem.write32(data + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(i * 7));
+    for (int i = 0; i < n; ++i)
+        gmem.write32(idx + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>((i * 37) % 256));
+
+    KernelBuilder b("tma_gather");
+    b.tbDim(32).stages(2).stageRegs({4, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(2));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(n / 32));
+    b.pred(1).bra(ctop);
+    b.exit();
+    b.place(prod);
+    b.mov(1, CParam(0));
+    b.mov(2, CParam(1));
+    b.mov(3, Imm(n));
+    b.tmaGatherQueue(q, 1, 2, 3);
+    b.exit();
+    Program prog = b.finish();
+
+    GpuConfig config = smallConfig();
+    config.waspTmaEnabled = true;
+    runProgram(config, gmem, prog, 1, {idx, data, out});
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(gmem.read32(out + static_cast<uint32_t>(i) * 4),
+                  static_cast<uint32_t>(((i * 37) % 256) * 7))
+            << i;
+}
+
+TEST(SimSched, PoliciesPreserveFunctionalResults)
+{
+    mem::GlobalMemory gmem;
+    const int n = 512;
+    uint32_t in = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i));
+    Program prog = saxpyKernel();
+    for (SchedPolicy policy :
+         {SchedPolicy::Gto, SchedPolicy::ProducerFirst,
+          SchedPolicy::WaspCombined}) {
+        uint32_t out = gmem.alloc(n * 4);
+        GpuConfig config = smallConfig();
+        config.sched = policy;
+        runProgram(config, gmem, prog, n / 128, {in, out});
+        for (int i = 0; i < n; ++i)
+            EXPECT_FLOAT_EQ(
+                gmem.readF32(out + static_cast<uint32_t>(i) * 4),
+                static_cast<float>(i) * 2.0f + 1.0f);
+    }
+}
+
+TEST(SimStats, AtomicsAccumulateAcrossBlocks)
+{
+    mem::GlobalMemory gmem;
+    uint32_t counter = gmem.alloc(4);
+    KernelBuilder b("atom");
+    b.tbDim(64);
+    b.mov(0, CParam(0));
+    b.atomgAdd(1, 0, 0, Imm(1));
+    b.exit();
+    Program prog = b.finish();
+    runProgram(smallConfig(), gmem, prog, 4, {counter});
+    EXPECT_EQ(gmem.read32(counter), 256u);
+}
+
+TEST(SimStats, DynInstrCategoriesAreCounted)
+{
+    mem::GlobalMemory gmem;
+    const int n = 256;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    Program prog = saxpyKernel();
+    RunStats stats = runProgram(smallConfig(), gmem, prog, n / 128,
+                                {in, out});
+    using isa::InstrCategory;
+    EXPECT_GT(stats.category(InstrCategory::Memory), 0u);
+    EXPECT_GT(stats.category(InstrCategory::Compute), 0u);
+    EXPECT_GT(stats.category(InstrCategory::Control), 0u);
+    // 2 blocks x 4 warps x 2 memory instructions.
+    EXPECT_EQ(stats.category(InstrCategory::Memory), 16u);
+}
+
+TEST(SimBarrier, NamedArriveWaitPhasesWithInitialCredit)
+{
+    // Two warps: warp of stage 0 waits on barrier 0 (initial phase 1,
+    // so the first wait passes without any arrival), then writes; the
+    // stage-1 warp arrives once to unblock the second wait.
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(64 * 4);
+    KernelBuilder b("barrier_phases");
+    b.tbDim(32).stages(2).stageRegs({6, 6});
+    b.barrier(1, 1); // expected=1, initialPhase=1
+    auto prod = b.freshLabel("prod");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    // stage 1: arrive once, then store a marker.
+    b.barArrive(0);
+    b.s2r(1, SpecialReg::TID_X);
+    b.shl(2, R(1), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 128, Imm(7));
+    b.exit();
+    b.place(prod);
+    // stage 0: first wait passes on the initial credit; the second
+    // requires stage 1's arrival.
+    b.barWait(0);
+    b.barWait(0);
+    b.s2r(1, SpecialReg::TID_X);
+    b.shl(2, R(1), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 0, Imm(9));
+    b.exit();
+    Program prog = b.finish();
+    GpuConfig config;
+    config.numSms = 1;
+    config.maxCycles = 100000;
+    runProgram(config, gmem, prog, 1, {out});
+    EXPECT_EQ(gmem.read32(out), 9u);
+    EXPECT_EQ(gmem.read32(out + 128), 7u);
+}
+
+TEST(SimOccupancy, PerStageRegAllocRaisesResidency)
+{
+    // A 2-stage kernel with a tiny memory stage and a fat compute
+    // stage: per-stage allocation must fit more blocks per SM than
+    // uniform allocation.
+    KernelBuilder b("occupancy");
+    b.tbDim(128).stages(2).stageRegs({4, 120});
+    auto prod = b.freshLabel("prod");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.mov(119, Imm(1)); // touch a high register: fat compute stage
+    b.exit();
+    b.place(prod);
+    b.mov(3, Imm(1));
+    b.exit();
+    Program prog = b.finish();
+
+    auto run_with = [&](RegAllocPolicy policy) {
+        mem::GlobalMemory gmem;
+        GpuConfig config;
+        config.numSms = 1;
+        config.regAlloc = policy;
+        config.maxCycles = 100000;
+        return runProgram(config, gmem, prog, 64, {});
+    };
+    RunStats uniform = run_with(RegAllocPolicy::Uniform);
+    RunStats per_stage = run_with(RegAllocPolicy::PerStage);
+    EXPECT_GT(per_stage.maxResidentTbPerSm, uniform.maxResidentTbPerSm);
+    EXPECT_LT(per_stage.tbRegisterFootprint,
+              uniform.tbRegisterFootprint);
+}
+
+TEST(SimStats, TimelineRecordsIntervals)
+{
+    mem::GlobalMemory gmem;
+    const int n = 1024;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    Program prog = saxpyKernel();
+    GpuConfig config = smallConfig();
+    config.timelineInterval = 64;
+    RunStats stats = runProgram(config, gmem, prog, n / 128, {in, out});
+    EXPECT_GT(stats.timeline.size(), 2u);
+    for (const auto &sample : stats.timeline) {
+        EXPECT_GE(sample.l2Util, 0.0);
+        EXPECT_LE(sample.l2Util, 1.0 + 1e-9);
+    }
+}
+
+TEST(SimMapping, GroupPipelineBeatsRoundRobinOnImbalancedPipelines)
+{
+    // Compute-heavy 2-stage pipeline with 4 slices: round-robin
+    // segregates stages (Fig 5) and serializes compute on half the
+    // processing blocks.
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::tileMma(gmem, 8, 16, 12);
+    compiler::CompileOptions opts;
+    opts.streamGather = false;
+    auto cr = compiler::warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    auto run_with = [&](WarpMapPolicy policy) {
+        GpuConfig config;
+        config.numSms = 2;
+        config.mapPolicy = policy;
+        config.maxCycles = 2'000'000;
+        return sim::runProgram(config, gmem, cr.program, k.grid,
+                               k.params);
+    };
+    RunStats rr = run_with(WarpMapPolicy::RoundRobin);
+    RunStats gp = run_with(WarpMapPolicy::GroupPipeline);
+    EXPECT_LT(gp.cycles, rr.cycles);
+}

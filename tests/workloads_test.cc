@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Workload tests: every kernel builder produces a program that runs and
+ * matches its CPU reference on a plain GPU; property-style checks over
+ * kernel parameters; benchmark suite integrity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/gpu.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+using namespace wasp::workloads;
+
+namespace
+{
+
+sim::GpuConfig
+plainGpu()
+{
+    sim::GpuConfig config;
+    config.numSms = 2;
+    config.maxCycles = 10'000'000;
+    return config;
+}
+
+int
+mismatches(mem::GlobalMemory &gmem, const BuiltKernel &k)
+{
+    int bad = 0;
+    for (uint32_t i = 0; i < k.outWords; ++i) {
+        if (gmem.read32(k.outAddr + i * 4) != k.expected[i])
+            ++bad;
+    }
+    return bad;
+}
+
+using Factory = std::function<BuiltKernel(mem::GlobalMemory &)>;
+
+class KernelReference : public ::testing::TestWithParam<
+                            std::pair<const char *, Factory>>
+{
+};
+
+} // namespace
+
+TEST_P(KernelReference, SimulationMatchesCpu)
+{
+    mem::GlobalMemory gmem;
+    BuiltKernel k = GetParam().second(gmem);
+    sim::RunStats stats =
+        sim::runProgram(plainGpu(), gmem, k.prog, k.grid, k.params);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_EQ(mismatches(gmem, k), 0) << GetParam().first;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelReference,
+    ::testing::Values(
+        std::make_pair("stream_triad",
+                       Factory([](mem::GlobalMemory &g) {
+                           return streamTriad(g, 4, 8, 3);
+                       })),
+        std::make_pair("stream_triad_hmma",
+                       Factory([](mem::GlobalMemory &g) {
+                           return streamTriad(g, 4, 8, 3, true);
+                       })),
+        std::make_pair("gather_scale",
+                       Factory([](mem::GlobalMemory &g) {
+                           return gatherScale(g, 4, 8, 4096, 0, 2);
+                       })),
+        std::make_pair("gather_scale_hot",
+                       Factory([](mem::GlobalMemory &g) {
+                           return gatherScale(g, 4, 8, 65536, 512, 0);
+                       })),
+        std::make_pair("chained_gather",
+                       Factory([](mem::GlobalMemory &g) {
+                           return chainedGather(g, 4, 8, 4096);
+                       })),
+        std::make_pair("tile_mma",
+                       Factory([](mem::GlobalMemory &g) {
+                           return tileMma(g, 4, 8, 4);
+                       })),
+        std::make_pair("spmv_uniform",
+                       Factory([](mem::GlobalMemory &g) {
+                           return spmvCsr(g, 4, 5, 0, 0);
+                       })),
+        std::make_pair("spmv_skewed",
+                       Factory([](mem::GlobalMemory &g) {
+                           return spmvCsr(g, 4, 8, 1, 0);
+                       })),
+        std::make_pair("spmm_flops",
+                       Factory([](mem::GlobalMemory &g) {
+                           return spmvCsr(g, 4, 5, 0, 6);
+                       })),
+        std::make_pair("stencil5",
+                       Factory([](mem::GlobalMemory &g) {
+                           return stencil5(g, 4, 8);
+                       })),
+        std::make_pair("sweep_scan",
+                       Factory([](mem::GlobalMemory &g) {
+                           return sweepScan(g, 4, 8);
+                       }))),
+    [](const auto &info) { return std::string(info.param.first); });
+
+class TriadSizes : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+/** Property sweep: correctness across block/chunk shapes. */
+TEST_P(TriadSizes, CorrectAcrossShapes)
+{
+    auto [blocks, chunks] = GetParam();
+    mem::GlobalMemory gmem;
+    BuiltKernel k = streamTriad(gmem, blocks, chunks, 1);
+    sim::runProgram(plainGpu(), gmem, k.prog, k.grid, k.params);
+    EXPECT_EQ(mismatches(gmem, k), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TriadSizes,
+    ::testing::Values(std::make_pair(1, 2), std::make_pair(1, 16),
+                      std::make_pair(3, 4), std::make_pair(7, 8),
+                      std::make_pair(16, 2)),
+    [](const auto &info) {
+        return "b" + std::to_string(info.param.first) + "_c" +
+               std::to_string(info.param.second);
+    });
+
+TEST(Suite, HasTwentyUniquelyNamedBenchmarks)
+{
+    const auto &s = suite();
+    EXPECT_EQ(s.size(), 20u);
+    std::set<std::string> names;
+    for (const auto &b : s) {
+        EXPECT_TRUE(names.insert(b.name).second) << b.name;
+        EXPECT_FALSE(b.kernels.empty()) << b.name;
+        double total = 0.0;
+        for (const auto &mix : b.kernels) {
+            EXPECT_GT(mix.weight, 0.0);
+            total += mix.weight;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9) << b.name;
+    }
+}
+
+TEST(Suite, CategoriesMatchTableTwo)
+{
+    std::map<std::string, int> by_category;
+    for (const auto &b : suite())
+        ++by_category[b.category];
+    EXPECT_EQ(by_category["ML/Robotics"], 7);
+    EXPECT_EQ(by_category["cuSPARSE"], 6);
+    EXPECT_EQ(by_category["HPC"], 4);
+    EXPECT_EQ(by_category["Graph"], 3);
+}
+
+TEST(Suite, GemmFractionsOnlyInMlApps)
+{
+    // GEMM (CUTLASS-modelled) kernels appear only where Table II
+    // reports a cuBLAS/GEMM percentage.
+    std::set<std::string> with_gemm;
+    for (const auto &b : suite()) {
+        for (const auto &mix : b.kernels) {
+            mem::GlobalMemory gmem;
+            BuiltKernel k = mix.build(gmem);
+            if (k.isGemm)
+                with_gemm.insert(b.name);
+        }
+    }
+    EXPECT_EQ(with_gemm,
+              (std::set<std::string>{"3d_unet", "bert", "dlrm", "gpt2"}));
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * wasp-cli — command-line driver for the WASP toolchain.
+ *
+ *   wasp-cli compile <kernel.wsass> [--tile-only] [--no-tma]
+ *       Warp specialize a WSASS kernel and print the result.
+ *
+ *   wasp-cli run <kernel.wsass> --grid N [--param V]... [--wasp]
+ *       Assemble (and optionally warp specialize) a kernel, run it on
+ *       the simulated GPU, and print the run statistics.
+ *
+ *   wasp-cli roundtrip <kernel.wsass>
+ *       Assemble and disassemble (format check).
+ *
+ * Kernel parameters are 32-bit values passed to c[0], c[1], ... in
+ * order. `run` allocates no data; kernels that need input arrays should
+ * use `--alloc BYTES` parameters, which allocate zeroed global memory
+ * and pass the base address as the next parameter.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "compiler/waspc.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wasp-cli compile <kernel.wsass> [--tile-only] "
+                 "[--no-tma]\n"
+                 "       wasp-cli run <kernel.wsass> --grid N "
+                 "[--param V | --alloc BYTES]... [--wasp]\n"
+                 "       wasp-cli roundtrip <kernel.wsass>\n");
+    return 2;
+}
+
+int
+cmdCompile(const std::string &path, bool tile_only, bool no_tma)
+{
+    isa::Program prog = isa::assemble(readFile(path));
+    compiler::CompileOptions opts;
+    opts.streamGather = !tile_only;
+    opts.emitTma = !no_tma;
+    compiler::CompileResult cr = compiler::warpSpecialize(prog, opts);
+    std::fprintf(stderr,
+                 "; stages=%d extracted=%d tiled=%s doubleBuffered=%s "
+                 "tmaStreams=%d tmaGathers=%d transformed=%s\n",
+                 cr.report.numStages, cr.report.extractedLoads,
+                 cr.report.tiled ? "yes" : "no",
+                 cr.report.doubleBuffered ? "yes" : "no",
+                 cr.report.tmaStreams, cr.report.tmaGathers,
+                 cr.report.transformed ? "yes" : "no");
+    for (const auto &note : cr.report.notes)
+        std::fprintf(stderr, "; note: %s\n", note.c_str());
+    std::printf("%s", isa::disassemble(cr.program).c_str());
+    return 0;
+}
+
+int
+cmdRun(const std::string &path, int grid,
+       const std::vector<uint32_t> &params,
+       const std::vector<size_t> &alloc_slots,
+       const std::vector<uint32_t> &alloc_bytes, bool wasp)
+{
+    isa::Program prog = isa::assemble(readFile(path));
+    mem::GlobalMemory gmem;
+    std::vector<uint32_t> final_params = params;
+    for (size_t i = 0; i < alloc_slots.size(); ++i) {
+        uint32_t addr = gmem.alloc(alloc_bytes[i]);
+        final_params.insert(final_params.begin() +
+                                static_cast<long>(alloc_slots[i]),
+                            addr);
+    }
+
+    const isa::Program *to_run = &prog;
+    compiler::CompileResult cr;
+    sim::GpuConfig gpu;
+    if (wasp) {
+        compiler::CompileOptions opts;
+        opts.emitTma = true;
+        cr = compiler::warpSpecialize(prog, opts);
+        to_run = &cr.program;
+        gpu.queueBackend = sim::QueueBackend::Rfq;
+        gpu.regAlloc = sim::RegAllocPolicy::PerStage;
+        gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+        gpu.sched = sim::SchedPolicy::WaspCombined;
+        gpu.waspTmaEnabled = true;
+        std::fprintf(stderr, "; warp specialized into %d stages\n",
+                     cr.report.numStages);
+    }
+    sim::RunStats stats =
+        sim::runProgram(gpu, gmem, *to_run, grid, final_params);
+    std::printf("cycles            %llu\n",
+                static_cast<unsigned long long>(stats.cycles));
+    std::printf("dyn instructions  %llu\n",
+                static_cast<unsigned long long>(stats.totalDynInstrs()));
+    for (int c = 0; c < 6; ++c) {
+        std::printf("  %-10s      %llu\n",
+                    isa::categoryName(static_cast<isa::InstrCategory>(c)),
+                    static_cast<unsigned long long>(
+                        stats.dynInstrs[static_cast<size_t>(c)]));
+    }
+    std::printf("L1 hit rate       %.1f%%\n", stats.l1HitRate() * 100.0);
+    std::printf("L2 utilization    %.1f%%\n",
+                stats.l2Utilization() * 100.0);
+    std::printf("DRAM utilization  %.1f%%\n",
+                stats.dramUtilization() * 100.0);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string cmd = argv[1];
+    std::string path = argv[2];
+    if (cmd == "roundtrip") {
+        isa::Program prog = isa::assemble(readFile(path));
+        std::printf("%s", isa::disassemble(prog).c_str());
+        return 0;
+    }
+    if (cmd == "compile") {
+        bool tile_only = false;
+        bool no_tma = false;
+        for (int i = 3; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--tile-only"))
+                tile_only = true;
+            else if (!std::strcmp(argv[i], "--no-tma"))
+                no_tma = true;
+            else
+                return usage();
+        }
+        return cmdCompile(path, tile_only, no_tma);
+    }
+    if (cmd == "run") {
+        int grid = 1;
+        bool wasp = false;
+        std::vector<uint32_t> params;
+        std::vector<size_t> alloc_slots;
+        std::vector<uint32_t> alloc_bytes;
+        for (int i = 3; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--grid") && i + 1 < argc) {
+                grid = std::atoi(argv[++i]);
+            } else if (!std::strcmp(argv[i], "--param") && i + 1 < argc) {
+                params.push_back(static_cast<uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 0)));
+            } else if (!std::strcmp(argv[i], "--alloc") && i + 1 < argc) {
+                alloc_slots.push_back(params.size() + alloc_slots.size());
+                alloc_bytes.push_back(static_cast<uint32_t>(
+                    std::strtoul(argv[++i], nullptr, 0)));
+            } else if (!std::strcmp(argv[i], "--wasp")) {
+                wasp = true;
+            } else {
+                return usage();
+            }
+        }
+        return cmdRun(path, grid, params, alloc_slots, alloc_bytes, wasp);
+    }
+    return usage();
+}
