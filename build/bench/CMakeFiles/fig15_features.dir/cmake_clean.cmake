@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_features.dir/fig15_features.cc.o"
+  "CMakeFiles/fig15_features.dir/fig15_features.cc.o.d"
+  "fig15_features"
+  "fig15_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_regalloc.dir/fig16_regalloc.cc.o"
+  "CMakeFiles/fig16_regalloc.dir/fig16_regalloc.cc.o.d"
+  "fig16_regalloc"
+  "fig16_regalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_regalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

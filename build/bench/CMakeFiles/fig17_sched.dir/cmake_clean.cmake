@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_sched.dir/fig17_sched.cc.o"
+  "CMakeFiles/fig17_sched.dir/fig17_sched.cc.o.d"
+  "fig17_sched"
+  "fig17_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_rfq_size.dir/fig18_rfq_size.cc.o"
+  "CMakeFiles/fig18_rfq_size.dir/fig18_rfq_size.cc.o.d"
+  "fig18_rfq_size"
+  "fig18_rfq_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_rfq_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

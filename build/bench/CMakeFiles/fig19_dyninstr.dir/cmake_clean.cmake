@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_dyninstr.dir/fig19_dyninstr.cc.o"
+  "CMakeFiles/fig19_dyninstr.dir/fig19_dyninstr.cc.o.d"
+  "fig19_dyninstr"
+  "fig19_dyninstr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_dyninstr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

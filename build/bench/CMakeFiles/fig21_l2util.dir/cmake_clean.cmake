@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_l2util.dir/fig21_l2util.cc.o"
+  "CMakeFiles/fig21_l2util.dir/fig21_l2util.cc.o.d"
+  "fig21_l2util"
+  "fig21_l2util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_l2util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

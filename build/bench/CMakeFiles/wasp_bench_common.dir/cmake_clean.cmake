@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/wasp_bench_common.dir/bench_common.cc.o.d"
+  "libwasp_bench_common.a"
+  "libwasp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_scheduling.dir/explore_scheduling.cpp.o"
+  "CMakeFiles/explore_scheduling.dir/explore_scheduling.cpp.o.d"
+  "explore_scheduling"
+  "explore_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

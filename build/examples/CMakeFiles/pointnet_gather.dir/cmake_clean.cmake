@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointnet_gather.dir/pointnet_gather.cpp.o"
+  "CMakeFiles/pointnet_gather.dir/pointnet_gather.cpp.o.d"
+  "pointnet_gather"
+  "pointnet_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointnet_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

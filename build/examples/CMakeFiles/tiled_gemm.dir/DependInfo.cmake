@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tiled_gemm.cpp" "examples/CMakeFiles/tiled_gemm.dir/tiled_gemm.cpp.o" "gcc" "examples/CMakeFiles/tiled_gemm.dir/tiled_gemm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/wasp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wasp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wasp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/wasp_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wasp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/wasp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wasp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiled_gemm.dir/tiled_gemm.cpp.o"
+  "CMakeFiles/tiled_gemm.dir/tiled_gemm.cpp.o.d"
+  "tiled_gemm"
+  "tiled_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiled_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_common.dir/log.cc.o"
+  "CMakeFiles/wasp_common.dir/log.cc.o.d"
+  "CMakeFiles/wasp_common.dir/stats.cc.o"
+  "CMakeFiles/wasp_common.dir/stats.cc.o.d"
+  "libwasp_common.a"
+  "libwasp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

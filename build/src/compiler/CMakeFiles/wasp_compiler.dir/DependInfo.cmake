@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/affine.cc" "src/compiler/CMakeFiles/wasp_compiler.dir/affine.cc.o" "gcc" "src/compiler/CMakeFiles/wasp_compiler.dir/affine.cc.o.d"
+  "/root/repo/src/compiler/dataflow.cc" "src/compiler/CMakeFiles/wasp_compiler.dir/dataflow.cc.o" "gcc" "src/compiler/CMakeFiles/wasp_compiler.dir/dataflow.cc.o.d"
+  "/root/repo/src/compiler/waspc.cc" "src/compiler/CMakeFiles/wasp_compiler.dir/waspc.cc.o" "gcc" "src/compiler/CMakeFiles/wasp_compiler.dir/waspc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/wasp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_compiler.dir/affine.cc.o"
+  "CMakeFiles/wasp_compiler.dir/affine.cc.o.d"
+  "CMakeFiles/wasp_compiler.dir/dataflow.cc.o"
+  "CMakeFiles/wasp_compiler.dir/dataflow.cc.o.d"
+  "CMakeFiles/wasp_compiler.dir/waspc.cc.o"
+  "CMakeFiles/wasp_compiler.dir/waspc.cc.o.d"
+  "libwasp_compiler.a"
+  "libwasp_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

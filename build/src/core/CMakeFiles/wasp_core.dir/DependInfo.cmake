@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/core/CMakeFiles/wasp_core.dir/area_model.cc.o" "gcc" "src/core/CMakeFiles/wasp_core.dir/area_model.cc.o.d"
+  "/root/repo/src/core/tma.cc" "src/core/CMakeFiles/wasp_core.dir/tma.cc.o" "gcc" "src/core/CMakeFiles/wasp_core.dir/tma.cc.o.d"
+  "/root/repo/src/core/warp_mapper.cc" "src/core/CMakeFiles/wasp_core.dir/warp_mapper.cc.o" "gcc" "src/core/CMakeFiles/wasp_core.dir/warp_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/wasp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wasp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

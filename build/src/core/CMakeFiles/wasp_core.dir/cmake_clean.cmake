@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_core.dir/area_model.cc.o"
+  "CMakeFiles/wasp_core.dir/area_model.cc.o.d"
+  "CMakeFiles/wasp_core.dir/tma.cc.o"
+  "CMakeFiles/wasp_core.dir/tma.cc.o.d"
+  "CMakeFiles/wasp_core.dir/warp_mapper.cc.o"
+  "CMakeFiles/wasp_core.dir/warp_mapper.cc.o.d"
+  "libwasp_core.a"
+  "libwasp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

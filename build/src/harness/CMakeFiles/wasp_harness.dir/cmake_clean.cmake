@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_harness.dir/configs.cc.o"
+  "CMakeFiles/wasp_harness.dir/configs.cc.o.d"
+  "CMakeFiles/wasp_harness.dir/report.cc.o"
+  "CMakeFiles/wasp_harness.dir/report.cc.o.d"
+  "CMakeFiles/wasp_harness.dir/runner.cc.o"
+  "CMakeFiles/wasp_harness.dir/runner.cc.o.d"
+  "libwasp_harness.a"
+  "libwasp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

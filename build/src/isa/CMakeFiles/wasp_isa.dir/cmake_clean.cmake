@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_isa.dir/assembler.cc.o"
+  "CMakeFiles/wasp_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/builder.cc.o"
+  "CMakeFiles/wasp_isa.dir/builder.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/cfg.cc.o"
+  "CMakeFiles/wasp_isa.dir/cfg.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/disasm.cc.o"
+  "CMakeFiles/wasp_isa.dir/disasm.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/instruction.cc.o"
+  "CMakeFiles/wasp_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/opcode.cc.o"
+  "CMakeFiles/wasp_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/wasp_isa.dir/program.cc.o"
+  "CMakeFiles/wasp_isa.dir/program.cc.o.d"
+  "libwasp_isa.a"
+  "libwasp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_mem.dir/cache.cc.o"
+  "CMakeFiles/wasp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/wasp_mem.dir/l2.cc.o"
+  "CMakeFiles/wasp_mem.dir/l2.cc.o.d"
+  "libwasp_mem.a"
+  "libwasp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

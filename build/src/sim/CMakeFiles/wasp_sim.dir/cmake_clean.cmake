@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_sim.dir/gpu.cc.o"
+  "CMakeFiles/wasp_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/wasp_sim.dir/sm.cc.o"
+  "CMakeFiles/wasp_sim.dir/sm.cc.o.d"
+  "CMakeFiles/wasp_sim.dir/sm_issue.cc.o"
+  "CMakeFiles/wasp_sim.dir/sm_issue.cc.o.d"
+  "libwasp_sim.a"
+  "libwasp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmarks.cc" "src/workloads/CMakeFiles/wasp_workloads.dir/benchmarks.cc.o" "gcc" "src/workloads/CMakeFiles/wasp_workloads.dir/benchmarks.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/workloads/CMakeFiles/wasp_workloads.dir/kernels.cc.o" "gcc" "src/workloads/CMakeFiles/wasp_workloads.dir/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/wasp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wasp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wasp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp_workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/wasp_workloads.dir/benchmarks.cc.o.d"
+  "CMakeFiles/wasp_workloads.dir/kernels.cc.o"
+  "CMakeFiles/wasp_workloads.dir/kernels.cc.o.d"
+  "libwasp_workloads.a"
+  "libwasp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasp-cli.dir/wasp_cli.cc.o"
+  "CMakeFiles/wasp-cli.dir/wasp_cli.cc.o.d"
+  "wasp-cli"
+  "wasp-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasp-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
