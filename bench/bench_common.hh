@@ -1,8 +1,10 @@
 /**
  * @file
  * Shared infrastructure for the per-figure benchmark binaries: a
- * memoized benchmark runner (each (app, config) simulation runs once
- * per process) and the standard list of Table II applications.
+ * memoized, thread-safe benchmark runner (each (app, config)
+ * simulation runs once per process, even under concurrent callers),
+ * a `-j N` jobs flag shared by every binary, and parallel cache
+ * prewarming for a figure's config × app matrix.
  */
 
 #ifndef WASP_BENCH_COMMON_HH
@@ -16,12 +18,39 @@
 namespace wasp::bench
 {
 
-/** Run (or fetch the cached result of) one app under one config. */
+/**
+ * Run (or fetch the cached result of) one app under one config.
+ * Thread-safe: concurrent callers with the same key block until the
+ * single filling simulation finishes instead of double-simulating.
+ * The returned reference stays valid for the life of the process.
+ */
 const harness::BenchResult &cachedRun(const harness::ConfigSpec &spec,
                                       const std::string &app);
 
 /** Names of all Table II applications, in paper order. */
 std::vector<std::string> allApps();
+
+/**
+ * Parse and strip `-j N` / `-jN` / `--jobs N` / `--jobs=N` from argv
+ * (before benchmark::Initialize sees it). Returns the job count, which
+ * defaults to the hardware concurrency when the flag is absent.
+ */
+int initJobs(int *argc, char **argv);
+
+/** The job count selected by initJobs (defaults to hardware
+ * concurrency when initJobs was never called). */
+int jobs();
+
+/**
+ * Populate the cachedRun memo for the full specs × allApps() matrix
+ * using jobs() worker threads. Figure binaries call this first so the
+ * serial google-benchmark loop and the printed tables afterwards are
+ * all cache hits; because each simulation is independent and
+ * deterministic, the numbers are bit-identical for any job count.
+ */
+void prewarm(const std::vector<harness::ConfigSpec> &specs);
+void prewarm(const std::vector<harness::ConfigSpec> &specs,
+             const std::vector<std::string> &apps);
 
 } // namespace wasp::bench
 

@@ -70,6 +70,11 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    std::vector<ConfigSpec> specs;
+    for (PaperConfig which : kConfigs)
+        specs.push_back(makeConfig(which));
+    prewarm(specs);
     for (const auto &app : allApps()) {
         for (PaperConfig which : kConfigs) {
             std::string name =

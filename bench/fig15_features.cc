@@ -56,6 +56,11 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    std::vector<ConfigSpec> specs;
+    for (PaperConfig which : kStack)
+        specs.push_back(makeConfig(which));
+    prewarm(specs);
     for (const auto &app : allApps()) {
         for (PaperConfig which : kStack) {
             std::string name =

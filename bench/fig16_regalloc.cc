@@ -6,9 +6,12 @@
  * normalized to the non-warp-specialized original kernel.
  */
 
+#include <map>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hh"
+#include "common/thread_pool.hh"
 #include "compiler/waspc.hh"
 #include "harness/report.hh"
 
@@ -26,9 +29,15 @@ struct Footprints
     double perStage = 0.0; ///< warp specialized, per-stage (WASP)
 };
 
+/** Per-benchmark footprints, filled in parallel before any reader. */
+std::map<std::string, Footprints> g_footprints;
+
 Footprints
 analyze(const workloads::BenchmarkDef &bench)
 {
+    auto it = g_footprints.find(bench.name);
+    if (it != g_footprints.end())
+        return it->second;
     // Top kernel == highest weight entry of the mix.
     const workloads::KernelMix *top = &bench.kernels[0];
     for (const auto &mix : bench.kernels) {
@@ -92,6 +101,15 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    {
+        const auto &suite = workloads::suite();
+        std::vector<Footprints> f(suite.size());
+        parallelFor(jobs(), suite.size(),
+                    [&](size_t i) { f[i] = analyze(suite[i]); });
+        for (size_t i = 0; i < suite.size(); ++i)
+            g_footprints[suite[i].name] = f[i];
+    }
     for (const auto &bench : workloads::suite()) {
         std::string name = "fig16/" + bench.name;
         const workloads::BenchmarkDef *def = &bench;

@@ -72,6 +72,11 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    std::vector<ConfigSpec> specs;
+    for (auto policy : kPolicies)
+        specs.push_back(specFor(policy));
+    prewarm(specs);
     for (const auto &app : allApps()) {
         for (auto policy : kPolicies) {
             std::string name = "fig17/" + app + "/" +

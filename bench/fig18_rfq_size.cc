@@ -61,6 +61,11 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    std::vector<ConfigSpec> specs;
+    for (int entries : kSizes)
+        specs.push_back(specFor(entries));
+    prewarm(specs);
     for (const auto &app : allApps()) {
         for (int entries : kSizes) {
             std::string name =

@@ -72,6 +72,9 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    prewarm({makeConfig(PaperConfig::Baseline), waspNoTma(),
+             makeConfig(PaperConfig::WaspGpu)});
     for (const auto &app : allApps()) {
         benchmark::RegisterBenchmark(
             ("fig19/" + app).c_str(),

@@ -74,6 +74,11 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    std::vector<ConfigSpec> specs;
+    for (const auto &v : kVariants)
+        specs.push_back(specFor(v));
+    prewarm(specs);
     for (const auto &app : allApps()) {
         for (const auto &v : kVariants) {
             std::string name =

@@ -44,6 +44,9 @@ printFigure()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    prewarm({makeConfig(PaperConfig::Baseline),
+             makeConfig(PaperConfig::WaspGpu)});
     for (const auto &app : allApps()) {
         benchmark::RegisterBenchmark(
             ("fig21/" + app).c_str(),

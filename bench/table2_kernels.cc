@@ -70,6 +70,9 @@ printTable()
 int
 main(int argc, char **argv)
 {
+    initJobs(&argc, argv);
+    prewarm({makeConfig(PaperConfig::Baseline),
+             makeConfig(PaperConfig::WaspGpu)});
     for (const auto &bench : workloads::suite()) {
         std::string app = bench.name;
         benchmark::RegisterBenchmark(

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "harness/configs.hh"
 #include "harness/report.hh"
 
@@ -59,6 +60,8 @@ printTable()
 int
 main(int argc, char **argv)
 {
+    // No simulations to fan out, but -j is accepted uniformly.
+    wasp::bench::initJobs(&argc, argv);
     benchmark::RegisterBenchmark("table3/config",
                                  [](benchmark::State &state) {
                                      for (auto _ : state) {

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hh"
 #include "core/area_model.hh"
 #include "harness/report.hh"
 
@@ -43,6 +44,8 @@ printTable()
 int
 main(int argc, char **argv)
 {
+    // No simulations to fan out, but -j is accepted uniformly.
+    wasp::bench::initJobs(&argc, argv);
     benchmark::RegisterBenchmark(
         "table4/area",
         [](benchmark::State &state) {

@@ -1,0 +1,107 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+
+namespace wasp
+{
+
+int
+ThreadPool::defaultJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        threads = defaultJobs();
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        idle_cv_.wait(lock,
+                      [this] { return queue_.empty() && inFlight_ == 0; });
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (err && !firstError_)
+                firstError_ = err;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+parallelFor(int jobs, size_t n, const std::function<void(size_t)> &fn)
+{
+    if (jobs <= 0)
+        jobs = ThreadPool::defaultJobs();
+    if (jobs == 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(static_cast<int>(
+        std::min(static_cast<size_t>(jobs), n)));
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace wasp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning independent simulations
+ * out across cores. Deliberately work-stealing-free: tasks are taken
+ * from one FIFO queue under a mutex, which is plenty for the coarse
+ * (whole-benchmark) tasks the harness submits and keeps the code
+ * auditable. Determinism contract: the pool never changes *what* a
+ * task computes, only *when* it runs — callers must make each task
+ * own its mutable state (its own GlobalMemory, GPU, seed).
+ */
+
+#ifndef WASP_COMMON_THREAD_POOL_HH
+#define WASP_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wasp
+{
+
+class ThreadPool
+{
+  public:
+    /** Start `threads` workers; threads <= 0 means defaultJobs(). */
+    explicit ThreadPool(int threads = 0);
+    /** Drains the queue, waits for in-flight tasks, joins workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue one task. Tasks must not submit to the same pool. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. If any task threw,
+     * the first exception (in completion order) is rethrown here.
+     */
+    void wait();
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< signalled when a task arrives
+    std::condition_variable idle_cv_; ///< signalled when a task finishes
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t inFlight_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr firstError_;
+};
+
+/**
+ * Run fn(0..n-1) on `jobs` threads and block until done. jobs <= 1
+ * runs inline on the calling thread (a truly serial reference path);
+ * jobs <= 0 means ThreadPool::defaultJobs(). Exceptions propagate.
+ */
+void parallelFor(int jobs, size_t n, const std::function<void(size_t)> &fn);
+
+} // namespace wasp
+
+#endif // WASP_COMMON_THREAD_POOL_HH

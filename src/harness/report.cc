@@ -1,10 +1,101 @@
 #include "harness/report.hh"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
 
+#include "common/log.hh"
+#include "common/stats.hh"
+
 namespace wasp::harness
 {
+
+MatrixReport::MatrixReport(std::vector<std::string> apps,
+                           std::vector<std::string> configs)
+    : apps_(std::move(apps)), configs_(std::move(configs))
+{
+}
+
+void
+MatrixReport::add(const BenchResult &result)
+{
+    bool known_app = std::find(apps_.begin(), apps_.end(),
+                               result.benchmark) != apps_.end();
+    bool known_config = std::find(configs_.begin(), configs_.end(),
+                                  result.config) != configs_.end();
+    wasp_assert(known_app && known_config,
+                "MatrixReport::add of unknown cell (%s, %s)",
+                result.benchmark.c_str(), result.config.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_[{result.benchmark, result.config}] = result;
+}
+
+const BenchResult *
+MatrixReport::find(const std::string &app, const std::string &config) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find({app, config});
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+bool
+MatrixReport::complete() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return cells_.size() == apps_.size() * configs_.size();
+}
+
+std::string
+MatrixReport::renderSpeedups(const std::string &base_config) const
+{
+    std::vector<std::string> headers{"Benchmark"};
+    for (const auto &config : configs_)
+        headers.push_back(config);
+    Table table(headers);
+    std::vector<std::vector<double>> columns(configs_.size());
+    for (const auto &app : apps_) {
+        const BenchResult *base = find(app, base_config);
+        std::vector<std::string> row{app};
+        for (size_t c = 0; c < configs_.size(); ++c) {
+            const BenchResult *cell = find(app, configs_[c]);
+            if (base == nullptr || cell == nullptr) {
+                row.push_back("-");
+                continue;
+            }
+            double s = speedup(*base, *cell);
+            columns[c].push_back(s);
+            row.push_back(fmtSpeedup(s));
+        }
+        table.row(row);
+    }
+    std::vector<std::string> gm{"geomean"};
+    for (const auto &column : columns)
+        gm.push_back(column.empty() ? "-" : fmtSpeedup(geomean(column)));
+    table.row(gm);
+    return table.render();
+}
+
+std::string
+MatrixReport::renderCycles() const
+{
+    Table table({"Benchmark", "Config", "WeightedCycles", "Verified",
+                 "Seed"});
+    for (const auto &app : apps_) {
+        for (const auto &config : configs_) {
+            const BenchResult *cell = find(app, config);
+            if (cell == nullptr) {
+                table.row({app, config, "-", "-", "-"});
+                continue;
+            }
+            std::ostringstream seed;
+            seed << std::hex << std::setw(16) << std::setfill('0')
+                 << cell->seed;
+            table.row({app, config, fmtDouble(cell->weightedCycles, 0),
+                       cell->verified ? "yes" : "NO", seed.str()});
+        }
+    }
+    return table.render();
+}
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))

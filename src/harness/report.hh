@@ -7,8 +7,13 @@
 #ifndef WASP_HARNESS_REPORT_HH
 #define WASP_HARNESS_REPORT_HH
 
+#include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "harness/runner.hh"
 
 namespace wasp::harness
 {
@@ -24,6 +29,44 @@ class Table
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Order-independent aggregation of a benchmark × config result matrix.
+ * Results may be added from any thread in any completion order; the
+ * render methods emit rows in the canonical (apps, configs) order fixed
+ * at construction, so a parallel sweep prints byte-identical output to
+ * a serial one.
+ */
+class MatrixReport
+{
+  public:
+    MatrixReport(std::vector<std::string> apps,
+                 std::vector<std::string> configs);
+
+    /** Record one cell; thread-safe, any order. Unknown (app, config)
+     * pairs are rejected with an assertion. */
+    void add(const BenchResult &result);
+
+    /** The cell for (app, config), or nullptr if never added. */
+    const BenchResult *find(const std::string &app,
+                            const std::string &config) const;
+
+    /** True once every (app, config) cell has been added. */
+    bool complete() const;
+
+    /** Per-app speedups of every config against `base_config`, plus a
+     * geomean row — rows in canonical app order. */
+    std::string renderSpeedups(const std::string &base_config) const;
+
+    /** Raw weighted-cycle counts per cell plus the replay seed. */
+    std::string renderCycles() const;
+
+  private:
+    std::vector<std::string> apps_;
+    std::vector<std::string> configs_;
+    mutable std::mutex mu_;
+    std::map<std::pair<std::string, std::string>, BenchResult> cells_;
 };
 
 /** "1.47x" style formatting. */

@@ -1,6 +1,10 @@
 #include "harness/runner.hh"
 
+#include <cmath>
+#include <map>
+
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 
 namespace wasp::harness
 {
@@ -73,6 +77,7 @@ runBenchmark(const ConfigSpec &spec, const workloads::BenchmarkDef &bench)
     BenchResult result;
     result.benchmark = bench.name;
     result.config = spec.name;
+    result.seed = taskSeed(spec.name, bench.name);
     double total_weight = 0.0;
     for (const auto &mix : bench.kernels) {
         mem::GlobalMemory gmem;
@@ -105,6 +110,64 @@ speedup(const BenchResult &base, const BenchResult &other)
     if (other.weightedCycles <= 0.0)
         return 0.0;
     return base.weightedCycles / other.weightedCycles;
+}
+
+double
+speedup(const std::vector<BenchResult> &base,
+        const std::vector<BenchResult> &other)
+{
+    std::map<std::string, const BenchResult *> byName;
+    for (const auto &r : base)
+        byName[r.benchmark] = &r;
+    double logSum = 0.0;
+    int matched = 0;
+    for (const auto &r : other) {
+        auto it = byName.find(r.benchmark);
+        if (it == byName.end())
+            continue;
+        double s = speedup(*it->second, r);
+        if (s <= 0.0)
+            return 0.0;
+        logSum += std::log(s);
+        ++matched;
+    }
+    if (matched == 0)
+        return 0.0;
+    return std::exp(logSum / matched);
+}
+
+uint64_t
+taskSeed(const std::string &config_name, const std::string &app)
+{
+    // FNV-1a over "config\0app": stable across platforms and runs.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](unsigned char c) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    };
+    for (char c : config_name)
+        mix(static_cast<unsigned char>(c));
+    mix(0);
+    for (char c : app)
+        mix(static_cast<unsigned char>(c));
+    return h;
+}
+
+std::vector<BenchResult>
+runMatrix(const std::vector<ConfigSpec> &specs,
+          const std::vector<std::string> &apps, int jobs)
+{
+    // Pre-size the result grid so each task writes only its own cell:
+    // completion order cannot affect placement, and no locking is
+    // needed on the results themselves.
+    std::vector<BenchResult> results(specs.size() * apps.size());
+    parallelFor(jobs, results.size(), [&](size_t i) {
+        size_t s = i / apps.size();
+        size_t a = i % apps.size();
+        results[i] =
+            runBenchmark(specs[s], workloads::benchmark(apps[a]));
+    });
+    return results;
 }
 
 } // namespace wasp::harness

@@ -9,7 +9,9 @@
 #define WASP_HARNESS_RUNNER_HH
 
 #include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "harness/configs.hh"
 #include "sim/gpu.hh"
@@ -37,6 +39,9 @@ struct BenchResult
     std::string config;
     double weightedCycles = 0.0;
     bool verified = true;
+    /** Replay identity: taskSeed(config, benchmark). Identical for the
+     * same cell no matter how many worker threads ran the matrix. */
+    uint64_t seed = 0;
     /** Aggregated (weighted) statistics for the figures. */
     std::array<double, 6> dynInstrs{};
     double l2Utilization = 0.0;    ///< cycle-weighted average
@@ -53,6 +58,36 @@ BenchResult runBenchmark(const ConfigSpec &spec,
 /** Geometric-mean speedup helper: base time / config time per
  * benchmark, geomean across benchmarks. */
 double speedup(const BenchResult &base, const BenchResult &other);
+
+/**
+ * Suite-level speedup: pair up results by benchmark name and return the
+ * geometric mean of the per-benchmark speedups. Results that appear in
+ * only one list are ignored; returns 0.0 when the lists share no
+ * benchmark (including when either is empty) or when a matched pair has
+ * non-positive cycles.
+ */
+double speedup(const std::vector<BenchResult> &base,
+               const std::vector<BenchResult> &other);
+
+/**
+ * Deterministic per-cell seed for an (app, config) simulation: FNV-1a
+ * over both names. This is the replay key — it depends only on the
+ * cell, never on job count, scheduling, or completion order.
+ */
+uint64_t taskSeed(const std::string &config_name, const std::string &app);
+
+/**
+ * Run the full configs × apps experiment matrix on `jobs` worker
+ * threads (jobs <= 0 means hardware concurrency; jobs == 1 runs
+ * serially inline). Every task owns its GlobalMemory and GPU instance,
+ * so tasks share no mutable simulator state and the returned results
+ * are bit-identical for any job count. The result vector is in
+ * canonical spec-major order: results[s * apps.size() + a] is
+ * specs[s] × apps[a], regardless of completion order.
+ */
+std::vector<BenchResult> runMatrix(const std::vector<ConfigSpec> &specs,
+                                   const std::vector<std::string> &apps,
+                                   int jobs = 0);
 
 } // namespace wasp::harness
 

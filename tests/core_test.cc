@@ -6,8 +6,12 @@
  * scores (Fig 17), and the area model (Table IV).
  */
 
+#include <deque>
+#include <map>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.hh"
 #include "core/area_model.hh"
 #include "core/rfq.hh"
 #include "core/sched_policy.hh"
@@ -73,6 +77,127 @@ TEST(Rfq, WrapsAroundCircularly)
         EXPECT_EQ(q.pop()[0], static_cast<uint32_t>(round));
     }
     EXPECT_EQ(q.occupancy(), 0);
+}
+
+TEST(Rfq, WrapsWhileOccupied)
+{
+    // Cross the circular-buffer boundary while entries are in flight:
+    // keep the queue at 2/4 entries and push/pop 12 times, so head and
+    // tail each wrap three times with live data straddling the seam.
+    Rfq q(4);
+    uint32_t next = 0;
+    uint32_t expect = 0;
+    for (int i = 0; i < 2; ++i)
+        q.fill(q.reserve(), lanes(next++));
+    for (int step = 0; step < 12; ++step) {
+        q.fill(q.reserve(), lanes(next++));
+        EXPECT_EQ(q.occupancy(), 3);
+        ASSERT_TRUE(q.canPop());
+        EXPECT_EQ(q.pop()[0], expect++);
+    }
+    EXPECT_EQ(q.pop()[0], expect++);
+    EXPECT_EQ(q.pop()[0], expect++);
+    EXPECT_TRUE(q.isEmpty());
+}
+
+TEST(Rfq, CapacityOneEdgeCase)
+{
+    Rfq q(1);
+    EXPECT_TRUE(q.isEmpty());
+    EXPECT_FALSE(q.isFull());
+    for (uint32_t round = 0; round < 4; ++round) {
+        int s = q.reserve();
+        EXPECT_EQ(s, 0); // only one slot exists
+        EXPECT_TRUE(q.isFull());
+        EXPECT_FALSE(q.canReserve());
+        EXPECT_FALSE(q.canPop()); // reserved but not yet filled
+        q.fill(s, lanes(round));
+        EXPECT_TRUE(q.canPop());
+        EXPECT_EQ(q.pop()[0], round);
+        EXPECT_TRUE(q.isEmpty());
+        EXPECT_TRUE(q.canReserve());
+    }
+}
+
+TEST(Rfq, RandomizedInterleavingsMatchReferenceQueue)
+{
+    // Property test (Fig 6 semantics): under random interleavings of
+    // reserve / out-of-order fill / pop, the RFQ must behave exactly
+    // like a FIFO of reservation tokens, and the is_empty / is_full
+    // scoreboard bits must agree with the occupancy count at every
+    // step.
+    for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        for (int capacity : {1, 2, 3, 8}) {
+            Rng rng(seed * 1000003u + static_cast<uint64_t>(capacity));
+            Rfq q(capacity);
+            std::deque<uint32_t> fifo;       // tokens in reserve order
+            std::map<int, uint32_t> pending; // reserved, unfilled slots
+            uint32_t next_token = 0;
+            uint32_t expect_token = 0;
+            for (int step = 0; step < 2000; ++step) {
+                // Scoreboard invariants hold before every operation.
+                size_t occupancy = fifo.size();
+                ASSERT_EQ(q.occupancy(),
+                          static_cast<int>(occupancy));
+                ASSERT_EQ(q.isEmpty(), occupancy == 0);
+                ASSERT_EQ(q.isFull(),
+                          occupancy == static_cast<size_t>(capacity));
+                ASSERT_EQ(q.canReserve(), !q.isFull());
+
+                switch (rng.below(3)) {
+                  case 0: // reserve
+                    if (q.canReserve()) {
+                        int slot = q.reserve();
+                        ASSERT_EQ(pending.count(slot), 0u)
+                            << "slot handed out twice";
+                        pending[slot] = next_token;
+                        fifo.push_back(next_token);
+                        ++next_token;
+                    }
+                    break;
+                  case 1: // fill a random outstanding reservation
+                    if (!pending.empty()) {
+                        auto it = pending.begin();
+                        std::advance(it, rng.below(static_cast<uint32_t>(
+                                             pending.size())));
+                        q.fill(it->first, lanes(it->second));
+                        pending.erase(it);
+                    }
+                    break;
+                  case 2: // pop
+                    if (q.canPop()) {
+                        ASSERT_FALSE(fifo.empty());
+                        ASSERT_EQ(fifo.front(), expect_token);
+                        EXPECT_EQ(q.pop()[0], expect_token);
+                        fifo.pop_front();
+                        ++expect_token;
+                    } else if (!fifo.empty()) {
+                        // Head must be pending-fill, or popping would
+                        // break FIFO order.
+                        bool head_unfilled = false;
+                        for (const auto &[slot, token] : pending)
+                            head_unfilled |= token == fifo.front();
+                        ASSERT_TRUE(head_unfilled);
+                    }
+                    break;
+                }
+            }
+            // Drain: fill everything outstanding, pop everything, and
+            // check the tail of the order survived.
+            while (!pending.empty()) {
+                auto it = pending.begin();
+                q.fill(it->first, lanes(it->second));
+                pending.erase(it);
+            }
+            while (!fifo.empty()) {
+                ASSERT_TRUE(q.canPop());
+                EXPECT_EQ(q.pop()[0], expect_token);
+                ++expect_token;
+                fifo.pop_front();
+            }
+            EXPECT_TRUE(q.isEmpty());
+        }
+    }
 }
 
 TEST(WarpMapper, RoundRobinSegregatesStagesAcrossPbs)

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * The guardrail that makes the parallel experiment harness
+ * trustworthy: the same (app, config) cell must produce bit-identical
+ * statistics whether it runs serially, twice in a row, or fanned out
+ * across a thread pool — and the memoized benchmark cache must fill
+ * each key exactly once under contention.
+ */
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.hh"
+#include "common/thread_pool.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+/** The exact-equality contract: every statistic the figures consume. */
+void
+expectBitIdentical(const BenchResult &a, const BenchResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.verified, b.verified);
+    EXPECT_EQ(a.weightedCycles, b.weightedCycles);
+    for (size_t c = 0; c < a.dynInstrs.size(); ++c)
+        EXPECT_EQ(a.dynInstrs[c], b.dynInstrs[c]) << "category " << c;
+    EXPECT_EQ(a.l2Utilization, b.l2Utilization);
+    EXPECT_EQ(a.dramUtilization, b.dramUtilization);
+    EXPECT_EQ(a.l1HitRate, b.l1HitRate);
+    ASSERT_EQ(a.kernelCycles.size(), b.kernelCycles.size());
+    for (size_t i = 0; i < a.kernelCycles.size(); ++i) {
+        EXPECT_EQ(a.kernelCycles[i].first, b.kernelCycles[i].first);
+        EXPECT_EQ(a.kernelCycles[i].second, b.kernelCycles[i].second);
+    }
+}
+
+const std::vector<std::string> kApps = {"pointnet", "hpcg", "spmv1_g3",
+                                        "lonestar_bfs"};
+
+std::vector<ConfigSpec>
+testSpecs()
+{
+    return {makeConfig(PaperConfig::Baseline),
+            makeConfig(PaperConfig::WaspGpu)};
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    for (auto &h : hits)
+        h = 0;
+    for (size_t i = 0; i < hits.size(); ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    for (int jobs : {1, 2, 4}) {
+        std::vector<std::atomic<int>> hits(37);
+        for (auto &h : hits)
+            h = 0;
+        parallelFor(jobs, hits.size(),
+                    [&hits](size_t i) { ++hits[i]; });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1) << "jobs=" << jobs;
+    }
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Determinism, SerialRerunIsBitIdentical)
+{
+    ConfigSpec spec = makeConfig(PaperConfig::WaspGpu);
+    const auto &bench = workloads::benchmark("pointnet");
+    BenchResult first = runBenchmark(spec, bench);
+    BenchResult second = runBenchmark(spec, bench);
+    expectBitIdentical(first, second);
+}
+
+TEST(Determinism, PoolMatchesSerialAtAnyJobCount)
+{
+    std::vector<ConfigSpec> specs = testSpecs();
+
+    // Reference: plain serial loop, no pool involved at all.
+    std::vector<BenchResult> serial;
+    for (const auto &spec : specs)
+        for (const auto &app : kApps)
+            serial.push_back(
+                runBenchmark(spec, workloads::benchmark(app)));
+
+    std::vector<BenchResult> pool1 = runMatrix(specs, kApps, 1);
+    std::vector<BenchResult> pool4 = runMatrix(specs, kApps, 4);
+
+    ASSERT_EQ(serial.size(), pool1.size());
+    ASSERT_EQ(serial.size(), pool4.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        expectBitIdentical(serial[i], pool1[i]);
+        expectBitIdentical(serial[i], pool4[i]);
+    }
+}
+
+TEST(Determinism, SeedDependsOnlyOnCell)
+{
+    EXPECT_EQ(taskSeed("WASP_GPU", "pointnet"),
+              taskSeed("WASP_GPU", "pointnet"));
+    EXPECT_NE(taskSeed("WASP_GPU", "pointnet"),
+              taskSeed("BASELINE", "pointnet"));
+    EXPECT_NE(taskSeed("WASP_GPU", "pointnet"),
+              taskSeed("WASP_GPU", "hpcg"));
+    // The separator is part of the hash: ("ab", "c") != ("a", "bc").
+    EXPECT_NE(taskSeed("ab", "c"), taskSeed("a", "bc"));
+    // Results carry the seed of their cell.
+    BenchResult r = runBenchmark(makeConfig(PaperConfig::Baseline),
+                                 workloads::benchmark("pointnet"));
+    EXPECT_EQ(r.seed, taskSeed("BASELINE", "pointnet"));
+}
+
+TEST(Determinism, CachedRunFillsEachKeyOnceUnderContention)
+{
+    // All threads hammer the same key: every caller must get the same
+    // cached object (one fill), and the cells must match a fresh
+    // serial run bit-for-bit.
+    ConfigSpec spec = makeConfig(PaperConfig::Baseline);
+    const std::string app = "spmv1_g3";
+    std::vector<const BenchResult *> got(8, nullptr);
+    parallelFor(4, got.size(), [&](size_t i) {
+        got[i] = &wasp::bench::cachedRun(spec, app);
+    });
+    for (const auto *p : got)
+        EXPECT_EQ(p, got[0]) << "cachedRun returned distinct objects";
+    BenchResult fresh = runBenchmark(spec, workloads::benchmark(app));
+    expectBitIdentical(*got[0], fresh);
+}

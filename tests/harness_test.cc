@@ -90,6 +90,75 @@ TEST(HarnessBandwidth, HalfBandwidthSlowsTheBaseline)
     EXPECT_GT(half.weightedCycles, full.weightedCycles * 1.1);
 }
 
+TEST(SpeedupLists, EmptyAndMismatchedListsAreSafe)
+{
+    auto make = [](const char *name, double cycles) {
+        BenchResult r;
+        r.benchmark = name;
+        r.weightedCycles = cycles;
+        return r;
+    };
+    std::vector<BenchResult> empty;
+    std::vector<BenchResult> some = {make("a", 100.0), make("b", 200.0)};
+    // Empty on either side: no matched benchmark, defined result 0.0.
+    EXPECT_EQ(speedup(empty, empty), 0.0);
+    EXPECT_EQ(speedup(empty, some), 0.0);
+    EXPECT_EQ(speedup(some, empty), 0.0);
+    // Disjoint benchmark names: nothing to compare.
+    std::vector<BenchResult> others = {make("c", 100.0)};
+    EXPECT_EQ(speedup(some, others), 0.0);
+    // Partial overlap: only the matched benchmark counts.
+    std::vector<BenchResult> mixed = {make("a", 50.0), make("z", 1.0)};
+    EXPECT_DOUBLE_EQ(speedup(some, mixed), 2.0);
+    // Full overlap: geomean of per-benchmark speedups (2x and 0.5x).
+    std::vector<BenchResult> flipped = {make("a", 50.0),
+                                        make("b", 400.0)};
+    EXPECT_DOUBLE_EQ(speedup(some, flipped), 1.0);
+    // Non-positive cycles poison the geomean: defined result 0.0.
+    std::vector<BenchResult> zeroed = {make("a", 0.0), make("b", 1.0)};
+    EXPECT_EQ(speedup(some, zeroed), 0.0);
+}
+
+TEST(VerifyFailure, RunKernelReportsMismatches)
+{
+    // Corrupt the CPU reference so the (correct) simulation can no
+    // longer match it: the verify-failure path must fire.
+    ConfigSpec spec = makeConfig(PaperConfig::Baseline);
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::streamTriad(gmem, 2, 4, 0);
+    ASSERT_GE(k.outWords, 2u);
+    k.expected[0] ^= 0x1u;
+    k.expected[1] ^= 0x1u;
+    KernelResult kr = runKernel(spec, k, gmem);
+    EXPECT_FALSE(kr.verified);
+    EXPECT_EQ(kr.verifyMismatches, 2);
+}
+
+TEST(VerifyFailure, PropagatesIntoBenchResult)
+{
+    // One bad kernel in a two-kernel mix must flip the whole
+    // BenchResult to unverified.
+    workloads::BenchmarkDef bad;
+    bad.name = "bad_mix";
+    bad.kernels.push_back(
+        {"good", 1.0, [](mem::GlobalMemory &gmem) {
+             return workloads::streamTriad(gmem, 2, 4, 0);
+         }});
+    bad.kernels.push_back(
+        {"bad", 1.0, [](mem::GlobalMemory &gmem) {
+             workloads::BuiltKernel k =
+                 workloads::streamTriad(gmem, 2, 4, 0);
+             k.expected[0] ^= 0xdeadbeefu;
+             return k;
+         }});
+    BenchResult result = runBenchmark(makeConfig(PaperConfig::Baseline),
+                                      bad);
+    EXPECT_FALSE(result.verified);
+    // The statistics are still aggregated for both kernels.
+    EXPECT_EQ(result.kernelCycles.size(), 2u);
+    EXPECT_GT(result.weightedCycles, 0.0);
+}
+
 TEST(AreaModel, MatchesTableFourTotals)
 {
     sim::GpuConfig config;

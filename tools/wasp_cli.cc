@@ -12,12 +12,21 @@
  *   wasp-cli roundtrip <kernel.wsass>
  *       Assemble and disassemble (format check).
  *
+ *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
+ *       Run the Table II benchmark × paper-config matrix on N worker
+ *       threads (default: hardware concurrency) and print speedups
+ *       against the first config plus raw cycles. Output is
+ *       byte-identical for every N: each cell owns its simulator
+ *       state and rows are emitted in canonical order.
+ *
  * Kernel parameters are 32-bit values passed to c[0], c[1], ... in
  * order. `run` allocates no data; kernels that need input arrays should
  * use `--alloc BYTES` parameters, which allocate zeroed global memory
  * and pass the base address as the next parameter.
  */
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,10 +35,14 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "compiler/waspc.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
 #include "isa/program.hh"
 #include "mem/global_memory.hh"
 #include "sim/gpu.hh"
+#include "workloads/benchmarks.hh"
 
 using namespace wasp;
 
@@ -55,8 +68,127 @@ usage()
                  "[--no-tma]\n"
                  "       wasp-cli run <kernel.wsass> --grid N "
                  "[--param V | --alloc BYTES]... [--wasp]\n"
-                 "       wasp-cli roundtrip <kernel.wsass>\n");
+                 "       wasp-cli roundtrip <kernel.wsass>\n"
+                 "       wasp-cli matrix [--apps a,b,..] "
+                 "[--configs c1,c2,..] [-j N]\n"
+                 "           configs: baseline, compiler_tile, "
+                 "compiler_all,\n"
+                 "                    +regalloc, +wasp_tma, +rfq, "
+                 "wasp_gpu\n");
     return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(list);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+bool
+parseConfig(const std::string &name, harness::PaperConfig *out)
+{
+    using harness::PaperConfig;
+    static const std::vector<std::pair<std::string, PaperConfig>> kNames =
+        {{"baseline", PaperConfig::Baseline},
+         {"compiler_tile", PaperConfig::CompilerTile},
+         {"compiler_all", PaperConfig::CompilerAll},
+         {"+regalloc", PaperConfig::PlusRegAlloc},
+         {"+wasp_tma", PaperConfig::PlusTma},
+         {"+rfq", PaperConfig::PlusRfq},
+         {"wasp_gpu", PaperConfig::WaspGpu}};
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    for (const auto &[key, which] : kNames) {
+        // Accept the short name or the paper's config name, either case.
+        std::string paper = harness::paperConfigName(which);
+        for (char &c : paper)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (lower == key || lower == paper) {
+            *out = which;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+cmdMatrix(const std::vector<std::string> &args)
+{
+    using harness::PaperConfig;
+    std::vector<PaperConfig> configs = {
+        PaperConfig::Baseline, PaperConfig::CompilerTile,
+        PaperConfig::CompilerAll, PaperConfig::WaspGpu};
+    std::vector<std::string> apps;
+    int jobs = 0;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--apps" && i + 1 < args.size()) {
+            apps = splitCommas(args[++i]);
+        } else if (arg == "--configs" && i + 1 < args.size()) {
+            configs.clear();
+            for (const auto &name : splitCommas(args[++i])) {
+                PaperConfig which;
+                if (!parseConfig(name, &which))
+                    fatal("unknown config '%s'", name.c_str());
+                configs.push_back(which);
+            }
+        } else if (arg == "-j" && i + 1 < args.size()) {
+            jobs = std::atoi(args[++i].c_str());
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            jobs = std::atoi(arg.c_str() + 2);
+        } else if (arg == "--jobs" && i + 1 < args.size()) {
+            jobs = std::atoi(args[++i].c_str());
+        } else {
+            return usage();
+        }
+    }
+    if (configs.empty())
+        return usage();
+    if (apps.empty())
+        for (const auto &b : workloads::suite())
+            apps.push_back(b.name);
+    if (jobs <= 0)
+        jobs = ThreadPool::defaultJobs();
+
+    std::vector<harness::ConfigSpec> specs;
+    std::vector<std::string> config_names;
+    for (PaperConfig which : configs) {
+        specs.push_back(harness::makeConfig(which));
+        config_names.push_back(specs.back().name);
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<harness::BenchResult> results =
+        harness::runMatrix(specs, apps, jobs);
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+    // Timing goes to stderr: stdout must be byte-identical across -j.
+    std::fprintf(stderr, "matrix: %zu simulations on %d thread(s) in "
+                 "%lld ms\n",
+                 results.size(), jobs, static_cast<long long>(ms));
+
+    harness::MatrixReport report(apps, config_names);
+    for (const auto &r : results)
+        report.add(r);
+    std::printf("=== speedup vs %s ===\n%s\n",
+                config_names.front().c_str(),
+                report.renderSpeedups(config_names.front()).c_str());
+    std::printf("=== raw results ===\n%s",
+                report.renderCycles().c_str());
+    bool all_verified = true;
+    for (const auto &r : results)
+        all_verified = all_verified && r.verified;
+    return all_verified ? 0 : 1;
 }
 
 int
@@ -138,9 +270,15 @@ cmdRun(const std::string &path, int grid,
 int
 main(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "matrix") {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdMatrix(args);
+    }
+    if (argc < 3)
+        return usage();
     std::string path = argv[2];
     if (cmd == "roundtrip") {
         isa::Program prog = isa::assemble(readFile(path));
