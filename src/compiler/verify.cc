@@ -1,0 +1,860 @@
+#include "compiler/verify.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "common/log.hh"
+#include "compiler/dataflow.hh"
+#include "isa/cfg.hh"
+
+namespace wasp::compiler
+{
+
+using isa::CmpOp;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+int
+VerifyResult::errors() const
+{
+    int n = 0;
+    for (const auto &d : diags)
+        n += d.severity == Severity::Error;
+    return n;
+}
+
+int
+VerifyResult::warnings() const
+{
+    int n = 0;
+    for (const auto &d : diags)
+        n += d.severity == Severity::Warning;
+    return n;
+}
+
+namespace
+{
+
+class Verifier
+{
+  public:
+    Verifier(const isa::Program &prog, const VerifyLimits &limits)
+        : prog_(prog), tb_(prog.tb), limits_(limits)
+    {}
+
+    VerifyResult
+    run()
+    {
+        // Structural checks first: the later passes assume targets are
+        // in range (Cfg construction asserts on wild branches).
+        checkSpecShape();
+        checkBranchTargets();
+        if (!result_.ok())
+            return result_;
+
+        buildStageMap();
+        checkJumpTable();
+
+        isa::Cfg cfg(prog_);
+        buildLoopDepths(cfg);
+        checkDataflow(cfg);
+        checkQueues();
+        checkBarriers();
+        checkResources();
+        return result_;
+    }
+
+  private:
+    void
+    report(Severity sev, const std::string &id, int instr,
+           const std::string &message)
+    {
+        result_.diags.push_back({sev, id, instr, message});
+    }
+    void
+    error(const std::string &id, int instr, const std::string &message)
+    {
+        report(Severity::Error, id, instr, message);
+    }
+    void
+    warning(const std::string &id, int instr, const std::string &message)
+    {
+        report(Severity::Warning, id, instr, message);
+    }
+
+    static std::string
+    str(const char *fmt, auto... args)
+    {
+        return strprintf(fmt, args...);
+    }
+
+    // -- struct.* ---------------------------------------------------------
+
+    void
+    checkSpecShape()
+    {
+        const int stages = tb_.numStages;
+        if (stages < 1) {
+            error("struct.spec-shape", -1,
+                  str("numStages %d must be >= 1", stages));
+            return;
+        }
+        if (!tb_.stageRegs.empty() &&
+            static_cast<int>(tb_.stageRegs.size()) != stages) {
+            error("struct.spec-shape", -1,
+                  str("stageRegs has %d entries but numStages is %d",
+                      static_cast<int>(tb_.stageRegs.size()), stages));
+        }
+        for (size_t s = 0; s < tb_.stageRegs.size(); ++s) {
+            if (tb_.stageRegs[s] < 1 ||
+                tb_.stageRegs[s] > isa::kMaxRegs) {
+                error("struct.spec-shape", -1,
+                      str("stageRegs[%d] = %d outside [1, %d]",
+                          static_cast<int>(s), tb_.stageRegs[s],
+                          isa::kMaxRegs));
+            }
+        }
+        for (size_t q = 0; q < tb_.queues.size(); ++q) {
+            const isa::QueueSpec &spec = tb_.queues[q];
+            if (spec.srcStage < 0 || spec.srcStage >= stages ||
+                spec.dstStage < 0 || spec.dstStage >= stages) {
+                error("struct.spec-shape", -1,
+                      str("queue Q%d connects stage %d -> %d but stages "
+                          "are [0, %d)",
+                          static_cast<int>(q), spec.srcStage,
+                          spec.dstStage, stages));
+            }
+            if (spec.entries < 1) {
+                error("struct.spec-shape", -1,
+                      str("queue Q%d has %d entries; need >= 1",
+                          static_cast<int>(q), spec.entries));
+            }
+        }
+    }
+
+    void
+    checkBranchTargets()
+    {
+        const int n = prog_.size();
+        for (int i = 0; i < n; ++i) {
+            const Instruction &inst = prog_.instrs[static_cast<size_t>(i)];
+            if (inst.isBranch() &&
+                (inst.target < 0 || inst.target >= n)) {
+                error("struct.branch-target", i,
+                      str("branch target %d outside program [0, %d)",
+                          inst.target, n));
+            }
+        }
+    }
+
+    /**
+     * Stage ownership per instruction: -1 for the dispatch jump table,
+     * otherwise the pipeline stage whose region [stageEntry[s], next
+     * entry) contains it. Unusable entries leave the map empty and
+     * stage-scoped checks are skipped (the jump-table check reports the
+     * cause).
+     */
+    void
+    buildStageMap()
+    {
+        const int stages = tb_.numStages;
+        stage_of_.assign(static_cast<size_t>(prog_.size()), 0);
+        if (stages <= 1)
+            return;
+        if (static_cast<int>(tb_.stageEntry.size()) != stages) {
+            error("struct.jump-table", -1,
+                  str("program has %d stages but %d stage entries",
+                      stages, static_cast<int>(tb_.stageEntry.size())));
+            stage_of_.clear();
+            return;
+        }
+        std::vector<std::pair<int, int>> entries; // (entry pc, stage)
+        for (int s = 0; s < stages; ++s) {
+            int e = tb_.stageEntry[static_cast<size_t>(s)];
+            if (e < 0 || e >= prog_.size()) {
+                error("struct.jump-table", -1,
+                      str("stage %d entry %d outside program [0, %d)", s,
+                          e, prog_.size()));
+                stage_of_.clear();
+                return;
+            }
+            entries.emplace_back(e, s);
+        }
+        std::sort(entries.begin(), entries.end());
+        for (size_t k = 0; k + 1 < entries.size(); ++k) {
+            if (entries[k].first == entries[k + 1].first) {
+                error("struct.jump-table", entries[k].first,
+                      str("stages %d and %d share entry %d",
+                          entries[k].second, entries[k + 1].second,
+                          entries[k].first));
+                stage_of_.clear();
+                return;
+            }
+        }
+        for (int i = 0; i < prog_.size(); ++i) {
+            auto it = std::upper_bound(
+                entries.begin(), entries.end(), std::make_pair(i, INT32_MAX));
+            stage_of_[static_cast<size_t>(i)] =
+                it == entries.begin() ? -1 : std::prev(it)->second;
+        }
+    }
+
+    /**
+     * Prove the dispatch prologue routes every pipe_stageId in
+     * [0, numStages) to its declared entry, by abstract interpretation
+     * of the jump table: track registers holding the (symbolic) stage
+     * id or known immediates and predicates with known truth values.
+     */
+    void
+    checkJumpTable()
+    {
+        const int stages = tb_.numStages;
+        if (stages <= 1 || stage_of_.empty())
+            return;
+        for (int s = 0; s < stages; ++s) {
+            std::map<int, int> regs;   // reg -> known value
+            std::map<int, bool> preds; // pred -> known value
+            int pc = 0;
+            bool arrived = false;
+            const int step_limit = 4 * stages + 16;
+            for (int step = 0; step < step_limit; ++step) {
+                if (pc < 0 || pc >= prog_.size())
+                    break;
+                if (pc == tb_.stageEntry[static_cast<size_t>(s)]) {
+                    arrived = true;
+                    break;
+                }
+                if (stage_of_[static_cast<size_t>(pc)] >= 0) {
+                    error("struct.jump-table", pc,
+                          str("pipe_stageId %d is dispatched into stage "
+                              "%d's code instead of its entry %d",
+                              s, stage_of_[static_cast<size_t>(pc)],
+                              tb_.stageEntry[static_cast<size_t>(s)]));
+                    return;
+                }
+                const Instruction &inst =
+                    prog_.instrs[static_cast<size_t>(pc)];
+                bool exec = true;
+                if (inst.isGuarded()) {
+                    auto it = preds.find(inst.guardPred);
+                    if (it == preds.end()) {
+                        error("struct.jump-table", pc,
+                              str("cannot statically resolve dispatch "
+                                  "guard P%d for pipe_stageId %d",
+                                  inst.guardPred, s));
+                        return;
+                    }
+                    exec = it->second != inst.guardNeg;
+                }
+                if (!exec) {
+                    ++pc;
+                    continue;
+                }
+                if (inst.op == Opcode::S2R &&
+                    inst.dsts[0].kind == OperandKind::Reg) {
+                    if (inst.srcs[0].sreg == isa::SpecialReg::PIPE_STAGE)
+                        regs[inst.dsts[0].reg] = s;
+                    else
+                        regs.erase(inst.dsts[0].reg);
+                    ++pc;
+                    continue;
+                }
+                if (inst.op == Opcode::MOV &&
+                    inst.dsts[0].kind == OperandKind::Reg &&
+                    inst.srcs[0].kind == OperandKind::Imm) {
+                    regs[inst.dsts[0].reg] = inst.srcs[0].imm;
+                    ++pc;
+                    continue;
+                }
+                if (inst.op == Opcode::ISETP &&
+                    inst.dsts[0].kind == OperandKind::Pred) {
+                    auto value =
+                        [&](const Operand &o) -> std::optional<int> {
+                        if (o.kind == OperandKind::Imm)
+                            return o.imm;
+                        if (o.kind == OperandKind::Reg) {
+                            auto it = regs.find(o.reg);
+                            if (it != regs.end())
+                                return it->second;
+                        }
+                        return std::nullopt;
+                    };
+                    auto a = value(inst.srcs[0]);
+                    auto b = value(inst.srcs[1]);
+                    if (a && b)
+                        preds[inst.dsts[0].reg] = evalCmp(inst.cmp, *a, *b);
+                    else
+                        preds.erase(inst.dsts[0].reg);
+                    ++pc;
+                    continue;
+                }
+                if (inst.isBranch()) {
+                    pc = inst.target;
+                    continue;
+                }
+                if (inst.op == Opcode::EXIT)
+                    break;
+                // Anything else: clobber whatever it writes, move on.
+                for (const auto &d : inst.dsts) {
+                    if (d.kind == OperandKind::Reg)
+                        regs.erase(d.reg);
+                    if (d.kind == OperandKind::Pred)
+                        preds.erase(d.reg);
+                }
+                ++pc;
+            }
+            if (!arrived) {
+                error("struct.jump-table", -1,
+                      str("dispatch never reaches the entry of stage %d "
+                          "(pipe_stageId %d falls off the jump table)",
+                          s, s));
+            }
+        }
+    }
+
+    static bool
+    evalCmp(CmpOp cmp, int a, int b)
+    {
+        switch (cmp) {
+          case CmpOp::LT: return a < b;
+          case CmpOp::LE: return a <= b;
+          case CmpOp::GT: return a > b;
+          case CmpOp::GE: return a >= b;
+          case CmpOp::EQ: return a == b;
+          case CmpOp::NE: return a != b;
+        }
+        return false;
+    }
+
+    // -- flow.* -----------------------------------------------------------
+
+    void
+    checkDataflow(const isa::Cfg &cfg)
+    {
+        UseDef ud(prog_, cfg);
+        for (int i = 0; i < prog_.size(); ++i) {
+            const Instruction &inst = prog_.instrs[static_cast<size_t>(i)];
+            for (int r : UseDef::readSet(inst)) {
+                if (r == isa::kRegZero ||
+                    r == UseDef::kPredBase + isa::kPredTrue)
+                    continue;
+                if (!ud.defsReaching(i, r).empty())
+                    continue;
+                if (r >= UseDef::kPredBase) {
+                    error("flow.undef-read", i,
+                          str("P%d is read but no definition reaches "
+                              "this instruction", r - UseDef::kPredBase));
+                } else {
+                    error("flow.undef-read", i,
+                          str("R%d is read but no definition reaches "
+                              "this instruction", r));
+                }
+            }
+        }
+    }
+
+    // -- queue.* ----------------------------------------------------------
+
+    void
+    buildLoopDepths(const isa::Cfg &cfg)
+    {
+        block_depth_.assign(static_cast<size_t>(cfg.numBlocks()), 0);
+        for (const isa::Loop &loop : cfg.loops()) {
+            for (int b : loop.blocks)
+                ++block_depth_[static_cast<size_t>(b)];
+        }
+        instr_depth_.assign(static_cast<size_t>(prog_.size()), 0);
+        for (int i = 0; i < prog_.size(); ++i)
+            instr_depth_[static_cast<size_t>(i)] =
+                block_depth_[static_cast<size_t>(cfg.blockOf(i))];
+    }
+
+    struct QueueUse
+    {
+        std::vector<int> pushes;
+        std::vector<int> pops;
+        bool tmaFed = false;
+    };
+
+    void
+    checkQueues()
+    {
+        const int num_queues = static_cast<int>(tb_.queues.size());
+        std::vector<QueueUse> uses(static_cast<size_t>(num_queues));
+        for (int i = 0; i < prog_.size(); ++i) {
+            const Instruction &inst = prog_.instrs[static_cast<size_t>(i)];
+            for (const auto &d : inst.dsts) {
+                if (d.kind != OperandKind::Queue)
+                    continue;
+                if (d.reg < 0 || d.reg >= num_queues) {
+                    error("queue.undeclared", i,
+                          str("Q%d written but only %d queues declared",
+                              static_cast<int>(d.reg), num_queues));
+                    continue;
+                }
+                QueueUse &u = uses[static_cast<size_t>(d.reg)];
+                if (inst.isTma())
+                    u.tmaFed = true;
+                else
+                    u.pushes.push_back(i);
+            }
+            for (const auto &s : inst.srcs) {
+                if (s.kind != OperandKind::Queue)
+                    continue;
+                if (s.reg < 0 || s.reg >= num_queues) {
+                    error("queue.undeclared", i,
+                          str("Q%d read but only %d queues declared",
+                              static_cast<int>(s.reg), num_queues));
+                    continue;
+                }
+                uses[static_cast<size_t>(s.reg)].pops.push_back(i);
+            }
+        }
+
+        checkQueueGraph();
+
+        for (int q = 0; q < num_queues; ++q) {
+            const QueueUse &u = uses[static_cast<size_t>(q)];
+            const isa::QueueSpec &spec = tb_.queues[static_cast<size_t>(q)];
+            const bool produced = u.tmaFed || !u.pushes.empty();
+            if (!u.pops.empty() && !produced) {
+                error("queue.no-producer", u.pops.front(),
+                      str("Q%d is popped but never pushed: the consumer "
+                          "stage deadlocks on an empty queue", q));
+            }
+            if (produced && u.pops.empty()) {
+                warning("queue.no-consumer",
+                        u.tmaFed ? -1 : u.pushes.front(),
+                        str("Q%d is pushed but never popped: the "
+                            "producer stalls once %d entries fill", q,
+                            spec.entries));
+            }
+            // Endpoint stages must match the declaration.
+            if (!stage_of_.empty()) {
+                for (int i : u.pushes) {
+                    int s = stage_of_[static_cast<size_t>(i)];
+                    if (s != spec.srcStage) {
+                        error("queue.endpoint", i,
+                              str("Q%d push in stage %d but the queue is "
+                                  "declared %d -> %d",
+                                  q, s, spec.srcStage, spec.dstStage));
+                    }
+                }
+                for (int i : u.pops) {
+                    int s = stage_of_[static_cast<size_t>(i)];
+                    if (s != spec.dstStage) {
+                        error("queue.endpoint", i,
+                              str("Q%d pop in stage %d but the queue is "
+                                  "declared %d -> %d",
+                                  q, s, spec.srcStage, spec.dstStage));
+                    }
+                }
+            }
+            checkQueueRate(q, u);
+        }
+    }
+
+    /**
+     * The inter-stage queue graph must be acyclic so a producer-first
+     * stage ordering exists; a cycle (including a self-loop) means two
+     * stages each wait on data only the other can produce.
+     */
+    void
+    checkQueueGraph()
+    {
+        const int stages = tb_.numStages;
+        std::vector<std::vector<int>> succs(static_cast<size_t>(stages));
+        for (const isa::QueueSpec &spec : tb_.queues) {
+            if (spec.srcStage < 0 || spec.srcStage >= stages ||
+                spec.dstStage < 0 || spec.dstStage >= stages)
+                continue; // struct.spec-shape already reported
+            succs[static_cast<size_t>(spec.srcStage)]
+                .push_back(spec.dstStage);
+        }
+        // Iterative colored DFS.
+        std::vector<int> color(static_cast<size_t>(stages), 0);
+        for (int root = 0; root < stages; ++root) {
+            if (color[static_cast<size_t>(root)] != 0)
+                continue;
+            std::vector<std::pair<int, size_t>> stack{{root, 0}};
+            color[static_cast<size_t>(root)] = 1;
+            while (!stack.empty()) {
+                auto &[node, edge] = stack.back();
+                if (edge < succs[static_cast<size_t>(node)].size()) {
+                    int next = succs[static_cast<size_t>(node)][edge++];
+                    if (color[static_cast<size_t>(next)] == 1) {
+                        error("queue.cycle", -1,
+                              str("inter-stage queue graph has a cycle "
+                                  "through stages %d and %d: no "
+                                  "producer-first ordering exists",
+                                  next, node));
+                        return;
+                    }
+                    if (color[static_cast<size_t>(next)] == 0) {
+                        color[static_cast<size_t>(next)] = 1;
+                        stack.emplace_back(next, 0);
+                    }
+                } else {
+                    color[static_cast<size_t>(node)] = 2;
+                    stack.pop_back();
+                }
+            }
+        }
+    }
+
+    /**
+     * Rate matching: pushes and pops of a queue must pair up at equal
+     * loop-nesting depths, or one side eventually outruns the other and
+     * the queue monotonically fills (producer blocks) or drains
+     * (consumer blocks). Producer and consumer stages replicate the
+     * same control skeleton, so equal depth implies equal trip counts;
+     * TMA-fed queues push at a descriptor-programmed rate and are
+     * exempt.
+     */
+    void
+    checkQueueRate(int q, const QueueUse &u)
+    {
+        if (u.tmaFed || u.pushes.empty() || u.pops.empty())
+            return;
+        std::map<int, int> push_at;
+        std::map<int, int> pop_at;
+        for (int i : u.pushes)
+            ++push_at[instr_depth_[static_cast<size_t>(i)]];
+        for (int i : u.pops)
+            ++pop_at[instr_depth_[static_cast<size_t>(i)]];
+        if (push_at == pop_at)
+            return;
+        std::set<int> depths;
+        for (const auto &[d, n] : push_at)
+            depths.insert(d);
+        for (const auto &[d, n] : pop_at)
+            depths.insert(d);
+        for (int d : depths) {
+            int pushes = push_at.count(d) ? push_at[d] : 0;
+            int pops = pop_at.count(d) ? pop_at[d] : 0;
+            if (pushes == pops)
+                continue;
+            error("queue.rate-mismatch",
+                  pushes > 0 ? u.pushes.front() : u.pops.front(),
+                  str("Q%d has %d push(es) but %d pop(s) at loop depth "
+                      "%d: the queue monotonically %s and the %s stage "
+                      "deadlocks",
+                      q, pushes, pops, d,
+                      pushes > pops ? "fills" : "drains",
+                      pushes > pops ? "producer" : "consumer"));
+        }
+    }
+
+    // -- bar.* ------------------------------------------------------------
+
+    void
+    checkBarriers()
+    {
+        const int num_bars = static_cast<int>(tb_.barriers.size());
+        std::vector<std::vector<int>> arrives(
+            static_cast<size_t>(num_bars));
+        std::vector<std::vector<int>> waits(static_cast<size_t>(num_bars));
+        for (int i = 0; i < prog_.size(); ++i) {
+            const Instruction &inst = prog_.instrs[static_cast<size_t>(i)];
+            int b = -1;
+            bool is_arrive = false;
+            if (inst.op == Opcode::BAR_ARRIVE ||
+                inst.op == Opcode::BAR_WAIT) {
+                if (inst.srcs.empty() ||
+                    inst.srcs[0].kind != OperandKind::Imm) {
+                    error("bar.undeclared", i,
+                          "named barrier without an immediate id");
+                    continue;
+                }
+                b = inst.srcs[0].imm;
+                is_arrive = inst.op == Opcode::BAR_ARRIVE;
+            } else if (inst.op == Opcode::TMA_TILE &&
+                       inst.srcs.size() >= 3 &&
+                       inst.srcs[2].kind == OperandKind::Imm) {
+                // The TMA tile engine arrives its completion barrier.
+                b = inst.srcs[2].imm;
+                is_arrive = true;
+            } else {
+                continue;
+            }
+            if (b < 0 || b >= num_bars) {
+                error("bar.undeclared", i,
+                      str("barrier %d used but only %d barriers "
+                          "declared", b, num_bars));
+                continue;
+            }
+            if (is_arrive)
+                arrives[static_cast<size_t>(b)].push_back(i);
+            else
+                waits[static_cast<size_t>(b)].push_back(i);
+        }
+
+        const int warps = tb_.warpsPerStage();
+        for (int b = 0; b < num_bars; ++b) {
+            const isa::BarrierSpec &spec =
+                tb_.barriers[static_cast<size_t>(b)];
+            if (!waits[static_cast<size_t>(b)].empty() &&
+                arrives[static_cast<size_t>(b)].empty()) {
+                error("bar.no-arrive",
+                      waits[static_cast<size_t>(b)].front(),
+                      str("BAR.WAIT on barrier %d but nothing ever "
+                          "arrives: waiting warps hang forever", b));
+            }
+            // Arrivals per phase come from all warps of the stage(s)
+            // holding the arrive site, so `expected` must be a positive
+            // multiple of the per-stage warp count, bounded by the
+            // whole block.
+            if (spec.expected < 1 || spec.expected % warps != 0 ||
+                spec.expected > warps * tb_.numStages) {
+                error("bar.expected", -1,
+                      str("barrier %d expects %d arrival(s), which is "
+                          "not a positive multiple of the stage warp "
+                          "count %d (max %d): the phase can never "
+                          "advance cleanly",
+                          b, spec.expected, warps,
+                          warps * tb_.numStages));
+            }
+            // Double-buffer initial credit (Fig. 10): "barrier A
+            // initially set as arrived" is one phase at most.
+            if (spec.initialPhase < 0 || spec.initialPhase > 1) {
+                error("bar.phase-init", -1,
+                      str("barrier %d initial phase %d outside {0, 1}: "
+                          "only one double-buffer credit is legal",
+                          b, spec.initialPhase));
+            } else if (spec.initialPhase == 1 &&
+                       waits[static_cast<size_t>(b)].empty()) {
+                warning("bar.phase-init", -1,
+                        str("barrier %d carries an initial credit but "
+                            "is never waited on", b));
+            }
+        }
+    }
+
+    // -- res.* ------------------------------------------------------------
+
+    void
+    checkResources()
+    {
+        // Per-stage register budget. The dispatch jump table executes
+        // in every warp before it knows its stage, so its registers
+        // must fit the smallest stage budget.
+        if (!stage_of_.empty() || tb_.numStages == 1) {
+            std::vector<int> max_reg(static_cast<size_t>(tb_.numStages),
+                                     -1);
+            std::vector<int> high_water(
+                static_cast<size_t>(tb_.numStages), 0);
+            int dispatch_max = -1;
+            for (int i = 0; i < prog_.size(); ++i) {
+                const Instruction &inst =
+                    prog_.instrs[static_cast<size_t>(i)];
+                int m = -1;
+                auto touch = [&](const Operand &o) {
+                    if ((o.kind == OperandKind::Reg ||
+                         o.kind == OperandKind::Mem) &&
+                        o.reg != isa::kRegZero)
+                        m = std::max(m, static_cast<int>(o.reg));
+                };
+                for (const auto &d : inst.dsts)
+                    touch(d);
+                for (const auto &s : inst.srcs)
+                    touch(s);
+                int stage = tb_.numStages == 1
+                                ? 0
+                                : stage_of_[static_cast<size_t>(i)];
+                if (stage < 0)
+                    dispatch_max = std::max(dispatch_max, m);
+                else
+                    max_reg[static_cast<size_t>(stage)] =
+                        std::max(max_reg[static_cast<size_t>(stage)], m);
+            }
+            computeLiveHighWater(high_water);
+            for (int s = 0; s < tb_.numStages; ++s) {
+                int budget = tb_.regsForStage(s, prog_.numRegs);
+                int need = std::max(max_reg[static_cast<size_t>(s)],
+                                    dispatch_max) + 1;
+                if (budget > 0 && need > budget) {
+                    error("res.stage-regs", -1,
+                          str("stage %d addresses registers up to R%d "
+                              "(%d required, live high-water %d) but "
+                              "its budget is %d",
+                              s, need - 1, need,
+                              high_water[static_cast<size_t>(s)],
+                              budget));
+                }
+            }
+        }
+
+        // RFQ entries are virtualised onto the processing block's
+        // register file next to the warp registers of one pipeline
+        // slice (Section III-C): one warp per stage plus every queue's
+        // warp-wide entries must fit.
+        long rfq_regs = 0;
+        for (const isa::QueueSpec &spec : tb_.queues)
+            rfq_regs += static_cast<long>(spec.entries) * isa::kWarpSize;
+        long warp_regs = 0;
+        for (int s = 0; s < tb_.numStages; ++s)
+            warp_regs += static_cast<long>(
+                             tb_.regsForStage(s, prog_.numRegs)) *
+                         isa::kWarpSize;
+        if (rfq_regs + warp_regs > limits_.regsPerPb) {
+            error("res.rfq-budget", -1,
+                  str("one pipeline slice needs %ld registers (%ld warp "
+                      "+ %ld RFQ) but a processing block has %d",
+                      rfq_regs + warp_regs, warp_regs, rfq_regs,
+                      limits_.regsPerPb));
+        }
+
+        if (tb_.smemBytes > limits_.smemBytes) {
+            error("res.smem", -1,
+                  str("thread block uses %u bytes of shared memory but "
+                      "the SM has %u",
+                      tb_.smemBytes, limits_.smemBytes));
+        }
+        if (tb_.totalWarps() > limits_.warpSlots) {
+            error("res.warp-slots", -1,
+                  str("thread block occupies %d hardware warps but the "
+                      "SM has %d slots",
+                      tb_.totalWarps(), limits_.warpSlots));
+        }
+    }
+
+    /**
+     * Per-stage live-register high-water mark: backward liveness at
+     * instruction granularity, iterated to a block-level fixpoint.
+     * Reported in res.stage-regs messages; the error condition itself
+     * is the addressable range, which is what a per-stage allocation
+     * must cover.
+     */
+    void
+    computeLiveHighWater(std::vector<int> &high_water)
+    {
+        isa::Cfg cfg(prog_);
+        const int nb = cfg.numBlocks();
+        std::vector<std::set<int>> live_in(static_cast<size_t>(nb));
+        std::vector<std::set<int>> live_out(static_cast<size_t>(nb));
+        auto regs_of = [](const Instruction &inst, bool dsts) {
+            std::vector<int> out;
+            const auto &ops = dsts ? inst.dsts : inst.srcs;
+            for (const auto &o : ops) {
+                if (o.kind == OperandKind::Reg && o.reg != isa::kRegZero)
+                    out.push_back(o.reg);
+                if (o.kind == OperandKind::Mem && o.reg != isa::kRegZero)
+                    out.push_back(o.reg); // base is always a read
+            }
+            return out;
+        };
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (int b = nb - 1; b >= 0; --b) {
+                const isa::BasicBlock &blk =
+                    cfg.blocks()[static_cast<size_t>(b)];
+                std::set<int> out;
+                for (int s : blk.succs) {
+                    for (int r : live_in[static_cast<size_t>(s)])
+                        out.insert(r);
+                }
+                std::set<int> live = out;
+                for (int i = blk.last; i >= blk.first; --i) {
+                    const Instruction &inst =
+                        prog_.instrs[static_cast<size_t>(i)];
+                    for (int r : regs_of(inst, true))
+                        live.erase(r);
+                    // Memory destination bases are reads, not defs.
+                    for (const auto &d : inst.dsts) {
+                        if (d.kind == OperandKind::Mem &&
+                            d.reg != isa::kRegZero)
+                            live.insert(d.reg);
+                    }
+                    for (int r : regs_of(inst, false))
+                        live.insert(r);
+                }
+                if (live != live_in[static_cast<size_t>(b)] ||
+                    out != live_out[static_cast<size_t>(b)]) {
+                    live_in[static_cast<size_t>(b)] = std::move(live);
+                    live_out[static_cast<size_t>(b)] = std::move(out);
+                    changed = true;
+                }
+            }
+        }
+        // Second pass: record the max live-set size per stage.
+        for (int b = 0; b < nb; ++b) {
+            const isa::BasicBlock &blk =
+                cfg.blocks()[static_cast<size_t>(b)];
+            std::set<int> live = live_out[static_cast<size_t>(b)];
+            for (int i = blk.last; i >= blk.first; --i) {
+                const Instruction &inst =
+                    prog_.instrs[static_cast<size_t>(i)];
+                for (int r : regs_of(inst, true))
+                    live.erase(r);
+                for (const auto &d : inst.dsts) {
+                    if (d.kind == OperandKind::Mem &&
+                        d.reg != isa::kRegZero)
+                        live.insert(d.reg);
+                }
+                for (int r : regs_of(inst, false))
+                    live.insert(r);
+                int stage = tb_.numStages == 1
+                                ? 0
+                                : stage_of_[static_cast<size_t>(i)];
+                if (stage >= 0) {
+                    high_water[static_cast<size_t>(stage)] = std::max(
+                        high_water[static_cast<size_t>(stage)],
+                        static_cast<int>(live.size()));
+                }
+            }
+        }
+    }
+
+    // -- state ------------------------------------------------------------
+    const isa::Program &prog_;
+    const isa::ThreadBlockSpec &tb_;
+    VerifyLimits limits_;
+    VerifyResult result_;
+    /** Stage per instruction (-1 == dispatch); empty when unusable. */
+    std::vector<int> stage_of_;
+    std::vector<int> block_depth_;
+    std::vector<int> instr_depth_;
+};
+
+} // namespace
+
+VerifyResult
+verifyProgram(const isa::Program &prog, const VerifyLimits &limits)
+{
+    return Verifier(prog, limits).run();
+}
+
+std::string
+renderDiagnostic(const isa::Program &prog, const Diagnostic &d)
+{
+    std::ostringstream os;
+    os << prog.name << ": "
+       << (d.severity == Severity::Error ? "error" : "warning") << "["
+       << d.id << "]";
+    if (d.instr >= 0) {
+        os << " @" << d.instr;
+        if (d.instr < prog.size())
+            os << " `" << isa::disassemble(
+                              prog.instrs[static_cast<size_t>(d.instr)])
+               << "`";
+    }
+    os << ": " << d.message;
+    return os.str();
+}
+
+std::string
+renderDiagnostics(const isa::Program &prog, const VerifyResult &result)
+{
+    std::ostringstream os;
+    for (const auto &d : result.diags)
+        os << renderDiagnostic(prog, d) << "\n";
+    return os.str();
+}
+
+} // namespace wasp::compiler

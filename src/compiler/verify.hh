@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Static verification of WSASS pipeline programs.
+ *
+ * The WASP compiler rewrites kernels into multi-stage pipelines wired
+ * together with named RFQs and arrive/wait barriers — program shapes
+ * where a single miswired queue, unbalanced push/pop pair or wrong
+ * barrier `expected` count hangs the simulated SM silently. This pass
+ * proves a compiled program deadlock-free and resource-legal up to the
+ * approximations documented per check (DESIGN.md, "Static
+ * verification"):
+ *
+ *  - struct.*  shape of the thread block spec, branch targets and the
+ *              PIPE_STAGE jump table (every stage id must reach its
+ *              declared entry);
+ *  - flow.*    no register/predicate read without any reaching
+ *              definition (slicing bugs);
+ *  - queue.*   queue operands declared, the inter-stage queue graph is
+ *              acyclic, push/pop sites live in the declared endpoint
+ *              stages, and push/pop counts are balanced per loop depth
+ *              (rate-mismatch deadlock);
+ *  - bar.*     every BAR.WAIT has an arrive site, `expected` counts are
+ *              consistent with the stage warp count, double-buffer
+ *              initial credits are legal (Fig. 10);
+ *  - res.*     per-stage register high-water fits `stageRegs`, RFQ
+ *              entries plus warp registers fit the register file, SMEM
+ *              fits, the block fits the SM's warp slots.
+ *
+ * Diagnostic ids are stable `<group>.<check>` strings so tests and
+ * tooling can match on them.
+ */
+
+#ifndef WASP_COMPILER_VERIFY_HH
+#define WASP_COMPILER_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace wasp::compiler
+{
+
+enum class Severity : uint8_t { Warning, Error };
+
+/** One finding of the verifier. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable check id, e.g. "queue.cycle". */
+    std::string id;
+    /** Instruction index the finding anchors to; -1 == program level. */
+    int instr = -1;
+    std::string message;
+};
+
+/**
+ * Machine limits the resource checks verify against. Defaults mirror
+ * the scaled-A100 of sim::GpuConfig (DESIGN.md); the compiler layer
+ * deliberately does not depend on the simulator, so they are restated
+ * here.
+ */
+struct VerifyLimits
+{
+    /** 32-bit registers per processing block (warp regs + RFQs). */
+    int regsPerPb = 16384;
+    /** Shared memory available to one thread block. */
+    uint32_t smemBytes = 128u << 10;
+    /** Hardware warp slots per SM. */
+    int warpSlots = 64;
+};
+
+struct VerifyResult
+{
+    std::vector<Diagnostic> diags;
+
+    int errors() const;
+    int warnings() const;
+    bool ok() const { return errors() == 0; }
+};
+
+/**
+ * Run every check against a program. The program does not need to be
+ * warp specialized: single-stage programs simply skip the pipeline
+ * checks that have nothing to bind to.
+ */
+VerifyResult verifyProgram(const isa::Program &prog,
+                           const VerifyLimits &limits = {});
+
+/** Render one diagnostic as a human-readable line. */
+std::string renderDiagnostic(const isa::Program &prog,
+                             const Diagnostic &d);
+
+/** Render all diagnostics, one line each. */
+std::string renderDiagnostics(const isa::Program &prog,
+                              const VerifyResult &result);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_VERIFY_HH

@@ -9,6 +9,7 @@
 #include "common/log.hh"
 #include "compiler/affine.hh"
 #include "compiler/dataflow.hh"
+#include "compiler/verify.hh"
 #include "isa/cfg.hh"
 
 namespace wasp::compiler
@@ -84,6 +85,15 @@ class Compiler
         result.program = std::move(out);
         result.report.transformed = true;
         result.report = reportWith(result.report);
+        // Hard post-pass gate: a transformed program must prove itself
+        // deadlock-free and resource-legal before anyone runs it.
+        VerifyResult vr = verifyProgram(result.program);
+        if (!vr.ok())
+            result.report.verified = false;
+        for (const auto &d : vr.diags) {
+            result.report.notes.push_back(
+                "verify: " + renderDiagnostic(result.program, d));
+        }
         return result;
     }
 

@@ -51,6 +51,13 @@ struct CompileReport
 {
     int numStages = 1;
     bool transformed = false;
+    /**
+     * Result of the static verification post-pass (verify.hh) over the
+     * emitted program: false when any deadlock or resource check
+     * failed, with the diagnostics appended to `notes`. Untransformed
+     * programs are not gated and keep the default.
+     */
+    bool verified = true;
     bool tiled = false;
     bool doubleBuffered = false;
     int extractedLoads = 0;

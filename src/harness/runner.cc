@@ -26,8 +26,18 @@ runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
     if (transform) {
         compiler::CompileResult cr =
             compiler::warpSpecialize(k.prog, copts);
-        result.compiled = std::move(cr.program);
-        result.creport = cr.report;
+        if (cr.report.transformed && !cr.report.verified) {
+            // The static verifier found a deadlock or resource error in
+            // the emitted pipeline: never run it, keep the original.
+            result.compiled = k.prog;
+            result.creport = cr.report;
+            result.creport.transformed = false;
+            result.creport.notes.push_back(
+                "verification failed; original kept");
+        } else {
+            result.compiled = std::move(cr.program);
+            result.creport = cr.report;
+        }
     } else {
         result.compiled = k.prog;
     }

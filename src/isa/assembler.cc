@@ -81,7 +81,9 @@ struct PendingBranch
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    Parser(const std::string &text, bool validate)
+        : text_(text), validate_(validate)
+    {}
 
     Program
     run()
@@ -121,7 +123,8 @@ class Parser
         }
         prog_.recomputeNumRegs();
         prog_.renumber();
-        prog_.validate();
+        if (validate_)
+            prog_.validate();
         return prog_;
     }
 
@@ -374,6 +377,7 @@ class Parser
     }
 
     std::string text_;
+    bool validate_ = true;
     Program prog_;
     std::vector<PendingBranch> pending_;
     int line_no_ = 0;
@@ -382,9 +386,9 @@ class Parser
 } // namespace
 
 Program
-assemble(const std::string &text)
+assemble(const std::string &text, bool validate)
 {
-    return Parser(text).run();
+    return Parser(text, validate).run();
 }
 
 } // namespace wasp::isa

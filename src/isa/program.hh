@@ -117,8 +117,13 @@ std::string disassemble(const Program &prog);
 /** Render one instruction (without label) as WSASS text. */
 std::string disassemble(const Instruction &inst);
 
-/** Parse WSASS text into a program. Fatals on syntax errors. */
-Program assemble(const std::string &text);
+/**
+ * Parse WSASS text into a program. Fatals on syntax errors. Pass
+ * `validate == false` to skip the hard Program::validate() asserts and
+ * get the raw parse (the lint path: compiler::verifyProgram turns the
+ * same conditions into diagnostics instead of aborts).
+ */
+Program assemble(const std::string &text, bool validate = true);
 
 } // namespace wasp::isa
 

@@ -17,7 +17,6 @@ namespace
 
 constexpr int kLanes = kWarpSize;
 
-float asF(uint32_t v) { return std::bit_cast<float>(v); }
 uint32_t asU(float v) { return std::bit_cast<uint32_t>(v); }
 
 /** Allocate and fill an array of n float words in [0,1). */

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Static-verifier tests: each seeded-broken WSASS fixture under
+ * tests/broken/ must trip exactly its intended diagnostic id, clean
+ * hand-built pipelines must lint clean, and every benchmark kernel
+ * compiled under every CompileOptions combination must verify with
+ * zero errors (the acceptance gate for the post-pass).
+ */
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "compiler/verify.hh"
+#include "compiler/waspc.hh"
+#include "isa/program.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+using namespace wasp::compiler;
+
+namespace
+{
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Lint one seeded-broken fixture. The parse skips Program::validate()
+ * (the lint path) so the verifier gets to report the defect as a
+ * diagnostic rather than the loader aborting first.
+ */
+VerifyResult
+lintFixture(const char *name)
+{
+    std::string path = std::string(WASP_BROKEN_DIR) + "/" + name;
+    isa::Program prog = isa::assemble(readFile(path), false);
+    return verifyProgram(prog);
+}
+
+bool
+hasErrorId(const VerifyResult &vr, const std::string &id)
+{
+    for (const auto &d : vr.diags) {
+        if (d.severity == Severity::Error && d.id == id)
+            return true;
+    }
+    return false;
+}
+
+std::string
+idList(const VerifyResult &vr)
+{
+    std::string s;
+    for (const auto &d : vr.diags)
+        s += d.id + " ";
+    return s;
+}
+
+} // namespace
+
+TEST(BrokenFixtures, DanglingJumpTableEntry)
+{
+    VerifyResult vr = lintFixture("jump_table.wsass");
+    EXPECT_TRUE(hasErrorId(vr, "struct.jump-table")) << idList(vr);
+}
+
+TEST(BrokenFixtures, QueueCycleBetweenStages)
+{
+    VerifyResult vr = lintFixture("queue_cycle.wsass");
+    EXPECT_TRUE(hasErrorId(vr, "queue.cycle")) << idList(vr);
+}
+
+TEST(BrokenFixtures, UnbalancedPushPopInLoop)
+{
+    VerifyResult vr = lintFixture("rate_mismatch.wsass");
+    EXPECT_TRUE(hasErrorId(vr, "queue.rate-mismatch")) << idList(vr);
+}
+
+TEST(BrokenFixtures, BarrierExpectedCountUnreachable)
+{
+    VerifyResult vr = lintFixture("barrier.wsass");
+    EXPECT_TRUE(hasErrorId(vr, "bar.expected")) << idList(vr);
+    // The defect must be the barrier, not a malformed fixture: nothing
+    // else may error.
+    EXPECT_EQ(vr.errors(), 1) << idList(vr);
+}
+
+TEST(BrokenFixtures, StageExceedsRegisterBudget)
+{
+    VerifyResult vr = lintFixture("stage_regs.wsass");
+    EXPECT_TRUE(hasErrorId(vr, "res.stage-regs")) << idList(vr);
+    EXPECT_EQ(vr.errors(), 1) << idList(vr);
+}
+
+// Each fixture seeds exactly one defect; the ids must not bleed into
+// one another (e.g. a queue cycle must not also read as a rate bug).
+TEST(BrokenFixtures, DiagnosticsAreSpecific)
+{
+    EXPECT_FALSE(hasErrorId(lintFixture("queue_cycle.wsass"),
+                            "queue.rate-mismatch"));
+    EXPECT_FALSE(hasErrorId(lintFixture("rate_mismatch.wsass"),
+                            "queue.cycle"));
+    EXPECT_FALSE(
+        hasErrorId(lintFixture("stage_regs.wsass"), "bar.expected"));
+}
+
+// Every workload in the suite, original (unspecialized) form: the
+// verifier must accept all of them, since they are the programs the
+// harness actually runs when compilation is off.
+TEST(VerifySweep, OriginalKernelsLintClean)
+{
+    for (const auto &bench : workloads::suite()) {
+        for (const auto &mix : bench.kernels) {
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            VerifyResult vr = verifyProgram(k.prog);
+            EXPECT_EQ(vr.errors(), 0)
+                << bench.name << "/" << mix.label << ": "
+                << renderDiagnostics(k.prog, vr);
+        }
+    }
+}
+
+// The acceptance gate: every workload compiled under all 16
+// combinations of {tile, streamGather, emitTma, doubleBuffer} must
+// come out of warpSpecialize() verified, and an independent run of
+// the verifier over the emitted program must agree (zero errors).
+TEST(VerifySweep, AllCompileOptionCombosVerify)
+{
+    // Kernels rebuild identically per mix.build, so build each once
+    // and reuse the program across the 16 option combinations.
+    for (const auto &bench : workloads::suite()) {
+        for (const auto &mix : bench.kernels) {
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            for (int bits = 0; bits < 16; ++bits) {
+                CompileOptions copts;
+                copts.tile = bits & 1;
+                copts.streamGather = bits & 2;
+                copts.emitTma = bits & 4;
+                copts.doubleBuffer = bits & 8;
+                CompileResult cr = warpSpecialize(k.prog, copts);
+                std::string what = bench.name + "/" + mix.label +
+                                   " opts=" + std::to_string(bits);
+                EXPECT_TRUE(cr.report.verified) << what;
+                VerifyResult vr = verifyProgram(cr.program);
+                EXPECT_EQ(vr.errors(), 0)
+                    << what << ": "
+                    << renderDiagnostics(cr.program, vr);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the WASP sources using the compilation database
+# that CMake exports (CMAKE_EXPORT_COMPILE_COMMANDS is on by default).
+#
+#   ./tools/run_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# Checks come from the repo-root .clang-tidy. Exits non-zero when any
+# diagnostic is emitted, so it can serve as a CI gate.
+set -eu
+
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "error: $build_dir/compile_commands.json not found." >&2
+    echo "Configure first: cmake -B $build_dir -S ." >&2
+    exit 2
+fi
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "error: clang-tidy not on PATH." >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+find src tools -name '*.cc' -print | sort |
+    xargs clang-tidy -p "$build_dir" --quiet "$@"

@@ -12,6 +12,13 @@
  *   wasp-cli roundtrip <kernel.wsass>
  *       Assemble and disassemble (format check).
  *
+ *   wasp-cli lint <kernel.wsass> [--compile] [--tile-only] [--no-tma]
+ *       Run the static pipeline verifier (deadlock-freedom and
+ *       resource legality; see src/compiler/verify.hh) over the kernel
+ *       as written, or over its warp-specialized form with --compile.
+ *       Prints one diagnostic per line and exits non-zero when any
+ *       error-severity check fails.
+ *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
  *       Run the Table II benchmark × paper-config matrix on N worker
  *       threads (default: hardware concurrency) and print speedups
@@ -36,6 +43,7 @@
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "compiler/verify.hh"
 #include "compiler/waspc.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
@@ -69,6 +77,8 @@ usage()
                  "       wasp-cli run <kernel.wsass> --grid N "
                  "[--param V | --alloc BYTES]... [--wasp]\n"
                  "       wasp-cli roundtrip <kernel.wsass>\n"
+                 "       wasp-cli lint <kernel.wsass> [--compile] "
+                 "[--tile-only] [--no-tma]\n"
                  "       wasp-cli matrix [--apps a,b,..] "
                  "[--configs c1,c2,..] [-j N]\n"
                  "           configs: baseline, compiler_tile, "
@@ -214,6 +224,31 @@ cmdCompile(const std::string &path, bool tile_only, bool no_tma)
 }
 
 int
+cmdLint(const std::string &path, bool compile, bool tile_only,
+        bool no_tma)
+{
+    // Parse without the hard validate() asserts: the verifier reports
+    // the same conditions (and much more) as diagnostics.
+    isa::Program prog = isa::assemble(readFile(path), false);
+    if (compile) {
+        compiler::CompileOptions opts;
+        opts.streamGather = !tile_only;
+        opts.emitTma = !no_tma;
+        compiler::CompileResult cr = compiler::warpSpecialize(prog, opts);
+        std::fprintf(stderr, "; linting %s form (%d stages)\n",
+                     cr.report.transformed ? "warp-specialized"
+                                           : "untransformed",
+                     cr.report.numStages);
+        prog = std::move(cr.program);
+    }
+    compiler::VerifyResult vr = compiler::verifyProgram(prog);
+    std::printf("%s", compiler::renderDiagnostics(prog, vr).c_str());
+    std::printf("%s: %d error(s), %d warning(s)\n", prog.name.c_str(),
+                vr.errors(), vr.warnings());
+    return vr.ok() ? 0 : 1;
+}
+
+int
 cmdRun(const std::string &path, int grid,
        const std::vector<uint32_t> &params,
        const std::vector<size_t> &alloc_slots,
@@ -297,6 +332,22 @@ main(int argc, char **argv)
                 return usage();
         }
         return cmdCompile(path, tile_only, no_tma);
+    }
+    if (cmd == "lint") {
+        bool compile = false;
+        bool tile_only = false;
+        bool no_tma = false;
+        for (int i = 3; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--compile"))
+                compile = true;
+            else if (!std::strcmp(argv[i], "--tile-only"))
+                tile_only = true;
+            else if (!std::strcmp(argv[i], "--no-tma"))
+                no_tma = true;
+            else
+                return usage();
+        }
+        return cmdLint(path, compile, tile_only, no_tma);
     }
     if (cmd == "run") {
         int grid = 1;
