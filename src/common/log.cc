@@ -38,6 +38,16 @@ panic(const char *fmt, ...)
 }
 
 void
+panicThrow(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    throw SimAbortError(msg);
+}
+
+void
 fatal(const char *fmt, ...)
 {
     va_list args;

@@ -9,13 +9,31 @@
 #define WASP_COMMON_LOG_HH
 
 #include <cstdarg>
+#include <stdexcept>
 #include <string>
 
 namespace wasp
 {
 
+/**
+ * Base class for recoverable simulator failures. Thrown by
+ * panicThrow() / wasp_check() so that library embedders (the harness,
+ * tests) can catch a failing simulation instead of losing the process;
+ * the legacy panic() -> std::abort path remains for contexts with
+ * nothing above them to recover.
+ */
+class SimAbortError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 /** Abort with a message: a condition that indicates a simulator bug. */
 [[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Like panic(), but throws SimAbortError instead of aborting. */
+[[noreturn]] void panicThrow(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /** Exit with a message: a condition that is the user's fault. */
@@ -39,6 +57,19 @@ std::string strprintf(const char *fmt, ...)
             ::wasp::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
                           __FILE__, __LINE__,                               \
                           ::wasp::strprintf(__VA_ARGS__).c_str());          \
+    } while (0)
+
+/**
+ * Release-mode assertion that throws SimAbortError instead of
+ * aborting. Used inside the simulator failure domain (sim/, core/)
+ * where the harness catches and isolates a failing run.
+ */
+#define wasp_check(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::wasp::panicThrow("check '%s' failed at %s:%d: %s", #cond,     \
+                               __FILE__, __LINE__,                          \
+                               ::wasp::strprintf(__VA_ARGS__).c_str());     \
     } while (0)
 
 } // namespace wasp

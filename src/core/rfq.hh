@@ -57,7 +57,7 @@ class Rfq
     int
     reserve()
     {
-        wasp_assert(canReserve(), "RFQ reserve on full queue");
+        wasp_check(canReserve(), "RFQ reserve on full queue");
         int slot = tail_;
         tail_ = (tail_ + 1) % entries_;
         ++count_;
@@ -69,8 +69,8 @@ class Rfq
     void
     fill(int slot, const LaneData &data)
     {
-        wasp_assert(!valid_[static_cast<size_t>(slot)],
-                    "RFQ double fill of slot %d", slot);
+        wasp_check(!valid_[static_cast<size_t>(slot)],
+                   "RFQ double fill of slot %d", slot);
         slots_[static_cast<size_t>(slot)] = data;
         valid_[static_cast<size_t>(slot)] = true;
     }
@@ -79,7 +79,7 @@ class Rfq
     LaneData
     pop()
     {
-        wasp_assert(canPop(), "RFQ pop without valid head");
+        wasp_check(canPop(), "RFQ pop without valid head");
         LaneData data = slots_[static_cast<size_t>(head_)];
         valid_[static_cast<size_t>(head_)] = false;
         head_ = (head_ + 1) % entries_;

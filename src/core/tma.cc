@@ -32,7 +32,7 @@ TmaEngine::coalesce(const LaneData &addrs, uint32_t lane_mask)
 void
 TmaEngine::submit(const TmaDescriptor &desc)
 {
-    wasp_assert(canSubmit(), "TMA submit with no free descriptor slot");
+    wasp_check(canSubmit(), "TMA submit with no free descriptor slot");
     ActiveDesc d;
     d.desc = desc;
     d.id = next_desc_id_++;
@@ -134,7 +134,7 @@ TmaEngine::stepDesc(ActiveDesc &d, int &budget)
             }
             Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
                                         d.desc.queueIdx);
-            wasp_assert(queue, "TMA stream without queue");
+            wasp_check(queue, "TMA stream without queue");
             if (!queue->canReserve())
                 return; // backpressure from is_full
             uint32_t e = d.nextElem++;
@@ -160,7 +160,7 @@ TmaEngine::stepDesc(ActiveDesc &d, int &budget)
                 if (d.desc.kind == TmaKind::GatherQueue) {
                     Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
                                                 d.desc.queueIdx);
-                    wasp_assert(queue, "TMA gather without queue");
+                    wasp_check(queue, "TMA gather without queue");
                     if (!queue->canReserve())
                         return;
                     rfq_slot = queue->reserve();
@@ -200,21 +200,21 @@ void
 TmaEngine::sectorResponse(uint32_t txn)
 {
     auto it = txn_map_.find(txn);
-    wasp_assert(it != txn_map_.end(), "unknown TMA txn %u", txn);
+    wasp_check(it != txn_map_.end(), "unknown TMA txn %u", txn);
     auto [desc_id, entry_key] = it->second;
     txn_map_.erase(it);
     auto dit = std::find_if(active_.begin(), active_.end(),
                             [&](const ActiveDesc &a) {
                                 return a.id == desc_id;
                             });
-    wasp_assert(dit != active_.end(), "TMA response for retired desc %d",
-                desc_id);
+    wasp_check(dit != active_.end(), "TMA response for retired desc %d",
+               desc_id);
     ActiveDesc &d = *dit;
     --d.sectorsOutstanding;
     if (d.desc.kind != TmaKind::Tile) {
         if (entry_key & kIndexEntryFlag) {
             auto eit = d.indexEntries.find(entry_key);
-            wasp_assert(eit != d.indexEntries.end(), "lost index entry");
+            wasp_check(eit != d.indexEntries.end(), "lost index entry");
             if (--eit->second.sectorsLeft == 0) {
                 d.readyIndices.emplace_back(entry_key & ~kIndexEntryFlag,
                                             eit->second.data);
@@ -223,7 +223,7 @@ TmaEngine::sectorResponse(uint32_t txn)
             }
         } else {
             auto eit = d.entries.find(entry_key);
-            wasp_assert(eit != d.entries.end(), "lost data entry");
+            wasp_check(eit != d.entries.end(), "lost data entry");
             Entry &entry = eit->second;
             if (--entry.sectorsLeft == 0) {
                 if (entry.rfqSlot >= 0) {

@@ -79,22 +79,57 @@ std::string
 MatrixReport::renderCycles() const
 {
     Table table({"Benchmark", "Config", "WeightedCycles", "Verified",
-                 "Seed"});
+                 "Outcome", "Seed"});
     for (const auto &app : apps_) {
         for (const auto &config : configs_) {
             const BenchResult *cell = find(app, config);
             if (cell == nullptr) {
-                table.row({app, config, "-", "-", "-"});
+                table.row({app, config, "-", "-", "-", "-"});
                 continue;
             }
             std::ostringstream seed;
             seed << std::hex << std::setw(16) << std::setfill('0')
                  << cell->seed;
             table.row({app, config, fmtDouble(cell->weightedCycles, 0),
-                       cell->verified ? "yes" : "NO", seed.str()});
+                       cell->verified ? "yes" : "NO",
+                       sim::outcomeName(cell->outcome), seed.str()});
         }
     }
     return table.render();
+}
+
+int
+MatrixReport::failedCells() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int failed = 0;
+    for (const auto &[key, cell] : cells_)
+        if (cell.outcome != sim::RunOutcome::Ok)
+            ++failed;
+    return failed;
+}
+
+std::string
+MatrixReport::renderFailures() const
+{
+    std::ostringstream os;
+    for (const auto &app : apps_) {
+        for (const auto &config : configs_) {
+            const BenchResult *cell = find(app, config);
+            if (cell == nullptr || cell->outcome == sim::RunOutcome::Ok)
+                continue;
+            os << app << " x " << config << ": "
+               << sim::outcomeName(cell->outcome);
+            if (cell->attempts > 1)
+                os << " (after " << cell->attempts << " attempts)";
+            os << "\n  " << cell->diagnosis << "\n";
+            std::istringstream dump(cell->pipelineDump);
+            std::string line;
+            while (std::getline(dump, line))
+                os << "    " << line << "\n";
+        }
+    }
+    return os.str();
 }
 
 Table::Table(std::vector<std::string> headers)

@@ -59,8 +59,19 @@ class MatrixReport
      * geomean row — rows in canonical app order. */
     std::string renderSpeedups(const std::string &base_config) const;
 
-    /** Raw weighted-cycle counts per cell plus the replay seed. */
+    /** Raw weighted-cycle counts per cell plus outcome and replay
+     * seed. */
     std::string renderCycles() const;
+
+    /** Count of cells with a non-Ok outcome. */
+    int failedCells() const;
+
+    /**
+     * Diagnostic section for failed cells: outcome, diagnosis, and the
+     * indented pipeline dump captured at detection. Empty string when
+     * every cell is Ok.
+     */
+    std::string renderFailures() const;
 
   private:
     std::vector<std::string> apps_;

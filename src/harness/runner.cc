@@ -163,9 +163,32 @@ taskSeed(const std::string &config_name, const std::string &app)
     return h;
 }
 
+namespace
+{
+
+/** Build the failed-cell record for an isolated simulation failure. */
+BenchResult
+faultCell(const ConfigSpec &spec, const std::string &app,
+          sim::RunOutcome outcome, const std::string &diagnosis,
+          const std::string &dump)
+{
+    BenchResult r;
+    r.benchmark = app;
+    r.config = spec.name;
+    r.seed = taskSeed(spec.name, app);
+    r.verified = false;
+    r.outcome = outcome;
+    r.diagnosis = diagnosis;
+    r.pipelineDump = dump;
+    return r;
+}
+
+} // namespace
+
 std::vector<BenchResult>
 runMatrix(const std::vector<ConfigSpec> &specs,
-          const std::vector<std::string> &apps, int jobs)
+          const std::vector<std::string> &apps, int jobs,
+          FaultPolicy on_fault)
 {
     // Pre-size the result grid so each task writes only its own cell:
     // completion order cannot affect placement, and no locking is
@@ -174,8 +197,51 @@ runMatrix(const std::vector<ConfigSpec> &specs,
     parallelFor(jobs, results.size(), [&](size_t i) {
         size_t s = i / apps.size();
         size_t a = i % apps.size();
-        results[i] =
-            runBenchmark(specs[s], workloads::benchmark(apps[a]));
+        auto attempt = [&]() -> BenchResult {
+            return runBenchmark(specs[s], workloads::benchmark(apps[a]));
+        };
+        // First attempt. With FaultPolicy::Abort the exception
+        // propagates through parallelFor to the runMatrix caller.
+        try {
+            results[i] = attempt();
+            return;
+        } catch (const sim::SimError &e) {
+            if (on_fault == FaultPolicy::Abort)
+                throw;
+            results[i] = faultCell(specs[s], apps[a], e.outcome,
+                                   e.diagnosis, e.stats.pipelineDump);
+        } catch (const SimAbortError &e) {
+            if (on_fault == FaultPolicy::Abort)
+                throw;
+            results[i] = faultCell(specs[s], apps[a],
+                                   sim::RunOutcome::InternalError,
+                                   e.what(), "");
+        }
+        if (on_fault != FaultPolicy::Retry)
+            return;
+        // One retry with the identical taskSeed. Simulation is
+        // deterministic, so a reproduced failure is strong evidence
+        // the fault is in the cell, not the environment.
+        std::string first_diag = results[i].diagnosis;
+        try {
+            results[i] = attempt();
+            results[i].diagnosis =
+                "passed on retry (first attempt: " + first_diag + ")";
+        } catch (const sim::SimError &e) {
+            results[i] = faultCell(specs[s], apps[a], e.outcome,
+                                   e.diagnosis +
+                                       " [reproduced on retry with "
+                                       "identical taskSeed]",
+                                   e.stats.pipelineDump);
+        } catch (const SimAbortError &e) {
+            results[i] = faultCell(specs[s], apps[a],
+                                   sim::RunOutcome::InternalError,
+                                   std::string(e.what()) +
+                                       " [reproduced on retry with "
+                                       "identical taskSeed]",
+                                   "");
+        }
+        results[i].attempts = 2;
     });
     return results;
 }

@@ -39,6 +39,15 @@ struct BenchResult
     std::string config;
     double weightedCycles = 0.0;
     bool verified = true;
+    /** How the cell's simulations ended; non-Ok means the cell failed
+     * and weightedCycles/dynInstrs are not meaningful. */
+    sim::RunOutcome outcome = sim::RunOutcome::Ok;
+    /** Failure diagnosis (empty for Ok cells that passed first try). */
+    std::string diagnosis;
+    /** Pipeline dump captured at failure detection (failed cells). */
+    std::string pipelineDump;
+    /** Simulation attempts made for this cell (2 == retried once). */
+    int attempts = 1;
     /** Replay identity: taskSeed(config, benchmark). Identical for the
      * same cell no matter how many worker threads ran the matrix. */
     uint64_t seed = 0;
@@ -76,6 +85,14 @@ double speedup(const std::vector<BenchResult> &base,
  */
 uint64_t taskSeed(const std::string &config_name, const std::string &app);
 
+/** What runMatrix does with a cell whose simulation fails. */
+enum class FaultPolicy : uint8_t
+{
+    Abort, ///< rethrow: the whole matrix run fails fast
+    Skip,  ///< mark the cell failed-with-diagnostic, keep going
+    Retry, ///< one deterministic retry (same taskSeed), then as Skip
+};
+
 /**
  * Run the full configs × apps experiment matrix on `jobs` worker
  * threads (jobs <= 0 means hardware concurrency; jobs == 1 runs
@@ -84,10 +101,17 @@ uint64_t taskSeed(const std::string &config_name, const std::string &app);
  * are bit-identical for any job count. The result vector is in
  * canonical spec-major order: results[s * apps.size() + a] is
  * specs[s] × apps[a], regardless of completion order.
+ *
+ * Cells whose simulation throws (deadlock watchdog, injected fault,
+ * internal check) are isolated per `on_fault`: by default the cell is
+ * marked failed with its outcome/diagnosis/pipeline dump and every
+ * other cell still completes, so one wedged kernel cannot take down
+ * the sweep.
  */
 std::vector<BenchResult> runMatrix(const std::vector<ConfigSpec> &specs,
                                    const std::vector<std::string> &apps,
-                                   int jobs = 0);
+                                   int jobs = 0,
+                                   FaultPolicy on_fault = FaultPolicy::Skip);
 
 } // namespace wasp::harness
 

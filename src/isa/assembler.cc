@@ -117,7 +117,8 @@ class Parser
                         std::atoi(pb.label.c_str() + 1);
                     continue;
                 }
-                fatal("assembler: undefined label '%s'", pb.label.c_str());
+                throw AssembleError(strprintf(
+                    "assembler: undefined label '%s'", pb.label.c_str()));
             }
             prog_.instrs[pb.instr_index].target = it->second;
         }
@@ -132,7 +133,8 @@ class Parser
     [[noreturn]] void
     err(const std::string &what)
     {
-        fatal("assembler:%d: %s", line_no_, what.c_str());
+        throw AssembleError(
+            strprintf("assembler:%d: %s", line_no_, what.c_str()));
     }
 
     void
@@ -278,8 +280,13 @@ class Parser
         if (op == Opcode::NUM_OPCODES)
             err("unknown opcode '" + mnem + "'");
         inst.op = op;
-        if (!modifier.empty())
-            inst.cmp = parseCmp(modifier);
+        if (!modifier.empty()) {
+            CmpOp cmp;
+            if (!parseCmp(modifier, &cmp))
+                err("unknown comparison modifier '." + modifier +
+                    "' on '" + mnem + "'");
+            inst.cmp = cmp;
+        }
 
         std::vector<std::string> toks = splitOperands(ops_text);
         buildOperands(inst, toks);

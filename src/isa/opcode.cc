@@ -88,14 +88,16 @@ cmpName(CmpOp op)
     return kCmpNames[static_cast<size_t>(op)];
 }
 
-CmpOp
-parseCmp(const std::string &name)
+bool
+parseCmp(const std::string &name, CmpOp *out)
 {
     for (size_t i = 0; i < kCmpNames.size(); ++i) {
-        if (name == kCmpNames[i])
-            return static_cast<CmpOp>(i);
+        if (name == kCmpNames[i]) {
+            *out = static_cast<CmpOp>(i);
+            return true;
+        }
     }
-    panic("unknown comparison modifier '%s'", name.c_str());
+    return false;
 }
 
 } // namespace wasp::isa

@@ -112,8 +112,11 @@ Opcode parseOpcode(const std::string &name);
 /** Name of a comparison modifier, e.g. "LT". */
 const char *cmpName(CmpOp op);
 
-/** Parse a comparison modifier name; aborts on unknown names. */
-CmpOp parseCmp(const std::string &name);
+/**
+ * Parse a comparison modifier name into *out; returns false on unknown
+ * names so callers can report a diagnostic with source context.
+ */
+bool parseCmp(const std::string &name, CmpOp *out);
 
 } // namespace wasp::isa
 

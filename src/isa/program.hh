@@ -14,10 +14,22 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "isa/instruction.hh"
 
 namespace wasp::isa
 {
+
+/**
+ * Malformed WSASS input: syntax errors, unknown mnemonics/modifiers,
+ * undefined labels. Thrown by assemble() with a "assembler:<line>:"
+ * prefixed message; user-facing tools catch it and exit gracefully.
+ */
+class AssembleError : public SimAbortError
+{
+  public:
+    using SimAbortError::SimAbortError;
+};
 
 /** Named queue between two pipeline stages: {src_id, dst_id, size}. */
 struct QueueSpec
@@ -118,7 +130,8 @@ std::string disassemble(const Program &prog);
 std::string disassemble(const Instruction &inst);
 
 /**
- * Parse WSASS text into a program. Fatals on syntax errors. Pass
+ * Parse WSASS text into a program. Throws AssembleError on syntax
+ * errors (unknown opcodes, bad modifiers, undefined labels). Pass
  * `validate == false` to skip the hard Program::validate() asserts and
  * get the raw parse (the lint path: compiler::verifyProgram turns the
  * same conditions into diagnostics instead of aborts).

@@ -46,10 +46,18 @@ class Dram
         return true;
     }
 
+    /**
+     * Fault injection hook: while stalled, tick() serves nothing and
+     * accrues no bandwidth budget (an unbounded latency spike).
+     */
+    void setStalled(bool stalled) { stalled_ = stalled; }
+
     /** Serve requests for one cycle. */
     void
     tick(uint64_t now)
     {
+        if (stalled_)
+            return;
         budget_ += bandwidth_;
         // Cap the accumulated budget so idle periods cannot bank
         // unbounded burst bandwidth.
@@ -86,6 +94,7 @@ class Dram
     int latency_;
     int queue_depth_;
     double budget_ = 0.0;
+    bool stalled_ = false;
     std::deque<MemReq> queue_;
     DelayQueue<MemReq> responses_;
     uint64_t bytes_read_ = 0;

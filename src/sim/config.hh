@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "sim/fault.hh"
+
 namespace wasp::sim
 {
 
@@ -97,6 +99,18 @@ struct GpuConfig
     // -- instrumentation -----------------------------------------------------
     int timelineInterval = 0;      ///< >0: record per-interval utilization
     uint64_t maxCycles = 80'000'000;
+
+    // -- robustness ----------------------------------------------------------
+    /**
+     * Forward-progress watchdog: every `watchdogInterval` cycles the
+     * GPU checks that at least one instruction retired or memory/TMA
+     * byte moved since the last check; zero progress raises SimError
+     * with a pipeline dump instead of spinning to maxCycles. 0 keeps
+     * only the maxCycles backstop.
+     */
+    uint64_t watchdogInterval = 100'000;
+    /** Seeded fault-injection plan; empty == no injector built. */
+    FaultPlan faults;
 
     /** Apply a DRAM+L2 bandwidth scale factor (paper Fig. 20). */
     void

@@ -1,0 +1,159 @@
+#include "sim/fault.hh"
+
+#include "common/log.hh"
+
+namespace wasp::sim
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DropBarArrive: return "bar.drop-arrive";
+      case FaultKind::StuckQueueEmpty: return "queue.stuck-empty";
+      case FaultKind::StuckQueueFull: return "queue.stuck-full";
+      case FaultKind::DramStall: return "dram.stall";
+      case FaultKind::DropTmaResponse: return "tma.drop-response";
+    }
+    return "fault.unknown";
+}
+
+std::string
+FaultPlan::describe() const
+{
+    if (faults.empty())
+        return "no faults";
+    std::string out;
+    for (const FaultSpec &spec : faults) {
+        if (!out.empty())
+            out += ", ";
+        out += faultKindName(spec.kind);
+        if (spec.queueIdx >= 0)
+            out += strprintf("(Q%d)", spec.queueIdx);
+        out += strprintf("@%llu",
+                         static_cast<unsigned long long>(spec.atCycle));
+    }
+    return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan)
+{
+    uint64_t stream = 0;
+    for (const FaultSpec &spec : plan.faults) {
+        Armed armed;
+        armed.spec = spec;
+        // Distinct deterministic stream per armed spec, all derived
+        // from the single plan seed.
+        armed.rng = Rng(plan.seed ^ (0x9e3779b97f4a7c15ull * ++stream));
+        armed_.push_back(std::move(armed));
+    }
+}
+
+void
+FaultInjector::beginCycle(uint64_t now)
+{
+    now_ = now;
+    for (Armed &armed : armed_) {
+        // State faults (stuck bits, DRAM stall) count as one injected
+        // event when their window opens, so fired() and the diagnosis
+        // reflect them even though no per-event draw happens.
+        bool state_fault = armed.spec.kind != FaultKind::DropBarArrive &&
+                           armed.spec.kind != FaultKind::DropTmaResponse;
+        if (state_fault && !armed.activated && now >= armed.spec.atCycle) {
+            armed.activated = true;
+            ++armed.injected;
+            ++injected_;
+        }
+    }
+}
+
+bool
+FaultInjector::drawEvent(FaultKind kind)
+{
+    for (Armed &armed : armed_) {
+        if (armed.spec.kind != kind || now_ < armed.spec.atCycle ||
+            armed.injected >= armed.spec.maxEvents)
+            continue;
+        if (armed.spec.probability < 1.0 &&
+            armed.rng.uniform() >= armed.spec.probability)
+            continue;
+        ++armed.injected;
+        ++injected_;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::dropBarArrive()
+{
+    return drawEvent(FaultKind::DropBarArrive);
+}
+
+bool
+FaultInjector::dropTmaResponse()
+{
+    return drawEvent(FaultKind::DropTmaResponse);
+}
+
+bool
+FaultInjector::stuckActive(FaultKind kind, int queue_idx) const
+{
+    for (const Armed &armed : armed_) {
+        if (armed.spec.kind != kind || now_ < armed.spec.atCycle)
+            continue;
+        if (armed.spec.queueIdx < 0 || armed.spec.queueIdx == queue_idx)
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::queueStuckEmpty(int queue_idx) const
+{
+    return stuckActive(FaultKind::StuckQueueEmpty, queue_idx);
+}
+
+bool
+FaultInjector::queueStuckFull(int queue_idx) const
+{
+    return stuckActive(FaultKind::StuckQueueFull, queue_idx);
+}
+
+bool
+FaultInjector::dramStalled() const
+{
+    for (const Armed &armed : armed_) {
+        if (armed.spec.kind != FaultKind::DramStall ||
+            now_ < armed.spec.atCycle)
+            continue;
+        if (armed.spec.durationCycles == 0 ||
+            now_ < armed.spec.atCycle + armed.spec.durationCycles)
+            return true;
+    }
+    return false;
+}
+
+std::string
+FaultInjector::diagnosis() const
+{
+    std::string out;
+    for (const Armed &armed : armed_) {
+        if (armed.injected == 0)
+            continue;
+        if (!out.empty())
+            out += "; ";
+        out += faultKindName(armed.spec.kind);
+        if (armed.spec.queueIdx >= 0)
+            out += strprintf("(Q%d)", armed.spec.queueIdx);
+        out += strprintf(": %u event(s) injected since cycle %llu",
+                         armed.injected,
+                         static_cast<unsigned long long>(
+                             armed.spec.atCycle));
+    }
+    if (out.empty())
+        out = "armed but no fault injected";
+    return out;
+}
+
+} // namespace wasp::sim

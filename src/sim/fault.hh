@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Seeded fault injection for the simulated GPU.
+ *
+ * WASP pipelines deadlock through a small set of runtime failure
+ * modes: a barrier arrive that never happens, an RFQ scoreboard bit
+ * stuck empty/full, a memory system that stops serving, a TMA
+ * transfer that never completes. The static verifier
+ * (compiler/verify.hh) proves these absent *up to its model*; this
+ * module lets tests provoke each class deliberately and prove the
+ * forward-progress watchdog detects it with the right diagnosis.
+ *
+ * Injection is deterministic: every probabilistic decision is drawn
+ * from an Rng seeded by FaultPlan::seed, and the injector is owned by
+ * one Gpu instance consumed in simulation order, so a run with a given
+ * (plan, kernel) pair fails identically every time — serial or inside
+ * a parallel matrix sweep.
+ */
+
+#ifndef WASP_SIM_FAULT_HH
+#define WASP_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace wasp::sim
+{
+
+/** The injectable fault classes (one per pipeline failure mode). */
+enum class FaultKind : uint8_t
+{
+    DropBarArrive,   ///< BAR.ARRIVE (warp or TMA) silently discarded
+    StuckQueueEmpty, ///< RFQ is_empty scoreboard bit stuck: pops blocked
+    StuckQueueFull,  ///< RFQ is_full scoreboard bit stuck: pushes blocked
+    DramStall,       ///< DRAM stops serving (unbounded latency spike)
+    DropTmaResponse, ///< a TMA sector response is lost in flight
+};
+
+/** Stable diagnostic id for a fault class, e.g. "bar.drop-arrive". */
+const char *faultKindName(FaultKind kind);
+
+/** One armed fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::DropBarArrive;
+    /** Cycle the fault becomes eligible. */
+    uint64_t atCycle = 0;
+    /** DramStall only: stall window length; 0 == forever. */
+    uint64_t durationCycles = 0;
+    /** Event faults: chance an eligible event is actually injected. */
+    double probability = 1.0;
+    /** StuckQueue*: queue spec index to pin; -1 == every queue. */
+    int queueIdx = -1;
+    /** Event faults: cap on injected events (e.g. drop one arrive). */
+    uint32_t maxEvents = ~0u;
+};
+
+/** The fault configuration carried on sim::GpuConfig. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+    /** Seeds the per-spec RNG streams (replay key). */
+    uint64_t seed = 0x5eedull;
+
+    bool empty() const { return faults.empty(); }
+    /** One-line human summary, e.g. for reports. */
+    std::string describe() const;
+};
+
+/**
+ * Per-Gpu-instance injector: the simulator consults it at each fault
+ * site. All decisions are functions of (plan, call order), never of
+ * wall clock or thread schedule.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /** Advance to cycle `now`; activates window faults (DramStall). */
+    void beginCycle(uint64_t now);
+
+    /** Should this BAR.ARRIVE (warp or TMA sourced) be discarded? */
+    bool dropBarArrive();
+    /** Is queue `queue_idx` forced to read as empty (pops blocked)? */
+    bool queueStuckEmpty(int queue_idx) const;
+    /** Is queue `queue_idx` forced to read as full (pushes blocked)? */
+    bool queueStuckFull(int queue_idx) const;
+    /** Is DRAM service stalled this cycle? */
+    bool dramStalled() const;
+    /** Should this TMA sector response be dropped? */
+    bool dropTmaResponse();
+
+    /** Total faults actually injected so far. */
+    uint64_t injectedEvents() const { return injected_; }
+    /** True once at least one fault has been injected. */
+    bool fired() const { return injected_ > 0; }
+    /** Per-class summary of what was injected, for diagnoses. */
+    std::string diagnosis() const;
+
+  private:
+    struct Armed
+    {
+        FaultSpec spec;
+        Rng rng;
+        uint32_t injected = 0;
+        bool activated = false; ///< window/state faults: counted once
+    };
+
+    bool stuckActive(FaultKind kind, int queue_idx) const;
+    bool drawEvent(FaultKind kind);
+
+    std::vector<Armed> armed_;
+    uint64_t now_ = 0;
+    uint64_t injected_ = 0;
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_FAULT_HH

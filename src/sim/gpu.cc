@@ -23,16 +23,78 @@ Gpu::buildMachine()
     l2_params.mshrsPerBank = config_.l2Mshrs;
     l2_params.hitLatency = config_.l2HitLatency;
     l2_ = std::make_unique<mem::L2Cache>(l2_params, *dram_);
+    injector_ = config_.faults.empty()
+                    ? nullptr
+                    : std::make_unique<FaultInjector>(config_.faults);
     sms_.clear();
     stats_ = RunStats{};
-    for (int s = 0; s < config_.numSms; ++s)
+    for (int s = 0; s < config_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(s, config_, gmem_, *l2_,
                                             stats_));
+        sms_.back()->setFaultInjector(injector_.get());
+    }
+}
+
+uint64_t
+Gpu::progressCounter() const
+{
+    // Any retired instruction, memory byte moved, or TMA sector issued
+    // counts as forward progress. All terms are monotone, so a zero
+    // delta over a watchdog interval means the machine is wedged.
+    uint64_t progress = stats_.totalDynInstrs() + l2_->bytesAccessed() +
+                        dram_->bytesRead() + dram_->bytesWritten();
+    for (const auto &sm : sms_)
+        progress += sm->tmaEngine().sectorsIssued();
+    return progress;
+}
+
+void
+Gpu::raiseStall(uint64_t now, bool zero_progress)
+{
+    std::string dump;
+    for (const auto &sm : sms_)
+        dump += sm->debugState();
+
+    RunOutcome outcome;
+    std::string diagnosis;
+    if (injector_ && injector_->fired()) {
+        outcome = RunOutcome::FaultInjected;
+        diagnosis = strprintf(
+            "kernel '%s' stalled at cycle %llu with injected faults: %s",
+            launch_->prog->name.c_str(),
+            static_cast<unsigned long long>(now),
+            injector_->diagnosis().c_str());
+    } else if (zero_progress) {
+        outcome = RunOutcome::Deadlock;
+        diagnosis = strprintf(
+            "kernel '%s' made no forward progress for %llu cycles "
+            "(deadlock at cycle %llu)",
+            launch_->prog->name.c_str(),
+            static_cast<unsigned long long>(config_.watchdogInterval),
+            static_cast<unsigned long long>(now));
+    } else {
+        outcome = RunOutcome::WatchdogStall;
+        diagnosis = strprintf(
+            "kernel '%s' exceeded %llu cycles while still progressing "
+            "(livelock or undersized cycle budget)",
+            launch_->prog->name.c_str(),
+            static_cast<unsigned long long>(config_.maxCycles));
+    }
+
+    stats_.cycles = now + 1;
+    stats_.outcome = outcome;
+    stats_.pipelineDump = dump;
+    throw SimError(outcome, std::move(diagnosis), stats_);
 }
 
 void
 Gpu::tick(uint64_t now)
 {
+    if (injector_) {
+        injector_->beginCycle(now);
+        dram_->setStalled(injector_->dramStalled());
+    }
+
     // Thread block dispatch: hand the next CTAs to SMs with space.
     while (next_cta_ < launch_->gridDim) {
         bool placed = false;
@@ -61,10 +123,15 @@ Gpu::tick(uint64_t now)
     while (responses.ready(now)) {
         mem::MemReq resp = responses.pop();
         Sm &sm = *sms_[resp.sm];
-        if (resp.source == mem::ReqSource::Lsu)
+        if (resp.source == mem::ReqSource::Lsu) {
             sm.lsuResponse(resp.txn, now);
-        else
+        } else {
+            // Fault injection: lose a TMA sector response in flight;
+            // the owning descriptor never completes.
+            if (injector_ && injector_->dropTmaResponse())
+                continue;
             sm.tmaEngine().sectorResponse(resp.txn);
+        }
     }
 
     // Timeline sampling (Fig 3).
@@ -95,10 +162,10 @@ Gpu::tick(uint64_t now)
 RunStats
 Gpu::run(const Launch &launch)
 {
-    wasp_assert(launch.prog && launch.cfg, "launch missing program/cfg");
-    wasp_assert(launch.prog->tb.numStages <= config_.maxStages,
-                "kernel uses %d stages, SM supports %d",
-                launch.prog->tb.numStages, config_.maxStages);
+    wasp_check(launch.prog && launch.cfg, "launch missing program/cfg");
+    wasp_check(launch.prog->tb.numStages <= config_.maxStages,
+               "kernel uses %d stages, SM supports %d",
+               launch.prog->tb.numStages, config_.maxStages);
     buildMachine();
     launch_ = &launch;
     next_cta_ = 0;
@@ -106,6 +173,8 @@ Gpu::run(const Launch &launch)
     last_sample_cycle_ = 0;
     last_tensor_issues_ = 0;
     last_l2_bytes_ = 0;
+    last_watchdog_check_ = 0;
+    last_progress_ = 0;
 
     uint64_t now = 0;
     for (;; ++now) {
@@ -121,15 +190,18 @@ Gpu::run(const Launch &launch)
             if (all_idle)
                 break;
         }
-        if (now >= config_.maxCycles) {
-            std::string state;
-            for (const auto &sm : sms_)
-                state += sm->debugState();
-            panic("kernel '%s' exceeded %llu cycles (deadlock?)\n%s",
-                  launch.prog->name.c_str(),
-                  static_cast<unsigned long long>(config_.maxCycles),
-                  state.c_str());
+        // Forward-progress watchdog: fail fast on a wedged pipeline
+        // instead of spinning to maxCycles.
+        if (config_.watchdogInterval > 0 &&
+            now - last_watchdog_check_ >= config_.watchdogInterval) {
+            uint64_t progress = progressCounter();
+            if (progress == last_progress_)
+                raiseStall(now, /*zero_progress=*/true);
+            last_progress_ = progress;
+            last_watchdog_check_ = now;
         }
+        if (now >= config_.maxCycles)
+            raiseStall(now, /*zero_progress=*/false);
     }
 
     stats_.cycles = now + 1;

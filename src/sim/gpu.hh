@@ -8,18 +8,42 @@
 #define WASP_SIM_GPU_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/log.hh"
 #include "isa/cfg.hh"
 #include "mem/dram.hh"
 #include "mem/global_memory.hh"
 #include "mem/l2.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/run_stats.hh"
 #include "sim/sm.hh"
 
 namespace wasp::sim
 {
+
+/**
+ * A kernel run that failed to complete: deadlock, watchdog stall, or
+ * an injected fault. Carries the outcome classification, a diagnosis
+ * string, and the RunStats snapshot (with pipelineDump captured at the
+ * point of detection) so callers can report without rerunning.
+ */
+class SimError : public SimAbortError
+{
+  public:
+    SimError(RunOutcome outcome, std::string diagnosis, RunStats stats)
+        : SimAbortError(strprintf("[%s] %s", outcomeName(outcome),
+                                  diagnosis.c_str())),
+          outcome(outcome), diagnosis(std::move(diagnosis)),
+          stats(std::move(stats))
+    {}
+
+    RunOutcome outcome;
+    std::string diagnosis;
+    RunStats stats;
+};
 
 class Gpu
 {
@@ -29,7 +53,9 @@ class Gpu
     /**
      * Run one kernel to completion and return its statistics. The
      * machine state (caches, SMs) is rebuilt per run so comparisons
-     * start cold and deterministic.
+     * start cold and deterministic. Throws SimError when the
+     * forward-progress watchdog detects a stall, when maxCycles is
+     * exceeded, or when an injected fault wedges the pipeline.
      */
     RunStats run(const Launch &launch);
 
@@ -38,16 +64,24 @@ class Gpu
   private:
     void buildMachine();
     void tick(uint64_t now);
+    /** Monotone counter: retired instrs + memory/TMA traffic. */
+    uint64_t progressCounter() const;
+    /** Classify + throw a SimError with a captured pipeline dump. */
+    [[noreturn]] void raiseStall(uint64_t now, bool zero_progress);
 
     GpuConfig config_;
     mem::GlobalMemory &gmem_;
     std::unique_ptr<mem::Dram> dram_;
     std::unique_ptr<mem::L2Cache> l2_;
     std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<FaultInjector> injector_;
     RunStats stats_;
     const Launch *launch_ = nullptr;
     int next_cta_ = 0;
     int next_sm_ = 0;
+    // Forward-progress watchdog.
+    uint64_t last_watchdog_check_ = 0;
+    uint64_t last_progress_ = 0;
     // Timeline recording.
     uint64_t last_sample_cycle_ = 0;
     uint64_t last_tensor_issues_ = 0;

@@ -12,12 +12,40 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "isa/instruction.hh"
 
 namespace wasp::sim
 {
+
+/**
+ * How a kernel run ended. Anything other than Ok is carried out of the
+ * simulator inside a SimError (sim/gpu.hh) whose RunStats snapshot has
+ * `outcome` set and `pipelineDump` captured at detection time.
+ */
+enum class RunOutcome : uint8_t
+{
+    Ok,            ///< ran to completion
+    Deadlock,      ///< watchdog: zero forward progress for a full interval
+    WatchdogStall, ///< maxCycles exceeded while still making progress
+    FaultInjected, ///< stall detected after the fault injector fired
+    InternalError, ///< simulator invariant failure (harness-level only)
+};
+
+inline const char *
+outcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Ok: return "ok";
+      case RunOutcome::Deadlock: return "deadlock";
+      case RunOutcome::WatchdogStall: return "watchdog-stall";
+      case RunOutcome::FaultInjected: return "fault-injected";
+      case RunOutcome::InternalError: return "internal-error";
+    }
+    return "unknown";
+}
 
 /** One sample of the chip-wide utilization timeline (Fig 3). */
 struct TimelineSample
@@ -30,6 +58,15 @@ struct TimelineSample
 struct RunStats
 {
     uint64_t cycles = 0;
+
+    /** How the run ended (only non-Ok inside a SimError snapshot). */
+    RunOutcome outcome = RunOutcome::Ok;
+    /**
+     * Pipeline state captured when a non-Ok outcome was detected:
+     * per-warp stall reasons, RFQ occupancy/scoreboard bits, and
+     * barrier phase/arrive counts. Empty for Ok runs.
+     */
+    std::string pipelineDump;
 
     /** Dynamic warp instructions issued, by category (Fig 19). */
     std::array<uint64_t, 6> dynInstrs{};

@@ -42,16 +42,23 @@ Sm::incomingQueues(const isa::ThreadBlockSpec &tb, int stage)
     return result;
 }
 
-core::Rfq *
-Sm::queueRef(int tb_slot, int slice, int queue_idx)
+const core::Rfq *
+Sm::queueRef(int tb_slot, int slice, int queue_idx) const
 {
-    ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
-    wasp_assert(tb.valid, "queueRef on invalid TB slot %d", tb_slot);
+    const ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
+    wasp_check(tb.valid, "queueRef on invalid TB slot %d", tb_slot);
     size_t nspecs = tb.launch->prog->tb.queues.size();
     size_t index = static_cast<size_t>(slice) * nspecs +
                    static_cast<size_t>(queue_idx);
-    wasp_assert(index < tb.queues.size(), "queue index OOB");
+    wasp_check(index < tb.queues.size(), "queue index OOB");
     return &tb.queues[index];
+}
+
+core::Rfq *
+Sm::queueRef(int tb_slot, int slice, int queue_idx)
+{
+    return const_cast<core::Rfq *>(
+        static_cast<const Sm *>(this)->queueRef(tb_slot, slice, queue_idx));
 }
 
 bool
@@ -162,7 +169,7 @@ Sm::tryAccept(const Launch &launch, uint32_t ctaid)
                 break;
             }
         }
-        wasp_assert(slot >= 0, "mapper accepted but no free slot");
+        wasp_check(slot >= 0, "mapper accepted but no free slot");
         Warp &w = pb.warps[static_cast<size_t>(slot)];
         w = Warp{};
         w.valid = true;
@@ -288,7 +295,7 @@ Sm::dispatchSectors(uint64_t now)
         while (!pb.lsuQueue.empty() && budget > 0) {
             uint32_t txn_id = pb.lsuQueue.front();
             auto it = txns_.find(txn_id);
-            wasp_assert(it != txns_.end(), "stale LSU txn");
+            wasp_check(it != txns_.end(), "stale LSU txn");
             MemTxn &txn = it->second;
             bool stalled = false;
             while (txn.nextSector < txn.sectors.size() && budget > 0) {
@@ -365,7 +372,7 @@ void
 Sm::sectorDone(uint32_t txn_id, uint64_t now)
 {
     auto it = txns_.find(txn_id);
-    wasp_assert(it != txns_.end(), "sectorDone for unknown txn %u", txn_id);
+    wasp_check(it != txns_.end(), "sectorDone for unknown txn %u", txn_id);
     MemTxn &txn = it->second;
     if (--txn.sectorsLeft == 0)
         completeTxn(txn_id, txn, now);
@@ -380,10 +387,10 @@ Sm::completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now)
     switch (txn.kind) {
       case MemTxn::Kind::LoadReg:
       case MemTxn::Kind::Atom:
-        wasp_assert(txn.dstReg >= 0, "load without destination");
+        wasp_check(txn.dstReg >= 0, "load without destination");
         if (txn.dstReg != isa::kRegZero) {
-            wasp_assert(w.regBusy[static_cast<size_t>(txn.dstReg)] > 0,
-                        "scoreboard underflow");
+            wasp_check(w.regBusy[static_cast<size_t>(txn.dstReg)] > 0,
+                       "scoreboard underflow");
             --w.regBusy[static_cast<size_t>(txn.dstReg)];
         }
         --w.pendingLoads;
@@ -399,7 +406,7 @@ Sm::completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now)
         break;
       }
       case MemTxn::Kind::Ldgsts:
-        wasp_assert(w.pendingLdgsts > 0, "LDGSTS underflow");
+        wasp_check(w.pendingLdgsts > 0, "LDGSTS underflow");
         --w.pendingLdgsts;
         chargeSmemPort(now, 1); // shared-memory write of the tile chunk
         break;
@@ -432,10 +439,14 @@ Sm::tmaQueue(int tb_slot, int slice, int queue_idx)
 void
 Sm::tmaBarArrive(int tb_slot, int bar_id)
 {
+    // Fault injection: the TMA engine's completion arrive is lost; any
+    // warp waiting on this barrier phase never wakes.
+    if (inj_ && inj_->dropBarArrive())
+        return;
     ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
-    wasp_assert(bar_id >= 0 &&
-                bar_id < static_cast<int>(tb.bars.size()),
-                "TMA barrier %d OOB", bar_id);
+    wasp_check(bar_id >= 0 &&
+               bar_id < static_cast<int>(tb.bars.size()),
+               "TMA barrier %d OOB", bar_id);
     NamedBar &bar = tb.bars[static_cast<size_t>(bar_id)];
     const auto &spec = tb.launch->prog->tb.barriers[
         static_cast<size_t>(bar_id)];
@@ -463,9 +474,69 @@ void
 Sm::tmaDescDone(int tb_slot)
 {
     ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
-    wasp_assert(tb.outstanding > 0, "TMA desc done underflow");
+    wasp_check(tb.outstanding > 0, "TMA desc done underflow");
     --tb.outstanding;
     maybeReleaseTb(tb_slot);
+}
+
+std::string
+Sm::stallReason(const Pb &pb, const Warp &w) const
+{
+    if (w.stack.empty())
+        return "no-stack";
+    if (w.blockedOnBarSync)
+        return "bar-sync";
+    if (w.issueDebt > 0)
+        return "issue-debt";
+    const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+    const isa::Program &prog = *tb.launch->prog;
+    const isa::Instruction &inst =
+        prog.instrs[static_cast<size_t>(w.pc())];
+    const isa::OpInfo &info = isa::opInfo(inst.op);
+    if (pb.pipeFreeAt[static_cast<size_t>(info.pipe)] > now_)
+        return "pipe-busy";
+    if (!w.regsReady(inst))
+        return "scoreboard";
+    bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
+    if (effective) {
+        for (const auto &s : inst.srcs) {
+            if (s.kind != isa::OperandKind::Queue)
+                continue;
+            if (inj_ && inj_->queueStuckEmpty(s.reg))
+                return strprintf("queue-stuck-empty(Q%d)", s.reg);
+            if (!queueRef(w.tbSlot, w.slice, s.reg)->canPop())
+                return strprintf("queue-empty(Q%d)", s.reg);
+        }
+        for (const auto &d : inst.dsts) {
+            if (d.kind != isa::OperandKind::Queue)
+                continue;
+            if (inj_ && inj_->queueStuckFull(d.reg))
+                return strprintf("queue-stuck-full(Q%d)", d.reg);
+            if (!queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
+                return strprintf("queue-full(Q%d)", d.reg);
+        }
+        if (info.isMem && inst.op != isa::Opcode::LDS &&
+            inst.op != isa::Opcode::STS &&
+            pb.lsuInflight >= cfg_.lsuQueueDepth)
+            return "lsu-full";
+        if (inst.isTma() && !tma_.canSubmit())
+            return "tma-busy";
+    }
+    if (inst.op == isa::Opcode::EXIT && w.pendingWb > 0)
+        return "drain-writebacks";
+    if (info.isBarrier) {
+        if (w.pendingLdgsts > 0)
+            return "drain-ldgsts";
+        if (inst.op == isa::Opcode::BAR_WAIT) {
+            int b = inst.srcs[0].imm;
+            const NamedBar &bar = tb.bars[static_cast<size_t>(b)];
+            if (bar.phase <= w.barWaitCount[static_cast<size_t>(b)])
+                return strprintf("bar-wait(b%d phase=%d consumed=%d)", b,
+                                 bar.phase,
+                                 w.barWaitCount[static_cast<size_t>(b)]);
+        }
+    }
+    return "ready";
 }
 
 std::string
@@ -473,17 +544,47 @@ Sm::debugState() const
 {
     std::ostringstream os;
     for (int p = 0; p < cfg_.pbsPerSm; ++p) {
+        const Pb &pb = pbs_[static_cast<size_t>(p)];
         for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
-            const Warp &w = pbs_[static_cast<size_t>(p)]
-                                .warps[static_cast<size_t>(s)];
+            const Warp &w = pb.warps[static_cast<size_t>(s)];
             if (!w.valid || w.done)
                 continue;
+            const isa::Program &prog =
+                *tbs_[static_cast<size_t>(w.tbSlot)].launch->prog;
             os << "sm" << id_ << ".pb" << p << ".w" << s << " tb="
                << w.tbSlot << " stage=" << w.stage << " slice=" << w.slice
-               << " pc=" << (w.stack.empty() ? -1 : w.pc())
-               << " barSync=" << w.blockedOnBarSync
-               << " ldgsts=" << w.pendingLdgsts
-               << " loads=" << w.pendingLoads << "\n";
+               << " pc=" << (w.stack.empty() ? -1 : w.pc());
+            if (!w.stack.empty())
+                os << " op="
+                   << isa::opName(
+                          prog.instrs[static_cast<size_t>(w.pc())].op);
+            os << " ldgsts=" << w.pendingLdgsts
+               << " loads=" << w.pendingLoads
+               << " stall=" << stallReason(pb, w) << "\n";
+        }
+    }
+    for (size_t t = 0; t < tbs_.size(); ++t) {
+        const ResidentTb &tb = tbs_[t];
+        if (!tb.valid)
+            continue;
+        os << "sm" << id_ << ".tb" << t << " cta=" << tb.ctaid
+           << " done=" << tb.warpsDone << "/" << tb.totalWarps
+           << " outstanding=" << tb.outstanding
+           << " syncArrived=" << tb.syncArrived << "\n";
+        const isa::ThreadBlockSpec &spec = tb.launch->prog->tb;
+        size_t nspecs = spec.queues.size();
+        for (size_t i = 0; i < tb.queues.size(); ++i) {
+            const core::Rfq &q = tb.queues[i];
+            os << "sm" << id_ << ".tb" << t << ".slice" << (i / nspecs)
+               << ".q" << (i % nspecs) << " occ=" << q.occupancy() << "/"
+               << q.capacity() << " canPop=" << q.canPop()
+               << " full=" << q.isFull() << "\n";
+        }
+        for (size_t b = 0; b < tb.bars.size(); ++b) {
+            os << "sm" << id_ << ".tb" << t << ".bar" << b
+               << " phase=" << tb.bars[b].phase
+               << " count=" << tb.bars[b].count << " expected="
+               << spec.barriers[b].expected << "\n";
         }
     }
     return os.str();

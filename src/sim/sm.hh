@@ -28,6 +28,7 @@
 #include "mem/l2.hh"
 #include "mem/smem.hh"
 #include "sim/config.hh"
+#include "sim/fault.hh"
 #include "sim/run_stats.hh"
 #include "sim/warp.hh"
 
@@ -60,6 +61,10 @@ class Sm : public core::TmaHost
     void lsuResponse(uint32_t addr, uint64_t now);
 
     core::TmaEngine &tmaEngine() { return tma_; }
+    const core::TmaEngine &tmaEngine() const { return tma_; }
+
+    /** Attach the GPU's fault injector (nullptr == no faults armed). */
+    void setFaultInjector(FaultInjector *inj) { inj_ = inj; }
 
     bool idle() const;
     int residentTbs() const;
@@ -75,7 +80,12 @@ class Sm : public core::TmaHost
     void tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t value) override;
     void tmaDescDone(int tb_slot) override;
 
-    /** Debug: one line per live warp (deadlock diagnostics). */
+    /**
+     * Deadlock diagnostics: one line per live warp with its stall
+     * reason, plus per-TB RFQ occupancy/scoreboard state and barrier
+     * phase/arrive counts. Captured into RunStats::pipelineDump when
+     * the watchdog raises SimError.
+     */
     std::string debugState() const;
 
   private:
@@ -153,6 +163,9 @@ class Sm : public core::TmaHost
     /** Effective RFQ entry count for a queue spec. */
     int effectiveQueueEntries(const isa::QueueSpec &spec) const;
     core::Rfq *queueRef(int tb_slot, int slice, int queue_idx);
+    const core::Rfq *queueRef(int tb_slot, int slice, int queue_idx) const;
+    /** Why a live warp cannot issue right now ("ready" if it can). */
+    std::string stallReason(const Pb &pb, const Warp &warp) const;
     /** Incoming queue specs for a stage (indices into tb.queues). */
     static std::vector<int> incomingQueues(const isa::ThreadBlockSpec &tb,
                                            int stage);
@@ -191,6 +204,7 @@ class Sm : public core::TmaHost
     mem::GlobalMemory &gmem_;
     mem::L2Cache &l2_;
     RunStats &stats_;
+    FaultInjector *inj_ = nullptr;
     mem::TimingCache l1_;
     std::vector<Pb> pbs_;
     std::vector<ResidentTb> tbs_;

@@ -94,7 +94,7 @@ evalLane(const Instruction &inst, uint32_t a, uint32_t b, uint32_t c)
       case Opcode::F2I:
         return static_cast<uint32_t>(static_cast<int32_t>(asF(a)));
       default:
-        panic("evalLane: unhandled opcode %s", isa::opName(inst.op));
+        panicThrow("evalLane: unhandled opcode %s", isa::opName(inst.op));
     }
 }
 
@@ -156,7 +156,7 @@ Sm::sregValue(const Warp &warp, const ResidentTb &tb, isa::SpecialReg sr,
       case isa::SpecialReg::SLICE_ID:
         return static_cast<uint32_t>(warp.slice);
       default:
-        panic("bad special register");
+        panicThrow("bad special register");
     }
 }
 
@@ -188,10 +188,10 @@ Sm::gatherSrc(Pb &pb, int slot, const Operand &op, core::LaneData &out,
         break;
       case OperandKind::CParam: {
         const auto &params = tb.launch->params;
-        wasp_assert(op.reg >= 0 &&
-                    op.reg < static_cast<int>(params.size()),
-                    "kernel parameter c[%d] out of range",
-                    static_cast<int>(op.reg));
+        wasp_check(op.reg >= 0 &&
+                   op.reg < static_cast<int>(params.size()),
+                   "kernel parameter c[%d] out of range",
+                   static_cast<int>(op.reg));
         out.fill(params[static_cast<size_t>(op.reg)]);
         break;
       }
@@ -222,7 +222,7 @@ Sm::gatherSrc(Pb &pb, int slot, const Operand &op, core::LaneData &out,
         break;
       }
       default:
-        panic("gatherSrc: bad operand kind");
+        panicThrow("gatherSrc: bad operand kind");
     }
 }
 
@@ -328,7 +328,7 @@ Sm::executeTma(Pb &pb, int slot, const Instruction &inst, uint64_t now)
     uint32_t active = w.activeMask();
     int lane0 = std::countr_zero(active);
     auto rv = [&](const Operand &op) -> uint32_t {
-        wasp_assert(op.kind == OperandKind::Reg, "TMA operand must be reg");
+        wasp_check(op.kind == OperandKind::Reg, "TMA operand must be reg");
         return readReg(pb, slot, op.reg, lane0);
     };
 
@@ -366,7 +366,7 @@ Sm::executeTma(Pb &pb, int slot, const Instruction &inst, uint64_t now)
         d.barrierId = inst.srcs[3].imm;
         break;
       default:
-        panic("executeTma: not a TMA op");
+        panicThrow("executeTma: not a TMA op");
     }
     ++tb.outstanding;
     tma_.submit(d);
@@ -532,7 +532,7 @@ Sm::executeMem(int pb_idx, int slot, const Instruction &inst,
         break;
       }
       default:
-        panic("executeMem: not a memory op");
+        panicThrow("executeMem: not a memory op");
     }
 }
 
@@ -556,13 +556,23 @@ Sm::canIssue(Pb &pb, Warp &w, uint64_t now)
     bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
     if (effective) {
         for (const auto &s : inst.srcs) {
-            if (s.kind == OperandKind::Queue &&
-                !queueRef(w.tbSlot, w.slice, s.reg)->canPop())
+            if (s.kind != OperandKind::Queue)
+                continue;
+            // Fault injection: scoreboard is_empty bit stuck — the
+            // consumer believes the queue never has data.
+            if (inj_ && inj_->queueStuckEmpty(s.reg))
+                return false;
+            if (!queueRef(w.tbSlot, w.slice, s.reg)->canPop())
                 return false;
         }
         for (const auto &d : inst.dsts) {
-            if (d.kind == OperandKind::Queue &&
-                !queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
+            if (d.kind != OperandKind::Queue)
+                continue;
+            // Fault injection: is_full bit stuck — the producer
+            // believes the queue never has space.
+            if (inj_ && inj_->queueStuckFull(d.reg))
+                return false;
+            if (!queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
                 return false;
         }
         if (info.isMem && inst.op != Opcode::LDS &&
@@ -666,13 +676,17 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
       }
       case Opcode::BAR_ARRIVE: {
         int b = inst.srcs[0].imm;
+        w.setPc(pc + 1);
+        // Fault injection: the arrive is silently discarded; the
+        // barrier phase never advances and waiters hang.
+        if (inj_ && inj_->dropBarArrive())
+            return;
         NamedBar &bar = tb.bars[static_cast<size_t>(b)];
         const auto &spec = prog.tb.barriers[static_cast<size_t>(b)];
         if (++bar.count >= spec.expected) {
             bar.count = 0;
             ++bar.phase;
         }
-        w.setPc(pc + 1);
         return;
       }
       case Opcode::BAR_WAIT: {
@@ -712,16 +726,16 @@ Sm::tickPb(int pb_idx, uint64_t now)
     while (pb.writebacks.ready(now)) {
         WbEvent event = pb.writebacks.pop();
         Warp &w = pb.warps[static_cast<size_t>(event.slot)];
-        wasp_assert(w.pendingWb > 0, "writeback for retired warp slot");
+        wasp_check(w.pendingWb > 0, "writeback for retired warp slot");
         --w.pendingWb;
         for (int r : event.regs) {
-            wasp_assert(w.regBusy[static_cast<size_t>(r)] > 0,
-                        "writeback underflow r%d", r);
+            wasp_check(w.regBusy[static_cast<size_t>(r)] > 0,
+                       "writeback underflow r%d", r);
             --w.regBusy[static_cast<size_t>(r)];
         }
         for (int p : event.preds) {
-            wasp_assert(w.predBusy[static_cast<size_t>(p)] > 0,
-                        "writeback underflow p%d", p);
+            wasp_check(w.predBusy[static_cast<size_t>(p)] > 0,
+                       "writeback underflow p%d", p);
             --w.predBusy[static_cast<size_t>(p)];
         }
     }

@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Robustness tests: the forward-progress watchdog, seeded fault
+ * injection, and fault isolation in the experiment matrix.
+ *
+ * Each FaultKind gets a dedicated kernel that wedges when the fault is
+ * injected; the tests assert the run ends in a SimError with the
+ * expected outcome classification, that the diagnosis names the fault
+ * class, and that the captured pipeline dump points at the stalled
+ * resource. The matrix tests prove one wedged cell cannot take down a
+ * sweep and that fault reporting is bit-identical serial vs parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/verify.hh"
+#include "harness/configs.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "isa/builder.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/fault.hh"
+#include "sim/gpu.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+using namespace wasp::sim;
+
+namespace
+{
+
+/** Small machine with a tight watchdog so wedges are detected fast. */
+GpuConfig
+robustConfig()
+{
+    GpuConfig config;
+    config.numSms = 2;
+    config.maxCycles = 2'000'000;
+    config.watchdogInterval = 20'000;
+    return config;
+}
+
+GpuConfig
+withFault(GpuConfig config, FaultSpec spec)
+{
+    config.faults.faults.push_back(spec);
+    return config;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** out[i] = 2 * in[i] + 1; params: in, out. */
+Program
+saxpyKernel()
+{
+    KernelBuilder b("saxpy");
+    b.tbDim(128);
+    b.s2r(0, SpecialReg::TID_X);
+    b.s2r(1, SpecialReg::CTAID_X);
+    b.imad(2, R(1), Imm(128), R(0));
+    b.shl(3, R(2), Imm(2));
+    b.iadd(4, R(3), CParam(0));
+    b.ldg(5, 4, 0);
+    b.fmul(6, R(5), FImm(2.0f));
+    b.fadd(6, R(6), FImm(1.0f));
+    b.iadd(7, R(3), CParam(1));
+    b.stg(7, 0, R(6));
+    b.exit();
+    return b.finish();
+}
+
+/** Rate-matched 2-stage pipeline through queue 0; params: in, out. */
+Program
+pipeKernel(int chunks)
+{
+    KernelBuilder b("pipe");
+    b.tbDim(32).stages(2).stageRegs({8, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ptop = b.freshLabel("ptop");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    // -- consumer (stage 1)
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ctop);
+    b.exit();
+    // -- producer (stage 0)
+    b.place(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.mov(2, Imm(0));
+    b.place(ptop);
+    b.ldgQueue(q, 1, 0);
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ptop);
+    b.exit();
+    return b.finish();
+}
+
+/** Stage 1 arrives on barrier 0 once; stage 0 waits for it; params:
+ * out. Dropping the single arrive wedges the waiter forever. */
+Program
+barrierKernel()
+{
+    KernelBuilder b("bar_wait");
+    b.tbDim(32).stages(2).stageRegs({6, 6});
+    b.barrier(1, 0); // expected=1, initialPhase=0
+    auto prod = b.freshLabel("prod");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.barArrive(0);
+    b.exit();
+    b.place(prod);
+    b.barWait(0);
+    b.s2r(1, SpecialReg::TID_X);
+    b.shl(2, R(1), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 0, Imm(9));
+    b.exit();
+    return b.finish();
+}
+
+/** TMA stream fills queue 0, consumer pops n/32 chunks; params: in,
+ * out. Requires waspTmaEnabled. */
+Program
+tmaStreamKernel(int n)
+{
+    KernelBuilder b("tma_stream");
+    b.tbDim(32).stages(2).stageRegs({4, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(n / 32));
+    b.pred(1).bra(ctop);
+    b.exit();
+    b.place(prod);
+    b.mov(1, CParam(0));
+    b.mov(2, Imm(n));
+    b.tmaStream(q, 1, 2, 4);
+    b.exit();
+    return b.finish();
+}
+
+/** Run a kernel that must wedge and hand back the thrown SimError. */
+SimError
+runExpectFault(const GpuConfig &config, mem::GlobalMemory &gmem,
+               const Program &prog, int grid,
+               const std::vector<uint32_t> &params)
+{
+    try {
+        runProgram(config, gmem, prog, grid, params);
+    } catch (const SimError &e) {
+        return e;
+    }
+    ADD_FAILURE() << "kernel completed; expected a SimError";
+    return SimError(RunOutcome::Ok, "did not throw", RunStats{});
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Forward-progress watchdog.
+// ---------------------------------------------------------------------
+
+TEST(Watchdog, HealthyKernelIsUnaffected)
+{
+    mem::GlobalMemory gmem;
+    const int n = 256;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i));
+    GpuConfig config = robustConfig();
+    config.watchdogInterval = 2'000; // tight: still no false positive
+    RunStats stats = runProgram(config, gmem, saxpyKernel(), n / 128,
+                                {in, out});
+    EXPECT_EQ(stats.outcome, RunOutcome::Ok);
+    EXPECT_TRUE(stats.pipelineDump.empty());
+    for (int i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(gmem.readF32(out + static_cast<uint32_t>(i) * 4),
+                        static_cast<float>(i) * 2.0f + 1.0f);
+}
+
+TEST(Watchdog, VerifierCleanFixtureDeadlocksAtRuntime)
+{
+    // The fixture passes the static verifier (its queue rate mismatch
+    // is outside the "equal depth implies equal trip counts" model) but
+    // starves at runtime: only the watchdog catches it.
+    std::string path =
+        std::string(WASP_BROKEN_DIR) + "/runtime_deadlock.wsass";
+    Program prog = assemble(readFile(path), false);
+    compiler::VerifyResult vr = compiler::verifyProgram(prog);
+    EXPECT_TRUE(vr.ok()) << "fixture must lint clean";
+
+    mem::GlobalMemory gmem;
+    uint32_t in = gmem.alloc(32 * 8 * 4);
+    uint32_t out = gmem.alloc(32 * 8 * 4);
+    SimError e = runExpectFault(robustConfig(), gmem, prog, 1, {in, out});
+    EXPECT_EQ(e.outcome, RunOutcome::Deadlock);
+    EXPECT_NE(e.diagnosis.find("no forward progress"), std::string::npos)
+        << e.diagnosis;
+    EXPECT_NE(std::string(e.what()).find("[deadlock]"), std::string::npos);
+    // The dump must finger the starved consumer pop on queue 0.
+    EXPECT_NE(e.stats.pipelineDump.find("stall="), std::string::npos);
+    EXPECT_NE(e.stats.pipelineDump.find("queue-empty(Q0)"),
+              std::string::npos)
+        << e.stats.pipelineDump;
+    EXPECT_NE(e.stats.pipelineDump.find("occ="), std::string::npos);
+}
+
+TEST(Watchdog, RunawayLoopClassifiedAsStallNotDeadlock)
+{
+    // An infinite loop retires instructions every interval, so the
+    // zero-progress check never trips; maxCycles does, and the outcome
+    // distinguishes "still progressing" from a true deadlock.
+    KernelBuilder b("spin");
+    b.tbDim(32);
+    b.mov(1, Imm(0));
+    auto top = b.freshLabel("top");
+    b.place(top);
+    b.iadd(1, R(1), Imm(1));
+    b.bra(top);
+    Program prog = b.finish();
+
+    mem::GlobalMemory gmem;
+    GpuConfig config = robustConfig();
+    config.maxCycles = 50'000;
+    config.watchdogInterval = 10'000;
+    SimError e = runExpectFault(config, gmem, prog, 1, {});
+    EXPECT_EQ(e.outcome, RunOutcome::WatchdogStall);
+    EXPECT_NE(e.diagnosis.find("exceeded"), std::string::npos)
+        << e.diagnosis;
+    EXPECT_GE(e.stats.cycles, 50'000u);
+}
+
+// ---------------------------------------------------------------------
+// One test per injected fault class: the watchdog must detect the
+// wedge, classify it as fault-injected, and name the fault class.
+// ---------------------------------------------------------------------
+
+TEST(FaultInject, DropBarArriveWedgesWaiter)
+{
+    mem::GlobalMemory gmem;
+    uint32_t out = gmem.alloc(32 * 4);
+    FaultSpec spec;
+    spec.kind = FaultKind::DropBarArrive;
+    spec.maxEvents = 1;
+    SimError e = runExpectFault(withFault(robustConfig(), spec), gmem,
+                                barrierKernel(), 1, {out});
+    EXPECT_EQ(e.outcome, RunOutcome::FaultInjected);
+    EXPECT_NE(e.diagnosis.find("bar.drop-arrive"), std::string::npos)
+        << e.diagnosis;
+    EXPECT_NE(e.stats.pipelineDump.find("bar-wait"), std::string::npos)
+        << e.stats.pipelineDump;
+}
+
+TEST(FaultInject, StuckEmptyQueueStarvesConsumer)
+{
+    mem::GlobalMemory gmem;
+    uint32_t in = gmem.alloc(32 * 4 * 4);
+    uint32_t out = gmem.alloc(32 * 4 * 4);
+    FaultSpec spec;
+    spec.kind = FaultKind::StuckQueueEmpty;
+    spec.queueIdx = 0;
+    SimError e = runExpectFault(withFault(robustConfig(), spec), gmem,
+                                pipeKernel(4), 1, {in, out});
+    EXPECT_EQ(e.outcome, RunOutcome::FaultInjected);
+    EXPECT_NE(e.diagnosis.find("queue.stuck-empty(Q0)"),
+              std::string::npos)
+        << e.diagnosis;
+    EXPECT_NE(e.stats.pipelineDump.find("queue-stuck-empty(Q0)"),
+              std::string::npos)
+        << e.stats.pipelineDump;
+}
+
+TEST(FaultInject, StuckFullQueueBlocksProducer)
+{
+    mem::GlobalMemory gmem;
+    uint32_t in = gmem.alloc(32 * 4 * 4);
+    uint32_t out = gmem.alloc(32 * 4 * 4);
+    FaultSpec spec;
+    spec.kind = FaultKind::StuckQueueFull;
+    spec.queueIdx = 0;
+    SimError e = runExpectFault(withFault(robustConfig(), spec), gmem,
+                                pipeKernel(4), 1, {in, out});
+    EXPECT_EQ(e.outcome, RunOutcome::FaultInjected);
+    EXPECT_NE(e.diagnosis.find("queue.stuck-full(Q0)"),
+              std::string::npos)
+        << e.diagnosis;
+    EXPECT_NE(e.stats.pipelineDump.find("queue-stuck-full(Q0)"),
+              std::string::npos)
+        << e.stats.pipelineDump;
+}
+
+TEST(FaultInject, PermanentDramStallWedgesLoads)
+{
+    mem::GlobalMemory gmem;
+    const int n = 256;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    FaultSpec spec;
+    spec.kind = FaultKind::DramStall; // durationCycles=0: forever
+    SimError e = runExpectFault(withFault(robustConfig(), spec), gmem,
+                                saxpyKernel(), n / 128, {in, out});
+    EXPECT_EQ(e.outcome, RunOutcome::FaultInjected);
+    EXPECT_NE(e.diagnosis.find("dram.stall"), std::string::npos)
+        << e.diagnosis;
+}
+
+TEST(FaultInject, BoundedDramSpikeOnlyDelaysTheRun)
+{
+    // A latency spike with a finite window is survivable: the kernel
+    // still completes with correct results, just later.
+    mem::GlobalMemory gmem;
+    const int n = 256;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i));
+    RunStats clean = runProgram(robustConfig(), gmem, saxpyKernel(),
+                                n / 128, {in, out});
+    FaultSpec spec;
+    spec.kind = FaultKind::DramStall;
+    spec.atCycle = 1;
+    spec.durationCycles = 5'000;
+    RunStats spiked = runProgram(withFault(robustConfig(), spec), gmem,
+                                 saxpyKernel(), n / 128, {in, out});
+    EXPECT_EQ(spiked.outcome, RunOutcome::Ok);
+    EXPECT_GT(spiked.cycles, clean.cycles);
+    for (int i = 0; i < n; ++i)
+        EXPECT_FLOAT_EQ(gmem.readF32(out + static_cast<uint32_t>(i) * 4),
+                        static_cast<float>(i) * 2.0f + 1.0f);
+}
+
+TEST(FaultInject, DropTmaResponseStarvesConsumer)
+{
+    mem::GlobalMemory gmem;
+    const int n = 32 * 8;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    GpuConfig config = robustConfig();
+    config.waspTmaEnabled = true;
+    FaultSpec spec;
+    spec.kind = FaultKind::DropTmaResponse;
+    spec.maxEvents = 1;
+    SimError e = runExpectFault(withFault(config, spec), gmem,
+                                tmaStreamKernel(n), 1, {in, out});
+    EXPECT_EQ(e.outcome, RunOutcome::FaultInjected);
+    EXPECT_NE(e.diagnosis.find("tma.drop-response"), std::string::npos)
+        << e.diagnosis;
+}
+
+TEST(FaultPlan, DescribeNamesEveryArmedFault)
+{
+    FaultPlan plan;
+    FaultSpec a;
+    a.kind = FaultKind::StuckQueueFull;
+    a.queueIdx = 2;
+    a.atCycle = 100;
+    FaultSpec b;
+    b.kind = FaultKind::DramStall;
+    plan.faults = {a, b};
+    std::string d = plan.describe();
+    EXPECT_NE(d.find("queue.stuck-full(Q2)@100"), std::string::npos) << d;
+    EXPECT_NE(d.find("dram.stall@0"), std::string::npos) << d;
+    EXPECT_EQ(FaultPlan{}.describe(), "no faults");
+}
+
+// ---------------------------------------------------------------------
+// Fault-isolated experiment matrix.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Baseline (healthy) × WaspGpu (DRAM wedged from launch). */
+std::vector<harness::ConfigSpec>
+matrixSpecs()
+{
+    std::vector<harness::ConfigSpec> specs{
+        harness::makeConfig(harness::PaperConfig::Baseline),
+        harness::makeConfig(harness::PaperConfig::WaspGpu),
+    };
+    FaultSpec dram;
+    dram.kind = FaultKind::DramStall; // forever
+    specs[1].gpu.faults.faults.push_back(dram);
+    for (auto &spec : specs)
+        spec.gpu.watchdogInterval = 20'000;
+    return specs;
+}
+
+const std::vector<std::string> kApps{"pointnet"};
+
+} // namespace
+
+TEST(FaultMatrix, SkipIsolatesFailedCellDeterministically)
+{
+    auto specs = matrixSpecs();
+    auto serial = harness::runMatrix(specs, kApps, 1,
+                                     harness::FaultPolicy::Skip);
+    ASSERT_EQ(serial.size(), 2u);
+
+    // Healthy cell completes and verifies despite its wedged neighbor.
+    EXPECT_EQ(serial[0].outcome, RunOutcome::Ok);
+    EXPECT_TRUE(serial[0].verified);
+    EXPECT_GT(serial[0].weightedCycles, 0.0);
+
+    // Wedged cell is reported, not fatal.
+    EXPECT_EQ(serial[1].outcome, RunOutcome::FaultInjected);
+    EXPECT_FALSE(serial[1].verified);
+    EXPECT_EQ(serial[1].attempts, 1);
+    EXPECT_NE(serial[1].diagnosis.find("dram.stall"), std::string::npos)
+        << serial[1].diagnosis;
+    EXPECT_FALSE(serial[1].pipelineDump.empty());
+    EXPECT_EQ(serial[1].seed, harness::taskSeed(specs[1].name, "pointnet"));
+
+    // The failure report is bit-identical on a parallel sweep.
+    auto parallel = harness::runMatrix(specs, kApps, 4,
+                                       harness::FaultPolicy::Skip);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].benchmark, parallel[i].benchmark);
+        EXPECT_EQ(serial[i].config, parallel[i].config);
+        EXPECT_EQ(serial[i].weightedCycles, parallel[i].weightedCycles);
+        EXPECT_EQ(serial[i].verified, parallel[i].verified);
+        EXPECT_EQ(serial[i].outcome, parallel[i].outcome);
+        EXPECT_EQ(serial[i].diagnosis, parallel[i].diagnosis);
+        EXPECT_EQ(serial[i].pipelineDump, parallel[i].pipelineDump);
+        EXPECT_EQ(serial[i].attempts, parallel[i].attempts);
+        EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    }
+
+    // The report renders the failure with its diagnosis and dump.
+    harness::MatrixReport report(kApps, {specs[0].name, specs[1].name});
+    for (const auto &r : serial)
+        report.add(r);
+    EXPECT_EQ(report.failedCells(), 1);
+    std::string failures = report.renderFailures();
+    EXPECT_NE(failures.find("pointnet x " + specs[1].name +
+                            ": fault-injected"),
+              std::string::npos)
+        << failures;
+    EXPECT_NE(failures.find("dram.stall"), std::string::npos);
+    EXPECT_NE(report.renderCycles().find("fault-injected"),
+              std::string::npos);
+}
+
+TEST(FaultMatrix, DeadlockedCellIsReportedWithPipelineDump)
+{
+    // A genuine (non-injected) deadlock report through runMatrix: a
+    // watchdog interval shorter than the DRAM latency (220 cycles)
+    // classifies the cold-miss response window — every warp blocked,
+    // no memory event — as zero forward progress. The cell must be
+    // isolated and carry the per-warp dump; it also documents the
+    // tuning rule that watchdogInterval must exceed the longest
+    // legitimate stall.
+    std::vector<harness::ConfigSpec> specs{
+        harness::makeConfig(harness::PaperConfig::Baseline),
+        harness::makeConfig(harness::PaperConfig::WaspGpu),
+    };
+    specs[1].gpu.watchdogInterval = 40;
+    auto results = harness::runMatrix(specs, kApps, 1,
+                                      harness::FaultPolicy::Skip);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].outcome, RunOutcome::Ok);
+    EXPECT_EQ(results[1].outcome, RunOutcome::Deadlock);
+    EXPECT_NE(results[1].diagnosis.find("no forward progress"),
+              std::string::npos)
+        << results[1].diagnosis;
+    EXPECT_NE(results[1].pipelineDump.find("stall="), std::string::npos)
+        << results[1].pipelineDump;
+}
+
+TEST(FaultMatrix, RetryReproducesDeterministicFault)
+{
+    auto specs = matrixSpecs();
+    auto results = harness::runMatrix(specs, kApps, 1,
+                                      harness::FaultPolicy::Retry);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[1].outcome, RunOutcome::FaultInjected);
+    EXPECT_EQ(results[1].attempts, 2);
+    EXPECT_NE(results[1].diagnosis.find(
+                  "reproduced on retry with identical taskSeed"),
+              std::string::npos)
+        << results[1].diagnosis;
+}
+
+TEST(FaultMatrix, AbortRethrowsTheCellFailure)
+{
+    auto specs = matrixSpecs();
+    EXPECT_THROW(harness::runMatrix(specs, kApps, 1,
+                                    harness::FaultPolicy::Abort),
+                 SimError);
+}

@@ -34,6 +34,18 @@ TEST(Opcode, EveryOpcodeRoundTripsByName)
     }
 }
 
+TEST(Opcode, ParseCmpReportsUnknownModifiers)
+{
+    CmpOp cmp = CmpOp::EQ;
+    EXPECT_TRUE(parseCmp("LT", &cmp));
+    EXPECT_EQ(cmp, CmpOp::LT);
+    EXPECT_TRUE(parseCmp("GE", &cmp));
+    EXPECT_EQ(cmp, CmpOp::GE);
+    cmp = CmpOp::NE;
+    EXPECT_FALSE(parseCmp("BOGUS", &cmp));
+    EXPECT_EQ(cmp, CmpOp::NE); // untouched on failure
+}
+
 TEST(Assembler, ParsesSimpleKernel)
 {
     Program prog = assemble(R"(
@@ -110,6 +122,38 @@ TEST(Assembler, ParsesWaspDirectivesAndQueueOps)
     EXPECT_EQ(prog.tb.smemBytes, 1024u);
     EXPECT_TRUE(prog.instrs[0].dsts[0].isQueue());
     EXPECT_TRUE(prog.instrs[1].srcs[0].isQueue());
+}
+
+TEST(Assembler, UnknownCmpModifierIsDiagnosedNotFatal)
+{
+    // A bad .XX comparison modifier must surface as an AssembleError
+    // with the line number, not abort the process.
+    try {
+        assemble(R"(
+.kernel bad
+.tb 32
+    ISETP.BOGUS P0, R0, 10
+    EXIT
+)");
+        FAIL() << "expected AssembleError";
+    } catch (const AssembleError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("assembler:4"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("unknown comparison modifier '.BOGUS'"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(Assembler, UndefinedLabelThrowsAssembleError)
+{
+    EXPECT_THROW(assemble(R"(
+.kernel bad
+.tb 32
+    BRA nowhere
+    EXIT
+)"),
+                 AssembleError);
 }
 
 TEST(Assembler, RoundTripsThroughDisassembler)

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Build the tree with ThreadSanitizer and run the fault-injection test
+# label. The `fault` label covers the watchdog/fault-injection suite
+# plus the parallel runMatrix isolation tests, which is exactly where a
+# data race between worker threads would corrupt a cell's diagnosis.
+#
+#   ./tools/run_fault_tsan.sh [build-dir] [extra ctest args...]
+#
+# Uses a dedicated build directory (default build-tsan) so the regular
+# build stays uninstrumented. Exits with ctest's status, so it can
+# serve as a CI gate.
+set -eu
+
+build_dir="${1:-build-tsan}"
+[ $# -gt 0 ] && shift
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$build_dir" -S . -DWASP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" --target fault_test wasp-cli
+
+cd "$build_dir"
+exec ctest -L fault --output-on-failure "$@"

@@ -20,11 +20,16 @@
  *       error-severity check fails.
  *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
+ *             [--on-fault={abort,skip,retry}]
  *       Run the Table II benchmark × paper-config matrix on N worker
  *       threads (default: hardware concurrency) and print speedups
  *       against the first config plus raw cycles. Output is
  *       byte-identical for every N: each cell owns its simulator
- *       state and rows are emitted in canonical order.
+ *       state and rows are emitted in canonical order. A cell whose
+ *       simulation deadlocks or trips the watchdog is isolated per
+ *       --on-fault (default skip): the rest of the matrix completes,
+ *       the failed cell is reported with its pipeline dump, and the
+ *       exit code is 3.
  *
  * Kernel parameters are 32-bit values passed to c[0], c[1], ... in
  * order. `run` allocates no data; kernels that need input arrays should
@@ -81,6 +86,7 @@ usage()
                  "[--tile-only] [--no-tma]\n"
                  "       wasp-cli matrix [--apps a,b,..] "
                  "[--configs c1,c2,..] [-j N]\n"
+                 "                [--on-fault={abort,skip,retry}]\n"
                  "           configs: baseline, compiler_tile, "
                  "compiler_all,\n"
                  "                    +regalloc, +wasp_tma, +rfq, "
@@ -139,9 +145,20 @@ cmdMatrix(const std::vector<std::string> &args)
         PaperConfig::CompilerAll, PaperConfig::WaspGpu};
     std::vector<std::string> apps;
     int jobs = 0;
+    harness::FaultPolicy on_fault = harness::FaultPolicy::Skip;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg == "--apps" && i + 1 < args.size()) {
+        if (arg.rfind("--on-fault=", 0) == 0) {
+            std::string policy = arg.substr(std::strlen("--on-fault="));
+            if (policy == "abort")
+                on_fault = harness::FaultPolicy::Abort;
+            else if (policy == "skip")
+                on_fault = harness::FaultPolicy::Skip;
+            else if (policy == "retry")
+                on_fault = harness::FaultPolicy::Retry;
+            else
+                return usage();
+        } else if (arg == "--apps" && i + 1 < args.size()) {
             apps = splitCommas(args[++i]);
         } else if (arg == "--configs" && i + 1 < args.size()) {
             configs.clear();
@@ -178,7 +195,7 @@ cmdMatrix(const std::vector<std::string> &args)
 
     auto start = std::chrono::steady_clock::now();
     std::vector<harness::BenchResult> results =
-        harness::runMatrix(specs, apps, jobs);
+        harness::runMatrix(specs, apps, jobs, on_fault);
     auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                   std::chrono::steady_clock::now() - start)
                   .count();
@@ -195,9 +212,18 @@ cmdMatrix(const std::vector<std::string> &args)
                 report.renderSpeedups(config_names.front()).c_str());
     std::printf("=== raw results ===\n%s",
                 report.renderCycles().c_str());
+    int failed = report.failedCells();
+    if (failed > 0) {
+        std::printf("\n=== failed cells (%d) ===\n%s", failed,
+                    report.renderFailures().c_str());
+    }
     bool all_verified = true;
     for (const auto &r : results)
         all_verified = all_verified && r.verified;
+    // Exit codes: 0 all cells ok+verified, 1 verification mismatches,
+    // 3 at least one cell failed to complete (deadlock/fault).
+    if (failed > 0)
+        return 3;
     return all_verified ? 0 : 1;
 }
 
@@ -303,7 +329,7 @@ cmdRun(const std::string &path, int grid,
 } // namespace
 
 int
-main(int argc, char **argv)
+dispatch(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
@@ -374,4 +400,24 @@ main(int argc, char **argv)
         return cmdRun(path, grid, params, alloc_slots, alloc_bytes, wasp);
     }
     return usage();
+}
+
+int
+main(int argc, char **argv)
+{
+    // The library layer throws instead of aborting (SimError for failed
+    // simulations, AssembleError for bad input); the CLI is the
+    // recovery point that turns them into messages and exit codes.
+    try {
+        return dispatch(argc, argv);
+    } catch (const sim::SimError &e) {
+        std::fprintf(stderr, "error: %s\n", e.diagnosis.c_str());
+        if (!e.stats.pipelineDump.empty())
+            std::fprintf(stderr, "pipeline state:\n%s",
+                         e.stats.pipelineDump.c_str());
+        return 3;
+    } catch (const SimAbortError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
 }
