@@ -96,7 +96,12 @@ Gpu::tick(uint64_t now)
     }
 
     // Thread block dispatch: hand the next CTAs to SMs with space.
-    while (next_cta_ < launch_->gridDim) {
+    // A scan round that places nothing disarms the dispatcher; it is
+    // re-armed below when an SM retires a TB, the only event that frees
+    // dispatch capacity. tryAccept has no side effects on failure and
+    // is a pure function of resources freed by releaseTb, so skipping
+    // the rescan is observably identical to rescanning every cycle.
+    while (dispatch_armed_ && next_cta_ < launch_->gridDim) {
         bool placed = false;
         for (int k = 0; k < config_.numSms; ++k) {
             int s = (next_sm_ + k) % config_.numSms;
@@ -108,8 +113,10 @@ Gpu::tick(uint64_t now)
                 break;
             }
         }
-        if (!placed)
+        if (!placed) {
+            dispatch_armed_ = false;
             break;
+        }
     }
 
     for (auto &sm : sms_)
@@ -132,6 +139,15 @@ Gpu::tick(uint64_t now)
                 continue;
             sm.tmaEngine().sectorResponse(resp.txn);
         }
+    }
+
+    // Re-arm the block dispatcher when any SM retired a TB this cycle.
+    uint64_t released = 0;
+    for (const auto &sm : sms_)
+        released += sm->tbsReleased();
+    if (released != last_tbs_released_) {
+        last_tbs_released_ = released;
+        dispatch_armed_ = true;
     }
 
     // Timeline sampling (Fig 3).
@@ -170,6 +186,8 @@ Gpu::run(const Launch &launch)
     launch_ = &launch;
     next_cta_ = 0;
     next_sm_ = 0;
+    dispatch_armed_ = true;
+    last_tbs_released_ = 0;
     last_sample_cycle_ = 0;
     last_tensor_issues_ = 0;
     last_l2_bytes_ = 0;

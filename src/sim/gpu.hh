@@ -79,6 +79,10 @@ class Gpu
     const Launch *launch_ = nullptr;
     int next_cta_ = 0;
     int next_sm_ = 0;
+    // Block dispatcher gating: disarmed once a scan round places
+    // nothing, re-armed when an SM retires a TB (frees capacity).
+    bool dispatch_armed_ = true;
+    uint64_t last_tbs_released_ = 0;
     // Forward-progress watchdog.
     uint64_t last_watchdog_check_ = 0;
     uint64_t last_progress_ = 0;

@@ -260,6 +260,7 @@ Sm::releaseTb(int tb_slot)
     tb.valid = false;
     tb.smem.reset();
     tb.queues.clear();
+    ++tbs_released_;
 }
 
 void

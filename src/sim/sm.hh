@@ -68,6 +68,14 @@ class Sm : public core::TmaHost
 
     bool idle() const;
     int residentTbs() const;
+    /**
+     * Monotone count of thread blocks this SM has retired. The GPU's
+     * block dispatcher compares it between cycles: dispatch capacity
+     * (TB slots, warp slots, registers, SMEM) is only ever freed by a
+     * TB release, so a failed dispatch scan need not be repeated until
+     * this counter moves on some SM.
+     */
+    uint64_t tbsReleased() const { return tbs_released_; }
 
     const mem::TimingCache &l1() const { return l1_; }
     mem::TimingCache &l1() { return l1_; }
@@ -218,6 +226,7 @@ class Sm : public core::TmaHost
     int tb_rotation_ = 0;
     uint32_t smem_used_ = 0;
     uint64_t now_ = 0;
+    uint64_t tbs_released_ = 0;
 };
 
 } // namespace wasp::sim
