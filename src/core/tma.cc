@@ -42,11 +42,19 @@ TmaEngine::submit(const TmaDescriptor &desc)
 void
 TmaEngine::tick(uint64_t now)
 {
-    (void)now;
+    const size_t n = active_.size();
+    // Catch up the round-robin pointer over skipped cycles: the
+    // reference clock rotates it once per cycle whenever descriptors
+    // are active, and the descriptor count cannot change while the
+    // machine is quiescent, so the rotation is elapsed mod n.
+    if (n > 0 && now > last_tick_ + 1) {
+        uint64_t skipped = now - last_tick_ - 1;
+        rr_start_ = (rr_start_ + skipped % n) % n;
+    }
+    last_tick_ = now;
     int budget = config_.tmaSectorsPerCycle;
     // Round-robin across descriptors so stalled ones (e.g. waiting on
     // queue space) never starve the rest.
-    const size_t n = active_.size();
     for (size_t k = 0; k < n; ++k) {
         if (budget <= 0)
             break;
@@ -194,6 +202,65 @@ TmaEngine::stepDesc(ActiveDesc &d, int &budget)
         break;
       }
     }
+}
+
+bool
+TmaEngine::descActive(const ActiveDesc &d)
+{
+    // Generated sectors awaiting injection: the per-cycle budget and
+    // L2 acceptance are retried every cycle.
+    if (!d.pendingSectors.empty())
+        return true;
+    // Generation finished: only sector responses (bounded by the memory
+    // response queues) or the completion bookkeeping they trigger
+    // remain — nothing tick() does on its own.
+    if (d.generationDone)
+        return false;
+    switch (d.desc.kind) {
+      case TmaKind::Tile:
+        // Would inject the next sector or flip generationDone.
+        return true;
+      case TmaKind::Stream: {
+        const uint32_t total_entries =
+            (d.desc.count + isa::kWarpSize - 1) / isa::kWarpSize;
+        if (d.nextElem >= total_entries)
+            return true; // would flip generationDone
+        Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
+                                    d.desc.queueIdx);
+        // Blocked on is_full: space frees at a consumer warp's pop,
+        // which happens at that warp's (woken) issue cycle.
+        return queue && queue->canReserve();
+      }
+      case TmaKind::GatherQueue:
+      case TmaKind::GatherSmem: {
+        const uint32_t total_entries =
+            (d.desc.count + isa::kWarpSize - 1) / isa::kWarpSize;
+        if (!d.readyIndices.empty()) {
+            if (d.desc.kind == TmaKind::GatherSmem)
+                return true; // phase-2 entry generated unconditionally
+            Rfq *queue = host_.tmaQueue(d.desc.tbSlot, d.desc.slice,
+                                        d.desc.queueIdx);
+            return queue && queue->canReserve();
+        }
+        if (d.nextElem < total_entries &&
+            d.indexEntriesInFlight + d.readyIndices.size() < 2)
+            return true; // would fetch the next index entry
+        if (d.nextElem >= total_entries && d.indexEntries.empty() &&
+            d.readyIndices.empty())
+            return true; // would flip generationDone
+        return false; // waiting on index-sector responses
+      }
+    }
+    return true;
+}
+
+uint64_t
+TmaEngine::nextEventCycle(uint64_t now)
+{
+    for (const ActiveDesc &d : active_)
+        if (descActive(d))
+            return now + 1;
+    return sim::kNoEvent;
 }
 
 void

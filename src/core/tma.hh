@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/rfq.hh"
+#include "sim/clock.hh"
 #include "sim/config.hh"
 
 namespace wasp::core
@@ -68,12 +69,13 @@ struct TmaDescriptor
     uint32_t stride = 4; ///< element stride in bytes (stream)
 };
 
-class TmaEngine
+class TmaEngine : public sim::ClockedComponent
 {
   public:
     TmaEngine(const sim::GpuConfig &config, TmaHost &host)
         : config_(config), host_(host)
     {}
+    ~TmaEngine() override = default;
 
     /**
      * The descriptor table is memory-backed and effectively unbounded
@@ -91,7 +93,16 @@ class TmaEngine
     void submit(const TmaDescriptor &desc);
 
     /** Generate up to tmaSectorsPerCycle requests. */
-    void tick(uint64_t now);
+    void tick(uint64_t now) override;
+
+    /**
+     * Next cycle request generation would attempt anything: any active
+     * descriptor that is not purely waiting on sector responses (those
+     * are bounded by the memory response queues) or on queue space
+     * (freed at a consumer warp's issue cycle, itself a wake point)
+     * reports work next cycle.
+     */
+    uint64_t nextEventCycle(uint64_t now) override;
 
     /** A sector request issued by this engine completed. */
     void sectorResponse(uint32_t txn);
@@ -131,6 +142,8 @@ class TmaEngine
 
     void stepDesc(ActiveDesc &d, int &budget);
     void finishIfDone(ActiveDesc &d);
+    /** Would stepDesc(d) change state next cycle? Mirror of stepDesc. */
+    bool descActive(const ActiveDesc &d);
 
     /** Coalesce lane addresses into unique sector addresses. */
     static std::vector<uint32_t> coalesce(const LaneData &addrs,
@@ -143,6 +156,7 @@ class TmaEngine
     uint32_t next_txn_ = 1;
     int next_desc_id_ = 1;
     size_t rr_start_ = 0;
+    uint64_t last_tick_ = 0; ///< for round-robin catch-up over skips
     uint64_t sectors_issued_ = 0;
 };
 

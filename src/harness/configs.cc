@@ -88,4 +88,20 @@ makeConfig(PaperConfig which, double bw_scale, int rfq_entries)
     return spec;
 }
 
+ConfigSpec
+makeFullSizeConfig(PaperConfig which)
+{
+    ConfigSpec spec = makeConfig(which);
+    spec.name += "_108SM";
+    sim::GpuConfig &gpu = spec.gpu;
+    gpu.numSms = 108;
+    // Scale the shared memory system with the SM count (the scaled
+    // model provisions 12 DRAM B/cycle and one L2 bank per SM).
+    gpu.l2Bytes = 40u << 20;
+    gpu.l2Banks = 64;
+    gpu.dramBytesPerCycle = 1296.0; // 48 * (108 / 4)
+    gpu.dramQueueDepth = 512;
+    return spec;
+}
+
 } // namespace wasp::harness

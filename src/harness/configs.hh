@@ -56,6 +56,15 @@ struct ConfigSpec
 ConfigSpec makeConfig(PaperConfig which, double bw_scale = 1.0,
                       int rfq_entries = 0);
 
+/**
+ * Full-size A100-class machine (108 SMs, 40 MB L2, HBM-class
+ * bandwidth) instead of the scaled-down 4-SM model the sweeps use.
+ * Mostly-idle SMs make this configuration a stress test for the
+ * cycle-skipping clock: the reference clock pays for every SM every
+ * cycle.
+ */
+ConfigSpec makeFullSizeConfig(PaperConfig which);
+
 const char *paperConfigName(PaperConfig which);
 
 } // namespace wasp::harness

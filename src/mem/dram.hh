@@ -3,6 +3,14 @@
  * DRAM model: a bounded request queue served at a configurable byte
  * bandwidth with a fixed access latency. The bandwidth knob implements
  * the paper's Figure 20 sensitivity study (half / double bandwidth).
+ *
+ * The bandwidth budget accrues one `bandwidth_` step per simulated
+ * cycle. Under the cycle-skipping clock tick() is only called at woken
+ * cycles, so accrual is caught up lazily by replaying the per-cycle
+ * add-and-cap updates for the skipped span — bit-identical to the
+ * reference clock's per-cycle arithmetic (a closed-form multiply would
+ * change float rounding). The replay early-exits once the budget
+ * saturates at the cap, bounding it to a handful of iterations.
  */
 
 #ifndef WASP_MEM_DRAM_HH
@@ -12,11 +20,12 @@
 #include <deque>
 
 #include "mem/req.hh"
+#include "sim/clock.hh"
 
 namespace wasp::mem
 {
 
-class Dram
+class Dram : public sim::ClockedComponent
 {
   public:
     /**
@@ -48,21 +57,26 @@ class Dram
 
     /**
      * Fault injection hook: while stalled, tick() serves nothing and
-     * accrues no bandwidth budget (an unbounded latency spike).
+     * accrues no bandwidth budget (an unbounded latency spike). Skipped
+     * cycles before `now` are accounted with the *previous* stall state
+     * before the flag flips; the fault injector's event bound
+     * guarantees the flag is constant across any skipped span.
      */
-    void setStalled(bool stalled) { stalled_ = stalled; }
-
-    /** Serve requests for one cycle. */
     void
-    tick(uint64_t now)
+    setStalled(bool stalled, uint64_t now)
     {
+        if (now > 0)
+            accrueThrough(now - 1);
+        stalled_ = stalled;
+    }
+
+    /** Serve requests for one cycle (catching up skipped accrual). */
+    void
+    tick(uint64_t now) override
+    {
+        accrueThrough(now);
         if (stalled_)
             return;
-        budget_ += bandwidth_;
-        // Cap the accumulated budget so idle periods cannot bank
-        // unbounded burst bandwidth.
-        if (budget_ > 8.0 * bandwidth_ + kSectorBytes)
-            budget_ = 8.0 * bandwidth_ + kSectorBytes;
         while (!queue_.empty() && budget_ >= kSectorBytes) {
             MemReq req = queue_.front();
             queue_.pop_front();
@@ -76,7 +90,22 @@ class Dram
         }
     }
 
+    /**
+     * Pending requests drain as budget accrues, so a non-empty queue
+     * means next-cycle work; response readiness is bounded by the L2
+     * (which drains responses_), and budget accrual alone is
+     * unobservable until a request arrives.
+     */
+    uint64_t
+    nextEventCycle(uint64_t now) override
+    {
+        if (!queue_.empty() && !stalled_)
+            return now + 1;
+        return sim::kNoEvent;
+    }
+
     DelayQueue<MemReq> &responses() { return responses_; }
+    const DelayQueue<MemReq> &responses() const { return responses_; }
 
     uint64_t bytesRead() const { return bytes_read_; }
     uint64_t bytesWritten() const { return bytes_written_; }
@@ -90,11 +119,41 @@ class Dram
     }
 
   private:
+    /**
+     * Replay the per-cycle budget update for every unaccounted cycle
+     * up to and including `c`. Cap the accumulated budget so idle
+     * periods cannot bank unbounded burst bandwidth; once the budget
+     * sits exactly at the cap every further per-cycle update leaves it
+     * there, so the replay can stop early with the exact value.
+     */
+    void
+    accrueThrough(uint64_t c)
+    {
+        if (next_accrue_ > c)
+            return;
+        if (stalled_) {
+            next_accrue_ = c + 1;
+            return;
+        }
+        const double cap = 8.0 * bandwidth_ + kSectorBytes;
+        while (next_accrue_ <= c) {
+            ++next_accrue_;
+            budget_ += bandwidth_;
+            if (budget_ > cap)
+                budget_ = cap;
+            if (budget_ == cap) {
+                next_accrue_ = c + 1;
+                break;
+            }
+        }
+    }
+
     double bandwidth_;
     int latency_;
     int queue_depth_;
     double budget_ = 0.0;
     bool stalled_ = false;
+    uint64_t next_accrue_ = 0; ///< first cycle not yet accrued
     std::deque<MemReq> queue_;
     DelayQueue<MemReq> responses_;
     uint64_t bytes_read_ = 0;

@@ -1,5 +1,7 @@
 #include "mem/l2.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace wasp::mem
@@ -87,6 +89,27 @@ L2Cache::tick(uint64_t now)
             break; // retry next cycle
         }
     }
+}
+
+uint64_t
+L2Cache::nextEventCycle(uint64_t now)
+{
+    uint64_t next = dram_.responses().nextReadyCycle();
+    if (dram_.canAccept()) {
+        // With DRAM accepting, every non-empty bank must tick next
+        // cycle: even a head-of-line-blocked read reaches the bank
+        // cache's access(), which advances its replacement clock, so
+        // the retry is not pure and cannot be skipped. With DRAM full,
+        // tick() bails out before access() (pure retry), and the full
+        // DRAM queue is drained on Dram::nextEventCycle's bound.
+        for (const Bank &bank : banks_) {
+            if (!bank.in.empty()) {
+                next = std::min(next, now + 1);
+                break;
+            }
+        }
+    }
+    return next;
 }
 
 uint64_t

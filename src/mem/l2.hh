@@ -15,6 +15,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/req.hh"
+#include "sim/clock.hh"
 
 namespace wasp::mem
 {
@@ -29,7 +30,7 @@ struct L2Params
     int bankQueueDepth = 16;
 };
 
-class L2Cache
+class L2Cache : public sim::ClockedComponent
 {
   public:
     L2Cache(const L2Params &params, Dram &dram);
@@ -38,7 +39,14 @@ class L2Cache
     bool inject(const MemReq &req);
 
     /** Serve each bank and drain DRAM responses for one cycle. */
-    void tick(uint64_t now);
+    void tick(uint64_t now) override;
+
+    /**
+     * Next cycle this cache's tick does work: the front DRAM response
+     * becomes ready (fills + waiter wakeups), or any bank has a queued
+     * request (served — or conservatively retried — next cycle).
+     */
+    uint64_t nextEventCycle(uint64_t now) override;
 
     /** Responses back toward the SMs (both L2 hits and DRAM fills). */
     DelayQueue<MemReq> &responses() { return responses_; }

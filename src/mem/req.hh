@@ -72,6 +72,17 @@ class DelayQueue
     bool empty() const { return queue_.empty(); }
     size_t size() const { return queue_.size(); }
 
+    /**
+     * Cycle at which the next pop becomes possible, ~0ull when empty.
+     * Pops are front-gated (push order == pop order), so the front's
+     * ready cycle is exact even with mixed latencies in flight.
+     */
+    uint64_t
+    nextReadyCycle() const
+    {
+        return queue_.empty() ? ~0ull : queue_.front().ready;
+    }
+
   private:
     struct Entry
     {

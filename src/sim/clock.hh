@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quiescence-aware clocking contract.
+ *
+ * The GPU's cycle loop no longer has to visit every cycle: each clocked
+ * component exposes, besides its per-cycle tick(), a conservative lower
+ * bound on the next cycle at which ticking it would do anything
+ * observable. When every registered component is quiescent the loop
+ * jumps `now` directly to the earliest pending event (in-flight memory
+ * latencies, pipe-busy windows, TMA completions, watchdog / fault
+ * injection checkpoints).
+ *
+ * The contract each component must honor for nextEventCycle(now):
+ *
+ *  - It is evaluated after tick(now) for every component, i.e. against
+ *    end-of-cycle state, and must not mutate any observable state.
+ *  - Returning `now + 1` (or any cycle <= the true next event) is
+ *    always safe: it only costs wall clock. Returning a cycle *later*
+ *    than the component's true next state change is a determinism bug —
+ *    the reference clock would have acted on a cycle the skipping clock
+ *    never visits.
+ *  - kNoEvent means "nothing will happen until some other component
+ *    acts on me". That claim must be justified by an event edge that is
+ *    itself a wake point: e.g. a warp blocked on a queue pop is woken
+ *    by the producer's issue cycle, which the producer's own bound (or
+ *    a memory response queue's front-ready cycle) already covers.
+ *  - State that mutates every cycle even when idle (DRAM's bandwidth
+ *    budget accumulator, round-robin pointers) must be caught up
+ *    lazily on the next tick with arithmetic bit-identical to the
+ *    per-cycle reference (replay the per-cycle updates, never a closed
+ *    form that changes float associativity).
+ *
+ * Registration is by construction: Gpu::buildMachine collects every
+ * component into its clocked list; a component "sleeps" by returning
+ * kNoEvent and is woken by the global clock reaching any other
+ * component's bound.
+ */
+
+#ifndef WASP_SIM_CLOCK_HH
+#define WASP_SIM_CLOCK_HH
+
+#include <cstdint>
+
+namespace wasp::sim
+{
+
+/** nextEventCycle() result meaning "no self-generated future event". */
+inline constexpr uint64_t kNoEvent = ~0ull;
+
+class ClockedComponent
+{
+  public:
+    virtual ~ClockedComponent() = default;
+
+    /** Advance one (possibly skipped-to) cycle. */
+    virtual void tick(uint64_t now) = 0;
+
+    /**
+     * Conservative lower bound on the next cycle at which this
+     * component's tick would change observable state, evaluated after
+     * tick(now). Must not mutate observable state. kNoEvent == only an
+     * external event (itself a wake point elsewhere) can wake it.
+     */
+    virtual uint64_t nextEventCycle(uint64_t now) = 0;
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_CLOCK_HH

@@ -46,6 +46,19 @@ enum class QueueBackend : uint8_t
     Smem ///< software queues in shared memory (compiler-only config)
 };
 
+/**
+ * Simulator clocking model (sim/clock.hh). Both modes produce
+ * bit-identical RunStats; CycleSkip jumps over globally quiescent
+ * cycles, Reference visits every cycle (the determinism guardrail).
+ * The WASP_REFERENCE_CLOCK environment variable (non-empty, not "0")
+ * forces Reference regardless of this knob.
+ */
+enum class ClockMode : uint8_t
+{
+    CycleSkip, ///< jump `now` to the earliest pending event when idle
+    Reference  ///< naive per-cycle loop
+};
+
 struct GpuConfig
 {
     // -- machine size (scaled A100; see DESIGN.md) -----------------------
@@ -99,6 +112,7 @@ struct GpuConfig
     // -- instrumentation -----------------------------------------------------
     int timelineInterval = 0;      ///< >0: record per-interval utilization
     uint64_t maxCycles = 80'000'000;
+    ClockMode clockMode = ClockMode::CycleSkip;
 
     // -- robustness ----------------------------------------------------------
     /**

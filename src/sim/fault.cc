@@ -1,5 +1,7 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
+
 #include "common/log.hh"
 
 namespace wasp::sim
@@ -65,6 +67,23 @@ FaultInjector::beginCycle(uint64_t now)
             ++injected_;
         }
     }
+}
+
+uint64_t
+FaultInjector::nextEventCycle(uint64_t now) const
+{
+    uint64_t next = ~0ull;
+    for (const Armed &armed : armed_) {
+        if (armed.spec.atCycle > now)
+            next = std::min(next, armed.spec.atCycle);
+        if (armed.spec.kind == FaultKind::DramStall &&
+            armed.spec.durationCycles > 0) {
+            uint64_t end = armed.spec.atCycle + armed.spec.durationCycles;
+            if (end > now)
+                next = std::min(next, end);
+        }
+    }
+    return next;
 }
 
 bool

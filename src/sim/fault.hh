@@ -83,6 +83,15 @@ class FaultInjector
     /** Advance to cycle `now`; activates window faults (DramStall). */
     void beginCycle(uint64_t now);
 
+    /**
+     * Next cycle at which injector state changes on its own: a future
+     * spec activation edge (atCycle) or a DramStall window closing.
+     * The cycle-skipping clock must visit these edges so beginCycle's
+     * activation bookkeeping and dramStalled() transitions land on the
+     * exact cycles the reference clock sees them.
+     */
+    uint64_t nextEventCycle(uint64_t now) const;
+
     /** Should this BAR.ARRIVE (warp or TMA sourced) be discarded? */
     bool dropBarArrive();
     /** Is queue `queue_idx` forced to read as empty (pops blocked)? */

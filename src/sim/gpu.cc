@@ -1,9 +1,29 @@
 #include "sim/gpu.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
 #include "common/log.hh"
 
 namespace wasp::sim
 {
+
+namespace
+{
+
+/** WASP_REFERENCE_CLOCK (non-empty, not "0") forces the naive loop. */
+bool
+referenceClockForced()
+{
+    static const bool forced = [] {
+        const char *v = std::getenv("WASP_REFERENCE_CLOCK");
+        return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+    }();
+    return forced;
+}
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &config, mem::GlobalMemory &gmem)
     : config_(config), gmem_(gmem)
@@ -33,6 +53,8 @@ Gpu::buildMachine()
                                             stats_));
         sms_.back()->setFaultInjector(injector_.get());
     }
+    // Every SM ticks at cycle 0 and earns a real wake bound from it.
+    sm_wake_.assign(sms_.size(), 0);
 }
 
 uint64_t
@@ -51,6 +73,13 @@ Gpu::progressCounter() const
 void
 Gpu::raiseStall(uint64_t now, bool zero_progress)
 {
+    // Sleeping SMs haven't ticked this cycle; catch them up so the
+    // dump (and their round-robin state) matches the reference clock,
+    // which ticked them every cycle. Quiescence makes this a no-op
+    // beyond the bookkeeping.
+    for (auto &sm : sms_)
+        if (sm->lastTickCycle() < now)
+            sm->tick(now);
     std::string dump;
     for (const auto &sm : sms_)
         dump += sm->debugState();
@@ -81,7 +110,7 @@ Gpu::raiseStall(uint64_t now, bool zero_progress)
             static_cast<unsigned long long>(config_.maxCycles));
     }
 
-    stats_.cycles = now + 1;
+    recordEndCycle(now);
     stats_.outcome = outcome;
     stats_.pipelineDump = dump;
     throw SimError(outcome, std::move(diagnosis), stats_);
@@ -92,7 +121,7 @@ Gpu::tick(uint64_t now)
 {
     if (injector_) {
         injector_->beginCycle(now);
-        dram_->setStalled(injector_->dramStalled());
+        dram_->setStalled(injector_->dramStalled(), now);
     }
 
     // Thread block dispatch: hand the next CTAs to SMs with space.
@@ -109,6 +138,9 @@ Gpu::tick(uint64_t now)
                     *launch_, static_cast<uint32_t>(next_cta_))) {
                 ++next_cta_;
                 next_sm_ = (s + 1) % config_.numSms;
+                // A placed CTA is new work: the SM (sleeping or not)
+                // must run its tick below this very cycle.
+                sm_wake_[static_cast<size_t>(s)] = now;
                 placed = true;
                 break;
             }
@@ -119,8 +151,17 @@ Gpu::tick(uint64_t now)
         }
     }
 
-    for (auto &sm : sms_)
-        sm->tick(now);
+    // Lazy per-SM clocking: a quiescent SM sleeps until its wake bound;
+    // its tick would be an observational no-op (same invariant that
+    // lets the global clock skip cycles, applied per SM). Catch-up of
+    // skipped round-robin rotations happens inside Sm::tick.
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        if (lazy_sm_ticks_ && sm_wake_[s] > now)
+            continue;
+        sms_[s]->tick(now);
+        if (!reference_clock_)
+            sm_wake_[s] = sms_[s]->nextEventCycle(now);
+    }
 
     l2_->tick(now);
     dram_->tick(now);
@@ -137,8 +178,10 @@ Gpu::tick(uint64_t now)
             // the owning descriptor never completes.
             if (injector_ && injector_->dropTmaResponse())
                 continue;
-            sm.tmaEngine().sectorResponse(resp.txn);
+            sm.tmaSectorResponse(resp.txn);
         }
+        // The response lands after the SM's tick: wake it next cycle.
+        sm_wake_[resp.sm] = now + 1;
     }
 
     // Re-arm the block dispatcher when any SM retired a TB this cycle.
@@ -149,6 +192,7 @@ Gpu::tick(uint64_t now)
         last_tbs_released_ = released;
         dispatch_armed_ = true;
     }
+
 
     // Timeline sampling (Fig 3).
     if (config_.timelineInterval > 0 &&
@@ -175,6 +219,43 @@ Gpu::tick(uint64_t now)
     }
 }
 
+uint64_t
+Gpu::nextWakeCycle(uint64_t now)
+{
+    // Components first: each probe is evaluated against end-of-cycle
+    // state and is exact or conservative (sim/clock.hh). Early-out as
+    // soon as the bound collapses to now + 1.
+    uint64_t next = kNoEvent;
+    for (uint64_t wake : sm_wake_) {
+        next = std::min(next, wake);
+        if (next <= now + 1)
+            return now + 1;
+    }
+    next = std::min(next, l2_->nextEventCycle(now));
+    next = std::min(next, dram_->nextEventCycle(now));
+    // Run-loop edges the skipping clock must land on exactly:
+    // L2->SM response routing happens in Gpu::tick, not a component.
+    next = std::min(next, l2_->responses().nextReadyCycle());
+    // An armed dispatcher scans every cycle until the grid drains.
+    if (dispatch_armed_ && next_cta_ < launch_->gridDim)
+        return now + 1;
+    // Timeline samples and watchdog checkpoints fire on the first
+    // cycle their interval elapses; visiting exactly that cycle keeps
+    // sample values and stall diagnoses bit-identical.
+    if (config_.timelineInterval > 0)
+        next = std::min(next,
+                        last_sample_cycle_ +
+                            static_cast<uint64_t>(config_.timelineInterval));
+    if (config_.watchdogInterval > 0)
+        next = std::min(next,
+                        last_watchdog_check_ + config_.watchdogInterval);
+    next = std::min(next, config_.maxCycles);
+    // Fault activation edges and DramStall window closings.
+    if (injector_)
+        next = std::min(next, injector_->nextEventCycle(now));
+    return std::max(now + 1, next);
+}
+
 RunStats
 Gpu::run(const Launch &launch)
 {
@@ -193,9 +274,17 @@ Gpu::run(const Launch &launch)
     last_l2_bytes_ = 0;
     last_watchdog_check_ = 0;
     last_progress_ = 0;
+    reference_clock_ =
+        config_.clockMode == ClockMode::Reference || referenceClockForced();
+    // Fault injection can perturb any SM on any cycle (beginCycle
+    // windows, dropped responses), so lazy SM ticking is only enabled
+    // on fault-free runs; injected runs tick every SM every machine
+    // tick, exactly like the reference clock.
+    lazy_sm_ticks_ = !reference_clock_ && !injector_;
 
     uint64_t now = 0;
-    for (;; ++now) {
+    uint64_t tick_progress = 0;
+    for (;;) {
         tick(now);
         if (next_cta_ >= launch.gridDim) {
             bool all_idle = true;
@@ -220,9 +309,38 @@ Gpu::run(const Launch &launch)
         }
         if (now >= config_.maxCycles)
             raiseStall(now, /*zero_progress=*/false);
+        if (reference_clock_) {
+            ++now;
+            continue;
+        }
+        // Busy-cycle fast path: when the tick retired an instruction or
+        // moved memory/TMA bytes, the next cycle almost certainly has
+        // work too — advance one cycle without paying for the probe.
+        // Always safe: now + 1 is the smallest legal advance.
+        uint64_t progress = progressCounter();
+        ++dbg_ticks_;
+        if (progress != tick_progress) {
+            tick_progress = progress;
+            ++now;
+        } else {
+            ++dbg_probes_;
+            uint64_t next = nextWakeCycle(now);
+            if (next == now + 1)
+                ++dbg_probe_now1_;
+            now = next;
+        }
     }
 
-    stats_.cycles = now + 1;
+    recordEndCycle(now);
+    if (std::getenv("WASP_CLOCK_DEBUG")) {
+        std::fprintf(stderr,
+                     "clock: %llu cycles, %llu ticks, %llu probes, "
+                     "%llu probe-now1\n",
+                     static_cast<unsigned long long>(now + 1),
+                     static_cast<unsigned long long>(dbg_ticks_),
+                     static_cast<unsigned long long>(dbg_probes_),
+                     static_cast<unsigned long long>(dbg_probe_now1_));
+    }
     uint64_t l1_hits = 0;
     uint64_t l1_misses = 0;
     for (const auto &sm : sms_) {

@@ -64,6 +64,19 @@ class Gpu
   private:
     void buildMachine();
     void tick(uint64_t now);
+    /**
+     * Cycle-skipping clock: the earliest cycle at which any component
+     * (SM, L2, DRAM, fault injector) has pending work, or any run-loop
+     * edge fires (response routing, block dispatch, timeline sample,
+     * watchdog checkpoint, maxCycles). Always >= now + 1; the run loop
+     * jumps `now` directly there. See sim/clock.hh for the contract.
+     */
+    uint64_t nextWakeCycle(uint64_t now);
+    /**
+     * Single point of truth for end-of-run cycle accounting: `now` is
+     * the last simulated cycle, the count is inclusive.
+     */
+    void recordEndCycle(uint64_t now) { stats_.cycles = now + 1; }
     /** Monotone counter: retired instrs + memory/TMA traffic. */
     uint64_t progressCounter() const;
     /** Classify + throw a SimError with a captured pipeline dump. */
@@ -77,6 +90,20 @@ class Gpu
     std::unique_ptr<FaultInjector> injector_;
     RunStats stats_;
     const Launch *launch_ = nullptr;
+    /** Resolved per run: config_.clockMode + WASP_REFERENCE_CLOCK env. */
+    bool reference_clock_ = false;
+    /** Resolved per run: tick each SM only when its wake cycle arrives
+     * (sleeping SMs catch up their round-robin state on wake). Off
+     * under the reference clock and under fault injection, where every
+     * SM ticks on every machine tick. */
+    bool lazy_sm_ticks_ = false;
+    /**
+     * Per-SM wake cycle, maintained every machine tick: the SM's
+     * nextEventCycle() after its tick, overridden to `now + 1` when a
+     * later event targets it (an L2 response routed to it, a CTA placed
+     * on it). An SM is ticked at cycle `now` iff sm_wake_[s] <= now.
+     */
+    std::vector<uint64_t> sm_wake_;
     int next_cta_ = 0;
     int next_sm_ = 0;
     // Block dispatcher gating: disarmed once a scan round places
@@ -86,6 +113,9 @@ class Gpu
     // Forward-progress watchdog.
     uint64_t last_watchdog_check_ = 0;
     uint64_t last_progress_ = 0;
+    uint64_t dbg_ticks_ = 0;
+    uint64_t dbg_probes_ = 0;
+    uint64_t dbg_probe_now1_ = 0;
     // Timeline recording.
     uint64_t last_sample_cycle_ = 0;
     uint64_t last_tensor_issues_ = 0;

@@ -273,7 +273,21 @@ Sm::chargeSmemPort(uint64_t now, int cycles)
 void
 Sm::tick(uint64_t now)
 {
+    // Catch up the LSU dispatch round-robin pointer: the reference
+    // clock rotates it unconditionally once per cycle, and the PB
+    // count is constant, so skipped cycles advance it by elapsed mod n.
+    if (now > now_ + 1) {
+        uint64_t skipped = now - now_ - 1;
+        rr_pb_ = static_cast<int>(
+            (static_cast<uint64_t>(rr_pb_) + skipped) %
+            static_cast<uint64_t>(cfg_.pbsPerSm));
+    }
     now_ = now;
+    // State changes from here until the issue scan in tickPb are seen
+    // by the scan, so they reset the quiescence bookkeeping.
+    warp_wake_agg_ = kNoEvent;
+    wake_dirty_ = false;
+    issued_this_tick_ = false;
     // Complete L1-hit sectors.
     while (l1_hit_queue_.ready(now))
         sectorDone(l1_hit_queue_.pop(), now);
@@ -284,6 +298,31 @@ Sm::tick(uint64_t now)
         tickPb(p, now);
     // LSU sector dispatch into L1/L2.
     dispatchSectors(now);
+}
+
+uint64_t
+Sm::nextEventCycle(uint64_t now)
+{
+    // An issue truncated this tick's scan (warp_wake_agg_ incomplete),
+    // or a post-scan response changed warp state: re-scan next cycle.
+    if (issued_this_tick_ || wake_dirty_)
+        return now + 1;
+    uint64_t next = std::min(l1_hit_queue_.nextReadyCycle(),
+                             warp_wake_agg_);
+    next = std::min(next, tma_.nextEventCycle(now));
+    for (int p = 0; p < cfg_.pbsPerSm && next > now + 1; ++p) {
+        const Pb &pb = pbs_[static_cast<size_t>(p)];
+        next = std::min(next, pb.writebacks.nextReadyCycle());
+        // A queued LSU sector must retry dispatch every cycle, even
+        // when its head is blocked: retries are not pure. A blocked
+        // head still touches the L1 replacement clock, and one whose
+        // L1 MSHR file is full re-sends its L2 request each cycle
+        // (merged at the L2 MSHR), so skipping retry cycles would
+        // change cache and MSHR state relative to the reference clock.
+        if (!pb.lsuQueue.empty())
+            next = std::min(next, now + 1);
+    }
+    return next;
 }
 
 void
@@ -351,7 +390,9 @@ Sm::dispatchSectors(uint64_t now)
             if (txn.nextSector == txn.sectors.size()) {
                 pb.lsuQueue.pop_front();
                 if (txn.kind == MemTxn::Kind::Store) {
+                    // Frees an LSU slot after the issue scan ran.
                     --pb.lsuInflight;
+                    wake_dirty_ = true;
                     txns_.erase(it);
                 }
             } else {
@@ -365,8 +406,16 @@ Sm::dispatchSectors(uint64_t now)
 void
 Sm::lsuResponse(uint32_t addr, uint64_t now)
 {
+    wake_dirty_ = true; // arrives after this cycle's issue scan
     for (const mem::MshrWaiter &w : l1_.fill(addr))
         sectorDone(w.txn, now);
+}
+
+void
+Sm::tmaSectorResponse(uint32_t txn)
+{
+    wake_dirty_ = true; // may fill queues / arrive barriers post-scan
+    tma_.sectorResponse(txn);
 }
 
 void

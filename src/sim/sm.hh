@@ -27,6 +27,7 @@
 #include "mem/global_memory.hh"
 #include "mem/l2.hh"
 #include "mem/smem.hh"
+#include "sim/clock.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
 #include "sim/run_stats.hh"
@@ -44,7 +45,7 @@ struct Launch
     std::vector<uint32_t> params;
 };
 
-class Sm : public core::TmaHost
+class Sm : public core::TmaHost, public ClockedComponent
 {
   public:
     Sm(int id, const GpuConfig &config, mem::GlobalMemory &gmem,
@@ -55,10 +56,25 @@ class Sm : public core::TmaHost
     bool tryAccept(const Launch &launch, uint32_t ctaid);
 
     /** Advance one cycle. */
-    void tick(uint64_t now);
+    void tick(uint64_t now) override;
+
+    /**
+     * Earliest cycle at which ticking this SM would change state: the
+     * front L1-hit / writeback completion, TMA request generation, an
+     * LSU sector awaiting dispatch, or the earliest cycle any warp's
+     * issue conditions can next be satisfied. The warp bound is the
+     * aggregate cached by this tick's issue scan (warpWakeCycle);
+     * responses delivered after the scan set wake_dirty_ and force
+     * now + 1 so the next scan re-evaluates the woken warps.
+     */
+    uint64_t nextEventCycle(uint64_t now) override;
 
     /** L2 response for an LSU-sourced sector (txn == sector address). */
     void lsuResponse(uint32_t addr, uint64_t now);
+
+    /** L2 response for a TMA-sourced sector (may fill queues, arrive
+     * barriers, and retire descriptors immediately). */
+    void tmaSectorResponse(uint32_t txn);
 
     core::TmaEngine &tmaEngine() { return tma_; }
     const core::TmaEngine &tmaEngine() const { return tma_; }
@@ -76,6 +92,10 @@ class Sm : public core::TmaHost
      * this counter moves on some SM.
      */
     uint64_t tbsReleased() const { return tbs_released_; }
+
+    /** Cycle of this SM's most recent tick (lazy per-SM clocking: a
+     * quiescent SM sleeps through cycles; tick() catches up on wake). */
+    uint64_t lastTickCycle() const { return now_; }
 
     const mem::TimingCache &l1() const { return l1_; }
     mem::TimingCache &l1() { return l1_; }
@@ -181,7 +201,16 @@ class Sm : public core::TmaHost
     void tickPb(int pb_idx, uint64_t now);
     /** Pop reconverged/empty SIMT entries; handle warp completion. */
     void normalizeWarp(Warp &warp);
-    bool canIssue(Pb &pb, Warp &warp, uint64_t now);
+    /**
+     * The one issue predicate, fused with the quiescence probe: `now`
+     * when the (normalized) warp can issue this cycle, a future cycle
+     * when only a pipe port gates it, kNoEvent when only an event that
+     * is itself a wake point elsewhere (a memory/TMA response, another
+     * warp's issue — which makes progress and forces the next cycle)
+     * can unblock it. Must not mutate state.
+     */
+    uint64_t warpWakeCycle(const Pb &pb, const Warp &warp,
+                           uint64_t now) const;
     void issue(int pb_idx, int slot, uint64_t now);
     void executeAlu(Pb &pb, int slot, const isa::Instruction &inst,
                     uint32_t exec_mask, uint64_t now);
@@ -227,6 +256,17 @@ class Sm : public core::TmaHost
     uint32_t smem_used_ = 0;
     uint64_t now_ = 0;
     uint64_t tbs_released_ = 0;
+    /** Min future warpWakeCycle across warps, cached by this tick's
+     * issue scan; any warp that could issue did (or lost arbitration,
+     * which still made progress), so the cache is exact for probes on
+     * zero-progress ticks. */
+    uint64_t warp_wake_agg_ = ~0ull;
+    /** A response arrived after the issue scan (lsuResponse, TMA
+     * sector, store completion): warp state changed, wake next cycle. */
+    bool wake_dirty_ = false;
+    /** Some PB issued this tick: its scan stopped at the issuing warp,
+     * so warp_wake_agg_ is a partial aggregate — wake next cycle. */
+    bool issued_this_tick_ = false;
 };
 
 } // namespace wasp::sim

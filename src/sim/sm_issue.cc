@@ -536,21 +536,34 @@ Sm::executeMem(int pb_idx, int slot, const Instruction &inst,
     }
 }
 
-bool
-Sm::canIssue(Pb &pb, Warp &w, uint64_t now)
+uint64_t
+Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
 {
-    if (!w.valid || w.done || w.blockedOnBarSync)
-        return false;
+    if (!w.valid || w.done)
+        return kNoEvent;
+    // Woken by releaseBarSync, i.e. another warp's BAR_SYNC issue or a
+    // warp completing — both wake points in their own right.
+    if (w.blockedOnBarSync)
+        return kNoEvent;
     if (w.issueDebt > 0)
-        return pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)] <= now;
+        return std::max(now,
+                        pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)]);
     const isa::Program &prog = *tbs_[static_cast<size_t>(w.tbSlot)]
                                     .launch->prog;
     const Instruction &inst = prog.instrs[static_cast<size_t>(w.pc())];
     const isa::OpInfo &info = isa::opInfo(inst.op);
-    if (pb.pipeFreeAt[static_cast<size_t>(info.pipe)] > now)
-        return false;
+    // A busy pipe port is an exact lower bound on the issue cycle no
+    // matter what else gates the warp — return it without evaluating
+    // the rest (this is the hot path: every issued instruction blocks
+    // its pipe for issueCost cycles).
+    uint64_t pipe_free = pb.pipeFreeAt[static_cast<size_t>(info.pipe)];
+    if (pipe_free > now)
+        return pipe_free;
+    // Scoreboard busy: cleared by a writeback or memory completion,
+    // both of which are wake points (writebacks / LSU / L2 / L1-hit
+    // queues).
     if (!w.regsReady(inst))
-        return false;
+        return kNoEvent;
     // A fully predicated-off instruction is a no-op: it must not stall
     // on queue, LSU or TMA state (that could deadlock a pipeline).
     bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
@@ -559,11 +572,15 @@ Sm::canIssue(Pb &pb, Warp &w, uint64_t now)
             if (s.kind != OperandKind::Queue)
                 continue;
             // Fault injection: scoreboard is_empty bit stuck — the
-            // consumer believes the queue never has data.
+            // consumer believes the queue never has data. Stuck bits
+            // flip only at injector activation edges, which the clock
+            // visits via FaultInjector::nextEventCycle.
             if (inj_ && inj_->queueStuckEmpty(s.reg))
-                return false;
+                return kNoEvent;
+            // Filled by a producer warp's issue or a TMA push — both
+            // wake points.
             if (!queueRef(w.tbSlot, w.slice, s.reg)->canPop())
-                return false;
+                return kNoEvent;
         }
         for (const auto &d : inst.dsts) {
             if (d.kind != OperandKind::Queue)
@@ -571,31 +588,38 @@ Sm::canIssue(Pb &pb, Warp &w, uint64_t now)
             // Fault injection: is_full bit stuck — the producer
             // believes the queue never has space.
             if (inj_ && inj_->queueStuckFull(d.reg))
-                return false;
+                return kNoEvent;
+            // Drained by a consumer warp's pop.
             if (!queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
-                return false;
+                return kNoEvent;
         }
+        // LSU slots free on sector completion (memory wake points).
         if (info.isMem && inst.op != Opcode::LDS &&
             inst.op != Opcode::STS &&
             pb.lsuInflight >= cfg_.lsuQueueDepth)
-            return false;
+            return kNoEvent;
+        // Descriptor slots free when the TMA engine finishes one; any
+        // active descriptor keeps the engine ticking every cycle.
         if (inst.isTma() && !tma_.canSubmit())
-            return false;
+            return kNoEvent;
     }
     if (inst.op == Opcode::EXIT && w.pendingWb > 0)
-        return false; // the slot may be reused; drain writebacks first
+        return kNoEvent; // drain writebacks first; queue == wake point
     if (info.isBarrier) {
         if (w.pendingLdgsts > 0)
-            return false;
+            return kNoEvent; // completes via memory responses
         if (inst.op == Opcode::BAR_WAIT) {
             int b = inst.srcs[0].imm;
             const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+            // Phase advances on another warp's or the TMA engine's
+            // BAR.ARRIVE.
             if (tb.bars[static_cast<size_t>(b)].phase <=
                 w.barWaitCount[static_cast<size_t>(b)])
-                return false;
+                return kNoEvent;
         }
     }
-    return true;
+    // Nothing gates this warp: it can issue this cycle.
+    return now;
 }
 
 void
@@ -630,6 +654,9 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
     Warp &w = pb.warps[static_cast<size_t>(slot)];
     pb.lastIssued = slot;
     w.lastIssueCycle = now;
+    // An issuing PB stops its scan, so warp_wake_agg_ is incomplete
+    // this tick; the SM must be ticked again next cycle regardless.
+    issued_this_tick_ = true;
 
     if (w.issueDebt > 0) {
         --w.issueDebt;
@@ -746,8 +773,12 @@ Sm::tickPb(int pb_idx, uint64_t now)
     for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
         Warp &w = pb.warps[static_cast<size_t>(s)];
         normalizeWarp(w);
-        if (!canIssue(pb, w, now))
+        uint64_t wake = warpWakeCycle(pb, w, now);
+        if (wake > now) {
+            if (wake < warp_wake_agg_)
+                warp_wake_agg_ = wake;
             continue;
+        }
         core::WarpSchedInfo info;
         info.stage = w.stage;
         if (w.valid && !w.done) {

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared helpers for the clocking-equivalence tests: field-by-field
+ * RunStats comparison and the reference-vs-cycle-skip benchmark sweep
+ * used by both the tier1 quick check (clock_test.cc) and the full
+ * 20-benchmark × 4-config sweep (clock_equiv_test.cc).
+ */
+
+#ifndef WASP_TESTS_CLOCK_EQUIV_HH
+#define WASP_TESTS_CLOCK_EQUIV_HH
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "sim/run_stats.hh"
+#include "workloads/benchmarks.hh"
+
+namespace wasp::clocktest
+{
+
+/**
+ * The four paper configurations the equivalence sweep runs: they span
+ * the feature ladder — no WASP features, compiler-only specialization,
+ * hardware TMA offload, and the full WASP GPU — so every clocked
+ * component (RFQs, TMA engine, both queue backends, both schedulers)
+ * is exercised under both clocks.
+ */
+inline const std::array<harness::PaperConfig, 4> kEquivConfigs{
+    harness::PaperConfig::Baseline,
+    harness::PaperConfig::CompilerAll,
+    harness::PaperConfig::PlusTma,
+    harness::PaperConfig::WaspGpu,
+};
+
+/** Assert every RunStats field matches exactly (bit-identity). */
+inline void
+expectStatsEqual(const sim::RunStats &a, const sim::RunStats &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.outcome, b.outcome) << what;
+    EXPECT_EQ(a.pipelineDump, b.pipelineDump) << what;
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs) << what;
+    EXPECT_EQ(a.l1Hits, b.l1Hits) << what;
+    EXPECT_EQ(a.l1Misses, b.l1Misses) << what;
+    EXPECT_EQ(a.l2Hits, b.l2Hits) << what;
+    EXPECT_EQ(a.l2Misses, b.l2Misses) << what;
+    EXPECT_EQ(a.l2Bytes, b.l2Bytes) << what;
+    EXPECT_EQ(a.dramBytes, b.dramBytes) << what;
+    EXPECT_EQ(a.l2PeakBytesPerCycle, b.l2PeakBytesPerCycle) << what;
+    EXPECT_EQ(a.dramPeakBytesPerCycle, b.dramPeakBytesPerCycle) << what;
+    EXPECT_EQ(a.tbRegisterFootprint, b.tbRegisterFootprint) << what;
+    EXPECT_EQ(a.maxResidentTbPerSm, b.maxResidentTbPerSm) << what;
+    EXPECT_EQ(a.tensorIssues, b.tensorIssues) << what;
+    ASSERT_EQ(a.timeline.size(), b.timeline.size()) << what;
+    for (size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].cycle, b.timeline[i].cycle)
+            << what << " sample " << i;
+        EXPECT_EQ(a.timeline[i].tensorUtil, b.timeline[i].tensorUtil)
+            << what << " sample " << i;
+        EXPECT_EQ(a.timeline[i].l2Util, b.timeline[i].l2Util)
+            << what << " sample " << i;
+    }
+}
+
+/**
+ * Run every kernel of every named benchmark under `which` twice —
+ * reference clock, then cycle-skipping clock — on identically built
+ * inputs, and assert verified output plus bit-identical RunStats.
+ * timeline_interval > 0 turns on Fig 3 sampling (each interval edge is
+ * a wake point the skipping loop must land on exactly).
+ */
+inline void
+sweepClockEquivalence(harness::PaperConfig which,
+                      const std::vector<std::string> &apps,
+                      int timeline_interval)
+{
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    spec.gpu.timelineInterval = timeline_interval;
+    for (const std::string &app : apps) {
+        const workloads::BenchmarkDef &bench = workloads::benchmark(app);
+        for (const workloads::KernelMix &mix : bench.kernels) {
+            std::string what =
+                app + "/" + spec.name + "/" + mix.label;
+            sim::RunStats per_clock[2];
+            for (int m = 0; m < 2; ++m) {
+                harness::ConfigSpec s = spec;
+                s.gpu.clockMode = m == 0 ? sim::ClockMode::Reference
+                                         : sim::ClockMode::CycleSkip;
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                harness::KernelResult kr =
+                    harness::runKernel(s, k, gmem);
+                EXPECT_TRUE(kr.verified) << what;
+                per_clock[m] = kr.stats;
+            }
+            expectStatsEqual(per_clock[0], per_clock[1], what);
+        }
+    }
+}
+
+} // namespace wasp::clocktest
+
+#endif // WASP_TESTS_CLOCK_EQUIV_HH

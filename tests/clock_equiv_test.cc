@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Full clocking-equivalence sweep (slow gate): all 20 benchmarks of
+ * Table II × the four paper configurations, asserting bit-identical
+ * RunStats between the reference per-cycle loop and the cycle-skipping
+ * clock. One test per configuration keeps each within the ctest
+ * timeout; the tier1 subset plus fault/watchdog equivalence lives in
+ * clock_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clock_equiv.hh"
+#include "harness/configs.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> apps;
+    for (const workloads::BenchmarkDef &bench : workloads::suite())
+        apps.push_back(bench.name);
+    EXPECT_EQ(apps.size(), 20u);
+    return apps;
+}
+
+} // namespace
+
+TEST(ClockEquivalenceSweep, Baseline)
+{
+    clocktest::sweepClockEquivalence(harness::PaperConfig::Baseline,
+                                     allApps(), 0);
+}
+
+TEST(ClockEquivalenceSweep, CompilerAll)
+{
+    clocktest::sweepClockEquivalence(harness::PaperConfig::CompilerAll,
+                                     allApps(), 0);
+}
+
+TEST(ClockEquivalenceSweep, PlusTma)
+{
+    clocktest::sweepClockEquivalence(harness::PaperConfig::PlusTma,
+                                     allApps(), 0);
+}
+
+TEST(ClockEquivalenceSweep, WaspGpu)
+{
+    clocktest::sweepClockEquivalence(harness::PaperConfig::WaspGpu,
+                                     allApps(), 0);
+}

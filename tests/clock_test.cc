@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Clocking equivalence: the cycle-skipping clock (sim/clock.hh) must
+ * produce bit-identical RunStats against the reference per-cycle loop.
+ *
+ * Covers the quick benchmark sweep with Fig 3 timeline sampling on
+ * (interval edges are wake points the skipping loop must not jump
+ * over), one run per injected fault class (skip-safety of
+ * FaultInjector::beginCycle windows), and watchdog detection firing at
+ * the same cycle under both clocks. The full 20-benchmark × 4-config
+ * sweep lives in clock_equiv_test.cc (slow gate).
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "isa/builder.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/fault.hh"
+#include "sim/gpu.hh"
+#include "clock_equiv.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+using namespace wasp::sim;
+
+namespace
+{
+
+/** Small machine with a tight watchdog so wedges are detected fast. */
+GpuConfig
+robustConfig()
+{
+    GpuConfig config;
+    config.numSms = 2;
+    config.maxCycles = 2'000'000;
+    config.watchdogInterval = 20'000;
+    return config;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** out[i] = 2 * in[i] + 1; params: in, out. */
+Program
+saxpyKernel()
+{
+    KernelBuilder b("saxpy");
+    b.tbDim(128);
+    b.s2r(0, SpecialReg::TID_X);
+    b.s2r(1, SpecialReg::CTAID_X);
+    b.imad(2, R(1), Imm(128), R(0));
+    b.shl(3, R(2), Imm(2));
+    b.iadd(4, R(3), CParam(0));
+    b.ldg(5, 4, 0);
+    b.fmul(6, R(5), FImm(2.0f));
+    b.fadd(6, R(6), FImm(1.0f));
+    b.iadd(7, R(3), CParam(1));
+    b.stg(7, 0, R(6));
+    b.exit();
+    return b.finish();
+}
+
+/** Rate-matched 2-stage pipeline through queue 0; params: in, out. */
+Program
+pipeKernel(int chunks)
+{
+    KernelBuilder b("pipe");
+    b.tbDim(32).stages(2).stageRegs({8, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ptop = b.freshLabel("ptop");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    // -- consumer (stage 1)
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ctop);
+    b.exit();
+    // -- producer (stage 0)
+    b.place(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(0));
+    b.mov(2, Imm(0));
+    b.place(ptop);
+    b.ldgQueue(q, 1, 0);
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(chunks));
+    b.pred(1).bra(ptop);
+    b.exit();
+    return b.finish();
+}
+
+/** Stage 1 arrives on barrier 0 once; stage 0 waits for it; params:
+ * out. Dropping the single arrive wedges the waiter forever. */
+Program
+barrierKernel()
+{
+    KernelBuilder b("bar_wait");
+    b.tbDim(32).stages(2).stageRegs({6, 6});
+    b.barrier(1, 0);
+    auto prod = b.freshLabel("prod");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.barArrive(0);
+    b.exit();
+    b.place(prod);
+    b.barWait(0);
+    b.s2r(1, SpecialReg::TID_X);
+    b.shl(2, R(1), Imm(2));
+    b.iadd(2, R(2), CParam(0));
+    b.stg(2, 0, Imm(9));
+    b.exit();
+    return b.finish();
+}
+
+/** TMA stream fills queue 0, consumer pops n/32 chunks; params: in,
+ * out. Requires waspTmaEnabled. */
+Program
+tmaStreamKernel(int n)
+{
+    KernelBuilder b("tma_stream");
+    b.tbDim(32).stages(2).stageRegs({4, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(n / 32));
+    b.pred(1).bra(ctop);
+    b.exit();
+    b.place(prod);
+    b.mov(1, CParam(0));
+    b.mov(2, Imm(n));
+    b.tmaStream(q, 1, 2, 4);
+    b.exit();
+    return b.finish();
+}
+
+/**
+ * Run a kernel that must wedge once per clock mode (fresh GlobalMemory
+ * each run; `alloc` rebuilds the inputs and returns the params) and
+ * assert the SimError is equivalent: same outcome classification, same
+ * diagnosis, same detection cycle, and an identical pipeline dump.
+ */
+void
+expectFaultEquivalent(const GpuConfig &base, const Program &prog,
+                      int grid,
+                      const std::function<std::vector<uint32_t>(
+                          mem::GlobalMemory &)> &alloc)
+{
+    std::optional<SimError> err[2];
+    for (int m = 0; m < 2; ++m) {
+        GpuConfig config = base;
+        config.clockMode = m == 0 ? ClockMode::Reference
+                                  : ClockMode::CycleSkip;
+        mem::GlobalMemory gmem;
+        std::vector<uint32_t> params = alloc(gmem);
+        try {
+            runProgram(config, gmem, prog, grid, params);
+        } catch (const SimError &e) {
+            err[m] = e;
+        }
+        ASSERT_TRUE(err[m].has_value())
+            << "kernel completed under "
+            << (m == 0 ? "reference" : "cycle-skip")
+            << " clock; expected a SimError";
+    }
+    EXPECT_EQ(err[0]->outcome, err[1]->outcome);
+    EXPECT_EQ(err[0]->diagnosis, err[1]->diagnosis);
+    EXPECT_EQ(err[0]->stats.cycles, err[1]->stats.cycles)
+        << "fault detected at different cycles";
+    EXPECT_EQ(err[0]->stats.pipelineDump, err[1]->stats.pipelineDump);
+    clocktest::expectStatsEqual(err[0]->stats, err[1]->stats,
+                              err[0]->diagnosis);
+}
+
+GpuConfig
+withFault(GpuConfig config, FaultSpec spec)
+{
+    config.faults.faults.push_back(spec);
+    return config;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Healthy-run equivalence (quick subset; clock_equiv_test sweeps all).
+// ---------------------------------------------------------------------
+
+TEST(ClockEquivalence, QuickSweepWithTimelineSampling)
+{
+    // Timeline sampling makes every interval edge a wake point; the
+    // skipping clock must land on each edge exactly or the Fig 3
+    // samples diverge. 50 cycles is far below typical stall windows,
+    // so this exercises skip-then-wake constantly.
+    for (harness::PaperConfig which : clocktest::kEquivConfigs)
+        clocktest::sweepClockEquivalence(which, {"pointnet", "spmv1_g3"},
+                                       50);
+}
+
+TEST(ClockEquivalence, EnvOverrideForcesReferenceClock)
+{
+    // WASP_REFERENCE_CLOCK=1 must override ClockMode::CycleSkip: with
+    // the naive loop forced, both configured modes take the same path
+    // and the cycle counts trivially agree with the reference run.
+    mem::GlobalMemory gmem;
+    const int n = 256;
+    uint32_t in = gmem.alloc(n * 4);
+    uint32_t out = gmem.alloc(n * 4);
+    GpuConfig config = robustConfig();
+    config.clockMode = ClockMode::Reference;
+    RunStats ref = runProgram(config, gmem, saxpyKernel(), n / 128,
+                              {in, out});
+    ::setenv("WASP_REFERENCE_CLOCK", "1", 1);
+    config.clockMode = ClockMode::CycleSkip;
+    RunStats forced = runProgram(config, gmem, saxpyKernel(), n / 128,
+                                 {in, out});
+    ::unsetenv("WASP_REFERENCE_CLOCK");
+    clocktest::expectStatsEqual(ref, forced, "env-forced reference clock");
+}
+
+// ---------------------------------------------------------------------
+// Fault-class equivalence: one run per FaultKind. The injector's
+// beginCycle windows must behave identically when the clock jumps
+// (atCycle edges are wake points; armed injectors disable lazy SM
+// ticking), so detection cycle, diagnosis and dump all match.
+// ---------------------------------------------------------------------
+
+TEST(ClockFaultEquivalence, DropBarArrive)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::DropBarArrive;
+    spec.maxEvents = 1;
+    expectFaultEquivalent(
+        withFault(robustConfig(), spec), barrierKernel(), 1,
+        [](mem::GlobalMemory &gmem) {
+            return std::vector<uint32_t>{gmem.alloc(32 * 4)};
+        });
+}
+
+TEST(ClockFaultEquivalence, StuckQueueEmpty)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::StuckQueueEmpty;
+    spec.queueIdx = 0;
+    expectFaultEquivalent(
+        withFault(robustConfig(), spec), pipeKernel(4), 1,
+        [](mem::GlobalMemory &gmem) {
+            uint32_t in = gmem.alloc(32 * 4 * 4);
+            uint32_t out = gmem.alloc(32 * 4 * 4);
+            return std::vector<uint32_t>{in, out};
+        });
+}
+
+TEST(ClockFaultEquivalence, StuckQueueFull)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::StuckQueueFull;
+    spec.queueIdx = 0;
+    expectFaultEquivalent(
+        withFault(robustConfig(), spec), pipeKernel(4), 1,
+        [](mem::GlobalMemory &gmem) {
+            uint32_t in = gmem.alloc(32 * 4 * 4);
+            uint32_t out = gmem.alloc(32 * 4 * 4);
+            return std::vector<uint32_t>{in, out};
+        });
+}
+
+TEST(ClockFaultEquivalence, PermanentDramStall)
+{
+    FaultSpec spec;
+    spec.kind = FaultKind::DramStall; // durationCycles=0: forever
+    expectFaultEquivalent(
+        withFault(robustConfig(), spec), saxpyKernel(), 2,
+        [](mem::GlobalMemory &gmem) {
+            uint32_t in = gmem.alloc(256 * 4);
+            uint32_t out = gmem.alloc(256 * 4);
+            return std::vector<uint32_t>{in, out};
+        });
+}
+
+TEST(ClockFaultEquivalence, DropTmaResponse)
+{
+    GpuConfig config = robustConfig();
+    config.waspTmaEnabled = true;
+    FaultSpec spec;
+    spec.kind = FaultKind::DropTmaResponse;
+    spec.maxEvents = 1;
+    const int n = 32 * 8;
+    expectFaultEquivalent(
+        withFault(config, spec), tmaStreamKernel(n), 1,
+        [](mem::GlobalMemory &gmem) {
+            uint32_t in = gmem.alloc(32 * 8 * 4);
+            uint32_t out = gmem.alloc(32 * 8 * 4);
+            return std::vector<uint32_t>{in, out};
+        });
+}
+
+TEST(ClockFaultEquivalence, BoundedDramSpikeSurvivesIdentically)
+{
+    // A survivable fault: the bounded latency spike delays the run but
+    // completes Ok. The spike window's begin and end cycles must land
+    // identically under the skipping clock for the stats to match.
+    FaultSpec spec;
+    spec.kind = FaultKind::DramStall;
+    spec.atCycle = 1;
+    spec.durationCycles = 5'000;
+    GpuConfig base = withFault(robustConfig(), spec);
+    const int n = 256;
+    RunStats stats[2];
+    for (int m = 0; m < 2; ++m) {
+        GpuConfig config = base;
+        config.clockMode = m == 0 ? ClockMode::Reference
+                                  : ClockMode::CycleSkip;
+        mem::GlobalMemory gmem;
+        uint32_t in = gmem.alloc(n * 4);
+        uint32_t out = gmem.alloc(n * 4);
+        for (int i = 0; i < n; ++i)
+            gmem.writeF32(in + static_cast<uint32_t>(i) * 4,
+                          static_cast<float>(i));
+        stats[m] = runProgram(config, gmem, saxpyKernel(), n / 128,
+                              {in, out});
+        EXPECT_EQ(stats[m].outcome, RunOutcome::Ok);
+        for (int i = 0; i < n; ++i)
+            EXPECT_FLOAT_EQ(
+                gmem.readF32(out + static_cast<uint32_t>(i) * 4),
+                static_cast<float>(i) * 2.0f + 1.0f);
+    }
+    clocktest::expectStatsEqual(stats[0], stats[1], "bounded dram spike");
+}
+
+// ---------------------------------------------------------------------
+// Watchdog equivalence: detection must fire at the same cycle.
+// ---------------------------------------------------------------------
+
+TEST(ClockWatchdogEquivalence, DeadlockDetectedAtSameCycle)
+{
+    // The lint-clean fixture that starves at runtime: a genuine
+    // deadlock (no injected fault), caught by the zero-progress check.
+    // The skipping clock must not jump past the watchdog checkpoint.
+    std::string path =
+        std::string(WASP_BROKEN_DIR) + "/runtime_deadlock.wsass";
+    Program prog = assemble(readFile(path), false);
+    expectFaultEquivalent(robustConfig(), prog, 1,
+                          [](mem::GlobalMemory &gmem) {
+                              uint32_t in = gmem.alloc(32 * 8 * 4);
+                              uint32_t out = gmem.alloc(32 * 8 * 4);
+                              return std::vector<uint32_t>{in, out};
+                          });
+}
+
+TEST(ClockWatchdogEquivalence, RunawayLoopStallsAtSameCycle)
+{
+    // An infinite loop never quiesces, so the skipping clock degrades
+    // to per-cycle stepping and must hit maxCycles at the same count.
+    KernelBuilder b("spin");
+    b.tbDim(32);
+    b.mov(1, Imm(0));
+    auto top = b.freshLabel("top");
+    b.place(top);
+    b.iadd(1, R(1), Imm(1));
+    b.bra(top);
+    Program prog = b.finish();
+    GpuConfig config = robustConfig();
+    config.maxCycles = 50'000;
+    config.watchdogInterval = 10'000;
+    expectFaultEquivalent(config, prog, 1, [](mem::GlobalMemory &) {
+        return std::vector<uint32_t>{};
+    });
+}

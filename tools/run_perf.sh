@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Simulator wall-clock throughput baseline.
+#
+# Wraps `wasp-cli perf` to stamp the git sha and host, run the two
+# machine sizes that matter for the clocking work, and merge the
+# results into BENCH_sim_throughput.json at the repo root:
+#
+#   - full-size (108 SM) on memory-stall-heavy benchmarks, where the
+#     cycle-skipping clock with lazy per-SM ticking should win big
+#     (target >= 2x);
+#   - standard (4 SM) on compute-bound benchmarks, the worst case for
+#     cycle skipping (nearly every cycle has progress), where the bar
+#     is "no regression".
+#
+# Usage: tools/run_perf.sh [output.json]
+# Env:   BUILD_DIR (default: build), REPS (default: 3)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+REPS=${REPS:-3}
+OUT=${1:-BENCH_sim_throughput.json}
+CLI="$BUILD_DIR/tools/wasp-cli"
+[ -x "$CLI" ] || { echo "error: $CLI not built" >&2; exit 1; }
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+HOST="$(uname -srm), $(nproc) cpu"
+
+STALL=/tmp/perf_stall.$$.json
+COMPUTE=/tmp/perf_compute.$$.json
+trap 'rm -f "$STALL" "$COMPUTE"' EXIT
+
+"$CLI" perf --apps lonestar_bfs,spmv1_g3,spmv2_web \
+    --configs baseline,wasp_gpu --full-size --reps "$REPS" \
+    --sha "$SHA" --host "$HOST" --out "$STALL"
+
+"$CLI" perf --apps gpt2,bert,hpcg,dlrm \
+    --configs baseline,wasp_gpu --reps "$REPS" \
+    --sha "$SHA" --host "$HOST" --out "$COMPUTE"
+
+python3 - "$STALL" "$COMPUTE" "$OUT" <<'EOF'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+merged = {k: v for k, v in a.items() if k != "full_size"}
+merged["results"] = a["results"] + b["results"]
+with open(sys.argv[3], "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT" >&2

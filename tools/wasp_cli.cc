@@ -31,6 +31,17 @@
  *       the failed cell is reported with its pipeline dump, and the
  *       exit code is 3.
  *
+ *   wasp-cli perf [--apps a,b,..] [--configs c1,c2,..] [--reps N]
+ *             [--full-size] [--sha S] [--host H] [--out FILE]
+ *       Simulator wall-clock throughput: for each benchmark × config,
+ *       time the simulation alone (compile, input build, and output
+ *       verification excluded) under the reference clock and the
+ *       cycle-skipping clock, and report cycles/second for each plus
+ *       the speedup. Both clocks must agree on the simulated cycle
+ *       count (hard error otherwise). --full-size swaps in the 108-SM
+ *       machine. Emits JSON (tools/run_perf.sh wraps this to stamp the
+ *       git sha and host and write BENCH_sim_throughput.json).
+ *
  * Kernel parameters are 32-bit values passed to c[0], c[1], ... in
  * order. `run` allocates no data; kernels that need input arrays should
  * use `--alloc BYTES` parameters, which allocate zeroed global memory
@@ -42,6 +53,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -87,6 +99,10 @@ usage()
                  "       wasp-cli matrix [--apps a,b,..] "
                  "[--configs c1,c2,..] [-j N]\n"
                  "                [--on-fault={abort,skip,retry}]\n"
+                 "       wasp-cli perf [--apps a,b,..] "
+                 "[--configs c1,c2,..] [--reps N]\n"
+                 "                [--full-size] [--sha S] [--host H] "
+                 "[--out FILE]\n"
                  "           configs: baseline, compiler_tile, "
                  "compiler_all,\n"
                  "                    +regalloc, +wasp_tma, +rfq, "
@@ -228,6 +244,176 @@ cmdMatrix(const std::vector<std::string> &args)
 }
 
 int
+cmdPerf(const std::vector<std::string> &args)
+{
+    using harness::PaperConfig;
+    std::vector<PaperConfig> configs = {PaperConfig::Baseline,
+                                        PaperConfig::WaspGpu};
+    std::vector<std::string> apps;
+    int reps = 3;
+    bool full_size = false;
+    std::string sha = "unknown";
+    std::string host = "unknown";
+    std::string out_path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--apps" && i + 1 < args.size()) {
+            apps = splitCommas(args[++i]);
+        } else if (arg == "--configs" && i + 1 < args.size()) {
+            configs.clear();
+            for (const auto &name : splitCommas(args[++i])) {
+                PaperConfig which;
+                if (!parseConfig(name, &which))
+                    fatal("unknown config '%s'", name.c_str());
+                configs.push_back(which);
+            }
+        } else if (arg == "--reps" && i + 1 < args.size()) {
+            reps = std::atoi(args[++i].c_str());
+        } else if (arg == "--full-size") {
+            full_size = true;
+        } else if (arg == "--sha" && i + 1 < args.size()) {
+            sha = args[++i];
+        } else if (arg == "--host" && i + 1 < args.size()) {
+            host = args[++i];
+        } else if (arg == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (configs.empty() || reps <= 0)
+        return usage();
+    if (apps.empty())
+        for (const auto &b : workloads::suite())
+            apps.push_back(b.name);
+
+    std::vector<harness::ConfigSpec> specs;
+    for (PaperConfig which : configs)
+        specs.push_back(full_size ? harness::makeFullSizeConfig(which)
+                                  : harness::makeConfig(which));
+
+    struct Row
+    {
+        std::string app;
+        std::string config;
+        uint64_t cycles = 0; ///< simulated cycles, one benchmark sweep
+        // Wall seconds per clock: sum over kernels of the best (min)
+        // rep — the repeatable cost on a noisy shared host, where mean
+        // or sum would fold scheduler jitter into the comparison.
+        double ref_s = 0.0;
+        double skip_s = 0.0;
+    };
+    std::vector<Row> rows;
+    using Clock = std::chrono::steady_clock;
+    for (const auto &spec : specs) {
+        for (const auto &app : apps) {
+            const workloads::BenchmarkDef &bench =
+                workloads::benchmark(app);
+            Row row;
+            row.app = app;
+            row.config = spec.name;
+            for (const auto &mix : bench.kernels) {
+                // Warm-up pass (untimed): compiles the kernel, settles
+                // the profitability decision, and verifies the output —
+                // the timed loops below rerun exactly the program the
+                // matrix would run, with simulation as the only work.
+                mem::GlobalMemory warm_gmem;
+                workloads::BuiltKernel warm_k = mix.build(warm_gmem);
+                harness::KernelResult kr =
+                    harness::runKernel(spec, warm_k, warm_gmem);
+                sim::GpuConfig gpu = spec.gpu;
+                if (warm_k.isGemm && spec.gemmIdealMapping)
+                    gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+                uint64_t ref_cycles = 0;
+                uint64_t skip_cycles = 0;
+                for (int mode = 0; mode < 2; ++mode) {
+                    bool skip = mode == 1;
+                    gpu.clockMode = skip ? sim::ClockMode::CycleSkip
+                                         : sim::ClockMode::Reference;
+                    double best = std::numeric_limits<double>::infinity();
+                    for (int r = 0; r < reps; ++r) {
+                        mem::GlobalMemory gmem;
+                        workloads::BuiltKernel k = mix.build(gmem);
+                        auto t0 = Clock::now();
+                        sim::RunStats stats = sim::runProgram(
+                            gpu, gmem, kr.compiled, k.grid, k.params);
+                        std::chrono::duration<double> dt =
+                            Clock::now() - t0;
+                        best = std::min(best, dt.count());
+                        (skip ? skip_cycles : ref_cycles) = stats.cycles;
+                    }
+                    (skip ? row.skip_s : row.ref_s) += best;
+                }
+                wasp_check(ref_cycles == skip_cycles,
+                           "%s/%s kernel '%s': clock modes disagree "
+                           "(reference %llu cycles, cycle-skip %llu)",
+                           app.c_str(), spec.name.c_str(),
+                           mix.label.c_str(),
+                           static_cast<unsigned long long>(ref_cycles),
+                           static_cast<unsigned long long>(skip_cycles));
+                row.cycles += ref_cycles;
+            }
+            std::fprintf(stderr,
+                         "perf: %-12s %-18s %9llu cycles  "
+                         "ref %6.3fs  skip %6.3fs  speedup %.2fx\n",
+                         app.c_str(), spec.name.c_str(),
+                         static_cast<unsigned long long>(row.cycles),
+                         row.ref_s, row.skip_s,
+                         row.skip_s > 0.0 ? row.ref_s / row.skip_s : 0.0);
+            rows.push_back(std::move(row));
+        }
+    }
+
+    std::ostringstream js;
+    js << "{\n";
+    js << "  \"bench\": \"sim_throughput\",\n";
+    js << "  \"unit\": \"cycles_per_second\",\n";
+    js << "  \"git_sha\": \"" << sha << "\",\n";
+    js << "  \"host\": \"" << host << "\",\n";
+    js << "  \"reps\": " << reps << ",\n";
+    js << "  \"full_size\": " << (full_size ? "true" : "false") << ",\n";
+    js << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        double n = static_cast<double>(reps);
+        double ref_cps =
+            r.ref_s > 0.0 ? static_cast<double>(r.cycles) * n / r.ref_s
+                          : 0.0;
+        double skip_cps =
+            r.skip_s > 0.0 ? static_cast<double>(r.cycles) * n / r.skip_s
+                           : 0.0;
+        char buf[512];
+        std::snprintf(buf, sizeof(buf),
+                      "    {\"benchmark\": \"%s\", \"config\": \"%s\", "
+                      "\"cycles\": %llu, "
+                      "\"reference_seconds\": %.6f, "
+                      "\"skip_seconds\": %.6f, "
+                      "\"reference_cps\": %.0f, \"skip_cps\": %.0f, "
+                      "\"speedup\": %.3f}%s\n",
+                      r.app.c_str(), r.config.c_str(),
+                      static_cast<unsigned long long>(r.cycles),
+                      r.ref_s / n, r.skip_s / n, ref_cps, skip_cps,
+                      skip_cps > 0.0 && ref_cps > 0.0
+                          ? skip_cps / ref_cps
+                          : 0.0,
+                      i + 1 < rows.size() ? "," : "");
+        js << buf;
+    }
+    js << "  ]\n}\n";
+
+    if (out_path.empty()) {
+        std::printf("%s", js.str().c_str());
+    } else {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write '%s'", out_path.c_str());
+        out << js.str();
+        std::fprintf(stderr, "perf: wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+int
 cmdCompile(const std::string &path, bool tile_only, bool no_tma)
 {
     isa::Program prog = isa::assemble(readFile(path));
@@ -337,6 +523,10 @@ dispatch(int argc, char **argv)
     if (cmd == "matrix") {
         std::vector<std::string> args(argv + 2, argv + argc);
         return cmdMatrix(args);
+    }
+    if (cmd == "perf") {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdPerf(args);
     }
     if (argc < 3)
         return usage();
