@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Minimal streaming JSON writer used by the stats/trace exporters. The
+ * writer tracks nesting and element counts so callers never place
+ * commas by hand; output is deterministic (doubles use round-trippable
+ * %.17g, non-finite values become null) so emitted files can be
+ * compared byte-for-byte across runs.
+ */
+
+#ifndef WASP_COMMON_JSON_HH
+#define WASP_COMMON_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wasp
+{
+
+class JsonWriter
+{
+  public:
+    JsonWriter &
+    beginObject()
+    {
+        preValue();
+        out_ += '{';
+        first_.push_back(true);
+        return *this;
+    }
+    JsonWriter &
+    endObject()
+    {
+        first_.pop_back();
+        out_ += '}';
+        return *this;
+    }
+    JsonWriter &
+    beginArray()
+    {
+        preValue();
+        out_ += '[';
+        first_.push_back(true);
+        return *this;
+    }
+    JsonWriter &
+    endArray()
+    {
+        first_.pop_back();
+        out_ += ']';
+        return *this;
+    }
+
+    /** Emit an object key; the next value() attaches to it. */
+    JsonWriter &
+    key(std::string_view k)
+    {
+        separate();
+        appendString(k);
+        out_ += ':';
+        have_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        preValue();
+        out_ += std::to_string(v);
+        return *this;
+    }
+    JsonWriter &
+    value(int64_t v)
+    {
+        preValue();
+        out_ += std::to_string(v);
+        return *this;
+    }
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &
+    value(unsigned v)
+    {
+        return value(static_cast<uint64_t>(v));
+    }
+    JsonWriter &
+    value(double v)
+    {
+        preValue();
+        if (!std::isfinite(v)) {
+            out_ += "null";
+            return *this;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        out_ += buf;
+        return *this;
+    }
+    JsonWriter &
+    value(bool v)
+    {
+        preValue();
+        out_ += v ? "true" : "false";
+        return *this;
+    }
+    JsonWriter &
+    value(std::string_view v)
+    {
+        preValue();
+        appendString(v);
+        return *this;
+    }
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &
+    null()
+    {
+        preValue();
+        out_ += "null";
+        return *this;
+    }
+    /** Splice a pre-rendered JSON fragment in value position. */
+    JsonWriter &
+    raw(std::string_view fragment)
+    {
+        preValue();
+        out_.append(fragment);
+        return *this;
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    /** Comma handling for the next value in the current container. */
+    void
+    separate()
+    {
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ',';
+            first_.back() = false;
+        }
+    }
+    void
+    preValue()
+    {
+        if (have_key_)
+            have_key_ = false; // key() already separated
+        else
+            separate();
+    }
+    void
+    appendString(std::string_view s)
+    {
+        out_ += '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': out_ += "\\\""; break;
+              case '\\': out_ += "\\\\"; break;
+              case '\n': out_ += "\\n"; break;
+              case '\r': out_ += "\\r"; break;
+              case '\t': out_ += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned char>(c));
+                    out_ += buf;
+                } else {
+                    out_ += c;
+                }
+            }
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<bool> first_;
+    bool have_key_ = false;
+};
+
+} // namespace wasp
+
+#endif // WASP_COMMON_JSON_HH

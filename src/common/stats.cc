@@ -25,6 +25,8 @@ StatGroup::resetAll()
 {
     for (auto &[name, counter] : counters_)
         counter.reset();
+    for (auto &[name, dist] : dists_)
+        dist = Distribution();
 }
 
 std::string
@@ -34,6 +36,15 @@ StatGroup::dump() const
     for (const auto &[name, counter] : counters_) {
         if (counter.value() != 0)
             os << name << " = " << counter.value() << "\n";
+    }
+    for (const auto &[name, dist] : dists_) {
+        if (dist.count() == 0)
+            continue;
+        os << name << ": count=" << dist.count() << " min=" << dist.min()
+           << " max=" << dist.max() << " mean=" << dist.mean() << " |";
+        for (uint64_t b : dist.buckets())
+            os << " " << b;
+        os << "\n";
     }
     return os.str();
 }

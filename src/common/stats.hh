@@ -33,14 +33,103 @@ class Counter
 };
 
 /**
- * A registry of named counters. Hierarchical names use '.' separators,
- * e.g. "sm0.pb2.issued". Counters are created on first access.
+ * A sampled distribution over small non-negative integers (queue
+ * occupancies, queue depths): count/sum/min/max plus one bucket per
+ * integer value. Samples beyond the configured bucket range clamp into
+ * the last bucket, so the histogram stays bounded while min/max/mean
+ * remain exact. All state is integral — merging and comparing
+ * distributions is bit-exact, which the clock-equivalence tests rely
+ * on.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(size_t buckets) { configure(buckets); }
+
+    /** Grow (never shrink) the bucket range to [0, buckets). */
+    void
+    configure(size_t buckets)
+    {
+        if (buckets > buckets_.size())
+            buckets_.resize(buckets, 0);
+    }
+
+    void
+    sample(uint64_t v)
+    {
+        if (buckets_.empty())
+            buckets_.resize(1, 0);
+        size_t i = v < buckets_.size() ? static_cast<size_t>(v)
+                                       : buckets_.size() - 1;
+        ++buckets_[i];
+        ++count_;
+        sum_ += v;
+        min_ = count_ == 1 ? v : (v < min_ ? v : min_);
+        max_ = v > max_ ? v : max_;
+    }
+
+    /** Accumulate another distribution into this one. */
+    void
+    merge(const Distribution &other)
+    {
+        configure(other.buckets_.size());
+        for (size_t i = 0; i < other.buckets_.size(); ++i)
+            buckets_[i] += other.buckets_[i];
+        if (other.count_ > 0) {
+            min_ = count_ == 0 ? other.min_
+                               : (other.min_ < min_ ? other.min_ : min_);
+            max_ = other.max_ > max_ ? other.max_ : max_;
+        }
+        count_ += other.count_;
+        sum_ += other.sum_;
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    uint64_t max() const { return max_; }
+    double
+    mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+    const std::vector<uint64_t> &buckets() const { return buckets_; }
+
+    bool
+    operator==(const Distribution &o) const
+    {
+        return count_ == o.count_ && sum_ == o.sum_ && min() == o.min() &&
+               max_ == o.max_ && buckets_ == o.buckets_;
+    }
+    bool operator!=(const Distribution &o) const { return !(*this == o); }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * A registry of named counters and distributions. Hierarchical names
+ * use '.' separators, e.g. "sm0.pb2.issued". Statistics are created on
+ * first access.
  */
 class StatGroup
 {
   public:
     /** Fetch (creating if needed) the counter with the given name. */
     Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Fetch (creating if needed) the named distribution. */
+    Distribution &distribution(const std::string &name)
+    {
+        return dists_[name];
+    }
 
     /** Value of a counter, 0 if it was never touched. */
     uint64_t
@@ -53,16 +142,42 @@ class StatGroup
     /** Sum of all counters whose name ends with the given suffix. */
     uint64_t sumSuffix(const std::string &suffix) const;
 
-    /** Reset every counter to zero. */
+    /** Reset every counter and distribution. */
     void resetAll();
 
-    /** Render all non-zero counters, sorted by name. */
+    /**
+     * Render all non-zero counters sorted by name, then all sampled
+     * distributions as "name: count min max mean | histogram".
+     */
     std::string dump() const;
 
     const std::map<std::string, Counter> &all() const { return counters_; }
+    const std::map<std::string, Distribution> &dists() const
+    {
+        return dists_;
+    }
+
+    bool
+    operator==(const StatGroup &o) const
+    {
+        if (dists_ != o.dists_)
+            return false;
+        if (counters_.size() != o.counters_.size())
+            return false;
+        auto a = counters_.begin();
+        auto b = o.counters_.begin();
+        for (; a != counters_.end(); ++a, ++b) {
+            if (a->first != b->first ||
+                a->second.value() != b->second.value())
+                return false;
+        }
+        return true;
+    }
+    bool operator!=(const StatGroup &o) const { return !(*this == o); }
 
   private:
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
 };
 
 /** Geometric mean of a vector of strictly positive values. */

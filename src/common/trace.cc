@@ -1,0 +1,121 @@
+#include "common/trace.hh"
+
+#include "common/json.hh"
+
+namespace wasp
+{
+
+void
+TraceSink::processName(int pid, const std::string &name)
+{
+    processes_.emplace(pid, name);
+}
+
+void
+TraceSink::threadName(int pid, int tid, const std::string &name)
+{
+    threads_.emplace(std::make_pair(pid, tid), name);
+}
+
+void
+TraceSink::complete(int pid, int tid, std::string_view name,
+                    std::string_view cat, uint64_t ts, uint64_t dur,
+                    std::string args_json)
+{
+    events_.push_back(Event{'X', pid, tid, time_base_ + ts, dur, 0,
+                            std::string(name), std::string(cat),
+                            std::move(args_json)});
+}
+
+void
+TraceSink::instant(int pid, int tid, std::string_view name,
+                   std::string_view cat, uint64_t ts,
+                   std::string args_json)
+{
+    events_.push_back(Event{'i', pid, tid, time_base_ + ts, 0, 0,
+                            std::string(name), std::string(cat),
+                            std::move(args_json)});
+}
+
+void
+TraceSink::counter(int pid, std::string_view name, uint64_t ts,
+                   std::string_view series, double value)
+{
+    JsonWriter args;
+    args.beginObject().key(series).value(value).endObject();
+    events_.push_back(Event{'C', pid, 0, time_base_ + ts, 0, 0,
+                            std::string(name), "counter", args.str()});
+}
+
+uint64_t
+TraceSink::asyncBegin(int pid, int tid, std::string_view name,
+                      std::string_view cat, uint64_t ts,
+                      std::string args_json)
+{
+    uint64_t id = next_async_id_++;
+    events_.push_back(Event{'b', pid, tid, time_base_ + ts, 0, id,
+                            std::string(name), std::string(cat),
+                            std::move(args_json)});
+    pending_async_[id] =
+        Pending{pid, tid, events_.back().name, events_.back().cat};
+    return id;
+}
+
+void
+TraceSink::asyncEnd(uint64_t id, uint64_t ts)
+{
+    auto it = pending_async_.find(id);
+    if (it == pending_async_.end())
+        return; // unmatched end: drop rather than corrupt the trace
+    const Pending &p = it->second;
+    events_.push_back(Event{'e', p.pid, p.tid, time_base_ + ts, 0, id,
+                            p.name, p.cat, ""});
+    pending_async_.erase(it);
+}
+
+std::string
+TraceSink::render() const
+{
+    JsonWriter w;
+    w.beginObject().key("traceEvents").beginArray();
+    for (const auto &[pid, name] : processes_) {
+        w.beginObject()
+            .key("ph").value("M")
+            .key("name").value("process_name")
+            .key("pid").value(pid)
+            .key("tid").value(0)
+            .key("args").beginObject().key("name").value(name).endObject()
+            .endObject();
+    }
+    for (const auto &[key, name] : threads_) {
+        w.beginObject()
+            .key("ph").value("M")
+            .key("name").value("thread_name")
+            .key("pid").value(key.first)
+            .key("tid").value(key.second)
+            .key("args").beginObject().key("name").value(name).endObject()
+            .endObject();
+    }
+    for (const Event &e : events_) {
+        w.beginObject()
+            .key("ph").value(std::string_view(&e.ph, 1))
+            .key("pid").value(e.pid)
+            .key("tid").value(e.tid)
+            .key("ts").value(e.ts)
+            .key("name").value(e.name)
+            .key("cat").value(e.cat.empty() ? "sim" : e.cat);
+        if (e.ph == 'X')
+            w.key("dur").value(e.dur);
+        if (e.ph == 'b' || e.ph == 'e')
+            w.key("id").value(e.id);
+        if (e.ph == 'i')
+            w.key("s").value("t");
+        if (!e.args.empty())
+            w.key("args").raw(e.args);
+        w.endObject();
+    }
+    w.endArray().key("displayTimeUnit").value("ms").endObject();
+    return w.str();
+}
+
+} // namespace wasp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Opt-in event trace sink with a Chrome-trace / Perfetto JSON
+ * exporter. A TraceSink is attached to a run via GpuConfig::trace;
+ * when the pointer is null (the default) no simulator component
+ * touches the sink, so tracing has zero cost when off.
+ *
+ * Track model (Chrome trace event format):
+ *  - pid 0 is the chip (dispatch instants, DRAM transactions, chip
+ *    utilization counters); pid 1+s is SM s.
+ *  - tids inside an SM process carry warp-phase interval tracks
+ *    ("pb<p>.w<s>"), thread-block lifetime tracks, TMA descriptor
+ *    tracks, and barrier instants.
+ *  - durations use "X" complete events (must be well-nested per
+ *    (pid,tid) — the trace-schema test enforces this), overlapping
+ *    spans use "b"/"e" async pairs keyed by id, point events use "i",
+ *    and utilization series use "C" counters.
+ *
+ * Timestamps are simulated cycles emitted as microseconds (1 cycle ==
+ * 1us in the viewer). setTimeBase() lets a multi-kernel benchmark lay
+ * its kernels end-to-end on one timeline.
+ */
+
+#ifndef WASP_COMMON_TRACE_HH
+#define WASP_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wasp
+{
+
+class TraceSink
+{
+  public:
+    /** Name the process (track group) for `pid`. Idempotent. */
+    void processName(int pid, const std::string &name);
+    /** Name thread `tid` of process `pid`. Idempotent. */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /** "X": a duration [ts, ts+dur) on track (pid,tid). */
+    void complete(int pid, int tid, std::string_view name,
+                  std::string_view cat, uint64_t ts, uint64_t dur,
+                  std::string args_json = "");
+    /** "i": a thread-scoped point event. */
+    void instant(int pid, int tid, std::string_view name,
+                 std::string_view cat, uint64_t ts,
+                 std::string args_json = "");
+    /** "C": one sample of a named counter series. */
+    void counter(int pid, std::string_view name, uint64_t ts,
+                 std::string_view series, double value);
+    /**
+     * "b": open an async span; returns the id to pass to asyncEnd.
+     * Async spans may overlap freely on a track.
+     */
+    uint64_t asyncBegin(int pid, int tid, std::string_view name,
+                        std::string_view cat, uint64_t ts,
+                        std::string args_json = "");
+    /** "e": close the async span opened under `id`. */
+    void asyncEnd(uint64_t id, uint64_t ts);
+
+    /** Cycle offset added to every timestamp (multi-kernel layout). */
+    void setTimeBase(uint64_t base) { time_base_ = base; }
+    uint64_t timeBase() const { return time_base_; }
+
+    uint64_t eventCount() const { return events_.size(); }
+
+    /** Render the Chrome trace JSON ({"traceEvents": [...]}). */
+    std::string render() const;
+
+  private:
+    struct Event
+    {
+        char ph;
+        int pid;
+        int tid;
+        uint64_t ts;
+        uint64_t dur; // X only
+        uint64_t id;  // b/e only (0 = none)
+        std::string name;
+        std::string cat;
+        std::string args; // pre-rendered JSON object, may be empty
+    };
+    struct Pending
+    {
+        int pid;
+        int tid;
+        std::string name;
+        std::string cat;
+    };
+
+    std::vector<Event> events_;
+    std::map<int, std::string> processes_;
+    std::map<std::pair<int, int>, std::string> threads_;
+    std::map<uint64_t, Pending> pending_async_;
+    uint64_t next_async_id_ = 1;
+    uint64_t time_base_ = 0;
+};
+
+} // namespace wasp
+
+#endif // WASP_COMMON_TRACE_HH

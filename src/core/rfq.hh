@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/stats.hh"
 #include "isa/instruction.hh"
 
 namespace wasp::core
@@ -51,6 +52,14 @@ class Rfq
     bool canReserve() const { return !isFull(); }
 
     /**
+     * Observability: occupancy histogram shared by all queues of an SM,
+     * sampled at each reserve() (post-increment, so values span
+     * 1..capacity). Sampling at an event rather than per tick keeps the
+     * histogram identical under the skipping and reference clocks.
+     */
+    void setOccupancySampler(wasp::Distribution *dist) { occ_dist_ = dist; }
+
+    /**
      * Reserve the next slot in order (producer issue time).
      * @return slot index to pass to fill().
      */
@@ -61,6 +70,8 @@ class Rfq
         int slot = tail_;
         tail_ = (tail_ + 1) % entries_;
         ++count_;
+        if (occ_dist_)
+            occ_dist_->sample(static_cast<uint64_t>(count_));
         valid_[static_cast<size_t>(slot)] = false;
         return slot;
     }
@@ -92,6 +103,7 @@ class Rfq
     int head_ = 0;
     int tail_ = 0;
     int count_ = 0;
+    wasp::Distribution *occ_dist_ = nullptr; ///< non-owning, may be null
     std::vector<LaneData> slots_;
     std::vector<bool> valid_;
 };

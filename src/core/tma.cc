@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/json.hh"
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "mem/req.hh"
 
 namespace wasp::core
@@ -11,6 +13,21 @@ namespace wasp::core
 namespace
 {
 constexpr uint32_t kIndexEntryFlag = 0x80000000u;
+
+/** Trace tid for the per-SM TMA descriptor track. */
+constexpr int kTmaTraceTid = 9000;
+
+const char *
+tmaKindName(TmaKind kind)
+{
+    switch (kind) {
+      case TmaKind::Tile: return "tma-tile";
+      case TmaKind::Stream: return "tma-stream";
+      case TmaKind::GatherQueue: return "tma-gather-queue";
+      case TmaKind::GatherSmem: return "tma-gather-smem";
+    }
+    return "tma";
+}
 }
 
 std::vector<uint32_t>
@@ -30,12 +47,24 @@ TmaEngine::coalesce(const LaneData &addrs, uint32_t lane_mask)
 }
 
 void
-TmaEngine::submit(const TmaDescriptor &desc)
+TmaEngine::submit(const TmaDescriptor &desc, uint64_t now)
 {
     wasp_check(canSubmit(), "TMA submit with no free descriptor slot");
     ActiveDesc d;
     d.desc = desc;
     d.id = next_desc_id_++;
+    if (wasp::TraceSink *sink = config_.trace) {
+        sink->threadName(1 + sm_id_, kTmaTraceTid, "tma");
+        wasp::JsonWriter args;
+        args.beginObject()
+            .key("count").value(static_cast<uint64_t>(desc.count))
+            .key("queue").value(desc.queueIdx)
+            .key("barrier").value(desc.barrierId)
+            .endObject();
+        d.traceId = sink->asyncBegin(1 + sm_id_, kTmaTraceTid,
+                                     tmaKindName(desc.kind), "tma", now,
+                                     args.str());
+    }
     active_.push_back(std::move(d));
 }
 
@@ -64,7 +93,7 @@ TmaEngine::tick(uint64_t now)
     if (n > 0)
         rr_start_ = (rr_start_ + 1) % n;
     for (auto &d : active_)
-        finishIfDone(d);
+        finishIfDone(d, now);
     std::erase_if(active_, [](const ActiveDesc &d) { return d.id == 0; });
 }
 
@@ -264,7 +293,7 @@ TmaEngine::nextEventCycle(uint64_t now)
 }
 
 void
-TmaEngine::sectorResponse(uint32_t txn)
+TmaEngine::sectorResponse(uint32_t txn, uint64_t now)
 {
     auto it = txn_map_.find(txn);
     wasp_check(it != txn_map_.end(), "unknown TMA txn %u", txn);
@@ -314,12 +343,12 @@ TmaEngine::sectorResponse(uint32_t txn)
             }
         }
     }
-    finishIfDone(d);
+    finishIfDone(d, now);
     std::erase_if(active_, [](const ActiveDesc &a) { return a.id == 0; });
 }
 
 void
-TmaEngine::finishIfDone(ActiveDesc &d)
+TmaEngine::finishIfDone(ActiveDesc &d, uint64_t now)
 {
     if (d.id == 0 || !d.generationDone || d.sectorsOutstanding > 0 ||
         !d.pendingSectors.empty() || !d.entries.empty() ||
@@ -333,8 +362,10 @@ TmaEngine::finishIfDone(ActiveDesc &d)
         }
     }
     if (d.desc.barrierId >= 0)
-        host_.tmaBarArrive(d.desc.tbSlot, d.desc.barrierId);
-    host_.tmaDescDone(d.desc.tbSlot);
+        host_.tmaBarArrive(d.desc.tbSlot, d.desc.barrierId, now);
+    host_.tmaDescDone(d.desc.tbSlot, now);
+    if (d.traceId != 0 && config_.trace)
+        config_.trace->asyncEnd(d.traceId, now);
     d.id = 0; // mark retired
 }
 

@@ -43,13 +43,13 @@ class TmaHost
     /** Resolve a named queue instance. */
     virtual Rfq *tmaQueue(int tb_slot, int slice, int queue_idx) = 0;
     /** Arrive on a named barrier of a resident thread block. */
-    virtual void tmaBarArrive(int tb_slot, int bar_id) = 0;
+    virtual void tmaBarArrive(int tb_slot, int bar_id, uint64_t now) = 0;
     /** Functional global memory read (for stream/gather data). */
     virtual uint32_t tmaGmemRead(uint32_t addr) = 0;
     /** Functional SMEM write into a resident thread block. */
     virtual void tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t v) = 0;
     /** Descriptor retired (thread block bookkeeping). */
-    virtual void tmaDescDone(int tb_slot) = 0;
+    virtual void tmaDescDone(int tb_slot, uint64_t now) = 0;
 };
 
 enum class TmaKind : uint8_t { Tile, Stream, GatherQueue, GatherSmem };
@@ -72,8 +72,8 @@ struct TmaDescriptor
 class TmaEngine : public sim::ClockedComponent
 {
   public:
-    TmaEngine(const sim::GpuConfig &config, TmaHost &host)
-        : config_(config), host_(host)
+    TmaEngine(const sim::GpuConfig &config, TmaHost &host, int sm_id = 0)
+        : config_(config), host_(host), sm_id_(sm_id)
     {}
     ~TmaEngine() override = default;
 
@@ -90,7 +90,7 @@ class TmaEngine : public sim::ClockedComponent
         return active_.size() < 4096;
     }
 
-    void submit(const TmaDescriptor &desc);
+    void submit(const TmaDescriptor &desc, uint64_t now);
 
     /** Generate up to tmaSectorsPerCycle requests. */
     void tick(uint64_t now) override;
@@ -105,7 +105,7 @@ class TmaEngine : public sim::ClockedComponent
     uint64_t nextEventCycle(uint64_t now) override;
 
     /** A sector request issued by this engine completed. */
-    void sectorResponse(uint32_t txn);
+    void sectorResponse(uint32_t txn, uint64_t now);
 
     bool idle() const { return active_.empty(); }
 
@@ -138,10 +138,11 @@ class TmaEngine : public sim::ClockedComponent
         uint32_t indexEntriesInFlight = 0;
         uint32_t elemsCompleted = 0;
         int id = 0;
+        uint64_t traceId = 0; ///< open async trace span (0 = none)
     };
 
     void stepDesc(ActiveDesc &d, int &budget);
-    void finishIfDone(ActiveDesc &d);
+    void finishIfDone(ActiveDesc &d, uint64_t now);
     /** Would stepDesc(d) change state next cycle? Mirror of stepDesc. */
     bool descActive(const ActiveDesc &d);
 
@@ -151,6 +152,7 @@ class TmaEngine : public sim::ClockedComponent
 
     const sim::GpuConfig &config_;
     TmaHost &host_;
+    int sm_id_ = 0; ///< trace track placement only
     std::vector<ActiveDesc> active_;
     std::unordered_map<uint32_t, std::pair<int, uint32_t>> txn_map_;
     uint32_t next_txn_ = 1;

@@ -4,8 +4,11 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/stats.hh"
+#include "isa/instruction.hh"
+#include "sim/stall.hh"
 
 namespace wasp::harness
 {
@@ -130,6 +133,50 @@ MatrixReport::renderFailures() const
         }
     }
     return os.str();
+}
+
+std::string
+MatrixReport::renderJson() const
+{
+    wasp::JsonWriter w;
+    w.beginObject().key("cells").beginArray();
+    for (const auto &app : apps_) {
+        for (const auto &config : configs_) {
+            const BenchResult *cell = find(app, config);
+            if (cell == nullptr)
+                continue;
+            std::ostringstream seed;
+            seed << std::hex << std::setw(16) << std::setfill('0')
+                 << cell->seed;
+            w.beginObject()
+                .key("benchmark").value(cell->benchmark)
+                .key("config").value(cell->config)
+                .key("weightedCycles").value(cell->weightedCycles)
+                .key("verified").value(cell->verified)
+                .key("outcome").value(sim::outcomeName(cell->outcome))
+                .key("attempts").value(cell->attempts)
+                .key("seed").value(seed.str());
+            w.key("dynInstrs").beginObject();
+            for (size_t c = 0; c < cell->dynInstrs.size(); ++c)
+                w.key(isa::categoryName(static_cast<isa::InstrCategory>(c)))
+                    .value(cell->dynInstrs[c]);
+            w.endObject();
+            w.key("l2Utilization").value(cell->l2Utilization)
+                .key("dramUtilization").value(cell->dramUtilization)
+                .key("l1HitRate").value(cell->l1HitRate);
+            w.key("stall").beginObject();
+            for (size_t r = 0; r < sim::kNumStallReasons; ++r)
+                w.key(sim::stallReasonName(
+                         static_cast<sim::StallReason>(r)))
+                    .value(cell->stallCycles[r]);
+            w.endObject();
+            if (cell->outcome != sim::RunOutcome::Ok)
+                w.key("diagnosis").value(cell->diagnosis);
+            w.endObject();
+        }
+    }
+    w.endArray().endObject();
+    return w.str();
 }
 
 Table::Table(std::vector<std::string> headers)

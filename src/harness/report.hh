@@ -73,6 +73,21 @@ class MatrixReport
      */
     std::string renderFailures() const;
 
+    /**
+     * Machine-readable export of every cell, in canonical (app-major,
+     * config) order:
+     *
+     *   {"cells": [{"benchmark", "config", "weightedCycles", "verified",
+     *               "outcome", "attempts", "seed" (hex string),
+     *               "dynInstrs": {category: f64},
+     *               "l2Utilization", "dramUtilization", "l1HitRate",
+     *               "stall": {reason: f64, ...},
+     *               "diagnosis" (failed cells only)}, ...]}
+     *
+     * Missing cells are skipped rather than emitted as placeholders.
+     */
+    std::string renderJson() const;
+
   private:
     std::vector<std::string> apps_;
     std::vector<std::string> configs_;

@@ -104,6 +104,9 @@ runBenchmark(const ConfigSpec &spec, const workloads::BenchmarkDef &bench)
         result.dramUtilization +=
             mix.weight * kr.stats.dramUtilization();
         result.l1HitRate += mix.weight * kr.stats.l1HitRate();
+        for (size_t r = 0; r < sim::kNumStallReasons; ++r)
+            result.stallCycles[r] +=
+                mix.weight * static_cast<double>(kr.stats.stallCycles[r]);
         total_weight += mix.weight;
     }
     if (total_weight > 0.0) {

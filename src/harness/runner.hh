@@ -56,6 +56,11 @@ struct BenchResult
     double l2Utilization = 0.0;    ///< cycle-weighted average
     double dramUtilization = 0.0;
     double l1HitRate = 0.0;
+    /** Weighted issue-slot accounting, indexed by sim::StallReason.
+     * Sums the per-kernel RunStats::stallCycles with the same kernel
+     * weights as weightedCycles, so bucket shares divide cleanly by
+     * weightedCycles * issue slots. */
+    std::array<double, sim::kNumStallReasons> stallCycles{};
     /** Per-kernel cycle counts (Table II per-kernel speedups). */
     std::vector<std::pair<std::string, double>> kernelCycles;
 };

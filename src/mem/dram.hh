@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <deque>
 
+#include "common/stats.hh"
+#include "common/trace.hh"
 #include "mem/req.hh"
 #include "sim/clock.hh"
 
@@ -36,7 +38,18 @@ class Dram : public sim::ClockedComponent
     Dram(double bytes_per_cycle, int latency, int queue_depth)
         : bandwidth_(bytes_per_cycle), latency_(latency),
           queue_depth_(queue_depth)
-    {}
+    {
+        depth_dist_.configure(static_cast<size_t>(queue_depth) + 1);
+    }
+
+    /** Attach an event sink (nullptr disables tracing). */
+    void
+    setTrace(wasp::TraceSink *trace)
+    {
+        trace_ = trace;
+        if (trace_)
+            trace_->threadName(0, kDramTraceTid, "dram");
+    }
 
     /** True when inject() will accept another request. */
     bool
@@ -52,6 +65,9 @@ class Dram : public sim::ClockedComponent
         if (static_cast<int>(queue_.size()) >= queue_depth_)
             return false;
         queue_.push_back(req);
+        // Depth sampled per arrival (an event, not a tick) so the
+        // histogram is identical under both clocks.
+        depth_dist_.sample(queue_.size());
         return true;
     }
 
@@ -77,6 +93,7 @@ class Dram : public sim::ClockedComponent
         accrueThrough(now);
         if (stalled_)
             return;
+        bool served = false;
         while (!queue_.empty() && budget_ >= kSectorBytes) {
             MemReq req = queue_.front();
             queue_.pop_front();
@@ -87,7 +104,26 @@ class Dram : public sim::ClockedComponent
                 bytes_read_ += kSectorBytes;
             if (!req.write)
                 responses_.push(req, now + static_cast<uint64_t>(latency_));
+            if (trace_) {
+                // Reads span service to response delivery as async
+                // pairs (several can overlap on the track); writes are
+                // fire-and-forget posts.
+                if (req.write) {
+                    trace_->instant(0, kDramTraceTid, "dram-wr", "dram",
+                                    now);
+                } else {
+                    uint64_t id = trace_->asyncBegin(0, kDramTraceTid,
+                                                     "dram-rd", "dram",
+                                                     now);
+                    trace_->asyncEnd(id,
+                                     now + static_cast<uint64_t>(latency_));
+                }
+            }
+            served = true;
         }
+        if (trace_ && served)
+            trace_->counter(0, "dram.queue-depth", now, "reqs",
+                            static_cast<double>(queue_.size()));
     }
 
     /**
@@ -106,6 +142,9 @@ class Dram : public sim::ClockedComponent
 
     DelayQueue<MemReq> &responses() { return responses_; }
     const DelayQueue<MemReq> &responses() const { return responses_; }
+
+    /** Queue-depth histogram, one sample per accepted request. */
+    const wasp::Distribution &queueDepth() const { return depth_dist_; }
 
     uint64_t bytesRead() const { return bytes_read_; }
     uint64_t bytesWritten() const { return bytes_written_; }
@@ -148,9 +187,13 @@ class Dram : public sim::ClockedComponent
         }
     }
 
+    static constexpr int kDramTraceTid = 20; ///< track on chip pid 0
+
     double bandwidth_;
     int latency_;
     int queue_depth_;
+    wasp::Distribution depth_dist_;
+    wasp::TraceSink *trace_ = nullptr; ///< non-owning, may be null
     double budget_ = 0.0;
     bool stalled_ = false;
     uint64_t next_accrue_ = 0; ///< first cycle not yet accrued

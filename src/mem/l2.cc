@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace wasp::mem
 {
@@ -13,6 +14,14 @@ L2Cache::L2Cache(const L2Params &params, Dram &dram)
     banks_.reserve(static_cast<size_t>(params_.banks));
     for (int b = 0; b < params_.banks; ++b)
         banks_.emplace_back(params_);
+}
+
+void
+L2Cache::setTrace(wasp::TraceSink *trace)
+{
+    trace_ = trace;
+    if (trace_)
+        trace_->threadName(0, kL2TraceTid, "l2");
 }
 
 bool
@@ -82,6 +91,8 @@ L2Cache::tick(uint64_t now)
             bool accepted = dram_.inject(down);
             wasp_assert(accepted, "DRAM rejected after canAccept()");
             bytes_accessed_ += kSectorBytes;
+            if (trace_)
+                trace_->instant(0, kL2TraceTid, "l2-miss", "mem", now);
             bank.in.pop_front();
             break;
           }

@@ -35,6 +35,9 @@ class L2Cache : public sim::ClockedComponent
   public:
     L2Cache(const L2Params &params, Dram &dram);
 
+    /** Attach an event sink (nullptr disables tracing). */
+    void setTrace(wasp::TraceSink *trace);
+
     /** Enqueue a request into its bank; false when the queue is full. */
     bool inject(const MemReq &req);
 
@@ -80,11 +83,14 @@ class L2Cache : public sim::ClockedComponent
         {}
     };
 
+    static constexpr int kL2TraceTid = 10; ///< track on chip pid 0
+
     L2Params params_;
     Dram &dram_;
     std::vector<Bank> banks_;
     DelayQueue<MemReq> responses_;
     uint64_t bytes_accessed_ = 0;
+    wasp::TraceSink *trace_ = nullptr; ///< non-owning, may be null
 };
 
 } // namespace wasp::mem

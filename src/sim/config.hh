@@ -12,6 +12,11 @@
 
 #include "sim/fault.hh"
 
+namespace wasp
+{
+class TraceSink;
+}
+
 namespace wasp::sim
 {
 
@@ -111,6 +116,16 @@ struct GpuConfig
 
     // -- instrumentation -----------------------------------------------------
     int timelineInterval = 0;      ///< >0: record per-interval utilization
+    /**
+     * Opt-in event tracing (common/trace.hh), non-owning. When null
+     * (the default) no component touches the sink, so tracing costs
+     * nothing when off; when set, the run records warp-phase
+     * intervals, TMA transfers, barrier arrivals, DRAM transactions
+     * and thread-block lifetimes into the sink. Tracing never perturbs
+     * simulation state: a traced run's RunStats are bit-identical to
+     * an untraced run (enforced by perf_smoke_test).
+     */
+    wasp::TraceSink *trace = nullptr;
     uint64_t maxCycles = 80'000'000;
     ClockMode clockMode = ClockMode::CycleSkip;
 

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/log.hh"
+#include "common/trace.hh"
 
 namespace wasp::sim
 {
@@ -43,6 +44,10 @@ Gpu::buildMachine()
     l2_params.mshrsPerBank = config_.l2Mshrs;
     l2_params.hitLatency = config_.l2HitLatency;
     l2_ = std::make_unique<mem::L2Cache>(l2_params, *dram_);
+    if (config_.trace)
+        config_.trace->processName(0, "chip");
+    dram_->setTrace(config_.trace);
+    l2_->setTrace(config_.trace);
     injector_ = config_.faults.empty()
                     ? nullptr
                     : std::make_unique<FaultInjector>(config_.faults);
@@ -110,10 +115,36 @@ Gpu::raiseStall(uint64_t now, bool zero_progress)
             static_cast<unsigned long long>(config_.maxCycles));
     }
 
-    recordEndCycle(now);
+    collectStats(now);
     stats_.outcome = outcome;
     stats_.pipelineDump = dump;
     throw SimError(outcome, std::move(diagnosis), stats_);
+}
+
+void
+Gpu::collectStats(uint64_t now)
+{
+    recordEndCycle(now);
+    uint64_t l1_hits = 0;
+    uint64_t l1_misses = 0;
+    for (auto &sm : sms_) {
+        sm->finalizeAccounting(now);
+        sm->foldStats();
+        sm->traceFlush(now);
+        l1_hits += sm->l1().hits();
+        l1_misses += sm->l1().misses();
+    }
+    stats_.l1Hits = l1_hits;
+    stats_.l1Misses = l1_misses;
+    stats_.l2Hits = l2_->hits();
+    stats_.l2Misses = l2_->misses();
+    stats_.l2Bytes = l2_->bytesAccessed();
+    stats_.dramBytes = dram_->bytesRead() + dram_->bytesWritten();
+    stats_.l2PeakBytesPerCycle = l2_->peakBytesPerCycle();
+    stats_.dramPeakBytesPerCycle = dram_->bandwidth();
+    if (dram_->queueDepth().count() > 0)
+        stats_.detail.distribution("dram.queue-depth")
+            .merge(dram_->queueDepth());
 }
 
 void
@@ -135,7 +166,7 @@ Gpu::tick(uint64_t now)
         for (int k = 0; k < config_.numSms; ++k) {
             int s = (next_sm_ + k) % config_.numSms;
             if (sms_[static_cast<size_t>(s)]->tryAccept(
-                    *launch_, static_cast<uint32_t>(next_cta_))) {
+                    *launch_, static_cast<uint32_t>(next_cta_), now)) {
                 ++next_cta_;
                 next_sm_ = (s + 1) % config_.numSms;
                 // A placed CTA is new work: the SM (sleeping or not)
@@ -178,7 +209,7 @@ Gpu::tick(uint64_t now)
             // the owning descriptor never completes.
             if (injector_ && injector_->dropTmaResponse())
                 continue;
-            sm.tmaSectorResponse(resp.txn);
+            sm.tmaSectorResponse(resp.txn, now);
         }
         // The response lands after the SM's tick: wake it next cycle.
         sm_wake_[resp.sm] = now + 1;
@@ -213,6 +244,12 @@ Gpu::tick(uint64_t now)
             static_cast<double>(l2_->bytesAccessed() - last_l2_bytes_) /
             std::max(l2_peak, 1.0);
         stats_.timeline.push_back(sample);
+        if (config_.trace) {
+            config_.trace->counter(0, "tensor-util", now, "util",
+                                   sample.tensorUtil);
+            config_.trace->counter(0, "l2-util", now, "util",
+                                   sample.l2Util);
+        }
         last_sample_cycle_ = now;
         last_tensor_issues_ = stats_.tensorIssues;
         last_l2_bytes_ = l2_->bytesAccessed();
@@ -331,7 +368,7 @@ Gpu::run(const Launch &launch)
         }
     }
 
-    recordEndCycle(now);
+    collectStats(now);
     if (std::getenv("WASP_CLOCK_DEBUG")) {
         std::fprintf(stderr,
                      "clock: %llu cycles, %llu ticks, %llu probes, "
@@ -341,20 +378,6 @@ Gpu::run(const Launch &launch)
                      static_cast<unsigned long long>(dbg_probes_),
                      static_cast<unsigned long long>(dbg_probe_now1_));
     }
-    uint64_t l1_hits = 0;
-    uint64_t l1_misses = 0;
-    for (const auto &sm : sms_) {
-        l1_hits += sm->l1().hits();
-        l1_misses += sm->l1().misses();
-    }
-    stats_.l1Hits = l1_hits;
-    stats_.l1Misses = l1_misses;
-    stats_.l2Hits = l2_->hits();
-    stats_.l2Misses = l2_->misses();
-    stats_.l2Bytes = l2_->bytesAccessed();
-    stats_.dramBytes = dram_->bytesRead() + dram_->bytesWritten();
-    stats_.l2PeakBytesPerCycle = l2_->peakBytesPerCycle();
-    stats_.dramPeakBytesPerCycle = dram_->bandwidth();
     launch_ = nullptr;
     return stats_;
 }

@@ -77,6 +77,16 @@ class Gpu
      * the last simulated cycle, the count is inclusive.
      */
     void recordEndCycle(uint64_t now) { stats_.cycles = now + 1; }
+    /**
+     * Fold end-of-run statistics into stats_: cycle count, per-SM
+     * issue-slot accounting (finalized through `now`), cache/DRAM
+     * counters and distributions, and trace interval flushing. Shared
+     * by the success path (run) and the failure path (raiseStall), so
+     * SimError carries the same enriched RunStats a completed run
+     * returns — and both clocks, which agree on `now`, stay
+     * bit-identical.
+     */
+    void collectStats(uint64_t now);
     /** Monotone counter: retired instrs + memory/TMA traffic. */
     uint64_t progressCounter() const;
     /** Classify + throw a SimError with a captured pipeline dump. */

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "isa/instruction.hh"
+#include "sim/stall.hh"
 
 namespace wasp::sim
 {
@@ -125,6 +127,32 @@ struct RunStats
     /** Max thread blocks concurrently resident on one SM. */
     int maxResidentTbPerSm = 0;
     uint64_t tensorIssues = 0;
+
+    // -- issue-slot cycle accounting --------------------------------------
+    /**
+     * Chip-wide issue-slot breakdown: stallCycles[r] counts the
+     * (cycle, processing block) slots whose outcome was StallReason r.
+     * Conservation invariant (tested): the sum over all buckets equals
+     * cycles × numSms × pbsPerSm, on both clock modes bit-identically.
+     */
+    std::array<uint64_t, kNumStallReasons> stallCycles{};
+    /** Instructions issued per pipeline stage (index = stage id). */
+    std::vector<uint64_t> stageIssues;
+    /**
+     * Per-SM detail: "sm<i>.stall.<reason>" and "sm<i>.stage<k>.issued"
+     * counters plus "sm<i>.rfq.occupancy" / "dram.queue-depth"
+     * distributions.
+     */
+    wasp::StatGroup detail;
+
+    uint64_t
+    issueSlotTotal() const
+    {
+        uint64_t total = 0;
+        for (uint64_t v : stallCycles)
+            total += v;
+        return total;
+    }
 
     // -- timeline (Fig 3) ----------------------------------------------------
     std::vector<TimelineSample> timeline;

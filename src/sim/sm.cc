@@ -3,17 +3,76 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/json.hh"
 #include "common/log.hh"
+#include "common/trace.hh"
 #include "core/warp_mapper.hh"
 
 namespace wasp::sim
 {
 
+namespace
+{
+
+/** Trace tid layout inside an SM process: warp tracks start at 100
+ * (Sm::warpTraceTid), thread-block lifetime tracks at 2000, barrier
+ * instants at 8000 (the TMA engine claims 9000 in core/tma.cc). */
+constexpr int kTbTraceTidBase = 2000;
+constexpr int kBarTraceTid = 8000;
+
+/**
+ * Coarse warp-phase index for tracing: collapsing the StallReason
+ * taxonomy into a handful of phases keeps warp tracks readable (one
+ * interval per phase change, not per reason flicker).
+ */
+int8_t
+tracePhaseOf(StallReason r)
+{
+    switch (r) {
+      case StallReason::Issued:
+      case StallReason::Ready:
+      case StallReason::IssueDebt:
+      case StallReason::PipeBusy:
+        return 0;
+      case StallReason::Scoreboard:
+        return 1;
+      case StallReason::QueueEmpty:
+      case StallReason::QueueStuckEmpty:
+        return 2;
+      case StallReason::QueueFull:
+      case StallReason::QueueStuckFull:
+        return 3;
+      case StallReason::LsuFull:
+      case StallReason::TmaBusy:
+        return 4;
+      case StallReason::DrainWb:
+      case StallReason::DrainLdgsts:
+        return 5;
+      case StallReason::BarWait:
+      case StallReason::BarSync:
+        return 6;
+      default:
+        return 7;
+    }
+}
+
+const char *
+tracePhaseName(int8_t phase)
+{
+    static const char *const names[] = {
+        "run",         "scoreboard", "queue-empty", "queue-full",
+        "mem-throttle", "drain",      "barrier",     "idle"};
+    return phase >= 0 && phase < 8 ? names[phase] : "idle";
+}
+
+} // namespace
+
 Sm::Sm(int id, const GpuConfig &config, mem::GlobalMemory &gmem,
        mem::L2Cache &l2, RunStats &stats)
     : id_(id), cfg_(config), gmem_(gmem), l2_(l2), stats_(stats),
+      trace_(config.trace),
       l1_(config.l1Bytes, config.l1Ways, config.l1Mshrs),
-      tma_(config, *this)
+      tma_(config, *this, id)
 {
     pbs_.resize(static_cast<size_t>(cfg_.pbsPerSm));
     for (auto &pb : pbs_) {
@@ -23,6 +82,9 @@ Sm::Sm(int id, const GpuConfig &config, mem::GlobalMemory &gmem,
                           0u);
     }
     tbs_.resize(static_cast<size_t>(cfg_.maxTbPerSm));
+    tb_trace_ids_.assign(static_cast<size_t>(cfg_.maxTbPerSm), 0);
+    if (trace_)
+        trace_->processName(tracePid(), strprintf("sm%d", id_));
 }
 
 int
@@ -62,7 +124,7 @@ Sm::queueRef(int tb_slot, int slice, int queue_idx)
 }
 
 bool
-Sm::tryAccept(const Launch &launch, uint32_t ctaid)
+Sm::tryAccept(const Launch &launch, uint32_t ctaid, uint64_t now)
 {
     const isa::ThreadBlockSpec &tb_spec = launch.prog->tb;
     const int num_stages = tb_spec.numStages;
@@ -156,6 +218,18 @@ Sm::tryAccept(const Launch &launch, uint32_t ctaid)
         for (const auto &q : tb_spec.queues)
             tb.queues.emplace_back(effectiveQueueEntries(q));
     }
+    // Occupancy accounting: sampled at reserve() time (an event, not a
+    // tick, so the histogram is identical under both clocks). Pointers
+    // are installed only after the emplace loop above so vector
+    // reallocation cannot dangle them.
+    if (!tb.queues.empty()) {
+        int max_cap = 0;
+        for (const core::Rfq &q : tb.queues)
+            max_cap = std::max(max_cap, q.capacity());
+        rfq_occ_.configure(static_cast<size_t>(max_cap) + 1);
+        for (core::Rfq &q : tb.queues)
+            q.setOccupancySampler(&rfq_occ_);
+    }
     smem_used_ += smem_need;
 
     uint64_t tb_reg_footprint = 0;
@@ -206,6 +280,20 @@ Sm::tryAccept(const Launch &launch, uint32_t ctaid)
         std::max(stats_.tbRegisterFootprint, tb_reg_footprint);
     stats_.maxResidentTbPerSm =
         std::max(stats_.maxResidentTbPerSm, residentTbs());
+    if (trace_) {
+        trace_->threadName(tracePid(), kTbTraceTidBase + tb_slot,
+                           strprintf("tb%d", tb_slot));
+        wasp::JsonWriter args;
+        args.beginObject();
+        args.key("warps");
+        args.value(total_warps);
+        args.key("stages");
+        args.value(num_stages);
+        args.endObject();
+        tb_trace_ids_[static_cast<size_t>(tb_slot)] = trace_->asyncBegin(
+            tracePid(), kTbTraceTidBase + tb_slot,
+            strprintf("cta%u", ctaid), "tb", now, args.str());
+    }
     return true;
 }
 
@@ -238,20 +326,27 @@ Sm::releaseBarSync(int tb_slot)
 }
 
 void
-Sm::maybeReleaseTb(int tb_slot)
+Sm::maybeReleaseTb(int tb_slot, uint64_t now)
 {
     ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
     if (tb.valid && tb.warpsDone == tb.totalWarps && tb.outstanding == 0)
-        releaseTb(tb_slot);
+        releaseTb(tb_slot, now);
 }
 
 void
-Sm::releaseTb(int tb_slot)
+Sm::releaseTb(int tb_slot, uint64_t now)
 {
     ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
     for (auto [pb_idx, slot] : tb.warpRefs) {
+        if (trace_)
+            traceCloseWarp(pb_idx, slot, now + 1);
         pbs_[static_cast<size_t>(pb_idx)]
             .warps[static_cast<size_t>(slot)].valid = false;
+    }
+    if (trace_ && tb_trace_ids_[static_cast<size_t>(tb_slot)] != 0) {
+        trace_->asyncEnd(tb_trace_ids_[static_cast<size_t>(tb_slot)],
+                         now + 1);
+        tb_trace_ids_[static_cast<size_t>(tb_slot)] = 0;
     }
     for (int p = 0; p < cfg_.pbsPerSm; ++p)
         pbs_[static_cast<size_t>(p)].regsUsed -=
@@ -283,6 +378,19 @@ Sm::tick(uint64_t now)
             static_cast<uint64_t>(cfg_.pbsPerSm));
     }
     now_ = now;
+    // Cycle accounting for skipped cycles: the clock only skips an SM
+    // across cycles where its last issue scan proved every slot
+    // quiescent (no issue and no post-scan state change), so each PB's
+    // cached classification from that scan holds verbatim for every
+    // skipped cycle. Attributing the whole span to it is exact, not an
+    // approximation — the clock-equivalence suite checks this
+    // bit-for-bit against the reference clock.
+    if (now > acct_next_) {
+        uint64_t span = now - acct_next_;
+        for (Pb &pb : pbs_)
+            pb.slotCounts[static_cast<size_t>(pb.lastSlotReason)] += span;
+    }
+    acct_next_ = now + 1;
     // State changes from here until the issue scan in tickPb are seen
     // by the scan, so they reset the quiescence bookkeeping.
     warp_wake_agg_ = kNoEvent;
@@ -412,10 +520,10 @@ Sm::lsuResponse(uint32_t addr, uint64_t now)
 }
 
 void
-Sm::tmaSectorResponse(uint32_t txn)
+Sm::tmaSectorResponse(uint32_t txn, uint64_t now)
 {
     wake_dirty_ = true; // may fill queues / arrive barriers post-scan
-    tma_.sectorResponse(txn);
+    tma_.sectorResponse(txn, now);
 }
 
 void
@@ -467,7 +575,7 @@ Sm::completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now)
     --tb.outstanding;
     int tb_slot = txn.tbSlot; // txn dies with the erase below
     txns_.erase(txn_id);
-    maybeReleaseTb(tb_slot);
+    maybeReleaseTb(tb_slot, now);
 }
 
 // ---- core::TmaHost ------------------------------------------------------
@@ -487,7 +595,7 @@ Sm::tmaQueue(int tb_slot, int slice, int queue_idx)
 }
 
 void
-Sm::tmaBarArrive(int tb_slot, int bar_id)
+Sm::tmaBarArrive(int tb_slot, int bar_id, uint64_t now)
 {
     // Fault injection: the TMA engine's completion arrive is lost; any
     // warp waiting on this barrier phase never wakes.
@@ -503,6 +611,7 @@ Sm::tmaBarArrive(int tb_slot, int bar_id)
     if (++bar.count >= spec.expected) {
         bar.count = 0;
         ++bar.phase;
+        traceBarPhase(tb_slot, bar_id, bar.phase, now);
     }
 }
 
@@ -521,72 +630,153 @@ Sm::tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t value)
 }
 
 void
-Sm::tmaDescDone(int tb_slot)
+Sm::tmaDescDone(int tb_slot, uint64_t now)
 {
     ResidentTb &tb = tbs_[static_cast<size_t>(tb_slot)];
     wasp_check(tb.outstanding > 0, "TMA desc done underflow");
     --tb.outstanding;
-    maybeReleaseTb(tb_slot);
+    maybeReleaseTb(tb_slot, now);
+}
+
+StallReason
+Sm::classifyWarp(const Pb &pb, const Warp &w, int *arg) const
+{
+    // warpWakeCycle dereferences the stack top; guard the pathological
+    // pre-normalization state separately (it only shows up in failure
+    // dumps, never in the issue scan, which normalizes first).
+    if (w.valid && !w.done && w.stack.empty())
+        return StallReason::NoStack;
+    StallReason why = StallReason::NoWarp;
+    warpWakeCycle(pb, w, now_, &why, arg);
+    return why;
 }
 
 std::string
-Sm::stallReason(const Pb &pb, const Warp &w) const
+Sm::stallDetail(const Pb &pb, const Warp &w) const
 {
-    if (w.stack.empty())
-        return "no-stack";
-    if (w.blockedOnBarSync)
-        return "bar-sync";
-    if (w.issueDebt > 0)
-        return "issue-debt";
-    const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
-    const isa::Program &prog = *tb.launch->prog;
-    const isa::Instruction &inst =
-        prog.instrs[static_cast<size_t>(w.pc())];
-    const isa::OpInfo &info = isa::opInfo(inst.op);
-    if (pb.pipeFreeAt[static_cast<size_t>(info.pipe)] > now_)
-        return "pipe-busy";
-    if (!w.regsReady(inst))
-        return "scoreboard";
-    bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
-    if (effective) {
-        for (const auto &s : inst.srcs) {
-            if (s.kind != isa::OperandKind::Queue)
-                continue;
-            if (inj_ && inj_->queueStuckEmpty(s.reg))
-                return strprintf("queue-stuck-empty(Q%d)", s.reg);
-            if (!queueRef(w.tbSlot, w.slice, s.reg)->canPop())
-                return strprintf("queue-empty(Q%d)", s.reg);
-        }
-        for (const auto &d : inst.dsts) {
-            if (d.kind != isa::OperandKind::Queue)
-                continue;
-            if (inj_ && inj_->queueStuckFull(d.reg))
-                return strprintf("queue-stuck-full(Q%d)", d.reg);
-            if (!queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
-                return strprintf("queue-full(Q%d)", d.reg);
-        }
-        if (info.isMem && inst.op != isa::Opcode::LDS &&
-            inst.op != isa::Opcode::STS &&
-            pb.lsuInflight >= cfg_.lsuQueueDepth)
-            return "lsu-full";
-        if (inst.isTma() && !tma_.canSubmit())
-            return "tma-busy";
+    int arg = -1;
+    StallReason why = classifyWarp(pb, w, &arg);
+    std::string name = stallReasonName(why);
+    switch (why) {
+      case StallReason::QueueEmpty:
+      case StallReason::QueueFull:
+      case StallReason::QueueStuckEmpty:
+      case StallReason::QueueStuckFull:
+        return name + strprintf("(Q%d)", arg);
+      case StallReason::BarWait: {
+        const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
+        const NamedBar &bar = tb.bars[static_cast<size_t>(arg)];
+        return name + strprintf("(b%d phase=%d consumed=%d)", arg,
+                                bar.phase,
+                                w.barWaitCount[static_cast<size_t>(arg)]);
+      }
+      default:
+        return name;
     }
-    if (inst.op == isa::Opcode::EXIT && w.pendingWb > 0)
-        return "drain-writebacks";
-    if (info.isBarrier) {
-        if (w.pendingLdgsts > 0)
-            return "drain-ldgsts";
-        if (inst.op == isa::Opcode::BAR_WAIT) {
-            int b = inst.srcs[0].imm;
-            const NamedBar &bar = tb.bars[static_cast<size_t>(b)];
-            if (bar.phase <= w.barWaitCount[static_cast<size_t>(b)])
-                return strprintf("bar-wait(b%d phase=%d consumed=%d)", b,
-                                 bar.phase,
-                                 w.barWaitCount[static_cast<size_t>(b)]);
+}
+
+// ---- accounting & tracing -----------------------------------------------
+
+void
+Sm::finalizeAccounting(uint64_t last)
+{
+    // Attribute the trailing cycles the SM never ticked over: the same
+    // frozen-state argument as in tick() applies. A fully drained SM
+    // sleeps forever after one last scan classified every slot NoWarp.
+    if (last + 1 > acct_next_) {
+        uint64_t span = last + 1 - acct_next_;
+        for (Pb &pb : pbs_)
+            pb.slotCounts[static_cast<size_t>(pb.lastSlotReason)] += span;
+        acct_next_ = last + 1;
+    }
+}
+
+void
+Sm::foldStats()
+{
+    for (size_t r = 0; r < kNumStallReasons; ++r) {
+        uint64_t total = 0;
+        for (const Pb &pb : pbs_)
+            total += pb.slotCounts[r];
+        if (total == 0)
+            continue;
+        stats_.stallCycles[r] += total;
+        stats_.detail.counter(strprintf(
+            "sm%d.stall.%s", id_,
+            stallReasonName(static_cast<StallReason>(r)))) += total;
+    }
+    for (size_t k = 0; k < stage_issues_.size(); ++k) {
+        if (stage_issues_[k] == 0)
+            continue;
+        if (stats_.stageIssues.size() <= k)
+            stats_.stageIssues.resize(k + 1, 0);
+        stats_.stageIssues[k] += stage_issues_[k];
+        stats_.detail.counter(
+            strprintf("sm%d.stage%zu.issued", id_, k)) += stage_issues_[k];
+    }
+    if (rfq_occ_.count() > 0)
+        stats_.detail.distribution(strprintf("sm%d.rfq.occupancy", id_))
+            .merge(rfq_occ_);
+}
+
+void
+Sm::traceFlush(uint64_t end)
+{
+    if (!trace_)
+        return;
+    for (int p = 0; p < cfg_.pbsPerSm; ++p)
+        for (int s = 0; s < cfg_.warpSlotsPerPb; ++s)
+            traceCloseWarp(p, s, end + 1);
+    for (size_t t = 0; t < tb_trace_ids_.size(); ++t) {
+        if (tb_trace_ids_[t] != 0) {
+            trace_->asyncEnd(tb_trace_ids_[t], end + 1);
+            tb_trace_ids_[t] = 0;
         }
     }
-    return "ready";
+}
+
+void
+Sm::traceWarpPhase(int pb_idx, int slot, StallReason why, uint64_t now)
+{
+    Warp &w = pbs_[static_cast<size_t>(pb_idx)]
+                  .warps[static_cast<size_t>(slot)];
+    int8_t phase = tracePhaseOf(why);
+    if (w.tracePhase == phase)
+        return;
+    if (w.tracePhase >= 0) {
+        trace_->complete(tracePid(), warpTraceTid(pb_idx, slot),
+                         tracePhaseName(w.tracePhase), "warp-phase",
+                         w.traceStart, now - w.traceStart);
+    } else {
+        trace_->threadName(tracePid(), warpTraceTid(pb_idx, slot),
+                           strprintf("pb%d.w%d", pb_idx, slot));
+    }
+    w.tracePhase = phase;
+    w.traceStart = now;
+}
+
+void
+Sm::traceCloseWarp(int pb_idx, int slot, uint64_t end)
+{
+    Warp &w = pbs_[static_cast<size_t>(pb_idx)]
+                  .warps[static_cast<size_t>(slot)];
+    if (w.tracePhase < 0)
+        return;
+    trace_->complete(tracePid(), warpTraceTid(pb_idx, slot),
+                     tracePhaseName(w.tracePhase), "warp-phase",
+                     w.traceStart, end - w.traceStart);
+    w.tracePhase = -1;
+}
+
+void
+Sm::traceBarPhase(int tb_slot, int bar_id, int phase, uint64_t now)
+{
+    if (!trace_)
+        return;
+    trace_->threadName(tracePid(), kBarTraceTid, "barriers");
+    trace_->instant(tracePid(), kBarTraceTid,
+                    strprintf("tb%d.bar%d->p%d", tb_slot, bar_id, phase),
+                    "barrier", now);
 }
 
 std::string
@@ -610,7 +800,7 @@ Sm::debugState() const
                           prog.instrs[static_cast<size_t>(w.pc())].op);
             os << " ldgsts=" << w.pendingLdgsts
                << " loads=" << w.pendingLoads
-               << " stall=" << stallReason(pb, w) << "\n";
+               << " stall=" << stallDetail(pb, w) << "\n";
         }
     }
     for (size_t t = 0; t < tbs_.size(); ++t) {

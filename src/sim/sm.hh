@@ -31,6 +31,7 @@
 #include "sim/config.hh"
 #include "sim/fault.hh"
 #include "sim/run_stats.hh"
+#include "sim/stall.hh"
 #include "sim/warp.hh"
 
 namespace wasp::sim
@@ -53,7 +54,7 @@ class Sm : public core::TmaHost, public ClockedComponent
     ~Sm() override = default;
 
     /** Try to make a thread block resident; false when it does not fit. */
-    bool tryAccept(const Launch &launch, uint32_t ctaid);
+    bool tryAccept(const Launch &launch, uint32_t ctaid, uint64_t now);
 
     /** Advance one cycle. */
     void tick(uint64_t now) override;
@@ -74,7 +75,26 @@ class Sm : public core::TmaHost, public ClockedComponent
 
     /** L2 response for a TMA-sourced sector (may fill queues, arrive
      * barriers, and retire descriptors immediately). */
-    void tmaSectorResponse(uint32_t txn);
+    void tmaSectorResponse(uint32_t txn, uint64_t now);
+
+    /**
+     * Issue-slot accounting (sim/stall.hh): every (cycle, PB) pair is
+     * attributed exactly one StallReason. A fresh issue scan accounts
+     * its own cycle; cycles a quiescent SM sleeps through are
+     * attributed on wake with the reason cached by the last fresh scan
+     * (exact, because the SM only sleeps when no state can change and
+     * the classification is a pure function of that frozen state).
+     * finalizeAccounting() attributes the trailing span through the
+     * run's last cycle; foldStats() then publishes per-PB counts into
+     * RunStats::stallCycles / stageIssues and the per-SM counters and
+     * RFQ-occupancy distribution in RunStats::detail. Call both exactly
+     * once, at end of run (Gpu::collectStats).
+     */
+    void finalizeAccounting(uint64_t last);
+    void foldStats();
+
+    /** Close still-open trace intervals (end of run / failure). */
+    void traceFlush(uint64_t end);
 
     core::TmaEngine &tmaEngine() { return tma_; }
     const core::TmaEngine &tmaEngine() const { return tma_; }
@@ -103,10 +123,10 @@ class Sm : public core::TmaHost, public ClockedComponent
     // -- core::TmaHost ----------------------------------------------------
     bool tmaInject(uint32_t addr, uint32_t txn) override;
     core::Rfq *tmaQueue(int tb_slot, int slice, int queue_idx) override;
-    void tmaBarArrive(int tb_slot, int bar_id) override;
+    void tmaBarArrive(int tb_slot, int bar_id, uint64_t now) override;
     uint32_t tmaGmemRead(uint32_t addr) override;
     void tmaSmemWrite(int tb_slot, uint32_t addr, uint32_t value) override;
-    void tmaDescDone(int tb_slot) override;
+    void tmaDescDone(int tb_slot, uint64_t now) override;
 
     /**
      * Deadlock diagnostics: one line per live warp with its stall
@@ -152,6 +172,10 @@ class Sm : public core::TmaHost, public ClockedComponent
         std::deque<uint32_t> lsuQueue; ///< txn ids awaiting dispatch
         int lsuInflight = 0;
         int lastIssued = -1;
+        /** Issue-slot outcome counts: one slot per cycle. */
+        std::array<uint64_t, kNumStallReasons> slotCounts{};
+        /** Outcome cached by the last fresh scan (skip attribution). */
+        StallReason lastSlotReason = StallReason::NoWarp;
     };
 
     struct NamedBar
@@ -192,8 +216,16 @@ class Sm : public core::TmaHost, public ClockedComponent
     int effectiveQueueEntries(const isa::QueueSpec &spec) const;
     core::Rfq *queueRef(int tb_slot, int slice, int queue_idx);
     const core::Rfq *queueRef(int tb_slot, int slice, int queue_idx) const;
-    /** Why a live warp cannot issue right now ("ready" if it can). */
-    std::string stallReason(const Pb &pb, const Warp &warp) const;
+    /**
+     * Classify a live warp via the issue predicate itself: Ready when
+     * it can issue at now_, otherwise the first gating condition in
+     * warpWakeCycle's evaluation order. `arg` receives the blocking
+     * queue index (Queue* reasons) or barrier id (BarWait).
+     */
+    StallReason classifyWarp(const Pb &pb, const Warp &warp,
+                             int *arg = nullptr) const;
+    /** Human-readable stall: enum name plus queue/barrier detail. */
+    std::string stallDetail(const Pb &pb, const Warp &warp) const;
     /** Incoming queue specs for a stage (indices into tb.queues). */
     static std::vector<int> incomingQueues(const isa::ThreadBlockSpec &tb,
                                            int stage);
@@ -208,9 +240,15 @@ class Sm : public core::TmaHost, public ClockedComponent
      * is itself a wake point elsewhere (a memory/TMA response, another
      * warp's issue — which makes progress and forces the next cycle)
      * can unblock it. Must not mutate state.
+     *
+     * `why`/`arg`, when non-null, receive the StallReason matching the
+     * chosen return point (Ready when the warp can issue) and the
+     * blocking queue index / barrier id — the single classification
+     * shared by slot accounting, debugState and tracing.
      */
-    uint64_t warpWakeCycle(const Pb &pb, const Warp &warp,
-                           uint64_t now) const;
+    uint64_t warpWakeCycle(const Pb &pb, const Warp &warp, uint64_t now,
+                           StallReason *why = nullptr,
+                           int *arg = nullptr) const;
     void issue(int pb_idx, int slot, uint64_t now);
     void executeAlu(Pb &pb, int slot, const isa::Instruction &inst,
                     uint32_t exec_mask, uint64_t now);
@@ -231,9 +269,24 @@ class Sm : public core::TmaHost, public ClockedComponent
     void sectorDone(uint32_t txn, uint64_t now);
     void completeTxn(uint32_t txn_id, MemTxn &txn, uint64_t now);
     void releaseBarSync(int tb_slot);
-    void maybeReleaseTb(int tb_slot);
-    void releaseTb(int tb_slot);
+    void maybeReleaseTb(int tb_slot, uint64_t now);
+    void releaseTb(int tb_slot, uint64_t now);
     void chargeSmemPort(uint64_t now, int cycles);
+
+    // -- tracing (all no-ops when trace_ == nullptr) -----------------------
+    int tracePid() const { return 1 + id_; }
+    int
+    warpTraceTid(int pb_idx, int slot) const
+    {
+        return 100 + pb_idx * cfg_.warpSlotsPerPb + slot;
+    }
+    /** Emit/extend the warp's phase interval for the cycle `now`. */
+    void traceWarpPhase(int pb_idx, int slot, StallReason why,
+                        uint64_t now);
+    /** Close the warp's open interval at `end` (exclusive). */
+    void traceCloseWarp(int pb_idx, int slot, uint64_t end);
+    /** Instant event for a named-barrier phase advance. */
+    void traceBarPhase(int tb_slot, int bar_id, int phase, uint64_t now);
 
     // -- state ------------------------------------------------------------------
     int id_;
@@ -242,6 +295,7 @@ class Sm : public core::TmaHost, public ClockedComponent
     mem::L2Cache &l2_;
     RunStats &stats_;
     FaultInjector *inj_ = nullptr;
+    wasp::TraceSink *trace_ = nullptr; ///< cached cfg_.trace
     mem::TimingCache l1_;
     std::vector<Pb> pbs_;
     std::vector<ResidentTb> tbs_;
@@ -267,6 +321,14 @@ class Sm : public core::TmaHost, public ClockedComponent
     /** Some PB issued this tick: its scan stopped at the issuing warp,
      * so warp_wake_agg_ is a partial aggregate — wake next cycle. */
     bool issued_this_tick_ = false;
+    /** First cycle not yet covered by issue-slot accounting. */
+    uint64_t acct_next_ = 0;
+    /** Instructions issued per pipeline stage on this SM. */
+    std::vector<uint64_t> stage_issues_;
+    /** RFQ occupancy sampled at every reserve() on this SM's queues. */
+    wasp::Distribution rfq_occ_;
+    /** Open thread-block lifetime async trace ids (0 = none). */
+    std::vector<uint64_t> tb_trace_ids_;
 };
 
 } // namespace wasp::sim

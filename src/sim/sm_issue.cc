@@ -322,7 +322,6 @@ Sm::executeBranch(Pb &pb, int slot, const Instruction &inst,
 void
 Sm::executeTma(Pb &pb, int slot, const Instruction &inst, uint64_t now)
 {
-    (void)now;
     Warp &w = pb.warps[static_cast<size_t>(slot)];
     ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
     uint32_t active = w.activeMask();
@@ -369,7 +368,7 @@ Sm::executeTma(Pb &pb, int slot, const Instruction &inst, uint64_t now)
         panicThrow("executeTma: not a TMA op");
     }
     ++tb.outstanding;
-    tma_.submit(d);
+    tma_.submit(d, now);
 }
 
 void
@@ -537,17 +536,30 @@ Sm::executeMem(int pb_idx, int slot, const Instruction &inst,
 }
 
 uint64_t
-Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
+Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now,
+                  StallReason *why, int *arg) const
 {
+    // Every return point reports its StallReason through `because` so
+    // accounting/tracing/debug dumps share this one classification.
+    auto because = [&](StallReason r, uint64_t wake,
+                       int a = -1) -> uint64_t {
+        if (why)
+            *why = r;
+        if (arg)
+            *arg = a;
+        return wake;
+    };
     if (!w.valid || w.done)
-        return kNoEvent;
+        return because(StallReason::NoWarp, kNoEvent);
     // Woken by releaseBarSync, i.e. another warp's BAR_SYNC issue or a
     // warp completing — both wake points in their own right.
     if (w.blockedOnBarSync)
-        return kNoEvent;
+        return because(StallReason::BarSync, kNoEvent);
     if (w.issueDebt > 0)
-        return std::max(now,
-                        pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)]);
+        return because(
+            StallReason::IssueDebt,
+            std::max(now,
+                     pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)]));
     const isa::Program &prog = *tbs_[static_cast<size_t>(w.tbSlot)]
                                     .launch->prog;
     const Instruction &inst = prog.instrs[static_cast<size_t>(w.pc())];
@@ -558,12 +570,12 @@ Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
     // its pipe for issueCost cycles).
     uint64_t pipe_free = pb.pipeFreeAt[static_cast<size_t>(info.pipe)];
     if (pipe_free > now)
-        return pipe_free;
+        return because(StallReason::PipeBusy, pipe_free);
     // Scoreboard busy: cleared by a writeback or memory completion,
     // both of which are wake points (writebacks / LSU / L2 / L1-hit
     // queues).
     if (!w.regsReady(inst))
-        return kNoEvent;
+        return because(StallReason::Scoreboard, kNoEvent);
     // A fully predicated-off instruction is a no-op: it must not stall
     // on queue, LSU or TMA state (that could deadlock a pipeline).
     bool effective = (w.activeMask() & guardMask(w, inst)) != 0;
@@ -576,11 +588,12 @@ Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
             // flip only at injector activation edges, which the clock
             // visits via FaultInjector::nextEventCycle.
             if (inj_ && inj_->queueStuckEmpty(s.reg))
-                return kNoEvent;
+                return because(StallReason::QueueStuckEmpty, kNoEvent,
+                               s.reg);
             // Filled by a producer warp's issue or a TMA push — both
             // wake points.
             if (!queueRef(w.tbSlot, w.slice, s.reg)->canPop())
-                return kNoEvent;
+                return because(StallReason::QueueEmpty, kNoEvent, s.reg);
         }
         for (const auto &d : inst.dsts) {
             if (d.kind != OperandKind::Queue)
@@ -588,26 +601,29 @@ Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
             // Fault injection: is_full bit stuck — the producer
             // believes the queue never has space.
             if (inj_ && inj_->queueStuckFull(d.reg))
-                return kNoEvent;
+                return because(StallReason::QueueStuckFull, kNoEvent,
+                               d.reg);
             // Drained by a consumer warp's pop.
             if (!queueRef(w.tbSlot, w.slice, d.reg)->canReserve())
-                return kNoEvent;
+                return because(StallReason::QueueFull, kNoEvent, d.reg);
         }
         // LSU slots free on sector completion (memory wake points).
         if (info.isMem && inst.op != Opcode::LDS &&
             inst.op != Opcode::STS &&
             pb.lsuInflight >= cfg_.lsuQueueDepth)
-            return kNoEvent;
+            return because(StallReason::LsuFull, kNoEvent);
         // Descriptor slots free when the TMA engine finishes one; any
         // active descriptor keeps the engine ticking every cycle.
         if (inst.isTma() && !tma_.canSubmit())
-            return kNoEvent;
+            return because(StallReason::TmaBusy, kNoEvent);
     }
     if (inst.op == Opcode::EXIT && w.pendingWb > 0)
-        return kNoEvent; // drain writebacks first; queue == wake point
+        // Drain writebacks first; the queue is a wake point.
+        return because(StallReason::DrainWb, kNoEvent);
     if (info.isBarrier) {
         if (w.pendingLdgsts > 0)
-            return kNoEvent; // completes via memory responses
+            // Completes via memory responses.
+            return because(StallReason::DrainLdgsts, kNoEvent);
         if (inst.op == Opcode::BAR_WAIT) {
             int b = inst.srcs[0].imm;
             const ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
@@ -615,11 +631,11 @@ Sm::warpWakeCycle(const Pb &pb, const Warp &w, uint64_t now) const
             // BAR.ARRIVE.
             if (tb.bars[static_cast<size_t>(b)].phase <=
                 w.barWaitCount[static_cast<size_t>(b)])
-                return kNoEvent;
+                return because(StallReason::BarWait, kNoEvent, b);
         }
     }
     // Nothing gates this warp: it can issue this cycle.
-    return now;
+    return because(StallReason::Ready, now);
 }
 
 void
@@ -643,7 +659,7 @@ Sm::normalizeWarp(Warp &w)
         w.done = true;
         ResidentTb &tb = tbs_[static_cast<size_t>(w.tbSlot)];
         ++tb.warpsDone;
-        maybeReleaseTb(w.tbSlot);
+        maybeReleaseTb(w.tbSlot, now_);
     }
 }
 
@@ -657,6 +673,9 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
     // An issuing PB stops its scan, so warp_wake_agg_ is incomplete
     // this tick; the SM must be ticked again next cycle regardless.
     issued_this_tick_ = true;
+    if (static_cast<size_t>(w.stage) >= stage_issues_.size())
+        stage_issues_.resize(static_cast<size_t>(w.stage) + 1, 0);
+    ++stage_issues_[static_cast<size_t>(w.stage)];
 
     if (w.issueDebt > 0) {
         --w.issueDebt;
@@ -713,6 +732,7 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
         if (++bar.count >= spec.expected) {
             bar.count = 0;
             ++bar.phase;
+            traceBarPhase(w.tbSlot, b, bar.phase, now);
         }
         return;
       }
@@ -767,18 +787,34 @@ Sm::tickPb(int pb_idx, uint64_t now)
         }
     }
 
-    // Select and issue one warp.
+    // Select and issue one warp; classify every slot along the way.
+    // The slot's StallReason is the minimum (highest-precedence, by
+    // enum order) reason over its live stalled warps, Issued when a
+    // warp issues, NoWarp when the PB has no live warp.
     int best = -1;
     int64_t best_score = LLONG_MIN;
+    StallReason slot_reason = StallReason::NoWarp;
     for (int s = 0; s < cfg_.warpSlotsPerPb; ++s) {
         Warp &w = pb.warps[static_cast<size_t>(s)];
         normalizeWarp(w);
-        uint64_t wake = warpWakeCycle(pb, w, now);
+        StallReason why = StallReason::NoWarp;
+        uint64_t wake = warpWakeCycle(pb, w, now, &why);
         if (wake > now) {
+            if (w.valid && !w.done) {
+                if (static_cast<uint8_t>(why) <
+                    static_cast<uint8_t>(slot_reason))
+                    slot_reason = why;
+                if (trace_)
+                    traceWarpPhase(pb_idx, s, why, now);
+            } else if (trace_) {
+                traceCloseWarp(pb_idx, s, now);
+            }
             if (wake < warp_wake_agg_)
                 warp_wake_agg_ = wake;
             continue;
         }
+        if (trace_)
+            traceWarpPhase(pb_idx, s, why, now);
         core::WarpSchedInfo info;
         info.stage = w.stage;
         if (w.valid && !w.done) {
@@ -808,8 +844,12 @@ Sm::tickPb(int pb_idx, uint64_t now)
             best_score = score;
         }
     }
-    if (best >= 0)
+    if (best >= 0) {
         issue(pb_idx, best, now);
+        slot_reason = StallReason::Issued;
+    }
+    pb.slotCounts[static_cast<size_t>(slot_reason)] += 1;
+    pb.lastSlotReason = slot_reason;
 }
 
 } // namespace wasp::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Closed taxonomy of scheduler issue-slot outcomes. Every processing
+ * block accounts exactly one StallReason per cycle: Issued when a warp
+ * issued, otherwise the highest-precedence (lowest enum value) reason
+ * among the live-but-stalled warps, or NoWarp when the block has no
+ * live warp. The same classification feeds three consumers:
+ *
+ *  - per-slot cycle accounting (RunStats::stallCycles and the per-SM
+ *    "sm<i>.stall.<reason>" counters in RunStats::detail),
+ *  - the per-warp stall= line in Sm::debugState / pipelineDump, and
+ *  - the warp-phase intervals recorded by the TraceSink.
+ *
+ * Enum order IS the attribution precedence: values are sorted from
+ * "closest to issuing" down to "no work at all", so the slot-level
+ * reason (min over stalled warps) names the tightest bottleneck.
+ * Ready and NoStack are dump-only states: a ready warp always wins the
+ * slot (which then counts as Issued), and a stack-less warp is
+ * normalized to done before it can be scanned, so neither bucket ever
+ * accrues slot cycles.
+ */
+
+#ifndef WASP_SIM_STALL_HH
+#define WASP_SIM_STALL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wasp::sim
+{
+
+enum class StallReason : uint8_t
+{
+    Issued,          ///< a warp issued in this slot
+    Ready,           ///< warp can issue now (dump-only)
+    IssueDebt,       ///< multi-issue debt drains one slot per cycle
+    PipeBusy,        ///< execution pipe not yet free
+    Scoreboard,      ///< source register/predicate pending writeback
+    DrainWb,         ///< EXIT waits for outstanding writebacks
+    DrainLdgsts,     ///< barrier waits for outstanding LDGSTS
+    QueueEmpty,      ///< source RFQ/SMEM queue has no poppable entry
+    QueueFull,       ///< destination queue cannot reserve a slot
+    QueueStuckEmpty, ///< fault injector holds the source queue empty
+    QueueStuckFull,  ///< fault injector holds the destination full
+    LsuFull,         ///< LSU queue at lsuQueueDepth
+    TmaBusy,         ///< TMA descriptor table at capacity
+    BarWait,         ///< BAR_WAIT on a phase not yet produced
+    BarSync,         ///< blocked in a hardware BAR_SYNC
+    NoStack,         ///< SIMT stack empty (dump-only)
+    NoWarp,          ///< no live warp in any slot of the block
+    Count
+};
+
+inline constexpr size_t kNumStallReasons =
+    static_cast<size_t>(StallReason::Count);
+
+inline const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Issued: return "issued";
+      case StallReason::Ready: return "ready";
+      case StallReason::IssueDebt: return "issue-debt";
+      case StallReason::PipeBusy: return "pipe-busy";
+      case StallReason::Scoreboard: return "scoreboard";
+      case StallReason::DrainWb: return "drain-writebacks";
+      case StallReason::DrainLdgsts: return "drain-ldgsts";
+      case StallReason::QueueEmpty: return "queue-empty";
+      case StallReason::QueueFull: return "queue-full";
+      case StallReason::QueueStuckEmpty: return "queue-stuck-empty";
+      case StallReason::QueueStuckFull: return "queue-stuck-full";
+      case StallReason::LsuFull: return "lsu-full";
+      case StallReason::TmaBusy: return "tma-busy";
+      case StallReason::BarWait: return "bar-wait";
+      case StallReason::BarSync: return "bar-sync";
+      case StallReason::NoStack: return "no-stack";
+      case StallReason::NoWarp: return "no-warp";
+      case StallReason::Count: break;
+    }
+    return "unknown";
+}
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_STALL_HH

@@ -1,0 +1,104 @@
+#include "sim/stats_io.hh"
+
+namespace wasp::sim
+{
+
+namespace
+{
+
+void
+writeDistribution(wasp::JsonWriter &w, const wasp::Distribution &d)
+{
+    w.beginObject()
+        .key("count").value(d.count())
+        .key("sum").value(d.sum())
+        .key("min").value(d.min())
+        .key("max").value(d.max())
+        .key("mean").value(d.mean())
+        .key("buckets").beginArray();
+    for (uint64_t b : d.buckets())
+        w.value(b);
+    w.endArray().endObject();
+}
+
+} // namespace
+
+void
+writeRunStats(wasp::JsonWriter &w, const RunStats &stats)
+{
+    w.beginObject();
+    w.key("cycles").value(stats.cycles);
+    w.key("outcome").value(outcomeName(stats.outcome));
+
+    w.key("dynInstrs").beginObject();
+    for (size_t c = 0; c < stats.dynInstrs.size(); ++c)
+        w.key(isa::categoryName(static_cast<isa::InstrCategory>(c)))
+            .value(stats.dynInstrs[c]);
+    w.endObject();
+    w.key("totalDynInstrs").value(stats.totalDynInstrs());
+
+    w.key("memory").beginObject()
+        .key("l1Hits").value(stats.l1Hits)
+        .key("l1Misses").value(stats.l1Misses)
+        .key("l1HitRate").value(stats.l1HitRate())
+        .key("l2Hits").value(stats.l2Hits)
+        .key("l2Misses").value(stats.l2Misses)
+        .key("l2Bytes").value(stats.l2Bytes)
+        .key("dramBytes").value(stats.dramBytes)
+        .key("l2Utilization").value(stats.l2Utilization())
+        .key("dramUtilization").value(stats.dramUtilization())
+        .endObject();
+
+    w.key("occupancy").beginObject()
+        .key("tbRegisterFootprint").value(stats.tbRegisterFootprint)
+        .key("maxResidentTbPerSm").value(stats.maxResidentTbPerSm)
+        .key("tensorIssues").value(stats.tensorIssues)
+        .endObject();
+
+    w.key("issueSlots").beginObject();
+    w.key("total").value(stats.issueSlotTotal());
+    w.key("stall").beginObject();
+    for (size_t r = 0; r < kNumStallReasons; ++r)
+        w.key(stallReasonName(static_cast<StallReason>(r)))
+            .value(stats.stallCycles[r]);
+    w.endObject().endObject();
+
+    w.key("stageIssues").beginArray();
+    for (uint64_t v : stats.stageIssues)
+        w.value(v);
+    w.endArray();
+
+    w.key("detail").beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : stats.detail.all())
+        w.key(name).value(c.value());
+    w.endObject();
+    w.key("distributions").beginObject();
+    for (const auto &[name, d] : stats.detail.dists()) {
+        w.key(name);
+        writeDistribution(w, d);
+    }
+    w.endObject().endObject();
+
+    w.key("timeline").beginArray();
+    for (const TimelineSample &s : stats.timeline) {
+        w.beginObject()
+            .key("cycle").value(s.cycle)
+            .key("tensorUtil").value(s.tensorUtil)
+            .key("l2Util").value(s.l2Util)
+            .endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+}
+
+std::string
+runStatsJson(const RunStats &stats)
+{
+    wasp::JsonWriter w;
+    writeRunStats(w, stats);
+    return w.str();
+}
+
+} // namespace wasp::sim

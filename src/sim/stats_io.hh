@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-readable RunStats export. One canonical JSON schema shared by
+ * `wasp-cli stats --json`, the matrix JSON report, and tools/run_stats.sh
+ * so downstream analysis never scrapes human-formatted tables.
+ */
+
+#ifndef WASP_SIM_STATS_IO_HH
+#define WASP_SIM_STATS_IO_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "sim/run_stats.hh"
+
+namespace wasp::sim
+{
+
+/**
+ * Emit `stats` as one JSON object into an open writer (the writer must
+ * be positioned where a value is expected). Schema, stable by design:
+ *
+ *   {
+ *     "cycles": u64, "outcome": str,
+ *     "dynInstrs": {"<category>": u64, ...}, "totalDynInstrs": u64,
+ *     "memory": {l1Hits, l1Misses, l1HitRate, l2Hits, l2Misses,
+ *                l2Bytes, dramBytes, l2Utilization, dramUtilization},
+ *     "occupancy": {tbRegisterFootprint, maxResidentTbPerSm,
+ *                   tensorIssues},
+ *     "issueSlots": {"total": u64, "stall": {"<reason>": u64, ...}},
+ *     "stageIssues": [u64, ...],
+ *     "detail": {"counters": {name: u64},
+ *                "distributions": {name: {count, sum, min, max, mean,
+ *                                         buckets: [u64]}}},
+ *     "timeline": [{cycle, tensorUtil, l2Util}, ...]
+ *   }
+ *
+ * Every StallReason bucket is present (zeros included) so consumers can
+ * index without existence checks; "detail" is sparse by construction.
+ */
+void writeRunStats(wasp::JsonWriter &writer, const RunStats &stats);
+
+/** writeRunStats into a fresh document, returned as a string. */
+std::string runStatsJson(const RunStats &stats);
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_STATS_IO_HH

@@ -59,6 +59,11 @@ struct Warp
     int issueDebt = 0;
     uint64_t lastIssueCycle = 0;
 
+    // -- tracing (maintained only when a TraceSink is attached) -----------
+    /** Open warp-phase interval: coarse phase index, -1 = none. */
+    int8_t tracePhase = -1;
+    uint64_t traceStart = 0; ///< first cycle of the open interval
+
     int pc() const { return stack.back().pc; }
     void setPc(int pc) { stack.back().pc = pc; }
 

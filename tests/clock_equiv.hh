@@ -57,6 +57,14 @@ expectStatsEqual(const sim::RunStats &a, const sim::RunStats &b,
     EXPECT_EQ(a.tbRegisterFootprint, b.tbRegisterFootprint) << what;
     EXPECT_EQ(a.maxResidentTbPerSm, b.maxResidentTbPerSm) << what;
     EXPECT_EQ(a.tensorIssues, b.tensorIssues) << what;
+    // Issue-slot accounting: the stall breakdown, per-stage issue
+    // counts, and detail counters/distributions must also be
+    // bit-identical — the skipping clock attributes skipped spans from
+    // cached per-PB classifications, and any divergence from the
+    // cycle-by-cycle reference shows up here.
+    EXPECT_EQ(a.stallCycles, b.stallCycles) << what;
+    EXPECT_EQ(a.stageIssues, b.stageIssues) << what;
+    EXPECT_EQ(a.detail, b.detail) << what;
     ASSERT_EQ(a.timeline.size(), b.timeline.size()) << what;
     for (size_t i = 0; i < a.timeline.size(); ++i) {
         EXPECT_EQ(a.timeline[i].cycle, b.timeline[i].cycle)
@@ -98,6 +106,19 @@ sweepClockEquivalence(harness::PaperConfig which,
                     harness::runKernel(s, k, gmem);
                 EXPECT_TRUE(kr.verified) << what;
                 per_clock[m] = kr.stats;
+                // Conservation: every issue slot of every simulated
+                // cycle lands in exactly one StallReason bucket, and
+                // each Issued slot is one dynamic instruction.
+                const sim::RunStats &st = per_clock[m];
+                EXPECT_EQ(st.issueSlotTotal(),
+                          st.cycles *
+                              static_cast<uint64_t>(s.gpu.numSms) *
+                              static_cast<uint64_t>(s.gpu.pbsPerSm))
+                    << what << " clock " << m;
+                EXPECT_EQ(st.stallCycles[static_cast<size_t>(
+                              sim::StallReason::Issued)],
+                          st.totalDynInstrs())
+                    << what << " clock " << m;
             }
             expectStatsEqual(per_clock[0], per_clock[1], what);
         }

@@ -38,6 +38,10 @@ expectBitIdentical(const BenchResult &a, const BenchResult &b)
         EXPECT_EQ(a.dynInstrs[c], b.dynInstrs[c]) << "category " << c;
     EXPECT_EQ(a.l2Utilization, b.l2Utilization);
     EXPECT_EQ(a.dramUtilization, b.dramUtilization);
+    for (size_t r = 0; r < a.stallCycles.size(); ++r)
+        EXPECT_EQ(a.stallCycles[r], b.stallCycles[r])
+            << "stall bucket "
+            << sim::stallReasonName(static_cast<sim::StallReason>(r));
     EXPECT_EQ(a.l1HitRate, b.l1HitRate);
     ASSERT_EQ(a.kernelCycles.size(), b.kernelCycles.size());
     for (size_t i = 0; i < a.kernelCycles.size(); ++i) {

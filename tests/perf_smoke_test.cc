@@ -15,6 +15,7 @@
 #include <limits>
 #include <string>
 
+#include "common/trace.hh"
 #include "harness/configs.hh"
 #include "harness/runner.hh"
 #include "mem/global_memory.hh"
@@ -84,6 +85,64 @@ TEST(PerfSmoke, SkippingClockNotSlowerOnStallHeavyKernel)
     EXPECT_LE(skip_s, ref_s * 1.10)
         << "cycle-skipping clock slower than reference: " << skip_s
         << "s vs " << ref_s << "s";
+}
+
+TEST(PerfSmoke, TracingOffHasNoCostAndTracingOnIsBitIdentical)
+{
+    // Tracing is opt-in via GpuConfig::trace; when the pointer is null
+    // every hook is a single branch, so the traced and untraced runs
+    // must produce bit-identical RunStats, and leaving tracing off must
+    // not slow the simulator down. The generous 1.25x bound absorbs
+    // shared-host noise — the hooks are the regression target, not the
+    // scheduler.
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    const workloads::BenchmarkDef &bench = workloads::benchmark("gpt2");
+    using Clock = std::chrono::steady_clock;
+    double best_off = std::numeric_limits<double>::infinity();
+    double best_on = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < 3; ++r) {
+        for (int traced = 0; traced < 2; ++traced) {
+            wasp::TraceSink sink;
+            harness::ConfigSpec s = spec;
+            if (traced)
+                s.gpu.trace = &sink;
+            double total = 0.0;
+            for (const workloads::KernelMix &mix : bench.kernels) {
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                auto t0 = Clock::now();
+                harness::KernelResult kr =
+                    harness::runKernel(s, k, gmem);
+                std::chrono::duration<double> dt = Clock::now() - t0;
+                total += dt.count();
+                EXPECT_TRUE(kr.verified) << mix.label;
+                if (traced) {
+                    // Same build, untraced: stats must not shift.
+                    harness::ConfigSpec off = spec;
+                    mem::GlobalMemory gmem2;
+                    workloads::BuiltKernel k2 = mix.build(gmem2);
+                    harness::KernelResult kr2 =
+                        harness::runKernel(off, k2, gmem2);
+                    EXPECT_EQ(kr.stats.cycles, kr2.stats.cycles)
+                        << mix.label;
+                    EXPECT_EQ(kr.stats.stallCycles, kr2.stats.stallCycles)
+                        << mix.label;
+                    EXPECT_EQ(kr.stats.dynInstrs, kr2.stats.dynInstrs)
+                        << mix.label;
+                }
+            }
+            if (traced) {
+                EXPECT_GT(sink.eventCount(), 0u);
+                best_on = std::min(best_on, total);
+            } else {
+                best_off = std::min(best_off, total);
+            }
+        }
+    }
+    EXPECT_LE(best_off, best_on * 1.25)
+        << "tracing-off run slower than tracing-on: the null-pointer "
+           "guard is no longer free";
 }
 
 TEST(PerfSmoke, FullSize108SmConfigCompletesBenchmark)

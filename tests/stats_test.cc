@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Cycle-accounting and machine-readable-export tests: the Distribution
+ * stat type, the closed StallReason slot accounting (conservation over
+ * the full Table II suite), and the canonical RunStats JSON schema.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "harness/configs.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+#include "sim/stall.hh"
+#include "sim/stats_io.hh"
+#include "workloads/benchmarks.hh"
+
+#include "mini_json.hh"
+
+using namespace wasp;
+using namespace wasp::sim;
+
+TEST(Distribution, EmptyStateIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, SamplesTrackMinMaxMeanAndBuckets)
+{
+    Distribution d(8);
+    d.sample(2);
+    d.sample(5);
+    d.sample(2);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 9u);
+    EXPECT_EQ(d.min(), 2u);
+    EXPECT_EQ(d.max(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    ASSERT_EQ(d.buckets().size(), 8u);
+    EXPECT_EQ(d.buckets()[2], 2u);
+    EXPECT_EQ(d.buckets()[5], 1u);
+}
+
+TEST(Distribution, OutOfRangeSamplesClampIntoLastBucket)
+{
+    Distribution d(4);
+    d.sample(100);
+    EXPECT_EQ(d.buckets()[3], 1u);
+    // min/max/mean stay exact even though the histogram clamps.
+    EXPECT_EQ(d.max(), 100u);
+    EXPECT_EQ(d.sum(), 100u);
+}
+
+TEST(Distribution, ConfigureGrowsButNeverShrinks)
+{
+    Distribution d(4);
+    d.configure(8);
+    EXPECT_EQ(d.buckets().size(), 8u);
+    d.configure(2);
+    EXPECT_EQ(d.buckets().size(), 8u);
+}
+
+TEST(Distribution, MergeAccumulatesAndEqualityIsExact)
+{
+    Distribution a(4), b(4), whole(4);
+    a.sample(1);
+    a.sample(3);
+    b.sample(0);
+    whole.sample(1);
+    whole.sample(3);
+    whole.sample(0);
+    EXPECT_NE(a, whole);
+    a.merge(b);
+    EXPECT_EQ(a, whole);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 3u);
+    EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(StallReason, NamesAreClosedAndUnique)
+{
+    std::vector<std::string> seen;
+    for (size_t r = 0; r < kNumStallReasons; ++r) {
+        std::string name = stallReasonName(static_cast<StallReason>(r));
+        EXPECT_FALSE(name.empty());
+        for (const auto &prior : seen)
+            EXPECT_NE(name, prior) << "duplicate reason name";
+        seen.push_back(name);
+    }
+}
+
+TEST(JsonWriter, EscapesAndNests)
+{
+    JsonWriter w;
+    w.beginObject()
+        .key("s").value("a\"b\\c\nd")
+        .key("arr").beginArray().value(1).value(true).null().endArray()
+        .endObject();
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(w.str(), v, &err)) << err;
+    EXPECT_EQ(v["s"].str, "a\"b\\c\nd");
+    ASSERT_EQ(v["arr"].array.size(), 3u);
+    EXPECT_EQ(v["arr"].array[0].number, 1.0);
+    EXPECT_TRUE(v["arr"].array[1].boolean);
+}
+
+namespace
+{
+
+/** Every (kernel, stats) pair of one benchmark under one config. */
+std::vector<std::pair<std::string, RunStats>>
+runAllKernels(const harness::ConfigSpec &spec, const std::string &app)
+{
+    std::vector<std::pair<std::string, RunStats>> out;
+    const workloads::BenchmarkDef &bench = workloads::benchmark(app);
+    for (const workloads::KernelMix &mix : bench.kernels) {
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        harness::KernelResult kr = harness::runKernel(spec, k, gmem);
+        EXPECT_TRUE(kr.verified) << app << "/" << mix.label;
+        out.emplace_back(app + "/" + mix.label, std::move(kr.stats));
+    }
+    return out;
+}
+
+/**
+ * The accounting-conservation contract for one finished run: every
+ * issue slot of every simulated cycle lands in exactly one StallReason
+ * bucket, per SM and in aggregate, and Issued slots correspond 1:1 to
+ * dynamic instructions.
+ */
+void
+expectConservation(const RunStats &s, const sim::GpuConfig &gpu,
+                   const std::string &what)
+{
+    uint64_t slots_per_cycle = static_cast<uint64_t>(gpu.numSms) *
+                               static_cast<uint64_t>(gpu.pbsPerSm);
+    EXPECT_EQ(s.issueSlotTotal(), s.cycles * slots_per_cycle) << what;
+    EXPECT_EQ(s.stallCycles[static_cast<size_t>(StallReason::Issued)],
+              s.totalDynInstrs())
+        << what;
+    // Ready and NoStack are dump-only classifications: a ready warp
+    // always issues (the slot counts as Issued) and stack-less warps
+    // are normalized to done before the scan.
+    EXPECT_EQ(s.stallCycles[static_cast<size_t>(StallReason::Ready)], 0u)
+        << what;
+    EXPECT_EQ(s.stallCycles[static_cast<size_t>(StallReason::NoStack)],
+              0u)
+        << what;
+    // Per-stage issue counts partition the issued slots.
+    uint64_t stage_sum = 0;
+    for (uint64_t v : s.stageIssues)
+        stage_sum += v;
+    EXPECT_EQ(stage_sum, s.totalDynInstrs()) << what;
+
+    // Per-SM: the "sm<k>.stall.*" detail counters partition that SM's
+    // slots, and summing them across SMs reproduces the aggregate.
+    uint64_t detail_sum = 0;
+    for (int k = 0; k < gpu.numSms; ++k) {
+        std::string prefix = "sm" + std::to_string(k) + ".stall.";
+        uint64_t sm_sum = 0;
+        for (const auto &[name, c] : s.detail.all())
+            if (name.rfind(prefix, 0) == 0)
+                sm_sum += c.value();
+        EXPECT_EQ(sm_sum,
+                  s.cycles * static_cast<uint64_t>(gpu.pbsPerSm))
+            << what << " sm " << k;
+        detail_sum += sm_sum;
+    }
+    EXPECT_EQ(detail_sum, s.issueSlotTotal()) << what;
+}
+
+} // namespace
+
+TEST(Accounting, ConservationHoldsAcrossFullSuite)
+{
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    for (const workloads::BenchmarkDef &bench : workloads::suite())
+        for (auto &[what, stats] : runAllKernels(spec, bench.name))
+            expectConservation(stats, spec.gpu, what);
+}
+
+TEST(Accounting, ConservationHoldsOnBaselineConfig)
+{
+    // The baseline config exercises the non-RFQ queue backend and the
+    // plain scheduler — classification paths WaspGpu never reaches.
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::Baseline);
+    for (const std::string &app :
+         {std::string("gpt2"), std::string("spmv1_g3"),
+          std::string("lonestar_bfs")})
+        for (auto &[what, stats] : runAllKernels(spec, app))
+            expectConservation(stats, spec.gpu, what);
+}
+
+TEST(Accounting, RfqOccupancyDistributionIsSampledUnderWasp)
+{
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    bool sampled = false;
+    for (auto &[what, stats] : runAllKernels(spec, "gpt2")) {
+        for (const auto &[name, d] : stats.detail.dists()) {
+            if (name.find("rfq.occupancy") == std::string::npos)
+                continue;
+            sampled = true;
+            EXPECT_GT(d.count(), 0u) << what << " " << name;
+            EXPECT_GE(d.min(), 1u)
+                << what << " " << name
+                << ": reserve samples post-increment, so 0 is impossible";
+        }
+    }
+    EXPECT_TRUE(sampled) << "no RFQ occupancy distribution recorded";
+}
+
+TEST(StatsJson, SchemaParsesAndMatchesAccounting)
+{
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    for (auto &[what, stats] : runAllKernels(spec, "gpt2")) {
+        std::string text = runStatsJson(stats);
+        minijson::Value v;
+        std::string err;
+        ASSERT_TRUE(minijson::parse(text, v, &err)) << what << ": " << err;
+        ASSERT_TRUE(v.isObject()) << what;
+        for (const char *key :
+             {"cycles", "outcome", "dynInstrs", "totalDynInstrs",
+              "memory", "occupancy", "issueSlots", "stageIssues",
+              "detail", "timeline"})
+            EXPECT_TRUE(v.has(key)) << what << " missing " << key;
+        EXPECT_EQ(static_cast<uint64_t>(v["cycles"].number),
+                  stats.cycles)
+            << what;
+        const minijson::Value &slots = v["issueSlots"];
+        ASSERT_TRUE(slots.isObject()) << what;
+        // Every StallReason appears (zeros included) and the buckets
+        // sum to the advertised total.
+        double stall_sum = 0.0;
+        ASSERT_EQ(slots["stall"].object.size(), kNumStallReasons)
+            << what;
+        for (size_t r = 0; r < kNumStallReasons; ++r) {
+            std::string name =
+                stallReasonName(static_cast<StallReason>(r));
+            ASSERT_TRUE(slots["stall"].has(name)) << what << " " << name;
+            stall_sum += slots["stall"][name].number;
+        }
+        EXPECT_EQ(static_cast<uint64_t>(stall_sum),
+                  static_cast<uint64_t>(slots["total"].number))
+            << what;
+        EXPECT_EQ(static_cast<uint64_t>(
+                      slots["stall"]["issued"].number),
+                  stats.totalDynInstrs())
+            << what;
+    }
+}
+
+TEST(StatsJson, MatrixReportJsonParsesWithStallBreakdown)
+{
+    std::vector<harness::ConfigSpec> specs = {
+        harness::makeConfig(harness::PaperConfig::Baseline),
+        harness::makeConfig(harness::PaperConfig::WaspGpu)};
+    std::vector<std::string> apps = {"gpt2", "spmv1_g3"};
+    std::vector<harness::BenchResult> results =
+        harness::runMatrix(specs, apps, 1);
+    std::vector<std::string> config_names;
+    for (const auto &s : specs)
+        config_names.push_back(s.name);
+    harness::MatrixReport report(apps, config_names);
+    for (const auto &r : results)
+        report.add(r);
+    minijson::Value v;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(report.renderJson(), v, &err)) << err;
+    ASSERT_EQ(v["cells"].array.size(), results.size());
+    for (const minijson::Value &cell : v["cells"].array) {
+        EXPECT_TRUE(cell.has("benchmark"));
+        EXPECT_TRUE(cell.has("weightedCycles"));
+        ASSERT_TRUE(cell["stall"].isObject());
+        EXPECT_EQ(cell["stall"].object.size(), kNumStallReasons);
+        EXPECT_GT(cell["stall"]["issued"].number, 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Trace-schema tests (ctest label "trace", wired into tier1): a trace
+ * produced in-process and the committed example trace must both be
+ * valid Chrome-trace JSON — parseable, with metadata, with "X"
+ * duration events well-nested per (pid,tid) track and "b"/"e" async
+ * pairs correctly matched — so a committed trace is guaranteed to load
+ * in chrome://tracing / ui.perfetto.dev.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+#include "workloads/benchmarks.hh"
+
+#include "mini_json.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+/**
+ * Validate one Chrome-trace document. Asserts (via gtest) the schema
+ * contract the exporter promises:
+ *  - top-level {"traceEvents": [...]} object;
+ *  - every event carries ph/pid/tid/ts/name;
+ *  - "X" events carry dur and are well-nested per (pid,tid): sorted by
+ *    start time, each next event either begins at-or-after every open
+ *    span's end, or lies entirely inside the innermost open span;
+ *  - every "e" closes an earlier "b" with the same id and end >= begin
+ *    (unmatched "b" is allowed: a failure-path trace truncates);
+ *  - process/thread metadata is present.
+ */
+void
+validateTrace(const minijson::Value &doc, const std::string &what)
+{
+    ASSERT_TRUE(doc.isObject()) << what;
+    ASSERT_TRUE(doc.has("traceEvents")) << what;
+    const auto &events = doc["traceEvents"].array;
+    ASSERT_FALSE(events.empty()) << what;
+
+    struct Span
+    {
+        uint64_t ts;
+        uint64_t dur;
+    };
+    std::map<std::pair<int, int>, std::vector<Span>> tracks;
+    std::map<uint64_t, uint64_t> open_async; // id -> begin ts
+    std::set<std::string> meta_names;
+    size_t n_complete = 0;
+
+    for (const minijson::Value &e : events) {
+        ASSERT_TRUE(e.isObject()) << what;
+        ASSERT_TRUE(e.has("ph")) << what;
+        std::string ph = e["ph"].str;
+        ASSERT_TRUE(e.has("pid")) << what;
+        ASSERT_TRUE(e.has("name")) << what;
+        if (ph == "M") {
+            meta_names.insert(e["name"].str);
+            continue;
+        }
+        ASSERT_TRUE(e.has("tid")) << what;
+        ASSERT_TRUE(e.has("ts")) << what;
+        int pid = static_cast<int>(e["pid"].number);
+        int tid = static_cast<int>(e["tid"].number);
+        uint64_t ts = static_cast<uint64_t>(e["ts"].number);
+        if (ph == "X") {
+            ASSERT_TRUE(e.has("dur")) << what;
+            tracks[{pid, tid}].push_back(
+                {ts, static_cast<uint64_t>(e["dur"].number)});
+            ++n_complete;
+        } else if (ph == "b") {
+            ASSERT_TRUE(e.has("id")) << what;
+            open_async[static_cast<uint64_t>(e["id"].number)] = ts;
+        } else if (ph == "e") {
+            ASSERT_TRUE(e.has("id")) << what;
+            uint64_t id = static_cast<uint64_t>(e["id"].number);
+            auto it = open_async.find(id);
+            ASSERT_NE(it, open_async.end())
+                << what << ": 'e' with no matching 'b', id " << id;
+            EXPECT_GE(ts, it->second)
+                << what << ": async span ends before it begins";
+            open_async.erase(it);
+        } else if (ph == "i" || ph == "C") {
+            // Point events and counters need no pairing checks.
+        } else {
+            ADD_FAILURE() << what << ": unexpected phase '" << ph << "'";
+        }
+    }
+    EXPECT_GT(n_complete, 0u) << what;
+    EXPECT_TRUE(meta_names.count("process_name")) << what;
+    EXPECT_TRUE(meta_names.count("thread_name")) << what;
+
+    // Well-nesting per track: a stack of open spans; each event must
+    // start after the innermost open span ends (pop it) or lie fully
+    // inside it.
+    for (auto &[key, spans] : tracks) {
+        std::stable_sort(spans.begin(), spans.end(),
+                         [](const Span &a, const Span &b) {
+                             return a.ts < b.ts;
+                         });
+        std::vector<uint64_t> ends;
+        for (const Span &s : spans) {
+            while (!ends.empty() && s.ts >= ends.back())
+                ends.pop_back();
+            if (!ends.empty()) {
+                ASSERT_LE(s.ts + s.dur, ends.back())
+                    << what << ": overlapping X events on track pid "
+                    << key.first << " tid " << key.second << " at ts "
+                    << s.ts;
+            }
+            ends.push_back(s.ts + s.dur);
+        }
+    }
+}
+
+/** Trace one benchmark in-process and return the rendered JSON. */
+std::string
+traceBenchmark(const std::string &app, harness::PaperConfig which)
+{
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    TraceSink sink;
+    uint64_t base = 0;
+    const workloads::BenchmarkDef &bench = workloads::benchmark(app);
+    for (const workloads::KernelMix &mix : bench.kernels) {
+        // Untraced pass settles the per-kernel compile decision (it may
+        // simulate twice); the traced rerun executes exactly once.
+        mem::GlobalMemory warm_gmem;
+        workloads::BuiltKernel warm_k = mix.build(warm_gmem);
+        harness::KernelResult kr =
+            harness::runKernel(spec, warm_k, warm_gmem);
+        EXPECT_TRUE(kr.verified) << app << "/" << mix.label;
+        sim::GpuConfig gpu = spec.gpu;
+        if (warm_k.isGemm && spec.gemmIdealMapping)
+            gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+        gpu.trace = &sink;
+        sink.setTimeBase(base);
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        sim::RunStats stats = sim::runProgram(gpu, gmem, kr.compiled,
+                                              k.grid, k.params);
+        base += stats.cycles + 1000;
+    }
+    EXPECT_GT(sink.eventCount(), 0u);
+    return sink.render();
+}
+
+} // namespace
+
+TEST(TraceSchema, InProcessWaspTraceIsValid)
+{
+    std::string text =
+        traceBenchmark("spmv1_g3", harness::PaperConfig::WaspGpu);
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(text, doc, &err)) << err;
+    validateTrace(doc, "spmv1_g3/wasp_gpu");
+}
+
+TEST(TraceSchema, InProcessBaselineTraceIsValid)
+{
+    // Baseline exercises the non-RFQ queue backend and never fires the
+    // TMA tracks: a different event mix through the same schema.
+    std::string text =
+        traceBenchmark("gpt2", harness::PaperConfig::Baseline);
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(text, doc, &err)) << err;
+    validateTrace(doc, "gpt2/baseline");
+}
+
+TEST(TraceSchema, MultiKernelTimeBaseLaysKernelsEndToEnd)
+{
+    // gpt2 has several kernels; with setTimeBase between them no event
+    // of kernel n+1 may start before kernel n's region.
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    TraceSink sink;
+    uint64_t base = 0;
+    std::vector<uint64_t> bases;
+    const workloads::BenchmarkDef &bench = workloads::benchmark("gpt2");
+    for (const workloads::KernelMix &mix : bench.kernels) {
+        bases.push_back(base);
+        mem::GlobalMemory warm_gmem;
+        workloads::BuiltKernel warm_k = mix.build(warm_gmem);
+        harness::KernelResult kr =
+            harness::runKernel(spec, warm_k, warm_gmem);
+        sim::GpuConfig gpu = spec.gpu;
+        if (warm_k.isGemm && spec.gemmIdealMapping)
+            gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+        gpu.trace = &sink;
+        sink.setTimeBase(base);
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        sim::RunStats stats = sim::runProgram(gpu, gmem, kr.compiled,
+                                              k.grid, k.params);
+        base += stats.cycles + 1000;
+    }
+    ASSERT_GT(bases.size(), 1u);
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(sink.render(), doc, &err)) << err;
+    uint64_t max_ts = 0;
+    for (const minijson::Value &e : doc["traceEvents"].array)
+        if (e.has("ts"))
+            max_ts = std::max(max_ts,
+                              static_cast<uint64_t>(e["ts"].number));
+    EXPECT_GE(max_ts, bases.back())
+        << "no event landed in the last kernel's region";
+}
+
+TEST(TraceSchema, CommittedExampleTraceIsValid)
+{
+    // The repo ships examples/spmv1_g3_trace.json as the documented
+    // chrome://tracing demo; this keeps it loadable as code evolves.
+    std::ifstream in(WASP_TRACE_EXAMPLE);
+    ASSERT_TRUE(in) << "cannot open " << WASP_TRACE_EXAMPLE;
+    std::ostringstream os;
+    os << in.rdbuf();
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(os.str(), doc, &err)) << err;
+    validateTrace(doc, "committed example");
+    EXPECT_TRUE(doc.has("displayTimeUnit"));
+}
+
+TEST(TraceSchema, SinkPairsAsyncSpansAndDropsUnmatchedEnds)
+{
+    TraceSink sink;
+    sink.processName(0, "chip");
+    sink.threadName(0, 1, "track");
+    sink.complete(0, 1, "outer", "test", 0, 8);
+    uint64_t id = sink.asyncBegin(0, 1, "span", "test", 10);
+    sink.asyncEnd(id, 20);
+    sink.asyncEnd(id, 30);      // double-close: dropped
+    sink.asyncEnd(12345, 40);   // never opened: dropped
+    EXPECT_EQ(sink.eventCount(), 3u);
+    minijson::Value doc;
+    ASSERT_TRUE(minijson::parse(sink.render(), doc, nullptr));
+    validateTrace(doc, "async pairing");
+}

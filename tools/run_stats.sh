@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Stall-breakdown baseline for the full Table II suite.
+#
+# Wraps `wasp-cli matrix --json-out` over every benchmark under the
+# baseline and wasp_gpu configurations, stamps the git sha and host,
+# and writes BENCH_stall_breakdown.json at the repo root. The stall
+# field of each cell is the weighted per-benchmark issue-slot
+# accounting (one bucket per StallReason, sim/stall.hh); tracked in
+# git, it turns accidental shifts in where cycles go into reviewable
+# diffs, the same way BENCH_sim_throughput.json tracks simulator
+# wall-clock throughput.
+#
+# Usage: tools/run_stats.sh [output.json]
+# Env:   BUILD_DIR (default: build), JOBS (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+OUT=${1:-BENCH_stall_breakdown.json}
+CLI="$BUILD_DIR/tools/wasp-cli"
+[ -x "$CLI" ] || { echo "error: $CLI not built" >&2; exit 1; }
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+HOST="$(uname -srm), $(nproc) cpu"
+
+RAW=/tmp/stall_matrix.$$.json
+trap 'rm -f "$RAW"' EXIT
+
+"$CLI" matrix --configs baseline,wasp_gpu -j "$JOBS" \
+    --json-out="$RAW" > /dev/null
+
+python3 - "$RAW" "$OUT" "$SHA" "$HOST" <<'EOF'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+out = {
+    "bench": "stall_breakdown",
+    "unit": "weighted_issue_slots",
+    "git_sha": sys.argv[3],
+    "host": sys.argv[4],
+    "results": raw["cells"],
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(out, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT" >&2

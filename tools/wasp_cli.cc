@@ -20,7 +20,7 @@
  *       error-severity check fails.
  *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
- *             [--on-fault={abort,skip,retry}]
+ *             [--on-fault={abort,skip,retry}] [--json-out=FILE]
  *       Run the Table II benchmark × paper-config matrix on N worker
  *       threads (default: hardware concurrency) and print speedups
  *       against the first config plus raw cycles. Output is
@@ -30,6 +30,25 @@
  *       --on-fault (default skip): the rest of the matrix completes,
  *       the failed cell is reported with its pipeline dump, and the
  *       exit code is 3.
+ *
+ *   wasp-cli stats <benchmark> [--config NAME] [--json] [--timeline]
+ *             [-o FILE]
+ *       Run every kernel of a Table II benchmark under one paper
+ *       config and print its cycle accounting: the issue-slot stall
+ *       breakdown (every StallReason bucket, with shares), per-stage
+ *       issue counts, memory-system counters, and the occupancy
+ *       distributions. --json emits the canonical RunStats schema
+ *       (sim/stats_io.hh) per kernel instead of tables; --timeline
+ *       adds the utilization timeline to the text output (always
+ *       present in JSON). -o writes to a file instead of stdout.
+ *
+ *   wasp-cli trace <benchmark> [--config NAME] [-o FILE]
+ *       Re-run the benchmark with the event trace sink attached and
+ *       write a Chrome-trace/Perfetto JSON file (default trace.json;
+ *       open in chrome://tracing or ui.perfetto.dev). Kernels of the
+ *       benchmark are laid end-to-end on one timeline. The traced run
+ *       executes exactly the program the matrix would run: compile
+ *       decisions are settled in an untraced pass first.
  *
  *   wasp-cli perf [--apps a,b,..] [--configs c1,c2,..] [--reps N]
  *             [--full-size] [--sha S] [--host H] [--out FILE]
@@ -58,8 +77,10 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "compiler/verify.hh"
 #include "compiler/waspc.hh"
 #include "harness/report.hh"
@@ -67,6 +88,7 @@
 #include "isa/program.hh"
 #include "mem/global_memory.hh"
 #include "sim/gpu.hh"
+#include "sim/stats_io.hh"
 #include "workloads/benchmarks.hh"
 
 using namespace wasp;
@@ -96,9 +118,14 @@ usage()
                  "       wasp-cli roundtrip <kernel.wsass>\n"
                  "       wasp-cli lint <kernel.wsass> [--compile] "
                  "[--tile-only] [--no-tma]\n"
+                 "       wasp-cli stats <benchmark> [--config NAME] "
+                 "[--json] [--timeline] [-o FILE]\n"
+                 "       wasp-cli trace <benchmark> [--config NAME] "
+                 "[-o FILE]\n"
                  "       wasp-cli matrix [--apps a,b,..] "
                  "[--configs c1,c2,..] [-j N]\n"
-                 "                [--on-fault={abort,skip,retry}]\n"
+                 "                [--on-fault={abort,skip,retry}] "
+                 "[--json-out=FILE]\n"
                  "       wasp-cli perf [--apps a,b,..] "
                  "[--configs c1,c2,..] [--reps N]\n"
                  "                [--full-size] [--sha S] [--host H] "
@@ -162,9 +189,14 @@ cmdMatrix(const std::vector<std::string> &args)
     std::vector<std::string> apps;
     int jobs = 0;
     harness::FaultPolicy on_fault = harness::FaultPolicy::Skip;
+    std::string json_out;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg.rfind("--on-fault=", 0) == 0) {
+        if (arg.rfind("--json-out=", 0) == 0) {
+            json_out = arg.substr(std::strlen("--json-out="));
+            if (json_out.empty())
+                return usage();
+        } else if (arg.rfind("--on-fault=", 0) == 0) {
             std::string policy = arg.substr(std::strlen("--on-fault="));
             if (policy == "abort")
                 on_fault = harness::FaultPolicy::Abort;
@@ -232,6 +264,13 @@ cmdMatrix(const std::vector<std::string> &args)
     if (failed > 0) {
         std::printf("\n=== failed cells (%d) ===\n%s", failed,
                     report.renderFailures().c_str());
+    }
+    if (!json_out.empty()) {
+        std::ofstream out(json_out);
+        if (!out)
+            fatal("cannot write '%s'", json_out.c_str());
+        out << report.renderJson() << "\n";
+        std::fprintf(stderr, "matrix: wrote %s\n", json_out.c_str());
     }
     bool all_verified = true;
     for (const auto &r : results)
@@ -413,6 +452,200 @@ cmdPerf(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Write to `path`, or to stdout when `path` is empty. */
+void
+writeOut(const std::string &path, const std::string &content,
+         const char *what)
+{
+    if (path.empty()) {
+        std::printf("%s", content.c_str());
+        return;
+    }
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << content;
+    std::fprintf(stderr, "%s: wrote %s\n", what, path.c_str());
+}
+
+int
+cmdStats(const std::string &bench_name,
+         const std::vector<std::string> &args)
+{
+    harness::PaperConfig which = harness::PaperConfig::WaspGpu;
+    bool json = false;
+    bool timeline = false;
+    std::string out_path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--config" && i + 1 < args.size()) {
+            if (!parseConfig(args[++i], &which))
+                fatal("unknown config '%s'", args[i].c_str());
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--timeline") {
+            timeline = true;
+        } else if (arg == "-o" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    const workloads::BenchmarkDef &bench =
+        workloads::benchmark(bench_name);
+
+    struct KernelStats
+    {
+        std::string label;
+        double weight;
+        sim::RunStats stats;
+    };
+    std::vector<KernelStats> kernels;
+    for (const auto &mix : bench.kernels) {
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        harness::KernelResult kr = harness::runKernel(spec, k, gmem);
+        kernels.push_back({mix.label, mix.weight, std::move(kr.stats)});
+    }
+
+    if (json) {
+        JsonWriter w;
+        w.beginObject()
+            .key("benchmark").value(bench.name)
+            .key("config").value(spec.name)
+            .key("kernels").beginArray();
+        for (const auto &ks : kernels) {
+            w.beginObject()
+                .key("label").value(ks.label)
+                .key("weight").value(ks.weight)
+                .key("stats");
+            sim::writeRunStats(w, ks.stats);
+            w.endObject();
+        }
+        w.endArray().endObject();
+        writeOut(out_path, w.str() + "\n", "stats");
+        return 0;
+    }
+
+    std::ostringstream os;
+    os << "benchmark " << bench.name << "  config " << spec.name << "\n";
+    for (const auto &ks : kernels) {
+        const sim::RunStats &s = ks.stats;
+        os << "\nkernel " << ks.label << "  (weight "
+           << harness::fmtDouble(ks.weight, 2) << ")\n";
+        os << "  cycles            " << s.cycles << "\n";
+        os << "  outcome           " << sim::outcomeName(s.outcome)
+           << "\n";
+        os << "  dyn instructions  " << s.totalDynInstrs() << "\n";
+        uint64_t slots = s.issueSlotTotal();
+        os << "  issue slots       " << slots << "\n";
+        for (size_t r = 0; r < sim::kNumStallReasons; ++r) {
+            if (s.stallCycles[r] == 0)
+                continue;
+            double share =
+                slots > 0 ? static_cast<double>(s.stallCycles[r]) /
+                                static_cast<double>(slots)
+                          : 0.0;
+            char line[128];
+            std::snprintf(line, sizeof(line), "    %-18s %12llu  %5.1f%%\n",
+                          sim::stallReasonName(
+                              static_cast<sim::StallReason>(r)),
+                          static_cast<unsigned long long>(
+                              s.stallCycles[r]),
+                          share * 100.0);
+            os << line;
+        }
+        os << "  stage issues     ";
+        for (uint64_t v : s.stageIssues)
+            os << " " << v;
+        os << "\n";
+        os << "  L1 hit rate       "
+           << harness::fmtPercent(s.l1HitRate(), 1) << "\n";
+        os << "  L2 utilization    "
+           << harness::fmtPercent(s.l2Utilization(), 1) << "\n";
+        os << "  DRAM utilization  "
+           << harness::fmtPercent(s.dramUtilization(), 1) << "\n";
+        for (const auto &[name, d] : s.detail.dists()) {
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "  %-24s n=%llu mean=%.2f min=%llu max=%llu\n",
+                          name.c_str(),
+                          static_cast<unsigned long long>(d.count()),
+                          d.mean(),
+                          static_cast<unsigned long long>(d.min()),
+                          static_cast<unsigned long long>(d.max()));
+            os << line;
+        }
+        if (timeline && !s.timeline.empty()) {
+            os << "  timeline (cycle tensorUtil l2Util)\n";
+            for (const auto &sample : s.timeline) {
+                char line[96];
+                std::snprintf(line, sizeof(line),
+                              "    %10llu  %5.3f  %5.3f\n",
+                              static_cast<unsigned long long>(
+                                  sample.cycle),
+                              sample.tensorUtil, sample.l2Util);
+                os << line;
+            }
+        }
+    }
+    writeOut(out_path, os.str(), "stats");
+    return 0;
+}
+
+int
+cmdTrace(const std::string &bench_name,
+         const std::vector<std::string> &args)
+{
+    harness::PaperConfig which = harness::PaperConfig::WaspGpu;
+    std::string out_path = "trace.json";
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--config" && i + 1 < args.size()) {
+            if (!parseConfig(args[++i], &which))
+                fatal("unknown config '%s'", args[i].c_str());
+        } else if (arg == "-o" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    const workloads::BenchmarkDef &bench =
+        workloads::benchmark(bench_name);
+
+    TraceSink sink;
+    uint64_t base = 0;
+    for (const auto &mix : bench.kernels) {
+        // Untraced pass: settles the per-kernel compile decision (and
+        // verifies output) so the traced run executes exactly the
+        // program the matrix would run.
+        mem::GlobalMemory warm_gmem;
+        workloads::BuiltKernel warm_k = mix.build(warm_gmem);
+        harness::KernelResult kr =
+            harness::runKernel(spec, warm_k, warm_gmem);
+
+        sim::GpuConfig gpu = spec.gpu;
+        if (warm_k.isGemm && spec.gemmIdealMapping)
+            gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+        gpu.trace = &sink;
+        sink.setTimeBase(base);
+        sink.instant(0, 0, "kernel:" + mix.label, "kernel", 0);
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        sim::RunStats stats = sim::runProgram(gpu, gmem, kr.compiled,
+                                              k.grid, k.params);
+        // Gap between kernels keeps their tracks visually separate.
+        base += stats.cycles + 1000;
+    }
+    writeOut(out_path, sink.render() + "\n", "trace");
+    std::fprintf(stderr, "trace: %llu events from %zu kernel(s)\n",
+                 static_cast<unsigned long long>(sink.eventCount()),
+                 bench.kernels.size());
+    return 0;
+}
+
 int
 cmdCompile(const std::string &path, bool tile_only, bool no_tma)
 {
@@ -531,6 +764,14 @@ dispatch(int argc, char **argv)
     if (argc < 3)
         return usage();
     std::string path = argv[2];
+    if (cmd == "stats") {
+        std::vector<std::string> args(argv + 3, argv + argc);
+        return cmdStats(path, args);
+    }
+    if (cmd == "trace") {
+        std::vector<std::string> args(argv + 3, argv + argc);
+        return cmdTrace(path, args);
+    }
     if (cmd == "roundtrip") {
         isa::Program prog = isa::assemble(readFile(path));
         std::printf("%s", isa::disassemble(prog).c_str());
