@@ -104,4 +104,68 @@ parallelFor(int jobs, size_t n, const std::function<void(size_t)> &fn)
     pool.wait();
 }
 
+TickGang::TickGang(int parties)
+{
+    int workers = std::max(parties, 1) - 1;
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int p = 0; p < workers; ++p)
+        workers_.emplace_back([this, p] { workerLoop(p + 1); });
+}
+
+TickGang::~TickGang()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+TickGang::run(const std::function<void(int)> &fn)
+{
+    if (workers_.empty()) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        remaining_ = static_cast<int>(workers_.size());
+        ++generation_;
+    }
+    start_cv_.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    fn_ = nullptr;
+}
+
+void
+TickGang::workerLoop(int party)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(int)> *fn;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            start_cv_.wait(lock, [this, seen] {
+                return stopping_ || generation_ != seen;
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+            fn = fn_;
+        }
+        (*fn)(party);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --remaining_;
+        }
+        done_cv_.notify_one();
+    }
+}
+
 } // namespace wasp

@@ -69,6 +69,51 @@ class ThreadPool
  */
 void parallelFor(int jobs, size_t n, const std::function<void(size_t)> &fn);
 
+/**
+ * A persistent worker gang for the simulator's intra-run parallel SM
+ * phase: run(fn) executes fn(0) on the calling thread and fn(1 ..
+ * parties-1) on resident worker threads, then barriers until every
+ * party returns. Unlike ThreadPool::submit there is no task queue and
+ * no per-call allocation — one mutex round-trip per epoch — so it is
+ * cheap enough to invoke once per simulated machine cycle.
+ *
+ * Contract: fn must not throw (the caller is expected to capture
+ * exceptions into per-party slots itself, so it can rethrow them in a
+ * deterministic order after the barrier). Memory ordering: everything
+ * written by any party before returning from fn happens-before run()
+ * returning on the caller (the barrier is a full synchronization
+ * point), so the serial code after the epoch may freely read state the
+ * workers produced.
+ */
+class TickGang
+{
+  public:
+    /** parties >= 1; spawns parties - 1 resident workers. */
+    explicit TickGang(int parties);
+    /** Barriers on any in-flight epoch, then joins the workers. */
+    ~TickGang();
+
+    TickGang(const TickGang &) = delete;
+    TickGang &operator=(const TickGang &) = delete;
+
+    int parties() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /** Run one epoch: fn(party) for party in [0, parties). */
+    void run(const std::function<void(int)> &fn);
+
+  private:
+    void workerLoop(int party);
+
+    std::mutex mu_;
+    std::condition_variable start_cv_; ///< a new epoch began
+    std::condition_variable done_cv_;  ///< a worker finished its epoch
+    uint64_t generation_ = 0;          ///< epoch counter, guarded by mu_
+    int remaining_ = 0;                ///< workers still in this epoch
+    const std::function<void(int)> *fn_ = nullptr;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
 } // namespace wasp
 
 #endif // WASP_COMMON_THREAD_POOL_HH

@@ -47,9 +47,32 @@ TmaEngine::coalesce(const LaneData &addrs, uint32_t lane_mask)
 }
 
 void
+TmaEngine::syncRotation(uint64_t through)
+{
+    // One rotation per elapsed cycle, at the descriptor count current
+    // for those cycles. Callers invoke this before changing
+    // active_.size(), so the count cannot have drifted since
+    // last_tick_ even if this SM slept through the span: submits only
+    // happen inside an SM tick, and a sector response (the serial
+    // phase can retire a descriptor while the SM sleeps) syncs first.
+    if (through <= last_tick_)
+        return;
+    if (!active_.empty()) {
+        uint64_t elapsed = through - last_tick_;
+        rr_start_ = (rr_start_ + elapsed % active_.size()) % active_.size();
+    }
+    last_tick_ = through;
+}
+
+void
 TmaEngine::submit(const TmaDescriptor &desc, uint64_t now)
 {
     wasp_check(canSubmit(), "TMA submit with no free descriptor slot");
+    // Rotations through the previous cycle happened with the old
+    // count; under the reference clock this cycle's own rotation runs
+    // after the SM-phase submit (at the end of tick()).
+    if (now > 0)
+        syncRotation(now - 1);
     ActiveDesc d;
     d.desc = desc;
     d.id = next_desc_id_++;
@@ -72,14 +95,10 @@ void
 TmaEngine::tick(uint64_t now)
 {
     const size_t n = active_.size();
-    // Catch up the round-robin pointer over skipped cycles: the
-    // reference clock rotates it once per cycle whenever descriptors
-    // are active, and the descriptor count cannot change while the
-    // machine is quiescent, so the rotation is elapsed mod n.
-    if (n > 0 && now > last_tick_ + 1) {
-        uint64_t skipped = now - last_tick_ - 1;
-        rr_start_ = (rr_start_ + skipped % n) % n;
-    }
+    // Catch up the round-robin pointer over skipped cycles; this
+    // cycle's own rotation happens below, after stepping.
+    if (now > 0)
+        syncRotation(now - 1);
     last_tick_ = now;
     int budget = config_.tmaSectorsPerCycle;
     // Round-robin across descriptors so stalled ones (e.g. waiting on
@@ -295,6 +314,12 @@ TmaEngine::nextEventCycle(uint64_t now)
 void
 TmaEngine::sectorResponse(uint32_t txn, uint64_t now)
 {
+    // Responses arrive in the GPU's serial phase, after the SM phase:
+    // under the reference clock this cycle's rotation has already run,
+    // so rotate through `now` before this response can retire a
+    // descriptor and change the count. (No-op when this SM ticked this
+    // cycle; only matters when the skipping clock let it sleep.)
+    syncRotation(now);
     auto it = txn_map_.find(txn);
     wasp_check(it != txn_map_.end(), "unknown TMA txn %u", txn);
     auto [desc_id, entry_key] = it->second;

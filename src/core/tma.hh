@@ -143,6 +143,14 @@ class TmaEngine : public sim::ClockedComponent
 
     void stepDesc(ActiveDesc &d, int &budget);
     void finishIfDone(ActiveDesc &d, uint64_t now);
+    /**
+     * Apply the once-per-cycle round-robin rotation for every cycle in
+     * (last_tick_, through]. The reference clock rotates each cycle
+     * with the descriptor count current at that cycle, so this must
+     * run BEFORE any event that changes active_.size() — see tick(),
+     * submit(), and sectorResponse().
+     */
+    void syncRotation(uint64_t through);
     /** Would stepDesc(d) change state next cycle? Mirror of stepDesc. */
     bool descActive(const ActiveDesc &d);
 

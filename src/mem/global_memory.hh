@@ -2,21 +2,42 @@
  * @file
  * Functional global memory: a paged, sparsely allocated 32-bit address
  * space plus a bump allocator used by workloads to place their arrays.
+ *
+ * The page table is a two-level array of atomic pointers (lock-free
+ * CAS-install on first touch) rather than a hash map, so concurrent
+ * accesses to *distinct* words from different SM worker threads during
+ * the parallel SM phase are race-free even when they fault in pages.
+ * Same-word cross-SM accesses in the same cycle are a model violation
+ * (they would make the serial SM order observable); the opt-in access
+ * auditor below is the guardrail that detects them.
  */
 
 #ifndef WASP_MEM_GLOBAL_MEMORY_HH
 #define WASP_MEM_GLOBAL_MEMORY_HH
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <cstring>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 namespace wasp::mem
 {
+
+/**
+ * Observation hook for every functional global-memory access. Attached
+ * by the GPU when GpuConfig::gmemAudit is set (null otherwise — the
+ * common path pays one predicted-not-taken branch). Implementations
+ * must be thread-safe: onAccess is called from SM worker threads
+ * during the parallel phase.
+ */
+class GmemAccessAuditor
+{
+  public:
+    virtual ~GmemAccessAuditor() = default;
+    virtual void onAccess(uint32_t addr, bool write) = 0;
+};
 
 /** Byte-addressable functional memory with 4 KiB pages. */
 class GlobalMemory
@@ -24,9 +45,17 @@ class GlobalMemory
   public:
     static constexpr uint32_t kPageBytes = 4096;
 
+    GlobalMemory() = default;
+    ~GlobalMemory() { releasePages(); }
+
+    GlobalMemory(const GlobalMemory &) = delete;
+    GlobalMemory &operator=(const GlobalMemory &) = delete;
+
     uint32_t
     read32(uint32_t addr) const
     {
+        if (auditor_)
+            auditor_->onAccess(addr, false);
         const Page *page = findPage(addr);
         if (!page)
             return 0;
@@ -38,6 +67,8 @@ class GlobalMemory
     void
     write32(uint32_t addr, uint32_t value)
     {
+        if (auditor_)
+            auditor_->onAccess(addr, true);
         Page &page = touchPage(addr);
         std::memcpy(page.data() + (addr & (kPageBytes - 1)), &value, 4);
     }
@@ -81,33 +112,90 @@ class GlobalMemory
     void
     reset()
     {
-        pages_.clear();
+        releasePages();
         next_ = 256;
     }
+
+    /** Attach/detach the access auditor (nullptr disables auditing). */
+    void setAuditor(GmemAccessAuditor *auditor) { auditor_ = auditor; }
 
   private:
     using Page = std::array<uint8_t, kPageBytes>;
 
+    // 2^32 / kPageBytes = 2^20 pages, split 2^10 x 2^10 so an empty
+    // memory costs one 8 KiB directory instead of an 8 MiB flat table.
+    static constexpr uint32_t kDirBits = 10;
+    static constexpr uint32_t kDirSize = 1u << kDirBits;
+
+    struct Dir
+    {
+        std::array<std::atomic<Page *>, kDirSize> slots{};
+    };
+
     const Page *
     findPage(uint32_t addr) const
     {
-        auto it = pages_.find(addr / kPageBytes);
-        return it == pages_.end() ? nullptr : it->second.get();
+        uint32_t page = addr / kPageBytes;
+        const Dir *dir =
+            dirs_[page >> kDirBits].load(std::memory_order_acquire);
+        if (!dir)
+            return nullptr;
+        return dir->slots[page & (kDirSize - 1)].load(
+            std::memory_order_acquire);
     }
 
     Page &
     touchPage(uint32_t addr)
     {
-        auto &slot = pages_[addr / kPageBytes];
-        if (!slot) {
-            slot = std::make_unique<Page>();
-            slot->fill(0);
-        }
-        return *slot;
+        uint32_t page = addr / kPageBytes;
+        std::atomic<Dir *> &dslot = dirs_[page >> kDirBits];
+        Dir *dir = dslot.load(std::memory_order_acquire);
+        if (!dir)
+            dir = installNew(dslot);
+        std::atomic<Page *> &pslot = dir->slots[page & (kDirSize - 1)];
+        Page *p = pslot.load(std::memory_order_acquire);
+        if (!p)
+            p = installNew(pslot);
+        return *p;
     }
 
-    std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    /**
+     * CAS-install a freshly allocated zeroed node; on a lost race the
+     * loser frees its node and adopts the winner's, so concurrent
+     * first-touch of the same page from two SM threads is safe.
+     */
+    template <typename T>
+    static T *
+    installNew(std::atomic<T *> &slot)
+    {
+        T *fresh = new T();
+        T *expected = nullptr;
+        if (slot.compare_exchange_strong(expected, fresh,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            return fresh;
+        }
+        delete fresh;
+        return expected;
+    }
+
+    void
+    releasePages()
+    {
+        for (auto &dslot : dirs_) {
+            Dir *dir = dslot.load(std::memory_order_relaxed);
+            if (!dir)
+                continue;
+            for (auto &pslot : dir->slots)
+                delete pslot.load(std::memory_order_relaxed);
+            delete dir;
+            dslot.store(nullptr, std::memory_order_relaxed);
+        }
+    }
+
+    std::array<std::atomic<Dir *>, kDirSize> dirs_{};
     uint32_t next_ = 256; ///< keep address 0 unmapped
+    GmemAccessAuditor *auditor_ = nullptr; ///< non-owning, may be null
 };
 
 } // namespace wasp::mem

@@ -14,6 +14,7 @@ L2Cache::L2Cache(const L2Params &params, Dram &dram)
     banks_.reserve(static_cast<size_t>(params_.banks));
     for (int b = 0; b < params_.banks; ++b)
         banks_.emplace_back(params_);
+    ports_.resize(static_cast<size_t>(std::max(params_.ingressPorts, 1)));
 }
 
 void
@@ -27,16 +28,43 @@ L2Cache::setTrace(wasp::TraceSink *trace)
 bool
 L2Cache::inject(const MemReq &req)
 {
-    Bank &bank = banks_[static_cast<size_t>(bankOf(req.addr))];
-    if (static_cast<int>(bank.in.size()) >= params_.bankQueueDepth)
+    // During the parallel SM phase each SM only ever reaches its own
+    // port, so both the admission test and the push are SM-local; the
+    // cross-SM exchange happens inside tick(), which the GPU calls
+    // from the serial phase of the epoch.
+    size_t port = req.sm;
+    if (port >= ports_.size())
+        ports_.resize(port + 1); // direct (single-threaded) users only
+    std::deque<MemReq> &in = ports_[port];
+    if (static_cast<int>(in.size()) >= params_.ingressDepth)
         return false;
-    bank.in.push_back(req);
+    in.push_back(req);
     return true;
+}
+
+void
+L2Cache::exchangeIngress()
+{
+    // SM-index order is the deterministic exchange invariant: the bank
+    // queues see the same request order no matter which worker thread
+    // ran which SM. A full target bank head-of-line-blocks its port
+    // (stopping at the front preserves the port's FIFO order).
+    for (auto &port : ports_) {
+        while (!port.empty()) {
+            Bank &bank =
+                banks_[static_cast<size_t>(bankOf(port.front().addr))];
+            if (static_cast<int>(bank.in.size()) >= params_.bankQueueDepth)
+                break;
+            bank.in.push_back(port.front());
+            port.pop_front();
+        }
+    }
 }
 
 void
 L2Cache::tick(uint64_t now)
 {
+    exchangeIngress();
     // Drain DRAM responses: fill the owning bank and wake waiters.
     auto &dram_resp = dram_.responses();
     while (dram_resp.ready(now)) {
@@ -106,6 +134,17 @@ uint64_t
 L2Cache::nextEventCycle(uint64_t now)
 {
     uint64_t next = dram_.responses().nextReadyCycle();
+    // A staged ingress request is next-cycle work regardless of DRAM
+    // state: the exchange moves it into a bank queue (freeing port
+    // capacity an SM inject can observe). Conservative when the target
+    // bank is still full — the probe may visit a cycle where the
+    // exchange moves nothing, which is allowed by the clock contract.
+    for (const auto &port : ports_) {
+        if (!port.empty()) {
+            next = std::min(next, now + 1);
+            break;
+        }
+    }
     if (dram_.canAccept()) {
         // With DRAM accepting, every non-empty bank must tick next
         // cycle: even a head-of-line-blocked read reaches the bank

@@ -28,6 +28,15 @@ struct L2Params
     int mshrsPerBank = 64;
     int hitLatency = 90;
     int bankQueueDepth = 16;
+    /**
+     * Per-SM ingress staging ports (the epoch exchange buffer). The
+     * GPU sizes this to numSms; direct users can leave it at 1 — the
+     * port vector grows on demand for higher req.sm values (only safe
+     * single-threaded, which direct users are).
+     */
+    int ingressPorts = 1;
+    /** Per-port staging capacity: inject() rejects a full port. */
+    int ingressDepth = 16;
 };
 
 class L2Cache : public sim::ClockedComponent
@@ -38,10 +47,22 @@ class L2Cache : public sim::ClockedComponent
     /** Attach an event sink (nullptr disables tracing). */
     void setTrace(wasp::TraceSink *trace);
 
-    /** Enqueue a request into its bank; false when the queue is full. */
+    /**
+     * Stage a request into its source SM's ingress port; false when
+     * that port is full. Admission depends only on the port's own
+     * occupancy — never on what other SMs injected this cycle — so the
+     * outcome is identical whether SMs tick serially or concurrently
+     * (each SM touches exactly its own port during the parallel
+     * phase). Ports drain into the bank queues at the next tick(), in
+     * SM-index order.
+     */
     bool inject(const MemReq &req);
 
-    /** Serve each bank and drain DRAM responses for one cycle. */
+    /**
+     * One cycle: exchange ingress ports into bank queues (deterministic
+     * SM-index order, head-of-line blocking on a full bank preserves
+     * each port's FIFO), drain DRAM responses, serve each bank.
+     */
     void tick(uint64_t now) override;
 
     /**
@@ -66,7 +87,16 @@ class L2Cache : public sim::ClockedComponent
 
     void clearStats();
 
+    /** Requests staged in SM `sm`'s ingress port (tests/debug). */
+    size_t ingressOccupancy(size_t sm) const
+    {
+        return sm < ports_.size() ? ports_[sm].size() : 0;
+    }
+
   private:
+    /** Drain ingress ports into bank queues in SM-index order. */
+    void exchangeIngress();
+
     int bankOf(uint32_t addr) const
     {
         return static_cast<int>((addr / kSectorBytes) %
@@ -88,6 +118,8 @@ class L2Cache : public sim::ClockedComponent
     L2Params params_;
     Dram &dram_;
     std::vector<Bank> banks_;
+    /** Per-SM ingress staging ports, indexed by MemReq::sm. */
+    std::vector<std::deque<MemReq>> ports_;
     DelayQueue<MemReq> responses_;
     uint64_t bytes_accessed_ = 0;
     wasp::TraceSink *trace_ = nullptr; ///< non-owning, may be null

@@ -128,6 +128,29 @@ struct GpuConfig
     wasp::TraceSink *trace = nullptr;
     uint64_t maxCycles = 80'000'000;
     ClockMode clockMode = ClockMode::CycleSkip;
+    /**
+     * Intra-run SM-level parallelism: tick due SMs on
+     * min(smParallelism, numSms) threads inside every machine cycle,
+     * exchanging memory-system traffic at the epoch barrier in
+     * SM-index order. 1 (the default) ticks serially. RunStats are
+     * bit-identical for every value and for both clock modes (the
+     * sm_parallel equivalence suite enforces this). Traced or
+     * fault-injected runs silently serialize: both share
+     * call-order-dependent sinks (the trace event stream, the
+     * injector's RNG draws) that have no deterministic parallel
+     * order. The WASP_SM_THREADS environment variable (positive
+     * integer) overrides this knob process-wide.
+     */
+    int smParallelism = 1;
+    /**
+     * Attach the cross-SM global-memory conflict auditor
+     * (sim/gmem_audit.hh) for this run: any two SMs touching the same
+     * word in the same cycle with a write involved fail the run with
+     * a SimAbortError naming the address and SMs. The guardrail for
+     * the parallel-SM determinism contract; off by default (auditing
+     * serializes gmem accesses through a mutex).
+     */
+    bool gmemAudit = false;
 
     // -- robustness ----------------------------------------------------------
     /**

@@ -1,0 +1,55 @@
+#include "sim/gmem_audit.hh"
+
+#include "common/log.hh"
+
+namespace wasp::sim
+{
+
+thread_local int GmemConflictAuditor::current_sm_ = -1;
+
+void
+GmemConflictAuditor::onAccess(uint32_t addr, bool write)
+{
+    int sm = current_sm_;
+    if (sm < 0)
+        return; // host/harness access, outside any SM tick
+    std::lock_guard<std::mutex> lock(mu_);
+    Touch &t = last_[addr];
+    if (t.epoch != epoch_) {
+        t = Touch{epoch_, sm, -1, write};
+        return;
+    }
+    bool cross_sm = t.sm != sm;
+    if (cross_sm && t.otherSm < 0)
+        t.otherSm = sm;
+    if ((write || t.wrote) &&
+        (cross_sm || (t.otherSm >= 0 && t.otherSm != sm))) {
+        // The distinct partner: the first toucher unless that is us,
+        // in which case the recorded second SM (e.g. it read the word
+        // between our read and this write).
+        int partner = cross_sm ? t.sm : t.otherSm;
+        if (conflicts_.size() < kMaxConflicts)
+            conflicts_.push_back({addr, epoch_, partner, sm, true});
+    }
+    t.wrote = t.wrote || write;
+}
+
+std::string
+GmemConflictAuditor::report() const
+{
+    std::string out;
+    size_t shown = 0;
+    for (const Conflict &c : conflicts_) {
+        if (shown++ == 8) {
+            out += strprintf("  ... %zu more\n", conflicts_.size() - 8);
+            break;
+        }
+        out += strprintf(
+            "  addr 0x%08x cycle %llu: sm%d then sm%d (%s)\n", c.addr,
+            static_cast<unsigned long long>(c.epoch), c.firstSm,
+            c.secondSm, c.writeInvolved ? "write involved" : "read-read");
+    }
+    return out;
+}
+
+} // namespace wasp::sim

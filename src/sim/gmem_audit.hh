@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-SM global-memory conflict auditor: the debug assertion hook
+ * behind GpuConfig::gmemAudit. The parallel SM phase is only sound if
+ * no two SMs touch the same functional-memory word in the same epoch
+ * (machine cycle) with at least one write — otherwise the serial
+ * SM-index order would be observable and `--sm-threads=N` could not be
+ * bit-identical to serial. This auditor records every access with the
+ * epoch and the SM that made it (a thread-local set around Sm::tick)
+ * and flags same-epoch same-word cross-SM pairs involving a write.
+ *
+ * Reads pair fine with reads: two SMs loading the same word in the
+ * same cycle see the same value under any tick order. Intra-SM
+ * conflicts are also fine — one SM's tick is itself serial.
+ *
+ * The auditor works identically under serial ticking (that is the
+ * point: it proves on a serial run that a workload has no landmine
+ * before anyone runs it in parallel), and is mutex-protected so audited
+ * parallel runs are safe too.
+ */
+
+#ifndef WASP_SIM_GMEM_AUDIT_HH
+#define WASP_SIM_GMEM_AUDIT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/global_memory.hh"
+
+namespace wasp::sim
+{
+
+class GmemConflictAuditor : public mem::GmemAccessAuditor
+{
+  public:
+    struct Conflict
+    {
+        uint32_t addr = 0;   ///< conflicting word address
+        uint64_t epoch = 0;  ///< machine cycle of the collision
+        int firstSm = -1;    ///< SM recorded first in this epoch
+        int secondSm = -1;   ///< SM that collided with it
+        bool writeInvolved = false;
+    };
+
+    /**
+     * Set the SM id all gmem accesses on this thread are attributed
+     * to; -1 (the default) means host/harness code, which the auditor
+     * ignores. Scoped around Sm::tick by GmemSmScope below.
+     */
+    static void setCurrentSm(int sm) { current_sm_ = sm; }
+    static int currentSm() { return current_sm_; }
+
+    /** Start a new epoch (one machine cycle). Serial phase only. */
+    void beginEpoch(uint64_t cycle) { epoch_ = cycle; }
+
+    void onAccess(uint32_t addr, bool write) override;
+
+    bool clean() const { return conflicts_.empty(); }
+    const std::vector<Conflict> &conflicts() const { return conflicts_; }
+    /** Human-readable summary of the first few conflicts. */
+    std::string report() const;
+
+  private:
+    /**
+     * Per-word epoch state. Two distinct SM ids are enough to decide
+     * every conflict: a write by SM w collides iff any other SM
+     * touched the word this epoch, and w can equal at most one of the
+     * two recorded ids — so a distinct partner survives for the
+     * report. (A full reader set is unnecessary: once a write lands,
+     * the conflict is recorded; further reads only repeat it.)
+     */
+    struct Touch
+    {
+        uint64_t epoch = 0;
+        int sm = -1;       ///< first SM to touch the word this epoch
+        int otherSm = -1;  ///< a second distinct SM, -1 if none yet
+        bool wrote = false; ///< any write this epoch (either SM)
+    };
+
+    static constexpr size_t kMaxConflicts = 64; ///< keep reports bounded
+
+    static thread_local int current_sm_;
+
+    std::mutex mu_;
+    uint64_t epoch_ = 0;
+    std::unordered_map<uint32_t, Touch> last_;
+    std::vector<Conflict> conflicts_;
+};
+
+/**
+ * RAII thread-local SM attribution around a tick. Placed at the top of
+ * Sm::tick so every code path reachable from it (issue, TMA gmem
+ * reads, functional stores) is attributed, on whichever thread the
+ * epoch scheduler ran the SM.
+ */
+class GmemSmScope
+{
+  public:
+    explicit GmemSmScope(int sm)
+        : prev_(GmemConflictAuditor::currentSm())
+    {
+        GmemConflictAuditor::setCurrentSm(sm);
+    }
+    ~GmemSmScope() { GmemConflictAuditor::setCurrentSm(prev_); }
+
+    GmemSmScope(const GmemSmScope &) = delete;
+    GmemSmScope &operator=(const GmemSmScope &) = delete;
+
+  private:
+    int prev_;
+};
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_GMEM_AUDIT_HH

@@ -1,6 +1,7 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string_view>
 
@@ -24,6 +25,27 @@ referenceClockForced()
     return forced;
 }
 
+/** WASP_SM_THREADS (positive integer) overrides smParallelism. */
+int
+smThreadsOverride()
+{
+    static const int threads = [] {
+        const char *v = std::getenv("WASP_SM_THREADS");
+        if (v == nullptr || *v == '\0')
+            return 0;
+        int n = std::atoi(v);
+        return n > 0 ? n : 0;
+    }();
+    return threads;
+}
+
+/** Detach the gmem auditor on every exit path out of Gpu::run. */
+struct AuditorGuard
+{
+    mem::GlobalMemory &gmem;
+    ~AuditorGuard() { gmem.setAuditor(nullptr); }
+};
+
 } // namespace
 
 Gpu::Gpu(const GpuConfig &config, mem::GlobalMemory &gmem)
@@ -43,6 +65,9 @@ Gpu::buildMachine()
     l2_params.banks = config_.l2Banks;
     l2_params.mshrsPerBank = config_.l2Mshrs;
     l2_params.hitLatency = config_.l2HitLatency;
+    // One ingress staging port per SM: the epoch exchange buffer that
+    // keeps inject() admission SM-local (see mem/l2.hh).
+    l2_params.ingressPorts = config_.numSms;
     l2_ = std::make_unique<mem::L2Cache>(l2_params, *dram_);
     if (config_.trace)
         config_.trace->processName(0, "chip");
@@ -68,11 +93,24 @@ Gpu::progressCounter() const
     // Any retired instruction, memory byte moved, or TMA sector issued
     // counts as forward progress. All terms are monotone, so a zero
     // delta over a watchdog interval means the machine is wedged.
-    uint64_t progress = stats_.totalDynInstrs() + l2_->bytesAccessed() +
-                        dram_->bytesRead() + dram_->bytesWritten();
-    for (const auto &sm : sms_)
+    // Instruction counts accumulate per SM (issue() runs inside the
+    // parallel phase) and are summed here, in the serial phase.
+    uint64_t progress = l2_->bytesAccessed() + dram_->bytesRead() +
+                        dram_->bytesWritten();
+    for (const auto &sm : sms_) {
+        progress += sm->dynInstrsTotal();
         progress += sm->tmaEngine().sectorsIssued();
+    }
     return progress;
+}
+
+uint64_t
+Gpu::totalTensorIssues() const
+{
+    uint64_t total = 0;
+    for (const auto &sm : sms_)
+        total += sm->tensorIssues();
+    return total;
 }
 
 void
@@ -154,6 +192,8 @@ Gpu::tick(uint64_t now)
         injector_->beginCycle(now);
         dram_->setStalled(injector_->dramStalled(), now);
     }
+    if (auditor_)
+        auditor_->beginEpoch(now);
 
     // Thread block dispatch: hand the next CTAs to SMs with space.
     // A scan round that places nothing disarms the dispatcher; it is
@@ -186,12 +226,23 @@ Gpu::tick(uint64_t now)
     // its tick would be an observational no-op (same invariant that
     // lets the global clock skip cycles, applied per SM). Catch-up of
     // skipped round-robin rotations happens inside Sm::tick.
-    for (size_t s = 0; s < sms_.size(); ++s) {
-        if (lazy_sm_ticks_ && sm_wake_[s] > now)
-            continue;
-        sms_[s]->tick(now);
-        if (!reference_clock_)
-            sm_wake_[s] = sms_[s]->nextEventCycle(now);
+    //
+    // This is the parallel phase of the epoch: SM ticks only touch
+    // SM-local state plus their own L2 ingress port and (disjoint
+    // words of) functional memory, so due SMs may run concurrently;
+    // everything below the phase — the L2 exchange/serve, DRAM,
+    // response routing, dispatch re-arm, timeline — is the serial
+    // phase, ordered identically no matter how the SMs were scheduled.
+    if (parallel_sms_) {
+        tickSmsParallel(now);
+    } else {
+        for (size_t s = 0; s < sms_.size(); ++s) {
+            if (lazy_sm_ticks_ && sm_wake_[s] > now)
+                continue;
+            sms_[s]->tick(now);
+            if (!reference_clock_)
+                sm_wake_[s] = sms_[s]->nextEventCycle(now);
+        }
     }
 
     l2_->tick(now);
@@ -236,8 +287,9 @@ Gpu::tick(uint64_t now)
         double tensor_peak = interval / 4.0 *
                              static_cast<double>(config_.numSms *
                                                  config_.pbsPerSm);
+        uint64_t tensor_issues = totalTensorIssues();
         sample.tensorUtil =
-            static_cast<double>(stats_.tensorIssues - last_tensor_issues_) /
+            static_cast<double>(tensor_issues - last_tensor_issues_) /
             std::max(tensor_peak, 1.0);
         double l2_peak = interval * l2_->peakBytesPerCycle();
         sample.l2Util =
@@ -251,8 +303,52 @@ Gpu::tick(uint64_t now)
                                    sample.l2Util);
         }
         last_sample_cycle_ = now;
-        last_tensor_issues_ = stats_.tensorIssues;
+        last_tensor_issues_ = tensor_issues;
         last_l2_bytes_ = l2_->bytesAccessed();
+    }
+}
+
+void
+Gpu::tickSmsParallel(uint64_t now)
+{
+    due_sms_.clear();
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        if (lazy_sm_ticks_ && sm_wake_[s] > now)
+            continue;
+        due_sms_.push_back(s);
+    }
+    // A one-SM epoch gains nothing from the barrier round-trip.
+    if (due_sms_.size() <= 1) {
+        for (size_t s : due_sms_) {
+            sms_[s]->tick(now);
+            if (!reference_clock_)
+                sm_wake_[s] = sms_[s]->nextEventCycle(now);
+        }
+        return;
+    }
+    const int parties = gang_->parties();
+    std::atomic<bool> failed{false};
+    gang_->run([&](int party) {
+        for (size_t i = static_cast<size_t>(party); i < due_sms_.size();
+             i += static_cast<size_t>(parties)) {
+            size_t s = due_sms_[i];
+            try {
+                sms_[s]->tick(now);
+                if (!reference_clock_)
+                    sm_wake_[s] = sms_[s]->nextEventCycle(now);
+            } catch (...) {
+                sm_errors_[s] = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    });
+    if (failed.load(std::memory_order_relaxed)) {
+        // Rethrow the lowest-index SM's exception: the one serial
+        // ticking would have surfaced first.
+        for (size_t s : due_sms_) {
+            if (sm_errors_[s])
+                std::rethrow_exception(sm_errors_[s]);
+        }
     }
 }
 
@@ -318,6 +414,29 @@ Gpu::run(const Launch &launch)
     // on fault-free runs; injected runs tick every SM every machine
     // tick, exactly like the reference clock.
     lazy_sm_ticks_ = !reference_clock_ && !injector_;
+    // Parallel SM phase: gated off under fault injection (injector RNG
+    // draws are call-order-dependent) and tracing (one shared append
+    // sink) — both would need a serialization the model does not
+    // define. The reference clock *is* allowed to tick in parallel:
+    // the equivalence suite uses exactly that combination as its
+    // strongest oracle.
+    int sm_threads = smThreadsOverride() > 0 ? smThreadsOverride()
+                                             : config_.smParallelism;
+    parallel_sms_ = sm_threads > 1 && config_.numSms > 1 && !injector_ &&
+                    !config_.trace;
+    if (parallel_sms_) {
+        int parties = std::min(sm_threads, config_.numSms);
+        if (!gang_ || gang_->parties() != parties)
+            gang_ = std::make_unique<wasp::TickGang>(parties);
+        sm_errors_.assign(sms_.size(), nullptr);
+        due_sms_.reserve(sms_.size());
+    }
+    // Cross-SM gmem conflict auditing (the determinism guardrail).
+    AuditorGuard audit_guard{gmem_};
+    if (config_.gmemAudit) {
+        auditor_ = std::make_unique<GmemConflictAuditor>();
+        gmem_.setAuditor(auditor_.get());
+    }
 
     uint64_t now = 0;
     uint64_t tick_progress = 0;
@@ -369,6 +488,13 @@ Gpu::run(const Launch &launch)
     }
 
     collectStats(now);
+    if (auditor_ && !auditor_->clean()) {
+        wasp_check(false,
+                   "cross-SM gmem conflict(s) detected — the workload "
+                   "races on global memory within a cycle and is outside "
+                   "the deterministic parallel-SM contract:\n%s",
+                   auditor_->report().c_str());
+    }
     if (std::getenv("WASP_CLOCK_DEBUG")) {
         std::fprintf(stderr,
                      "clock: %llu cycles, %llu ticks, %llu probes, "

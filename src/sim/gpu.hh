@@ -12,12 +12,14 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/thread_pool.hh"
 #include "isa/cfg.hh"
 #include "mem/dram.hh"
 #include "mem/global_memory.hh"
 #include "mem/l2.hh"
 #include "sim/config.hh"
 #include "sim/fault.hh"
+#include "sim/gmem_audit.hh"
 #include "sim/run_stats.hh"
 #include "sim/sm.hh"
 
@@ -91,6 +93,17 @@ class Gpu
     uint64_t progressCounter() const;
     /** Classify + throw a SimError with a captured pipeline dump. */
     [[noreturn]] void raiseStall(uint64_t now, bool zero_progress);
+    /**
+     * The parallel SM phase of one epoch: tick every due SM (and
+     * refresh its wake bound) on the gang's worker threads, strided by
+     * party so the assignment is load-balanced and deterministic.
+     * Exceptions are captured per SM and rethrown after the barrier in
+     * SM-index order — the same SM whose tick would have thrown first
+     * under serial ticking.
+     */
+    void tickSmsParallel(uint64_t now);
+    /** HMMA issues across all SMs (timeline sampling, serial phase). */
+    uint64_t totalTensorIssues() const;
 
     GpuConfig config_;
     mem::GlobalMemory &gmem_;
@@ -107,6 +120,18 @@ class Gpu
      * under the reference clock and under fault injection, where every
      * SM ticks on every machine tick. */
     bool lazy_sm_ticks_ = false;
+    /** Resolved per run: tick due SMs on the gang's worker threads
+     * (config_.smParallelism / WASP_SM_THREADS, gated off under
+     * tracing and fault injection). */
+    bool parallel_sms_ = false;
+    /** Worker gang for the parallel SM phase (null when serial). */
+    std::unique_ptr<wasp::TickGang> gang_;
+    /** Scratch: indices of SMs due to tick this epoch. */
+    std::vector<size_t> due_sms_;
+    /** Per-SM exception slots for the parallel phase. */
+    std::vector<std::exception_ptr> sm_errors_;
+    /** Cross-SM gmem conflict auditor (config_.gmemAudit). */
+    std::unique_ptr<GmemConflictAuditor> auditor_;
     /**
      * Per-SM wake cycle, maintained every machine tick: the SM's
      * nextEventCycle() after its tick, overridden to `now + 1` when a

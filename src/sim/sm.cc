@@ -7,6 +7,7 @@
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "core/warp_mapper.hh"
+#include "sim/gmem_audit.hh"
 
 namespace wasp::sim
 {
@@ -368,6 +369,10 @@ Sm::chargeSmemPort(uint64_t now, int cycles)
 void
 Sm::tick(uint64_t now)
 {
+    // Attribute every gmem access reachable from this tick (issue,
+    // TMA reads, functional stores) to this SM for the conflict
+    // auditor — on whichever thread the epoch scheduler runs us.
+    GmemSmScope gmem_scope(id_);
     // Catch up the LSU dispatch round-robin pointer: the reference
     // clock rotates it unconditionally once per cycle, and the PB
     // count is constant, so skipped cycles advance it by elapsed mod n.
@@ -694,6 +699,9 @@ Sm::finalizeAccounting(uint64_t last)
 void
 Sm::foldStats()
 {
+    for (size_t c = 0; c < dyn_instrs_.size(); ++c)
+        stats_.dynInstrs[c] += dyn_instrs_[c];
+    stats_.tensorIssues += tensor_issues_;
     for (size_t r = 0; r < kNumStallReasons; ++r) {
         uint64_t total = 0;
         for (const Pb &pb : pbs_)

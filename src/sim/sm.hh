@@ -117,6 +117,25 @@ class Sm : public core::TmaHost, public ClockedComponent
      * quiescent SM sleeps through cycles; tick() catches up on wake). */
     uint64_t lastTickCycle() const { return now_; }
 
+    /**
+     * Dynamic instructions issued by this SM so far, all categories.
+     * Issue counts accumulate SM-locally (issue() runs inside the
+     * parallel SM phase, where writing shared RunStats would race) and
+     * are folded into RunStats by foldStats(); the GPU's progress
+     * watchdog and timeline sampler sum these accessors from the
+     * serial phase instead of reading RunStats mid-run.
+     */
+    uint64_t
+    dynInstrsTotal() const
+    {
+        uint64_t total = 0;
+        for (uint64_t v : dyn_instrs_)
+            total += v;
+        return total;
+    }
+    /** HMMA instructions issued by this SM so far (Fig 3 sampling). */
+    uint64_t tensorIssues() const { return tensor_issues_; }
+
     const mem::TimingCache &l1() const { return l1_; }
     mem::TimingCache &l1() { return l1_; }
 
@@ -323,6 +342,11 @@ class Sm : public core::TmaHost, public ClockedComponent
     bool issued_this_tick_ = false;
     /** First cycle not yet covered by issue-slot accounting. */
     uint64_t acct_next_ = 0;
+    /** Dynamic instructions issued on this SM, by category (folded
+     * into RunStats::dynInstrs at end of run). */
+    std::array<uint64_t, 6> dyn_instrs_{};
+    /** HMMA issues on this SM (folded into RunStats::tensorIssues). */
+    uint64_t tensor_issues_ = 0;
     /** Instructions issued per pipeline stage on this SM. */
     std::vector<uint64_t> stage_issues_;
     /** RFQ occupancy sampled at every reserve() on this SM's queues. */

@@ -680,7 +680,7 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
     if (w.issueDebt > 0) {
         --w.issueDebt;
         pb.pipeFreeAt[static_cast<size_t>(isa::Pipe::Alu)] = now + 1;
-        ++stats_.dynInstrs[static_cast<size_t>(InstrCategory::Queue)];
+        ++dyn_instrs_[static_cast<size_t>(InstrCategory::Queue)];
         return;
     }
 
@@ -688,10 +688,10 @@ Sm::issue(int pb_idx, int slot, uint64_t now)
     const isa::Program &prog = *tb.launch->prog;
     const Instruction &inst = prog.instrs[static_cast<size_t>(w.pc())];
     const isa::OpInfo &info = isa::opInfo(inst.op);
-    ++stats_.dynInstrs[static_cast<size_t>(inst.category)];
+    ++dyn_instrs_[static_cast<size_t>(inst.category)];
     pb.pipeFreeAt[static_cast<size_t>(info.pipe)] = now + info.issueCost;
     if (inst.op == Opcode::HMMA)
-        ++stats_.tensorIssues;
+        ++tensor_issues_;
 
     uint32_t active = w.activeMask();
     uint32_t exec = active & guardMask(w, inst);

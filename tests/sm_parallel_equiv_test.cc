@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Full parallel-SM equivalence sweep (slow gate): all 20 benchmarks of
+ * Table II × the four paper configurations, asserting bit-identical
+ * RunStats between serial SM ticking and `--sm-threads={2,4,8}` under
+ * the cycle-skipping clock, plus `--sm-threads=4` under the reference
+ * clock (the oracle: clock_equiv_test proves serial reference ==
+ * serial cycle-skip, so the chain closes over every combination).
+ * One test per configuration keeps each within the ctest timeout; the
+ * quick subset plus fault/watchdog/trace equivalence lives in
+ * sm_parallel_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clock_equiv.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "mem/global_memory.hh"
+#include "sim/config.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+std::vector<std::string>
+allApps()
+{
+    std::vector<std::string> apps;
+    for (const workloads::BenchmarkDef &bench : workloads::suite())
+        apps.push_back(bench.name);
+    EXPECT_EQ(apps.size(), 20u);
+    return apps;
+}
+
+/**
+ * For every kernel of every benchmark: run serial cycle-skip once as
+ * the baseline, then each parallel variant on identically built
+ * inputs, asserting verified output and bit-identical RunStats.
+ */
+void
+sweepSmParallelEquivalence(harness::PaperConfig which)
+{
+    struct Variant
+    {
+        int threads;
+        sim::ClockMode mode;
+    };
+    const std::vector<Variant> kVariants = {
+        {2, sim::ClockMode::CycleSkip},
+        {4, sim::ClockMode::CycleSkip},
+        {8, sim::ClockMode::CycleSkip},
+        {4, sim::ClockMode::Reference},
+    };
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    for (const std::string &app : allApps()) {
+        const workloads::BenchmarkDef &bench =
+            workloads::benchmark(app);
+        for (const workloads::KernelMix &mix : bench.kernels) {
+            std::string what = app + "/" + spec.name + "/" + mix.label;
+            sim::RunStats baseline;
+            {
+                harness::ConfigSpec s = spec;
+                s.gpu.clockMode = sim::ClockMode::CycleSkip;
+                s.gpu.smParallelism = 1;
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                harness::KernelResult kr =
+                    harness::runKernel(s, k, gmem);
+                EXPECT_TRUE(kr.verified) << what;
+                baseline = kr.stats;
+            }
+            for (const Variant &v : kVariants) {
+                harness::ConfigSpec s = spec;
+                s.gpu.clockMode = v.mode;
+                s.gpu.smParallelism = v.threads;
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                harness::KernelResult kr =
+                    harness::runKernel(s, k, gmem);
+                EXPECT_TRUE(kr.verified) << what;
+                clocktest::expectStatsEqual(
+                    baseline, kr.stats,
+                    what + " sm_threads=" +
+                        std::to_string(v.threads) +
+                        (v.mode == sim::ClockMode::Reference
+                             ? " (reference clock)"
+                             : ""));
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(SmParallelEquivSweep, Baseline)
+{
+    sweepSmParallelEquivalence(harness::PaperConfig::Baseline);
+}
+
+TEST(SmParallelEquivSweep, CompilerAll)
+{
+    sweepSmParallelEquivalence(harness::PaperConfig::CompilerAll);
+}
+
+TEST(SmParallelEquivSweep, PlusTma)
+{
+    sweepSmParallelEquivalence(harness::PaperConfig::PlusTma);
+}
+
+TEST(SmParallelEquivSweep, WaspGpu)
+{
+    sweepSmParallelEquivalence(harness::PaperConfig::WaspGpu);
+}

@@ -7,19 +7,24 @@
 #
 #   - full-size (108 SM) on memory-stall-heavy benchmarks, where the
 #     cycle-skipping clock with lazy per-SM ticking should win big
-#     (target >= 2x);
+#     (target >= 2x); this leg also sweeps --sm-threads over
+#     SM_THREADS (default 1,2,4,8) and records the per-thread-count
+#     scaling in each row's "sm_scaling" array — on a multi-core host
+#     the 108-SM machine is where the parallel SM phase pays off;
 #   - standard (4 SM) on compute-bound benchmarks, the worst case for
 #     cycle skipping (nearly every cycle has progress), where the bar
 #     is "no regression".
 #
 # Usage: tools/run_perf.sh [output.json]
-# Env:   BUILD_DIR (default: build), REPS (default: 3)
+# Env:   BUILD_DIR (default: build), REPS (default: 3),
+#        SM_THREADS (default: 1,2,4,8; empty string skips the sweep)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 REPS=${REPS:-3}
+SM_THREADS=${SM_THREADS-1,2,4,8}
 OUT=${1:-BENCH_sim_throughput.json}
 CLI="$BUILD_DIR/tools/wasp-cli"
 [ -x "$CLI" ] || { echo "error: $CLI not built" >&2; exit 1; }
@@ -31,8 +36,12 @@ STALL=/tmp/perf_stall.$$.json
 COMPUTE=/tmp/perf_compute.$$.json
 trap 'rm -f "$STALL" "$COMPUTE"' EXIT
 
+SWEEP=()
+[ -n "$SM_THREADS" ] && SWEEP=(--sm-threads "$SM_THREADS")
+
 "$CLI" perf --apps lonestar_bfs,spmv1_g3,spmv2_web \
     --configs baseline,wasp_gpu --full-size --reps "$REPS" \
+    ${SWEEP[@]+"${SWEEP[@]}"} \
     --sha "$SHA" --host "$HOST" --out "$STALL"
 
 "$CLI" perf --apps gpt2,bert,hpcg,dlrm \

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Build the tree with ThreadSanitizer and run the parallel-SM test
+# label. The `smpar` label covers the epoch/barrier SM-parallelism
+# suite (TickGang, L2 ingress staging, equivalence subsets, the
+# runMatrix composition test) — exactly where a race between SM worker
+# threads inside one simulation would silently corrupt determinism.
+#
+#   ./tools/run_sm_tsan.sh [build-dir] [extra ctest args...]
+#
+# By default runs the quick subset (-LE slow); pass --full as the
+# first extra argument to include the slow full-sweep equivalence test
+# (hours under TSAN on a small host). WASP_SM_THREADS=4 forces the
+# parallel tick path even in tests that would default to serial.
+#
+# Uses a dedicated build directory (default build-tsan) so the regular
+# build stays uninstrumented. Exits with ctest's status, so it can
+# serve as a CI gate.
+set -eu
+
+build_dir="${1:-build-tsan}"
+[ $# -gt 0 ] && shift
+
+label_args="-LE slow"
+if [ "${1:-}" = "--full" ]; then
+    label_args=""
+    shift
+fi
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$build_dir" -S . -DWASP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" \
+    --target sm_parallel_test sm_parallel_equiv_test wasp-cli
+
+cd "$build_dir"
+export WASP_SM_THREADS=4
+# The seeded cross-SM gmem violation fixture is excluded: it exists to
+# BE a race (tests/broken/cross_sm_gmem.wsass — every CTA stores to
+# the same word), and under WASP_SM_THREADS=4 the auditor catches it
+# through genuinely racing functional writes that TSAN would dutifully
+# report. Every well-formed workload in the label runs under TSAN.
+# shellcheck disable=SC2086  # label_args is intentionally word-split
+exec ctest -L smpar -E SeededCrossSmRaceFixture $label_args \
+    --output-on-failure "$@"

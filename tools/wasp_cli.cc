@@ -20,12 +20,16 @@
  *       error-severity check fails.
  *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
- *             [--on-fault={abort,skip,retry}] [--json-out=FILE]
+ *             [--sm-threads N] [--on-fault={abort,skip,retry}]
+ *             [--json-out=FILE]
  *       Run the Table II benchmark × paper-config matrix on N worker
  *       threads (default: hardware concurrency) and print speedups
  *       against the first config plus raw cycles. Output is
  *       byte-identical for every N: each cell owns its simulator
- *       state and rows are emitted in canonical order. A cell whose
+ *       state and rows are emitted in canonical order. --sm-threads
+ *       additionally ticks the SMs inside each simulation on N threads
+ *       (sim/config.hh smParallelism); inner and outer parallelism
+ *       compose and the report stays byte-identical. A cell whose
  *       simulation deadlocks or trips the watchdog is isolated per
  *       --on-fault (default skip): the rest of the matrix completes,
  *       the failed cell is reported with its pipeline dump, and the
@@ -51,13 +55,17 @@
  *       decisions are settled in an untraced pass first.
  *
  *   wasp-cli perf [--apps a,b,..] [--configs c1,c2,..] [--reps N]
- *             [--full-size] [--sha S] [--host H] [--out FILE]
+ *             [--sm-threads N1,N2,..] [--full-size] [--sha S]
+ *             [--host H] [--out FILE]
  *       Simulator wall-clock throughput: for each benchmark × config,
  *       time the simulation alone (compile, input build, and output
  *       verification excluded) under the reference clock and the
  *       cycle-skipping clock, and report cycles/second for each plus
  *       the speedup. Both clocks must agree on the simulated cycle
- *       count (hard error otherwise). --full-size swaps in the 108-SM
+ *       count (hard error otherwise). --sm-threads retimes the
+ *       cycle-skip clock at each listed SM thread count and adds a
+ *       per-row "sm_scaling" array to the JSON; every sweep point must
+ *       land on the same cycle count. --full-size swaps in the 108-SM
  *       machine. Emits JSON (tools/run_perf.sh wraps this to stamp the
  *       git sha and host and write BENCH_sim_throughput.json).
  *
@@ -124,11 +132,13 @@ usage()
                  "[-o FILE]\n"
                  "       wasp-cli matrix [--apps a,b,..] "
                  "[--configs c1,c2,..] [-j N]\n"
-                 "                [--on-fault={abort,skip,retry}] "
+                 "                [--sm-threads N] "
+                 "[--on-fault={abort,skip,retry}] "
                  "[--json-out=FILE]\n"
                  "       wasp-cli perf [--apps a,b,..] "
                  "[--configs c1,c2,..] [--reps N]\n"
-                 "                [--full-size] [--sha S] [--host H] "
+                 "                [--sm-threads N1,N2,..] "
+                 "[--full-size] [--sha S] [--host H] "
                  "[--out FILE]\n"
                  "           configs: baseline, compiler_tile, "
                  "compiler_all,\n"
@@ -188,6 +198,7 @@ cmdMatrix(const std::vector<std::string> &args)
         PaperConfig::CompilerAll, PaperConfig::WaspGpu};
     std::vector<std::string> apps;
     int jobs = 0;
+    int sm_threads = 0;
     harness::FaultPolicy on_fault = harness::FaultPolicy::Skip;
     std::string json_out;
     for (size_t i = 0; i < args.size(); ++i) {
@@ -222,6 +233,15 @@ cmdMatrix(const std::vector<std::string> &args)
             jobs = std::atoi(arg.c_str() + 2);
         } else if (arg == "--jobs" && i + 1 < args.size()) {
             jobs = std::atoi(args[++i].c_str());
+        } else if (arg.rfind("--sm-threads=", 0) == 0) {
+            sm_threads = std::atoi(
+                arg.c_str() + std::strlen("--sm-threads="));
+            if (sm_threads <= 0)
+                return usage();
+        } else if (arg == "--sm-threads" && i + 1 < args.size()) {
+            sm_threads = std::atoi(args[++i].c_str());
+            if (sm_threads <= 0)
+                return usage();
         } else {
             return usage();
         }
@@ -238,6 +258,10 @@ cmdMatrix(const std::vector<std::string> &args)
     std::vector<std::string> config_names;
     for (PaperConfig which : configs) {
         specs.push_back(harness::makeConfig(which));
+        // Inner SM-level parallelism composes with the outer -j matrix
+        // jobs; the report stays byte-identical either way.
+        if (sm_threads > 0)
+            specs.back().gpu.smParallelism = sm_threads;
         config_names.push_back(specs.back().name);
     }
 
@@ -291,6 +315,7 @@ cmdPerf(const std::vector<std::string> &args)
     std::vector<std::string> apps;
     int reps = 3;
     bool full_size = false;
+    std::vector<int> sm_threads; ///< --sm-threads sweep (may be empty)
     std::string sha = "unknown";
     std::string host = "unknown";
     std::string out_path;
@@ -308,6 +333,15 @@ cmdPerf(const std::vector<std::string> &args)
             }
         } else if (arg == "--reps" && i + 1 < args.size()) {
             reps = std::atoi(args[++i].c_str());
+        } else if (arg == "--sm-threads" && i + 1 < args.size()) {
+            for (const auto &tok : splitCommas(args[++i])) {
+                int t = std::atoi(tok.c_str());
+                if (t <= 0)
+                    return usage();
+                sm_threads.push_back(t);
+            }
+            if (sm_threads.empty())
+                return usage();
         } else if (arg == "--full-size") {
             full_size = true;
         } else if (arg == "--sha" && i + 1 < args.size()) {
@@ -341,6 +375,9 @@ cmdPerf(const std::vector<std::string> &args)
         // or sum would fold scheduler jitter into the comparison.
         double ref_s = 0.0;
         double skip_s = 0.0;
+        // --sm-threads sweep: wall seconds per requested thread count
+        // (cycle-skip clock), same best-of-reps accounting.
+        std::vector<double> scale_s;
     };
     std::vector<Row> rows;
     using Clock = std::chrono::steady_clock;
@@ -351,6 +388,7 @@ cmdPerf(const std::vector<std::string> &args)
             Row row;
             row.app = app;
             row.config = spec.name;
+            row.scale_s.assign(sm_threads.size(), 0.0);
             for (const auto &mix : bench.kernels) {
                 // Warm-up pass (untimed): compiles the kernel, settles
                 // the profitability decision, and verifies the output —
@@ -390,6 +428,36 @@ cmdPerf(const std::vector<std::string> &args)
                            mix.label.c_str(),
                            static_cast<unsigned long long>(ref_cycles),
                            static_cast<unsigned long long>(skip_cycles));
+                // --sm-threads sweep: retime the cycle-skip clock at
+                // each thread count; every run must land on the same
+                // simulated cycle count (the determinism contract).
+                gpu.clockMode = sim::ClockMode::CycleSkip;
+                for (size_t ti = 0; ti < sm_threads.size(); ++ti) {
+                    gpu.smParallelism = sm_threads[ti];
+                    double best = std::numeric_limits<double>::infinity();
+                    uint64_t par_cycles = 0;
+                    for (int r = 0; r < reps; ++r) {
+                        mem::GlobalMemory gmem;
+                        workloads::BuiltKernel k = mix.build(gmem);
+                        auto t0 = Clock::now();
+                        sim::RunStats stats = sim::runProgram(
+                            gpu, gmem, kr.compiled, k.grid, k.params);
+                        std::chrono::duration<double> dt =
+                            Clock::now() - t0;
+                        best = std::min(best, dt.count());
+                        par_cycles = stats.cycles;
+                    }
+                    wasp_check(par_cycles == skip_cycles,
+                               "%s/%s kernel '%s': --sm-threads=%d "
+                               "diverged (%llu cycles vs %llu serial)",
+                               app.c_str(), spec.name.c_str(),
+                               mix.label.c_str(), sm_threads[ti],
+                               static_cast<unsigned long long>(par_cycles),
+                               static_cast<unsigned long long>(
+                                   skip_cycles));
+                    row.scale_s[ti] += best;
+                }
+                gpu.smParallelism = 1;
                 row.cycles += ref_cycles;
             }
             std::fprintf(stderr,
@@ -428,15 +496,34 @@ cmdPerf(const std::vector<std::string> &args)
                       "\"reference_seconds\": %.6f, "
                       "\"skip_seconds\": %.6f, "
                       "\"reference_cps\": %.0f, \"skip_cps\": %.0f, "
-                      "\"speedup\": %.3f}%s\n",
+                      "\"speedup\": %.3f",
                       r.app.c_str(), r.config.c_str(),
                       static_cast<unsigned long long>(r.cycles),
                       r.ref_s / n, r.skip_s / n, ref_cps, skip_cps,
                       skip_cps > 0.0 && ref_cps > 0.0
                           ? skip_cps / ref_cps
-                          : 0.0,
-                      i + 1 < rows.size() ? "," : "");
+                          : 0.0);
         js << buf;
+        if (!sm_threads.empty()) {
+            // Per-thread-count scaling (cycle-skip clock), speedup
+            // relative to the sweep's first entry.
+            js << ", \"sm_scaling\": [";
+            double base_s = r.scale_s.empty() ? 0.0 : r.scale_s[0];
+            for (size_t ti = 0; ti < sm_threads.size(); ++ti) {
+                double s = r.scale_s[ti];
+                double cps = s > 0.0
+                                 ? static_cast<double>(r.cycles) / s
+                                 : 0.0;
+                std::snprintf(buf, sizeof(buf),
+                              "%s{\"threads\": %d, \"seconds\": %.6f, "
+                              "\"cps\": %.0f, \"speedup\": %.3f}",
+                              ti ? ", " : "", sm_threads[ti], s, cps,
+                              s > 0.0 ? base_s / s : 0.0);
+                js << buf;
+            }
+            js << "]";
+        }
+        js << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     js << "  ]\n}\n";
 
