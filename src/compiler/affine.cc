@@ -51,8 +51,22 @@ AffineAnalysis::AffineAnalysis(const isa::Program &prog,
     // Canonical loop: exactly one natural loop, single basic block,
     // whose header is reached fall-through from the prologue.
     auto loops = cfg.loops();
-    if (loops.size() != 1 || !loops[0].singleBlock())
+    if (loops.size() != 1 || !loops[0].singleBlock()) {
+        // No canonical loop. Register values are still derivable over
+        // the straight-line prefix (up to the first branch), which is
+        // what the perf model needs to group the stream bases of a
+        // one-shot TMA producer stage.
+        loop_first_ = prog.size();
+        for (int i = 0; i < prog.size(); ++i) {
+            if (prog.instrs[static_cast<size_t>(i)].isBranch()) {
+                loop_first_ = i;
+                break;
+            }
+        }
+        analyzePrologue(prog);
+        loop_first_ = -1;
         return;
+    }
     const auto &bb = cfg.blocks()[static_cast<size_t>(loops[0].header)];
     loop_header_ = loops[0].header;
     loop_first_ = bb.first;
@@ -148,29 +162,27 @@ AffineAnalysis::analyzePrologue(const isa::Program &prog)
 void
 AffineAnalysis::analyzeSteps(const isa::Program &prog)
 {
-    // A register has a well-defined step when every in-loop write is the
-    // single self-increment IADD r, r, imm (or there are no writes).
-    std::map<int, int> write_count;
-    for (int i = loop_first_; i <= loop_last_; ++i) {
-        const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
-        for (int r : inst.dstRegs())
-            ++write_count[r];
-    }
+    // A register has a well-defined step when every in-loop write is an
+    // unguarded self-increment IADD r, r, imm (or there are no writes).
+    // Multiple increments sum: an unrolled/double-buffered body that
+    // bumps its counter per buffer still has an exact per-iteration
+    // step.
     for (int i = loop_first_; i <= loop_last_; ++i) {
         const Instruction &inst = prog.instrs[static_cast<size_t>(i)];
         for (int r : inst.dstRegs()) {
-            if (write_count[r] != 1 || inst.isGuarded()) {
-                steps_[r] = std::nullopt;
-                continue;
-            }
-            if (inst.op == Opcode::IADD && inst.srcs.size() == 2 &&
+            bool self_inc =
+                !inst.isGuarded() && inst.op == Opcode::IADD &&
+                inst.srcs.size() == 2 &&
                 inst.srcs[0].kind == OperandKind::Reg &&
                 inst.srcs[0].reg == r &&
-                inst.srcs[1].kind == OperandKind::Imm) {
-                steps_[r] = inst.srcs[1].imm;
-            } else {
+                inst.srcs[1].kind == OperandKind::Imm;
+            auto it = steps_.find(r);
+            if (!self_inc)
                 steps_[r] = std::nullopt;
-            }
+            else if (it == steps_.end())
+                steps_[r] = inst.srcs[1].imm;
+            else if (it->second)
+                *it->second += inst.srcs[1].imm;
         }
     }
 }
@@ -212,16 +224,24 @@ AffineAnalysis::tripCount() const
         if (inst.srcs[0].kind != OperandKind::Reg)
             return bound;
         int ri = inst.srcs[0].reg;
-        // Induction: starts at 0 in the prologue, steps by 1.
+        // Induction: starts at 0 in the prologue, steps by a positive
+        // constant (1 for a rolled loop; larger when the body is
+        // unrolled and increments per buffer).
         Affine init = valueAtLoop(ri);
         auto step = stepOf(ri);
-        if (!init.isConst() || init.c0 != 0 || !step || *step != 1)
+        if (!init.isConst() || init.c0 != 0 || !step || *step < 1)
             return bound;
         Affine trips;
-        if (inst.srcs[1].kind == OperandKind::Imm)
-            trips = Affine::constant(inst.srcs[1].imm);
-        else if (inst.srcs[1].kind == OperandKind::Reg)
+        if (inst.srcs[1].kind == OperandKind::Imm) {
+            trips = Affine::constant((inst.srcs[1].imm + *step - 1) /
+                                     *step);
+        } else if (inst.srcs[1].kind == OperandKind::Reg) {
+            // A symbolic bound cannot be divided by the step inside
+            // the affine form; only the rolled shape is supported.
+            if (*step != 1)
+                return bound;
             trips = valueAtLoop(inst.srcs[1].reg);
+        }
         if (!trips.valid || trips.cTid != 0 || trips.cCta != 0)
             return bound;
         // Constant or single-parameter bounds are supported.

@@ -94,7 +94,8 @@ class AffineAnalysis
     /** Per-iteration additive step of a register inside the loop. */
     std::optional<int64_t> stepOf(int reg) const;
 
-    /** Trip count of the canonical loop (counter from 0 step 1). */
+    /** Trip count of the canonical loop (counter from 0 with a
+     * positive constant step; symbolic bounds require step 1). */
     LoopBound tripCount() const;
 
   private:

@@ -1,0 +1,967 @@
+#include "compiler/perf_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <optional>
+
+#include "common/json.hh"
+#include "common/log.hh"
+#include "compiler/affine.hh"
+#include "compiler/rate_graph.hh"
+#include "isa/cfg.hh"
+
+namespace wasp::compiler
+{
+
+namespace
+{
+
+using isa::Opcode;
+using isa::OperandKind;
+using isa::Pipe;
+using sim::StallReason;
+
+constexpr size_t kNumPipes = 6;
+constexpr double kWarpBytes = 128.0; ///< 32 lanes x 4 B per warp access
+
+// Attribution split constants (calibrated against committed
+// BENCH_stall_breakdown.json; see DESIGN.md §11). A slot-level
+// StallReason is one bucket per cycle in the simulator, but a kernel
+// aggregates many slices in different micro-phases, so the model
+// spreads each kernel's residual over the buckets its warps oscillate
+// between.
+constexpr double kMemLsuShare = 0.08; ///< producer LSU backpressure
+constexpr double kSingleSbShare = 0.94;  ///< single-stage latency-bound
+constexpr double kSingleLsuShare = 0.06;
+/** Pipe-vs-chain smooth split: share_pb ramps 0 -> 1 over this ratio
+ * window around parity (pipe saturated exactly when busy == chain). */
+constexpr double kPipeSplitLo = 0.55;
+constexpr double kPipeSplitHi = 1.05;
+
+/** Per-warp, per-iteration body metrics from the abstract schedule. */
+struct BodyMetrics
+{
+    double issue = 0.0;
+    std::array<double, kNumPipes> pipeIssue{};
+    int loads = 0;   ///< latency-bearing global accesses (LDG/atom)
+    int ldgsts = 0;
+    int stores = 0;
+    double bytes = 0.0; ///< global bytes per warp
+    double tmaSectors = 0.0;
+    bool pops = false;
+    bool pushes = false;
+};
+
+/**
+ * Abstract in-order warp schedule: issue instructions in program
+ * order, each start time gated by the scoreboard-readiness of its
+ * sources; destination readiness is start + modelled latency. Running
+ * the loop body repeatedly with register state carried across
+ * iterations converges on the steady-state initiation interval, which
+ * captures both loop-carried recurrences (accumulator chains) and
+ * latency hiding across iterations.
+ */
+struct WarpSchedule
+{
+    std::array<double, isa::kMaxRegs> regReady{};
+    std::array<double, isa::kMaxPreds> predReady{};
+    double t = 0.0;
+
+    double
+    latencyOf(const isa::Instruction &in, const MachineModel &m) const
+    {
+        switch (in.op) {
+          case Opcode::LDG:
+          case Opcode::ATOMG_ADD:
+            return m.globalLatency;
+          case Opcode::LDS:
+            return m.smemLatency;
+          case Opcode::LDGSTS:
+          case Opcode::STG:
+          case Opcode::STS:
+          case Opcode::TMA_TILE:
+          case Opcode::TMA_STREAM:
+          case Opcode::TMA_GATHER:
+            return 0.0; // no register result to wait on
+          default:
+            return isa::opInfo(in.op).latency;
+        }
+    }
+
+    void
+    step(const isa::Instruction &in, const MachineModel &m,
+         const isa::ThreadBlockSpec &tb, BodyMetrics *mx)
+    {
+        const auto &info = isa::opInfo(in.op);
+        double start = t;
+        for (int r : in.srcRegs())
+            if (r >= 0 && r < isa::kMaxRegs && r != isa::kRegZero)
+                start = std::max(start, regReady[static_cast<size_t>(r)]);
+        for (int p : in.srcPreds())
+            if (p >= 0 && p < isa::kMaxPreds && p != isa::kPredTrue)
+                start = std::max(start, predReady[static_cast<size_t>(p)]);
+
+        bool popsQueue = false;
+        for (const auto &s : in.srcs)
+            popsQueue |= s.kind == OperandKind::Queue;
+        bool pushesQueue = false;
+        for (const auto &d : in.dsts)
+            pushesQueue |= d.kind == OperandKind::Queue;
+
+        double lat = latencyOf(in, m);
+        // A software (SMEM) queue pop rides an LDS under the hood.
+        if (popsQueue && !m.rfqQueues)
+            lat += m.smemLatency;
+
+        t = start + info.issueCost;
+        double ready = start + std::max<double>(lat, info.issueCost);
+        for (int r : in.dstRegs())
+            if (r >= 0 && r < isa::kMaxRegs && r != isa::kRegZero)
+                regReady[static_cast<size_t>(r)] = ready;
+        for (int p : in.dstPreds())
+            if (p >= 0 && p < isa::kMaxPreds && p != isa::kPredTrue)
+                predReady[static_cast<size_t>(p)] = ready;
+
+        if (!mx)
+            return;
+        mx->issue += info.issueCost;
+        mx->pipeIssue[static_cast<size_t>(info.pipe)] += info.issueCost;
+        mx->pops |= popsQueue;
+        mx->pushes |= pushesQueue;
+        switch (in.op) {
+          case Opcode::LDG:
+          case Opcode::ATOMG_ADD:
+            mx->loads++;
+            mx->bytes += kWarpBytes;
+            break;
+          case Opcode::LDGSTS:
+            mx->ldgsts++;
+            mx->bytes += kWarpBytes;
+            break;
+          case Opcode::STG:
+            mx->stores++;
+            mx->bytes += kWarpBytes;
+            break;
+          case Opcode::TMA_STREAM: {
+            mx->bytes += kWarpBytes;
+            mx->tmaSectors += kWarpBytes / 32.0;
+            break;
+          }
+          case Opcode::TMA_GATHER: {
+            // Two-phase: a coalesced index entry (4 sectors) plus the
+            // gathered data. Scattered indices defeat coalescing; the
+            // model assumes half the lanes pair up into shared sectors
+            // (16 data sectors per warp-item).
+            double bytes = kWarpBytes + isa::kWarpSize / 2 * 32.0;
+            mx->bytes += bytes;
+            mx->tmaSectors += bytes / 32.0;
+            break;
+          }
+          case Opcode::TMA_TILE: {
+            // One descriptor moves a tile; approximate with the SMEM
+            // tile footprint (half when double buffered looks the
+            // same per item).
+            double bytes = std::max(kWarpBytes,
+                                    static_cast<double>(tb.smemBytes) / 2.0);
+            mx->bytes += bytes;
+            mx->tmaSectors += bytes / 32.0;
+            break;
+          }
+          default:
+            break;
+        }
+    }
+};
+
+/** Contiguous instruction region of one pipeline stage. */
+struct StageRegion
+{
+    int stage = 0;
+    int first = 0;
+    int last = 0; ///< inclusive
+};
+
+std::vector<StageRegion>
+stageRegions(const isa::Program &prog)
+{
+    const auto &tb = prog.tb;
+    std::vector<StageRegion> regions;
+    if (tb.numStages <= 1 ||
+        static_cast<int>(tb.stageEntry.size()) != tb.numStages) {
+        regions.push_back({0, 0, prog.size() - 1});
+        return regions;
+    }
+    std::vector<std::pair<int, int>> entries; // (entry pc, stage)
+    for (int s = 0; s < tb.numStages; ++s) {
+        int e = tb.stageEntry[static_cast<size_t>(s)];
+        if (e < 0 || e >= prog.size()) {
+            regions.push_back({0, 0, prog.size() - 1});
+            return regions;
+        }
+        entries.emplace_back(e, s);
+    }
+    std::sort(entries.begin(), entries.end());
+    for (size_t k = 0; k < entries.size(); ++k) {
+        int first = entries[k].first;
+        int last = k + 1 < entries.size() ? entries[k + 1].first - 1
+                                          : prog.size() - 1;
+        if (last >= first)
+            regions.push_back({entries[k].second, first, last});
+    }
+    return regions;
+}
+
+/** Extract a stage region as a standalone program with branch targets
+ * rebased, so Cfg/AffineAnalysis see a canonical single-loop kernel. */
+isa::Program
+extractStage(const isa::Program &prog, const StageRegion &r)
+{
+    isa::Program sub;
+    sub.name = prog.name;
+    sub.tb = prog.tb;
+    sub.tb.numStages = 1;
+    sub.tb.stageEntry.clear();
+    sub.tb.stageRegs.clear();
+    const int len = r.last - r.first + 1;
+    sub.instrs.reserve(static_cast<size_t>(len));
+    for (int i = r.first; i <= r.last; ++i) {
+        isa::Instruction in = prog.instrs[static_cast<size_t>(i)];
+        if (in.target >= 0) {
+            in.target -= r.first;
+            // A branch out of the region (back to the dispatch table)
+            // cannot be represented in the sub-program; treat it as a
+            // fallthrough NOP so the analysis sees a sane CFG.
+            if (in.target < 0 || in.target >= len) {
+                in.op = Opcode::NOP;
+                in.target = -1;
+                in.dsts.clear();
+                in.srcs.clear();
+            }
+        }
+        sub.instrs.push_back(std::move(in));
+    }
+    sub.renumber();
+    return sub;
+}
+
+/** Substitute launch parameters into an affine trip count. */
+std::optional<double>
+evalTrips(const Affine &a, const LaunchInfo &launch)
+{
+    if (!a.valid || a.cTid != 0 || a.cCta != 0)
+        return std::nullopt;
+    double v = static_cast<double>(a.c0);
+    for (const auto &[slot, coeff] : a.cParam) {
+        if (slot < 0 ||
+            slot >= static_cast<int>(launch.params.size()))
+            return std::nullopt;
+        v += static_cast<double>(coeff) *
+             static_cast<double>(launch.params[static_cast<size_t>(slot)]);
+    }
+    return std::max(0.0, v);
+}
+
+/** Analysis scratch for one stage. */
+struct StageWork
+{
+    StageEstimate est;
+    BodyMetrics mx;
+    double prologue = 0.0; ///< one-time lead-in latency
+    bool zeroTrip = false;
+    /** Straight-line stage (no loop at all): executes exactly once;
+     * its work is amortized over the slice's trip count. */
+    bool oneShot = false;
+};
+
+const char *
+pipeNameOf(size_t p)
+{
+    switch (static_cast<Pipe>(p)) {
+      case Pipe::Alu: return "alu";
+      case Pipe::Fma: return "fma";
+      case Pipe::Sfu: return "sfu";
+      case Pipe::Tensor: return "tensor";
+      case Pipe::Lsu: return "lsu";
+      case Pipe::Ctrl: return "ctrl";
+    }
+    return "?";
+}
+
+StageWork
+analyzeStage(const isa::Program &prog, const StageRegion &r,
+             const MachineModel &m, const LaunchInfo &launch,
+             int activeUnits, std::vector<std::string> &notes)
+{
+    StageWork w;
+    w.est.stage = r.stage;
+    w.est.warps = prog.tb.warpsPerStage();
+    const double W = w.est.warps;
+
+    isa::Program sub = extractStage(prog, r);
+    isa::Cfg cfg(sub);
+    AffineAnalysis aa(sub, cfg);
+
+    int bodyFirst = 0;
+    int bodyLast = sub.size() - 1;
+    if (aa.hasCanonicalLoop()) {
+        bodyFirst = aa.loopFirst();
+        bodyLast = aa.loopLast();
+        LoopBound lb = aa.tripCount();
+        if (lb.valid) {
+            w.est.tripsAffine = true;
+            if (auto trips = evalTrips(lb.trips, launch)) {
+                w.est.trips = *trips;
+            } else {
+                w.est.trips = m.assumedTrips;
+                notes.push_back(strprintf(
+                    "stage %d: affine trip count needs unbound "
+                    "parameters; assuming %g iterations",
+                    r.stage, m.assumedTrips));
+            }
+        } else {
+            w.est.trips = m.assumedTrips;
+            notes.push_back(strprintf(
+                "stage %d: loop bound not affine (data-dependent); "
+                "assuming %g iterations",
+                r.stage, m.assumedTrips));
+        }
+    } else if (auto loops = cfg.loops();
+               loops.size() == 1 && loops[0].singleBlock()) {
+        // A single-block loop whose prologue is not straight-line —
+        // the canonical shape plus a zero-trip guard branch. The
+        // affine analysis rejects it (it cannot prove stream bases),
+        // but for costing, the loop body is still the steady-state
+        // unit; only the trip count must be assumed.
+        const auto &bb = cfg.blocks()[static_cast<size_t>(loops[0].header)];
+        bodyFirst = bb.first;
+        bodyLast = bb.last;
+        w.est.trips = m.assumedTrips;
+        w.est.tripsAffine = false;
+        notes.push_back(strprintf(
+            "stage %d: guarded loop bound is data-dependent; assuming "
+            "%g iterations",
+            r.stage, m.assumedTrips));
+    } else {
+        bool backward = false;
+        for (int i = 0; i < sub.size(); ++i) {
+            const auto &in = sub.instrs[static_cast<size_t>(i)];
+            if (in.isBranch() && in.target >= 0 && in.target <= i)
+                backward = true;
+        }
+        if (!backward) {
+            // Straight-line stage: runs once, exactly. The common case
+            // is a TMA producer that fires hardware streams and exits;
+            // analyzeProgram amortizes its work over the slice's trip
+            // count. One-shot work is exact, so it does not poison
+            // allAffine.
+            w.oneShot = true;
+            w.est.trips = 1.0;
+            w.est.tripsAffine = true;
+        } else {
+            w.est.trips = m.assumedTrips;
+            w.est.tripsAffine = false;
+            notes.push_back(strprintf(
+                "stage %d: no canonical loop; treating the whole stage "
+                "as the steady-state body with %g iterations",
+                r.stage, m.assumedTrips));
+        }
+    }
+    if (w.est.trips <= 0.0) {
+        w.zeroTrip = true;
+        notes.push_back(
+            strprintf("stage %d: zero-trip loop; stage contributes "
+                      "only its prologue", r.stage));
+    }
+
+    // Prologue: one pass over the lead-in instructions.
+    WarpSchedule sched;
+    for (int i = 0; i < bodyFirst; ++i)
+        sched.step(sub.instrs[static_cast<size_t>(i)], m, sub.tb, nullptr);
+    w.prologue = sched.t;
+
+    // Loop body: iterate the abstract schedule to a steady state;
+    // metrics are collected once, the initiation interval is the time
+    // difference of the last two iterations.
+    double prevT = sched.t;
+    double ii = 0.0;
+    const int kIters = w.oneShot ? 1 : 4;
+    for (int k = 0; k < kIters; ++k) {
+        BodyMetrics *mx = k == 0 ? &w.mx : nullptr;
+        for (int i = bodyFirst; i <= bodyLast; ++i)
+            sched.step(sub.instrs[static_cast<size_t>(i)], m, sub.tb, mx);
+        ii = sched.t - prevT;
+        prevT = sched.t;
+    }
+
+    // Overlapping affine streams (a stencil's x[i-1], x[i], x[i+1])
+    // re-touch the same sectors through L2; charge each distinct base
+    // group (same tid/cta/param shape, any constant offset) once.
+    {
+        std::vector<Affine> groups;
+        int streams = 0, dup = 0;
+        for (int i = 0; i < sub.size(); ++i) {
+            const auto &in = sub.instrs[static_cast<size_t>(i)];
+            if (in.op != Opcode::TMA_STREAM || in.srcs.empty() ||
+                in.srcs[0].kind != OperandKind::Reg)
+                continue;
+            ++streams;
+            Affine a = aa.valueAtLoop(in.srcs[0].reg);
+            if (!a.valid)
+                continue; // unknown base: counts as its own group
+            bool matched = false;
+            for (const auto &g : groups)
+                matched |= g.cTid == a.cTid && g.cCta == a.cCta &&
+                           g.cParam == a.cParam;
+            if (matched)
+                ++dup;
+            else
+                groups.push_back(a);
+        }
+        if (dup > 0) {
+            w.mx.bytes -= dup * kWarpBytes;
+            w.mx.tmaSectors -= dup * kWarpBytes / 32.0;
+            notes.push_back(strprintf(
+                "stage %d: %d of %d streams share an affine base "
+                "(L2 reuse); charging %d",
+                r.stage, dup, streams, streams - dup));
+        }
+    }
+
+    w.est.issueCost = w.mx.issue;
+    w.est.chainLatency = ii;
+    w.est.bytes = W * w.mx.bytes;
+    w.est.tmaSectors = W * w.mx.tmaSectors;
+    w.est.pops = w.mx.pops;
+    w.est.pushes = w.mx.pushes;
+
+    // Per-pipe pressure: W warps of this stage share each pipe.
+    double pipeBusy = 0.0;
+    size_t pipeIdx = 0;
+    for (size_t p = 0; p < kNumPipes; ++p) {
+        if (static_cast<Pipe>(p) == Pipe::Ctrl)
+            continue;
+        double busy = W * w.mx.pipeIssue[p];
+        if (busy > pipeBusy) {
+            pipeBusy = busy;
+            pipeIdx = p;
+        }
+    }
+    w.est.pipeBusy = pipeBusy;
+    w.est.pipeName = pipeNameOf(pipeIdx);
+
+    // Memory throughput bounds per item: LSU occupancy (loads keep a
+    // queue slot for their whole latency, lsuQueueDepth in flight per
+    // PB) and DRAM bandwidth shared by every concurrently active unit.
+    double memOps = W * (w.mx.loads + w.mx.ldgsts);
+    double lsuService =
+        memOps * m.globalLatency / std::max(1, m.lsuQueueDepth);
+    // TMA streams are compulsory DRAM traffic (they bypass the caches
+    // straight into queues/SMEM); only load/store bytes get the cache
+    // discount.
+    double tmaBytes = w.mx.tmaSectors * 32.0;
+    double dramBytes =
+        tmaBytes + (w.mx.bytes - tmaBytes) * (1.0 - m.cacheHitFraction);
+    double dramService = static_cast<double>(activeUnits) * W *
+                         dramBytes /
+                         std::max(1e-9, m.dramBytesPerCycle);
+    w.est.memService = std::max(lsuService, dramService);
+    double tmaService = w.est.tmaSectors /
+                        std::max(1, m.tmaSectorsPerCycle);
+
+    // Service time per item: the slowest of the stage's resources.
+    struct Term { double v; StageLimit l; };
+    const Term terms[] = {
+        {W * w.est.issueCost, StageLimit::Issue},
+        {w.est.chainLatency, StageLimit::Chain},
+        {pipeBusy, StageLimit::Pipe},
+        {lsuService, StageLimit::Lsu},
+        {dramService, StageLimit::Dram},
+        {tmaService, StageLimit::Tma},
+    };
+    w.est.service = 0.0;
+    for (const auto &t : terms) {
+        if (t.v > w.est.service) {
+            w.est.service = t.v;
+            w.est.limit = t.l;
+        }
+    }
+    if (w.zeroTrip)
+        w.est.service = 0.0;
+
+    // What this stage's warps report while not issuing.
+    switch (w.est.limit) {
+      case StageLimit::Pipe:
+        w.est.stall = StallReason::PipeBusy;
+        break;
+      case StageLimit::Lsu:
+        w.est.stall = StallReason::LsuFull;
+        break;
+      case StageLimit::Dram:
+        w.est.stall = (w.mx.loads + w.mx.ldgsts) > 0
+                          ? StallReason::LsuFull
+                          : StallReason::Scoreboard;
+        break;
+      case StageLimit::Tma:
+        w.est.stall = StallReason::TmaBusy;
+        break;
+      default:
+        w.est.stall = StallReason::Scoreboard;
+        break;
+    }
+    return w;
+}
+
+/** Smooth pipe-vs-chain attribution split (see constants above). */
+double
+pipeShare(double pipeBusy, double chain)
+{
+    if (chain <= 0.0)
+        return pipeBusy > 0.0 ? 1.0 : 0.0;
+    double ratio = pipeBusy / chain;
+    double x = (ratio - kPipeSplitLo) / (kPipeSplitHi - kPipeSplitLo);
+    return std::clamp(x, 0.0, 1.0);
+}
+
+void
+addSlots(PerfPrediction &p, StallReason r, double slots)
+{
+    if (slots > 0.0)
+        p.stallSlots[static_cast<size_t>(r)] += slots;
+}
+
+} // namespace
+
+const char *
+stageLimitName(StageLimit l)
+{
+    switch (l) {
+      case StageLimit::Issue: return "issue";
+      case StageLimit::Chain: return "chain";
+      case StageLimit::Pipe: return "pipe";
+      case StageLimit::Lsu: return "lsu";
+      case StageLimit::Dram: return "dram";
+      case StageLimit::Tma: return "tma";
+    }
+    return "?";
+}
+
+int
+topWorkBucket(const std::array<double, sim::kNumStallReasons> &slots)
+{
+    int best = -1;
+    double bestV = 0.0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        auto r = static_cast<StallReason>(i);
+        if (r == StallReason::Issued || r == StallReason::Ready ||
+            r == StallReason::NoStack || r == StallReason::NoWarp)
+            continue;
+        if (slots[i] > bestV) {
+            bestV = slots[i];
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+PerfPrediction
+analyzeProgram(const isa::Program &prog, const MachineModel &machine,
+               const LaunchInfo &launch)
+{
+    PerfPrediction p;
+    p.kernel = prog.name;
+    p.numStages = std::max(1, prog.tb.numStages);
+    if (prog.size() == 0)
+        return p;
+    p.valid = true;
+
+    const int totalPbs = machine.numSms * machine.pbsPerSm;
+    const int grid = std::max(1, launch.grid);
+
+    auto regions = stageRegions(prog);
+    const bool pipelined = regions.size() > 1;
+
+    // Concurrency unit: a pipeline slice (one thread block's warps,
+    // grouped on one PB under GroupPipeline) or, single-stage, a warp.
+    const int warpsPerTb = prog.tb.warpsPerStage();
+    int units = pipelined ? grid : grid * warpsPerTb;
+    int activeUnits = std::min(units, totalPbs);
+    int unitsPerPb = std::max(1, (units + totalPbs - 1) / totalPbs);
+    if (!pipelined) {
+        // RoundRobin single-stage: warps co-resident on one PB.
+        unitsPerPb = std::min(unitsPerPb, machine.warpSlotsPerPb);
+    }
+
+    std::vector<StageWork> works;
+    works.reserve(regions.size());
+    for (const auto &r : regions)
+        works.push_back(
+            analyzeStage(prog, r, machine, launch, activeUnits, p.notes));
+    for (const auto &w : works) {
+        p.allAffine &= w.est.tripsAffine;
+        p.stages.push_back(w.est);
+    }
+
+    // --- Single-stage model -------------------------------------------------
+    if (!pipelined) {
+        StageWork &w = works[0];
+        const double W = unitsPerPb; // warps sharing the PB port
+        double perWarp = std::max<double>(w.est.issueCost, 1.0);
+        double pipePressure =
+            W * w.est.pipeBusy / std::max(1, w.est.warps);
+        double lsu = W * (w.mx.loads + w.mx.ldgsts) *
+                     machine.globalLatency /
+                     std::max(1, machine.lsuQueueDepth);
+        double dram = static_cast<double>(units) * w.mx.bytes *
+                      (1.0 - machine.cacheHitFraction) /
+                      std::max(1e-9, machine.dramBytesPerCycle);
+        double period = std::max({W * perWarp, w.est.chainLatency,
+                                  pipePressure, lsu, dram});
+        double trips = std::max(w.est.trips, 0.0);
+        p.period = period;
+        p.predictedCycles = w.prologue + trips * period;
+        p.bottleneckStage = 0;
+
+        double cycles = std::max(p.predictedCycles, 1.0);
+        double activePbs = std::min<double>(totalPbs, units);
+        double totalSlots = cycles * totalPbs;
+        double issued = std::min(
+            cycles * activePbs,
+            static_cast<double>(grid) * warpsPerTb * trips * perWarp);
+        double residual = std::max(0.0, cycles * activePbs - issued);
+        addSlots(p, StallReason::Issued, issued);
+        addSlots(p, StallReason::NoWarp, totalSlots - cycles * activePbs);
+
+        double pb = pipeShare(pipePressure, w.est.chainLatency);
+        // A single-stage kernel's stalled warps wait on results
+        // (scoreboard) unless an execution pipe is saturated.
+        addSlots(p, StallReason::PipeBusy, residual * pb);
+        addSlots(p, StallReason::Scoreboard,
+                 residual * (1.0 - pb) * kSingleSbShare);
+        addSlots(p, StallReason::LsuFull,
+                 residual * (1.0 - pb) * kSingleLsuShare);
+
+        const char *limit = stageLimitName(w.est.limit);
+        p.diagnosis = strprintf(
+            "single stage: %s-bound (service %.1f cyc/iter, issue %.1f, "
+            "chain %.1f); %d warps/PB",
+            limit, period, W * perWarp, w.est.chainLatency,
+            static_cast<int>(W));
+        return p;
+    }
+
+    // --- Pipelined slice model ----------------------------------------------
+    // The slice's trip count comes from its looping stages; one-shot
+    // stages (straight-line producers that fire hardware streams and
+    // exit) have their total work amortized over it, with stream-fed
+    // bytes/sectors kept per item (each consumer pop drains one item's
+    // worth of stream).
+    double trips = 0.0;
+    for (const auto &w : works)
+        if (!w.oneShot && !w.zeroTrip)
+            trips = std::max(trips, w.est.trips);
+    if (trips <= 0.0)
+        trips = 1.0;
+
+    // Concurrency scaling. Throughput resources are shared by the
+    // co-resident slices and scale with occupancy — the issue port,
+    // execution pipes and LSU queue by slices-per-PB, the TMA engine
+    // by slices-per-SM, DRAM by every launched slice. A dependence
+    // chain's latency does NOT scale: while one slice's warp waits on
+    // its chain, the PB issues another slice's, exactly as co-resident
+    // warps hide each other in the single-stage model.
+    const double uppF =
+        std::max(1.0, static_cast<double>(units) / totalPbs);
+    const double slicesPerSm =
+        static_cast<double>(units) / std::max(1, machine.numSms);
+    for (auto &w : works) {
+        const double W = w.est.warps;
+        const double over = w.oneShot ? trips : 1.0;
+        if (w.oneShot) {
+            w.est.issueCost = w.mx.issue / over;
+            w.est.chainLatency /= over;
+            w.est.pipeBusy /= over;
+            w.est.trips = trips; // participates in every slice item
+        }
+        // A decoupled stage streams its loads ahead of the consumer,
+        // so most hit in cache; queue occupancy uses the cache-mixed
+        // effective latency, not the full exposed round trip a plain
+        // kernel pays (that one stays in the single-stage model).
+        const double effLat =
+            machine.cacheHitFraction * machine.l2HitLatency +
+            (1.0 - machine.cacheHitFraction) * machine.globalLatency;
+        double lsuService = W * (w.mx.loads + w.mx.ldgsts) * effLat /
+                            std::max(1, machine.lsuQueueDepth) / over *
+                            uppF;
+        // TMA traffic is per-item by construction and compulsory (no
+        // cache reuse); other global accesses get the cache discount.
+        double tmaBytes = w.mx.tmaSectors * 32.0;
+        double otherBytes = (w.mx.bytes - tmaBytes) / over;
+        w.est.bytes = W * (tmaBytes + otherBytes);
+        double dramService =
+            static_cast<double>(units) * W *
+            (tmaBytes +
+             otherBytes * (1.0 - machine.cacheHitFraction)) /
+            std::max(1e-9, machine.dramBytesPerCycle);
+        w.est.memService = std::max(lsuService, dramService);
+        double tmaService = slicesPerSm * W * w.mx.tmaSectors /
+                            std::max(1, machine.tmaSectorsPerCycle);
+        struct Term { double v; StageLimit l; };
+        const Term terms[] = {
+            {uppF * W * w.est.issueCost, StageLimit::Issue},
+            {w.est.chainLatency, StageLimit::Chain},
+            {uppF * w.est.pipeBusy, StageLimit::Pipe},
+            {lsuService, StageLimit::Lsu},
+            {dramService, StageLimit::Dram},
+            {tmaService, StageLimit::Tma},
+        };
+        w.est.service = 0.0;
+        for (const auto &t : terms) {
+            if (t.v > w.est.service) {
+                w.est.service = t.v;
+                w.est.limit = t.l;
+            }
+        }
+        if (w.zeroTrip)
+            w.est.service = 0.0;
+        switch (w.est.limit) {
+          case StageLimit::Pipe:
+            w.est.stall = StallReason::PipeBusy;
+            break;
+          case StageLimit::Lsu:
+            w.est.stall = StallReason::LsuFull;
+            break;
+          case StageLimit::Dram:
+            w.est.stall = (w.mx.loads + w.mx.ldgsts) > 0
+                              ? StallReason::LsuFull
+                              : StallReason::TmaBusy;
+            break;
+          case StageLimit::Tma:
+            w.est.stall = StallReason::TmaBusy;
+            break;
+          default:
+            w.est.stall = StallReason::Scoreboard;
+            break;
+        }
+        w.est.trips = trips; // participates in every slice iteration
+        p.stages[static_cast<size_t>(&w - works.data())] = w.est;
+    }
+
+    // Build the producer-consumer rate graph: queues are buffered
+    // edges, arrive/wait barrier pairs couple stages with the
+    // double-buffer credit as depth.
+    std::vector<RateNode> nodes;
+    std::map<int, int> nodeOf; // stage id -> node index
+    for (const auto &w : works) {
+        nodeOf[w.est.stage] = static_cast<int>(nodes.size());
+        nodes.push_back({strprintf("stage%d", w.est.stage),
+                         w.est.service});
+    }
+    std::vector<RateEdge> edges;
+    for (const auto &q : prog.tb.queues) {
+        auto s = nodeOf.find(q.srcStage);
+        auto d = nodeOf.find(q.dstStage);
+        if (s != nodeOf.end() && d != nodeOf.end())
+            edges.push_back({s->second, d->second,
+                             std::max(1, q.entries)});
+    }
+    // Barrier coupling: a stage that arrives feeds every stage that
+    // waits on the same barrier index.
+    std::map<int, std::pair<std::vector<int>, std::vector<int>>> barUse;
+    for (const auto &r : stageRegions(prog)) {
+        for (int i = r.first; i <= r.last; ++i) {
+            const auto &in = prog.instrs[static_cast<size_t>(i)];
+            if (in.op != Opcode::BAR_ARRIVE && in.op != Opcode::BAR_WAIT &&
+                in.op != Opcode::TMA_TILE)
+                continue;
+            int bar = -1;
+            for (const auto &s : in.srcs)
+                if (s.kind == OperandKind::Imm) {
+                    bar = s.imm;
+                    break;
+                }
+            if (bar < 0 ||
+                bar >= static_cast<int>(prog.tb.barriers.size()))
+                continue;
+            if (in.op == Opcode::BAR_WAIT)
+                barUse[bar].second.push_back(r.stage);
+            else
+                barUse[bar].first.push_back(r.stage);
+        }
+    }
+    for (const auto &[bar, use] : barUse) {
+        int depth =
+            1 + prog.tb.barriers[static_cast<size_t>(bar)].initialPhase;
+        for (int src : use.first)
+            for (int dst : use.second)
+                if (src != dst)
+                    edges.push_back({nodeOf[src], nodeOf[dst], depth});
+    }
+
+    RateSolution sol = solveRateGraph(nodes, edges);
+
+    // The slice shares one PB: the issue port itself can be the
+    // bottleneck when the stages' summed issue demand exceeds every
+    // stage's service time.
+    double portDemand = 0.0;
+    for (const auto &w : works)
+        portDemand += w.est.warps * w.est.issueCost;
+    double period = std::max(sol.period, uppF * portDemand);
+    period = std::max(period, 1.0);
+    p.period = period;
+    p.bottleneckStage =
+        sol.bottleneck >= 0 ? works[static_cast<size_t>(sol.bottleneck)]
+                                  .est.stage
+                            : -1;
+
+    double prologue = 0.0;
+    for (const auto &w : works)
+        prologue = std::max(prologue, w.prologue);
+    p.predictedCycles = prologue + trips * period;
+
+    double cycles = std::max(p.predictedCycles, 1.0);
+    double activePbs = std::min<double>(totalPbs, units);
+    double totalSlots = cycles * totalPbs;
+    double issued =
+        std::min(cycles * activePbs,
+                 static_cast<double>(grid) * trips * portDemand);
+    double residual = std::max(0.0, cycles * activePbs - issued);
+    addSlots(p, StallReason::Issued, issued);
+    addSlots(p, StallReason::NoWarp, totalSlots - cycles * activePbs);
+
+    // Slot-level attribution: the PB reports the min-enum StallReason
+    // across the slice's stages. The bottleneck stage shows its own
+    // limiting resource; starved stages show queue-empty (bar-wait
+    // when coupled by barriers only); blocked stages queue-full.
+    const StageWork *bn =
+        sol.bottleneck >= 0 ? &works[static_cast<size_t>(sol.bottleneck)]
+                            : &works[0];
+    bool memBound = bn->est.limit == StageLimit::Lsu ||
+                    bn->est.limit == StageLimit::Dram ||
+                    bn->est.limit == StageLimit::Tma;
+    if (memBound) {
+        // Producer-limited pipeline: consumers starve. queue-empty
+        // (7) outranks the producer's lsu-full/tma-busy (11/12) in
+        // the simulator's precedence, so starvation owns the slot —
+        // but only while no co-stage is mid-chain: scoreboard (4)
+        // outranks queue-empty, so each non-bottleneck stage's own
+        // work fraction of the period reads as scoreboard first.
+        bool queueCoupled = false;
+        for (const auto &w : works)
+            queueCoupled |= w.est.pops;
+        double busy = 0.0;
+        for (const auto &w : works) {
+            if (&w == bn || w.zeroTrip)
+                continue;
+            double own =
+                std::max({w.est.chainLatency,
+                          uppF * w.est.warps * w.est.issueCost,
+                          uppF * w.est.pipeBusy});
+            busy += std::min(1.0, own / period);
+        }
+        busy = std::min(1.0, busy);
+        double active = 1.0 - kMemLsuShare;
+        addSlots(p,
+                 queueCoupled ? StallReason::QueueEmpty
+                              : StallReason::BarWait,
+                 residual * active * (1.0 - busy));
+        addSlots(p, StallReason::Scoreboard, residual * active * busy);
+        addSlots(p, bn->est.stall, residual * kMemLsuShare);
+    } else {
+        // Compute-limited pipeline: the bottleneck's warps oscillate
+        // between pipe saturation and scoreboard waits; upstream
+        // stages' queue-full (8) loses to both, so it only shows up
+        // as a minor share.
+        double pb = pipeShare(bn->est.pipeBusy, bn->est.chainLatency);
+        // A near-saturated pipe steals issue slots too (issue debt):
+        // while the winner pipe drains a multi-cycle op the port
+        // stalls even though a warp had work, so that share of the
+        // issued estimate reads back as pipe-busy.
+        double conflict =
+            issued * pb *
+            std::min(1.0, uppF * bn->est.pipeBusy / period);
+        addSlots(p, StallReason::Issued, -conflict);
+        addSlots(p, StallReason::PipeBusy,
+                 conflict + residual * pb * 0.9);
+        addSlots(p, StallReason::Scoreboard,
+                 residual * (1.0 - pb) * 0.9);
+        addSlots(p, StallReason::QueueFull, residual * 0.1);
+    }
+
+    // Human-readable diagnosis + queue-depth sensitivity.
+    const char *limit = stageLimitName(bn->est.limit);
+    std::string diag = strprintf(
+        "stage %d is the bottleneck: %s-bound at %.1f cyc/item "
+        "(chain %.1f, pipe[%s] %.1f, mem %.1f)",
+        bn->est.stage, limit, bn->est.service, bn->est.chainLatency,
+        bn->est.pipeName.c_str(), bn->est.pipeBusy, bn->est.memService);
+    if (memBound) {
+        int needed = static_cast<int>(
+            std::ceil(machine.globalLatency / period));
+        for (const auto &q : prog.tb.queues) {
+            if (q.srcStage == bn->est.stage && q.entries < needed) {
+                diag += strprintf(
+                    "; queue %d->%d depth %d underruns (latency-"
+                    "covering depth %d), deeper buffers add headroom",
+                    q.srcStage, q.dstStage, q.entries, needed);
+                break;
+            }
+        }
+    }
+    p.diagnosis = diag;
+    return p;
+}
+
+std::string
+perfPredictionJson(const PerfPrediction &p)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("kernel").value(p.kernel);
+    w.key("valid").value(p.valid);
+    w.key("numStages").value(p.numStages);
+    w.key("predictedCycles").value(p.predictedCycles);
+    w.key("period").value(p.period);
+    w.key("bottleneckStage").value(p.bottleneckStage);
+    w.key("allAffine").value(p.allAffine);
+    int top = topWorkBucket(p.stallSlots);
+    w.key("topStall")
+        .value(top < 0 ? "none"
+                       : sim::stallReasonName(
+                             static_cast<StallReason>(top)));
+    w.key("diagnosis").value(p.diagnosis);
+    w.key("stallSlots").beginObject();
+    for (size_t i = 0; i < p.stallSlots.size(); ++i)
+        if (p.stallSlots[i] > 0.0)
+            w.key(sim::stallReasonName(static_cast<StallReason>(i)))
+                .value(p.stallSlots[i]);
+    w.endObject();
+    w.key("stages").beginArray();
+    for (const auto &s : p.stages) {
+        w.beginObject();
+        w.key("stage").value(s.stage);
+        w.key("warps").value(s.warps);
+        w.key("trips").value(s.trips);
+        w.key("tripsAffine").value(s.tripsAffine);
+        w.key("issueCost").value(s.issueCost);
+        w.key("chainLatency").value(s.chainLatency);
+        w.key("pipeBusy").value(s.pipeBusy);
+        w.key("pipe").value(s.pipeName);
+        w.key("memService").value(s.memService);
+        w.key("tmaSectors").value(s.tmaSectors);
+        w.key("bytes").value(s.bytes);
+        w.key("service").value(s.service);
+        w.key("limit").value(stageLimitName(s.limit));
+        w.key("stall").value(sim::stallReasonName(s.stall));
+        w.endObject();
+    }
+    w.endArray();
+    w.key("notes").beginArray();
+    for (const auto &n : p.notes)
+        w.value(n);
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace wasp::compiler

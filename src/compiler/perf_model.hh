@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Static pipeline performance model: predict where issue slots go —
+ * per StallReason bucket — without running the simulator.
+ *
+ * The analysis walks the post-warpSpecialize program in three steps
+ * (DESIGN.md §11):
+ *
+ *  1. Per-stage work estimates. Each pipeline stage's loop is located
+ *     through the stage-entry map and its trip count derived by the
+ *     affine analysis (compiler/affine) on the extracted stage
+ *     sub-program; the loop body is then scheduled abstractly (in-order
+ *     issue, scoreboard latencies from isa::opInfo plus the machine's
+ *     memory latencies) to obtain issue cost, dependence-chain latency,
+ *     per-pipe pressure, memory latency demand and TMA sector counts
+ *     per iteration.
+ *
+ *  2. Rate equilibrium. Stages become nodes of a producer-consumer
+ *     rate graph (compiler/rate_graph) — queues are buffered edges,
+ *     arrive/wait barrier pairs are edges with the double-buffer depth
+ *     — and the solver yields the steady-state period, the bottleneck
+ *     stage and each stage's starved/blocked idle attribution.
+ *     Services are first scaled to machine concurrency: pipeline
+ *     instances beyond one per processing block time-share the issue
+ *     port and pipes, all instances share DRAM, and dependence-chain
+ *     latency does not scale at all.
+ *
+ *  3. Stall attribution. Each stage's idle time maps to the
+ *     StallReason its warps would report (starved -> queue-empty /
+ *     bar-wait, blocked -> queue-full, bottleneck -> its own limiting
+ *     resource); because a GroupPipeline slice shares one processing
+ *     block, the slot-level bucket is the minimum-enum reason across
+ *     the slice's stages, mirroring the simulator's precedence rule
+ *     (sim/stall.hh).
+ *
+ * The output is a machine-readable PerfPrediction with a canonical
+ * JSON form (perfPredictionJson) and a human-readable bottleneck
+ * diagnosis. It feeds three consumers: CompileReport (next to the
+ * verify result), `wasp-cli analyze [--vs-sim]`, and the cost function
+ * the stage-partition autotuner (ROADMAP item 3) will search over via
+ * PerfPrediction::predictedCycles.
+ *
+ * The compiler layer does not link against the simulator; the machine
+ * description is restated here as MachineModel (defaults mirror
+ * sim::GpuConfig's scaled A100) and sim/stall.hh is used header-only
+ * so predictions are comparable bucket-for-bucket with RunStats.
+ */
+
+#ifndef WASP_COMPILER_PERF_MODEL_HH
+#define WASP_COMPILER_PERF_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "sim/stall.hh"
+
+namespace wasp::compiler
+{
+
+/**
+ * The machine knobs the model consumes. Defaults mirror the
+ * scaled-A100 sim::GpuConfig; harness::machineModel() converts a real
+ * GpuConfig so CLI and tests never re-type numbers.
+ */
+struct MachineModel
+{
+    int numSms = 4;
+    int pbsPerSm = 4;
+    int warpSlotsPerPb = 16;
+    int smemLatency = 24;
+    /** Modelled latency of a global load as seen by an in-order
+     * consumer. Defaults to the DRAM round trip: a kernel that has
+     * not been specialized pays the full exposed latency on
+     * compulsory traffic, which is exactly the cost warp
+     * specialization hides. */
+    int globalLatency = 220;
+    /** L2-hit service time; with cacheHitFraction it sets the
+     * effective latency a pipelined stage's loads occupy the LSU
+     * queue (decoupled stages stream, so most of their accesses hit). */
+    int l2HitLatency = 90;
+    double dramBytesPerCycle = 48.0;
+    /** Fraction of global traffic assumed absorbed by the caches when
+     * sizing DRAM bandwidth demand. The model has no cache simulation;
+     * this single knob keeps tiled kernels (high reuse) from looking
+     * bandwidth-bound when they are not. */
+    double cacheHitFraction = 0.7;
+    int lsuQueueDepth = 8;
+    int tmaSectorsPerCycle = 4;
+    /** GroupPipeline warp mapping: a slice's stages share one PB. */
+    bool groupPipeline = false;
+    /** Queues in RFQs (register-latency pops) vs SMEM (LDS-latency). */
+    bool rfqQueues = true;
+    /** Trip count assumed when a loop bound is not statically known. */
+    double assumedTrips = 32.0;
+};
+
+/** Launch-time facts the static analysis folds in when available. */
+struct LaunchInfo
+{
+    int grid = 1;
+    /** Kernel parameter values (c[k] slots); may be empty. */
+    std::vector<uint32_t> params;
+};
+
+/** What limits a stage's steady-state service time. */
+enum class StageLimit : uint8_t
+{
+    Issue,   ///< issue-port bound (slots, not latency)
+    Chain,   ///< dependence-chain latency bound
+    Pipe,    ///< one execution pipe saturated
+    Lsu,     ///< LSU queue depth / load latency product
+    Dram,    ///< DRAM bandwidth
+    Tma,     ///< TMA sector engine
+};
+
+const char *stageLimitName(StageLimit l);
+
+/** Per-stage work estimate (per loop iteration unless noted). */
+struct StageEstimate
+{
+    int stage = 0;
+    int warps = 1;
+    /** Loop trip count after parameter substitution. */
+    double trips = 0.0;
+    /** Loop bound was derived (affine), not assumed. */
+    bool tripsAffine = false;
+    double issueCost = 0.0;     ///< issue slots per warp
+    double chainLatency = 0.0;  ///< in-order dependence chain, cycles
+    double pipeBusy = 0.0;      ///< max per-pipe pressure (x warps)
+    std::string pipeName;       ///< pipe behind pipeBusy
+    double memService = 0.0;    ///< LSU/DRAM-bound cycles per item
+    double tmaSectors = 0.0;    ///< TMA sectors per item
+    double bytes = 0.0;         ///< global bytes per item
+    double service = 0.0;       ///< max of the above: cycles per item
+    StageLimit limit = StageLimit::Issue;
+    /** StallReason this stage's warps exhibit when not issuing. */
+    sim::StallReason stall = sim::StallReason::Scoreboard;
+    /** Consumes from / produces into at least one queue or barrier. */
+    bool pops = false;
+    bool pushes = false;
+};
+
+/** Machine-readable static performance prediction for one program. */
+struct PerfPrediction
+{
+    bool valid = false;
+    std::string kernel;
+    int numStages = 1;
+    /** Predicted end-to-end cycles for the launch. */
+    double predictedCycles = 0.0;
+    /** Steady-state cycles per pipeline item. */
+    double period = 0.0;
+    /** Predicted issue-slot accounting, indexed by sim::StallReason;
+     * sums to predictedCycles * numSms * pbsPerSm. */
+    std::array<double, sim::kNumStallReasons> stallSlots{};
+    int bottleneckStage = -1;
+    /** Human-readable bottleneck diagnosis. */
+    std::string diagnosis;
+    std::vector<StageEstimate> stages;
+    std::vector<std::string> notes;
+    /** Every analyzed loop bound was affine (autotuner trusts the
+     * prediction only when this holds). */
+    bool allAffine = true;
+};
+
+/**
+ * Analyze a program statically. Works for both single-stage (plain)
+ * and warp-specialized programs; never throws on strange shapes —
+ * unanalyzable loops fall back to MachineModel::assumedTrips with a
+ * note.
+ */
+PerfPrediction analyzeProgram(const isa::Program &prog,
+                              const MachineModel &machine,
+                              const LaunchInfo &launch);
+
+/**
+ * Index of the dominant *work* stall bucket: the largest bucket
+ * excluding Issued, Ready, NoStack and NoWarp (the buckets that say
+ * "fine" rather than "stalled"). Returns -1 when all such buckets are
+ * zero. Shared by predictions and measured RunStats so comparisons
+ * use one definition.
+ */
+int topWorkBucket(const std::array<double, sim::kNumStallReasons> &slots);
+
+/** Canonical JSON rendering ("perfPrediction" object). */
+std::string perfPredictionJson(const PerfPrediction &p);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_PERF_MODEL_HH

@@ -1,0 +1,145 @@
+#include "compiler/rate_graph.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wasp::compiler
+{
+
+namespace
+{
+
+/** Tiny union-find over node indices. */
+class UnionFind
+{
+  public:
+    explicit UnionFind(int n) : parent_(n)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    int
+    find(int x)
+    {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    void
+    join(int a, int b)
+    {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            parent_[std::max(a, b)] = std::min(a, b);
+    }
+
+  private:
+    std::vector<int> parent_;
+};
+
+/** Directed reachability closure as adjacency-driven BFS per source. */
+std::vector<bool>
+reachableFrom(int src, int n, const std::vector<std::vector<int>> &succs)
+{
+    std::vector<bool> seen(n, false);
+    std::vector<int> work{src};
+    seen[src] = true;
+    while (!work.empty()) {
+        int u = work.back();
+        work.pop_back();
+        for (int v : succs[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                work.push_back(v);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+RateSolution
+solveRateGraph(const std::vector<RateNode> &nodes,
+               const std::vector<RateEdge> &edges)
+{
+    RateSolution sol;
+    const int n = static_cast<int>(nodes.size());
+    if (n == 0)
+        return sol;
+
+    // Depth-0 edges serialize their endpoints into one cluster.
+    UnionFind uf(n);
+    for (const auto &e : edges)
+        if (e.depth == 0)
+            uf.join(e.src, e.dst);
+
+    sol.cluster.resize(n);
+    std::vector<double> clusterService(n, 0.0);
+    for (int i = 0; i < n; ++i) {
+        sol.cluster[i] = uf.find(i);
+        clusterService[sol.cluster[i]] += nodes[i].service;
+    }
+
+    // The period is the slowest cluster; the reported bottleneck node
+    // is the slowest member of that cluster (ties -> lowest index).
+    int slowCluster = 0;
+    for (int i = 0; i < n; ++i)
+        if (clusterService[sol.cluster[i]] >
+            clusterService[slowCluster])
+            slowCluster = sol.cluster[i];
+    sol.period = clusterService[slowCluster];
+    for (int i = 0; i < n; ++i) {
+        if (sol.cluster[i] != slowCluster)
+            continue;
+        if (sol.bottleneck < 0 ||
+            nodes[i].service > nodes[sol.bottleneck].service)
+            sol.bottleneck = i;
+    }
+
+    // Utilization / idle shares against the period.
+    sol.utilization.resize(n, 0.0);
+    sol.idle.resize(n, 0.0);
+    sol.idleKind.resize(n, RateIdle::Starved);
+    if (sol.period <= 0.0) {
+        // Degenerate all-zero-service graph: everything "bottleneck".
+        sol.idleKind.assign(n, RateIdle::Bottleneck);
+        return sol;
+    }
+
+    std::vector<std::vector<int>> succs(n), preds(n);
+    for (const auto &e : edges) {
+        if (e.src == e.dst)
+            continue;
+        succs[e.src].push_back(e.dst);
+        preds[e.dst].push_back(e.src);
+    }
+    auto downstream = reachableFrom(sol.bottleneck, n, succs);
+    auto upstream = reachableFrom(sol.bottleneck, n, preds);
+
+    for (int i = 0; i < n; ++i) {
+        sol.utilization[i] = nodes[i].service / sol.period;
+        sol.idle[i] = 1.0 - sol.utilization[i];
+        if (sol.cluster[i] == slowCluster && sol.idle[i] < 1e-12) {
+            sol.idleKind[i] = RateIdle::Bottleneck;
+        } else if (i == sol.bottleneck) {
+            sol.idleKind[i] = RateIdle::Bottleneck;
+        } else if (downstream[i]) {
+            // Reachable from the bottleneck: starved for input. Cycles
+            // through the bottleneck land here too (input-starved is
+            // what the consumer observes first).
+            sol.idleKind[i] = RateIdle::Starved;
+        } else if (upstream[i]) {
+            sol.idleKind[i] = RateIdle::Blocked;
+        } else {
+            sol.idleKind[i] = RateIdle::Starved;
+        }
+    }
+    return sol;
+}
+
+} // namespace wasp::compiler

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Producer-consumer rate graph: the analytical core of the static
+ * performance model (perf_model.hh).
+ *
+ * A warp-specialized pipeline is a small network of stages connected
+ * by bounded queues. In steady state such a network settles into a
+ * classic rate equilibrium: every stage processes items at the rate of
+ * the slowest ("bottleneck") stage, stages upstream of the bottleneck
+ * spend their surplus time blocked on full queues, and stages
+ * downstream starve on empty ones. This module solves exactly that
+ * abstraction — nodes with a service time (cycles per item) connected
+ * by directed edges with a buffer depth — independent of any ISA or
+ * simulator detail, so the solver can be unit tested on hand-built
+ * graphs (chain, diamond, cycle-with-barrier).
+ *
+ * Depth-0 edges model synchronous coupling (arrive/wait barriers with
+ * no double buffering): the endpoints cannot overlap, so every
+ * synchronously-coupled cluster of nodes serializes and its service
+ * time is the sum of its members'. Edges with depth >= 1 pipeline:
+ * the steady-state period is the maximum cluster service time.
+ */
+
+#ifndef WASP_COMPILER_RATE_GRAPH_HH
+#define WASP_COMPILER_RATE_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+namespace wasp::compiler
+{
+
+/** One stage of the pipeline network. */
+struct RateNode
+{
+    std::string name;
+    /** Steady-state service time in cycles per item. */
+    double service = 0.0;
+};
+
+/** A bounded queue (or barrier) from src to dst. */
+struct RateEdge
+{
+    int src = 0;
+    int dst = 0;
+    /** Buffer depth in items; 0 == synchronous (barrier) coupling. */
+    int depth = 1;
+};
+
+/** How a node spends its steady-state time relative to the period. */
+enum class RateIdle : uint8_t
+{
+    Bottleneck, ///< sets the period; never idle
+    Starved,    ///< downstream of the bottleneck: waits on empty queues
+    Blocked,    ///< upstream of the bottleneck: waits on full queues
+};
+
+struct RateSolution
+{
+    /** Steady-state cycles per item through the network. */
+    double period = 0.0;
+    /** Node index that sets the period (max service; ties -> lowest). */
+    int bottleneck = -1;
+    /** service / period, per node. */
+    std::vector<double> utilization;
+    /** 1 - utilization, per node. */
+    std::vector<double> idle;
+    /** Idle attribution per node (Bottleneck nodes have idle 0). */
+    std::vector<RateIdle> idleKind;
+    /** Synchronous-cluster id per node (depth-0 coupling). */
+    std::vector<int> cluster;
+};
+
+/**
+ * Solve the steady-state throughput of a rate network. Nodes joined by
+ * depth-0 edges serialize (cluster service = sum of members); the
+ * period is the maximum cluster service. Idle time is attributed by
+ * position relative to the bottleneck: nodes that can reach the
+ * bottleneck along edges are Blocked (back-pressured), nodes reachable
+ * from it are Starved. Nodes related both ways (a cycle through the
+ * bottleneck) and unrelated nodes report Starved — an empty input is
+ * what their scheduler would observe first.
+ *
+ * Empty graphs return period 0 / bottleneck -1.
+ */
+RateSolution solveRateGraph(const std::vector<RateNode> &nodes,
+                            const std::vector<RateEdge> &edges);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_RATE_GRAPH_HH

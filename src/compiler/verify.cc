@@ -64,6 +64,7 @@ class Verifier
         buildLoopDepths(cfg);
         checkDataflow(cfg);
         checkQueues();
+        checkStageWork();
         checkBarriers();
         checkResources();
         return result_;
@@ -434,6 +435,29 @@ class Verifier
                             "producer stalls once %d entries fill", q,
                             spec.entries));
             }
+            // Depth beyond what the producer can ever have in flight
+            // is provably wasted capacity: RFQ entries live in the
+            // processing block's register file (res.rfq-budget), so an
+            // oversized queue starves warp registers for nothing.
+            // TMA-fed queues are skipped (the stream count is dynamic).
+            if (!u.tmaFed && !u.pushes.empty()) {
+                bool straight_line = true;
+                for (int i : u.pushes)
+                    straight_line &=
+                        instr_depth_[static_cast<size_t>(i)] == 0;
+                const int max_inflight =
+                    static_cast<int>(u.pushes.size());
+                if (straight_line && spec.entries > max_inflight) {
+                    warning(
+                        "queue.oversized", u.pushes.front(),
+                        str("Q%d has %d entries but its %d push "
+                            "site%s run outside any loop: at most %d "
+                            "can ever be in flight",
+                            q, spec.entries, max_inflight,
+                            max_inflight == 1 ? "" : "s",
+                            max_inflight));
+                }
+            }
             // Endpoint stages must match the declaration.
             if (!stage_of_.empty()) {
                 for (int i : u.pushes) {
@@ -456,6 +480,49 @@ class Verifier
                 }
             }
             checkQueueRate(q, u);
+        }
+    }
+
+    /**
+     * A stage whose region only branches and synchronizes issues no
+     * work at all: it occupies a hardware warp slot (and a register
+     * budget slice) without contributing to the pipeline. Almost
+     * always a mis-partitioned stage map, but the program still runs,
+     * so it is a warning, not an error.
+     */
+    void
+    checkStageWork()
+    {
+        if (tb_.numStages <= 1 || stage_of_.empty())
+            return;
+        std::vector<int> first(static_cast<size_t>(tb_.numStages), -1);
+        std::vector<bool> works(static_cast<size_t>(tb_.numStages),
+                                false);
+        for (int i = 0; i < prog_.size(); ++i) {
+            int s = stage_of_[static_cast<size_t>(i)];
+            if (s < 0)
+                continue;
+            if (first[static_cast<size_t>(s)] < 0)
+                first[static_cast<size_t>(s)] = i;
+            switch (prog_.instrs[static_cast<size_t>(i)].op) {
+              case Opcode::BRA:
+              case Opcode::EXIT:
+              case Opcode::NOP:
+              case Opcode::BAR_SYNC:
+              case Opcode::BAR_ARRIVE:
+              case Opcode::BAR_WAIT:
+                break;
+              default:
+                works[static_cast<size_t>(s)] = true;
+            }
+        }
+        for (int s = 0; s < tb_.numStages; ++s) {
+            if (!works[static_cast<size_t>(s)]) {
+                warning("stage.no-work", first[static_cast<size_t>(s)],
+                        str("stage %d issues no work (control and "
+                            "synchronization only): it occupies a warp "
+                            "slot without feeding the pipeline", s));
+            }
         }
     }
 

@@ -1207,7 +1207,12 @@ class Compiler
 CompileResult
 warpSpecialize(const isa::Program &input, const CompileOptions &opts)
 {
-    return Compiler(input, opts).run();
+    CompileResult result = Compiler(input, opts).run();
+    // Compile-time performance prediction on the default machine; the
+    // harness re-runs this with the real GpuConfig and launch facts.
+    result.report.perf =
+        analyzeProgram(result.program, MachineModel{}, LaunchInfo{});
+    return result;
 }
 
 } // namespace wasp::compiler

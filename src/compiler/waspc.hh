@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/perf_model.hh"
 #include "isa/program.hh"
 
 namespace wasp::compiler
@@ -63,6 +64,15 @@ struct CompileReport
     int extractedLoads = 0;
     int tmaStreams = 0;
     int tmaGathers = 0;
+    /**
+     * Static performance prediction for the emitted program
+     * (perf_model.hh), computed on the default MachineModel with no
+     * launch facts. Callers that know the launch (grid, parameter
+     * values) and the real machine re-run analyzeProgram for sharper
+     * numbers — this copy answers "where will cycles go?" right at
+     * compile time, next to the verify result.
+     */
+    PerfPrediction perf;
     std::vector<std::string> notes;
 };
 

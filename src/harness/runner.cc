@@ -9,6 +9,24 @@
 namespace wasp::harness
 {
 
+compiler::MachineModel
+machineModel(const sim::GpuConfig &gpu)
+{
+    compiler::MachineModel m;
+    m.numSms = gpu.numSms;
+    m.pbsPerSm = gpu.pbsPerSm;
+    m.warpSlotsPerPb = gpu.warpSlotsPerPb;
+    m.smemLatency = gpu.smemLatency;
+    m.globalLatency = gpu.dramLatency;
+    m.l2HitLatency = gpu.l2HitLatency;
+    m.dramBytesPerCycle = gpu.dramBytesPerCycle;
+    m.lsuQueueDepth = gpu.lsuQueueDepth;
+    m.tmaSectorsPerCycle = gpu.tmaSectorsPerCycle;
+    m.groupPipeline = gpu.mapPolicy == sim::WarpMapPolicy::GroupPipeline;
+    m.rfqQueues = gpu.queueBackend == sim::QueueBackend::Rfq;
+    return m;
+}
+
 KernelResult
 runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
           mem::GlobalMemory &gmem)
@@ -63,6 +81,11 @@ runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
                 "specialization not profitable; original kept");
         }
     }
+
+    // Launch-aware static performance prediction for the program that
+    // actually ran (compile-time perf used the default machine).
+    result.creport.perf = compiler::analyzeProgram(
+        result.compiled, machineModel(gpu), {k.grid, k.params});
 
     // Verify functional output against the CPU reference.
     result.verified = true;

@@ -33,6 +33,13 @@ struct KernelResult
 KernelResult runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
                        mem::GlobalMemory &gmem);
 
+/**
+ * Convert a GpuConfig into the compiler's self-contained machine
+ * description for the static performance model, so predictions and
+ * simulations always describe the same machine.
+ */
+compiler::MachineModel machineModel(const sim::GpuConfig &gpu);
+
 struct BenchResult
 {
     std::string benchmark;

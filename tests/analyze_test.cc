@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Static-prediction validation sweep (the tier-1 acceptance gate for
+ * the perf model): the predicted top stall bucket must match the
+ * simulator's on enough of the Table II suite, both live (running the
+ * simulator in-process) and as committed in
+ * BENCH_predicted_stalls.json, which must itself stay consistent with
+ * the measured BENCH_stall_breakdown.json baseline.
+ */
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "compiler/perf_model.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "mini_json.hh"
+#include "sim/stall.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+/** Accuracy floor per config (ISSUE acceptance: >= 15/20 matches). */
+constexpr int kMinTopMatches = 15;
+
+minijson::Value
+loadJson(const char *path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    // Parser keeps a reference to the text: it must outlive the parse.
+    std::string text = ss.str();
+    minijson::Value v;
+    minijson::Parser parser(text);
+    EXPECT_TRUE(parser.parse(v)) << path << ": " << parser.error();
+    return v;
+}
+
+/** Top work bucket of a {"bucket": slots} JSON object, by the shared
+ * topWorkBucket definition. */
+std::string
+topOfObject(const minijson::Value &obj)
+{
+    std::array<double, sim::kNumStallReasons> slots{};
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const char *name =
+            sim::stallReasonName(static_cast<sim::StallReason>(i));
+        if (obj.has(name))
+            slots[i] = obj[name].number;
+    }
+    int top = compiler::topWorkBucket(slots);
+    return top < 0 ? "none"
+                   : sim::stallReasonName(
+                         static_cast<sim::StallReason>(top));
+}
+
+/**
+ * Run one config live: per benchmark, weighted prediction (the
+ * CompileReport perf attached by runKernel) next to weighted measured
+ * stalls, returning how many of the 20 benchmarks agree on the top
+ * work bucket.
+ */
+int
+liveTopMatches(harness::PaperConfig which, std::string *detail)
+{
+    harness::ConfigSpec spec = harness::makeConfig(which);
+    int matches = 0;
+    for (const auto &bench : workloads::suite()) {
+        std::array<double, sim::kNumStallReasons> pred{};
+        std::array<double, sim::kNumStallReasons> meas{};
+        for (const auto &mix : bench.kernels) {
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            harness::KernelResult kr = harness::runKernel(spec, k, gmem);
+            EXPECT_TRUE(kr.verified) << bench.name << "/" << mix.label;
+            EXPECT_TRUE(kr.creport.perf.valid)
+                << bench.name << "/" << mix.label;
+            for (size_t i = 0; i < pred.size(); ++i) {
+                pred[i] += mix.weight * kr.creport.perf.stallSlots[i];
+                meas[i] +=
+                    mix.weight *
+                    static_cast<double>(kr.stats.stallCycles[i]);
+            }
+        }
+        int pt = compiler::topWorkBucket(pred);
+        int mt = compiler::topWorkBucket(meas);
+        bool match = pt == mt;
+        matches += match ? 1 : 0;
+        *detail += bench.name;
+        *detail += match ? ": match\n" : ": MISS\n";
+    }
+    return matches;
+}
+
+} // namespace
+
+// Live validation sweep, one test per config so failures name the
+// config directly. The prediction here is the one runKernel attaches
+// to every CompileReport — the same object the CLI and the future
+// autotuner consume.
+TEST(AnalyzeSweep, BaselinePredictsMeasuredTopBuckets)
+{
+    std::string detail;
+    int matches = liveTopMatches(harness::PaperConfig::Baseline, &detail);
+    EXPECT_GE(matches, kMinTopMatches) << detail;
+}
+
+TEST(AnalyzeSweep, WaspGpuPredictsMeasuredTopBuckets)
+{
+    std::string detail;
+    int matches = liveTopMatches(harness::PaperConfig::WaspGpu, &detail);
+    EXPECT_GE(matches, kMinTopMatches) << detail;
+}
+
+// The committed artifact: schema, per-config accuracy summary above
+// the floor, and agreement of its own per-cell match bookkeeping.
+TEST(AnalyzeArtifact, CommittedPredictionAccuracyHoldsTheFloor)
+{
+    minijson::Value v = loadJson(WASP_PREDICTED_STALLS);
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v["bench"].str, "predicted_stalls");
+    ASSERT_TRUE(v["results"].isArray());
+    EXPECT_EQ(v["results"].array.size(), 40u); // 20 benchmarks x 2
+
+    std::map<std::string, int> matches, cells;
+    for (const auto &cell : v["results"].array) {
+        ASSERT_TRUE(cell["predictedTop"].isString());
+        ASSERT_TRUE(cell["measuredTop"].isString());
+        EXPECT_EQ(cell["outcome"].str, "ok")
+            << cell["benchmark"].str << "/" << cell["config"].str;
+        bool match = cell["topMatch"].boolean;
+        EXPECT_EQ(match,
+                  cell["predictedTop"].str == cell["measuredTop"].str);
+        ++cells[cell["config"].str];
+        matches[cell["config"].str] += match ? 1 : 0;
+    }
+    ASSERT_TRUE(v["summary"].isArray());
+    for (const auto &s : v["summary"].array) {
+        const std::string &config = s["config"].str;
+        EXPECT_EQ(cells[config], 20) << config;
+        EXPECT_EQ(static_cast<int>(s["topMatches"].number),
+                  matches[config])
+            << config << ": summary disagrees with its own cells";
+        EXPECT_GE(matches[config], kMinTopMatches) << config;
+    }
+}
+
+// Golden cross-check: the measured side of the prediction artifact
+// must agree with the independently committed stall-breakdown
+// baseline (same simulator, same seeds -> same top work bucket).
+TEST(AnalyzeArtifact, MeasuredTopsMatchStallBreakdownBaseline)
+{
+    minijson::Value pred = loadJson(WASP_PREDICTED_STALLS);
+    minijson::Value base = loadJson(WASP_STALL_BREAKDOWN);
+    std::map<std::string, std::string> baseTop;
+    for (const auto &cell : base["results"].array) {
+        std::string key =
+            cell["benchmark"].str + "/" + cell["config"].str;
+        ASSERT_TRUE(cell["stall"].isObject()) << key;
+        baseTop[key] = topOfObject(cell["stall"]);
+    }
+    int checked = 0;
+    for (const auto &cell : pred["results"].array) {
+        std::string key =
+            cell["benchmark"].str + "/" + cell["config"].str;
+        auto it = baseTop.find(key);
+        if (it == baseTop.end())
+            continue; // breakdown baseline covers a config subset
+        EXPECT_EQ(cell["measuredTop"].str, it->second) << key;
+        ++checked;
+    }
+    EXPECT_GE(checked, 20);
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Static performance model units: the rate-graph solver on hand-built
+ * networks (chain, diamond, barrier coupling, cycle through the
+ * bottleneck), trip-count edge cases through analyzeProgram
+ * (non-affine fallback, parameter substitution, zero-trip loops), and
+ * the canonical JSON rendering of a real prediction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/perf_model.hh"
+#include "compiler/rate_graph.hh"
+#include "compiler/waspc.hh"
+#include "isa/program.hh"
+#include "mini_json.hh"
+#include "workloads/kernels.hh"
+
+using namespace wasp;
+using namespace wasp::compiler;
+
+TEST(RateGraph, ChainBottleneckAndIdleAttribution)
+{
+    std::vector<RateNode> nodes = {
+        {"load", 10.0}, {"gather", 40.0}, {"compute", 20.0}};
+    std::vector<RateEdge> edges = {{0, 1, 4}, {1, 2, 4}};
+    RateSolution sol = solveRateGraph(nodes, edges);
+    EXPECT_DOUBLE_EQ(sol.period, 40.0);
+    EXPECT_EQ(sol.bottleneck, 1);
+    EXPECT_EQ(sol.idleKind[0], RateIdle::Blocked);
+    EXPECT_EQ(sol.idleKind[1], RateIdle::Bottleneck);
+    EXPECT_EQ(sol.idleKind[2], RateIdle::Starved);
+    EXPECT_DOUBLE_EQ(sol.utilization[0], 0.25);
+    EXPECT_DOUBLE_EQ(sol.utilization[1], 1.0);
+    EXPECT_DOUBLE_EQ(sol.idle[2], 0.5);
+}
+
+TEST(RateGraph, DiamondFanOutJoin)
+{
+    // a feeds b and c; both join into d. b sets the pace.
+    std::vector<RateNode> nodes = {
+        {"a", 10.0}, {"b", 30.0}, {"c", 20.0}, {"d", 15.0}};
+    std::vector<RateEdge> edges = {
+        {0, 1, 2}, {0, 2, 2}, {1, 3, 2}, {2, 3, 2}};
+    RateSolution sol = solveRateGraph(nodes, edges);
+    EXPECT_DOUBLE_EQ(sol.period, 30.0);
+    EXPECT_EQ(sol.bottleneck, 1);
+    EXPECT_EQ(sol.idleKind[0], RateIdle::Blocked);
+    // d is downstream of the bottleneck; c is on the parallel arm
+    // (unrelated to b), which the scheduler observes as starvation.
+    EXPECT_EQ(sol.idleKind[3], RateIdle::Starved);
+    EXPECT_EQ(sol.idleKind[2], RateIdle::Starved);
+}
+
+TEST(RateGraph, BarrierCoupledClusterSerializes)
+{
+    // Depth-0 edge == no double buffering: producer and consumer
+    // cannot overlap, so the pair's service times add up, and that sum
+    // outweighs the faster standalone node.
+    std::vector<RateNode> nodes = {
+        {"tile", 25.0}, {"mma", 15.0}, {"store", 30.0}};
+    std::vector<RateEdge> edges = {{0, 1, 0}, {1, 2, 2}};
+    RateSolution sol = solveRateGraph(nodes, edges);
+    EXPECT_DOUBLE_EQ(sol.period, 40.0);
+    EXPECT_EQ(sol.cluster[0], sol.cluster[1]);
+    EXPECT_NE(sol.cluster[0], sol.cluster[2]);
+    // With one buffered credit the same pair overlaps again.
+    edges[0].depth = 1;
+    sol = solveRateGraph(nodes, edges);
+    EXPECT_DOUBLE_EQ(sol.period, 30.0);
+    EXPECT_EQ(sol.bottleneck, 2);
+}
+
+TEST(RateGraph, CycleThroughBottleneckReportsStarved)
+{
+    // b returns credits to a (a cycle through the bottleneck): b is
+    // related to a both ways, and reports starvation first.
+    std::vector<RateNode> nodes = {{"a", 30.0}, {"b", 10.0}};
+    std::vector<RateEdge> edges = {{0, 1, 2}, {1, 0, 2}};
+    RateSolution sol = solveRateGraph(nodes, edges);
+    EXPECT_DOUBLE_EQ(sol.period, 30.0);
+    EXPECT_EQ(sol.bottleneck, 0);
+    EXPECT_EQ(sol.idleKind[1], RateIdle::Starved);
+}
+
+TEST(RateGraph, EmptyGraph)
+{
+    RateSolution sol = solveRateGraph({}, {});
+    EXPECT_DOUBLE_EQ(sol.period, 0.0);
+    EXPECT_EQ(sol.bottleneck, -1);
+}
+
+TEST(TripCount, NonAffineBoundFallsBackToAssumed)
+{
+    // The loop bound is loaded from memory: not derivable statically.
+    isa::Program prog = isa::assemble(R"(
+.kernel nonaffine
+.tb 32
+    MOV R1, 0
+    MOV R3, c[0]
+    LDG R2, [R3]
+top:
+    IADD R1, R1, 1
+    ISETP.LT P0, R1, R2
+    @P0 BRA top
+    STG [R3], R1
+    EXIT
+)");
+    MachineModel m;
+    m.assumedTrips = 24.0;
+    PerfPrediction p = analyzeProgram(prog, m, {1, {0}});
+    ASSERT_TRUE(p.valid);
+    ASSERT_EQ(p.stages.size(), 1u);
+    EXPECT_FALSE(p.stages[0].tripsAffine);
+    EXPECT_FALSE(p.allAffine);
+    EXPECT_DOUBLE_EQ(p.stages[0].trips, 24.0);
+}
+
+TEST(TripCount, ParameterBoundSubstitutesFromLaunch)
+{
+    isa::Program prog = isa::assemble(R"(
+.kernel affine_param
+.tb 32
+    MOV R1, 0
+    MOV R2, c[2]
+top:
+    IADD R1, R1, 1
+    ISETP.LT P0, R1, R2
+    @P0 BRA top
+    EXIT
+)");
+    PerfPrediction p = analyzeProgram(prog, MachineModel{},
+                                      {1, {0, 0, 7}});
+    ASSERT_TRUE(p.valid);
+    ASSERT_EQ(p.stages.size(), 1u);
+    EXPECT_TRUE(p.stages[0].tripsAffine);
+    EXPECT_TRUE(p.allAffine);
+    EXPECT_DOUBLE_EQ(p.stages[0].trips, 7.0);
+}
+
+TEST(TripCount, ZeroTripLoopPredictsPrologueOnly)
+{
+    isa::Program prog = isa::assemble(R"(
+.kernel zero_trip
+.tb 32
+    MOV R1, 0
+    MOV R2, c[2]
+top:
+    IADD R1, R1, 1
+    ISETP.LT P0, R1, R2
+    @P0 BRA top
+    EXIT
+)");
+    PerfPrediction p = analyzeProgram(prog, MachineModel{},
+                                      {1, {0, 0, 0}});
+    ASSERT_TRUE(p.valid);
+    ASSERT_EQ(p.stages.size(), 1u);
+    EXPECT_DOUBLE_EQ(p.stages[0].trips, 0.0);
+    // Only the prologue remains: far below even one assumed-trips
+    // body execution.
+    EXPECT_LT(p.predictedCycles, 100.0);
+}
+
+TEST(PerfJson, PredictionRendersCanonically)
+{
+    mem::GlobalMemory gmem;
+    workloads::BuiltKernel k = workloads::streamTriad(gmem, 2, 8, 2);
+    CompileOptions opts;
+    opts.emitTma = false;
+    CompileResult cr = warpSpecialize(k.prog, opts);
+    ASSERT_TRUE(cr.report.transformed);
+    PerfPrediction p = analyzeProgram(cr.program, MachineModel{},
+                                      {k.grid, k.params});
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.numStages, 2);
+    EXPECT_GT(p.predictedCycles, 0.0);
+
+    std::string text = perfPredictionJson(p);
+    minijson::Value v;
+    minijson::Parser parser(text);
+    ASSERT_TRUE(parser.parse(v)) << parser.error() << "\n" << text;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_TRUE(v["valid"].boolean);
+    EXPECT_TRUE(v["kernel"].isString());
+    EXPECT_TRUE(v["predictedCycles"].isNumber());
+    EXPECT_TRUE(v["topStall"].isString());
+    ASSERT_TRUE(v["stages"].isArray());
+    EXPECT_EQ(v["stages"].array.size(),
+              static_cast<size_t>(p.numStages));
+    ASSERT_TRUE(v["stallSlots"].isObject());
+    // The slot accounting covers the whole machine for the predicted
+    // duration: buckets must sum to cycles x PBs (within rounding).
+    MachineModel m;
+    double slots = 0.0;
+    for (const auto &[key, val] : v["stallSlots"].object)
+        slots += val.number;
+    double total =
+        p.predictedCycles * m.numSms * m.pbsPerSm;
+    EXPECT_NEAR(slots, total, total * 0.02 + 1.0);
+}

@@ -59,6 +59,16 @@ hasErrorId(const VerifyResult &vr, const std::string &id)
     return false;
 }
 
+bool
+hasWarningId(const VerifyResult &vr, const std::string &id)
+{
+    for (const auto &d : vr.diags) {
+        if (d.severity == Severity::Warning && d.id == id)
+            return true;
+    }
+    return false;
+}
+
 std::string
 idList(const VerifyResult &vr)
 {
@@ -102,6 +112,34 @@ TEST(BrokenFixtures, StageExceedsRegisterBudget)
     VerifyResult vr = lintFixture("stage_regs.wsass");
     EXPECT_TRUE(hasErrorId(vr, "res.stage-regs")) << idList(vr);
     EXPECT_EQ(vr.errors(), 1) << idList(vr);
+}
+
+// Warning-tier fixtures: each seeds exactly one wasteful-but-runnable
+// construct, so the verifier must flag it as a warning while still
+// reporting zero errors (the program is legal, just bad).
+TEST(WarningFixtures, DeadQueuePushNeverPopped)
+{
+    VerifyResult vr = lintFixture("warn_dead_push.wsass");
+    EXPECT_TRUE(hasWarningId(vr, "queue.no-consumer")) << idList(vr);
+    EXPECT_EQ(vr.errors(), 0) << idList(vr);
+}
+
+TEST(WarningFixtures, StageIssuesNoWork)
+{
+    VerifyResult vr = lintFixture("warn_no_work.wsass");
+    EXPECT_TRUE(hasWarningId(vr, "stage.no-work")) << idList(vr);
+    EXPECT_EQ(vr.errors(), 0) << idList(vr);
+}
+
+TEST(WarningFixtures, QueueDeeperThanMaxInflightPushes)
+{
+    VerifyResult vr = lintFixture("warn_oversized_queue.wsass");
+    EXPECT_TRUE(hasWarningId(vr, "queue.oversized")) << idList(vr);
+    EXPECT_EQ(vr.errors(), 0) << idList(vr);
+    // A looping producer can legitimately fill any depth: the sibling
+    // fixture keeps its pushes inside a loop and must NOT trip this.
+    EXPECT_FALSE(hasWarningId(lintFixture("warn_dead_push.wsass"),
+                              "queue.oversized"));
 }
 
 // Each fixture seeds exactly one defect; the ids must not bleed into

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Static-prediction accuracy baseline for the full Table II suite.
+#
+# Wraps `wasp-cli analyze --all --vs-sim` over the baseline and
+# wasp_gpu configurations, stamps the git sha and host, and writes
+# BENCH_predicted_stalls.json at the repo root: per cell the predicted
+# and measured stall-bucket breakdowns, whether the top work bucket
+# matches, and a per-config accuracy summary (match rate, mean
+# Spearman rank correlation). Tracked in git, it makes drift in the
+# static performance model's accuracy a reviewable diff, the same way
+# BENCH_stall_breakdown.json tracks where the simulator's cycles go.
+#
+# Usage: tools/run_analyze.sh [output.json]
+# Env:   BUILD_DIR (default: build), JOBS (default: nproc)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+OUT=${1:-BENCH_predicted_stalls.json}
+CLI="$BUILD_DIR/tools/wasp-cli"
+[ -x "$CLI" ] || { echo "error: $CLI not built" >&2; exit 1; }
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+HOST="$(uname -srm), $(nproc) cpu"
+
+RAW=/tmp/predicted_stalls.$$.json
+trap 'rm -f "$RAW"' EXIT
+
+"$CLI" analyze --all --configs BASELINE,WASP_GPU --vs-sim \
+    --json -j "$JOBS" -o "$RAW"
+
+python3 - "$RAW" "$OUT" "$SHA" "$HOST" <<'EOF'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+raw["git_sha"] = sys.argv[3]
+raw["host"] = sys.argv[4]
+with open(sys.argv[2], "w") as f:
+    json.dump(raw, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT" >&2

@@ -12,12 +12,31 @@
  *   wasp-cli roundtrip <kernel.wsass>
  *       Assemble and disassemble (format check).
  *
- *   wasp-cli lint <kernel.wsass> [--compile] [--tile-only] [--no-tma]
+ *   wasp-cli lint <kernel.wsass>... [--compile] [--tile-only]
+ *             [--no-tma] [-Wall]
  *       Run the static pipeline verifier (deadlock-freedom and
- *       resource legality; see src/compiler/verify.hh) over the kernel
- *       as written, or over its warp-specialized form with --compile.
- *       Prints one diagnostic per line and exits non-zero when any
- *       error-severity check fails.
+ *       resource legality; see src/compiler/verify.hh) over each
+ *       kernel as written, or over its warp-specialized form with
+ *       --compile. Prints one diagnostic per line and a per-file
+ *       summary; -Wall additionally prints warning-severity findings
+ *       (dead queue pushes, zero-work stages, oversized queues).
+ *       Warnings never affect the exit code: non-zero means at least
+ *       one file had an error-severity finding.
+ *
+ *   wasp-cli analyze <benchmark>|--all [--configs c1,c2,..] [--json]
+ *             [--vs-sim] [-j N] [-o FILE]
+ *       Static performance prediction (compiler/perf_model.hh): for
+ *       each kernel of the benchmark, predict the stall-bucket
+ *       breakdown, steady-state period and bottleneck stage without
+ *       simulating, and aggregate per benchmark with the Table II mix
+ *       weights. Compile decisions mirror the harness (including a
+ *       static profitability check in place of the measured one).
+ *       --vs-sim additionally runs the simulator on N workers and
+ *       scores the prediction per cell: top-work-bucket match plus
+ *       the Spearman rank correlation of predicted vs measured stall
+ *       shares. --json emits the canonical schema that
+ *       tools/run_analyze.sh wraps into BENCH_predicted_stalls.json;
+ *       default configs are baseline and wasp_gpu.
  *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
  *             [--sm-threads N] [--on-fault={abort,skip,retry}]
@@ -75,12 +94,16 @@
  * and pass the base address as the next parameter.
  */
 
+#include <algorithm>
+#include <array>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -124,8 +147,11 @@ usage()
                  "       wasp-cli run <kernel.wsass> --grid N "
                  "[--param V | --alloc BYTES]... [--wasp]\n"
                  "       wasp-cli roundtrip <kernel.wsass>\n"
-                 "       wasp-cli lint <kernel.wsass> [--compile] "
-                 "[--tile-only] [--no-tma]\n"
+                 "       wasp-cli lint <kernel.wsass>... [--compile] "
+                 "[--tile-only] [--no-tma] [-Wall]\n"
+                 "       wasp-cli analyze <benchmark>|--all "
+                 "[--configs c1,c2,..] [--json] [--vs-sim]\n"
+                 "                [-j N] [-o FILE]\n"
                  "       wasp-cli stats <benchmark> [--config NAME] "
                  "[--json] [--timeline] [-o FILE]\n"
                  "       wasp-cli trace <benchmark> [--config NAME] "
@@ -681,6 +707,338 @@ cmdStats(const std::string &bench_name,
     return 0;
 }
 
+// ---- analyze: static performance prediction --------------------------
+
+/** Spearman rank correlation of two stall-share vectors over the work
+ * buckets (ties get average ranks). Returns 0 when either side is
+ * all-zero. */
+double
+spearmanWorkBuckets(
+    const std::array<double, sim::kNumStallReasons> &a,
+    const std::array<double, sim::kNumStallReasons> &b)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < sim::kNumStallReasons; ++i) {
+        auto r = static_cast<sim::StallReason>(i);
+        if (r == sim::StallReason::Issued ||
+            r == sim::StallReason::Ready ||
+            r == sim::StallReason::NoStack ||
+            r == sim::StallReason::NoWarp)
+            continue;
+        idx.push_back(i);
+    }
+    auto ranksOf = [&](const std::array<double,
+                                        sim::kNumStallReasons> &v) {
+        std::vector<size_t> order(idx.size());
+        for (size_t k = 0; k < order.size(); ++k)
+            order[k] = k;
+        std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+            return v[idx[x]] < v[idx[y]];
+        });
+        std::vector<double> rank(idx.size(), 0.0);
+        size_t k = 0;
+        while (k < order.size()) {
+            size_t j = k;
+            while (j + 1 < order.size() &&
+                   v[idx[order[j + 1]]] == v[idx[order[k]]])
+                ++j;
+            double avg = (static_cast<double>(k) +
+                          static_cast<double>(j)) / 2.0;
+            for (size_t t = k; t <= j; ++t)
+                rank[order[t]] = avg;
+            k = j + 1;
+        }
+        return rank;
+    };
+    std::vector<double> ra = ranksOf(a);
+    std::vector<double> rb = ranksOf(b);
+    double n = static_cast<double>(ra.size());
+    double ma = 0.0;
+    double mb = 0.0;
+    for (size_t k = 0; k < ra.size(); ++k) {
+        ma += ra[k];
+        mb += rb[k];
+    }
+    ma /= n;
+    mb /= n;
+    double num = 0.0;
+    double da = 0.0;
+    double db = 0.0;
+    for (size_t k = 0; k < ra.size(); ++k) {
+        num += (ra[k] - ma) * (rb[k] - mb);
+        da += (ra[k] - ma) * (ra[k] - ma);
+        db += (rb[k] - mb) * (rb[k] - mb);
+    }
+    if (da <= 0.0 || db <= 0.0)
+        return 0.0;
+    return num / std::sqrt(da * db);
+}
+
+/**
+ * Predict one kernel under one config, mirroring runKernel's compile
+ * decisions with the static profitability check in place of the
+ * measured one (the autotuner cost-function hook: rank candidate
+ * programs by PerfPrediction::predictedCycles).
+ */
+compiler::PerfPrediction
+predictKernel(const harness::ConfigSpec &spec,
+              const workloads::BuiltKernel &k)
+{
+    bool transform = spec.compileNonGemm || k.isGemm;
+    compiler::CompileOptions copts = spec.copts;
+    if (k.isGemm)
+        copts.tile = true;
+    sim::GpuConfig gpu = spec.gpu;
+    if (k.isGemm && spec.gemmIdealMapping)
+        gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+    compiler::MachineModel m = harness::machineModel(gpu);
+    compiler::LaunchInfo launch{k.grid, k.params};
+
+    compiler::PerfPrediction orig =
+        compiler::analyzeProgram(k.prog, m, launch);
+    if (!transform)
+        return orig;
+    compiler::CompileResult cr = compiler::warpSpecialize(k.prog, copts);
+    if (!cr.report.transformed || !cr.report.verified)
+        return orig;
+    compiler::PerfPrediction tr =
+        compiler::analyzeProgram(cr.program, m, launch);
+    // GEMM under a non-compiling config keeps the pipeline
+    // unconditionally (the CUTLASS model); elsewhere the predicted
+    // cycle counts decide profitability, mirroring the harness's
+    // measured back-to-back comparison.
+    if (!spec.compileNonGemm)
+        return tr;
+    if (tr.predictedCycles < orig.predictedCycles)
+        return tr;
+    orig.notes.push_back(strprintf(
+        "specialization predicted unprofitable (%.0f vs %.0f cycles%s); "
+        "original kept",
+        tr.predictedCycles, orig.predictedCycles,
+        tr.allAffine ? "" : ", non-affine trip count"));
+    orig.notes.push_back("pipeline: " + tr.diagnosis);
+    return orig;
+}
+
+int
+cmdAnalyze(const std::string &bench_arg,
+           const std::vector<std::string> &args)
+{
+    std::vector<harness::PaperConfig> configs = {
+        harness::PaperConfig::Baseline, harness::PaperConfig::WaspGpu};
+    bool json = false;
+    bool vs_sim = false;
+    int jobs = 0;
+    std::string out_path;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if ((arg == "--configs" || arg == "--config") &&
+            i + 1 < args.size()) {
+            configs.clear();
+            for (const auto &name : splitCommas(args[++i])) {
+                harness::PaperConfig which;
+                if (!parseConfig(name, &which))
+                    fatal("unknown config '%s'", name.c_str());
+                configs.push_back(which);
+            }
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--vs-sim") {
+            vs_sim = true;
+        } else if (arg == "-j" && i + 1 < args.size()) {
+            jobs = std::atoi(args[++i].c_str());
+        } else if (arg == "-o" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (configs.empty())
+        return usage();
+
+    std::vector<std::string> apps;
+    if (bench_arg == "--all") {
+        for (const auto &b : workloads::suite())
+            apps.push_back(b.name);
+    } else {
+        apps.push_back(workloads::benchmark(bench_arg).name);
+    }
+    std::vector<harness::ConfigSpec> specs;
+    specs.reserve(configs.size());
+    for (auto which : configs)
+        specs.push_back(harness::makeConfig(which));
+
+    struct Cell
+    {
+        std::string bench;
+        std::string config;
+        std::array<double, sim::kNumStallReasons> slots{};
+        double cycles = 0.0;
+        std::vector<std::pair<std::string, std::string>> kernelDiag;
+    };
+    std::vector<Cell> cells;
+    for (const auto &spec : specs) {
+        for (const auto &app : apps) {
+            const workloads::BenchmarkDef &bench =
+                workloads::benchmark(app);
+            Cell c;
+            c.bench = bench.name;
+            c.config = spec.name;
+            for (const auto &mix : bench.kernels) {
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                compiler::PerfPrediction pred = predictKernel(spec, k);
+                std::string diag = pred.diagnosis;
+                for (const auto &note : pred.notes)
+                    diag += " [" + note + "]";
+                for (size_t i = 0; i < pred.stallSlots.size(); ++i)
+                    c.slots[i] += mix.weight * pred.stallSlots[i];
+                c.cycles += mix.weight * pred.predictedCycles;
+                c.kernelDiag.emplace_back(mix.label, diag);
+            }
+            cells.push_back(std::move(c));
+        }
+    }
+
+    std::vector<harness::BenchResult> measured;
+    if (vs_sim)
+        measured = harness::runMatrix(specs, apps, jobs);
+
+    auto bucketName = [](int b) {
+        return b < 0 ? "none"
+                     : sim::stallReasonName(
+                           static_cast<sim::StallReason>(b));
+    };
+
+    struct Summary
+    {
+        int cells = 0;
+        int matches = 0;
+        double corrSum = 0.0;
+    };
+    std::map<std::string, Summary> summary;
+
+    JsonWriter w;
+    std::ostringstream os;
+    if (json) {
+        w.beginObject()
+            .key("bench").value("predicted_stalls")
+            .key("unit").value("weighted_issue_slots")
+            .key("vsSim").value(vs_sim)
+            .key("results").beginArray();
+    } else {
+        os << "static stall prediction";
+        if (vs_sim)
+            os << " vs simulator";
+        os << "\n";
+    }
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+        const Cell &c = cells[ci];
+        int ptop = compiler::topWorkBucket(c.slots);
+        const harness::BenchResult *mr =
+            vs_sim ? &measured[ci] : nullptr;
+        int mtop = mr ? compiler::topWorkBucket(mr->stallCycles) : -1;
+        bool ok = mr && mr->outcome == sim::RunOutcome::Ok;
+        bool match = ok && ptop == mtop;
+        double corr =
+            ok ? spearmanWorkBuckets(c.slots, mr->stallCycles) : 0.0;
+        if (mr) {
+            Summary &s = summary[c.config];
+            ++s.cells;
+            s.matches += match ? 1 : 0;
+            s.corrSum += corr;
+        }
+        if (json) {
+            w.beginObject()
+                .key("benchmark").value(c.bench)
+                .key("config").value(c.config)
+                .key("predictedCycles").value(c.cycles)
+                .key("predictedTop").value(bucketName(ptop));
+            w.key("predicted").beginObject();
+            for (size_t i = 0; i < c.slots.size(); ++i)
+                if (c.slots[i] > 0.0)
+                    w.key(sim::stallReasonName(
+                              static_cast<sim::StallReason>(i)))
+                        .value(c.slots[i]);
+            w.endObject();
+            if (mr) {
+                w.key("measuredCycles").value(mr->weightedCycles)
+                    .key("measuredTop").value(bucketName(mtop))
+                    .key("outcome")
+                    .value(sim::outcomeName(mr->outcome))
+                    .key("topMatch").value(match)
+                    .key("rankCorr").value(corr);
+                w.key("measured").beginObject();
+                for (size_t i = 0; i < mr->stallCycles.size(); ++i)
+                    if (mr->stallCycles[i] > 0.0)
+                        w.key(sim::stallReasonName(
+                                  static_cast<sim::StallReason>(i)))
+                            .value(mr->stallCycles[i]);
+                w.endObject();
+            }
+            w.key("kernels").beginArray();
+            for (const auto &[label, diag] : c.kernelDiag) {
+                w.beginObject()
+                    .key("label").value(label)
+                    .key("diagnosis").value(diag)
+                    .endObject();
+            }
+            w.endArray();
+            w.endObject();
+        } else {
+            char line[256];
+            if (mr) {
+                std::snprintf(line, sizeof(line),
+                              "%-14s %-10s predicted %-12s measured "
+                              "%-12s %s  corr %.2f\n",
+                              c.bench.c_str(), c.config.c_str(),
+                              bucketName(ptop), bucketName(mtop),
+                              match ? "MATCH" : "miss ", corr);
+            } else {
+                std::snprintf(line, sizeof(line),
+                              "%-14s %-10s predicted %-12s "
+                              "(%.0f cycles)\n",
+                              c.bench.c_str(), c.config.c_str(),
+                              bucketName(ptop), c.cycles);
+            }
+            os << line;
+            for (const auto &[label, diag] : c.kernelDiag)
+                os << "    " << label << ": " << diag << "\n";
+        }
+    }
+    if (json) {
+        w.endArray();
+        w.key("summary").beginArray();
+        for (const auto &[config, s] : summary) {
+            w.beginObject()
+                .key("config").value(config)
+                .key("cells").value(s.cells)
+                .key("topMatches").value(s.matches)
+                .key("matchRate")
+                .value(s.cells ? static_cast<double>(s.matches) /
+                                     s.cells
+                               : 0.0)
+                .key("meanRankCorr")
+                .value(s.cells ? s.corrSum / s.cells : 0.0)
+                .endObject();
+        }
+        w.endArray().endObject();
+        writeOut(out_path, w.str() + "\n", "analyze");
+    } else {
+        for (const auto &[config, s] : summary) {
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "%s: top bucket matched %d/%d cells, mean "
+                          "rank corr %.2f\n",
+                          config.c_str(), s.matches, s.cells,
+                          s.cells ? s.corrSum / s.cells : 0.0);
+            os << line;
+        }
+        writeOut(out_path, os.str(), "analyze");
+    }
+    return 0;
+}
+
 int
 cmdTrace(const std::string &bench_name,
          const std::vector<std::string> &args)
@@ -756,28 +1114,46 @@ cmdCompile(const std::string &path, bool tile_only, bool no_tma)
 }
 
 int
-cmdLint(const std::string &path, bool compile, bool tile_only,
-        bool no_tma)
+cmdLint(const std::vector<std::string> &paths, bool compile,
+        bool tile_only, bool no_tma, bool wall)
 {
-    // Parse without the hard validate() asserts: the verifier reports
-    // the same conditions (and much more) as diagnostics.
-    isa::Program prog = isa::assemble(readFile(path), false);
-    if (compile) {
-        compiler::CompileOptions opts;
-        opts.streamGather = !tile_only;
-        opts.emitTma = !no_tma;
-        compiler::CompileResult cr = compiler::warpSpecialize(prog, opts);
-        std::fprintf(stderr, "; linting %s form (%d stages)\n",
-                     cr.report.transformed ? "warp-specialized"
-                                           : "untransformed",
-                     cr.report.numStages);
-        prog = std::move(cr.program);
+    int clean = 0;
+    int failed = 0;
+    for (const auto &path : paths) {
+        // Parse without the hard validate() asserts: the verifier
+        // reports the same conditions (and much more) as diagnostics.
+        isa::Program prog = isa::assemble(readFile(path), false);
+        if (compile) {
+            compiler::CompileOptions opts;
+            opts.streamGather = !tile_only;
+            opts.emitTma = !no_tma;
+            compiler::CompileResult cr =
+                compiler::warpSpecialize(prog, opts);
+            std::fprintf(stderr, "; %s: linting %s form (%d stages)\n",
+                         path.c_str(),
+                         cr.report.transformed ? "warp-specialized"
+                                               : "untransformed",
+                         cr.report.numStages);
+            prog = std::move(cr.program);
+        }
+        compiler::VerifyResult vr = compiler::verifyProgram(prog);
+        for (const auto &d : vr.diags) {
+            if (d.severity == compiler::Severity::Warning && !wall)
+                continue;
+            std::printf("%s\n",
+                        compiler::renderDiagnostic(prog, d).c_str());
+        }
+        std::printf("%s: %s: %d error(s), %d warning(s)\n",
+                    path.c_str(), prog.name.c_str(), vr.errors(),
+                    vr.warnings());
+        if (vr.ok())
+            ++clean;
+        else
+            ++failed;
     }
-    compiler::VerifyResult vr = compiler::verifyProgram(prog);
-    std::printf("%s", compiler::renderDiagnostics(prog, vr).c_str());
-    std::printf("%s: %d error(s), %d warning(s)\n", prog.name.c_str(),
-                vr.errors(), vr.warnings());
-    return vr.ok() ? 0 : 1;
+    if (paths.size() > 1)
+        std::printf("lint: %d/%zu files clean\n", clean, paths.size());
+    return failed == 0 ? 0 : 1;
 }
 
 int
@@ -881,17 +1257,29 @@ dispatch(int argc, char **argv)
         bool compile = false;
         bool tile_only = false;
         bool no_tma = false;
-        for (int i = 3; i < argc; ++i) {
+        bool wall = false;
+        std::vector<std::string> paths;
+        for (int i = 2; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--compile"))
                 compile = true;
             else if (!std::strcmp(argv[i], "--tile-only"))
                 tile_only = true;
             else if (!std::strcmp(argv[i], "--no-tma"))
                 no_tma = true;
-            else
+            else if (!std::strcmp(argv[i], "-Wall"))
+                wall = true;
+            else if (argv[i][0] == '-')
                 return usage();
+            else
+                paths.emplace_back(argv[i]);
         }
-        return cmdLint(path, compile, tile_only, no_tma);
+        if (paths.empty())
+            return usage();
+        return cmdLint(paths, compile, tile_only, no_tma, wall);
+    }
+    if (cmd == "analyze") {
+        std::vector<std::string> args(argv + 3, argv + argc);
+        return cmdAnalyze(path, args);
     }
     if (cmd == "run") {
         int grid = 1;
