@@ -66,6 +66,18 @@ class Rng
         return static_cast<float>(next() >> 8) * (1.0f / 16777216.0f);
     }
 
+    /**
+     * Stream the generator state through a symmetric archive (durable
+     * snapshots): a restored stream continues the exact sequence.
+     */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        for (auto &word : state)
+            ar.io(word);
+    }
+
   private:
     static uint32_t
     rotl(uint32_t x, int k)

@@ -1,0 +1,225 @@
+#include "common/serialize.hh"
+
+#include <cerrno>
+#include <cstdio>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace wasp
+{
+
+const char *
+serializeErrorKindName(SerializeError::Kind kind)
+{
+    switch (kind) {
+      case SerializeError::Kind::Truncated:
+        return "truncated";
+      case SerializeError::Kind::BadMagic:
+        return "bad-magic";
+      case SerializeError::Kind::BadVersion:
+        return "bad-version";
+      case SerializeError::Kind::BadChecksum:
+        return "bad-checksum";
+      case SerializeError::Kind::Malformed:
+        return "malformed";
+    }
+    return "unknown";
+}
+
+uint64_t
+fnv1a64(const void *data, size_t len, uint64_t basis)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint64_t h = basis;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace
+{
+
+// Container layout: u64 magic | u32 version | u64 payloadLen | payload
+// | u64 fnv1a64 over every preceding byte.
+constexpr size_t kHeaderBytes = 8 + 4 + 8;
+constexpr size_t kTrailerBytes = 8;
+
+} // namespace
+
+std::string
+packContainer(uint64_t magic, uint32_t version, std::string_view payload)
+{
+    Saver s;
+    s.io(magic);
+    s.io(version);
+    uint64_t len = payload.size();
+    s.io(len);
+    s.bytes(payload.data(), payload.size());
+    uint64_t sum = fnv1a64(s.data());
+    s.io(sum);
+    return s.take();
+}
+
+ContainerInfo
+unpackContainer(uint64_t magic, uint32_t min_version, uint32_t max_version,
+                std::string_view bytes, const char *what)
+{
+    if (bytes.size() < kHeaderBytes + kTrailerBytes)
+        throw SerializeError(
+            SerializeError::Kind::Truncated,
+            strprintf("%s: %zu bytes is shorter than the %zu-byte "
+                      "container minimum",
+                      what, bytes.size(), kHeaderBytes + kTrailerBytes));
+
+    Loader header(bytes.substr(0, kHeaderBytes));
+    uint64_t got_magic = 0;
+    uint32_t version = 0;
+    uint64_t payload_len = 0;
+    header.io(got_magic);
+    header.io(version);
+    header.io(payload_len);
+
+    if (got_magic != magic)
+        throw SerializeError(
+            SerializeError::Kind::BadMagic,
+            strprintf("%s: magic 0x%016llx does not match expected "
+                      "0x%016llx",
+                      what, static_cast<unsigned long long>(got_magic),
+                      static_cast<unsigned long long>(magic)));
+
+    if (payload_len != bytes.size() - kHeaderBytes - kTrailerBytes)
+        throw SerializeError(
+            SerializeError::Kind::Truncated,
+            strprintf("%s: header promises a %llu-byte payload but the "
+                      "file holds %zu",
+                      what, static_cast<unsigned long long>(payload_len),
+                      bytes.size() - kHeaderBytes - kTrailerBytes));
+
+    // Checksum before the version check: a corrupted version field must
+    // report as corruption, not as innocent-looking version skew.
+    Loader trailer(bytes.substr(bytes.size() - kTrailerBytes));
+    uint64_t want_sum = 0;
+    trailer.io(want_sum);
+    uint64_t got_sum =
+        fnv1a64(bytes.data(), bytes.size() - kTrailerBytes);
+    if (got_sum != want_sum)
+        throw SerializeError(
+            SerializeError::Kind::BadChecksum,
+            strprintf("%s: checksum mismatch (stored 0x%016llx, computed "
+                      "0x%016llx) — the file is corrupt",
+                      what, static_cast<unsigned long long>(want_sum),
+                      static_cast<unsigned long long>(got_sum)));
+
+    if (version < min_version || version > max_version)
+        throw SerializeError(
+            SerializeError::Kind::BadVersion,
+            strprintf("%s: format version %u is outside the supported "
+                      "range [%u, %u]",
+                      what, version, min_version, max_version));
+
+    ContainerInfo info;
+    info.version = version;
+    info.payload = bytes.substr(kHeaderBytes, payload_len);
+    return info;
+}
+
+bool
+writeFileAtomic(const std::string &path, std::string_view data,
+                std::string *err)
+{
+    std::string tmp =
+        strprintf("%s.tmp.%d", path.c_str(),
+#ifdef __unix__
+                  static_cast<int>(::getpid())
+#else
+                  0
+#endif
+        );
+
+#ifdef __unix__
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = strprintf("open(%s): %s", tmp.c_str(),
+                             std::strerror(errno));
+        return false;
+    }
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (err)
+                *err = strprintf("write(%s): %s", tmp.c_str(),
+                                 std::strerror(errno));
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // Flush data before the rename publishes the name: a crash after
+    // rename must never expose a file whose bytes are still in flight.
+    if (::fsync(fd) != 0 || ::close(fd) != 0) {
+        if (err)
+            *err = strprintf("fsync(%s): %s", tmp.c_str(),
+                             std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err)
+            *err = strprintf("rename(%s -> %s): %s", tmp.c_str(),
+                             path.c_str(), std::strerror(errno));
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+#else
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        if (err)
+            *err = strprintf("fopen(%s) failed", tmp.c_str());
+        return false;
+    }
+    bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err)
+            *err = strprintf("write/rename to %s failed", path.c_str());
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+#endif
+}
+
+bool
+readFileBytes(const std::string &path, std::string *out, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        if (err)
+            *err = strprintf("open(%s): %s", path.c_str(),
+                             std::strerror(errno));
+        return false;
+    }
+    out->clear();
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out->append(buf, n);
+    bool ok = !std::ferror(f);
+    std::fclose(f);
+    if (!ok && err)
+        *err = strprintf("read(%s) failed", path.c_str());
+    return ok;
+}
+
+} // namespace wasp

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Binary serialization for durable simulation state: the snapshot /
+ * result-cache byte format shared by sim checkpoints and the harness
+ * result cache.
+ *
+ * The design is a *symmetric archive*: every serializable class
+ * implements one `template <class Ar> void checkpoint(Ar &ar)` method
+ * that lists its fields once, and the same code path runs against a
+ * Saver (fields stream out) or a Loader (fields stream in). Writer and
+ * reader can therefore never skew — the classic checkpoint bug class
+ * where save and load disagree about one field is structurally
+ * impossible.
+ *
+ * Encoding rules:
+ *  - fixed-width little-endian integers, bools as one byte
+ *  - doubles bit_cast to uint64_t (bit-exact roundtrip; never printf)
+ *  - containers as a u64 count followed by the elements
+ *  - unordered_map serialized sorted by key, so the byte stream is a
+ *    canonical function of the *contents* (hash-table iteration order
+ *    never leaks into snapshots or cache keys)
+ *
+ * The Loader is hostile-input safe: every read is bounds-checked and
+ * throws SerializeError (a SimAbortError) instead of reading out of
+ * bounds, and container counts are sanity-capped against the bytes
+ * remaining so a corrupt count cannot drive a multi-gigabyte resize.
+ *
+ * File container format (packContainer / unpackContainer):
+ *
+ *   u64 magic | u32 version | u64 payload length | payload | u64 fnv64
+ *
+ * with the trailing FNV-1a checksum covering every preceding byte.
+ * unpackContainer classifies failures (truncated, bad magic, version
+ * skew, checksum mismatch) so callers can report and quarantine
+ * precisely. writeFileAtomic publishes via temp-file + rename, so a
+ * crash mid-write can never leave a half-written file under the final
+ * name.
+ */
+
+#ifndef WASP_COMMON_SERIALIZE_HH
+#define WASP_COMMON_SERIALIZE_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace wasp
+{
+
+/** A snapshot / cache blob failed to decode. Carries a failure class
+ * so callers can distinguish corruption from version skew. */
+class SerializeError : public SimAbortError
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Truncated,   ///< fewer bytes than the format requires
+        BadMagic,    ///< not this container type at all
+        BadVersion,  ///< format version outside the supported range
+        BadChecksum, ///< integrity checksum mismatch (bit rot, torn write)
+        Malformed    ///< checksummed but structurally inconsistent
+    };
+
+    SerializeError(Kind kind, const std::string &what)
+        : SimAbortError(what), kind(kind)
+    {}
+
+    Kind kind;
+};
+
+/** Name of a SerializeError::Kind, e.g. "bad-checksum". */
+const char *serializeErrorKindName(SerializeError::Kind kind);
+
+/** FNV-1a over a byte span (the integrity and content-address hash). */
+uint64_t fnv1a64(const void *data, size_t len,
+                 uint64_t basis = 0xcbf29ce484222325ull);
+inline uint64_t
+fnv1a64(std::string_view s, uint64_t basis = 0xcbf29ce484222325ull)
+{
+    return fnv1a64(s.data(), s.size(), basis);
+}
+
+/** The writing side of the symmetric archive. */
+class Saver
+{
+  public:
+    static constexpr bool kLoading = false;
+
+    void io(bool &v) { put8(v ? 1 : 0); }
+    void io(uint8_t &v) { put8(v); }
+    void io(int8_t &v) { put8(static_cast<uint8_t>(v)); }
+    void io(uint16_t &v) { putInt(v); }
+    void io(int16_t &v) { putInt(static_cast<uint16_t>(v)); }
+    void io(uint32_t &v) { putInt(v); }
+    void io(int32_t &v) { putInt(static_cast<uint32_t>(v)); }
+    void io(uint64_t &v) { putInt(v); }
+    void io(int64_t &v) { putInt(static_cast<uint64_t>(v)); }
+    void
+    io(double &v)
+    {
+        putInt(std::bit_cast<uint64_t>(v));
+    }
+    void
+    io(float &v)
+    {
+        putInt(std::bit_cast<uint32_t>(v));
+    }
+    template <typename E>
+    std::enable_if_t<std::is_enum_v<E>>
+    io(E &e)
+    {
+        auto v = static_cast<std::underlying_type_t<E>>(e);
+        io(v);
+    }
+    void
+    io(std::string &s)
+    {
+        count(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void bytes(const void *p, size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    /** Emit a container count; returns it unchanged. */
+    size_t
+    count(size_t n)
+    {
+        auto v = static_cast<uint64_t>(n);
+        putInt(v);
+        return n;
+    }
+
+    const std::string &data() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+
+  private:
+    void put8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    template <typename U>
+    void
+    putInt(U v)
+    {
+        for (size_t i = 0; i < sizeof(U); ++i)
+            put8(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    std::string buf_;
+};
+
+/** The reading side: bounds-checked, throws SerializeError. */
+class Loader
+{
+  public:
+    static constexpr bool kLoading = true;
+
+    explicit Loader(std::string_view data)
+        : p_(reinterpret_cast<const uint8_t *>(data.data())),
+          end_(p_ + data.size())
+    {}
+
+    void
+    io(bool &v)
+    {
+        v = get8() != 0;
+    }
+    void io(uint8_t &v) { v = get8(); }
+    void io(int8_t &v) { v = static_cast<int8_t>(get8()); }
+    void io(uint16_t &v) { v = getInt<uint16_t>(); }
+    void io(int16_t &v) { v = static_cast<int16_t>(getInt<uint16_t>()); }
+    void io(uint32_t &v) { v = getInt<uint32_t>(); }
+    void io(int32_t &v) { v = static_cast<int32_t>(getInt<uint32_t>()); }
+    void io(uint64_t &v) { v = getInt<uint64_t>(); }
+    void io(int64_t &v) { v = static_cast<int64_t>(getInt<uint64_t>()); }
+    void
+    io(double &v)
+    {
+        v = std::bit_cast<double>(getInt<uint64_t>());
+    }
+    void
+    io(float &v)
+    {
+        v = std::bit_cast<float>(getInt<uint32_t>());
+    }
+    template <typename E>
+    std::enable_if_t<std::is_enum_v<E>>
+    io(E &e)
+    {
+        std::underlying_type_t<E> v{};
+        io(v);
+        e = static_cast<E>(v);
+    }
+    void
+    io(std::string &s)
+    {
+        size_t n = count(0);
+        s.resize(n);
+        bytes(s.data(), n);
+    }
+
+    void
+    bytes(void *p, size_t n)
+    {
+        if (remaining() < n)
+            throw SerializeError(
+                SerializeError::Kind::Truncated,
+                strprintf("serialized stream truncated: need %zu bytes, "
+                          "%zu remain",
+                          n, remaining()));
+        std::memcpy(p, p_, n);
+        p_ += n;
+    }
+
+    /**
+     * Read a container count. Every serialized element occupies at
+     * least one byte, so a count exceeding the bytes remaining is
+     * structurally impossible in a well-formed stream — reject it
+     * before any resize so corrupt counts cannot drive allocation.
+     */
+    size_t
+    count(size_t)
+    {
+        uint64_t n = getInt<uint64_t>();
+        if (n > remaining())
+            throw SerializeError(
+                SerializeError::Kind::Malformed,
+                strprintf("serialized container count %llu exceeds the "
+                          "%zu bytes remaining",
+                          static_cast<unsigned long long>(n),
+                          remaining()));
+        return static_cast<size_t>(n);
+    }
+
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+    /** Assert the stream was consumed exactly. */
+    void
+    expectEnd() const
+    {
+        if (remaining() != 0)
+            throw SerializeError(
+                SerializeError::Kind::Malformed,
+                strprintf("serialized stream has %zu trailing bytes",
+                          remaining()));
+    }
+
+  private:
+    uint8_t
+    get8()
+    {
+        if (p_ == end_)
+            throw SerializeError(SerializeError::Kind::Truncated,
+                                 "serialized stream truncated");
+        return *p_++;
+    }
+    template <typename U>
+    U
+    getInt()
+    {
+        if (remaining() < sizeof(U))
+            throw SerializeError(SerializeError::Kind::Truncated,
+                                 "serialized stream truncated");
+        U v = 0;
+        for (size_t i = 0; i < sizeof(U); ++i)
+            v |= static_cast<U>(p_[i]) << (8 * i);
+        p_ += sizeof(U);
+        return v;
+    }
+
+    const uint8_t *p_;
+    const uint8_t *end_;
+};
+
+// ---- container helpers (one code path for save and load) --------------
+
+/** Vector of directly io()-able values (integers, enums, doubles). */
+template <class Ar, typename T>
+void
+ioNumVec(Ar &ar, std::vector<T> &v)
+{
+    size_t n = ar.count(v.size());
+    if constexpr (Ar::kLoading)
+        v.assign(n, T{});
+    for (size_t i = 0; i < n; ++i)
+        ar.io(v[i]);
+}
+
+/** std::vector<bool> (no addressable elements; byte-per-bit). */
+template <class Ar>
+void
+ioBoolVec(Ar &ar, std::vector<bool> &v)
+{
+    size_t n = ar.count(v.size());
+    if constexpr (Ar::kLoading)
+        v.assign(n, false);
+    for (size_t i = 0; i < n; ++i) {
+        bool b = v[i];
+        ar.io(b);
+        if constexpr (Ar::kLoading)
+            v[i] = b;
+    }
+}
+
+/** Fixed-size array of io()-able values (no count emitted). */
+template <class Ar, typename T, size_t N>
+void
+ioNumArr(Ar &ar, std::array<T, N> &a)
+{
+    for (auto &v : a)
+        ar.io(v);
+}
+
+/** Vector with a per-element function `fn(ar, elem)`. */
+template <class Ar, typename T, class Fn>
+void
+ioVec(Ar &ar, std::vector<T> &v, Fn fn)
+{
+    size_t n = ar.count(v.size());
+    if constexpr (Ar::kLoading) {
+        v.clear();
+        v.resize(n);
+    }
+    for (size_t i = 0; i < n; ++i)
+        fn(ar, v[i]);
+}
+
+/** Deque with a per-element function `fn(ar, elem)`. */
+template <class Ar, typename T, class Fn>
+void
+ioDeq(Ar &ar, std::deque<T> &d, Fn fn)
+{
+    size_t n = ar.count(d.size());
+    if constexpr (Ar::kLoading) {
+        d.clear();
+        d.resize(n);
+    }
+    for (size_t i = 0; i < n; ++i)
+        fn(ar, d[i]);
+}
+
+/**
+ * unordered_map with io()-able keys and `fn(ar, value)` values.
+ * Serialized sorted by key: the byte stream is canonical in the map
+ * contents, never in the hash table's iteration order — required both
+ * for stable content hashes and because a restored table need not
+ * reproduce the original's bucket order (no simulation path iterates
+ * these maps, verified; all access is keyed).
+ */
+template <class Ar, typename K, typename V, class Fn>
+void
+ioUMap(Ar &ar, std::unordered_map<K, V> &m, Fn fn)
+{
+    size_t n = ar.count(m.size());
+    if constexpr (Ar::kLoading) {
+        m.clear();
+        for (size_t i = 0; i < n; ++i) {
+            K key{};
+            ar.io(key);
+            fn(ar, m[key]);
+        }
+    } else {
+        std::vector<K> keys;
+        keys.reserve(n);
+        for (const auto &[k, v] : m)
+            keys.push_back(k);
+        std::sort(keys.begin(), keys.end());
+        for (K k : keys) {
+            ar.io(k);
+            fn(ar, m.at(k));
+        }
+    }
+}
+
+/** Ordered map keyed by string with `fn(ar, value)` values. */
+template <class Ar, typename V, class Fn>
+void
+ioStrMap(Ar &ar, std::map<std::string, V> &m, Fn fn)
+{
+    size_t n = ar.count(m.size());
+    if constexpr (Ar::kLoading) {
+        m.clear();
+        std::string key;
+        for (size_t i = 0; i < n; ++i) {
+            ar.io(key);
+            fn(ar, m[key]);
+        }
+    } else {
+        for (auto &[k, v] : m) {
+            std::string key = k;
+            ar.io(key);
+            fn(ar, v);
+        }
+    }
+}
+
+// ---- file container ----------------------------------------------------
+
+/** Decoded container header + payload view (into the caller's bytes). */
+struct ContainerInfo
+{
+    uint32_t version = 0;
+    std::string_view payload;
+};
+
+/** Wrap a payload in the versioned, checksummed container format. */
+std::string packContainer(uint64_t magic, uint32_t version,
+                          std::string_view payload);
+
+/**
+ * Validate and open a container: length, magic, checksum, then version
+ * range. Throws SerializeError with the precise failure class; `what`
+ * names the artifact for diagnostics ("snapshot", "cache entry").
+ */
+ContainerInfo unpackContainer(uint64_t magic, uint32_t min_version,
+                              uint32_t max_version, std::string_view bytes,
+                              const char *what);
+
+/**
+ * Crash-safe publish: write to `<path>.tmp.<pid>`, flush to stable
+ * storage, then rename over `path`. Readers see either the old file or
+ * the complete new one, never a torn write. Returns false (with *err
+ * set) on I/O failure.
+ */
+bool writeFileAtomic(const std::string &path, std::string_view data,
+                     std::string *err);
+
+/** Read a whole file into `out`; false (with *err) when unreadable. */
+bool readFileBytes(const std::string &path, std::string *out,
+                   std::string *err);
+
+} // namespace wasp
+
+#endif // WASP_COMMON_SERIALIZE_HH

@@ -28,6 +28,14 @@ class Counter
     void reset() { value_ = 0; }
     uint64_t value() const { return value_; }
 
+    /** Stream through a symmetric archive (durable snapshots). */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ar.io(value_);
+    }
+
   private:
     uint64_t value_ = 0;
 };
@@ -106,6 +114,25 @@ class Distribution
     }
     bool operator!=(const Distribution &o) const { return !(*this == o); }
 
+    /**
+     * Stream through a symmetric archive (durable snapshots). All
+     * state is integral, so a restored distribution is bit-identical.
+     */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        size_t n = ar.count(buckets_.size());
+        if constexpr (Ar::kLoading)
+            buckets_.assign(n, 0);
+        for (auto &b : buckets_)
+            ar.io(b);
+        ar.io(count_);
+        ar.io(sum_);
+        ar.io(min_);
+        ar.io(max_);
+    }
+
   private:
     std::vector<uint64_t> buckets_;
     uint64_t count_ = 0;
@@ -175,7 +202,37 @@ class StatGroup
     }
     bool operator!=(const StatGroup &o) const { return !(*this == o); }
 
+    /** Stream through a symmetric archive (durable snapshots). */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ioNamed(ar, counters_);
+        ioNamed(ar, dists_);
+    }
+
   private:
+    template <class Ar, typename V>
+    static void
+    ioNamed(Ar &ar, std::map<std::string, V> &m)
+    {
+        size_t n = ar.count(m.size());
+        if constexpr (Ar::kLoading) {
+            m.clear();
+            std::string key;
+            for (size_t i = 0; i < n; ++i) {
+                ar.io(key);
+                m[key].checkpoint(ar);
+            }
+        } else {
+            for (auto &[k, v] : m) {
+                std::string key = k;
+                ar.io(key);
+                v.checkpoint(ar);
+            }
+        }
+    }
+
     std::map<std::string, Counter> counters_;
     std::map<std::string, Distribution> dists_;
 };

@@ -98,6 +98,36 @@ class Rfq
         return data;
     }
 
+    /**
+     * Stream queue state through a symmetric archive (durable
+     * snapshots). The occupancy-sampler pointer is deliberately not
+     * serialized: the owning SM re-installs it after restore.
+     */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ar.io(entries_);
+        ar.io(head_);
+        ar.io(tail_);
+        ar.io(count_);
+        size_t slots = ar.count(slots_.size());
+        if constexpr (Ar::kLoading)
+            slots_.assign(slots, LaneData{});
+        for (auto &s : slots_)
+            for (auto &lane : s)
+                ar.io(lane);
+        size_t valid = ar.count(valid_.size());
+        if constexpr (Ar::kLoading)
+            valid_.assign(valid, false);
+        for (size_t i = 0; i < valid_.size(); ++i) {
+            bool b = valid_[i];
+            ar.io(b);
+            if constexpr (Ar::kLoading)
+                valid_[i] = b;
+        }
+    }
+
   private:
     int entries_;
     int head_ = 0;

@@ -111,6 +111,16 @@ class TmaEngine : public sim::ClockedComponent
 
     uint64_t sectorsIssued() const { return sectors_issued_; }
 
+    /**
+     * Stream the descriptor table, per-entry tracking, in-flight
+     * transaction map, and round-robin state through a symmetric
+     * archive (durable snapshots). Hash maps travel sorted by key so
+     * the byte stream is canonical; open trace spans are not
+     * serialized (snapshots are gated off under tracing). Defined in
+     * sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     struct Entry
     {

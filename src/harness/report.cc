@@ -82,12 +82,12 @@ std::string
 MatrixReport::renderCycles() const
 {
     Table table({"Benchmark", "Config", "WeightedCycles", "Verified",
-                 "Outcome", "Seed"});
+                 "Outcome", "Seed", "Provenance"});
     for (const auto &app : apps_) {
         for (const auto &config : configs_) {
             const BenchResult *cell = find(app, config);
             if (cell == nullptr) {
-                table.row({app, config, "-", "-", "-", "-"});
+                table.row({app, config, "-", "-", "-", "-", "-"});
                 continue;
             }
             std::ostringstream seed;
@@ -95,7 +95,8 @@ MatrixReport::renderCycles() const
                  << cell->seed;
             table.row({app, config, fmtDouble(cell->weightedCycles, 0),
                        cell->verified ? "yes" : "NO",
-                       sim::outcomeName(cell->outcome), seed.str()});
+                       sim::outcomeName(cell->outcome), seed.str(),
+                       cell->provenance});
         }
     }
     return table.render();
@@ -155,7 +156,8 @@ MatrixReport::renderJson() const
                 .key("verified").value(cell->verified)
                 .key("outcome").value(sim::outcomeName(cell->outcome))
                 .key("attempts").value(cell->attempts)
-                .key("seed").value(seed.str());
+                .key("seed").value(seed.str())
+                .key("provenance").value(cell->provenance);
             w.key("dynInstrs").beginObject();
             for (size_t c = 0; c < cell->dynInstrs.size(); ++c)
                 w.key(isa::categoryName(static_cast<isa::InstrCategory>(c)))

@@ -1,0 +1,327 @@
+#include "harness/result_cache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/log.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/snapshot.hh"
+
+namespace wasp::harness
+{
+
+namespace
+{
+
+constexpr char kEntrySuffix[] = ".wrc";
+constexpr char kCorruptSuffix[] = ".corrupt";
+
+std::string
+hex16(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+} // namespace
+
+bool
+ensureDir(const std::string &path, std::string *err)
+{
+    // mkdir -p: create each component, tolerating ones that exist.
+    std::string partial;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+        size_t slash = path.find('/', pos);
+        if (slash == std::string::npos)
+            slash = path.size();
+        partial = path.substr(0, slash);
+        pos = slash + 1;
+        if (partial.empty() || partial == ".")
+            continue;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST) {
+            if (err)
+                *err = partial + ": " + std::strerror(errno);
+            return false;
+        }
+    }
+    struct stat st{};
+    if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        if (err)
+            *err = path + ": not a directory";
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+cellCacheKey(const ConfigSpec &spec, const workloads::BenchmarkDef &bench)
+{
+    Saver s;
+    // Any simulator-semantics change bumps kSimStateVersion and with it
+    // every cache key, orthogonally to the container version check.
+    uint32_t version = sim::kSimStateVersion;
+    s.io(version);
+    uint64_t chash = sim::configHash(spec.gpu);
+    s.io(chash);
+    // The config and benchmark names feed taskSeed (fault-replay
+    // identity) and label the cell in reports, so both are identity.
+    std::string name = spec.name;
+    s.io(name);
+    bool flag = spec.compileNonGemm;
+    s.io(flag);
+    flag = spec.gemmIdealMapping;
+    s.io(flag);
+    compiler::CompileOptions copts = spec.copts;
+    s.io(copts.tile);
+    s.io(copts.streamGather);
+    s.io(copts.emitTma);
+    s.io(copts.doubleBuffer);
+    s.io(copts.maxStages);
+    s.io(copts.queueEntries);
+    uint64_t seed = taskSeed(spec.name, bench.name);
+    s.io(seed);
+    std::string bname = bench.name;
+    s.io(bname);
+    s.count(bench.kernels.size());
+    for (const auto &mix : bench.kernels) {
+        std::string label = mix.label;
+        s.io(label);
+        double weight = mix.weight;
+        s.io(weight);
+        // Build into scratch memory purely to hash the kernel identity:
+        // the WSASS text covers the program, the expected outputs cover
+        // the generated input data without hashing all of gmem.
+        mem::GlobalMemory scratch;
+        workloads::BuiltKernel k = mix.build(scratch);
+        std::string wsass = isa::disassemble(k.prog);
+        s.io(wsass);
+        s.io(k.grid);
+        ioNumVec(s, k.params);
+        s.io(k.outAddr);
+        s.io(k.outWords);
+        ioNumVec(s, k.expected);
+        s.io(k.isGemm);
+        s.io(k.floatCompare);
+    }
+    return fnv1a64(s.data());
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir))
+{
+    std::string err;
+    if (!ensureDir(dir_, &err))
+        warn("result cache: cannot create %s: %s", dir_.c_str(),
+             err.c_str());
+}
+
+std::string
+ResultCache::entryName(uint64_t key)
+{
+    return hex16(key) + kEntrySuffix;
+}
+
+std::string
+ResultCache::entryPath(uint64_t key) const
+{
+    return dir_ + "/" + entryName(key);
+}
+
+void
+ResultCache::quarantine(const std::string &path)
+{
+    std::string dest = path + kCorruptSuffix;
+    if (::rename(path.c_str(), dest.c_str()) != 0) {
+        // Fall back to removal: a corrupt entry must never be served.
+        ::unlink(path.c_str());
+    }
+    ++quarantined_;
+}
+
+bool
+ResultCache::lookup(uint64_t key, BenchResult *out)
+{
+    std::string path = entryPath(key);
+    std::string bytes;
+    std::string err;
+    if (!readFileBytes(path, &bytes, &err)) {
+        ++misses_;
+        return false;
+    }
+    try {
+        ContainerInfo info =
+            unpackContainer(kCacheMagic, sim::kSimStateVersion,
+                            sim::kSimStateVersion, bytes,
+                            ("result-cache entry " + path).c_str());
+        Loader l(info.payload);
+        uint64_t stored = 0;
+        l.io(stored);
+        if (stored != key)
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "result-cache entry " + path +
+                                     ": stored key does not match file "
+                                     "name");
+        BenchResult r;
+        ioBenchResult(l, r);
+        l.expectEnd();
+        *out = std::move(r);
+        ++hits_;
+        return true;
+    } catch (const SerializeError &e) {
+        warn("result cache: quarantining %s: %s", path.c_str(), e.what());
+        quarantine(path);
+        ++misses_;
+        return false;
+    }
+}
+
+bool
+ResultCache::store(uint64_t key, const BenchResult &result,
+                   std::string *err)
+{
+    Saver s;
+    s.io(key);
+    BenchResult copy = result;
+    // Provenance describes the producing process, not the result.
+    copy.provenance.clear();
+    ioBenchResult(s, copy);
+    std::string blob =
+        packContainer(kCacheMagic, sim::kSimStateVersion, s.data());
+    return writeFileAtomic(entryPath(key), blob, err);
+}
+
+std::vector<std::string>
+ResultCache::list(const std::string &suffix) const
+{
+    std::vector<std::string> names;
+    DIR *d = ::opendir(dir_.c_str());
+    if (!d)
+        return names;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (endsWith(name, suffix))
+            names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    Stats st;
+    st.hits = hits_;
+    st.misses = misses_;
+    st.quarantined = quarantined_;
+    for (const std::string &name : list(kEntrySuffix)) {
+        struct stat sb{};
+        if (::stat((dir_ + "/" + name).c_str(), &sb) != 0)
+            continue;
+        ++st.entries;
+        st.bytes += static_cast<uint64_t>(sb.st_size);
+    }
+    st.corruptFiles = list(kCorruptSuffix).size();
+    return st;
+}
+
+size_t
+ResultCache::verify(std::vector<std::string> *report)
+{
+    size_t bad = 0;
+    for (const std::string &name : list(kEntrySuffix)) {
+        std::string path = dir_ + "/" + name;
+        std::string bytes;
+        std::string err;
+        if (!readFileBytes(path, &bytes, &err)) {
+            if (report)
+                report->push_back(name + ": unreadable: " + err);
+            continue;
+        }
+        try {
+            ContainerInfo info =
+                unpackContainer(kCacheMagic, sim::kSimStateVersion,
+                                sim::kSimStateVersion, bytes,
+                                name.c_str());
+            Loader l(info.payload);
+            uint64_t stored = 0;
+            l.io(stored);
+            if (entryName(stored) != name)
+                throw SerializeError(SerializeError::Kind::Malformed,
+                                     "stored key does not match file "
+                                     "name");
+            BenchResult r;
+            ioBenchResult(l, r);
+            l.expectEnd();
+        } catch (const SerializeError &e) {
+            if (report)
+                report->push_back(name + ": " + e.what());
+            quarantine(path);
+            ++bad;
+        }
+    }
+    return bad;
+}
+
+size_t
+ResultCache::gc(uint64_t max_bytes)
+{
+    size_t removed = 0;
+    // Quarantined files have served their post-mortem purpose once gc
+    // runs; reclaim them first.
+    for (const std::string &name : list(kCorruptSuffix)) {
+        if (::unlink((dir_ + "/" + name).c_str()) == 0)
+            ++removed;
+    }
+    struct Entry
+    {
+        std::string name;
+        uint64_t bytes;
+        int64_t mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total = 0;
+    for (const std::string &name : list(kEntrySuffix)) {
+        struct stat sb{};
+        if (::stat((dir_ + "/" + name).c_str(), &sb) != 0)
+            continue;
+        entries.push_back({name, static_cast<uint64_t>(sb.st_size),
+                           static_cast<int64_t>(sb.st_mtime)});
+        total += static_cast<uint64_t>(sb.st_size);
+    }
+    // Oldest first; name as deterministic tie-break within one second.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.name < b.name;
+              });
+    for (const Entry &e : entries) {
+        if (total <= max_bytes)
+            break;
+        if (::unlink((dir_ + "/" + e.name).c_str()) == 0) {
+            total -= e.bytes;
+            ++removed;
+        }
+    }
+    return removed;
+}
+
+} // namespace wasp::harness

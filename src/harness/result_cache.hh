@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Crash-safe persistent result cache for the experiment matrix.
+ *
+ * Entries are content-addressed: the key is a hash of everything that
+ * determines a cell's BenchResult — the canonical GpuConfig hash, the
+ * compile options, the WSASS text / grid / params / expected outputs
+ * of every kernel in the benchmark's mix, the replay taskSeed, and the
+ * simulator state version (sim/snapshot.hh). Any change to the
+ * machine, the workload generators, or simulation semantics produces a
+ * different key (or fails the version check), so a hit is *proof* the
+ * cached bytes equal what recomputation would produce.
+ *
+ * Entries are published with writeFileAtomic (temp + rename) and
+ * wrapped in the checksummed container format, so a crash mid-write
+ * can never leave a readable-but-wrong entry. Corrupt, truncated, or
+ * version-skewed entries are detected on read, quarantined (renamed to
+ * `<entry>.corrupt` for post-mortem), and treated as misses — the cell
+ * is transparently recomputed.
+ */
+
+#ifndef WASP_HARNESS_RESULT_CACHE_HH
+#define WASP_HARNESS_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "harness/runner.hh"
+#include "workloads/benchmarks.hh"
+
+namespace wasp::harness
+{
+
+/** Cache-entry container magic; files begin with "WASPCACH". */
+constexpr uint64_t kCacheMagic = 0x4843414350534157ull;
+
+/**
+ * Content-address of one (config × benchmark) matrix cell. Builds the
+ * benchmark's kernels (into scratch memory) to hash their WSASS text
+ * and input identity; building is cheap next to simulating.
+ */
+uint64_t cellCacheKey(const ConfigSpec &spec,
+                      const workloads::BenchmarkDef &bench);
+
+/**
+ * Serialize a BenchResult through a symmetric archive. `provenance` is
+ * deliberately excluded: it describes how *this* process obtained the
+ * result, never the result itself, so cached bytes stay byte-identical
+ * to recomputation.
+ */
+template <class Ar>
+void
+ioBenchResult(Ar &ar, BenchResult &r)
+{
+    ar.io(r.benchmark);
+    ar.io(r.config);
+    ar.io(r.weightedCycles);
+    ar.io(r.verified);
+    ar.io(r.outcome);
+    ar.io(r.diagnosis);
+    ar.io(r.pipelineDump);
+    ar.io(r.attempts);
+    ar.io(r.seed);
+    ioNumArr(ar, r.dynInstrs);
+    ar.io(r.l2Utilization);
+    ar.io(r.dramUtilization);
+    ar.io(r.l1HitRate);
+    ioNumArr(ar, r.stallCycles);
+    ioVec(ar, r.kernelCycles,
+          [](Ar &a, std::pair<std::string, double> &p) {
+              a.io(p.first);
+              a.io(p.second);
+          });
+}
+
+/** Create a directory (and parents); false with *err on failure. */
+bool ensureDir(const std::string &path, std::string *err);
+
+/** Persistent, crash-safe store of BenchResults keyed by content. */
+class ResultCache
+{
+  public:
+    /** Opens (creating if needed) the cache directory. */
+    explicit ResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** "<16-hex-key>.wrc" */
+    static std::string entryName(uint64_t key);
+    std::string entryPath(uint64_t key) const;
+
+    /**
+     * Fetch the entry for `key` into *out. Returns false on miss; a
+     * corrupt/truncated/version-skewed entry is quarantined and counts
+     * as a miss (the caller recomputes).
+     */
+    bool lookup(uint64_t key, BenchResult *out);
+
+    /** Publish an entry atomically; false with *err on I/O failure. */
+    bool store(uint64_t key, const BenchResult &result,
+               std::string *err = nullptr);
+
+    struct Stats
+    {
+        size_t entries = 0;     ///< valid-named entries on disk
+        uint64_t bytes = 0;     ///< total size of those entries
+        size_t corruptFiles = 0; ///< quarantined .corrupt files present
+        // This-process counters:
+        size_t hits = 0;
+        size_t misses = 0;
+        size_t quarantined = 0;
+    };
+    Stats stats() const;
+
+    /**
+     * Decode-check every entry; quarantine the undecodable. Returns
+     * the number quarantined; appends a line per problem to *report.
+     */
+    size_t verify(std::vector<std::string> *report = nullptr);
+
+    /**
+     * Delete oldest entries (by modification time) until the cache
+     * holds at most `max_bytes`; also removes quarantined files.
+     * Returns the number of files deleted.
+     */
+    size_t gc(uint64_t max_bytes);
+
+  private:
+    /** Entry file names in dir_ with the given suffix. */
+    std::vector<std::string> list(const std::string &suffix) const;
+    void quarantine(const std::string &path);
+
+    std::string dir_;
+    size_t hits_ = 0;
+    size_t misses_ = 0;
+    size_t quarantined_ = 0;
+};
+
+} // namespace wasp::harness
+
+#endif // WASP_HARNESS_RESULT_CACHE_HH

@@ -1,10 +1,15 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
+
+#include <unistd.h>
 
 #include "common/log.hh"
 #include "common/thread_pool.hh"
+#include "harness/result_cache.hh"
 
 namespace wasp::harness
 {
@@ -30,6 +35,14 @@ machineModel(const sim::GpuConfig &gpu)
 KernelResult
 runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
           mem::GlobalMemory &gmem)
+{
+    return runKernel(spec, k, gmem, sim::RunBudget{}, nullptr);
+}
+
+KernelResult
+runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
+          mem::GlobalMemory &gmem, const sim::RunBudget &budget,
+          const KernelResume *resume)
 {
     KernelResult result;
 
@@ -64,15 +77,72 @@ runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
     if (k.isGemm && spec.gemmIdealMapping)
         gpu.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
 
-    result.stats =
-        sim::runProgram(gpu, gmem, result.compiled, k.grid, k.params);
+    // Compilation above is deterministic, so a resumed call rebuilds the
+    // identical program and the snapshot's launch hash still matches.
+    bool budgeted = budget.any();
+    bool resume_main = resume && resume->phase == 0;
+    bool resume_raw = resume && resume->phase == 1;
+
+    if (resume_raw) {
+        // The main simulation completed before the interruption; its
+        // stats rode along in the checkpoint.
+        result.stats = resume->mainStats;
+    } else if (budgeted || resume_main) {
+        sim::RunControl ctl;
+        std::string snap;
+        if (budgeted) {
+            ctl.budget = budget;
+            ctl.budgetSnapshotOut = &snap;
+        }
+        if (resume_main)
+            ctl.resumeFrom = &resume->snapshot;
+        try {
+            result.stats = sim::runProgram(gpu, gmem, result.compiled,
+                                           k.grid, k.params, ctl);
+        } catch (const sim::SimError &e) {
+            if (e.outcome != sim::RunOutcome::BudgetExceeded)
+                throw;
+            KernelBudgetStop stop;
+            stop.phase = 0;
+            stop.snapshot = std::move(snap);
+            stop.diagnosis = e.diagnosis;
+            throw stop;
+        }
+    } else {
+        result.stats =
+            sim::runProgram(gpu, gmem, result.compiled, k.grid, k.params);
+    }
 
     // Per Section V-A, the compiler is directed per kernel: warp
     // specialization is only kept when it beats the untransformed
     // kernel on the same hardware.
     if (transform && result.creport.transformed && spec.compileNonGemm) {
-        sim::RunStats raw =
-            sim::runProgram(gpu, gmem, k.prog, k.grid, k.params);
+        sim::RunStats raw;
+        if (budgeted || resume_raw) {
+            sim::RunControl ctl;
+            std::string snap;
+            if (budgeted) {
+                ctl.budget = budget;
+                ctl.budgetSnapshotOut = &snap;
+            }
+            if (resume_raw)
+                ctl.resumeFrom = &resume->snapshot;
+            try {
+                raw = sim::runProgram(gpu, gmem, k.prog, k.grid,
+                                      k.params, ctl);
+            } catch (const sim::SimError &e) {
+                if (e.outcome != sim::RunOutcome::BudgetExceeded)
+                    throw;
+                KernelBudgetStop stop;
+                stop.phase = 1;
+                stop.snapshot = std::move(snap);
+                stop.mainStats = result.stats;
+                stop.diagnosis = e.diagnosis;
+                throw stop;
+            }
+        } else {
+            raw = sim::runProgram(gpu, gmem, k.prog, k.grid, k.params);
+        }
         if (raw.cycles < result.stats.cycles) {
             result.stats = raw;
             result.compiled = k.prog;
@@ -209,6 +279,209 @@ faultCell(const ConfigSpec &spec, const std::string &app,
     return r;
 }
 
+/** Cell-checkpoint container magic; files begin with "WASPCKPT". */
+constexpr uint64_t kCheckpointMagic = 0x54504b4350534157ull;
+
+/**
+ * Resumable state of a partially simulated matrix cell: the kernels
+ * already accumulated, and (when the ceiling tripped mid-simulation)
+ * the in-flight kernel's GPU snapshot.
+ */
+struct CellCheckpoint
+{
+    uint64_t key = 0;      ///< cellCacheKey: validated on resume
+    uint32_t kernelIdx = 0; ///< index of the interrupted kernel mix
+    double totalWeight = 0.0;
+    BenchResult partial;   ///< accumulators over kernels [0, kernelIdx)
+    KernelResume resume;   ///< in-flight kernel state (phase -1 = cold)
+
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ar.io(key);
+        ar.io(kernelIdx);
+        ar.io(totalWeight);
+        ioBenchResult(ar, partial);
+        ar.io(resume.phase);
+        ar.io(resume.snapshot);
+        resume.mainStats.checkpoint(ar);
+    }
+};
+
+/** Thrown by runBenchmarkDurable when a cell exceeds its budget. */
+struct CellBudgetStop
+{
+    CellCheckpoint ck;
+    std::string diagnosis;
+};
+
+std::string
+checkpointPath(const std::string &ckpt_dir, uint64_t key)
+{
+    return ckpt_dir + "/" + strprintf("%016llx.wckp",
+                                      static_cast<unsigned long long>(key));
+}
+
+bool
+writeCellCheckpoint(const std::string &path, CellCheckpoint &ck)
+{
+    Saver s;
+    ck.checkpoint(s);
+    std::string blob =
+        packContainer(kCheckpointMagic, sim::kSimStateVersion, s.data());
+    std::string err;
+    if (!writeFileAtomic(path, blob, &err)) {
+        warn("cell checkpoint: cannot write %s: %s", path.c_str(),
+             err.c_str());
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Load a cell checkpoint; false on absence. A corrupt, version-skewed,
+ * or stale (key-mismatched) checkpoint is set aside and the cell is
+ * recomputed from scratch — resuming must never be less safe than not
+ * resuming.
+ */
+bool
+loadCellCheckpoint(const std::string &path, uint64_t key,
+                   CellCheckpoint *ck)
+{
+    std::string bytes;
+    std::string err;
+    if (!readFileBytes(path, &bytes, &err))
+        return false;
+    try {
+        ContainerInfo info =
+            unpackContainer(kCheckpointMagic, sim::kSimStateVersion,
+                            sim::kSimStateVersion, bytes,
+                            ("cell checkpoint " + path).c_str());
+        Loader l(info.payload);
+        ck->checkpoint(l);
+        l.expectEnd();
+        if (ck->key != key)
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "checkpoint is for a different cell "
+                                 "content (stale after a config or "
+                                 "workload change)");
+        return true;
+    } catch (const SerializeError &e) {
+        warn("cell checkpoint: ignoring %s: %s", path.c_str(), e.what());
+        std::string dest = path + ".corrupt";
+        if (::rename(path.c_str(), dest.c_str()) != 0)
+            ::unlink(path.c_str());
+        return false;
+    }
+}
+
+/**
+ * runBenchmark with per-cell budget ceilings and checkpoint/resume.
+ * With an all-zero budget and no checkpoint this is exactly
+ * runBenchmark. Throws CellBudgetStop on a ceiling trip; `resume_ck`
+ * (may be null) continues a previously interrupted cell — and then
+ * runs to completion with ceilings disabled, so repeated resume
+ * invocations converge instead of re-tripping forever.
+ */
+BenchResult
+runBenchmarkDurable(const ConfigSpec &spec,
+                    const workloads::BenchmarkDef &bench,
+                    const BudgetSpec &budget, uint64_t key,
+                    const CellCheckpoint *resume_ck)
+{
+    BenchResult result;
+    result.benchmark = bench.name;
+    result.config = spec.name;
+    result.seed = taskSeed(spec.name, bench.name);
+    double total_weight = 0.0;
+    size_t start_idx = 0;
+    const KernelResume *kres = nullptr;
+    bool apply_budget = budget.any();
+    if (resume_ck) {
+        result = resume_ck->partial;
+        result.provenance = "resumed";
+        total_weight = resume_ck->totalWeight;
+        start_idx = resume_ck->kernelIdx;
+        if (resume_ck->resume.phase >= 0)
+            kres = &resume_ck->resume;
+        apply_budget = false;
+    }
+    auto wall_start = std::chrono::steady_clock::now();
+    for (size_t idx = start_idx; idx < bench.kernels.size(); ++idx) {
+        const auto &mix = bench.kernels[idx];
+        auto stopAt = [&](KernelResume &&kr) {
+            CellBudgetStop stop;
+            stop.ck.key = key;
+            stop.ck.kernelIdx = static_cast<uint32_t>(idx);
+            stop.ck.totalWeight = total_weight;
+            stop.ck.partial = result;
+            stop.ck.resume = std::move(kr);
+            return stop;
+        };
+        sim::RunBudget rb;
+        if (apply_budget) {
+            rb.maxCycles = budget.cycles;
+            rb.maxRssBytes = budget.rssMb * 1024 * 1024;
+            if (budget.wallMs != 0) {
+                auto elapsed = static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - wall_start)
+                        .count());
+                if (elapsed >= budget.wallMs) {
+                    // Tripped between simulations: nothing is in
+                    // flight, the checkpoint restarts this kernel cold.
+                    CellBudgetStop stop = stopAt(KernelResume{});
+                    stop.diagnosis = strprintf(
+                        "[budget-exceeded] cell %s x %s: wall-clock "
+                        "budget (%llu ms) exhausted before kernel %zu",
+                        spec.name.c_str(), bench.name.c_str(),
+                        static_cast<unsigned long long>(budget.wallMs),
+                        idx);
+                    throw stop;
+                }
+                rb.maxWallMs = budget.wallMs - elapsed;
+            }
+        }
+        mem::GlobalMemory gmem;
+        workloads::BuiltKernel k = mix.build(gmem);
+        KernelResult kr;
+        try {
+            kr = runKernel(spec, k, gmem, rb,
+                           idx == start_idx ? kres : nullptr);
+        } catch (KernelBudgetStop &stop) {
+            KernelResume res;
+            res.phase = stop.phase;
+            res.snapshot = std::move(stop.snapshot);
+            res.mainStats = std::move(stop.mainStats);
+            CellBudgetStop cell = stopAt(std::move(res));
+            cell.diagnosis = stop.diagnosis;
+            throw cell;
+        }
+        result.verified = result.verified && kr.verified;
+        double cycles = static_cast<double>(kr.stats.cycles);
+        result.weightedCycles += mix.weight * cycles;
+        result.kernelCycles.emplace_back(mix.label, cycles);
+        for (size_t c = 0; c < result.dynInstrs.size(); ++c)
+            result.dynInstrs[c] +=
+                mix.weight * static_cast<double>(kr.stats.dynInstrs[c]);
+        result.l2Utilization += mix.weight * kr.stats.l2Utilization();
+        result.dramUtilization +=
+            mix.weight * kr.stats.dramUtilization();
+        result.l1HitRate += mix.weight * kr.stats.l1HitRate();
+        for (size_t r = 0; r < sim::kNumStallReasons; ++r)
+            result.stallCycles[r] +=
+                mix.weight * static_cast<double>(kr.stats.stallCycles[r]);
+        total_weight += mix.weight;
+    }
+    if (total_weight > 0.0) {
+        result.l2Utilization /= total_weight;
+        result.dramUtilization /= total_weight;
+        result.l1HitRate /= total_weight;
+    }
+    return result;
+}
+
 } // namespace
 
 std::vector<BenchResult>
@@ -216,51 +489,143 @@ runMatrix(const std::vector<ConfigSpec> &specs,
           const std::vector<std::string> &apps, int jobs,
           FaultPolicy on_fault)
 {
+    MatrixOptions opts;
+    opts.jobs = jobs;
+    opts.onFault = on_fault;
+    return runMatrix(specs, apps, opts);
+}
+
+std::vector<BenchResult>
+runMatrix(const std::vector<ConfigSpec> &specs,
+          const std::vector<std::string> &apps, const MatrixOptions &opts)
+{
+    std::unique_ptr<ResultCache> cache;
+    std::string ckpt_dir;
+    if (!opts.cacheDir.empty()) {
+        cache = std::make_unique<ResultCache>(opts.cacheDir);
+        ckpt_dir = opts.cacheDir + "/checkpoints";
+        std::string err;
+        if (!ensureDir(ckpt_dir, &err))
+            warn("matrix: cannot create checkpoint dir: %s", err.c_str());
+    }
     // Pre-size the result grid so each task writes only its own cell:
     // completion order cannot affect placement, and no locking is
-    // needed on the results themselves.
+    // needed on the results themselves. The cache is safe to share:
+    // lookups/stores touch distinct per-key files.
     std::vector<BenchResult> results(specs.size() * apps.size());
-    parallelFor(jobs, results.size(), [&](size_t i) {
+    parallelFor(opts.jobs, results.size(), [&](size_t i) {
         size_t s = i / apps.size();
         size_t a = i % apps.size();
-        auto attempt = [&]() -> BenchResult {
-            return runBenchmark(specs[s], workloads::benchmark(apps[a]));
+        const ConfigSpec &spec = specs[s];
+        const workloads::BenchmarkDef &bench =
+            workloads::benchmark(apps[a]);
+
+        uint64_t key = 0;
+        std::string ckpt_path;
+        if (cache) {
+            key = cellCacheKey(spec, bench);
+            BenchResult hit;
+            if (cache->lookup(key, &hit)) {
+                hit.provenance = "cached";
+                results[i] = std::move(hit);
+                return;
+            }
+            ckpt_path = checkpointPath(ckpt_dir, key);
+        }
+        CellCheckpoint ck;
+        bool have_ck = opts.resume && !ckpt_path.empty() &&
+                       loadCellCheckpoint(ckpt_path, key, &ck);
+
+        // Publish a finished cell: cache it when the result is clean
+        // (a diagnosis describes this process's environment, not the
+        // cell, and must never be served to a later run), and retire
+        // any consumed checkpoint.
+        auto finish = [&](BenchResult &&r) {
+            results[i] = std::move(r);
+            if (cache && results[i].outcome == sim::RunOutcome::Ok &&
+                results[i].diagnosis.empty()) {
+                std::string err;
+                if (!cache->store(key, results[i], &err))
+                    warn("result cache: cannot store %s x %s: %s",
+                         spec.name.c_str(), apps[a].c_str(), err.c_str());
+            }
+            if (!ckpt_path.empty())
+                ::unlink(ckpt_path.c_str());
         };
-        // First attempt. With FaultPolicy::Abort the exception
-        // propagates through parallelFor to the runMatrix caller.
+        auto budgetCell = [&](const std::string &diag) {
+            return faultCell(spec, apps[a],
+                             sim::RunOutcome::BudgetExceeded, diag, "");
+        };
+
+        // First attempt (resuming a prior interruption when present).
+        // With FaultPolicy::Abort the exception propagates through
+        // parallelFor to the runMatrix caller.
+        std::string first_diag;
         try {
-            results[i] = attempt();
+            finish(runBenchmarkDurable(spec, bench, opts.budget, key,
+                                       have_ck ? &ck : nullptr));
             return;
+        } catch (CellBudgetStop &stop) {
+            if (opts.onBudget == BudgetPolicy::Checkpoint) {
+                std::string diag = stop.diagnosis;
+                if (!ckpt_path.empty() &&
+                    writeCellCheckpoint(ckpt_path, stop.ck))
+                    diag += " [resumable checkpoint written; continue "
+                            "with --resume]";
+                else
+                    diag += " [checkpoint not persisted: no cache "
+                            "directory]";
+                results[i] = budgetCell(diag);
+                return;
+            }
+            if (opts.onBudget == BudgetPolicy::Skip) {
+                results[i] = budgetCell(stop.diagnosis);
+                return;
+            }
+            first_diag = stop.diagnosis;
         } catch (const sim::SimError &e) {
-            if (on_fault == FaultPolicy::Abort)
+            if (opts.onFault == FaultPolicy::Abort)
                 throw;
-            results[i] = faultCell(specs[s], apps[a], e.outcome,
-                                   e.diagnosis, e.stats.pipelineDump);
+            results[i] = faultCell(spec, apps[a], e.outcome, e.diagnosis,
+                                   e.stats.pipelineDump);
+            if (opts.onFault != FaultPolicy::Retry)
+                return;
+            first_diag = results[i].diagnosis;
         } catch (const SimAbortError &e) {
-            if (on_fault == FaultPolicy::Abort)
+            if (opts.onFault == FaultPolicy::Abort)
                 throw;
-            results[i] = faultCell(specs[s], apps[a],
+            results[i] = faultCell(spec, apps[a],
                                    sim::RunOutcome::InternalError,
                                    e.what(), "");
+            if (opts.onFault != FaultPolicy::Retry)
+                return;
+            first_diag = results[i].diagnosis;
         }
-        if (on_fault != FaultPolicy::Retry)
-            return;
-        // One retry with the identical taskSeed. Simulation is
-        // deterministic, so a reproduced failure is strong evidence
-        // the fault is in the cell, not the environment.
-        std::string first_diag = results[i].diagnosis;
+        // One retry with the identical taskSeed, started cold.
+        // Simulation is deterministic, so a reproduced simulation fault
+        // is strong evidence the fault is in the cell, not the
+        // environment; a reproduced budget trip means the cell really
+        // is over budget (wall/RSS trips can be environment noise,
+        // which is what BudgetPolicy::Retry exists to absorb).
         try {
-            results[i] = attempt();
-            results[i].diagnosis =
+            BenchResult r =
+                runBenchmarkDurable(spec, bench, opts.budget, key,
+                                    nullptr);
+            r.diagnosis =
                 "passed on retry (first attempt: " + first_diag + ")";
+            finish(std::move(r));
+        } catch (CellBudgetStop &stop) {
+            results[i] = budgetCell(stop.diagnosis +
+                                    " [reproduced on retry with "
+                                    "identical taskSeed]");
         } catch (const sim::SimError &e) {
-            results[i] = faultCell(specs[s], apps[a], e.outcome,
+            results[i] = faultCell(spec, apps[a], e.outcome,
                                    e.diagnosis +
                                        " [reproduced on retry with "
                                        "identical taskSeed]",
                                    e.stats.pipelineDump);
         } catch (const SimAbortError &e) {
-            results[i] = faultCell(specs[s], apps[a],
+            results[i] = faultCell(spec, apps[a],
                                    sim::RunOutcome::InternalError,
                                    std::string(e.what()) +
                                        " [reproduced on retry with "

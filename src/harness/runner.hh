@@ -15,6 +15,7 @@
 
 #include "harness/configs.hh"
 #include "sim/gpu.hh"
+#include "sim/snapshot.hh"
 #include "workloads/benchmarks.hh"
 
 namespace wasp::harness
@@ -32,6 +33,46 @@ struct KernelResult
 /** Compile (per config) and run one built kernel; verifies output. */
 KernelResult runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
                        mem::GlobalMemory &gmem);
+
+/**
+ * Mid-kernel durable state: which simulation of runKernel was
+ * interrupted and the GPU snapshot to continue it from. phase 0 is the
+ * main (post-compiler) run; phase 1 is the profitability re-run of the
+ * untransformed program, whose completed main-run stats ride along so
+ * the resumed call can skip the main simulation entirely. phase -1
+ * means "restart this kernel from scratch" (the budget tripped between
+ * simulations, where there is nothing to snapshot).
+ */
+struct KernelResume
+{
+    int phase = -1;
+    std::string snapshot;
+    sim::RunStats mainStats;
+};
+
+/**
+ * Thrown (as an internal control-flow object, not a std::exception) by
+ * the durable runKernel overload when a budget ceiling trips: carries
+ * everything needed to build a KernelResume for the checkpoint.
+ */
+struct KernelBudgetStop
+{
+    int phase = 0;
+    std::string snapshot;
+    sim::RunStats mainStats;
+    std::string diagnosis;
+};
+
+/**
+ * Durable variant: applies per-simulation budget ceilings and/or
+ * resumes a previously interrupted kernel. Throws KernelBudgetStop on
+ * a ceiling trip. `resume` may be null (start cold); `budget` ceilings
+ * of 0 are disabled.
+ */
+KernelResult runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
+                       mem::GlobalMemory &gmem,
+                       const sim::RunBudget &budget,
+                       const KernelResume *resume);
 
 /**
  * Convert a GpuConfig into the compiler's self-contained machine
@@ -70,6 +111,11 @@ struct BenchResult
     std::array<double, sim::kNumStallReasons> stallCycles{};
     /** Per-kernel cycle counts (Table II per-kernel speedups). */
     std::vector<std::pair<std::string, double>> kernelCycles;
+    /** How this process obtained the cell: "computed" (simulated here),
+     * "cached" (served from the persistent result cache), or "resumed"
+     * (continued from a budget checkpoint). Never serialized into the
+     * cache — cached bytes stay byte-identical to recomputation. */
+    std::string provenance = "computed";
 };
 
 /** Run every kernel of a benchmark under a configuration. */
@@ -124,6 +170,57 @@ std::vector<BenchResult> runMatrix(const std::vector<ConfigSpec> &specs,
                                    const std::vector<std::string> &apps,
                                    int jobs = 0,
                                    FaultPolicy on_fault = FaultPolicy::Skip);
+
+/** Per-cell resource ceilings for the durable matrix (0 disables). */
+struct BudgetSpec
+{
+    uint64_t wallMs = 0;  ///< wall clock across the cell's kernels
+    uint64_t cycles = 0;  ///< simulated cycles per simulation
+    uint64_t rssMb = 0;   ///< process resident-set ceiling
+
+    bool
+    any() const
+    {
+        return wallMs != 0 || cycles != 0 || rssMb != 0;
+    }
+};
+
+/** What runMatrix does with a cell that exceeds its budget. */
+enum class BudgetPolicy : uint8_t
+{
+    Skip,       ///< mark the cell BudgetExceeded, keep going
+    Retry,      ///< one fresh rerun (transient RSS/wall noise), then Skip
+    Checkpoint, ///< persist a resumable cell checkpoint, then mark
+};
+
+/** Options for the durable runMatrix overload. */
+struct MatrixOptions
+{
+    int jobs = 0;
+    FaultPolicy onFault = FaultPolicy::Skip;
+    /** Per-cell ceilings; BudgetSpec{} (all zero) disables. */
+    BudgetSpec budget;
+    BudgetPolicy onBudget = BudgetPolicy::Skip;
+    /** Persistent result-cache directory (checkpoints live in
+     * `<cacheDir>/checkpoints`); empty disables caching. */
+    std::string cacheDir;
+    /** Consume cell checkpoints in cacheDir: over-budget cells from a
+     * previous invocation continue exactly where they stopped — and run
+     * to completion without re-applying the ceiling that tripped, so
+     * repeated --resume invocations converge. */
+    bool resume = false;
+};
+
+/**
+ * Durable matrix: the plain runMatrix semantics (canonical cell order,
+ * per-cell isolation, bit-identical results for any job count) plus a
+ * crash-safe persistent result cache, per-cell budget enforcement, and
+ * checkpoint/resume of interrupted cells. Each result's `provenance`
+ * records how the cell was obtained.
+ */
+std::vector<BenchResult> runMatrix(const std::vector<ConfigSpec> &specs,
+                                   const std::vector<std::string> &apps,
+                                   const MatrixOptions &opts);
 
 } // namespace wasp::harness
 

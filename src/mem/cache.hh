@@ -71,6 +71,15 @@ class TimingCache
     uint64_t misses() const { return misses_; }
     void clearStats() { hits_ = 0; misses_ = 0; }
 
+    /**
+     * Stream tag/LRU/MSHR state through a symmetric archive (durable
+     * snapshots). Geometry (sets/ways/MSHR limit) comes from the
+     * config-rebuilt object and is validated, not restored; MSHRs are
+     * serialized sorted by line so the byte stream is canonical.
+     * Defined in sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     struct Line
     {

@@ -157,6 +157,14 @@ class Dram : public sim::ClockedComponent
         bytes_written_ = 0;
     }
 
+    /**
+     * Stream queue/budget/latency state through a symmetric archive
+     * (durable snapshots). The fractional bandwidth budget travels
+     * bit_cast, so lazy accrual resumes with the exact double the
+     * uninterrupted run would hold. Defined in sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     /**
      * Replay the per-cycle budget update for every unaccounted cycle

@@ -119,6 +119,18 @@ class GlobalMemory
     /** Attach/detach the access auditor (nullptr disables auditing). */
     void setAuditor(GmemAccessAuditor *auditor) { auditor_ = auditor; }
 
+    /**
+     * Stream the allocator cursor and all mapped pages through a
+     * symmetric archive (durable snapshots). All-zero pages are
+     * skipped: an unmapped page reads as zero, so dropping them is
+     * observationally identical and keeps snapshots proportional to
+     * live data. Loading resets the memory first; pages stream sorted
+     * by index, so the byte stream is canonical. Defined in
+     * sim/snapshot.cc. Not thread-safe; call only while the machine is
+     * quiescent (a cycle boundary).
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     using Page = std::array<uint8_t, kPageBytes>;
 

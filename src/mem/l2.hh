@@ -93,6 +93,13 @@ class L2Cache : public sim::ClockedComponent
         return sm < ports_.size() ? ports_[sm].size() : 0;
     }
 
+    /**
+     * Stream bank caches, bank queues, ingress ports, and in-flight
+     * responses through a symmetric archive (durable snapshots).
+     * Defined in sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     /** Drain ingress ports into bank queues in SM-index order. */
     void exchangeIngress();

@@ -83,6 +83,26 @@ class DelayQueue
         return queue_.empty() ? ~0ull : queue_.front().ready;
     }
 
+    /**
+     * Stream through a symmetric archive (durable snapshots). `elem`
+     * is `fn(ar, item)` for the payload type; each entry's ready cycle
+     * travels alongside it, so in-flight latency is preserved exactly.
+     */
+    template <class Ar, class Fn>
+    void
+    checkpoint(Ar &ar, Fn elem)
+    {
+        size_t n = ar.count(queue_.size());
+        if constexpr (Ar::kLoading) {
+            queue_.clear();
+            queue_.resize(n);
+        }
+        for (auto &e : queue_) {
+            elem(ar, e.item);
+            ar.io(e.ready);
+        }
+    }
+
   private:
     struct Entry
     {

@@ -43,6 +43,17 @@ class SmemStorage
 
     uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
 
+    /** Stream the raw bytes through a symmetric archive (snapshots). */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        size_t n = ar.count(data_.size());
+        if constexpr (Ar::kLoading)
+            data_.assign(n, 0);
+        ar.bytes(data_.data(), data_.size());
+    }
+
   private:
     std::vector<uint8_t> data_;
 };

@@ -110,6 +110,16 @@ class FaultInjector
     /** Per-class summary of what was injected, for diagnoses. */
     std::string diagnosis() const;
 
+    /**
+     * Stream the injector's dynamic state — per-spec RNG streams,
+     * injection counters, activation flags — through a symmetric
+     * archive (durable snapshots). The armed spec list itself comes
+     * from the rebuilt FaultPlan (covered by the config hash) and is
+     * validated, not restored, so a resumed run continues the exact
+     * decision sequence mid-fault-window. Defined in sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar);
+
   private:
     struct Armed
     {

@@ -392,10 +392,23 @@ Gpu::nextWakeCycle(uint64_t now)
 RunStats
 Gpu::run(const Launch &launch)
 {
+    return run(launch, RunControl{});
+}
+
+RunStats
+Gpu::run(const Launch &launch, const RunControl &ctl)
+{
     wasp_check(launch.prog && launch.cfg, "launch missing program/cfg");
     wasp_check(launch.prog->tb.numStages <= config_.maxStages,
                "kernel uses %d stages, SM supports %d",
                launch.prog->tb.numStages, config_.maxStages);
+    const bool durable = ctl.snapshotAtCycle != RunControl::kNoSnapshot ||
+                         ctl.resumeFrom != nullptr || ctl.budget.any();
+    // Open trace spans (per-warp phases, async DRAM reads) are not
+    // serializable state; durable runs are gated off under tracing.
+    wasp_check(!durable || config_.trace == nullptr,
+               "snapshot/resume/budget control is not supported with a "
+               "trace sink attached");
     buildMachine();
     launch_ = &launch;
     next_cta_ = 0;
@@ -438,9 +451,22 @@ Gpu::run(const Launch &launch)
         gmem_.setAuditor(auditor_.get());
     }
 
+    snapshot_taken_ = false;
+    budget_poll_ = 0;
+    run_start_ = std::chrono::steady_clock::now();
+
     uint64_t now = 0;
     uint64_t tick_progress = 0;
+    // Resume re-enters the loop at the snapshot's (now, tick_progress):
+    // the snapshot was taken at the head of cycle `now`, before it
+    // simulated, so the first tick below replays exactly the cycle the
+    // snapshotting run was about to execute.
+    if (ctl.resumeFrom)
+        restoreSnapshot(*ctl.resumeFrom, launch, now, tick_progress);
+
     for (;;) {
+        if (durable)
+            durableHead(ctl, now, tick_progress);
         tick(now);
         if (next_cta_ >= launch.gridDim) {
             bool all_idle = true;
@@ -513,6 +539,14 @@ runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
            const isa::Program &prog, int grid_dim,
            const std::vector<uint32_t> &params)
 {
+    return runProgram(config, gmem, prog, grid_dim, params, RunControl{});
+}
+
+RunStats
+runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
+           const isa::Program &prog, int grid_dim,
+           const std::vector<uint32_t> &params, const RunControl &ctl)
+{
     isa::Cfg cfg(prog);
     Launch launch;
     launch.prog = &prog;
@@ -520,7 +554,7 @@ runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
     launch.gridDim = grid_dim;
     launch.params = params;
     Gpu gpu(config, gmem);
-    return gpu.run(launch);
+    return gpu.run(launch, ctl);
 }
 
 } // namespace wasp::sim

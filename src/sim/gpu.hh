@@ -7,6 +7,7 @@
 #ifndef WASP_SIM_GPU_HH
 #define WASP_SIM_GPU_HH
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "sim/gmem_audit.hh"
 #include "sim/run_stats.hh"
 #include "sim/sm.hh"
+#include "sim/snapshot.hh"
 
 namespace wasp::sim
 {
@@ -60,6 +62,17 @@ class Gpu
      * exceeded, or when an injected fault wedges the pipeline.
      */
     RunStats run(const Launch &launch);
+
+    /**
+     * Durable variant: optionally resume from a snapshot, capture a
+     * snapshot at a requested cycle (without perturbing the run), and
+     * enforce per-run budget ceilings (throwing SimError with
+     * RunOutcome::BudgetExceeded after writing a resumable snapshot).
+     * run-to-C → snapshot → restore → run-to-end is bit-identical to
+     * the uninterrupted run; see sim/snapshot.hh. Not supported with a
+     * trace sink attached (open trace spans are not serializable).
+     */
+    RunStats run(const Launch &launch, const RunControl &ctl);
 
     const GpuConfig &config() const { return config_; }
 
@@ -104,6 +117,29 @@ class Gpu
     void tickSmsParallel(uint64_t now);
     /** HMMA issues across all SMs (timeline sampling, serial phase). */
     uint64_t totalTensorIssues() const;
+
+    /**
+     * Stream the complete machine + run-loop state through a symmetric
+     * archive. `now`/`tick_progress` are the run loop's locals: the
+     * snapshot means "about to simulate cycle now". Defined in
+     * sim/snapshot.cc.
+     */
+    template <class Ar>
+    void checkpointState(Ar &ar, const Launch &launch, uint64_t &now,
+                         uint64_t &tick_progress);
+    /** Wrap checkpointState in the container format with identity hashes. */
+    std::string packSnapshot(uint64_t now, uint64_t tick_progress);
+    /** Validate + restore a snapshot; throws SerializeError on mismatch. */
+    void restoreSnapshot(const std::string &blob, const Launch &launch,
+                         uint64_t &now, uint64_t &tick_progress);
+    /**
+     * Head-of-cycle durable checks: requested snapshot capture and
+     * budget ceilings. Runs before cycle `now` simulates, so a budget
+     * snapshot resumes exactly here. May throw SimError
+     * (BudgetExceeded).
+     */
+    void durableHead(const RunControl &ctl, uint64_t now,
+                     uint64_t tick_progress);
 
     GpuConfig config_;
     mem::GlobalMemory &gmem_;
@@ -155,6 +191,10 @@ class Gpu
     uint64_t last_sample_cycle_ = 0;
     uint64_t last_tensor_issues_ = 0;
     uint64_t last_l2_bytes_ = 0;
+    // Durable-run state (reset per run).
+    bool snapshot_taken_ = false;
+    uint64_t budget_poll_ = 0;
+    std::chrono::steady_clock::time_point run_start_;
 };
 
 /**
@@ -164,6 +204,12 @@ class Gpu
 RunStats runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
                     const isa::Program &prog, int grid_dim,
                     const std::vector<uint32_t> &params);
+
+/** Durable variant: see Gpu::run(launch, ctl). */
+RunStats runProgram(const GpuConfig &config, mem::GlobalMemory &gmem,
+                    const isa::Program &prog, int grid_dim,
+                    const std::vector<uint32_t> &params,
+                    const RunControl &ctl);
 
 } // namespace wasp::sim
 

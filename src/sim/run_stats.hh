@@ -34,6 +34,7 @@ enum class RunOutcome : uint8_t
     WatchdogStall, ///< maxCycles exceeded while still making progress
     FaultInjected, ///< stall detected after the fault injector fired
     InternalError, ///< simulator invariant failure (harness-level only)
+    BudgetExceeded, ///< a per-job budget ceiling (wall/cycles/RSS) tripped
 };
 
 inline const char *
@@ -45,6 +46,7 @@ outcomeName(RunOutcome outcome)
       case RunOutcome::WatchdogStall: return "watchdog-stall";
       case RunOutcome::FaultInjected: return "fault-injected";
       case RunOutcome::InternalError: return "internal-error";
+      case RunOutcome::BudgetExceeded: return "budget-exceeded";
     }
     return "unknown";
 }
@@ -156,6 +158,51 @@ struct RunStats
 
     // -- timeline (Fig 3) ----------------------------------------------------
     std::vector<TimelineSample> timeline;
+
+    /**
+     * Stream every field through a symmetric archive (durable
+     * snapshots and the harness result cache). Doubles travel
+     * bit_cast, integers fixed-width: a restored RunStats is
+     * bit-identical to the saved one, including stall buckets and the
+     * per-SM detail distributions the equivalence gates compare.
+     */
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ar.io(cycles);
+        ar.io(outcome);
+        ar.io(pipelineDump);
+        for (auto &v : dynInstrs)
+            ar.io(v);
+        ar.io(l1Hits);
+        ar.io(l1Misses);
+        ar.io(l2Hits);
+        ar.io(l2Misses);
+        ar.io(l2Bytes);
+        ar.io(dramBytes);
+        ar.io(l2PeakBytesPerCycle);
+        ar.io(dramPeakBytesPerCycle);
+        ar.io(tbRegisterFootprint);
+        ar.io(maxResidentTbPerSm);
+        ar.io(tensorIssues);
+        for (auto &v : stallCycles)
+            ar.io(v);
+        size_t stages = ar.count(stageIssues.size());
+        if constexpr (Ar::kLoading)
+            stageIssues.assign(stages, 0);
+        for (auto &v : stageIssues)
+            ar.io(v);
+        detail.checkpoint(ar);
+        size_t samples = ar.count(timeline.size());
+        if constexpr (Ar::kLoading)
+            timeline.assign(samples, TimelineSample{});
+        for (auto &s : timeline) {
+            ar.io(s.cycle);
+            ar.io(s.tensorUtil);
+            ar.io(s.l2Util);
+        }
+    }
 };
 
 } // namespace wasp::sim

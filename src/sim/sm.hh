@@ -139,6 +139,17 @@ class Sm : public core::TmaHost, public ClockedComponent
     const mem::TimingCache &l1() const { return l1_; }
     mem::TimingCache &l1() { return l1_; }
 
+    /**
+     * Stream the complete SM microarchitectural state — warps, SIMT
+     * stacks, register files (live warps only), scoreboards, RFQs,
+     * barriers, in-flight memory transactions, TMA engine, and
+     * accounting — through a symmetric archive (durable snapshots).
+     * `launch` is the resume-time Launch used to re-bind the
+     * ResidentTb::launch pointers (the snapshot's launch identity is
+     * validated by hash before this runs). Defined in sim/snapshot.cc.
+     */
+    template <class Ar> void checkpoint(Ar &ar, const Launch &launch);
+
     // -- core::TmaHost ----------------------------------------------------
     bool tmaInject(uint32_t addr, uint32_t txn) override;
     core::Rfq *tmaQueue(int tb_slot, int slice, int queue_idx) override;

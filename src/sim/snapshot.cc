@@ -1,0 +1,740 @@
+/**
+ * @file
+ * Durable-simulation implementation: the checkpoint() bodies for every
+ * stateful component, the Gpu snapshot pack/restore/validate plumbing,
+ * canonical config/launch identity hashes, and budget enforcement.
+ *
+ * All component checkpoint() member templates are defined here (not in
+ * their headers) because this is the only translation unit that
+ * instantiates them — against wasp::Saver and wasp::Loader — which
+ * keeps the serialization dependency out of the hot simulation
+ * headers. Each body lists its class's fields exactly once; the
+ * symmetric-archive design (common/serialize.hh) makes the save and
+ * load paths the same code.
+ *
+ * Restore targets a freshly built machine (Gpu::buildMachine from the
+ * same semantic config, enforced by hash), so constructor-derived
+ * geometry — cache sets/ways, PB/warp-slot counts, bank counts — is
+ * validated against the stream rather than restored, and untouched
+ * state (zeroed register files of dead warp slots, unmapped gmem
+ * pages) is simply left as built.
+ */
+
+#include "sim/snapshot.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "common/serialize.hh"
+#include "isa/program.hh"
+#include "sim/gpu.hh"
+
+namespace wasp::mem
+{
+
+namespace
+{
+
+template <class Ar>
+void
+ioMemReq(Ar &ar, MemReq &req)
+{
+    ar.io(req.addr);
+    ar.io(req.write);
+    ar.io(req.source);
+    ar.io(req.sm);
+    ar.io(req.txn);
+}
+
+} // namespace
+
+template <class Ar>
+void
+TimingCache::checkpoint(Ar &ar)
+{
+    // Geometry is constructor state from the hash-validated config;
+    // stream it only to cross-check the snapshot really describes this
+    // cache shape.
+    int sets = sets_;
+    int ways = ways_;
+    int mshrs = max_mshrs_;
+    ar.io(sets);
+    ar.io(ways);
+    ar.io(mshrs);
+    if constexpr (Ar::kLoading) {
+        if (sets != sets_ || ways != ways_ || mshrs != max_mshrs_)
+            throw SerializeError(
+                SerializeError::Kind::Malformed,
+                strprintf("snapshot cache geometry %d/%d/%d does not "
+                          "match the built cache %d/%d/%d",
+                          sets, ways, mshrs, sets_, ways_, max_mshrs_));
+    }
+    size_t lines = ar.count(lines_.size());
+    if constexpr (Ar::kLoading) {
+        if (lines != lines_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot cache line count mismatch");
+    }
+    for (auto &line : lines_) {
+        ar.io(line.tag);
+        ar.io(line.valid);
+        ar.io(line.lru);
+    }
+    ioUMap(ar, mshrs_, [](Ar &a, std::vector<MshrWaiter> &waiters) {
+        ioVec(a, waiters, [](Ar &a2, MshrWaiter &w) {
+            a2.io(w.source);
+            a2.io(w.sm);
+            a2.io(w.txn);
+        });
+    });
+    ar.io(tick_);
+    ar.io(hits_);
+    ar.io(misses_);
+}
+
+template <class Ar>
+void
+Dram::checkpoint(Ar &ar)
+{
+    ar.io(budget_);
+    ar.io(stalled_);
+    ar.io(next_accrue_);
+    depth_dist_.checkpoint(ar);
+    ioDeq(ar, queue_, [](Ar &a, MemReq &r) { ioMemReq(a, r); });
+    responses_.checkpoint(ar, [](Ar &a, MemReq &r) { ioMemReq(a, r); });
+    ar.io(bytes_read_);
+    ar.io(bytes_written_);
+}
+
+template <class Ar>
+void
+L2Cache::checkpoint(Ar &ar)
+{
+    size_t banks = ar.count(banks_.size());
+    if constexpr (Ar::kLoading) {
+        if (banks != banks_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot L2 bank count mismatch");
+    }
+    for (auto &bank : banks_) {
+        bank.cache.checkpoint(ar);
+        ioDeq(ar, bank.in, [](Ar &a, MemReq &r) { ioMemReq(a, r); });
+    }
+    size_t nports = ar.count(ports_.size());
+    if constexpr (Ar::kLoading) {
+        ports_.clear();
+        ports_.resize(nports);
+    }
+    for (auto &port : ports_)
+        ioDeq(ar, port, [](Ar &a, MemReq &r) { ioMemReq(a, r); });
+    responses_.checkpoint(ar, [](Ar &a, MemReq &r) { ioMemReq(a, r); });
+    ar.io(bytes_accessed_);
+}
+
+template <class Ar>
+void
+GlobalMemory::checkpoint(Ar &ar)
+{
+    if constexpr (Ar::kLoading) {
+        reset();
+        ar.io(next_);
+        size_t pages = ar.count(0);
+        for (size_t i = 0; i < pages; ++i) {
+            uint32_t page = 0;
+            ar.io(page);
+            Page &p = touchPage(page * kPageBytes);
+            ar.bytes(p.data(), kPageBytes);
+        }
+    } else {
+        ar.io(next_);
+        // All-zero pages are dropped: an unmapped page reads as zero,
+        // so the restored memory is observationally identical while
+        // snapshots stay proportional to live data. Sorted order makes
+        // the byte stream canonical.
+        std::vector<uint32_t> live;
+        for (uint32_t d = 0; d < kDirSize; ++d) {
+            const Dir *dir = dirs_[d].load(std::memory_order_acquire);
+            if (!dir)
+                continue;
+            for (uint32_t s = 0; s < kDirSize; ++s) {
+                const Page *p =
+                    dir->slots[s].load(std::memory_order_acquire);
+                if (!p)
+                    continue;
+                bool zero = true;
+                for (uint8_t b : *p) {
+                    if (b != 0) {
+                        zero = false;
+                        break;
+                    }
+                }
+                if (!zero)
+                    live.push_back((d << kDirBits) | s);
+            }
+        }
+        ar.count(live.size());
+        for (uint32_t page : live) {
+            ar.io(page);
+            const Dir *dir =
+                dirs_[page >> kDirBits].load(std::memory_order_acquire);
+            Page *p = dir->slots[page & (kDirSize - 1)].load(
+                std::memory_order_acquire);
+            ar.bytes(p->data(), kPageBytes);
+        }
+    }
+}
+
+// Explicit instantiations: these bodies live here, but the archives
+// are the only instantiation arguments ever used.
+template void TimingCache::checkpoint(wasp::Saver &);
+template void TimingCache::checkpoint(wasp::Loader &);
+template void Dram::checkpoint(wasp::Saver &);
+template void Dram::checkpoint(wasp::Loader &);
+template void L2Cache::checkpoint(wasp::Saver &);
+template void L2Cache::checkpoint(wasp::Loader &);
+template void GlobalMemory::checkpoint(wasp::Saver &);
+template void GlobalMemory::checkpoint(wasp::Loader &);
+
+} // namespace wasp::mem
+
+namespace wasp::core
+{
+
+template <class Ar>
+void
+TmaEngine::checkpoint(Ar &ar)
+{
+    auto ioLanes = [](Ar &a, LaneData &lanes) {
+        for (auto &lane : lanes)
+            a.io(lane);
+    };
+    auto ioEntry = [&](Ar &a, Entry &e) {
+        a.io(e.rfqSlot);
+        ioLanes(a, e.data);
+        a.io(e.sectorsLeft);
+        a.io(e.laneMask);
+    };
+    ioVec(ar, active_, [&](Ar &a, ActiveDesc &d) {
+        a.io(d.desc.kind);
+        a.io(d.desc.tbSlot);
+        a.io(d.desc.slice);
+        a.io(d.desc.queueIdx);
+        a.io(d.desc.barrierId);
+        a.io(d.desc.smemOff);
+        a.io(d.desc.gbase);
+        a.io(d.desc.ibase);
+        a.io(d.desc.count);
+        a.io(d.desc.stride);
+        a.io(d.nextElem);
+        a.io(d.sectorsOutstanding);
+        a.io(d.generationDone);
+        ioUMap(a, d.entries, ioEntry);
+        a.io(d.nextEntryId);
+        ioDeq(a, d.pendingSectors,
+              [](Ar &a2, std::pair<uint32_t, uint32_t> &p) {
+                  a2.io(p.first);
+                  a2.io(p.second);
+              });
+        ioDeq(a, d.readyIndices,
+              [&](Ar &a2, std::pair<uint32_t, LaneData> &p) {
+                  a2.io(p.first);
+                  ioLanes(a2, p.second);
+              });
+        ioUMap(a, d.indexEntries, ioEntry);
+        a.io(d.indexEntriesInFlight);
+        a.io(d.elemsCompleted);
+        a.io(d.id);
+        // traceId skipped: durable runs are gated off under tracing.
+    });
+    ioUMap(ar, txn_map_, [](Ar &a, std::pair<int, uint32_t> &v) {
+        a.io(v.first);
+        a.io(v.second);
+    });
+    ar.io(next_txn_);
+    ar.io(next_desc_id_);
+    uint64_t rr = static_cast<uint64_t>(rr_start_);
+    ar.io(rr);
+    if constexpr (Ar::kLoading)
+        rr_start_ = static_cast<size_t>(rr);
+    ar.io(last_tick_);
+    ar.io(sectors_issued_);
+}
+
+template void TmaEngine::checkpoint(wasp::Saver &);
+template void TmaEngine::checkpoint(wasp::Loader &);
+
+} // namespace wasp::core
+
+namespace wasp::sim
+{
+
+template <class Ar>
+void
+FaultInjector::checkpoint(Ar &ar)
+{
+    // The armed spec list is rebuilt from the FaultPlan (covered by
+    // the config hash); only dynamic state streams.
+    size_t n = ar.count(armed_.size());
+    if constexpr (Ar::kLoading) {
+        if (n != armed_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot fault-injector armed-spec "
+                                 "count mismatch");
+    }
+    for (auto &armed : armed_) {
+        armed.rng.checkpoint(ar);
+        ar.io(armed.injected);
+        ar.io(armed.activated);
+    }
+    ar.io(now_);
+    ar.io(injected_);
+}
+
+template void FaultInjector::checkpoint(wasp::Saver &);
+template void FaultInjector::checkpoint(wasp::Loader &);
+
+template <class Ar>
+void
+Sm::checkpoint(Ar &ar, const Launch &launch)
+{
+    l1_.checkpoint(ar);
+
+    auto ioWarp = [](Ar &a, Warp &w) {
+        a.io(w.valid);
+        a.io(w.done);
+        a.io(w.tbSlot);
+        a.io(w.widInTb);
+        a.io(w.stage);
+        a.io(w.slice);
+        a.io(w.ctaid);
+        a.io(w.age);
+        size_t depth = a.count(w.stack.size());
+        if constexpr (Ar::kLoading)
+            w.stack.assign(depth, SimtEntry{});
+        for (auto &e : w.stack) {
+            a.io(e.pc);
+            a.io(e.rpc);
+            a.io(e.mask);
+        }
+        a.io(w.exitedLanes);
+        a.io(w.regCount);
+        for (auto &p : w.preds)
+            a.io(p);
+        size_t busy = a.count(w.regBusy.size());
+        if constexpr (Ar::kLoading)
+            w.regBusy.assign(busy, 0);
+        a.bytes(w.regBusy.data(), w.regBusy.size());
+        for (auto &p : w.predBusy)
+            a.io(p);
+        a.io(w.blockedOnBarSync);
+        a.io(w.pendingLdgsts);
+        a.io(w.pendingLoads);
+        a.io(w.pendingWb);
+        size_t bars = a.count(w.barWaitCount.size());
+        if constexpr (Ar::kLoading)
+            w.barWaitCount.assign(bars, 0);
+        for (auto &b : w.barWaitCount)
+            a.io(b);
+        a.io(w.issueDebt);
+        a.io(w.lastIssueCycle);
+        // tracePhase/traceStart skipped: durable runs never trace.
+    };
+
+    size_t npbs = ar.count(pbs_.size());
+    if constexpr (Ar::kLoading) {
+        if (npbs != pbs_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot PB count mismatch");
+    }
+    constexpr size_t kRegsPerSlot =
+        static_cast<size_t>(isa::kMaxRegs) * isa::kWarpSize;
+    for (auto &pb : pbs_) {
+        size_t nwarps = ar.count(pb.warps.size());
+        if constexpr (Ar::kLoading) {
+            if (nwarps != pb.warps.size())
+                throw SerializeError(SerializeError::Kind::Malformed,
+                                     "snapshot warp-slot count mismatch");
+        }
+        for (auto &w : pb.warps)
+            ioWarp(ar, w);
+        // Register file: live slots only. Dead slots are zeroed at
+        // accept time before any use, and the restore target is a
+        // freshly built (all-zero) machine, so skipping them is exact.
+        for (size_t slot = 0; slot < pb.warps.size(); ++slot) {
+            if (!pb.warps[slot].valid)
+                continue;
+            ar.bytes(&pb.regData[slot * kRegsPerSlot], kRegsPerSlot * 4);
+        }
+        ar.io(pb.regsUsed);
+        for (auto &v : pb.pipeFreeAt)
+            ar.io(v);
+        pb.writebacks.checkpoint(ar, [](Ar &a, WbEvent &e) {
+            a.io(e.pb);
+            a.io(e.slot);
+            ioNumVec(a, e.regs);
+            ioNumVec(a, e.preds);
+        });
+        ioDeq(ar, pb.lsuQueue, [](Ar &a, uint32_t &txn) { a.io(txn); });
+        ar.io(pb.lsuInflight);
+        ar.io(pb.lastIssued);
+        for (auto &v : pb.slotCounts)
+            ar.io(v);
+        ar.io(pb.lastSlotReason);
+    }
+
+    size_t ntbs = ar.count(tbs_.size());
+    if constexpr (Ar::kLoading) {
+        if (ntbs != tbs_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot TB slot count mismatch");
+    }
+    for (auto &tb : tbs_) {
+        ar.io(tb.valid);
+        if (!tb.valid)
+            continue;
+        ar.io(tb.ctaid);
+        if constexpr (Ar::kLoading)
+            tb.launch = &launch; // re-bind to the resume-time Launch
+        bool has_smem = tb.smem != nullptr;
+        ar.io(has_smem);
+        if (has_smem) {
+            if constexpr (Ar::kLoading)
+                tb.smem = std::make_unique<mem::SmemStorage>(0u);
+            tb.smem->checkpoint(ar);
+        }
+        ioVec(ar, tb.queues, [](Ar &a, core::Rfq &q) { q.checkpoint(a); });
+        ioVec(ar, tb.bars, [](Ar &a, NamedBar &b) {
+            a.io(b.count);
+            a.io(b.phase);
+        });
+        ar.io(tb.syncArrived);
+        ar.io(tb.totalWarps);
+        ar.io(tb.warpsDone);
+        ar.io(tb.outstanding);
+        ar.io(tb.smemFootprint);
+        ioVec(ar, tb.warpRefs, [](Ar &a, std::pair<int, int> &p) {
+            a.io(p.first);
+            a.io(p.second);
+        });
+        ioNumVec(ar, tb.regsPerPb);
+    }
+    if constexpr (Ar::kLoading) {
+        // Occupancy samplers are pointers into this SM; re-install
+        // them exactly as tryAccept does (never serialized).
+        for (auto &tb : tbs_)
+            for (auto &q : tb.queues)
+                q.setOccupancySampler(&rfq_occ_);
+    }
+
+    tma_.checkpoint(ar);
+
+    ioUMap(ar, txns_, [](Ar &a, MemTxn &t) {
+        a.io(t.kind);
+        a.io(t.pb);
+        a.io(t.slot);
+        a.io(t.tbSlot);
+        a.io(t.dstReg);
+        a.io(t.queueIdx);
+        a.io(t.rfqSlot);
+        for (auto &lane : t.data)
+            a.io(lane);
+        ioNumVec(a, t.sectors);
+        uint64_t next_sector = static_cast<uint64_t>(t.nextSector);
+        a.io(next_sector);
+        if constexpr (Ar::kLoading)
+            t.nextSector = static_cast<size_t>(next_sector);
+        a.io(t.sectorsLeft);
+    });
+    ar.io(next_txn_);
+    ar.io(smem_port_free_);
+    l1_hit_queue_.checkpoint(ar, [](Ar &a, uint32_t &txn) { a.io(txn); });
+    ar.io(warp_seq_);
+    ar.io(rr_pb_);
+    ar.io(tb_rotation_);
+    ar.io(smem_used_);
+    ar.io(now_);
+    ar.io(tbs_released_);
+    ar.io(warp_wake_agg_);
+    ar.io(wake_dirty_);
+    ar.io(issued_this_tick_);
+    ar.io(acct_next_);
+    for (auto &v : dyn_instrs_)
+        ar.io(v);
+    ar.io(tensor_issues_);
+    ioNumVec(ar, stage_issues_);
+    rfq_occ_.checkpoint(ar);
+    // tb_trace_ids_ skipped: durable runs never trace.
+}
+
+template void Sm::checkpoint(wasp::Saver &, const Launch &);
+template void Sm::checkpoint(wasp::Loader &, const Launch &);
+
+template <class Ar>
+void
+Gpu::checkpointState(Ar &ar, const Launch &launch, uint64_t &now,
+                     uint64_t &tick_progress)
+{
+    ar.io(now);
+    ar.io(tick_progress);
+    gmem_.checkpoint(ar);
+    dram_->checkpoint(ar);
+    l2_->checkpoint(ar);
+    size_t nsms = ar.count(sms_.size());
+    if constexpr (Ar::kLoading) {
+        if (nsms != sms_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot SM count mismatch");
+    }
+    for (auto &sm : sms_)
+        sm->checkpoint(ar, launch);
+    bool has_injector = injector_ != nullptr;
+    ar.io(has_injector);
+    if constexpr (Ar::kLoading) {
+        if (has_injector != (injector_ != nullptr))
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot fault-injector presence "
+                                 "mismatch");
+    }
+    if (injector_)
+        injector_->checkpoint(ar);
+    stats_.checkpoint(ar);
+    ar.io(next_cta_);
+    ar.io(next_sm_);
+    ar.io(dispatch_armed_);
+    ar.io(last_tbs_released_);
+    ar.io(last_watchdog_check_);
+    ar.io(last_progress_);
+    ar.io(last_sample_cycle_);
+    ar.io(last_tensor_issues_);
+    ar.io(last_l2_bytes_);
+    ioNumVec(ar, sm_wake_);
+    if constexpr (Ar::kLoading) {
+        if (sm_wake_.size() != sms_.size())
+            throw SerializeError(SerializeError::Kind::Malformed,
+                                 "snapshot SM wake-vector size mismatch");
+    }
+}
+
+template void Gpu::checkpointState(wasp::Saver &, const Launch &,
+                                   uint64_t &, uint64_t &);
+template void Gpu::checkpointState(wasp::Loader &, const Launch &,
+                                   uint64_t &, uint64_t &);
+
+std::string
+Gpu::packSnapshot(uint64_t now, uint64_t tick_progress)
+{
+    Saver saver;
+    uint64_t chash = configHash(config_);
+    uint64_t lhash = launchHash(*launch_);
+    saver.io(chash);
+    saver.io(lhash);
+    checkpointState(saver, *launch_, now, tick_progress);
+    return packContainer(kSnapshotMagic, kSimStateVersion, saver.data());
+}
+
+void
+Gpu::restoreSnapshot(const std::string &blob, const Launch &launch,
+                     uint64_t &now, uint64_t &tick_progress)
+{
+    ContainerInfo info =
+        unpackContainer(kSnapshotMagic, kSimStateVersion, kSimStateVersion,
+                        blob, "gpu snapshot");
+    Loader loader(info.payload);
+    uint64_t chash = 0;
+    uint64_t lhash = 0;
+    loader.io(chash);
+    loader.io(lhash);
+    if (chash != configHash(config_))
+        throw SerializeError(
+            SerializeError::Kind::Malformed,
+            strprintf("gpu snapshot was taken under a semantically "
+                      "different GpuConfig (snapshot hash 0x%016llx, "
+                      "this machine 0x%016llx)",
+                      static_cast<unsigned long long>(chash),
+                      static_cast<unsigned long long>(
+                          configHash(config_))));
+    if (lhash != launchHash(launch))
+        throw SerializeError(
+            SerializeError::Kind::Malformed,
+            strprintf("gpu snapshot belongs to a different kernel "
+                      "launch (snapshot hash 0x%016llx, this launch "
+                      "0x%016llx)",
+                      static_cast<unsigned long long>(lhash),
+                      static_cast<unsigned long long>(
+                          launchHash(launch))));
+    checkpointState(loader, launch, now, tick_progress);
+    loader.expectEnd();
+}
+
+void
+Gpu::durableHead(const RunControl &ctl, uint64_t now,
+                 uint64_t tick_progress)
+{
+    if (ctl.snapshotAtCycle != RunControl::kNoSnapshot &&
+        !snapshot_taken_ && now >= ctl.snapshotAtCycle) {
+        // Capture-and-continue: the snapshot reads state, never writes
+        // it, so the surrounding run is unperturbed.
+        snapshot_taken_ = true;
+        if (ctl.snapshotOut)
+            *ctl.snapshotOut = packSnapshot(now, tick_progress);
+    }
+    if (!ctl.budget.any())
+        return;
+    const char *ceiling = nullptr;
+    std::string detail;
+    if (ctl.budget.maxCycles != 0 && now >= ctl.budget.maxCycles) {
+        ceiling = "cycle";
+        detail = strprintf(
+            "%llu cycles simulated, ceiling %llu",
+            static_cast<unsigned long long>(now),
+            static_cast<unsigned long long>(ctl.budget.maxCycles));
+    } else if ((ctl.budget.maxWallMs != 0 ||
+                ctl.budget.maxRssBytes != 0) &&
+               budget_poll_++ % kBudgetPollCycles == 0) {
+        if (ctl.budget.maxWallMs != 0) {
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - run_start_)
+                    .count();
+            if (static_cast<uint64_t>(elapsed) >= ctl.budget.maxWallMs) {
+                ceiling = "wall-clock";
+                detail = strprintf(
+                    "%lld ms elapsed, ceiling %llu ms",
+                    static_cast<long long>(elapsed),
+                    static_cast<unsigned long long>(ctl.budget.maxWallMs));
+            }
+        }
+        if (!ceiling && ctl.budget.maxRssBytes != 0) {
+            uint64_t rss = currentRssBytes();
+            if (rss >= ctl.budget.maxRssBytes) {
+                ceiling = "memory";
+                detail = strprintf(
+                    "%llu RSS bytes, ceiling %llu",
+                    static_cast<unsigned long long>(rss),
+                    static_cast<unsigned long long>(
+                        ctl.budget.maxRssBytes));
+            }
+        }
+    }
+    if (!ceiling)
+        return;
+    // Snapshot BEFORE collecting stats: collectStats finalizes per-SM
+    // accounting (a mutation), and the snapshot must capture the state
+    // the resumed run re-enters.
+    if (ctl.budgetSnapshotOut)
+        *ctl.budgetSnapshotOut = packSnapshot(now, tick_progress);
+    collectStats(now == 0 ? 0 : now - 1);
+    stats_.outcome = RunOutcome::BudgetExceeded;
+    std::string diagnosis = strprintf(
+        "kernel '%s' exceeded its %s budget at cycle %llu (%s)%s",
+        launch_->prog->name.c_str(), ceiling,
+        static_cast<unsigned long long>(now), detail.c_str(),
+        ctl.budgetSnapshotOut ? "; resumable snapshot captured" : "");
+    throw SimError(RunOutcome::BudgetExceeded, std::move(diagnosis),
+                   stats_);
+}
+
+uint64_t
+configHash(const GpuConfig &c)
+{
+    // Canonical serialization of the semantic fields only. Excluded by
+    // design: trace (pure observability, proven non-perturbing by
+    // perf_smoke), clockMode and smParallelism (proven bit-identical
+    // by the equivalence gates), gmemAudit (a guardrail, not a model
+    // knob). kSimStateVersion is mixed in so any semantic change that
+    // bumps the version invalidates old snapshots and cache entries.
+    Saver s;
+    uint32_t version = kSimStateVersion;
+    s.io(version);
+    GpuConfig m = c; // io() takes mutable refs; this is save-only
+    s.io(m.numSms);
+    s.io(m.pbsPerSm);
+    s.io(m.warpSlotsPerPb);
+    s.io(m.regsPerPb);
+    s.io(m.smemPerSm);
+    s.io(m.maxTbPerSm);
+    s.io(m.smemLatency);
+    s.io(m.l1Latency);
+    s.io(m.l1Bytes);
+    s.io(m.l1Ways);
+    s.io(m.l1Mshrs);
+    s.io(m.l1SectorsPerCycle);
+    s.io(m.l2Bytes);
+    s.io(m.l2Ways);
+    s.io(m.l2Banks);
+    s.io(m.l2Mshrs);
+    s.io(m.l2HitLatency);
+    s.io(m.dramBytesPerCycle);
+    s.io(m.dramLatency);
+    s.io(m.dramQueueDepth);
+    s.io(m.lsuQueueDepth);
+    s.io(m.hwBarriers);
+    s.io(m.tmaTileEnabled);
+    s.io(m.mapPolicy);
+    s.io(m.regAlloc);
+    s.io(m.sched);
+    s.io(m.queueBackend);
+    s.io(m.waspTmaEnabled);
+    s.io(m.rfqEntries);
+    s.io(m.maxStages);
+    s.io(m.tmaDescSlots);
+    s.io(m.tmaSectorsPerCycle);
+    s.io(m.timelineInterval);
+    s.io(m.maxCycles);
+    s.io(m.watchdogInterval);
+    s.io(m.faults.seed);
+    s.count(m.faults.faults.size());
+    for (FaultSpec &f : m.faults.faults) {
+        s.io(f.kind);
+        s.io(f.atCycle);
+        s.io(f.durationCycles);
+        s.io(f.probability);
+        s.io(f.queueIdx);
+        s.io(f.maxEvents);
+    }
+    return fnv1a64(s.data());
+}
+
+uint64_t
+launchHash(const Launch &launch)
+{
+    Saver s;
+    // The WSASS text is the program identity: semantically identical
+    // programs hash equal no matter how they were constructed.
+    std::string wsass = isa::disassemble(*launch.prog);
+    s.io(wsass);
+    int grid = launch.gridDim;
+    s.io(grid);
+    std::vector<uint32_t> params = launch.params;
+    ioNumVec(s, params);
+    return fnv1a64(s.data());
+}
+
+uint64_t
+currentRssBytes()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long vm_pages = 0;
+    unsigned long long rss_pages = 0;
+    int n = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    long page = ::sysconf(_SC_PAGESIZE);
+    return rss_pages * static_cast<uint64_t>(page > 0 ? page : 4096);
+#else
+    return 0;
+#endif
+}
+
+} // namespace wasp::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Durable simulation: deterministic checkpoint/resume of a running
+ * sim::Gpu, plus per-run budget ceilings.
+ *
+ * A snapshot captures the complete machine state at a cycle boundary
+ * (the head of the run loop, before cycle `now` simulates): SMs with
+ * warps/RFQs/barrier phases, L2 tags+LRU+MSHRs+ingress ports, DRAM
+ * queues and the fractional bandwidth budget, TMA engines, dispatch
+ * and watchdog state, the RunStats accumulated so far, fault-injector
+ * RNG streams, and functional global memory. Restoring the snapshot
+ * into a freshly built Gpu and running to completion produces
+ * RunStats bit-identical to the uninterrupted run — under either
+ * clock mode and any --sm-threads value, because those knobs are
+ * already proven observationally equivalent by the clock- and
+ * SM-parallel-equivalence gates and are therefore excluded from the
+ * snapshot's identity hash.
+ *
+ * Snapshots are wrapped in the common serialized container (magic,
+ * version, FNV-64 trailer; see common/serialize.hh) and additionally
+ * carry the canonical config hash and launch hash, so restoring
+ * against the wrong kernel or a semantically different machine is a
+ * structured error, never silent nonsense.
+ */
+
+#ifndef WASP_SIM_SNAPSHOT_HH
+#define WASP_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/config.hh"
+
+namespace wasp::sim
+{
+
+struct Launch; // sim/sm.hh
+
+/**
+ * Version of the durable byte formats (snapshots and the harness
+ * result cache key). Bump on any change to serialized layouts or to
+ * simulator semantics that alters results: old snapshots and cache
+ * entries then fail the version check and are recomputed.
+ */
+constexpr uint32_t kSimStateVersion = 1;
+
+/** Snapshot container magic; files begin with the bytes "WASPSNAP". */
+constexpr uint64_t kSnapshotMagic = 0x50414e5350534157ull;
+
+/**
+ * Canonical hash of a GpuConfig covering exactly the fields that can
+ * change simulation results. Execution-strategy knobs proven
+ * observationally equivalent by the tier-1 equivalence gates —
+ * clockMode, smParallelism — and pure observability/guardrail knobs —
+ * trace sink, gmemAudit — are excluded, so a snapshot taken under the
+ * reference clock restores under the skipping clock (and vice versa),
+ * and cache entries hit across those modes.
+ */
+uint64_t configHash(const GpuConfig &config);
+
+/**
+ * Identity hash of a launch: the program's disassembly (the WSASS
+ * text, so semantically identical programs hash equal regardless of
+ * how they were built), grid dimension, and parameter words.
+ */
+uint64_t launchHash(const Launch &launch);
+
+/** Per-run resource ceilings; 0 disables a ceiling. */
+struct RunBudget
+{
+    uint64_t maxWallMs = 0;    ///< wall-clock ceiling for this run
+    uint64_t maxCycles = 0;    ///< simulated-cycle ceiling
+    uint64_t maxRssBytes = 0;  ///< process RSS ceiling
+
+    bool
+    any() const
+    {
+        return maxWallMs != 0 || maxCycles != 0 || maxRssBytes != 0;
+    }
+};
+
+/**
+ * Optional durable-run control for Gpu::run. All pointers are borrowed
+ * and must outlive the run.
+ */
+struct RunControl
+{
+    static constexpr uint64_t kNoSnapshot = ~0ull;
+
+    /**
+     * Capture a snapshot at the head of this cycle (before it
+     * simulates) into *snapshotOut, then continue running normally.
+     * Taking a snapshot never perturbs the run.
+     */
+    uint64_t snapshotAtCycle = kNoSnapshot;
+    std::string *snapshotOut = nullptr;
+
+    /** Resume from these snapshot bytes instead of starting cold. */
+    const std::string *resumeFrom = nullptr;
+
+    /**
+     * Budget ceilings. A trip first writes a snapshot into
+     * *budgetSnapshotOut (when set), then throws SimError with
+     * RunOutcome::BudgetExceeded; the snapshot resumes exactly where
+     * the run stopped. Cycle ceilings are exact (checked at every
+     * visited cycle head); wall/RSS ceilings are polled every
+     * kBudgetPollCycles visited cycles, so overshoot is bounded by one
+     * poll interval.
+     */
+    RunBudget budget;
+    std::string *budgetSnapshotOut = nullptr;
+};
+
+/** Visited-cycle interval between wall-clock / RSS budget polls. */
+constexpr uint64_t kBudgetPollCycles = 4096;
+
+/** Current process resident-set size in bytes (0 when unavailable). */
+uint64_t currentRssBytes();
+
+} // namespace wasp::sim
+
+#endif // WASP_SIM_SNAPSHOT_HH

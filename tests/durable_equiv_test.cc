@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Full durable-equivalence sweep (the slow gate, `ctest -L durable`):
+ * every kernel of every Table II benchmark, under the four
+ * feature-ladder configurations, in each execution mode — reference
+ * clock, cycle-skipping clock, and 4-thread SM-parallel ticking — is
+ * interrupted mid-run by a snapshot and resumed into a fresh machine,
+ * and the resumed run's RunStats must be bit-identical (every stall
+ * bucket, detail counter, and distribution) to the run that was never
+ * interrupted. The tier-1 variant of this drill lives in
+ * snapshot_test.cc; this sweep is the exhaustive version.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "clock_equiv.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "mem/global_memory.hh"
+#include "sim/gpu.hh"
+#include "sim/snapshot.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+enum class Mode
+{
+    Skipping,
+    Reference,
+    SmParallel4,
+};
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+      case Mode::Skipping: return "skip";
+      case Mode::Reference: return "reference";
+      case Mode::SmParallel4: return "smpar4";
+    }
+    return "?";
+}
+
+/**
+ * Sweep one configuration: settle each kernel's compile decision once
+ * (exactly as the harness would), then in every mode run the chosen
+ * program with a snapshot captured at its halfway cycle and check the
+ * resumed continuation against the uninterrupted run.
+ */
+void
+sweepDurableEquivalence(PaperConfig which)
+{
+    ConfigSpec spec = makeConfig(which);
+    for (const workloads::BenchmarkDef &bench : workloads::suite()) {
+        for (const workloads::KernelMix &mix : bench.kernels) {
+            // Settle the compile decision (including the measured
+            // profitability check) so every mode runs the exact
+            // program the experiment matrix runs.
+            mem::GlobalMemory gmem0;
+            workloads::BuiltKernel k0 = mix.build(gmem0);
+            KernelResult kr = runKernel(spec, k0, gmem0);
+            ASSERT_TRUE(kr.verified)
+                << bench.name << "/" << mix.label << "/" << spec.name;
+            sim::GpuConfig gpu0 = spec.gpu;
+            if (k0.isGemm && spec.gemmIdealMapping)
+                gpu0.mapPolicy = sim::WarpMapPolicy::GroupPipeline;
+            // Interrupt mid-run. Cycle counts are mode-invariant (the
+            // clock- and SM-parallel-equivalence gates), so one
+            // halfway point serves all modes.
+            uint64_t snap_cycle = kr.stats.cycles / 2;
+            if (snap_cycle == 0)
+                snap_cycle = 1;
+
+            for (Mode mode :
+                 {Mode::Skipping, Mode::Reference, Mode::SmParallel4}) {
+                std::string what = bench.name + "/" + mix.label + "/" +
+                                   spec.name + "/" + modeName(mode);
+                sim::GpuConfig gpu = gpu0;
+                if (mode == Mode::Reference)
+                    gpu.clockMode = sim::ClockMode::Reference;
+                if (mode == Mode::SmParallel4)
+                    gpu.smParallelism = 4;
+
+                // Uninterrupted run, capturing the snapshot in
+                // passing (capture is proven non-perturbing by the
+                // tier-1 drill).
+                mem::GlobalMemory gmem1;
+                workloads::BuiltKernel k1 = mix.build(gmem1);
+                std::string snap;
+                sim::RunControl capture;
+                capture.snapshotAtCycle = snap_cycle;
+                capture.snapshotOut = &snap;
+                sim::RunStats base =
+                    sim::runProgram(gpu, gmem1, kr.compiled, k1.grid,
+                                    k1.params, capture);
+                ASSERT_FALSE(snap.empty()) << what;
+                EXPECT_EQ(base.cycles, kr.stats.cycles) << what;
+
+                // Resume into a fresh machine and fresh memory; the
+                // snapshot carries the complete state.
+                mem::GlobalMemory gmem2;
+                workloads::BuiltKernel k2 = mix.build(gmem2);
+                sim::RunControl resume;
+                resume.resumeFrom = &snap;
+                sim::RunStats cont =
+                    sim::runProgram(gpu, gmem2, kr.compiled, k2.grid,
+                                    k2.params, resume);
+                clocktest::expectStatsEqual(base, cont, what);
+                // The resumed run must also produce the verified
+                // outputs: compare the output words.
+                for (uint32_t i = 0; i < k2.outWords; ++i)
+                    ASSERT_EQ(gmem2.read32(k2.outAddr + i * 4),
+                              k2.expected[i])
+                        << what << " word " << i;
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(DurableEquivSweep, Baseline)
+{
+    sweepDurableEquivalence(PaperConfig::Baseline);
+}
+
+TEST(DurableEquivSweep, CompilerAll)
+{
+    sweepDurableEquivalence(PaperConfig::CompilerAll);
+}
+
+TEST(DurableEquivSweep, PlusTma)
+{
+    sweepDurableEquivalence(PaperConfig::PlusTma);
+}
+
+TEST(DurableEquivSweep, WaspGpu)
+{
+    sweepDurableEquivalence(PaperConfig::WaspGpu);
+}

@@ -1,0 +1,495 @@
+/**
+ * @file
+ * Durable-harness suite: the crash-safe result cache (content
+ * addressing, byte-identity of hits, corruption quarantine, gc), the
+ * per-cell budget policies of the durable runMatrix, and
+ * checkpoint/resume of interrupted cells — including the profitability
+ * re-run phase inside runKernel.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <gtest/gtest.h>
+
+#include "clock_equiv.hh"
+#include "common/serialize.hh"
+#include "harness/report.hh"
+#include "harness/result_cache.hh"
+#include "harness/runner.hh"
+#include "sim/snapshot.hh"
+#include "workloads/benchmarks.hh"
+
+using namespace wasp;
+using namespace wasp::harness;
+
+namespace
+{
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/wasp_rcache_XXXXXX";
+        path = ::mkdtemp(tmpl);
+    }
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf " + path;
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+};
+
+/** The exact-equality contract for everything the figures consume. */
+void
+expectCellIdentical(const BenchResult &a, const BenchResult &b,
+                    const std::string &what)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark) << what;
+    EXPECT_EQ(a.config, b.config) << what;
+    EXPECT_EQ(a.seed, b.seed) << what;
+    EXPECT_EQ(a.verified, b.verified) << what;
+    EXPECT_EQ(a.outcome, b.outcome) << what;
+    EXPECT_EQ(a.weightedCycles, b.weightedCycles) << what;
+    for (size_t c = 0; c < a.dynInstrs.size(); ++c)
+        EXPECT_EQ(a.dynInstrs[c], b.dynInstrs[c])
+            << what << " category " << c;
+    EXPECT_EQ(a.l2Utilization, b.l2Utilization) << what;
+    EXPECT_EQ(a.dramUtilization, b.dramUtilization) << what;
+    EXPECT_EQ(a.l1HitRate, b.l1HitRate) << what;
+    for (size_t r = 0; r < a.stallCycles.size(); ++r)
+        EXPECT_EQ(a.stallCycles[r], b.stallCycles[r])
+            << what << " stall bucket " << r;
+    ASSERT_EQ(a.kernelCycles.size(), b.kernelCycles.size()) << what;
+    for (size_t i = 0; i < a.kernelCycles.size(); ++i) {
+        EXPECT_EQ(a.kernelCycles[i].first, b.kernelCycles[i].first)
+            << what;
+        EXPECT_EQ(a.kernelCycles[i].second, b.kernelCycles[i].second)
+            << what;
+    }
+    EXPECT_EQ(a.diagnosis, b.diagnosis) << what;
+    EXPECT_EQ(a.attempts, b.attempts) << what;
+}
+
+std::vector<ConfigSpec>
+testSpecs()
+{
+    return {makeConfig(PaperConfig::Baseline),
+            makeConfig(PaperConfig::WaspGpu)};
+}
+
+const std::vector<std::string> kApps = {"pointnet"};
+
+std::string
+readAll(const std::string &path)
+{
+    std::string bytes;
+    std::string err;
+    EXPECT_TRUE(readFileBytes(path, &bytes, &err)) << path << ": " << err;
+    return bytes;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st{};
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+} // namespace
+
+TEST(CellCacheKey, StableAndDiscriminating)
+{
+    ConfigSpec base = makeConfig(PaperConfig::Baseline);
+    ConfigSpec wasp = makeConfig(PaperConfig::WaspGpu);
+    const auto &pointnet = workloads::benchmark("pointnet");
+    const auto &hpcg = workloads::benchmark("hpcg");
+
+    uint64_t k1 = cellCacheKey(base, pointnet);
+    EXPECT_EQ(k1, cellCacheKey(base, pointnet)) << "key must be stable";
+    EXPECT_NE(k1, cellCacheKey(wasp, pointnet))
+        << "different config must change the key";
+    EXPECT_NE(k1, cellCacheKey(base, hpcg))
+        << "different benchmark must change the key";
+
+    // Execution-strategy knobs proven observationally equivalent are
+    // excluded from the semantic config hash: entries hit across them.
+    ConfigSpec skew = base;
+    skew.gpu.clockMode = sim::ClockMode::Reference;
+    skew.gpu.smParallelism = 4;
+    EXPECT_EQ(k1, cellCacheKey(skew, pointnet))
+        << "clock mode / SM threading must not change the key";
+
+    // Result-bearing knobs must change it.
+    ConfigSpec bigger = base;
+    bigger.gpu.l2Bytes *= 2;
+    EXPECT_NE(k1, cellCacheKey(bigger, pointnet));
+}
+
+TEST(ResultCache, StoreLookupRoundtripIsBitIdentical)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+    ConfigSpec spec = makeConfig(PaperConfig::WaspGpu);
+    const auto &bench = workloads::benchmark("pointnet");
+    BenchResult computed = runBenchmark(spec, bench);
+    uint64_t key = cellCacheKey(spec, bench);
+
+    BenchResult miss;
+    EXPECT_FALSE(cache.lookup(key, &miss)) << "empty cache must miss";
+
+    std::string err;
+    ASSERT_TRUE(cache.store(key, computed, &err)) << err;
+    BenchResult hit;
+    ASSERT_TRUE(cache.lookup(key, &hit));
+    expectCellIdentical(computed, hit, "cached vs computed");
+
+    // Publishing the same result twice must produce byte-identical
+    // entries: the on-disk encoding is canonical.
+    std::string first = readAll(cache.entryPath(key));
+    ASSERT_TRUE(cache.store(key, computed, &err)) << err;
+    EXPECT_EQ(first, readAll(cache.entryPath(key)));
+
+    ResultCache::Stats st = cache.stats();
+    EXPECT_EQ(st.entries, 1u);
+    EXPECT_GT(st.bytes, 0u);
+    EXPECT_EQ(st.corruptFiles, 0u);
+    EXPECT_EQ(cache.verify(nullptr), 0u);
+}
+
+TEST(ResultCache, EveryByteFlipIsAMissNeverACrash)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+    ConfigSpec spec = makeConfig(PaperConfig::Baseline);
+    const auto &bench = workloads::benchmark("pointnet");
+    BenchResult computed = runBenchmark(spec, bench);
+    uint64_t key = cellCacheKey(spec, bench);
+    std::string err;
+    ASSERT_TRUE(cache.store(key, computed, &err)) << err;
+    std::string path = cache.entryPath(key);
+    const std::string good = readAll(path);
+
+    // Every single-byte corruption — header, payload, or checksum
+    // trailer — must be detected (the FNV trailer covers the whole
+    // container), quarantined, and reported as a miss. Never a crash,
+    // never a wrong result served.
+    for (size_t off = 0; off < good.size(); ++off) {
+        std::string bad = good;
+        bad[off] = static_cast<char>(bad[off] ^ 0x5a);
+        ASSERT_TRUE(writeFileAtomic(path, bad, &err)) << err;
+        BenchResult out;
+        EXPECT_FALSE(cache.lookup(key, &out)) << "offset " << off;
+        EXPECT_FALSE(fileExists(path))
+            << "corrupt entry must be quarantined, offset " << off;
+        ::unlink((path + ".corrupt").c_str());
+    }
+    // Truncations at every length classify as structured misses too.
+    for (size_t len = 0; len < good.size(); len += 7) {
+        ASSERT_TRUE(writeFileAtomic(path, good.substr(0, len), &err))
+            << err;
+        BenchResult out;
+        EXPECT_FALSE(cache.lookup(key, &out)) << "length " << len;
+        ::unlink((path + ".corrupt").c_str());
+    }
+    // And a pristine entry still hits afterwards.
+    ASSERT_TRUE(writeFileAtomic(path, good, &err)) << err;
+    BenchResult out;
+    EXPECT_TRUE(cache.lookup(key, &out));
+}
+
+TEST(ResultCache, VerifyQuarantinesAndGcEvictsOldestFirst)
+{
+    TempDir tmp;
+    ResultCache cache(tmp.path);
+    // Three fake-but-valid entries with controlled ages.
+    ConfigSpec spec = makeConfig(PaperConfig::Baseline);
+    const auto &bench = workloads::benchmark("pointnet");
+    BenchResult r = runBenchmark(spec, bench);
+    std::string err;
+    ASSERT_TRUE(cache.store(1, r, &err)) << err;
+    ASSERT_TRUE(cache.store(2, r, &err)) << err;
+    ASSERT_TRUE(cache.store(3, r, &err)) << err;
+
+    // Hand-corrupt entry 2; verify must quarantine exactly it.
+    std::string p2 = cache.entryPath(2);
+    std::string bytes = readAll(p2);
+    bytes[bytes.size() / 2] ^= 0x40;
+    ASSERT_TRUE(writeFileAtomic(p2, bytes, &err)) << err;
+    std::vector<std::string> report;
+    EXPECT_EQ(cache.verify(&report), 1u);
+    EXPECT_EQ(report.size(), 1u);
+    EXPECT_FALSE(fileExists(p2));
+    EXPECT_TRUE(fileExists(p2 + ".corrupt"));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().corruptFiles, 1u);
+
+    // Age entry 1 into the past; gc to one entry's size must evict it
+    // (oldest first) and reclaim the quarantined file.
+    struct utimbuf old{};
+    old.actime = 1000000;
+    old.modtime = 1000000;
+    ASSERT_EQ(::utime(cache.entryPath(1).c_str(), &old), 0);
+    uint64_t one_entry = readAll(cache.entryPath(3)).size();
+    size_t removed = cache.gc(one_entry);
+    EXPECT_EQ(removed, 2u) << "entry 1 and the .corrupt file";
+    EXPECT_FALSE(fileExists(cache.entryPath(1)));
+    EXPECT_TRUE(fileExists(cache.entryPath(3)));
+    EXPECT_FALSE(fileExists(p2 + ".corrupt"));
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(DurableMatrix, CacheHitsAreByteIdenticalToRecomputation)
+{
+    TempDir tmp;
+    std::vector<ConfigSpec> specs = testSpecs();
+
+    // Reference: the plain (cache-less) matrix.
+    std::vector<BenchResult> clean = runMatrix(specs, kApps, 1);
+
+    MatrixOptions opts;
+    opts.jobs = 2;
+    opts.cacheDir = tmp.path;
+    std::vector<BenchResult> first = runMatrix(specs, kApps, opts);
+    std::vector<BenchResult> second = runMatrix(specs, kApps, opts);
+
+    ASSERT_EQ(first.size(), clean.size());
+    ASSERT_EQ(second.size(), clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(clean[i].provenance, "computed");
+        EXPECT_EQ(first[i].provenance, "computed");
+        EXPECT_EQ(second[i].provenance, "cached");
+        expectCellIdentical(clean[i], first[i], "first vs clean");
+        expectCellIdentical(clean[i], second[i], "cached vs clean");
+    }
+
+    // The JSON report carries provenance; everything else is
+    // byte-identical between the computed and cached runs.
+    MatrixReport rep1(kApps, {specs[0].name, specs[1].name});
+    MatrixReport rep2(kApps, {specs[0].name, specs[1].name});
+    for (const auto &cell : first)
+        rep1.add(cell);
+    for (const auto &cell : second)
+        rep2.add(cell);
+    std::string j1 = rep1.renderJson();
+    std::string j2 = rep2.renderJson();
+    EXPECT_NE(j1.find("\"provenance\":\"computed\""), std::string::npos);
+    EXPECT_NE(j2.find("\"provenance\":\"cached\""), std::string::npos);
+    auto strip = [](std::string s, const char *from) {
+        for (size_t p; (p = s.find(from)) != std::string::npos;)
+            s.erase(p, std::strlen(from));
+        return s;
+    };
+    EXPECT_EQ(strip(j1, "\"provenance\":\"computed\","),
+              strip(j2, "\"provenance\":\"cached\","));
+}
+
+TEST(DurableMatrix, CorruptEntryIsTransparentlyRecomputed)
+{
+    TempDir tmp;
+    std::vector<ConfigSpec> specs = {makeConfig(PaperConfig::Baseline)};
+    MatrixOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = tmp.path;
+    std::vector<BenchResult> first = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(first.size(), 1u);
+
+    // Corrupt the stored entry; the next run must detect it, recompute
+    // (not crash, not serve garbage), and re-publish a valid entry.
+    ResultCache cache(tmp.path);
+    uint64_t key =
+        cellCacheKey(specs[0], workloads::benchmark(kApps[0]));
+    std::string path = cache.entryPath(key);
+    std::string bytes = readAll(path);
+    bytes[bytes.size() / 2] ^= 0x01;
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, bytes, &err)) << err;
+
+    std::vector<BenchResult> second = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].provenance, "computed");
+    expectCellIdentical(first[0], second[0], "recomputed vs original");
+    EXPECT_EQ(ResultCache(tmp.path).verify(nullptr), 0u)
+        << "the re-published entry must be valid";
+}
+
+TEST(DurableMatrix, BudgetSkipAndRetryPolicies)
+{
+    std::vector<ConfigSpec> specs = {makeConfig(PaperConfig::Baseline)};
+    MatrixOptions opts;
+    opts.jobs = 1;
+    opts.budget.cycles = 300; // far below any pointnet kernel
+    std::vector<BenchResult> skip = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(skip.size(), 1u);
+    EXPECT_EQ(skip[0].outcome, sim::RunOutcome::BudgetExceeded);
+    EXPECT_EQ(skip[0].attempts, 1);
+    EXPECT_NE(skip[0].diagnosis.find("exceeded its cycle budget"),
+              std::string::npos)
+        << skip[0].diagnosis;
+
+    // A deterministic cycle ceiling reproduces on retry.
+    opts.onBudget = BudgetPolicy::Retry;
+    std::vector<BenchResult> retry = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(retry.size(), 1u);
+    EXPECT_EQ(retry[0].outcome, sim::RunOutcome::BudgetExceeded);
+    EXPECT_EQ(retry[0].attempts, 2);
+    EXPECT_NE(retry[0].diagnosis.find("reproduced on retry"),
+              std::string::npos);
+
+    // Checkpoint policy without a cache directory degrades gracefully.
+    opts.onBudget = BudgetPolicy::Checkpoint;
+    std::vector<BenchResult> nock = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(nock.size(), 1u);
+    EXPECT_EQ(nock[0].outcome, sim::RunOutcome::BudgetExceeded);
+    EXPECT_NE(nock[0].diagnosis.find("checkpoint not persisted"),
+              std::string::npos);
+}
+
+TEST(DurableMatrix, CheckpointedCellsResumeBitIdentical)
+{
+    TempDir tmp;
+    std::vector<ConfigSpec> specs = testSpecs();
+    std::vector<BenchResult> clean = runMatrix(specs, kApps, 1);
+
+    MatrixOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = tmp.path;
+    opts.budget.cycles = 300;
+    opts.onBudget = BudgetPolicy::Checkpoint;
+    std::vector<BenchResult> tripped = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(tripped.size(), clean.size());
+    size_t checkpoints = 0;
+    for (const auto &cell : tripped) {
+        EXPECT_EQ(cell.outcome, sim::RunOutcome::BudgetExceeded);
+        if (cell.diagnosis.find("resumable checkpoint written") !=
+            std::string::npos)
+            ++checkpoints;
+    }
+    EXPECT_EQ(checkpoints, tripped.size());
+
+    // Resume continues each cell exactly where it stopped and runs it
+    // to completion (the tripped ceiling is not re-applied), so one
+    // resume invocation converges — bit-identical to the run that was
+    // never interrupted.
+    opts.resume = true;
+    std::vector<BenchResult> resumed = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(resumed.size(), clean.size());
+    for (size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(resumed[i].provenance, "resumed");
+        expectCellIdentical(clean[i], resumed[i], "resumed vs clean");
+    }
+
+    // Checkpoints are consumed; the cells are now cached.
+    std::vector<BenchResult> again = runMatrix(specs, kApps, opts);
+    for (size_t i = 0; i < clean.size(); ++i) {
+        EXPECT_EQ(again[i].provenance, "cached");
+        expectCellIdentical(clean[i], again[i], "cached vs clean");
+    }
+}
+
+TEST(DurableMatrix, StaleOrCorruptCheckpointIsIgnored)
+{
+    TempDir tmp;
+    std::vector<ConfigSpec> specs = {makeConfig(PaperConfig::Baseline)};
+    std::vector<BenchResult> clean = runMatrix(specs, kApps, 1);
+
+    // Plant garbage where the cell's checkpoint would live.
+    uint64_t key =
+        cellCacheKey(specs[0], workloads::benchmark(kApps[0]));
+    std::string ckdir = tmp.path + "/checkpoints";
+    std::string err;
+    ASSERT_TRUE(ensureDir(ckdir, &err)) << err;
+    char name[64];
+    std::snprintf(name, sizeof name, "/%016llx.wckp",
+                  static_cast<unsigned long long>(key));
+    ASSERT_TRUE(writeFileAtomic(ckdir + name,
+                                "not a checkpoint at all", &err))
+        << err;
+
+    MatrixOptions opts;
+    opts.jobs = 1;
+    opts.cacheDir = tmp.path;
+    opts.resume = true;
+    std::vector<BenchResult> out = runMatrix(specs, kApps, opts);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].provenance, "computed")
+        << "garbage checkpoint must be ignored, cell recomputed";
+    expectCellIdentical(clean[0], out[0], "recomputed vs clean");
+}
+
+TEST(DurableKernel, ProfitabilityRerunPhaseResumesBitIdentical)
+{
+    // Find a kernel whose warp specialization is kept (the transformed
+    // main run beat the raw program), so runKernel's second simulation
+    // — the profitability re-run — is strictly longer than the first
+    // and a cycle ceiling equal to the main run's length interrupts
+    // phase 1 specifically.
+    ConfigSpec spec = makeConfig(PaperConfig::CompilerAll);
+    bool exercised = false;
+    for (const char *app : {"pointnet", "hpcg", "spmv1_g3"}) {
+        const auto &bench = workloads::benchmark(app);
+        for (const auto &mix : bench.kernels) {
+            if (exercised)
+                break;
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            if (k.isGemm)
+                continue;
+            KernelResult clean = runKernel(spec, k, gmem);
+            if (!clean.creport.transformed)
+                continue;
+            uint64_t main_cycles = clean.stats.cycles;
+            mem::GlobalMemory gmem_raw;
+            workloads::BuiltKernel kraw = mix.build(gmem_raw);
+            uint64_t raw_cycles =
+                sim::runProgram(spec.gpu, gmem_raw, kraw.prog,
+                                kraw.grid, kraw.params)
+                    .cycles;
+            if (raw_cycles <= main_cycles)
+                continue; // ceiling below would interrupt phase 0
+
+            sim::RunBudget budget;
+            budget.maxCycles = main_cycles;
+            mem::GlobalMemory gmem2;
+            workloads::BuiltKernel k2 = mix.build(gmem2);
+            KernelResume res;
+            bool stopped = false;
+            try {
+                runKernel(spec, k2, gmem2, budget, nullptr);
+            } catch (const KernelBudgetStop &stop) {
+                stopped = true;
+                EXPECT_EQ(stop.phase, 1)
+                    << "the main run fits the ceiling exactly; the "
+                       "longer raw re-run must be the one that trips";
+                EXPECT_FALSE(stop.snapshot.empty());
+                EXPECT_EQ(stop.mainStats.cycles, main_cycles);
+                res.phase = stop.phase;
+                res.snapshot = stop.snapshot;
+                res.mainStats = stop.mainStats;
+            }
+            ASSERT_TRUE(stopped) << app << "/" << mix.label;
+
+            mem::GlobalMemory gmem3;
+            workloads::BuiltKernel k3 = mix.build(gmem3);
+            KernelResult resumed =
+                runKernel(spec, k3, gmem3, sim::RunBudget{}, &res);
+            EXPECT_TRUE(resumed.verified);
+            wasp::clocktest::expectStatsEqual(clean.stats, resumed.stats,
+                                              "phase-1 resume");
+            exercised = true;
+        }
+        if (exercised)
+            break;
+    }
+    EXPECT_TRUE(exercised)
+        << "no benchmark kernel kept its specialization; the phase-1 "
+           "resume path was not exercised";
+}

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the symmetric serialization archive and the durable
+ * file container (common/serialize.hh): bit-exact primitive
+ * roundtrips, canonical container encoding, hostile-input safety of
+ * the Loader, container failure classification, and atomic file
+ * publishing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+/** Temporary directory per test, removed on destruction. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/wasp_serialize_XXXXXX";
+        const char *d = mkdtemp(tmpl);
+        EXPECT_NE(d, nullptr);
+        path_ = d ? d : "/tmp";
+    }
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+/** One field of every primitive kind the archive supports. */
+struct Blob
+{
+    bool b = true;
+    uint8_t u8 = 0xfe;
+    int8_t i8 = -7;
+    uint16_t u16 = 0xbeef;
+    int16_t i16 = -12345;
+    uint32_t u32 = 0xdeadbeefu;
+    int32_t i32 = -1000000;
+    uint64_t u64 = 0x0123456789abcdefull;
+    int64_t i64 = std::numeric_limits<int64_t>::min();
+    double d = -0.1;
+    float f = 3.5f;
+    std::string s = std::string("hi\0there", 8);
+
+    template <class Ar>
+    void
+    checkpoint(Ar &ar)
+    {
+        ar.io(b);
+        ar.io(u8);
+        ar.io(i8);
+        ar.io(u16);
+        ar.io(i16);
+        ar.io(u32);
+        ar.io(i32);
+        ar.io(u64);
+        ar.io(i64);
+        ar.io(d);
+        ar.io(f);
+        ar.io(s);
+    }
+};
+
+} // namespace
+
+TEST(Serialize, PrimitiveRoundtripIsBitExact)
+{
+    Blob out;
+    Saver saver;
+    out.checkpoint(saver);
+
+    Blob in;
+    in = Blob{};
+    in.b = false;
+    in.u64 = 0;
+    in.d = 0.0;
+    in.s.clear();
+    Loader loader(saver.data());
+    in.checkpoint(loader);
+    loader.expectEnd();
+
+    EXPECT_EQ(in.b, out.b);
+    EXPECT_EQ(in.u8, out.u8);
+    EXPECT_EQ(in.i8, out.i8);
+    EXPECT_EQ(in.u16, out.u16);
+    EXPECT_EQ(in.i16, out.i16);
+    EXPECT_EQ(in.u32, out.u32);
+    EXPECT_EQ(in.i32, out.i32);
+    EXPECT_EQ(in.u64, out.u64);
+    EXPECT_EQ(in.i64, out.i64);
+    EXPECT_EQ(std::bit_cast<uint64_t>(in.d), std::bit_cast<uint64_t>(out.d));
+    EXPECT_EQ(std::bit_cast<uint32_t>(in.f), std::bit_cast<uint32_t>(out.f));
+    EXPECT_EQ(in.s, out.s);
+}
+
+TEST(Serialize, DoubleRoundtripPreservesNanAndSignedZero)
+{
+    double values[] = {0.0, -0.0, std::numeric_limits<double>::quiet_NaN(),
+                       std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::denorm_min()};
+    for (double v : values) {
+        Saver s;
+        s.io(v);
+        double r = 123.0;
+        Loader l(s.data());
+        l.io(r);
+        EXPECT_EQ(std::bit_cast<uint64_t>(v), std::bit_cast<uint64_t>(r));
+    }
+}
+
+TEST(Serialize, ContainersRoundtrip)
+{
+    std::vector<uint32_t> nums{1, 2, 3, 0xffffffffu};
+    std::vector<bool> bits{true, false, true, true};
+    std::deque<int32_t> deq{-1, 0, 7};
+    std::unordered_map<uint32_t, uint64_t> map{{9, 90}, {2, 20}, {5, 50}};
+
+    Saver s;
+    ioNumVec(s, nums);
+    ioBoolVec(s, bits);
+    ioDeq(s, deq, [](Saver &a, int32_t &v) { a.io(v); });
+    ioUMap(s, map, [](Saver &a, uint64_t &v) { a.io(v); });
+
+    std::vector<uint32_t> nums2;
+    std::vector<bool> bits2;
+    std::deque<int32_t> deq2;
+    std::unordered_map<uint32_t, uint64_t> map2;
+    Loader l(s.data());
+    ioNumVec(l, nums2);
+    ioBoolVec(l, bits2);
+    ioDeq(l, deq2, [](Loader &a, int32_t &v) { a.io(v); });
+    ioUMap(l, map2, [](Loader &a, uint64_t &v) { a.io(v); });
+    l.expectEnd();
+
+    EXPECT_EQ(nums2, nums);
+    EXPECT_EQ(bits2, bits);
+    EXPECT_EQ(deq2, deq);
+    EXPECT_EQ(map2, map);
+}
+
+TEST(Serialize, UnorderedMapEncodingIsCanonical)
+{
+    // Same contents inserted in different orders must serialize to
+    // identical bytes: hash-table iteration order never leaks.
+    std::unordered_map<uint32_t, uint32_t> a;
+    std::unordered_map<uint32_t, uint32_t> b;
+    for (uint32_t k = 0; k < 100; ++k)
+        a[k * 7919u] = k;
+    for (uint32_t k = 100; k-- > 0;)
+        b[k * 7919u] = k;
+    auto enc = [](std::unordered_map<uint32_t, uint32_t> &m) {
+        Saver s;
+        ioUMap(s, m, [](Saver &ar, uint32_t &v) { ar.io(v); });
+        return s.take();
+    };
+    EXPECT_EQ(enc(a), enc(b));
+}
+
+TEST(Serialize, LoaderRejectsTruncationAndHostileCounts)
+{
+    Saver s;
+    uint64_t v = 42;
+    s.io(v);
+    std::string bytes = s.take();
+
+    // Truncation mid-integer.
+    Loader short_l(std::string_view(bytes).substr(0, 3));
+    uint64_t r = 0;
+    try {
+        short_l.io(r);
+        FAIL() << "truncated read did not throw";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.kind, SerializeError::Kind::Truncated);
+    }
+
+    // A container count far beyond the remaining bytes must be
+    // rejected before any allocation happens.
+    Saver hostile;
+    uint64_t huge = 0x7fffffffffffffffull;
+    hostile.io(huge);
+    Loader hl(hostile.data());
+    try {
+        std::vector<uint64_t> out;
+        ioNumVec(hl, out);
+        FAIL() << "hostile count did not throw";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.kind, SerializeError::Kind::Malformed);
+    }
+
+    // Trailing garbage is flagged by expectEnd.
+    Loader trail(bytes + "x");
+    trail.io(r);
+    try {
+        trail.expectEnd();
+        FAIL() << "trailing bytes did not throw";
+    } catch (const SerializeError &e) {
+        EXPECT_EQ(e.kind, SerializeError::Kind::Malformed);
+    }
+}
+
+TEST(Serialize, Fnv1a64MatchesReferenceVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a64(std::string_view{}), 0xcbf29ce484222325ull);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+    // Chained basis == one pass over the concatenation. (The basis
+    // argument needs an explicit string_view: a bare string literal
+    // with two args would select the pointer+length overload.)
+    EXPECT_EQ(fnv1a64(std::string_view("bar"), fnv1a64("foo")),
+              fnv1a64("foobar"));
+}
+
+namespace
+{
+
+constexpr uint64_t kTestMagic = 0x544e4f435453'4554ull;
+
+std::string
+packed(const std::string &payload, uint32_t version = 3)
+{
+    return packContainer(kTestMagic, version, payload);
+}
+
+SerializeError::Kind
+unpackKind(const std::string &bytes)
+{
+    try {
+        unpackContainer(kTestMagic, 2, 3, bytes, "test blob");
+    } catch (const SerializeError &e) {
+        return e.kind;
+    }
+    ADD_FAILURE() << "unpack unexpectedly succeeded";
+    return SerializeError::Kind::Malformed;
+}
+
+} // namespace
+
+TEST(Container, RoundtripAndVersionWindow)
+{
+    std::string blob = packed("payload-bytes", 2);
+    ContainerInfo info = unpackContainer(kTestMagic, 2, 3, blob, "t");
+    EXPECT_EQ(info.version, 2u);
+    EXPECT_EQ(info.payload, "payload-bytes");
+
+    // Empty payloads are legal.
+    ContainerInfo empty = unpackContainer(kTestMagic, 2, 3, packed(""), "t");
+    EXPECT_EQ(empty.payload.size(), 0u);
+}
+
+TEST(Container, ClassifiesEveryFailureMode)
+{
+    std::string good = packed("some payload");
+
+    // Too short to even hold the header.
+    EXPECT_EQ(unpackKind(good.substr(0, 5)),
+              SerializeError::Kind::Truncated);
+    // Wrong magic.
+    std::string wrong = good;
+    wrong[0] ^= 0x01;
+    EXPECT_EQ(unpackKind(wrong), SerializeError::Kind::BadMagic);
+    // Truncated payload (header intact).
+    EXPECT_EQ(unpackKind(good.substr(0, good.size() - 9)),
+              SerializeError::Kind::Truncated);
+    // Flipped payload byte: checksum catches it.
+    std::string bitrot = good;
+    bitrot[22] ^= 0x40;
+    EXPECT_EQ(unpackKind(bitrot), SerializeError::Kind::BadChecksum);
+    // Flipped trailer byte: also a checksum failure.
+    std::string torn = good;
+    torn[torn.size() - 1] ^= 0x80;
+    EXPECT_EQ(unpackKind(torn), SerializeError::Kind::BadChecksum);
+    // A corrupted *version* field reports as corruption, not version
+    // skew: the checksum is validated before the version window, so
+    // bit rot can never masquerade as "please upgrade".
+    std::string vflip = good;
+    vflip[8] ^= 0x04;
+    EXPECT_EQ(unpackKind(vflip), SerializeError::Kind::BadChecksum);
+    // A genuinely different version (correctly checksummed) is skew.
+    EXPECT_EQ(unpackKind(packed("some payload", 9)),
+              SerializeError::Kind::BadVersion);
+    EXPECT_EQ(unpackKind(packed("some payload", 1)),
+              SerializeError::Kind::BadVersion);
+}
+
+TEST(Container, EveryOffsetCorruptionIsAStructuredError)
+{
+    // Exhaustive single-byte corruption sweep: whatever byte flips,
+    // decode must end in a SerializeError — never a crash, never
+    // success.
+    std::string good = packed("fuzz payload 0123456789");
+    for (size_t off = 0; off < good.size(); ++off) {
+        std::string bad = good;
+        bad[off] ^= 0x5a;
+        try {
+            unpackContainer(kTestMagic, 2, 3, bad, "fuzz");
+            FAIL() << "corruption at offset " << off << " undetected";
+        } catch (const SerializeError &) {
+            // expected
+        }
+    }
+    // Exhaustive truncation sweep.
+    for (size_t len = 0; len < good.size(); ++len) {
+        try {
+            unpackContainer(kTestMagic, 2, 3,
+                            std::string_view(good).substr(0, len), "fuzz");
+            FAIL() << "truncation to " << len << " bytes undetected";
+        } catch (const SerializeError &) {
+            // expected
+        }
+    }
+}
+
+TEST(Container, AtomicWriteRoundtripsAndLeavesNoTemp)
+{
+    TempDir dir;
+    std::string path = dir.file("blob.bin");
+    std::string payload(10000, '\x5c');
+    payload[777] = '\x00';
+    std::string blob = packed(payload);
+    std::string err;
+    ASSERT_TRUE(writeFileAtomic(path, blob, &err)) << err;
+    // Overwrite with new content: readers must see old-or-new, and
+    // after return, the new bytes.
+    std::string blob2 = packed(payload + "v2");
+    ASSERT_TRUE(writeFileAtomic(path, blob2, &err)) << err;
+
+    std::string back;
+    ASSERT_TRUE(readFileBytes(path, &back, &err)) << err;
+    EXPECT_EQ(back, blob2);
+
+    // The temp file must not survive a successful publish.
+    std::string tmp_glob = path + ".tmp";
+    FILE *ls = fopen((tmp_glob + ".check").c_str(), "r");
+    EXPECT_EQ(ls, nullptr);
+
+    // Unwritable destination reports failure instead of dying.
+    EXPECT_FALSE(
+        writeFileAtomic("/nonexistent-dir/x/y/blob.bin", blob, &err));
+    EXPECT_FALSE(err.empty());
+    std::string missing;
+    EXPECT_FALSE(readFileBytes(dir.file("absent.bin"), &missing, &err));
+}

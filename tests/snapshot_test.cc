@@ -1,0 +1,483 @@
+/**
+ * @file
+ * Durable-simulation tests: deterministic checkpoint/resume of a
+ * running Gpu, budget ceiling enforcement, and hostile-input safety of
+ * the snapshot decode path.
+ *
+ * The core guarantee under test: run-to-C → snapshot → restore into a
+ * fresh machine → run-to-end produces RunStats *bit-identical* to the
+ * uninterrupted run — including stall buckets, distributions, and the
+ * functional output — under either clock mode, with SM-parallel
+ * ticking, and mid-fault-window with live injector RNG streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.hh"
+#include "isa/builder.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "sim/fault.hh"
+#include "sim/gpu.hh"
+#include "sim/snapshot.hh"
+#include "clock_equiv.hh"
+
+using namespace wasp;
+using namespace wasp::isa;
+using namespace wasp::sim;
+
+namespace
+{
+
+/** Small machine with bounded ceilings so corrupted-state runs end
+ * quickly in a structured error instead of spinning. */
+GpuConfig
+snapConfig()
+{
+    GpuConfig config;
+    config.numSms = 2;
+    config.maxCycles = 200'000;
+    config.watchdogInterval = 10'000;
+    return config;
+}
+
+/** out[i] = 2 * in[i] + 1; params: in, out. */
+Program
+saxpyKernel()
+{
+    KernelBuilder b("saxpy");
+    b.tbDim(128);
+    b.s2r(0, SpecialReg::TID_X);
+    b.s2r(1, SpecialReg::CTAID_X);
+    b.imad(2, R(1), Imm(128), R(0));
+    b.shl(3, R(2), Imm(2));
+    b.iadd(4, R(3), CParam(0));
+    b.ldg(5, 4, 0);
+    b.fmul(6, R(5), FImm(2.0f));
+    b.fadd(6, R(6), FImm(1.0f));
+    b.iadd(7, R(3), CParam(1));
+    b.stg(7, 0, R(6));
+    b.exit();
+    return b.finish();
+}
+
+/** TMA stream fills queue 0, consumer pops n/32 chunks; params: in,
+ * out. Requires waspTmaEnabled; exercises RFQs + the TMA engine. */
+Program
+tmaStreamKernel(int n)
+{
+    KernelBuilder b("tma_stream");
+    b.tbDim(32).stages(2).stageRegs({4, 8});
+    int q = b.queue(0, 1, 8);
+    auto prod = b.freshLabel("prod");
+    auto ctop = b.freshLabel("ctop");
+    b.s2r(0, SpecialReg::PIPE_STAGE);
+    b.isetp(0, CmpOp::EQ, R(0), Imm(0));
+    b.pred(0).bra(prod);
+    b.s2r(0, SpecialReg::TID_X);
+    b.shl(1, R(0), Imm(2));
+    b.iadd(1, R(1), CParam(1));
+    b.mov(2, Imm(0));
+    b.place(ctop);
+    b.mov(3, Q(q));
+    b.stg(1, 0, R(3));
+    b.iadd(1, R(1), Imm(32 * 4));
+    b.iadd(2, R(2), Imm(1));
+    b.isetp(1, CmpOp::LT, R(2), Imm(n / 32));
+    b.pred(1).bra(ctop);
+    b.exit();
+    b.place(prod);
+    b.mov(1, CParam(0));
+    b.mov(2, Imm(n));
+    b.tmaStream(q, 1, 2, 4);
+    b.exit();
+    return b.finish();
+}
+
+struct Workload
+{
+    Program prog;
+    int grid = 1;
+    int n = 0;
+    uint32_t in = 0;
+    uint32_t out = 0;
+    std::vector<uint32_t> params;
+};
+
+/** Allocate and fill the input/output arrays for one run. */
+Workload
+buildSaxpy(mem::GlobalMemory &gmem, int n = 256)
+{
+    Workload w;
+    w.prog = saxpyKernel();
+    w.n = n;
+    w.grid = n / 128;
+    w.in = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    w.out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.writeF32(w.in + static_cast<uint32_t>(i) * 4,
+                      static_cast<float>(i));
+    w.params = {w.in, w.out};
+    return w;
+}
+
+Workload
+buildTmaStream(mem::GlobalMemory &gmem, int n = 32 * 16)
+{
+    Workload w;
+    w.prog = tmaStreamKernel(n);
+    w.n = n;
+    w.grid = 1;
+    w.in = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    w.out = gmem.alloc(static_cast<uint32_t>(n) * 4);
+    for (int i = 0; i < n; ++i)
+        gmem.write32(w.in + static_cast<uint32_t>(i) * 4,
+                     static_cast<uint32_t>(i) * 3u + 1u);
+    w.params = {w.in, w.out};
+    return w;
+}
+
+std::vector<uint32_t>
+readOut(mem::GlobalMemory &gmem, const Workload &w)
+{
+    std::vector<uint32_t> v;
+    for (int i = 0; i < w.n; ++i)
+        v.push_back(gmem.read32(w.out + static_cast<uint32_t>(i) * 4));
+    return v;
+}
+
+/**
+ * The equivalence drill: run uninterrupted; run again with a snapshot
+ * captured at `snap_cycle` (capture must not perturb); resume the
+ * snapshot in a fresh machine + fresh memory under `resume_config`;
+ * assert bit-identical RunStats and functional output everywhere.
+ */
+void
+drillResume(const GpuConfig &config, const GpuConfig &resume_config,
+            Workload (*build)(mem::GlobalMemory &, int), int n,
+            uint64_t snap_cycle, const std::string &what)
+{
+    mem::GlobalMemory gmem1;
+    Workload w1 = build(gmem1, n);
+    RunStats baseline = runProgram(config, gmem1, w1.prog, w1.grid,
+                                   w1.params);
+    std::vector<uint32_t> expect_out = readOut(gmem1, w1);
+
+    mem::GlobalMemory gmem2;
+    Workload w2 = build(gmem2, n);
+    std::string snap;
+    RunControl capture;
+    capture.snapshotAtCycle = snap_cycle;
+    capture.snapshotOut = &snap;
+    RunStats observed = runProgram(config, gmem2, w2.prog, w2.grid,
+                                   w2.params, capture);
+    clocktest::expectStatsEqual(observed, baseline,
+                                what + " (capture must not perturb)");
+    EXPECT_EQ(readOut(gmem2, w2), expect_out) << what;
+    ASSERT_FALSE(snap.empty())
+        << what << ": no snapshot captured at cycle " << snap_cycle
+        << " (run ended earlier? " << baseline.cycles << " cycles)";
+
+    // Resume into a fresh machine and *empty* memory: the snapshot
+    // carries the functional global memory too.
+    mem::GlobalMemory gmem3;
+    mem::GlobalMemory scratch;
+    Workload w3 = build(scratch, n); // same program/params, fresh build
+    RunControl resume;
+    resume.resumeFrom = &snap;
+    RunStats resumed = runProgram(resume_config, gmem3, w3.prog, w3.grid,
+                                  w3.params, resume);
+    clocktest::expectStatsEqual(resumed, baseline, what + " (resumed)");
+    EXPECT_EQ(readOut(gmem3, w3), expect_out) << what << " (resumed)";
+}
+
+} // namespace
+
+TEST(SnapshotResume, BitIdenticalAcrossCycles)
+{
+    GpuConfig config = snapConfig();
+    for (uint64_t cycle : {uint64_t{1}, uint64_t{64}, uint64_t{200}}) {
+        drillResume(config, config, buildSaxpy, 256, cycle,
+                    "saxpy@" + std::to_string(cycle));
+    }
+    // A longer run (16 thread blocks over 2 SMs): snapshot while the
+    // dispatcher still has queued CTAs.
+    drillResume(config, config, buildSaxpy, 2048, 400, "saxpy-big@400");
+}
+
+TEST(SnapshotResume, TmaRfqPipelineMidFlight)
+{
+    GpuConfig config = snapConfig();
+    config.waspTmaEnabled = true;
+    for (uint64_t cycle : {uint64_t{16}, uint64_t{200}}) {
+        drillResume(config, config, buildTmaStream, 32 * 16, cycle,
+                    "tma_stream@" + std::to_string(cycle));
+    }
+}
+
+TEST(SnapshotResume, ReferenceClockAndCrossMode)
+{
+    GpuConfig skip = snapConfig();
+    skip.clockMode = ClockMode::CycleSkip;
+    GpuConfig ref = snapConfig();
+    ref.clockMode = ClockMode::Reference;
+
+    // Same-mode under the reference clock.
+    drillResume(ref, ref, buildSaxpy, 256, 100, "saxpy-ref@100");
+    // Cross-mode: the config hash excludes clockMode (the modes are
+    // equivalence-proven), so a skip-mode snapshot restores under the
+    // reference clock and vice versa — still bit-identical.
+    drillResume(skip, ref, buildSaxpy, 256, 100, "saxpy-skip2ref@100");
+    drillResume(ref, skip, buildSaxpy, 256, 100, "saxpy-ref2skip@100");
+}
+
+TEST(SnapshotResume, SmParallelTicking)
+{
+    GpuConfig config = snapConfig();
+    config.numSms = 4;
+    config.smParallelism = 4;
+    drillResume(config, config, buildSaxpy, 512, 200, "saxpy-smpar@200");
+}
+
+TEST(SnapshotResume, MidFaultWindowWithLiveRngStreams)
+{
+    // Snapshot in the middle of a transient DRAM-stall window: the
+    // injector's armed RNG stream and activation state must resume
+    // exactly, or the post-resume stall pattern (and thus every stat)
+    // diverges.
+    GpuConfig config = snapConfig();
+    FaultSpec spec;
+    spec.kind = FaultKind::DramStall;
+    spec.atCycle = 1;
+    spec.durationCycles = 5'000;
+    config.faults.faults.push_back(spec);
+    config.faults.seed = 99;
+    drillResume(config, config, buildSaxpy, 256, 1'000,
+                "saxpy-fault-window@1000");
+}
+
+TEST(SnapshotResume, SnapshotBytesAreDeterministic)
+{
+    GpuConfig config = snapConfig();
+    auto capture = [&]() {
+        mem::GlobalMemory gmem;
+        Workload w = buildSaxpy(gmem, 2048);
+        std::string snap;
+        RunControl ctl;
+        ctl.snapshotAtCycle = 300;
+        ctl.snapshotOut = &snap;
+        runProgram(config, gmem, w.prog, w.grid, w.params, ctl);
+        return snap;
+    };
+    std::string a = capture();
+    std::string b = capture();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "snapshot bytes must be a pure function of the "
+                       "simulation state";
+}
+
+TEST(SnapshotBudget, CycleCeilingTripsWithResumableSnapshot)
+{
+    GpuConfig config = snapConfig();
+    mem::GlobalMemory gmem1;
+    Workload w1 = buildSaxpy(gmem1, 2048);
+    RunStats baseline = runProgram(config, gmem1, w1.prog, w1.grid,
+                                   w1.params);
+    std::vector<uint32_t> expect_out = readOut(gmem1, w1);
+    ASSERT_GT(baseline.cycles, 600u) << "need a run longer than the "
+                                        "ceiling for this test";
+
+    mem::GlobalMemory gmem2;
+    Workload w2 = buildSaxpy(gmem2, 2048);
+    std::string snap;
+    RunControl ctl;
+    ctl.budget.maxCycles = 500;
+    ctl.budgetSnapshotOut = &snap;
+    try {
+        runProgram(config, gmem2, w2.prog, w2.grid, w2.params, ctl);
+        FAIL() << "budget did not trip";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.outcome, RunOutcome::BudgetExceeded);
+        EXPECT_EQ(e.stats.outcome, RunOutcome::BudgetExceeded);
+        EXPECT_NE(e.diagnosis.find("budget"), std::string::npos)
+            << e.diagnosis;
+        EXPECT_NE(std::string(e.what()).find("[budget-exceeded]"),
+                  std::string::npos);
+        EXPECT_LT(e.stats.cycles, baseline.cycles);
+    }
+    ASSERT_FALSE(snap.empty());
+
+    // Resume the tripped run without the ceiling: bit-identical end.
+    mem::GlobalMemory gmem3;
+    RunControl resume;
+    resume.resumeFrom = &snap;
+    RunStats resumed = runProgram(config, gmem3, w2.prog, w2.grid,
+                                  w2.params, resume);
+    clocktest::expectStatsEqual(resumed, baseline, "budget-resume");
+    EXPECT_EQ(readOut(gmem3, w2), expect_out);
+}
+
+TEST(SnapshotBudget, RssCeilingTripsOnFirstPoll)
+{
+    // The process is always bigger than 1 MB, so an RSS ceiling of
+    // 1 MB deterministically trips at the very first wall/RSS poll.
+    GpuConfig config = snapConfig();
+    mem::GlobalMemory gmem;
+    Workload w = buildSaxpy(gmem, 256);
+    std::string snap;
+    RunControl ctl;
+    ctl.budget.maxRssBytes = 1 << 20;
+    ctl.budgetSnapshotOut = &snap;
+    try {
+        runProgram(config, gmem, w.prog, w.grid, w.params, ctl);
+        FAIL() << "RSS budget did not trip";
+    } catch (const SimError &e) {
+        EXPECT_EQ(e.outcome, RunOutcome::BudgetExceeded);
+        EXPECT_NE(e.diagnosis.find("memory"), std::string::npos)
+            << e.diagnosis;
+    }
+    EXPECT_FALSE(snap.empty());
+
+    // And the snapshot (taken at cycle 0, before anything simulated)
+    // resumes to the full healthy run.
+    mem::GlobalMemory gmem2;
+    mem::GlobalMemory gmem3;
+    Workload wb = buildSaxpy(gmem3, 256);
+    RunStats baseline = runProgram(config, gmem3, wb.prog, wb.grid,
+                                   wb.params);
+    RunControl resume;
+    resume.resumeFrom = &snap;
+    RunStats resumed = runProgram(config, gmem2, w.prog, w.grid,
+                                  w.params, resume);
+    clocktest::expectStatsEqual(resumed, baseline, "rss-budget-resume");
+}
+
+TEST(SnapshotValidate, WrongLaunchOrConfigIsRejected)
+{
+    GpuConfig config = snapConfig();
+    mem::GlobalMemory gmem;
+    Workload w = buildSaxpy(gmem, 256);
+    std::string snap;
+    RunControl ctl;
+    ctl.snapshotAtCycle = 100;
+    ctl.snapshotOut = &snap;
+    runProgram(config, gmem, w.prog, w.grid, w.params, ctl);
+    ASSERT_FALSE(snap.empty());
+
+    RunControl resume;
+    resume.resumeFrom = &snap;
+
+    // Different launch parameters: launch-hash mismatch.
+    mem::GlobalMemory g2;
+    std::vector<uint32_t> other_params = {w.params[0], w.params[1] + 4};
+    EXPECT_THROW(runProgram(config, g2, w.prog, w.grid, other_params,
+                            resume),
+                 SerializeError);
+
+    // Semantically different machine: config-hash mismatch.
+    GpuConfig bigger = config;
+    bigger.l1Bytes *= 2;
+    mem::GlobalMemory g3;
+    EXPECT_THROW(runProgram(bigger, g3, w.prog, w.grid, w.params, resume),
+                 SerializeError);
+
+    // Execution-strategy knobs are excluded from the hash on purpose.
+    GpuConfig refmode = config;
+    refmode.clockMode = ClockMode::Reference;
+    mem::GlobalMemory g4;
+    EXPECT_NO_THROW(runProgram(refmode, g4, w.prog, w.grid, w.params,
+                               resume));
+}
+
+TEST(SnapshotValidate, CorruptSnapshotIsAlwaysAStructuredError)
+{
+    GpuConfig config = snapConfig();
+    mem::GlobalMemory gmem;
+    Workload w = buildSaxpy(gmem, 256);
+    std::string snap;
+    RunControl ctl;
+    ctl.snapshotAtCycle = 100;
+    ctl.snapshotOut = &snap;
+    runProgram(config, gmem, w.prog, w.grid, w.params, ctl);
+    ASSERT_GT(snap.size(), 64u);
+
+    auto tryResume = [&](const std::string &blob) {
+        mem::GlobalMemory g;
+        RunControl resume;
+        resume.resumeFrom = &blob;
+        runProgram(config, g, w.prog, w.grid, w.params, resume);
+    };
+
+    // Whole-container corruption: header, body, and trailer flips all
+    // classify via the container checks (magic / checksum).
+    {
+        std::string bad = snap;
+        bad[3] ^= 0x10; // magic
+        try {
+            tryResume(bad);
+            FAIL() << "bad magic undetected";
+        } catch (const SerializeError &e) {
+            EXPECT_EQ(e.kind, SerializeError::Kind::BadMagic);
+        }
+    }
+    for (size_t off : {size_t{9}, size_t{40}, snap.size() / 2,
+                       snap.size() - 3}) {
+        std::string bad = snap;
+        bad[off] ^= 0x20;
+        try {
+            tryResume(bad);
+            FAIL() << "bit rot at offset " << off << " undetected";
+        } catch (const SerializeError &e) {
+            EXPECT_EQ(e.kind, SerializeError::Kind::BadChecksum)
+                << "offset " << off;
+        }
+    }
+    // Truncations at every offset class.
+    for (size_t len : {size_t{0}, size_t{7}, size_t{19}, size_t{21},
+                       snap.size() / 3, snap.size() - 1}) {
+        EXPECT_THROW(tryResume(snap.substr(0, len)), SerializeError)
+            << "truncated to " << len;
+    }
+
+    // Deep corruption past the checksum: flip payload bytes and
+    // re-pack with a *correct* checksum, so the container layer
+    // accepts the blob and the structural Loader validation has to
+    // hold the line. A flip may land in semantically free bytes (a
+    // stat counter), in which case restore legally succeeds — the
+    // guarantee is "structured error or clean decode", never a crash
+    // or out-of-bounds read (the ASan/UBSan durable pass enforces the
+    // latter half).
+    ContainerInfo info = unpackContainer(kSnapshotMagic, kSimStateVersion,
+                                         kSimStateVersion, snap, "snap");
+    std::string payload(info.payload);
+    size_t stride = payload.size() / 24 + 1;
+    std::vector<size_t> offsets;
+    for (size_t off = 0; off < 16 && off < payload.size(); ++off)
+        offsets.push_back(off); // identity-hash region
+    for (size_t off = 16; off < payload.size(); off += stride)
+        offsets.push_back(off);
+    int detected = 0;
+    int accepted = 0;
+    for (size_t off : offsets) {
+        std::string mutated = payload;
+        mutated[off] ^= 0xff;
+        std::string blob =
+            packContainer(kSnapshotMagic, kSimStateVersion, mutated);
+        try {
+            tryResume(blob);
+            ++accepted;
+        } catch (const SerializeError &) {
+            ++detected;
+        } catch (const SimError &) {
+            // Restored a legal-but-wrong state that then wedged: the
+            // watchdog converted it into a structured failure.
+            ++accepted;
+        }
+    }
+    // The identity-hash region alone guarantees a healthy detection
+    // count; most structural bytes (counts, geometry) are also caught.
+    EXPECT_GE(detected, 16) << "accepted=" << accepted;
+}

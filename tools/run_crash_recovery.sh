@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# End-to-end crash-recovery drill for the durable experiment matrix:
+#
+#   1. Run `wasp-cli matrix` to completion and keep its --json-out as
+#      the ground truth.
+#   2. Start the same matrix against a fresh result cache, let it
+#      publish at least one cache entry, then SIGKILL it mid-run — the
+#      hardest interruption there is: no handlers, no flushing, a torn
+#      temp file at worst.
+#   3. Re-invoke with --resume=<cache-dir>. Finished cells load from
+#      the cache, everything else recomputes.
+#   4. The recovered run's --json-out must be byte-identical to the
+#      uninterrupted one after stripping the `provenance` field (which
+#      records cached-vs-computed and is the only legitimate
+#      difference).
+#
+#   ./tools/run_crash_recovery.sh [build-dir] [--apps a,b,..] [--configs c,..]
+#
+# Exits 0 on byte-identical recovery, 1 otherwise. The quick ctest
+# variant (label `durable`) runs this with a two-benchmark matrix.
+set -eu
+
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+
+cd "$(dirname "$0")/.."
+cli="$build_dir/tools/wasp-cli"
+[ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
+
+apps="--apps 3d_unet,pointnet"
+configs="--configs baseline,wasp_gpu"
+prev=""
+for arg in "$@"; do
+    case "$prev" in
+        --apps) apps="--apps $arg"; prev=""; continue ;;
+        --configs) configs="--configs $arg"; prev=""; continue ;;
+    esac
+    case "$arg" in
+        --apps=*) apps="--apps ${arg#--apps=}" ;;
+        --configs=*) configs="--configs ${arg#--configs=}" ;;
+        --apps|--configs) prev="$arg" ;;
+    esac
+done
+
+work="$(mktemp -d /tmp/wasp_crash_recovery.XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+cache="$work/cache"
+
+# 1. Ground truth: one uninterrupted run, no cache involved.
+"$cli" matrix $apps $configs -j2 --json-out="$work/expected.json" \
+    > /dev/null 2>&1 || true
+
+# 2. Start the cached run in the background and SIGKILL it as soon as
+# the first cache entry lands (i.e. genuinely mid-matrix).
+"$cli" matrix $apps $configs -j1 --cache="$cache" \
+    --json-out="$work/crashed.json" > /dev/null 2>&1 &
+pid=$!
+tries=0
+while [ "$(ls "$cache" 2>/dev/null | grep -c '\.wrc$' || true)" -eq 0 ]
+do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        # The run finished before we could kill it: still a valid
+        # (degenerate) recovery test — every cell will come from cache.
+        break
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 600 ]; then
+        echo "error: no cache entry appeared within 60s" >&2
+        kill -9 "$pid" 2>/dev/null || true
+        exit 2
+    fi
+    sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "crash-recovery: killed matrix pid $pid with" \
+     "$(ls "$cache" | grep -c '\.wrc$' || true) cache entr(ies) published"
+
+# 3. Recover: resume against the same cache directory.
+"$cli" matrix $apps $configs -j2 --resume="$cache" \
+    --json-out="$work/recovered.json" > /dev/null 2>&1 || true
+
+# 4. Byte-compare after stripping provenance.
+strip_provenance() {
+    sed 's/"provenance":"[a-z]*",//g' "$1"
+}
+strip_provenance "$work/expected.json" > "$work/expected.stripped"
+strip_provenance "$work/recovered.json" > "$work/recovered.stripped"
+if cmp -s "$work/expected.stripped" "$work/recovered.stripped"; then
+    echo "crash-recovery: OK (recovered report byte-identical)"
+    exit 0
+fi
+echo "crash-recovery: FAIL — recovered report differs:" >&2
+diff "$work/expected.stripped" "$work/recovered.stripped" >&2 || true
+exit 1

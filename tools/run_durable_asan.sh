@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Build the tree with AddressSanitizer (or UBSan via
+# WASP_DURABLE_SAN=undefined) and run the durable-simulation label:
+# snapshot/resume bit-identity, the corruption fuzzers over snapshot
+# and cache containers, and the checkpoint/resume matrix tests — the
+# suite that exercises every new serialization I/O path with hostile
+# inputs, which is exactly where an out-of-bounds read would hide.
+#
+#   ./tools/run_durable_asan.sh [build-dir] [extra ctest args...]
+#   WASP_DURABLE_SAN=undefined ./tools/run_durable_asan.sh build-ubsan
+#
+# Uses a dedicated build directory (default build-asan) so the regular
+# build stays uninstrumented. Exits with ctest's status, so it can
+# serve as a CI gate.
+set -eu
+
+san="${WASP_DURABLE_SAN:-address}"
+build_dir="${1:-build-asan}"
+[ $# -gt 0 ] && shift
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$build_dir" -S . -DWASP_SANITIZE="$san" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" \
+    --target serialize_test snapshot_test result_cache_test \
+    durable_equiv_test wasp-cli
+
+cd "$build_dir"
+# The quick durable suite (corruption fuzzers, resume drills, crash
+# recovery); pass -L slow instead to sweep the full-matrix variant.
+exec ctest -L durable -LE slow --output-on-failure "$@"

@@ -73,6 +73,25 @@
  *       executes exactly the program the matrix would run: compile
  *       decisions are settled in an untraced pass first.
  *
+ *       Durability options: --cache=DIR keeps a crash-safe persistent
+ *       result cache (content-addressed on kernel text, machine
+ *       config, seed, and simulator version; corrupt entries are
+ *       quarantined and recomputed); --resume=DIR additionally
+ *       continues checkpointed over-budget cells exactly where they
+ *       stopped. --budget-wall-ms/--budget-cycles/--budget-rss-mb set
+ *       per-cell ceilings, and --on-budget picks what a trip does:
+ *       skip (default), retry once, or checkpoint (persist a resumable
+ *       snapshot for --resume). The report's Provenance column (and
+ *       the JSON `provenance` field) records how each cell was
+ *       obtained: computed, cached, or resumed.
+ *
+ *   wasp-cli cache {stats|verify|gc} --dir=DIR [--max-bytes=N]
+ *       Inspect or maintain a result-cache directory: `stats` prints
+ *       entry counts and bytes, `verify` decode-checks every entry and
+ *       quarantines corrupt ones (exit 3 if any), `gc` deletes
+ *       quarantined files and evicts oldest-first down to
+ *       --max-bytes.
+ *
  *   wasp-cli perf [--apps a,b,..] [--configs c1,c2,..] [--reps N]
  *             [--sm-threads N1,N2,..] [--full-size] [--sha S]
  *             [--host H] [--out FILE]
@@ -115,6 +134,7 @@
 #include "compiler/verify.hh"
 #include "compiler/waspc.hh"
 #include "harness/report.hh"
+#include "harness/result_cache.hh"
 #include "harness/runner.hh"
 #include "isa/program.hh"
 #include "mem/global_memory.hh"
@@ -161,6 +181,13 @@ usage()
                  "                [--sm-threads N] "
                  "[--on-fault={abort,skip,retry}] "
                  "[--json-out=FILE]\n"
+                 "                [--cache=DIR | --resume=DIR] "
+                 "[--budget-wall-ms=N]\n"
+                 "                [--budget-cycles=N] "
+                 "[--budget-rss-mb=N]\n"
+                 "                [--on-budget={skip,retry,checkpoint}]\n"
+                 "       wasp-cli cache {stats|verify|gc} --dir=DIR "
+                 "[--max-bytes=N]\n"
                  "       wasp-cli perf [--apps a,b,..] "
                  "[--configs c1,c2,..] [--reps N]\n"
                  "                [--sm-threads N1,N2,..] "
@@ -227,11 +254,45 @@ cmdMatrix(const std::vector<std::string> &args)
     int sm_threads = 0;
     harness::FaultPolicy on_fault = harness::FaultPolicy::Skip;
     std::string json_out;
+    harness::MatrixOptions mopts;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg.rfind("--json-out=", 0) == 0) {
             json_out = arg.substr(std::strlen("--json-out="));
             if (json_out.empty())
+                return usage();
+        } else if (arg.rfind("--cache=", 0) == 0) {
+            mopts.cacheDir = arg.substr(std::strlen("--cache="));
+            if (mopts.cacheDir.empty())
+                return usage();
+        } else if (arg.rfind("--resume=", 0) == 0) {
+            // --resume implies the cache: cached cells are served,
+            // checkpointed cells continue where they stopped.
+            mopts.cacheDir = arg.substr(std::strlen("--resume="));
+            mopts.resume = true;
+            if (mopts.cacheDir.empty())
+                return usage();
+        } else if (arg.rfind("--budget-wall-ms=", 0) == 0) {
+            mopts.budget.wallMs = std::strtoull(
+                arg.c_str() + std::strlen("--budget-wall-ms="), nullptr,
+                10);
+        } else if (arg.rfind("--budget-cycles=", 0) == 0) {
+            mopts.budget.cycles = std::strtoull(
+                arg.c_str() + std::strlen("--budget-cycles="), nullptr,
+                10);
+        } else if (arg.rfind("--budget-rss-mb=", 0) == 0) {
+            mopts.budget.rssMb = std::strtoull(
+                arg.c_str() + std::strlen("--budget-rss-mb="), nullptr,
+                10);
+        } else if (arg.rfind("--on-budget=", 0) == 0) {
+            std::string policy = arg.substr(std::strlen("--on-budget="));
+            if (policy == "skip")
+                mopts.onBudget = harness::BudgetPolicy::Skip;
+            else if (policy == "retry")
+                mopts.onBudget = harness::BudgetPolicy::Retry;
+            else if (policy == "checkpoint")
+                mopts.onBudget = harness::BudgetPolicy::Checkpoint;
+            else
                 return usage();
         } else if (arg.rfind("--on-fault=", 0) == 0) {
             std::string policy = arg.substr(std::strlen("--on-fault="));
@@ -292,8 +353,10 @@ cmdMatrix(const std::vector<std::string> &args)
     }
 
     auto start = std::chrono::steady_clock::now();
+    mopts.jobs = jobs;
+    mopts.onFault = on_fault;
     std::vector<harness::BenchResult> results =
-        harness::runMatrix(specs, apps, jobs, on_fault);
+        harness::runMatrix(specs, apps, mopts);
     auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                   std::chrono::steady_clock::now() - start)
                   .count();
@@ -330,6 +393,64 @@ cmdMatrix(const std::vector<std::string> &args)
     if (failed > 0)
         return 3;
     return all_verified ? 0 : 1;
+}
+
+int
+cmdCache(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string action = args[0];
+    if (action != "stats" && action != "verify" && action != "gc")
+        return usage();
+    std::string dir;
+    uint64_t max_bytes = 0;
+    bool have_max = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg.rfind("--dir=", 0) == 0) {
+            dir = arg.substr(std::strlen("--dir="));
+        } else if (arg.rfind("--max-bytes=", 0) == 0) {
+            max_bytes = std::strtoull(
+                arg.c_str() + std::strlen("--max-bytes="), nullptr, 10);
+            have_max = true;
+        } else {
+            return usage();
+        }
+    }
+    if (dir.empty())
+        return usage();
+    harness::ResultCache cache(dir);
+    if (action == "verify") {
+        std::vector<std::string> report;
+        size_t bad = cache.verify(&report);
+        for (const auto &line : report)
+            std::printf("%s\n", line.c_str());
+        harness::ResultCache::Stats st = cache.stats();
+        std::printf("cache verify: %zu entries ok, %zu quarantined\n",
+                    st.entries, bad);
+        return bad == 0 ? 0 : 3;
+    }
+    if (action == "gc") {
+        if (!have_max) {
+            std::fprintf(stderr, "cache gc: --max-bytes=N required\n");
+            return usage();
+        }
+        size_t removed = cache.gc(max_bytes);
+        harness::ResultCache::Stats st = cache.stats();
+        std::printf("cache gc: removed %zu file(s); %zu entries "
+                    "(%llu bytes) remain\n",
+                    removed, st.entries,
+                    static_cast<unsigned long long>(st.bytes));
+        return 0;
+    }
+    harness::ResultCache::Stats st = cache.stats();
+    std::printf("cache %s:\n  entries:     %zu\n  bytes:       %llu\n"
+                "  quarantined: %zu\n",
+                dir.c_str(), st.entries,
+                static_cast<unsigned long long>(st.bytes),
+                st.corruptFiles);
+    return 0;
 }
 
 int
@@ -1216,6 +1337,10 @@ dispatch(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    if (cmd == "cache") {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdCache(args);
+    }
     if (cmd == "matrix") {
         std::vector<std::string> args(argv + 2, argv + argc);
         return cmdMatrix(args);
