@@ -1,0 +1,714 @@
+#include "compiler/emit.hh"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <set>
+
+#include "common/log.hh"
+
+namespace wasp::compiler
+{
+
+using isa::CmpOp;
+using isa::Instruction;
+using isa::InstrCategory;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace
+{
+
+class Emitter
+{
+  public:
+    Emitter(const Extraction &ex, const StagePartition &plan)
+        : ex_(ex), plan_(plan), in_(ex.prog())
+    {}
+
+    bool emit(isa::Program &out);
+
+  private:
+    using StageItem = std::pair<int, Instruction>; ///< (old index, instr)
+    using StageCode = std::vector<StageItem>;
+
+    int
+    planStage(int i) const
+    {
+        auto it = plan_.stageOf.find(i);
+        return it == plan_.stageOf.end() ? -1 : it->second;
+    }
+
+    int
+    planConsumer(int i) const
+    {
+        auto it = plan_.consumerStageOf.find(i);
+        return it == plan_.consumerStageOf.end() ? -1 : it->second;
+    }
+
+    bool
+    isDecoupled(int i) const
+    {
+        return plan_.decoupled(ex_, i);
+    }
+
+    /** Closure cut for emission: a value arrives from another stage
+     * only when its load actually gets a queue (or is a tile load);
+     * merged loads are expanded like plain address math. */
+    std::function<bool(int)>
+    emissionCut() const
+    {
+        return [this](int i) {
+            if (!ex_.isActiveLoad(i))
+                return false;
+            const LoadInfo &p = ex_.loads().at(i);
+            return p.tile || isDecoupled(i);
+        };
+    }
+
+    bool buildStage(int s, StageCode &code);
+    bool emitTmaOps(StageCode &code,
+                    const std::vector<const LoadInfo *> &tmas, bool pure);
+    bool unrollForDoubleBuffer(StageCode &code);
+    void mergePops(StageCode &code);
+    int compactRegisters(StageCode &code);
+    void appendStage(isa::Program &out, const StageCode &code);
+
+    const Extraction &ex_;
+    const StagePartition &plan_;
+    const isa::Program &in_;
+    std::map<int, int> queue_idx_; ///< decoupled load id -> queue slot
+};
+
+bool
+Emitter::emit(isa::Program &out)
+{
+    const int num_stages = plan_.numStages;
+    const AffineAnalysis &affine = ex_.affine();
+    (void)affine;
+    // The simulator maps stage = wid % numStages: one warp per stage
+    // per slice. Plans carry the invariant explicitly; refuse anything
+    // else rather than emit a program the machine cannot express.
+    for (int w : plan_.stageWarps) {
+        if (w != 1)
+            return false;
+    }
+
+    out.name = in_.name + "_ws";
+    out.tb = in_.tb;
+    out.tb.numStages = num_stages;
+    out.tb.queues.clear();
+    out.tb.barriers.clear();
+
+    // Queues: one per decoupled load, in program order.
+    for (int i = 0; i < in_.size(); ++i) {
+        if (!ex_.isExtracted(i) || !isDecoupled(i))
+            continue;
+        queue_idx_[i] = static_cast<int>(out.tb.queues.size());
+        out.tb.queues.push_back(
+            {planStage(i), planConsumer(i), plan_.queueDepth.at(i)});
+    }
+    // Tile barriers: Empty/Filled (sets A and B when double
+    // buffered). Single buffering: the consumer's top-of-loop
+    // arrive supplies the "writable" credit, so Empty starts at
+    // phase 0. Double buffering: each Empty barrier carries one
+    // initial credit ("initially set as arrived", Fig. 10) so the
+    // producer can run one buffer ahead.
+    if (ex_.tileActive()) {
+        int expected = in_.tb.warpsPerStage();
+        // E_A carries the one-buffer-lookahead credit; E_B's credit
+        // comes from the consumer's top-of-pass arrive (its arrive
+        // positions are swapped across the two copies).
+        int empty_init = ex_.doubleBuffered() ? 1 : 0;
+        out.tb.barriers.push_back({expected, empty_init}); // E_A
+        out.tb.barriers.push_back({expected, 0});          // F_A
+        if (ex_.doubleBuffered()) {
+            out.tb.barriers.push_back({expected, 0}); // E_B
+            out.tb.barriers.push_back({expected, 0}); // F_B
+            out.tb.smemBytes = in_.tb.smemBytes * 2;
+        }
+    }
+
+    std::vector<StageCode> stages(static_cast<size_t>(num_stages));
+    for (int s = 0; s < num_stages; ++s) {
+        if (!buildStage(s, stages[static_cast<size_t>(s)]))
+            return false;
+    }
+    if (ex_.doubleBuffered()) {
+        for (auto &code : stages) {
+            if (!unrollForDoubleBuffer(code))
+                return false;
+        }
+    }
+    for (auto &code : stages)
+        mergePops(code);
+
+    // Per-stage register compaction.
+    out.tb.stageRegs.assign(static_cast<size_t>(num_stages), 1);
+    for (int s = 0; s < num_stages; ++s)
+        out.tb.stageRegs[static_cast<size_t>(s)] =
+            compactRegisters(stages[static_cast<size_t>(s)]);
+
+    // Jump table: dispatch each warp to its stage's entry.
+    // Register R0 / predicate P0 are dead at stage entry by
+    // construction (stage programs define before use).
+    std::vector<Instruction> jt;
+    for (int s = 0; s < num_stages - 1; ++s) {
+        Instruction s2r;
+        s2r.op = Opcode::S2R;
+        s2r.dsts = {Operand::makeReg(0)};
+        s2r.srcs = {Operand::makeSreg(isa::SpecialReg::PIPE_STAGE)};
+        s2r.category = InstrCategory::Overhead;
+        Instruction setp;
+        setp.op = Opcode::ISETP;
+        setp.cmp = CmpOp::EQ;
+        setp.dsts = {Operand::makePred(0)};
+        setp.srcs = {Operand::makeReg(0), Operand::makeImm(s)};
+        setp.category = InstrCategory::Overhead;
+        Instruction bra;
+        bra.op = Opcode::BRA;
+        bra.guardPred = 0;
+        bra.target = -1000 - s; // placeholder: stage s entry
+        bra.category = InstrCategory::Overhead;
+        jt.push_back(s2r);
+        jt.push_back(setp);
+        jt.push_back(bra);
+    }
+
+    out.instrs = jt;
+    out.tb.stageEntry.assign(static_cast<size_t>(num_stages), 0);
+    std::vector<int> stage_base(static_cast<size_t>(num_stages), 0);
+    // Final layout: jump table, then stage S-1 (fallthrough), wait —
+    // the paper directs warps via the table; we lay stages in order
+    // 0..S-1 and give the last stage the fallthrough path by
+    // emitting its dispatch branch unconditionally skipped. Simpler:
+    // stages in order, each reached via the table; stage S-1 falls
+    // through only when no compare matched, so place it first after
+    // the table? Keep it simple and correct: stage S-1 is reached by
+    // falling through the table, so it must come immediately after.
+    std::vector<int> order;
+    order.push_back(num_stages - 1);
+    for (int s = 0; s < num_stages - 1; ++s)
+        order.push_back(s);
+    for (int s : order) {
+        stage_base[static_cast<size_t>(s)] =
+            static_cast<int>(out.instrs.size());
+        out.tb.stageEntry[static_cast<size_t>(s)] =
+            static_cast<int>(out.instrs.size());
+        appendStage(out, stages[static_cast<size_t>(s)]);
+    }
+    // Resolve jump-table placeholders.
+    for (auto &inst : out.instrs) {
+        if (inst.isBranch() && inst.target <= -1000) {
+            int s = -1000 - inst.target;
+            inst.target = stage_base[static_cast<size_t>(s)];
+        }
+    }
+    out.recomputeNumRegs();
+    // numRegs acts as the uniform (max) allocation.
+    int max_regs = 1;
+    for (int r : out.tb.stageRegs)
+        max_regs = std::max(max_regs, r);
+    out.numRegs = std::max(out.numRegs, max_regs);
+    out.renumber();
+    out.validate();
+    return true;
+}
+
+bool
+Emitter::buildStage(int s, StageCode &code)
+{
+    const bool mem_stage = s < plan_.computeStage;
+    const auto &loads = ex_.loads();
+    const auto &skeleton = ex_.skeleton();
+    auto cut = emissionCut();
+
+    // Stage loads. Merged loop loads are pulled in through their
+    // consumers' slices (the cut expands them), so only queue
+    // producers and tile pairs act as roots.
+    std::vector<const LoadInfo *> loop_loads;
+    std::vector<const LoadInfo *> tma_loads;
+    for (const auto &[i, p] : loads) {
+        if (p.absorbed || !(p.extracted || p.tile) || planStage(i) != s)
+            continue;
+        if (p.emit == EmitMode::Loop) {
+            if (p.tile || isDecoupled(i))
+                loop_loads.push_back(&p);
+        } else {
+            tma_loads.push_back(&p);
+        }
+    }
+    bool stage_has_tile = false;
+    for (const auto *p : loop_loads)
+        stage_has_tile = stage_has_tile || p->tile;
+
+    // Roots and keep-set.
+    std::vector<int> roots;
+    std::set<int> expand;
+    if (mem_stage) {
+        for (const auto *p : loop_loads) {
+            roots.push_back(p->id);
+            expand.insert(p->id);
+            if (p->tile)
+                roots.push_back(p->stsId);
+        }
+        bool keep_skeleton = !loop_loads.empty();
+        if (keep_skeleton) {
+            for (int i : skeleton)
+                roots.push_back(i);
+        }
+    } else {
+        for (int i = 0; i < in_.size(); ++i) {
+            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+            bool tile_sts = false;
+            for (const auto &[lid, p] : loads) {
+                (void)lid;
+                if (p.tile && !p.absorbed && p.stsId == i)
+                    tile_sts = true;
+            }
+            if (tile_sts)
+                continue;
+            if (inst.op == Opcode::STG || inst.op == Opcode::STS ||
+                inst.op == Opcode::ATOMG_ADD || skeleton.count(i))
+                roots.push_back(i);
+        }
+    }
+    // Guard predicates of pops consumed here must be computable.
+    for (const auto &[i, p] : loads) {
+        if (!p.extracted || p.absorbed || !isDecoupled(i) ||
+            planConsumer(i) != s)
+            continue;
+        const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+        if (inst.isGuarded()) {
+            for (int d : ex_.ud().defsReaching(
+                     i, UseDef::kPredBase + inst.guardPred))
+                roots.push_back(d);
+        }
+    }
+    std::set<int> keep = ex_.closure(roots, expand, cut);
+
+    // Emit kept instructions in program order with rewrites.
+    for (int i = 0; i < in_.size(); ++i) {
+        if (!keep.count(i))
+            continue;
+        const Instruction &oi = in_.instrs[static_cast<size_t>(i)];
+        auto lit = loads.find(i);
+        const LoadInfo *lp = lit == loads.end() ? nullptr : &lit->second;
+
+        // Tile LDG in its own stage: folded into the LDGSTS below.
+        if (lp && lp->tile && !lp->absorbed && planStage(i) == s &&
+            mem_stage) {
+            continue;
+        }
+        // Tile STS position: emit the fused LDGSTS.
+        bool is_tile_sts = false;
+        const LoadInfo *tile_plan = nullptr;
+        for (const auto &[lid, p] : loads) {
+            if (p.tile && !p.absorbed && p.stsId == i &&
+                planStage(lid) == s) {
+                is_tile_sts = true;
+                tile_plan = &p;
+            }
+        }
+        if (is_tile_sts && mem_stage) {
+            const Instruction &ldg =
+                in_.instrs[static_cast<size_t>(tile_plan->id)];
+            Instruction fused;
+            fused.op = Opcode::LDGSTS;
+            fused.dsts = {oi.dsts[0]};  // shared destination
+            fused.srcs = {ldg.srcs[0]}; // global source
+            fused.category = InstrCategory::Memory;
+            code.emplace_back(i, fused);
+            continue;
+        }
+
+        Instruction ni = oi;
+        // Decoupled producer: destination becomes the named queue.
+        if (lp && lp->extracted && !lp->absorbed && isDecoupled(i) &&
+            planStage(i) == s && mem_stage && lp->emit == EmitMode::Loop) {
+            ni.dsts = {Operand::makeQueue(queue_idx_.at(i))};
+            ni.category = InstrCategory::Memory;
+            code.emplace_back(i, ni);
+            continue;
+        }
+        // Decoupled consumer: the load becomes a queue pop.
+        if (lp && lp->extracted && !lp->absorbed && isDecoupled(i) &&
+            planConsumer(i) == s) {
+            Instruction pop;
+            pop.op = Opcode::MOV;
+            pop.guardPred = oi.guardPred;
+            pop.guardNeg = oi.guardNeg;
+            pop.dsts = {oi.dsts[0]};
+            pop.srcs = {Operand::makeQueue(queue_idx_.at(i))};
+            pop.category = InstrCategory::Queue;
+            code.emplace_back(i, pop);
+            continue;
+        }
+        // Any other load id that leaked in is a plan bug. Merged loads
+        // (plan stage == s) fall through to plain emission below.
+        if (lp && (lp->extracted || lp->tile) && !lp->absorbed &&
+            planStage(i) != s && planConsumer(i) != s)
+            return false;
+
+        // Tile barrier rewriting.
+        if (oi.op == Opcode::BAR_SYNC && ex_.tileActive()) {
+            if (mem_stage && stage_has_tile) {
+                ni.op = (i == ex_.barEmptyId()) ? Opcode::BAR_WAIT
+                                                : Opcode::BAR_ARRIVE;
+                ni.srcs = {
+                    Operand::makeImm(i == ex_.barEmptyId() ? 0 : 1)};
+            } else if (!mem_stage) {
+                ni.op = (i == ex_.barEmptyId()) ? Opcode::BAR_ARRIVE
+                                                : Opcode::BAR_WAIT;
+                ni.srcs = {
+                    Operand::makeImm(i == ex_.barEmptyId() ? 0 : 1)};
+            } else {
+                continue; // other memory stages drop the sync
+            }
+            ni.category = InstrCategory::Queue;
+            code.emplace_back(i, ni);
+            continue;
+        }
+
+        // Category annotation (Fig 19 accounting).
+        if (mem_stage) {
+            if (ni.isMem())
+                ni.category = InstrCategory::Memory;
+            else if (ni.isBranch() || ni.op == Opcode::EXIT ||
+                     ni.op == Opcode::NOP)
+                ni.category = InstrCategory::Overhead;
+            else if (ni.isBarrier())
+                ni.category = InstrCategory::Queue;
+            else
+                ni.category = InstrCategory::Address;
+        } else if (ni.isBarrier()) {
+            ni.category = InstrCategory::Queue;
+        }
+        code.emplace_back(i, ni);
+    }
+
+    // WASP-TMA descriptors replace the whole producer loop.
+    if (mem_stage && !tma_loads.empty()) {
+        if (!emitTmaOps(code, tma_loads, loop_loads.empty()))
+            return false;
+    }
+    if (code.empty())
+        return false;
+    // Every stage must terminate.
+    if (code.back().second.op != Opcode::EXIT) {
+        Instruction ex;
+        ex.op = Opcode::EXIT;
+        ex.category = InstrCategory::Overhead;
+        code.emplace_back(in_.size(), ex);
+    }
+    return true;
+}
+
+bool
+Emitter::emitTmaOps(StageCode &code,
+                    const std::vector<const LoadInfo *> &tmas, bool pure)
+{
+    // Gather required prologue instructions.
+    std::set<int> prologue;
+    for (const auto *p : tmas) {
+        for (int i : ex_.prologueClosure(p->baseUserId, p->baseReg))
+            prologue.insert(i);
+        if (p->emit == EmitMode::TmaGather) {
+            for (int i :
+                 ex_.prologueClosure(p->dataUserId, p->dataBaseReg))
+                prologue.insert(i);
+        }
+    }
+    StageCode head;
+    for (int i : prologue) {
+        // Skip instructions already emitted by the keep-set.
+        bool present = false;
+        for (const auto &[old, inst] : code) {
+            (void)inst;
+            if (old == i)
+                present = true;
+        }
+        if (!present) {
+            Instruction ni = in_.instrs[static_cast<size_t>(i)];
+            ni.category = InstrCategory::Address;
+            head.emplace_back(i, ni);
+        }
+    }
+    std::sort(head.begin(), head.end(),
+              [](const StageItem &a, const StageItem &b) {
+                  return a.first < b.first;
+              });
+    int scratch = in_.numRegs;
+    for (const auto *p : tmas) {
+        int rc = scratch++;
+        if (p->trips.isConst()) {
+            Instruction mov;
+            mov.op = Opcode::MOV;
+            mov.dsts = {Operand::makeReg(rc)};
+            mov.srcs = {Operand::makeImm(
+                static_cast<int32_t>(p->trips.c0 * isa::kWarpSize))};
+            mov.category = InstrCategory::Address;
+            head.emplace_back(-1, mov);
+        } else {
+            int slot = p->trips.cParam.begin()->first;
+            Instruction mov;
+            mov.op = Opcode::MOV;
+            mov.dsts = {Operand::makeReg(rc)};
+            mov.srcs = {Operand::makeCParam(slot)};
+            mov.category = InstrCategory::Address;
+            Instruction shl;
+            shl.op = Opcode::SHL;
+            shl.dsts = {Operand::makeReg(rc)};
+            shl.srcs = {Operand::makeReg(rc), Operand::makeImm(5)};
+            shl.category = InstrCategory::Address;
+            head.emplace_back(-1, mov);
+            head.emplace_back(-1, shl);
+        }
+        Instruction tma;
+        if (p->emit == EmitMode::TmaStream) {
+            tma.op = Opcode::TMA_STREAM;
+            tma.dsts = {Operand::makeQueue(queue_idx_.at(p->id))};
+            tma.srcs = {Operand::makeReg(p->baseReg),
+                        Operand::makeReg(rc),
+                        Operand::makeImm(static_cast<int32_t>(p->stride))};
+        } else {
+            tma.op = Opcode::TMA_GATHER;
+            tma.dsts = {Operand::makeQueue(queue_idx_.at(p->id))};
+            tma.srcs = {Operand::makeReg(p->baseReg),
+                        Operand::makeReg(p->dataBaseReg),
+                        Operand::makeReg(rc), Operand::makeImm(-1)};
+        }
+        tma.category = InstrCategory::Memory;
+        head.emplace_back(-1, tma);
+    }
+    if (pure) {
+        code = std::move(head);
+    } else {
+        // Insert before the first loop instruction.
+        StageCode merged;
+        bool inserted = false;
+        for (auto &item : code) {
+            if (!inserted && item.first >= ex_.affine().loopFirst()) {
+                for (auto &h : head)
+                    merged.push_back(std::move(h));
+                inserted = true;
+            }
+            merged.push_back(std::move(item));
+        }
+        if (!inserted)
+            return false;
+        code = std::move(merged);
+    }
+    return true;
+}
+
+/** Duplicate the canonical loop body for double buffering (Fig 10):
+ * copy B uses the second half of SMEM and barrier set B. */
+bool
+Emitter::unrollForDoubleBuffer(StageCode &code)
+{
+    int first = -1;
+    int last = -1;
+    for (size_t k = 0; k < code.size(); ++k) {
+        int old = code[k].first;
+        if (old >= ex_.affine().loopFirst() &&
+            old <= ex_.affine().loopLast()) {
+            if (first < 0)
+                first = static_cast<int>(k);
+            last = static_cast<int>(k);
+        }
+    }
+    if (first < 0)
+        return true; // stage has no loop (e.g. pure TMA)
+    // The loop body must end with the backedge.
+    if (!code[static_cast<size_t>(last)].second.isBranch())
+        return false;
+    StageCode body(code.begin() + first, code.begin() + last + 1);
+    StageCode copy_a = body;
+    copy_a.pop_back(); // drop copy A's backedge: fall into copy B
+    // Consumer "Empty" arrives certify the buffer consumed in the
+    // *previous* section, so they use the other buffer's barrier:
+    // copy A arrives E_B, copy B arrives E_A (credit scheme).
+    for (auto &[old, inst] : copy_a) {
+        if (inst.op == Opcode::BAR_ARRIVE && old == ex_.barEmptyId())
+            inst.srcs[0].imm = 2; // E_B
+    }
+    StageCode copy_b = body;
+    for (auto &[old, inst] : copy_b) {
+        // Second buffer half.
+        for (auto *ops : {&inst.dsts, &inst.srcs}) {
+            for (auto &op : *ops) {
+                if (op.kind == OperandKind::Mem &&
+                    op.space == isa::MemSpace::Shared)
+                    op.imm += static_cast<int32_t>(in_.tb.smemBytes);
+            }
+        }
+        // Barrier set B (except the swapped consumer Empty arrive).
+        if (inst.op == Opcode::BAR_ARRIVE && old == ex_.barEmptyId())
+            inst.srcs[0].imm = 0; // E_A
+        else if (inst.op == Opcode::BAR_WAIT ||
+                 inst.op == Opcode::BAR_ARRIVE)
+            inst.srcs[0].imm += 2;
+    }
+    StageCode merged(code.begin(), code.begin() + first);
+    for (auto &item : copy_a)
+        merged.push_back(std::move(item));
+    for (auto &item : copy_b)
+        merged.push_back(std::move(item));
+    merged.insert(merged.end(), code.begin() + last + 1, code.end());
+    code = std::move(merged);
+    return true;
+}
+
+/** Merge single-use queue pops into their consumer (LDG_CONSUMER
+ * folding, Section IV-B). */
+void
+Emitter::mergePops(StageCode &code)
+{
+    for (size_t k = 0; k < code.size(); ++k) {
+        Instruction &pop = code[k].second;
+        if (pop.op != Opcode::MOV || pop.srcs.size() != 1 ||
+            pop.srcs[0].kind != OperandKind::Queue || pop.isGuarded())
+            continue;
+        int reg = pop.dsts[0].reg;
+        // Scan forward within the same original basic block.
+        int reader = -1;
+        int reads = 0;
+        bool blocked = false;
+        for (size_t j = k + 1; j < code.size(); ++j) {
+            const Instruction &cand = code[j].second;
+            if (cand.isBranch() || cand.op == Opcode::EXIT ||
+                cand.isBarrier())
+                break; // end of straight-line region
+            int reg_reads = 0;
+            for (const auto &srcs : cand.srcs) {
+                if (srcs.kind == OperandKind::Reg && srcs.reg == reg)
+                    ++reg_reads;
+                if (srcs.kind == OperandKind::Mem && srcs.reg == reg)
+                    blocked = true; // address use: keep the MOV
+            }
+            for (const auto &d : cand.dsts) {
+                if (d.kind == OperandKind::Mem && d.reg == reg)
+                    blocked = true;
+            }
+            if (reg_reads > 0) {
+                reads += reg_reads;
+                reader = static_cast<int>(j);
+                if (cand.isGuarded())
+                    blocked = true;
+            }
+            if (cand.writesReg(reg))
+                break; // redefinition: uses beyond read the new value
+        }
+        // Also blocked if the value lives past the region.
+        bool live_out = false;
+        if (reader >= 0) {
+            for (size_t j = static_cast<size_t>(reader) + 1;
+                 j < code.size(); ++j) {
+                const Instruction &cand = code[j].second;
+                if (cand.writesReg(reg))
+                    break;
+                if (cand.readsReg(reg)) {
+                    live_out = true;
+                    break;
+                }
+            }
+        }
+        if (reader < 0 || reads != 1 || blocked || live_out)
+            continue;
+        Instruction &target = code[static_cast<size_t>(reader)].second;
+        for (auto &srcs : target.srcs) {
+            if (srcs.kind == OperandKind::Reg && srcs.reg == reg) {
+                srcs = pop.srcs[0];
+                break;
+            }
+        }
+        code.erase(code.begin() + static_cast<long>(k));
+        --k;
+    }
+}
+
+/** Rename registers to a dense 0..N-1 range; returns N. */
+int
+Emitter::compactRegisters(StageCode &code)
+{
+    std::map<int, int> remap;
+    auto touch = [&](int r) {
+        if (r != isa::kRegZero && !remap.count(r))
+            remap[r] = 0;
+    };
+    for (const auto &[old, inst] : code) {
+        (void)old;
+        for (const auto &d : inst.dsts) {
+            if (d.kind == OperandKind::Reg || d.kind == OperandKind::Mem)
+                touch(d.reg);
+        }
+        for (const auto &s : inst.srcs) {
+            if (s.kind == OperandKind::Reg || s.kind == OperandKind::Mem)
+                touch(s.reg);
+        }
+    }
+    int next = 0;
+    for (auto &[r, m] : remap)
+        m = next++;
+    for (auto &[old, inst] : code) {
+        (void)old;
+        for (auto *ops : {&inst.dsts, &inst.srcs}) {
+            for (auto &op : *ops) {
+                if ((op.kind == OperandKind::Reg ||
+                     op.kind == OperandKind::Mem) &&
+                    op.reg != isa::kRegZero)
+                    op.reg = static_cast<int16_t>(remap[op.reg]);
+            }
+        }
+    }
+    return std::max(next, 1);
+}
+
+/** Append a stage's code to the output, fixing branch targets. */
+void
+Emitter::appendStage(isa::Program &out, const StageCode &code)
+{
+    const int base = static_cast<int>(out.instrs.size());
+    // old index -> new index (first occurrence wins, for unrolled
+    // loops the backedge must target copy A).
+    std::vector<std::pair<int, int>> mapping;
+    for (size_t k = 0; k < code.size(); ++k) {
+        if (code[k].first >= 0)
+            mapping.emplace_back(code[k].first,
+                                 base + static_cast<int>(k));
+    }
+    std::stable_sort(mapping.begin(), mapping.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    auto resolve = [&](int old_target) {
+        auto it = std::lower_bound(mapping.begin(), mapping.end(),
+                                   std::make_pair(old_target, INT_MIN),
+                                   [](const auto &a, const auto &b) {
+                                       return a.first < b.first;
+                                   });
+        if (it == mapping.end())
+            return base + static_cast<int>(code.size()) - 1; // EXIT
+        return it->second;
+    };
+    for (const auto &[old, inst] : code) {
+        (void)old;
+        Instruction ni = inst;
+        if (ni.isBranch() && ni.target >= 0)
+            ni.target = resolve(ni.target);
+        out.instrs.push_back(std::move(ni));
+    }
+}
+
+} // namespace
+
+bool
+emitPartitioned(const Extraction &ex, const StagePartition &plan,
+                isa::Program &out)
+{
+    return Emitter(ex, plan).emit(out);
+}
+
+} // namespace wasp::compiler

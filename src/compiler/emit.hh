@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Emission layer of the warp-specialization middle end: lower an
+ * (Extraction, StagePartition) pair to the specialized WSASS program —
+ * per-stage sub-programs cut from the input's use-def closure, queue
+ * producer/consumer rewrites, LDGSTS fusion with arrive/wait barriers
+ * (optionally double buffered), WASP-TMA descriptors, pop merging,
+ * per-stage register compaction and the PIPE_STAGE jump table.
+ *
+ * The code is the original monolithic compiler's emission, made
+ * plan-driven: stage ownership, consumer stages and queue depths come
+ * from the StagePartition instead of the load's indirection level, and
+ * a load whose plan stage equals its consumer stage (a *merged* load)
+ * is emitted as a plain LDG in that stage with no queue — its address
+ * slice is expanded into the stage like any other address math.
+ * Driving it with heuristicPartition() reproduces the historical
+ * output byte for byte (tests/golden_compile_test).
+ */
+
+#ifndef WASP_COMPILER_EMIT_HH
+#define WASP_COMPILER_EMIT_HH
+
+#include "compiler/extract.hh"
+#include "compiler/partition.hh"
+#include "isa/program.hh"
+
+namespace wasp::compiler
+{
+
+/**
+ * Emit the warp-specialized program for `plan` into `out`. Returns
+ * false when emission bails out (empty stage, unroll shape mismatch,
+ * TMA insertion point missing, or a load leaking into a foreign
+ * stage); `out` is unspecified in that case and the caller keeps the
+ * input program. The plan must satisfy checkPartition.
+ */
+bool emitPartitioned(const Extraction &ex, const StagePartition &plan,
+                     isa::Program &out);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_EMIT_HH

@@ -1,0 +1,446 @@
+#include "compiler/extract.hh"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/log.hh"
+
+namespace wasp::compiler
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+Extraction::Extraction(const isa::Program &in, const CompileOptions &opts)
+    : in_(in), opts_(opts), cfg_(in), ud_(in, cfg_), affine_(in, cfg_)
+{
+    if (in_.tb.numStages > 1)
+        return; // already specialized: nothing to extract
+    buildSkeleton();
+    planLoads();
+    planTile();
+    resolvePlan();
+    if (opts_.emitTma)
+        planTma();
+}
+
+void
+Extraction::buildSkeleton()
+{
+    for (int i = 0; i < in_.size(); ++i) {
+        const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+        if (inst.isBranch() || inst.op == Opcode::EXIT ||
+            inst.isBarrier()) {
+            skeleton_.insert(i);
+            for (int d : ud_.backslice(i))
+                skeleton_.insert(d);
+        }
+    }
+}
+
+void
+Extraction::planLoads()
+{
+    for (int i = 0; i < in_.size(); ++i) {
+        const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+        if (inst.op != Opcode::LDG ||
+            inst.dsts[0].kind != OperandKind::Reg)
+            continue;
+        LoadInfo p;
+        p.id = i;
+        const auto &uses = ud_.usesOf(i);
+        auto slice = ud_.backslice(i);
+        bool slice_clean = true;
+        for (int d : slice) {
+            Opcode op = in_.instrs[static_cast<size_t>(d)].op;
+            if (op == Opcode::LDS || op == Opcode::ATOMG_ADD)
+                slice_clean = false;
+        }
+        bool local_ok = !uses.empty() && !slice.count(i) &&
+                        !skeleton_.count(i) && slice_clean;
+        // Tile candidate: value feeds exactly one STS.
+        if (opts_.tile && local_ok && uses.size() == 1) {
+            const Instruction &u =
+                in_.instrs[static_cast<size_t>(uses[0])];
+            int d = inst.dsts[0].reg;
+            if (u.op == Opcode::STS &&
+                u.srcs[0].kind == OperandKind::Reg &&
+                u.srcs[0].reg == d && u.dsts[0].reg != d &&
+                !u.isGuarded() && !inst.isGuarded()) {
+                p.tile = true;
+                p.stsId = uses[0];
+            }
+        }
+        if (!p.tile && opts_.streamGather && local_ok)
+            p.extracted = true;
+        loads_[i] = p;
+    }
+}
+
+bool
+Extraction::isActiveLoad(int i) const
+{
+    auto it = loads_.find(i);
+    return it != loads_.end() &&
+           (it->second.extracted || it->second.tile) &&
+           !it->second.absorbed;
+}
+
+bool
+Extraction::isExtracted(int i) const
+{
+    auto it = loads_.find(i);
+    return it != loads_.end() && it->second.extracted &&
+           !it->second.absorbed;
+}
+
+void
+Extraction::resolvePlan()
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Slices of extracted/tile loads may only contain extracted
+        // (or absorbed) loads.
+        for (auto &[i, p] : loads_) {
+            if (!p.extracted && !p.tile)
+                continue;
+            for (int d : ud_.backslice(i)) {
+                auto it = loads_.find(d);
+                if (it == loads_.end())
+                    continue;
+                // Skeleton loads (e.g. loop bounds from row
+                // pointers) are replicated into every stage, so
+                // depending on one is fine; anything else must
+                // itself be extracted for the address to be
+                // computable in a memory stage.
+                if (skeleton_.count(d))
+                    continue;
+                if (!it->second.extracted || it->second.absorbed) {
+                    p.extracted = false;
+                    p.tile = false;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        computeLevels();
+        // Cap the pipeline depth.
+        for (auto &[i, p] : loads_) {
+            (void)i;
+            if ((p.extracted || p.tile) &&
+                p.level >= opts_.maxStages - 1) {
+                p.extracted = false;
+                p.tile = false;
+                changed = true;
+            }
+        }
+        if (!resolveConsumers())
+            changed = true;
+    }
+}
+
+void
+Extraction::computeLevels()
+{
+    bool moved = true;
+    for (auto &[i, p] : loads_) {
+        (void)i;
+        p.level = 0;
+    }
+    while (moved) {
+        moved = false;
+        for (auto &[i, p] : loads_) {
+            if (!p.extracted && !p.tile)
+                continue;
+            int level = 0;
+            for (int d : ud_.backslice(i)) {
+                auto it = loads_.find(d);
+                if (it != loads_.end() && it->second.extracted &&
+                    !it->second.absorbed)
+                    level = std::max(level, it->second.level + 1);
+            }
+            if (level != p.level) {
+                p.level = level;
+                moved = true;
+            }
+        }
+    }
+}
+
+std::set<int>
+Extraction::computeLive(const std::function<bool(int)> &cut) const
+{
+    std::vector<int> roots;
+    for (int i = 0; i < in_.size(); ++i) {
+        const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+        bool tile_sts = false;
+        for (const auto &[lid, p] : loads_) {
+            (void)lid;
+            if (p.tile && !p.absorbed && p.stsId == i)
+                tile_sts = true;
+        }
+        if (tile_sts)
+            continue;
+        if (inst.op == Opcode::STG || inst.op == Opcode::STS ||
+            inst.op == Opcode::ATOMG_ADD || skeleton_.count(i))
+            roots.push_back(i);
+    }
+    return closure(roots, {}, cut);
+}
+
+std::set<int>
+Extraction::closure(const std::vector<int> &roots,
+                    const std::set<int> &expand,
+                    const std::function<bool(int)> &cut) const
+{
+    std::set<int> live;
+    std::vector<int> work = roots;
+    while (!work.empty()) {
+        int i = work.back();
+        work.pop_back();
+        if (live.count(i))
+            continue;
+        live.insert(i);
+        bool is_cut = cut ? cut(i) : isActiveLoad(i);
+        if (is_cut && !expand.count(i) &&
+            std::find(roots.begin(), roots.end(), i) == roots.end())
+            continue;
+        for (int r :
+             UseDef::readSet(in_.instrs[static_cast<size_t>(i)])) {
+            for (int d : ud_.defsReaching(i, r))
+                work.push_back(d);
+        }
+    }
+    return live;
+}
+
+std::set<int>
+Extraction::cutSlice(int load) const
+{
+    return closure({load}, {load});
+}
+
+bool
+Extraction::resolveConsumers()
+{
+    std::set<int> compute_live = computeLive();
+    bool stable = true;
+    for (auto &[i, p] : loads_) {
+        if (!p.extracted || p.absorbed)
+            continue;
+        std::set<int> stages;
+        std::set<int> consumer_loads;
+        bool compute_consumes = false;
+        for (int u : ud_.usesOf(i)) {
+            bool placed = false;
+            for (const auto &[j, q] : loads_) {
+                if (j == i || !(q.extracted || q.tile) || q.absorbed)
+                    continue;
+                if (u == j || cutSlice(j).count(u)) {
+                    stages.insert(q.level); // memory stage == level
+                    consumer_loads.insert(j);
+                    placed = true;
+                }
+            }
+            if (compute_live.count(u)) {
+                stages.insert(kComputeConsumer); // compute stage marker
+                compute_consumes = true;
+                placed = true;
+            }
+            (void)placed; // a use dead in every stage is ignorable
+        }
+        if (stages.size() != 1 ||
+            (*stages.begin() != kComputeConsumer &&
+             *stages.begin() <= p.level)) {
+            p.extracted = false;
+            stable = false;
+            continue;
+        }
+        p.consumerLevel = *stages.begin(); // level id or marker
+        p.consumerLoads = consumer_loads;
+        p.computeConsumes = compute_consumes;
+    }
+    return stable;
+}
+
+void
+Extraction::planTile()
+{
+    bool any_tile = false;
+    for (const auto &[i, p] : loads_) {
+        (void)i;
+        any_tile = any_tile || p.tile;
+    }
+    if (!any_tile)
+        return;
+    auto demote_all = [&](const char *why) {
+        for (auto &[i, p] : loads_) {
+            (void)i;
+            p.tile = false;
+        }
+        notes_.push_back(std::string("tile transform skipped: ") + why);
+    };
+    if (!affine_.hasCanonicalLoop()) {
+        demote_all("no canonical loop");
+        return;
+    }
+    // Exactly two BAR.SYNCs inside the loop, LDG/STS between them.
+    std::vector<int> bars;
+    for (int i = affine_.loopFirst(); i <= affine_.loopLast(); ++i) {
+        if (in_.instrs[static_cast<size_t>(i)].op == Opcode::BAR_SYNC)
+            bars.push_back(i);
+    }
+    if (bars.size() != 2) {
+        demote_all("loop does not contain exactly two BAR.SYNCs");
+        return;
+    }
+    for (const auto &[i, p] : loads_) {
+        if (!p.tile)
+            continue;
+        if (i < bars[0] || p.stsId > bars[1] ||
+            i < affine_.loopFirst() || p.stsId > affine_.loopLast()) {
+            demote_all("tile transfer not enclosed by the barriers");
+            return;
+        }
+    }
+    bar_empty_id_ = bars[0];
+    bar_filled_id_ = bars[1];
+    tile_active_ = true;
+    // Double buffering needs a known even trip count and SMEM room.
+    if (opts_.doubleBuffer) {
+        LoopBound bound = affine_.tripCount();
+        if (bound.valid && bound.trips.isConst() &&
+            bound.trips.c0 % 2 == 0 && in_.tb.smemBytes > 0 &&
+            in_.tb.smemBytes * 2 <= (96u << 10)) {
+            double_buffered_ = true;
+        } else {
+            notes_.push_back("double buffering not applicable; "
+                             "single buffering used");
+        }
+    }
+}
+
+void
+Extraction::planTma()
+{
+    if (!affine_.hasCanonicalLoop())
+        return;
+    LoopBound bound = affine_.tripCount();
+    if (!bound.valid)
+        return;
+    // Streams: level-0 loads with strided affine addresses.
+    for (auto &[i, p] : loads_) {
+        if (!p.extracted || p.absorbed || p.level != 0)
+            continue;
+        const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
+        if (inst.isGuarded() || i < affine_.loopFirst() ||
+            i > affine_.loopLast())
+            continue;
+        const Operand &m = inst.srcs[0];
+        if (m.imm != 0)
+            continue;
+        Affine v = affine_.valueAtLoop(m.reg);
+        auto step = affine_.stepOf(m.reg);
+        if (v.valid && step && v.cTid > 0 &&
+            *step == isa::kWarpSize * v.cTid) {
+            p.emit = EmitMode::TmaStream;
+            p.stride = v.cTid;
+            p.baseReg = m.reg;
+            p.baseUserId = i;
+            p.trips = bound.trips;
+        }
+    }
+    // Gathers: a streamed index feeding exactly one level-1 load
+    // whose address is dataBase + index * 4.
+    for (auto &[i0, p0] : loads_) {
+        if (p0.emit != EmitMode::TmaStream || p0.stride != 4)
+            continue;
+        const auto &uses = ud_.usesOf(i0);
+        if (uses.size() != 1)
+            continue;
+        int u = uses[0];
+        const Instruction &ui = in_.instrs[static_cast<size_t>(u)];
+        int v0 = in_.instrs[static_cast<size_t>(i0)].dsts[0].reg;
+        // Match SHL t, v0, 2 ; IADD a, t, rb  (either operand order)
+        if (ui.op != Opcode::SHL || ui.srcs[0].kind != OperandKind::Reg ||
+            ui.srcs[0].reg != v0 ||
+            ui.srcs[1].kind != OperandKind::Imm || ui.srcs[1].imm != 2)
+            continue;
+        int t = ui.dsts[0].reg;
+        const auto &shl_uses = ud_.usesOf(u);
+        if (shl_uses.size() != 1)
+            continue;
+        int w = shl_uses[0];
+        const Instruction &wi = in_.instrs[static_cast<size_t>(w)];
+        if (wi.op != Opcode::IADD)
+            continue;
+        int rb = -1;
+        if (wi.srcs[0].kind == OperandKind::Reg && wi.srcs[0].reg == t &&
+            wi.srcs[1].kind == OperandKind::Reg)
+            rb = wi.srcs[1].reg;
+        else if (wi.srcs[1].kind == OperandKind::Reg &&
+                 wi.srcs[1].reg == t &&
+                 wi.srcs[0].kind == OperandKind::Reg)
+            rb = wi.srcs[0].reg;
+        if (rb < 0)
+            continue;
+        Affine rbv = affine_.valueAtLoop(rb);
+        auto rbstep = affine_.stepOf(rb);
+        if (!rbv.valid || rbv.cTid != 0 || !rbstep || *rbstep != 0)
+            continue;
+        const auto &add_uses = ud_.usesOf(w);
+        if (add_uses.size() != 1)
+            continue;
+        int i1 = add_uses[0];
+        auto it1 = loads_.find(i1);
+        if (it1 == loads_.end() || !it1->second.extracted ||
+            it1->second.level != 1 ||
+            in_.instrs[static_cast<size_t>(i1)].isGuarded())
+            continue;
+        const Operand &m1 = in_.instrs[static_cast<size_t>(i1)].srcs[0];
+        if (m1.imm != 0 || m1.reg != wi.dsts[0].reg)
+            continue;
+        // Commit: absorb the index stream into a gather descriptor.
+        LoadInfo &p1 = it1->second;
+        p0.absorbed = true;
+        p0.extracted = false;
+        p1.emit = EmitMode::TmaGather;
+        p1.baseReg = p0.baseReg;
+        p1.baseUserId = i0;
+        p1.dataBaseReg = rb;
+        p1.dataUserId = w;
+        p1.trips = p0.trips;
+    }
+    // Absorption changes levels; recompute them and consumers.
+    computeLevels();
+    resolveConsumers();
+}
+
+std::set<int>
+Extraction::prologueClosure(int load_id, int reg) const
+{
+    std::set<int> result;
+    std::vector<int> work;
+    for (int d : ud_.defsReaching(load_id, reg)) {
+        if (d < affine_.loopFirst())
+            work.push_back(d);
+    }
+    while (!work.empty()) {
+        int i = work.back();
+        work.pop_back();
+        if (result.count(i) || i >= affine_.loopFirst())
+            continue;
+        result.insert(i);
+        for (int r :
+             UseDef::readSet(in_.instrs[static_cast<size_t>(i)])) {
+            for (int d : ud_.defsReaching(i, r))
+                work.push_back(d);
+        }
+    }
+    return result;
+}
+
+} // namespace wasp::compiler

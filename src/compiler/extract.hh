@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Extraction layer of the warp-specialization middle end: identify
+ * eligible global loads, their backslices, indirection levels and
+ * consumer relationships — everything that is a property of the input
+ * program and the compile options, independent of how loads are later
+ * grouped into stages. The partition layer (partition.hh) turns an
+ * Extraction into a StagePartition plan; the emission layer (emit.hh)
+ * turns (Extraction, StagePartition) into the WSASS program.
+ *
+ * The phases are the paper's Section IV pipeline, unchanged from the
+ * original monolithic compiler: skeleton construction (branch/exit/
+ * barrier backslices replicated into every stage), load eligibility
+ * and tile (LDG->STS) pairing, iterative demotion of loads whose
+ * address slices depend on non-extracted loads, OUTRIDER indirection
+ * levels, consumer-level resolution, and the WASP-TMA stream/gather
+ * pattern match.
+ */
+
+#ifndef WASP_COMPILER_EXTRACT_HH
+#define WASP_COMPILER_EXTRACT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/affine.hh"
+#include "compiler/dataflow.hh"
+#include "compiler/waspc.hh"
+#include "isa/cfg.hh"
+
+namespace wasp::compiler
+{
+
+/** How an extracted load is materialised in its memory stage. */
+enum class EmitMode : uint8_t { Loop, TmaStream, TmaGather };
+
+/** Consumer-level marker: the value is consumed by the compute stage. */
+inline constexpr int kComputeConsumer = INT32_MAX;
+
+/** Per-load extraction facts (stage assignment lives in the plan). */
+struct LoadInfo
+{
+    int id = -1;
+    bool tile = false;      ///< fused into LDGSTS
+    int stsId = -1;         ///< tile: the paired STS
+    bool extracted = false; ///< fine-grained queue extraction
+    bool absorbed = false;  ///< index stream folded into a TMA gather
+    int level = 0;          ///< memory indirection level
+    /** Level of the unique consumer (kComputeConsumer == compute). */
+    int consumerLevel = -1;
+    /** Active load ids whose address slices consume this value. */
+    std::set<int> consumerLoads;
+    /** The compute stage consumes this value. */
+    bool computeConsumes = false;
+    EmitMode emit = EmitMode::Loop;
+    int64_t stride = 4;
+    int baseReg = -1;     ///< stream/gather-index base register
+    int baseUserId = -1;  ///< instruction where baseReg is read
+    int dataBaseReg = -1; ///< gather data base register
+    int dataUserId = -1;  ///< instruction where dataBaseReg is read
+    Affine trips;
+};
+
+/**
+ * The analysis result plus the underlying program analyses (CFG,
+ * use-def, affine) the later layers keep querying. Holds a reference
+ * to the input program: the program must outlive the Extraction.
+ */
+class Extraction
+{
+  public:
+    Extraction(const isa::Program &in, const CompileOptions &opts);
+    Extraction(const Extraction &) = delete;
+    Extraction &operator=(const Extraction &) = delete;
+
+    const isa::Program &prog() const { return in_; }
+    const CompileOptions &options() const { return opts_; }
+    const UseDef &ud() const { return ud_; }
+    const AffineAnalysis &affine() const { return affine_; }
+    const std::set<int> &skeleton() const { return skeleton_; }
+    const std::map<int, LoadInfo> &loads() const { return loads_; }
+    bool tileActive() const { return tile_active_; }
+    bool doubleBuffered() const { return double_buffered_; }
+    int barEmptyId() const { return bar_empty_id_; }
+    int barFilledId() const { return bar_filled_id_; }
+    const std::vector<std::string> &notes() const { return notes_; }
+
+    /** Extracted-or-tile and not absorbed: participates in a plan. */
+    bool isActiveLoad(int i) const;
+    /** Extracted (queue-fed) and not absorbed. */
+    bool isExtracted(int i) const;
+
+    /**
+     * Backwards closure over use-def edges. Loads for which `cut`
+     * returns true are included but not expanded unless they appear in
+     * `expand` (or are roots). The default cut is isActiveLoad — the
+     * heuristic-plan semantics where every active load's value arrives
+     * from another stage.
+     */
+    std::set<int> closure(const std::vector<int> &roots,
+                          const std::set<int> &expand,
+                          const std::function<bool(int)> &cut = {}) const;
+
+    /** Stage-local backslice of one load: closure cut at the other
+     * active loads (they arrive as queue pops). */
+    std::set<int> cutSlice(int load) const;
+
+    /** Compute-stage liveness: closure from side-effect roots, cutting
+     * at active loads. `cut` overrides the cut as in closure(). */
+    std::set<int>
+    computeLive(const std::function<bool(int)> &cut = {}) const;
+
+    /** Prologue instructions needed to materialise a register's
+     * loop-entry value (closure restricted to the prologue). */
+    std::set<int> prologueClosure(int load_id, int reg) const;
+
+  private:
+    void buildSkeleton();
+    void planLoads();
+    void planTile();
+    void resolvePlan();
+    void computeLevels();
+    bool resolveConsumers();
+    void planTma();
+
+    const isa::Program &in_;
+    CompileOptions opts_;
+    isa::Cfg cfg_;
+    UseDef ud_;
+    AffineAnalysis affine_;
+    std::set<int> skeleton_;
+    std::map<int, LoadInfo> loads_;
+    bool tile_active_ = false;
+    bool double_buffered_ = false;
+    int bar_empty_id_ = -1;
+    int bar_filled_id_ = -1;
+    std::vector<std::string> notes_;
+};
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_EXTRACT_HH

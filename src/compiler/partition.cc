@@ -1,0 +1,340 @@
+#include "compiler/partition.hh"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace wasp::compiler
+{
+
+namespace
+{
+
+/** Active load ids owned by `stage`, in program order. */
+std::vector<int>
+stageLoads(const StagePartition &plan, int stage)
+{
+    std::vector<int> ids;
+    for (const auto &[i, s] : plan.stageOf) {
+        if (s == stage)
+            ids.push_back(i);
+    }
+    return ids;
+}
+
+/** Derive the consumer stage of an extracted load from the plan's
+ * placement of its consumer loads (and the compute stage). Returns
+ * false when the consumers land in more than one stage. */
+bool
+deriveConsumerStage(const Extraction &ex, const StagePartition &plan,
+                    int load, int *stage_out)
+{
+    const LoadInfo &p = ex.loads().at(load);
+    std::set<int> stages;
+    for (int j : p.consumerLoads) {
+        auto it = plan.stageOf.find(j);
+        if (it == plan.stageOf.end())
+            return false;
+        stages.insert(it->second);
+    }
+    if (p.computeConsumes)
+        stages.insert(plan.computeStage);
+    if (stages.size() != 1)
+        return false;
+    *stage_out = *stages.begin();
+    return true;
+}
+
+/** The stage owns a tile or TMA load (its emission shape is tied to
+ * the current grouping): search must not merge or split it. */
+bool
+stagePinned(const Extraction &ex, const StagePartition &plan, int stage)
+{
+    for (int i : stageLoads(plan, stage)) {
+        const LoadInfo &p = ex.loads().at(i);
+        if (p.tile || p.emit != EmitMode::Loop)
+            return true;
+    }
+    return false;
+}
+
+/** Re-derive consumer stages and queue depths after a structural move.
+ * Depths of surviving queues are kept; new queues (a split can create
+ * none, a merge only removes) default to the compile option. Returns
+ * false when any consumer set became ambiguous. */
+bool
+refreshPlan(const Extraction &ex, StagePartition &plan)
+{
+    std::map<int, int> old_depth = plan.queueDepth;
+    plan.consumerStageOf.clear();
+    plan.queueDepth.clear();
+    for (const auto &[i, s] : plan.stageOf) {
+        if (!ex.isExtracted(i))
+            continue;
+        int cs = -1;
+        if (!deriveConsumerStage(ex, plan, i, &cs))
+            return false;
+        plan.consumerStageOf[i] = cs;
+        if (cs != s) {
+            auto it = old_depth.find(i);
+            plan.queueDepth[i] = it != old_depth.end()
+                                     ? it->second
+                                     : ex.options().queueEntries;
+        }
+    }
+    plan.stageWarps.assign(static_cast<size_t>(plan.numStages), 1);
+    return true;
+}
+
+} // namespace
+
+bool
+StagePartition::decoupled(const Extraction &ex, int load) const
+{
+    if (!ex.isExtracted(load))
+        return false;
+    auto s = stageOf.find(load);
+    auto c = consumerStageOf.find(load);
+    return s != stageOf.end() && c != consumerStageOf.end() &&
+           c->second != s->second;
+}
+
+std::string
+StagePartition::key() const
+{
+    std::string k = "S" + std::to_string(numStages);
+    for (int s = 0; s < numStages; ++s) {
+        k += "|";
+        for (const auto &[i, st] : stageOf) {
+            if (st != s)
+                continue;
+            k += "i" + std::to_string(i);
+            auto d = queueDepth.find(i);
+            if (d != queueDepth.end())
+                k += "@" + std::to_string(d->second);
+            k += ",";
+        }
+    }
+    return k;
+}
+
+std::string
+StagePartition::summary(const Extraction &ex) const
+{
+    std::string out;
+    for (int s = 0; s < numStages; ++s) {
+        if (!out.empty())
+            out += " ";
+        out += "s" + std::to_string(s) + ":";
+        if (s == computeStage)
+            out += "compute";
+        bool first = !(s == computeStage);
+        for (const auto &[i, st] : stageOf) {
+            if (st != s)
+                continue;
+            if (!first)
+                out += "+";
+            first = false;
+            const LoadInfo &p = ex.loads().at(i);
+            if (p.tile)
+                out += "tile" + std::to_string(i);
+            else if (p.emit == EmitMode::TmaStream)
+                out += "tmaS" + std::to_string(i);
+            else if (p.emit == EmitMode::TmaGather)
+                out += "tmaG" + std::to_string(i);
+            else
+                out += "ldg" + std::to_string(i);
+            auto d = queueDepth.find(i);
+            if (d != queueDepth.end())
+                out += "@" + std::to_string(d->second);
+            else if (ex.isExtracted(i))
+                out += "&"; // merged into its consumer stage
+        }
+    }
+    return out;
+}
+
+StagePartition
+heuristicPartition(const Extraction &ex)
+{
+    StagePartition plan;
+    std::set<int> levels;
+    for (const auto &[i, p] : ex.loads()) {
+        (void)i;
+        if ((p.extracted || p.tile) && !p.absorbed)
+            levels.insert(p.level);
+    }
+    std::map<int, int> level_to_stage;
+    int s = 0;
+    for (int level : levels)
+        level_to_stage[level] = s++;
+    plan.computeStage = s;
+    plan.numStages = s + 1;
+    for (const auto &[i, p] : ex.loads()) {
+        if ((p.extracted || p.tile) && !p.absorbed) {
+            plan.stageOf[i] = level_to_stage[p.level];
+            if (p.extracted) {
+                plan.consumerStageOf[i] =
+                    p.consumerLevel == kComputeConsumer
+                        ? plan.computeStage
+                        : level_to_stage[p.consumerLevel];
+                plan.queueDepth[i] = ex.options().queueEntries;
+            }
+        }
+    }
+    plan.stageWarps.assign(static_cast<size_t>(plan.numStages), 1);
+    return plan;
+}
+
+bool
+checkPartition(const Extraction &ex, const StagePartition &plan,
+               std::string *why)
+{
+    auto fail = [&](const std::string &w) {
+        if (why)
+            *why = w;
+        return false;
+    };
+    if (plan.numStages < 2)
+        return fail("fewer than two stages");
+    if (plan.computeStage != plan.numStages - 1)
+        return fail("compute stage is not last");
+    if (plan.stageWarps.size() != static_cast<size_t>(plan.numStages))
+        return fail("stageWarps size mismatch");
+    for (int w : plan.stageWarps) {
+        if (w != 1)
+            return fail("stageWarps must be all 1 (stage = wid % "
+                        "numStages warp mapping)");
+    }
+    std::vector<int> population(static_cast<size_t>(plan.numStages), 0);
+    for (const auto &[i, p] : ex.loads()) {
+        if (!(p.extracted || p.tile) || p.absorbed) {
+            if (plan.stageOf.count(i))
+                return fail("inactive load placed");
+            continue;
+        }
+        auto it = plan.stageOf.find(i);
+        if (it == plan.stageOf.end())
+            return fail("active load not placed");
+        int s = it->second;
+        if (s < 0 || s >= plan.numStages)
+            return fail("stage out of range");
+        ++population[static_cast<size_t>(s)];
+        if (p.tile && s >= plan.computeStage)
+            return fail("tile load in compute stage");
+        if (!p.extracted)
+            continue;
+        int derived = -1;
+        if (!deriveConsumerStage(ex, plan, i, &derived))
+            return fail("ambiguous consumer stages");
+        auto cit = plan.consumerStageOf.find(i);
+        if (cit == plan.consumerStageOf.end() || cit->second != derived)
+            return fail("stale consumer stage");
+        if (derived < s)
+            return fail("backward queue");
+        if (derived != s) {
+            auto d = plan.queueDepth.find(i);
+            if (d == plan.queueDepth.end() || d->second <= 0)
+                return fail("decoupled load without queue depth");
+        } else {
+            if (p.emit != EmitMode::Loop)
+                return fail("TMA load merged with its consumer");
+            if (plan.queueDepth.count(i))
+                return fail("merged load with queue depth");
+        }
+    }
+    for (int s = 0; s < plan.computeStage; ++s) {
+        if (population[static_cast<size_t>(s)] == 0)
+            return fail("empty memory stage");
+    }
+    return true;
+}
+
+std::vector<StagePartition>
+partitionNeighbors(const Extraction &ex, const StagePartition &plan)
+{
+    std::vector<StagePartition> out;
+    auto tryPush = [&](StagePartition cand) {
+        if (refreshPlan(ex, cand) && checkPartition(ex, cand))
+            out.push_back(std::move(cand));
+    };
+
+    // Merges: stage s joins stage s+1 (possibly compute).
+    for (int s = 0; s < plan.computeStage; ++s) {
+        if (stagePinned(ex, plan, s))
+            continue;
+        if (s + 1 < plan.computeStage && stagePinned(ex, plan, s + 1))
+            continue;
+        if (plan.numStages - 1 < 2)
+            continue; // would undo the transformation entirely
+        StagePartition cand = plan;
+        for (auto &[i, st] : cand.stageOf) {
+            (void)i;
+            if (st == s)
+                st = s + 1;
+            if (st > s)
+                --st;
+        }
+        --cand.numStages;
+        --cand.computeStage;
+        tryPush(std::move(cand));
+    }
+
+    // Splits: stage s with >= 2 plain loop loads becomes two stages.
+    if (plan.numStages + 1 <= ex.options().maxStages) {
+        for (int s = 0; s < plan.computeStage; ++s) {
+            if (stagePinned(ex, plan, s))
+                continue;
+            std::vector<int> ids = stageLoads(plan, s);
+            if (ids.size() < 2)
+                continue;
+            std::array<size_t, 2> cuts = {1, ids.size() / 2};
+            for (size_t ci = 0; ci < cuts.size(); ++ci) {
+                size_t cut = cuts[ci];
+                if (ci == 1 && cut == cuts[0])
+                    continue; // same shape
+                StagePartition cand = plan;
+                for (auto &[i, st] : cand.stageOf) {
+                    if (st > s) {
+                        ++st;
+                        continue;
+                    }
+                    if (st != s)
+                        continue;
+                    size_t pos = static_cast<size_t>(
+                        std::find(ids.begin(), ids.end(), i) -
+                        ids.begin());
+                    if (pos >= cut)
+                        st = s + 1;
+                }
+                ++cand.numStages;
+                ++cand.computeStage;
+                tryPush(std::move(cand));
+            }
+        }
+    }
+
+    // Queue-depth ladder: one rung up / down per decoupled load.
+    static constexpr std::array<int, 6> kLadder = {2, 4, 8, 16, 32, 64};
+    for (const auto &[i, depth] : plan.queueDepth) {
+        int up = -1;
+        int down = -1;
+        for (int rung : kLadder) {
+            if (rung > depth && up < 0)
+                up = rung;
+            if (rung < depth)
+                down = rung;
+        }
+        for (int next : {down, up}) {
+            if (next < 0 || next == depth)
+                continue;
+            StagePartition cand = plan;
+            cand.queueDepth[i] = next;
+            if (checkPartition(ex, cand))
+                out.push_back(std::move(cand));
+        }
+    }
+    return out;
+}
+
+} // namespace wasp::compiler

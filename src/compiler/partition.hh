@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Stage-partition plan layer: a StagePartition says, for every active
+ * load found by the extraction layer (extract.hh), which pipeline
+ * stage materialises it, which stage consumes its value, and how deep
+ * its decoupling queue is. heuristicPartition() reproduces the paper's
+ * fixed indirection-level merge (one stage per populated level,
+ * compute last); partitionNeighbors() enumerates the legal move set
+ * the Search strategy explores around a plan (stage merges, stage
+ * splits, queue-depth ladder steps).
+ *
+ * A load whose plan stage equals its consumer stage is *merged*: it is
+ * emitted as a plain LDG inside the consumer's stage and gets no
+ * queue. This is how search expresses "fewer warps on this level" —
+ * with the simulator's fixed stage = wid % numStages warp mapping, the
+ * number of stages serving an indirection level IS the per-slice warp
+ * count for that level, so warps-per-stage ladders are realised
+ * through splits and merges rather than a separate warp knob.
+ */
+
+#ifndef WASP_COMPILER_PARTITION_HH
+#define WASP_COMPILER_PARTITION_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/extract.hh"
+
+namespace wasp::compiler
+{
+
+/** A complete stage-assignment plan over one Extraction. */
+struct StagePartition
+{
+    int numStages = 1;    ///< memory stages + 1 compute stage
+    int computeStage = 0; ///< == numStages - 1
+    /** Active load id -> owning stage (memory stage, or computeStage
+     * when the load is merged all the way into compute). */
+    std::map<int, int> stageOf;
+    /** Extracted load id -> consuming stage. Equal to stageOf[i] for
+     * merged loads; strictly greater for decoupled loads. */
+    std::map<int, int> consumerStageOf;
+    /** Extracted+decoupled load id -> queue entries. */
+    std::map<int, int> queueDepth;
+    /** Warp multiplicity per stage. The simulator maps stage =
+     * wid % numStages, so anything other than 1 is meaningless today;
+     * emission validates this invariant (see file comment). */
+    std::vector<int> stageWarps;
+
+    /** Extracted and consumed in a later stage: gets a queue. */
+    bool decoupled(const Extraction &ex, int load) const;
+
+    /** Canonical identity string: stage -> sorted load ids with queue
+     * depths. Equal keys == identical emission input. */
+    std::string key() const;
+    /** Human-readable one-line form for reports ("s0:i12@32+i15@32 ..."
+     * where iN are input instruction ids of the stage's loads). */
+    std::string summary(const Extraction &ex) const;
+};
+
+/**
+ * The paper's heuristic: one stage per populated indirection level in
+ * level order, compute stage last, every queue opts.queueEntries deep.
+ * Exactly reproduces the original monolithic compiler's assignStages.
+ */
+StagePartition heuristicPartition(const Extraction &ex);
+
+/**
+ * Check a plan against the extraction's dependence facts: every active
+ * load placed, consumer stages derivable and unique, decoupled queues
+ * strictly forward, no empty memory stage, depths positive,
+ * stageWarps all 1. Returns false (with a reason) for illegal plans.
+ */
+bool checkPartition(const Extraction &ex, const StagePartition &plan,
+                    std::string *why = nullptr);
+
+/**
+ * Legal single-move neighbors of `plan`:
+ *  - merge a memory stage into the next stage (or into compute),
+ *  - split a stage with >= 2 plain loop loads in two (two
+ *    deterministic shapes: head/rest and half/half),
+ *  - step one queue's depth one rung up or down the
+ *    {2,4,8,16,32,64} ladder.
+ * Stages containing tile or TMA loads are pinned: never merged or
+ * split (their barrier/descriptor emission is tied to the grouping).
+ * All returned plans pass checkPartition; consumer stages are
+ * re-derived after each move. Deterministic order.
+ */
+std::vector<StagePartition>
+partitionNeighbors(const Extraction &ex, const StagePartition &plan);
+
+} // namespace wasp::compiler
+
+#endif // WASP_COMPILER_PARTITION_HH

@@ -291,7 +291,8 @@ pipeNameOf(size_t p)
 StageWork
 analyzeStage(const isa::Program &prog, const StageRegion &r,
              const MachineModel &m, const LaunchInfo &launch,
-             int activeUnits, std::vector<std::string> &notes)
+             const TripHints &hints, int activeUnits,
+             std::vector<std::string> &notes)
 {
     StageWork w;
     w.est.stage = r.stage;
@@ -301,6 +302,23 @@ analyzeStage(const isa::Program &prog, const StageRegion &r,
     isa::Program sub = extractStage(prog, r);
     isa::Cfg cfg(sub);
     AffineAnalysis aa(sub, cfg);
+
+    // When the loop bound is not statically derivable the model falls
+    // back to a caller-supplied measured trip hint before resorting to
+    // the assumedTrips guess (the data-dependent-loop blind spot).
+    auto assumedOrHint = [&](const char *why) {
+        auto it = hints.stageTrips.find(r.stage);
+        if (it != hints.stageTrips.end() && it->second > 0.0) {
+            w.est.tripsHinted = true;
+            notes.push_back(strprintf(
+                "stage %d: %s; using measured trip hint %g", r.stage,
+                why, it->second));
+            return it->second;
+        }
+        notes.push_back(strprintf("stage %d: %s; assuming %g iterations",
+                                  r.stage, why, m.assumedTrips));
+        return m.assumedTrips;
+    };
 
     int bodyFirst = 0;
     int bodyLast = sub.size() - 1;
@@ -313,18 +331,12 @@ analyzeStage(const isa::Program &prog, const StageRegion &r,
             if (auto trips = evalTrips(lb.trips, launch)) {
                 w.est.trips = *trips;
             } else {
-                w.est.trips = m.assumedTrips;
-                notes.push_back(strprintf(
-                    "stage %d: affine trip count needs unbound "
-                    "parameters; assuming %g iterations",
-                    r.stage, m.assumedTrips));
+                w.est.trips = assumedOrHint(
+                    "affine trip count needs unbound parameters");
             }
         } else {
-            w.est.trips = m.assumedTrips;
-            notes.push_back(strprintf(
-                "stage %d: loop bound not affine (data-dependent); "
-                "assuming %g iterations",
-                r.stage, m.assumedTrips));
+            w.est.trips = assumedOrHint(
+                "loop bound not affine (data-dependent)");
         }
     } else if (auto loops = cfg.loops();
                loops.size() == 1 && loops[0].singleBlock()) {
@@ -336,12 +348,9 @@ analyzeStage(const isa::Program &prog, const StageRegion &r,
         const auto &bb = cfg.blocks()[static_cast<size_t>(loops[0].header)];
         bodyFirst = bb.first;
         bodyLast = bb.last;
-        w.est.trips = m.assumedTrips;
         w.est.tripsAffine = false;
-        notes.push_back(strprintf(
-            "stage %d: guarded loop bound is data-dependent; assuming "
-            "%g iterations",
-            r.stage, m.assumedTrips));
+        w.est.trips =
+            assumedOrHint("guarded loop bound is data-dependent");
     } else {
         bool backward = false;
         for (int i = 0; i < sub.size(); ++i) {
@@ -359,12 +368,10 @@ analyzeStage(const isa::Program &prog, const StageRegion &r,
             w.est.trips = 1.0;
             w.est.tripsAffine = true;
         } else {
-            w.est.trips = m.assumedTrips;
             w.est.tripsAffine = false;
-            notes.push_back(strprintf(
-                "stage %d: no canonical loop; treating the whole stage "
-                "as the steady-state body with %g iterations",
-                r.stage, m.assumedTrips));
+            w.est.trips = assumedOrHint(
+                "no canonical loop; treating the whole stage as the "
+                "steady-state body");
         }
     }
     if (w.est.trips <= 0.0) {
@@ -568,6 +575,13 @@ PerfPrediction
 analyzeProgram(const isa::Program &prog, const MachineModel &machine,
                const LaunchInfo &launch)
 {
+    return analyzeProgram(prog, machine, launch, AnalyzeHints{});
+}
+
+PerfPrediction
+analyzeProgram(const isa::Program &prog, const MachineModel &machine,
+               const LaunchInfo &launch, const AnalyzeHints &hints)
+{
     PerfPrediction p;
     p.kernel = prog.name;
     p.numStages = std::max(1, prog.tb.numStages);
@@ -595,8 +609,14 @@ analyzeProgram(const isa::Program &prog, const MachineModel &machine,
     std::vector<StageWork> works;
     works.reserve(regions.size());
     for (const auto &r : regions)
-        works.push_back(
-            analyzeStage(prog, r, machine, launch, activeUnits, p.notes));
+        works.push_back(analyzeStage(prog, r, machine, launch,
+                                     hints.trips, activeUnits, p.notes));
+    // Scoreboard-feedback correction: measured dependence stalls in
+    // excess of the model scale every chain latency (rate_graph.hh).
+    if (hints.corr.chainScale != 1.0) {
+        for (auto &w : works)
+            w.est.chainLatency *= hints.corr.chainScale;
+    }
     for (const auto &w : works) {
         p.allAffine &= w.est.tripsAffine;
         p.stages.push_back(w.est);
@@ -798,7 +818,36 @@ analyzeProgram(const isa::Program &prog, const MachineModel &machine,
                     edges.push_back({nodeOf[src], nodeOf[dst], depth});
     }
 
+    // Stall-feedback cost corrections (the tune loop's hook).
+    applyCorrections(nodes, edges, hints.corr);
+
     RateSolution sol = solveRateGraph(nodes, edges);
+
+    // Queue-depth steady-state bound: a buffered edge whose producer
+    // pays `effLat` to refill an item sustains at most depth items per
+    // latency window, flooring the period at effLat / depth. TMA-fed
+    // queues refill at engine rate (already a service term), so only
+    // warp-issued producer stages are bounded.
+    const double qEffLat =
+        machine.cacheHitFraction * machine.l2HitLatency +
+        (1.0 - machine.cacheHitFraction) * machine.globalLatency;
+    double depthFloor = 0.0;
+    int depthFloorSrc = -1, depthFloorDst = -1, depthFloorEntries = 0;
+    for (const auto &q : prog.tb.queues) {
+        auto s = nodeOf.find(q.srcStage);
+        if (s == nodeOf.end() || !nodeOf.count(q.dstStage))
+            continue;
+        const StageWork &src = works[static_cast<size_t>(s->second)];
+        if (src.est.tmaSectors > 0.0 || src.zeroTrip)
+            continue;
+        double floor = depthServiceFloor(qEffLat, q.entries);
+        if (floor > depthFloor) {
+            depthFloor = floor;
+            depthFloorSrc = q.srcStage;
+            depthFloorDst = q.dstStage;
+            depthFloorEntries = q.entries;
+        }
+    }
 
     // The slice shares one PB: the issue port itself can be the
     // bottleneck when the stages' summed issue demand exceeds every
@@ -808,6 +857,15 @@ analyzeProgram(const isa::Program &prog, const MachineModel &machine,
         portDemand += w.est.warps * w.est.issueCost;
     double period = std::max(sol.period, uppF * portDemand);
     period = std::max(period, 1.0);
+    const bool depthBound = depthFloor > period;
+    if (depthBound) {
+        period = depthFloor;
+        p.notes.push_back(strprintf(
+            "queue %d->%d depth %d floors the period at %.1f "
+            "cyc/item (steady-state refill bound)",
+            depthFloorSrc, depthFloorDst, depthFloorEntries,
+            depthFloor));
+    }
     p.period = period;
     p.bottleneckStage =
         sol.bottleneck >= 0 ? works[static_cast<size_t>(sol.bottleneck)]
@@ -836,7 +894,10 @@ analyzeProgram(const isa::Program &prog, const MachineModel &machine,
     const StageWork *bn =
         sol.bottleneck >= 0 ? &works[static_cast<size_t>(sol.bottleneck)]
                             : &works[0];
-    bool memBound = bn->est.limit == StageLimit::Lsu ||
+    // A depth-floored pipeline behaves like a producer-limited one:
+    // the consumer observes an underrun (queue-empty) while the
+    // producer waits on refills.
+    bool memBound = depthBound || bn->est.limit == StageLimit::Lsu ||
                     bn->est.limit == StageLimit::Dram ||
                     bn->est.limit == StageLimit::Tma;
     if (memBound) {
@@ -943,6 +1004,7 @@ perfPredictionJson(const PerfPrediction &p)
         w.key("warps").value(s.warps);
         w.key("trips").value(s.trips);
         w.key("tripsAffine").value(s.tripsAffine);
+        w.key("tripsHinted").value(s.tripsHinted);
         w.key("issueCost").value(s.issueCost);
         w.key("chainLatency").value(s.chainLatency);
         w.key("pipeBusy").value(s.pipeBusy);

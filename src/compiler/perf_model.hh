@@ -54,6 +54,9 @@
 #include <string>
 #include <vector>
 
+#include <map>
+
+#include "compiler/rate_graph.hh"
 #include "isa/program.hh"
 #include "sim/stall.hh"
 
@@ -105,6 +108,34 @@ struct LaunchInfo
     std::vector<uint32_t> params;
 };
 
+/**
+ * Measured (or caller-supplied) trip counts per stage id, closing the
+ * model's data-dependent-loop blind spot: when a stage's loop bound is
+ * not affine the analysis normally assumes MachineModel::assumedTrips;
+ * a hint replaces that assumption. Hints never override bounds the
+ * analysis derived exactly. `wasp-cli analyze --vs-sim` populates this
+ * from RunStats::stageIssues (measured issue slots / modelled issue
+ * cost per iteration).
+ */
+struct TripHints
+{
+    std::map<int, double> stageTrips; ///< stage id -> measured trips
+
+    bool
+    empty() const
+    {
+        return stageTrips.empty();
+    }
+};
+
+/** Optional refinements threaded through analyzeProgram. */
+struct AnalyzeHints
+{
+    TripHints trips;
+    /** Stall-feedback cost corrections (rate_graph.hh). */
+    RateCorrections corr;
+};
+
 /** What limits a stage's steady-state service time. */
 enum class StageLimit : uint8_t
 {
@@ -127,6 +158,8 @@ struct StageEstimate
     double trips = 0.0;
     /** Loop bound was derived (affine), not assumed. */
     bool tripsAffine = false;
+    /** Trip count came from a caller-supplied TripHints entry. */
+    bool tripsHinted = false;
     double issueCost = 0.0;     ///< issue slots per warp
     double chainLatency = 0.0;  ///< in-order dependence chain, cycles
     double pipeBusy = 0.0;      ///< max per-pipe pressure (x warps)
@@ -175,6 +208,16 @@ struct PerfPrediction
 PerfPrediction analyzeProgram(const isa::Program &prog,
                               const MachineModel &machine,
                               const LaunchInfo &launch);
+
+/**
+ * As above, with optional refinements: measured trip-count hints for
+ * data-dependent loops and stall-feedback rate corrections. Passing
+ * default-constructed hints is exactly the three-argument overload.
+ */
+PerfPrediction analyzeProgram(const isa::Program &prog,
+                              const MachineModel &machine,
+                              const LaunchInfo &launch,
+                              const AnalyzeHints &hints);
 
 /**
  * Index of the dominant *work* stall bucket: the largest bucket

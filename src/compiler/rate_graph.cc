@@ -63,6 +63,36 @@ reachableFrom(int src, int n, const std::vector<std::vector<int>> &succs)
 
 } // namespace
 
+void
+applyCorrections(std::vector<RateNode> &nodes,
+                 const std::vector<RateEdge> &edges,
+                 const RateCorrections &corr)
+{
+    if (corr.producerPenalty == 0.0 && corr.consumerPenalty == 0.0)
+        return;
+    const int n = static_cast<int>(nodes.size());
+    for (const auto &e : edges) {
+        if (e.depth <= 0 || e.src < 0 || e.src >= n || e.dst < 0 ||
+            e.dst >= n || e.src == e.dst)
+            continue;
+        double scale = std::min(kCorrectionMaxScale,
+                                static_cast<double>(kCorrectionRefDepth) /
+                                    e.depth);
+        nodes[static_cast<size_t>(e.src)].service =
+            std::max(0.0, nodes[static_cast<size_t>(e.src)].service +
+                              corr.producerPenalty * scale);
+        nodes[static_cast<size_t>(e.dst)].service =
+            std::max(0.0, nodes[static_cast<size_t>(e.dst)].service +
+                              corr.consumerPenalty * scale);
+    }
+}
+
+double
+depthServiceFloor(double fillLatency, int depth)
+{
+    return std::max(0.0, fillLatency) / std::max(1, depth);
+}
+
 RateSolution
 solveRateGraph(const std::vector<RateNode> &nodes,
                const std::vector<RateEdge> &edges)

@@ -72,6 +72,68 @@ struct RateSolution
 };
 
 /**
+ * Measured-stall feedback corrections applied to the rate network
+ * before solving (the `wasp-cli tune` loop, DESIGN.md §13). The tuner
+ * compares a prediction's queue-empty / queue-full / scoreboard shares
+ * against the simulator's measured buckets and converts the gap into
+ * per-edge service penalties: a measured queue-empty surplus means
+ * real producers are slower than modelled, so every buffered edge
+ * charges its producer `producerPenalty` extra cycles per item;
+ * a queue-full surplus charges consumers symmetrically; a scoreboard
+ * surplus scales dependence-chain latency by `chainScale` (applied by
+ * the perf model before services are built). Neutral defaults change
+ * nothing, so the hook is free for ordinary compiles.
+ */
+struct RateCorrections
+{
+    double producerPenalty = 0.0; ///< cycles/item per outgoing edge
+    double consumerPenalty = 0.0; ///< cycles/item per incoming edge
+    double chainScale = 1.0;      ///< dependence-chain latency scale
+
+    bool
+    any() const
+    {
+        return producerPenalty != 0.0 || consumerPenalty != 0.0 ||
+               chainScale != 1.0;
+    }
+};
+
+/**
+ * Penalties are calibrated at the default queue depth; an edge with a
+ * different depth scales them by kCorrectionRefDepth / depth (capped
+ * at kCorrectionMaxScale), because buffering absorbs the transient
+ * under/overruns the penalties stand for in proportion to capacity.
+ * This is what gives the tune loop a queue-depth gradient: once a
+ * measured queue-empty surplus has been folded into producerPenalty,
+ * a deeper-queue candidate prices strictly cheaper.
+ */
+constexpr int kCorrectionRefDepth = 32;
+constexpr double kCorrectionMaxScale = 4.0;
+
+/**
+ * Apply per-edge penalty corrections to node service times: for every
+ * buffered (depth >= 1) edge, the source pays producerPenalty and the
+ * destination consumerPenalty, once per such edge, scaled by the
+ * edge-depth rule above. chainScale is not applied here — it scales
+ * chain latencies, which are the caller's inputs to the service
+ * times, not the services themselves.
+ */
+void applyCorrections(std::vector<RateNode> &nodes,
+                      const std::vector<RateEdge> &edges,
+                      const RateCorrections &corr);
+
+/**
+ * Steady-state service floor a depth-`depth` buffered edge imposes on
+ * the pipeline when refilling one item costs the producer
+ * `fillLatency` cycles: at most `depth` items can be in flight per
+ * latency window, so the sustained per-item service cannot drop below
+ * fillLatency / depth. This is the bound behind both the perf model's
+ * queue-depth sensitivity and the verifier's queue.undersized /
+ * queue.oversized-steady warnings.
+ */
+double depthServiceFloor(double fillLatency, int depth);
+
+/**
  * Solve the steady-state throughput of a rate network. Nodes joined by
  * depth-0 edges serialize (cluster service = sum of members); the
  * period is the maximum cluster service. Idle time is attributed by

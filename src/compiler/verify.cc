@@ -8,6 +8,7 @@
 
 #include "common/log.hh"
 #include "compiler/dataflow.hh"
+#include "compiler/rate_graph.hh"
 #include "isa/cfg.hh"
 
 namespace wasp::compiler
@@ -456,6 +457,64 @@ class Verifier
                             q, spec.entries, max_inflight,
                             max_inflight == 1 ? "" : "s",
                             max_inflight));
+                }
+                // Steady-state depth sanity for loop-resident
+                // producers (DESIGN.md §13): refilling one entry costs
+                // ~queueFillLatency cycles, so a depth-D queue caps
+                // throughput at fill/D cycles per item
+                // (depthServiceFloor) while the producer's loop body
+                // costs B issue slots per item. A queue whose floor
+                // towers over B throttles a producer that could run 4x
+                // faster; one deeper than 4x the ceil(fill/B) entries
+                // the latency can ever keep in flight burns RFQ
+                // register budget (res.rfq-budget) for nothing.
+                bool loop_resident = !u.pushes.empty();
+                for (int i : u.pushes)
+                    loop_resident &=
+                        instr_depth_[static_cast<size_t>(i)] >= 1;
+                if (loop_resident && !stage_of_.empty() &&
+                    spec.entries > 0) {
+                    const int src = stage_of_[static_cast<size_t>(
+                        u.pushes.front())];
+                    int body = 0;
+                    for (int i = 0; i < prog_.size(); ++i)
+                        if (stage_of_[static_cast<size_t>(i)] == src &&
+                            instr_depth_[static_cast<size_t>(i)] >= 1)
+                            ++body;
+                    const double fill =
+                        static_cast<double>(limits_.queueFillLatency);
+                    if (body > 0) {
+                        double floor =
+                            depthServiceFloor(fill, spec.entries);
+                        if (floor > 4.0 * body) {
+                            warning(
+                                "queue.undersized", u.pushes.front(),
+                                str("Q%d has only %d entries: with a "
+                                    "%d-cycle refill the depth caps "
+                                    "throughput at %.0f cyc/item "
+                                    "against a ~%d-slot producer loop "
+                                    "body",
+                                    q, spec.entries,
+                                    limits_.queueFillLatency, floor,
+                                    body));
+                        }
+                        const int steady =
+                            (limits_.queueFillLatency + body - 1) /
+                            body;
+                        if (spec.entries > 4 * steady) {
+                            warning(
+                                "queue.oversized-steady",
+                                u.pushes.front(),
+                                str("Q%d has %d entries but steady "
+                                    "state keeps at most ~%d in "
+                                    "flight (%d-cycle refill / "
+                                    "%d-slot loop body): the excess "
+                                    "RFQ entries burn register "
+                                    "budget",
+                                    q, spec.entries, steady,
+                                    limits_.queueFillLatency, body));
+                        }
+                    }
                 }
             }
             // Endpoint stages must match the declaration.

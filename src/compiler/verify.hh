@@ -68,6 +68,13 @@ struct VerifyLimits
     uint32_t smemBytes = 128u << 10;
     /** Hardware warp slots per SM. */
     int warpSlots = 64;
+    /**
+     * Effective cycles to refill one queue entry, for the steady-state
+     * depth warnings (queue.undersized / queue.oversized-steady): the
+     * cache-mix-weighted load latency of the perf model's MachineModel
+     * defaults, 0.7 x l2HitLatency(90) + 0.3 x globalLatency(220).
+     */
+    int queueFillLatency = 129;
 };
 
 struct VerifyResult

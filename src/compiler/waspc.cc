@@ -1,1218 +1,228 @@
 #include "compiler/waspc.hh"
 
 #include <algorithm>
-#include <climits>
-#include <map>
-#include <optional>
+#include <limits>
+#include <memory>
 #include <set>
+#include <utility>
 
 #include "common/log.hh"
-#include "compiler/affine.hh"
-#include "compiler/dataflow.hh"
+#include "compiler/emit.hh"
+#include "compiler/extract.hh"
+#include "compiler/partition.hh"
 #include "compiler/verify.hh"
-#include "isa/cfg.hh"
 
 namespace wasp::compiler
 {
 
-using isa::CmpOp;
-using isa::Instruction;
-using isa::InstrCategory;
-using isa::Opcode;
-using isa::Operand;
-using isa::OperandKind;
-
 namespace
 {
 
-/** How an extracted load is materialised in its memory stage. */
-enum class EmitMode : uint8_t { Loop, TmaStream, TmaGather };
-
-struct LoadPlan
+/** Fill the report's summary counters from the extraction facts. */
+CompileReport
+reportWith(const Extraction &ex, const StagePartition &plan,
+           CompileReport report)
 {
-    int id = -1;
-    bool tile = false;      ///< fused into LDGSTS
-    int stsId = -1;         ///< tile: the paired STS
-    bool extracted = false; ///< fine-grained queue extraction
-    bool absorbed = false;  ///< index stream folded into a TMA gather
-    int level = 0;
-    int stage = -1;
-    int consumerStage = -1;
-    int queueIdx = -1;
-    EmitMode emit = EmitMode::Loop;
-    int64_t stride = 4;
-    int baseReg = -1;     ///< stream/gather-index base register
-    int baseUserId = -1;  ///< instruction where baseReg is read
-    int dataBaseReg = -1; ///< gather data base register
-    int dataUserId = -1;  ///< instruction where dataBaseReg is read
-    Affine trips;
+    report.numStages = plan.numStages;
+    report.tiled = ex.tileActive();
+    report.doubleBuffered = ex.doubleBuffered();
+    for (const auto &[id, p] : ex.loads()) {
+        (void)id;
+        if (p.extracted && !p.absorbed) {
+            ++report.extractedLoads;
+            if (p.emit == EmitMode::TmaStream)
+                ++report.tmaStreams;
+            if (p.emit == EmitMode::TmaGather)
+                ++report.tmaGathers;
+        }
+    }
+    return report;
+}
+
+/** A scored candidate in the beam. */
+struct Candidate
+{
+    StagePartition plan;
+    isa::Program prog;
+    double cycles = std::numeric_limits<double>::infinity();
+    std::string key;
 };
 
-class Compiler
+/** Predicted end-to-end cycles of an emitted program under the
+ * compile context (infinite when the model cannot price it, so such
+ * candidates never displace a priced one). */
+double
+scoreProgram(const isa::Program &prog, const CompileContext &ctx,
+             const AnalyzeHints &hints)
 {
-  public:
-    Compiler(const isa::Program &in, const CompileOptions &opts)
-        : in_(in), opts_(opts), cfg_(in), ud_(in, cfg_), affine_(in, cfg_)
-    {}
+    PerfPrediction p =
+        analyzeProgram(prog, ctx.machine, ctx.launch, hints);
+    if (!p.valid || p.predictedCycles <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return p.predictedCycles;
+}
 
-    CompileResult
-    run()
-    {
-        CompileResult result;
-        result.program = in_;
-        if (in_.tb.numStages > 1) {
-            result.report.notes.push_back("input already warp specialized");
-            return result;
-        }
-        buildSkeleton();
-        planLoads();
-        planTile();
-        resolvePlan();
-        if (opts_.emitTma)
-            planTma();
-        assignStages();
-        if (numStages_ <= 1) {
-            result.report.notes.push_back("no extractable loads");
-            result.report = reportWith(result.report);
-            return result;
-        }
-        isa::Program out;
-        if (!emitProgram(out)) {
-            result.report.notes.push_back("emission bailed out; "
-                                          "kernel left unchanged");
-            return result;
-        }
-        result.program = std::move(out);
-        result.report.transformed = true;
-        result.report = reportWith(result.report);
-        // Hard post-pass gate: a transformed program must prove itself
-        // deadlock-free and resource-legal before anyone runs it.
-        VerifyResult vr = verifyProgram(result.program);
-        if (!vr.ok())
-            result.report.verified = false;
-        for (const auto &d : vr.diags) {
-            result.report.notes.push_back(
-                "verify: " + renderDiagnostic(result.program, d));
-        }
-        return result;
-    }
-
-  private:
-    CompileReport
-    reportWith(CompileReport report) const
-    {
-        report.numStages = numStages_;
-        report.tiled = tile_active_;
-        report.doubleBuffered = double_buffered_;
-        for (const auto &[id, p] : loads_) {
-            (void)id;
-            if (p.extracted && !p.absorbed) {
-                ++report.extractedLoads;
-                if (p.emit == EmitMode::TmaStream)
-                    ++report.tmaStreams;
-                if (p.emit == EmitMode::TmaGather)
-                    ++report.tmaGathers;
-            }
-        }
-        return report;
-    }
-
-    // -- analysis phases --------------------------------------------------
-
-    void
-    buildSkeleton()
-    {
-        for (int i = 0; i < in_.size(); ++i) {
-            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
-            if (inst.isBranch() || inst.op == Opcode::EXIT ||
-                inst.isBarrier()) {
-                skeleton_.insert(i);
-                for (int d : ud_.backslice(i))
-                    skeleton_.insert(d);
-            }
-        }
-    }
-
-    void
-    planLoads()
-    {
-        for (int i = 0; i < in_.size(); ++i) {
-            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
-            if (inst.op != Opcode::LDG ||
-                inst.dsts[0].kind != OperandKind::Reg)
-                continue;
-            LoadPlan p;
-            p.id = i;
-            const auto &uses = ud_.usesOf(i);
-            auto slice = ud_.backslice(i);
-            bool slice_clean = true;
-            for (int d : slice) {
-                Opcode op = in_.instrs[static_cast<size_t>(d)].op;
-                if (op == Opcode::LDS || op == Opcode::ATOMG_ADD)
-                    slice_clean = false;
-            }
-            bool local_ok = !uses.empty() && !slice.count(i) &&
-                            !skeleton_.count(i) && slice_clean;
-            // Tile candidate: value feeds exactly one STS.
-            if (opts_.tile && local_ok && uses.size() == 1) {
-                const Instruction &u =
-                    in_.instrs[static_cast<size_t>(uses[0])];
-                int d = inst.dsts[0].reg;
-                if (u.op == Opcode::STS &&
-                    u.srcs[0].kind == OperandKind::Reg &&
-                    u.srcs[0].reg == d && u.dsts[0].reg != d &&
-                    !u.isGuarded() && !inst.isGuarded()) {
-                    p.tile = true;
-                    p.stsId = uses[0];
-                }
-            }
-            if (!p.tile && opts_.streamGather && local_ok)
-                p.extracted = true;
-            loads_[i] = p;
-        }
-    }
-
-    bool isActiveLoad(int i) const
-    {
-        auto it = loads_.find(i);
-        return it != loads_.end() &&
-               (it->second.extracted || it->second.tile) &&
-               !it->second.absorbed;
-    }
-    bool isExtracted(int i) const
-    {
-        auto it = loads_.find(i);
-        return it != loads_.end() && it->second.extracted &&
-               !it->second.absorbed;
-    }
-
-    /** Demote loads whose slices depend on non-extracted loads; compute
-     * indirection levels; resolve consumer stages. Iterates until the
-     * plan is stable. */
-    void
-    resolvePlan()
-    {
-        bool changed = true;
-        while (changed) {
-            changed = false;
-            // Slices of extracted/tile loads may only contain extracted
-            // (or absorbed) loads.
-            for (auto &[i, p] : loads_) {
-                if (!p.extracted && !p.tile)
+/**
+ * Beam search over legal partitions around the heuristic seed.
+ * Candidates must emit and pass the static verifier before they are
+ * priced; the beam keeps opts.searchBeam plans per round, up to three
+ * rounds, stopping early when a round fails to improve the incumbent.
+ * Fully deterministic: neighbor enumeration order is fixed and ties
+ * break on the canonical plan key.
+ */
+Candidate
+searchPartitions(const Extraction &ex, const CompileOptions &opts,
+                 const CompileContext &ctx, const AnalyzeHints &hints,
+                 Candidate seed, int *candidates_out)
+{
+    static constexpr int kMaxRounds = 3;
+    int candidates = 1;
+    std::set<std::string> seen{seed.key};
+    std::vector<Candidate> beam;
+    beam.push_back(seed);
+    Candidate best = std::move(seed);
+    for (int round = 0; round < kMaxRounds; ++round) {
+        std::vector<Candidate> pool = beam;
+        for (const auto &b : beam) {
+            for (auto &n : partitionNeighbors(ex, b.plan)) {
+                std::string key = n.key();
+                if (!seen.insert(key).second)
                     continue;
-                for (int d : ud_.backslice(i)) {
-                    auto it = loads_.find(d);
-                    if (it == loads_.end())
-                        continue;
-                    // Skeleton loads (e.g. loop bounds from row
-                    // pointers) are replicated into every stage, so
-                    // depending on one is fine; anything else must
-                    // itself be extracted for the address to be
-                    // computable in a memory stage.
-                    if (skeleton_.count(d))
-                        continue;
-                    if (!it->second.extracted || it->second.absorbed) {
-                        p.extracted = false;
-                        p.tile = false;
-                        changed = true;
-                        break;
-                    }
-                }
-            }
-            computeLevels();
-            // Cap the pipeline depth.
-            for (auto &[i, p] : loads_) {
-                (void)i;
-                if ((p.extracted || p.tile) &&
-                    p.level >= opts_.maxStages - 1) {
-                    p.extracted = false;
-                    p.tile = false;
-                    changed = true;
-                }
-            }
-            if (!resolveConsumers())
-                changed = true;
-        }
-    }
-
-    void
-    computeLevels()
-    {
-        bool moved = true;
-        for (auto &[i, p] : loads_) {
-            (void)i;
-            p.level = 0;
-        }
-        while (moved) {
-            moved = false;
-            for (auto &[i, p] : loads_) {
-                if (!p.extracted && !p.tile)
+                isa::Program prog;
+                if (!emitPartitioned(ex, n, prog))
                     continue;
-                int level = 0;
-                for (int d : ud_.backslice(i)) {
-                    auto it = loads_.find(d);
-                    if (it != loads_.end() && it->second.extracted &&
-                        !it->second.absorbed)
-                        level = std::max(level, it->second.level + 1);
-                }
-                if (level != p.level) {
-                    p.level = level;
-                    moved = true;
-                }
-            }
-        }
-    }
-
-    /** Compute-stage liveness: closure from side-effect roots, cutting
-     * at extracted loads (they arrive via queues). */
-    std::set<int>
-    computeLive() const
-    {
-        std::vector<int> roots;
-        for (int i = 0; i < in_.size(); ++i) {
-            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
-            bool tile_sts = false;
-            for (const auto &[lid, p] : loads_) {
-                (void)lid;
-                if (p.tile && !p.absorbed && p.stsId == i)
-                    tile_sts = true;
-            }
-            if (tile_sts)
-                continue;
-            if (inst.op == Opcode::STG || inst.op == Opcode::STS ||
-                inst.op == Opcode::ATOMG_ADD || skeleton_.count(i))
-                roots.push_back(i);
-        }
-        return closure(roots, {});
-    }
-
-    /**
-     * Backwards closure over use-def edges. Extracted loads are
-     * included but not expanded unless they appear in `expand`.
-     */
-    std::set<int>
-    closure(const std::vector<int> &roots, const std::set<int> &expand) const
-    {
-        std::set<int> live;
-        std::vector<int> work = roots;
-        while (!work.empty()) {
-            int i = work.back();
-            work.pop_back();
-            if (live.count(i))
-                continue;
-            live.insert(i);
-            if (isActiveLoad(i) && !expand.count(i) &&
-                std::find(roots.begin(), roots.end(), i) == roots.end())
-                continue;
-            for (int r : UseDef::readSet(
-                     in_.instrs[static_cast<size_t>(i)])) {
-                for (int d : ud_.defsReaching(i, r))
-                    work.push_back(d);
-            }
-        }
-        return live;
-    }
-
-    /**
-     * Stage-local backslice: the instructions that will actually be
-     * emitted into the stage owning `load` — the closure cut at other
-     * extracted loads (they arrive as queue pops). This mirrors
-     * buildStage()'s keep-set so consumer resolution matches emission.
-     */
-    std::set<int>
-    cutSlice(int load) const
-    {
-        return closure({load}, {load});
-    }
-
-    /** @return false when a load had to be demoted (plan changed). */
-    bool
-    resolveConsumers()
-    {
-        std::set<int> compute_live = computeLive();
-        bool stable = true;
-        for (auto &[i, p] : loads_) {
-            if (!p.extracted || p.absorbed)
-                continue;
-            std::set<int> stages;
-            for (int u : ud_.usesOf(i)) {
-                bool placed = false;
-                for (const auto &[j, q] : loads_) {
-                    if (j == i || !(q.extracted || q.tile) || q.absorbed)
-                        continue;
-                    if (u == j || cutSlice(j).count(u)) {
-                        stages.insert(q.level); // memory stage == level
-                        placed = true;
-                    }
-                }
-                if (compute_live.count(u)) {
-                    stages.insert(INT_MAX); // compute stage marker
-                    placed = true;
-                }
-                (void)placed; // a use dead in every stage is ignorable
-            }
-            if (stages.size() != 1 ||
-                (*stages.begin() != INT_MAX && *stages.begin() <= p.level)) {
-                p.extracted = false;
-                stable = false;
-                continue;
-            }
-            p.consumerStage = *stages.begin(); // level id or INT_MAX
-        }
-        return stable;
-    }
-
-    void
-    planTile()
-    {
-        bool any_tile = false;
-        for (const auto &[i, p] : loads_) {
-            (void)i;
-            any_tile = any_tile || p.tile;
-        }
-        if (!any_tile)
-            return;
-        auto demote_all = [&](const char *why) {
-            for (auto &[i, p] : loads_) {
-                (void)i;
-                p.tile = false;
-            }
-            notes_.push_back(std::string("tile transform skipped: ") + why);
-        };
-        if (!affine_.hasCanonicalLoop()) {
-            demote_all("no canonical loop");
-            return;
-        }
-        // Exactly two BAR.SYNCs inside the loop, LDG/STS between them.
-        std::vector<int> bars;
-        for (int i = affine_.loopFirst(); i <= affine_.loopLast(); ++i) {
-            if (in_.instrs[static_cast<size_t>(i)].op == Opcode::BAR_SYNC)
-                bars.push_back(i);
-        }
-        if (bars.size() != 2) {
-            demote_all("loop does not contain exactly two BAR.SYNCs");
-            return;
-        }
-        for (const auto &[i, p] : loads_) {
-            if (!p.tile)
-                continue;
-            if (i < bars[0] || p.stsId > bars[1] ||
-                i < affine_.loopFirst() || p.stsId > affine_.loopLast()) {
-                demote_all("tile transfer not enclosed by the barriers");
-                return;
-            }
-        }
-        bar_empty_id_ = bars[0];
-        bar_filled_id_ = bars[1];
-        tile_active_ = true;
-        // Double buffering needs a known even trip count and SMEM room.
-        if (opts_.doubleBuffer) {
-            LoopBound bound = affine_.tripCount();
-            if (bound.valid && bound.trips.isConst() &&
-                bound.trips.c0 % 2 == 0 && in_.tb.smemBytes > 0 &&
-                in_.tb.smemBytes * 2 <= (96u << 10)) {
-                double_buffered_ = true;
-            } else {
-                notes_.push_back("double buffering not applicable; "
-                                 "single buffering used");
-            }
-        }
-    }
-
-    void
-    planTma()
-    {
-        if (!affine_.hasCanonicalLoop())
-            return;
-        LoopBound bound = affine_.tripCount();
-        if (!bound.valid)
-            return;
-        // Streams: level-0 loads with strided affine addresses.
-        for (auto &[i, p] : loads_) {
-            if (!p.extracted || p.absorbed || p.level != 0)
-                continue;
-            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
-            if (inst.isGuarded() || i < affine_.loopFirst() ||
-                i > affine_.loopLast())
-                continue;
-            const Operand &m = inst.srcs[0];
-            if (m.imm != 0)
-                continue;
-            Affine v = affine_.valueAtLoop(m.reg);
-            auto step = affine_.stepOf(m.reg);
-            if (v.valid && step && v.cTid > 0 &&
-                *step == isa::kWarpSize * v.cTid) {
-                p.emit = EmitMode::TmaStream;
-                p.stride = v.cTid;
-                p.baseReg = m.reg;
-                p.baseUserId = i;
-                p.trips = bound.trips;
-            }
-        }
-        // Gathers: a streamed index feeding exactly one level-1 load
-        // whose address is dataBase + index * 4.
-        for (auto &[i0, p0] : loads_) {
-            if (p0.emit != EmitMode::TmaStream || p0.stride != 4)
-                continue;
-            const auto &uses = ud_.usesOf(i0);
-            if (uses.size() != 1)
-                continue;
-            int u = uses[0];
-            const Instruction &ui = in_.instrs[static_cast<size_t>(u)];
-            int v0 = in_.instrs[static_cast<size_t>(i0)].dsts[0].reg;
-            // Match SHL t, v0, 2 ; IADD a, t, rb  (either operand order)
-            if (ui.op != Opcode::SHL || ui.srcs[0].kind != OperandKind::Reg ||
-                ui.srcs[0].reg != v0 ||
-                ui.srcs[1].kind != OperandKind::Imm || ui.srcs[1].imm != 2)
-                continue;
-            int t = ui.dsts[0].reg;
-            const auto &shl_uses = ud_.usesOf(u);
-            if (shl_uses.size() != 1)
-                continue;
-            int w = shl_uses[0];
-            const Instruction &wi = in_.instrs[static_cast<size_t>(w)];
-            if (wi.op != Opcode::IADD)
-                continue;
-            int rb = -1;
-            if (wi.srcs[0].kind == OperandKind::Reg &&
-                wi.srcs[0].reg == t &&
-                wi.srcs[1].kind == OperandKind::Reg)
-                rb = wi.srcs[1].reg;
-            else if (wi.srcs[1].kind == OperandKind::Reg &&
-                     wi.srcs[1].reg == t &&
-                     wi.srcs[0].kind == OperandKind::Reg)
-                rb = wi.srcs[0].reg;
-            if (rb < 0)
-                continue;
-            Affine rbv = affine_.valueAtLoop(rb);
-            auto rbstep = affine_.stepOf(rb);
-            if (!rbv.valid || rbv.cTid != 0 || !rbstep || *rbstep != 0)
-                continue;
-            const auto &add_uses = ud_.usesOf(w);
-            if (add_uses.size() != 1)
-                continue;
-            int i1 = add_uses[0];
-            auto it1 = loads_.find(i1);
-            if (it1 == loads_.end() || !it1->second.extracted ||
-                it1->second.level != 1 ||
-                in_.instrs[static_cast<size_t>(i1)].isGuarded())
-                continue;
-            const Operand &m1 = in_.instrs[static_cast<size_t>(i1)].srcs[0];
-            if (m1.imm != 0 || m1.reg != wi.dsts[0].reg)
-                continue;
-            // Commit: absorb the index stream into a gather descriptor.
-            LoadPlan &p1 = it1->second;
-            p0.absorbed = true;
-            p0.extracted = false;
-            p1.emit = EmitMode::TmaGather;
-            p1.baseReg = p0.baseReg;
-            p1.baseUserId = i0;
-            p1.dataBaseReg = rb;
-            p1.dataUserId = w;
-            p1.trips = p0.trips;
-        }
-        // Absorption changes levels; recompute them and consumers.
-        computeLevels();
-        resolveConsumers();
-    }
-
-    void
-    assignStages()
-    {
-        std::set<int> levels;
-        for (const auto &[i, p] : loads_) {
-            (void)i;
-            if ((p.extracted || p.tile) && !p.absorbed)
-                levels.insert(p.level);
-        }
-        level_to_stage_.clear();
-        int s = 0;
-        for (int level : levels)
-            level_to_stage_[level] = s++;
-        compute_stage_ = s;
-        numStages_ = s + 1;
-        for (auto &[i, p] : loads_) {
-            (void)i;
-            if ((p.extracted || p.tile) && !p.absorbed) {
-                p.stage = level_to_stage_[p.level];
-                if (p.extracted) {
-                    p.consumerStage =
-                        p.consumerStage == INT_MAX
-                            ? compute_stage_
-                            : level_to_stage_[p.consumerStage];
-                }
-            }
-        }
-    }
-
-    // -- emission -----------------------------------------------------------
-
-    using StageItem = std::pair<int, Instruction>; ///< (old index, instr)
-    using StageCode = std::vector<StageItem>;
-
-    bool
-    emitProgram(isa::Program &out)
-    {
-        out.name = in_.name + "_ws";
-        out.tb = in_.tb;
-        out.tb.numStages = numStages_;
-        out.tb.queues.clear();
-        out.tb.barriers.clear();
-
-        // Queues: one per extracted load, in program order.
-        for (int i = 0; i < in_.size(); ++i) {
-            auto it = loads_.find(i);
-            if (it == loads_.end() || !it->second.extracted ||
-                it->second.absorbed)
-                continue;
-            LoadPlan &p = it->second;
-            p.queueIdx = static_cast<int>(out.tb.queues.size());
-            out.tb.queues.push_back(
-                {p.stage, p.consumerStage, opts_.queueEntries});
-        }
-        // Tile barriers: Empty/Filled (sets A and B when double
-        // buffered). Single buffering: the consumer's top-of-loop
-        // arrive supplies the "writable" credit, so Empty starts at
-        // phase 0. Double buffering: each Empty barrier carries one
-        // initial credit ("initially set as arrived", Fig. 10) so the
-        // producer can run one buffer ahead.
-        if (tile_active_) {
-            int expected = in_.tb.warpsPerStage();
-            // E_A carries the one-buffer-lookahead credit; E_B's credit
-            // comes from the consumer's top-of-pass arrive (its arrive
-            // positions are swapped across the two copies).
-            int empty_init = double_buffered_ ? 1 : 0;
-            out.tb.barriers.push_back({expected, empty_init}); // E_A
-            out.tb.barriers.push_back({expected, 0});          // F_A
-            if (double_buffered_) {
-                out.tb.barriers.push_back({expected, 0}); // E_B
-                out.tb.barriers.push_back({expected, 0}); // F_B
-                out.tb.smemBytes = in_.tb.smemBytes * 2;
-            }
-        }
-
-        std::vector<StageCode> stages(static_cast<size_t>(numStages_));
-        for (int s = 0; s < numStages_; ++s) {
-            if (!buildStage(s, stages[static_cast<size_t>(s)]))
-                return false;
-        }
-        if (double_buffered_) {
-            for (auto &code : stages) {
-                if (!unrollForDoubleBuffer(code))
-                    return false;
-            }
-        }
-        for (auto &code : stages)
-            mergePops(code);
-
-        // Per-stage register compaction.
-        out.tb.stageRegs.assign(static_cast<size_t>(numStages_), 1);
-        for (int s = 0; s < numStages_; ++s)
-            out.tb.stageRegs[static_cast<size_t>(s)] =
-                compactRegisters(stages[static_cast<size_t>(s)]);
-
-        // Jump table: dispatch each warp to its stage's entry.
-        // Register R0 / predicate P0 are dead at stage entry by
-        // construction (stage programs define before use).
-        std::vector<Instruction> jt;
-        for (int s = 0; s < numStages_ - 1; ++s) {
-            Instruction s2r;
-            s2r.op = Opcode::S2R;
-            s2r.dsts = {Operand::makeReg(0)};
-            s2r.srcs = {Operand::makeSreg(isa::SpecialReg::PIPE_STAGE)};
-            s2r.category = InstrCategory::Overhead;
-            Instruction setp;
-            setp.op = Opcode::ISETP;
-            setp.cmp = CmpOp::EQ;
-            setp.dsts = {Operand::makePred(0)};
-            setp.srcs = {Operand::makeReg(0), Operand::makeImm(s)};
-            setp.category = InstrCategory::Overhead;
-            Instruction bra;
-            bra.op = Opcode::BRA;
-            bra.guardPred = 0;
-            bra.target = -1000 - s; // placeholder: stage s entry
-            bra.category = InstrCategory::Overhead;
-            jt.push_back(s2r);
-            jt.push_back(setp);
-            jt.push_back(bra);
-        }
-
-        out.instrs = jt;
-        out.tb.stageEntry.assign(static_cast<size_t>(numStages_), 0);
-        std::vector<int> stage_base(static_cast<size_t>(numStages_), 0);
-        // Final layout: jump table, then stage S-1 (fallthrough), wait —
-        // the paper directs warps via the table; we lay stages in order
-        // 0..S-1 and give the last stage the fallthrough path by
-        // emitting its dispatch branch unconditionally skipped. Simpler:
-        // stages in order, each reached via the table; stage S-1 falls
-        // through only when no compare matched, so place it first after
-        // the table? Keep it simple and correct: stage S-1 is reached by
-        // falling through the table, so it must come immediately after.
-        std::vector<int> order;
-        order.push_back(numStages_ - 1);
-        for (int s = 0; s < numStages_ - 1; ++s)
-            order.push_back(s);
-        for (int s : order) {
-            stage_base[static_cast<size_t>(s)] =
-                static_cast<int>(out.instrs.size());
-            out.tb.stageEntry[static_cast<size_t>(s)] =
-                static_cast<int>(out.instrs.size());
-            appendStage(out, stages[static_cast<size_t>(s)]);
-        }
-        // Resolve jump-table placeholders.
-        for (auto &inst : out.instrs) {
-            if (inst.isBranch() && inst.target <= -1000) {
-                int s = -1000 - inst.target;
-                inst.target = stage_base[static_cast<size_t>(s)];
-            }
-        }
-        out.recomputeNumRegs();
-        // numRegs acts as the uniform (max) allocation.
-        int max_regs = 1;
-        for (int r : out.tb.stageRegs)
-            max_regs = std::max(max_regs, r);
-        out.numRegs = std::max(out.numRegs, max_regs);
-        out.renumber();
-        out.validate();
-        return true;
-    }
-
-    bool
-    buildStage(int s, StageCode &code)
-    {
-        const bool mem_stage = s < compute_stage_;
-        // Stage loads.
-        std::vector<const LoadPlan *> loop_loads;
-        std::vector<const LoadPlan *> tma_loads;
-        for (const auto &[i, p] : loads_) {
-            (void)i;
-            if (p.absorbed || !(p.extracted || p.tile) || p.stage != s)
-                continue;
-            if (p.emit == EmitMode::Loop)
-                loop_loads.push_back(&p);
-            else
-                tma_loads.push_back(&p);
-        }
-        bool stage_has_tile = false;
-        for (const auto *p : loop_loads)
-            stage_has_tile = stage_has_tile || p->tile;
-
-        // Roots and keep-set.
-        std::vector<int> roots;
-        std::set<int> expand;
-        if (mem_stage) {
-            for (const auto *p : loop_loads) {
-                roots.push_back(p->id);
-                expand.insert(p->id);
-                if (p->tile)
-                    roots.push_back(p->stsId);
-            }
-            bool keep_skeleton = !loop_loads.empty();
-            if (keep_skeleton) {
-                for (int i : skeleton_)
-                    roots.push_back(i);
-            }
-        } else {
-            for (int i = 0; i < in_.size(); ++i) {
-                const Instruction &inst =
-                    in_.instrs[static_cast<size_t>(i)];
-                bool tile_sts = false;
-                for (const auto &[lid, p] : loads_) {
-                    (void)lid;
-                    if (p.tile && !p.absorbed && p.stsId == i)
-                        tile_sts = true;
-                }
-                if (tile_sts)
+                if (!verifyProgram(prog).ok())
                     continue;
-                if (inst.op == Opcode::STG || inst.op == Opcode::STS ||
-                    inst.op == Opcode::ATOMG_ADD || skeleton_.count(i))
-                    roots.push_back(i);
+                ++candidates;
+                double cycles = scoreProgram(prog, ctx, hints);
+                pool.push_back({std::move(n), std::move(prog), cycles,
+                                std::move(key)});
             }
         }
-        // Guard predicates of pops consumed here must be computable.
-        for (const auto &[i, p] : loads_) {
-            if (!p.extracted || p.absorbed || p.consumerStage != s)
-                continue;
-            const Instruction &inst = in_.instrs[static_cast<size_t>(i)];
-            if (inst.isGuarded()) {
-                for (int d : ud_.defsReaching(
-                         i, UseDef::kPredBase + inst.guardPred))
-                    roots.push_back(d);
-            }
-        }
-        std::set<int> keep = closure(roots, expand);
-
-        // Emit kept instructions in program order with rewrites.
-        for (int i = 0; i < in_.size(); ++i) {
-            if (!keep.count(i))
-                continue;
-            const Instruction &oi = in_.instrs[static_cast<size_t>(i)];
-            auto lit = loads_.find(i);
-            const LoadPlan *lp =
-                lit == loads_.end() ? nullptr : &lit->second;
-
-            // Tile LDG in its own stage: folded into the LDGSTS below.
-            if (lp && lp->tile && !lp->absorbed && lp->stage == s &&
-                mem_stage) {
-                continue;
-            }
-            // Tile STS position: emit the fused LDGSTS.
-            bool is_tile_sts = false;
-            const LoadPlan *tile_plan = nullptr;
-            for (const auto &[lid, p] : loads_) {
-                (void)lid;
-                if (p.tile && !p.absorbed && p.stsId == i && p.stage == s) {
-                    is_tile_sts = true;
-                    tile_plan = &p;
-                }
-            }
-            if (is_tile_sts && mem_stage) {
-                const Instruction &ldg =
-                    in_.instrs[static_cast<size_t>(tile_plan->id)];
-                Instruction fused;
-                fused.op = Opcode::LDGSTS;
-                fused.dsts = {oi.dsts[0]};  // shared destination
-                fused.srcs = {ldg.srcs[0]}; // global source
-                fused.category = InstrCategory::Memory;
-                code.emplace_back(i, fused);
-                continue;
-            }
-
-            Instruction ni = oi;
-            // Extracted producer: destination becomes the named queue.
-            if (lp && lp->extracted && !lp->absorbed && lp->stage == s &&
-                mem_stage && lp->emit == EmitMode::Loop) {
-                ni.dsts = {Operand::makeQueue(lp->queueIdx)};
-                ni.category = InstrCategory::Memory;
-                code.emplace_back(i, ni);
-                continue;
-            }
-            // Extracted consumer: the load becomes a queue pop.
-            if (lp && lp->extracted && !lp->absorbed &&
-                lp->consumerStage == s) {
-                Instruction pop;
-                pop.op = Opcode::MOV;
-                pop.guardPred = oi.guardPred;
-                pop.guardNeg = oi.guardNeg;
-                pop.dsts = {oi.dsts[0]};
-                pop.srcs = {Operand::makeQueue(lp->queueIdx)};
-                pop.category = InstrCategory::Queue;
-                code.emplace_back(i, pop);
-                continue;
-            }
-            // Any other load id that leaked in is a plan bug.
-            if (lp && (lp->extracted || lp->tile) && !lp->absorbed &&
-                lp->stage != s && lp->consumerStage != s)
-                return false;
-
-            // Tile barrier rewriting.
-            if (oi.op == Opcode::BAR_SYNC && tile_active_) {
-                if (mem_stage && stage_has_tile) {
-                    ni.op = (i == bar_empty_id_) ? Opcode::BAR_WAIT
-                                                 : Opcode::BAR_ARRIVE;
-                    ni.srcs = {Operand::makeImm(i == bar_empty_id_ ? 0
-                                                                   : 1)};
-                } else if (!mem_stage) {
-                    ni.op = (i == bar_empty_id_) ? Opcode::BAR_ARRIVE
-                                                 : Opcode::BAR_WAIT;
-                    ni.srcs = {Operand::makeImm(i == bar_empty_id_ ? 0
-                                                                   : 1)};
-                } else {
-                    continue; // other memory stages drop the sync
-                }
-                ni.category = InstrCategory::Queue;
-                code.emplace_back(i, ni);
-                continue;
-            }
-
-            // Category annotation (Fig 19 accounting).
-            if (mem_stage) {
-                if (ni.isMem())
-                    ni.category = InstrCategory::Memory;
-                else if (ni.isBranch() || ni.op == Opcode::EXIT ||
-                         ni.op == Opcode::NOP)
-                    ni.category = InstrCategory::Overhead;
-                else if (ni.isBarrier())
-                    ni.category = InstrCategory::Queue;
-                else
-                    ni.category = InstrCategory::Address;
-            } else if (ni.isBarrier()) {
-                ni.category = InstrCategory::Queue;
-            }
-            code.emplace_back(i, ni);
-        }
-
-        // WASP-TMA descriptors replace the whole producer loop.
-        if (mem_stage && !tma_loads.empty()) {
-            if (!emitTmaOps(code, tma_loads, loop_loads.empty()))
-                return false;
-        }
-        if (code.empty())
-            return false;
-        // Every stage must terminate.
-        if (code.back().second.op != Opcode::EXIT) {
-            Instruction ex;
-            ex.op = Opcode::EXIT;
-            ex.category = InstrCategory::Overhead;
-            code.emplace_back(in_.size(), ex);
-        }
-        return true;
-    }
-
-    /** Prologue instructions needed to materialise a register's
-     * loop-entry value (closure restricted to the prologue). */
-    std::set<int>
-    prologueClosure(int load_id, int reg) const
-    {
-        std::set<int> result;
-        std::vector<int> work;
-        for (int d : ud_.defsReaching(load_id, reg)) {
-            if (d < affine_.loopFirst())
-                work.push_back(d);
-        }
-        while (!work.empty()) {
-            int i = work.back();
-            work.pop_back();
-            if (result.count(i) || i >= affine_.loopFirst())
-                continue;
-            result.insert(i);
-            for (int r : UseDef::readSet(
-                     in_.instrs[static_cast<size_t>(i)])) {
-                for (int d : ud_.defsReaching(i, r))
-                    work.push_back(d);
-            }
-        }
-        return result;
-    }
-
-    bool
-    emitTmaOps(StageCode &code, const std::vector<const LoadPlan *> &tmas,
-               bool pure)
-    {
-        // Gather required prologue instructions.
-        std::set<int> prologue;
-        for (const auto *p : tmas) {
-            for (int i : prologueClosure(p->baseUserId, p->baseReg))
-                prologue.insert(i);
-            if (p->emit == EmitMode::TmaGather) {
-                for (int i : prologueClosure(p->dataUserId, p->dataBaseReg))
-                    prologue.insert(i);
-            }
-        }
-        StageCode head;
-        for (int i : prologue) {
-            // Skip instructions already emitted by the keep-set.
-            bool present = false;
-            for (const auto &[old, inst] : code) {
-                (void)inst;
-                if (old == i)
-                    present = true;
-            }
-            if (!present) {
-                Instruction ni = in_.instrs[static_cast<size_t>(i)];
-                ni.category = InstrCategory::Address;
-                head.emplace_back(i, ni);
-            }
-        }
-        std::sort(head.begin(), head.end(),
-                  [](const StageItem &a, const StageItem &b) {
-                      return a.first < b.first;
+        std::sort(pool.begin(), pool.end(),
+                  [](const Candidate &a, const Candidate &b) {
+                      if (a.cycles != b.cycles)
+                          return a.cycles < b.cycles;
+                      return a.key < b.key;
                   });
-        int scratch = in_.numRegs;
-        for (const auto *p : tmas) {
-            int rc = scratch++;
-            if (p->trips.isConst()) {
-                Instruction mov;
-                mov.op = Opcode::MOV;
-                mov.dsts = {Operand::makeReg(rc)};
-                mov.srcs = {Operand::makeImm(static_cast<int32_t>(
-                    p->trips.c0 * isa::kWarpSize))};
-                mov.category = InstrCategory::Address;
-                head.emplace_back(-1, mov);
-            } else {
-                int slot = p->trips.cParam.begin()->first;
-                Instruction mov;
-                mov.op = Opcode::MOV;
-                mov.dsts = {Operand::makeReg(rc)};
-                mov.srcs = {Operand::makeCParam(slot)};
-                mov.category = InstrCategory::Address;
-                Instruction shl;
-                shl.op = Opcode::SHL;
-                shl.dsts = {Operand::makeReg(rc)};
-                shl.srcs = {Operand::makeReg(rc), Operand::makeImm(5)};
-                shl.category = InstrCategory::Address;
-                head.emplace_back(-1, mov);
-                head.emplace_back(-1, shl);
-            }
-            Instruction tma;
-            if (p->emit == EmitMode::TmaStream) {
-                tma.op = Opcode::TMA_STREAM;
-                tma.dsts = {Operand::makeQueue(p->queueIdx)};
-                tma.srcs = {Operand::makeReg(p->baseReg),
-                            Operand::makeReg(rc),
-                            Operand::makeImm(
-                                static_cast<int32_t>(p->stride))};
-            } else {
-                tma.op = Opcode::TMA_GATHER;
-                tma.dsts = {Operand::makeQueue(p->queueIdx)};
-                tma.srcs = {Operand::makeReg(p->baseReg),
-                            Operand::makeReg(p->dataBaseReg),
-                            Operand::makeReg(rc), Operand::makeImm(-1)};
-            }
-            tma.category = InstrCategory::Memory;
-            head.emplace_back(-1, tma);
-        }
-        if (pure) {
-            code = std::move(head);
-        } else {
-            // Insert before the first loop instruction.
-            StageCode merged;
-            bool inserted = false;
-            for (auto &item : code) {
-                if (!inserted && item.first >= affine_.loopFirst()) {
-                    for (auto &h : head)
-                        merged.push_back(std::move(h));
-                    inserted = true;
-                }
-                merged.push_back(std::move(item));
-            }
-            if (!inserted)
-                return false;
-            code = std::move(merged);
-        }
-        return true;
+        if (pool.size() > static_cast<size_t>(std::max(1, opts.searchBeam)))
+            pool.resize(static_cast<size_t>(std::max(1, opts.searchBeam)));
+        beam = std::move(pool);
+        if (beam.front().cycles + 1e-9 < best.cycles)
+            best = beam.front();
+        else
+            break;
     }
-
-    /** Duplicate the canonical loop body for double buffering (Fig 10):
-     * copy B uses the second half of SMEM and barrier set B. */
-    bool
-    unrollForDoubleBuffer(StageCode &code)
-    {
-        int first = -1;
-        int last = -1;
-        for (size_t k = 0; k < code.size(); ++k) {
-            int old = code[k].first;
-            if (old >= affine_.loopFirst() && old <= affine_.loopLast()) {
-                if (first < 0)
-                    first = static_cast<int>(k);
-                last = static_cast<int>(k);
-            }
-        }
-        if (first < 0)
-            return true; // stage has no loop (e.g. pure TMA)
-        // The loop body must end with the backedge.
-        if (!code[static_cast<size_t>(last)].second.isBranch())
-            return false;
-        StageCode body(code.begin() + first, code.begin() + last + 1);
-        StageCode copy_a = body;
-        copy_a.pop_back(); // drop copy A's backedge: fall into copy B
-        // Consumer "Empty" arrives certify the buffer consumed in the
-        // *previous* section, so they use the other buffer's barrier:
-        // copy A arrives E_B, copy B arrives E_A (credit scheme).
-        for (auto &[old, inst] : copy_a) {
-            if (inst.op == Opcode::BAR_ARRIVE && old == bar_empty_id_)
-                inst.srcs[0].imm = 2; // E_B
-        }
-        StageCode copy_b = body;
-        for (auto &[old, inst] : copy_b) {
-            // Second buffer half.
-            for (auto *ops : {&inst.dsts, &inst.srcs}) {
-                for (auto &op : *ops) {
-                    if (op.kind == OperandKind::Mem &&
-                        op.space == isa::MemSpace::Shared)
-                        op.imm += static_cast<int32_t>(in_.tb.smemBytes);
-                }
-            }
-            // Barrier set B (except the swapped consumer Empty arrive).
-            if (inst.op == Opcode::BAR_ARRIVE && old == bar_empty_id_)
-                inst.srcs[0].imm = 0; // E_A
-            else if (inst.op == Opcode::BAR_WAIT ||
-                     inst.op == Opcode::BAR_ARRIVE)
-                inst.srcs[0].imm += 2;
-        }
-        StageCode merged(code.begin(), code.begin() + first);
-        for (auto &item : copy_a)
-            merged.push_back(std::move(item));
-        for (auto &item : copy_b)
-            merged.push_back(std::move(item));
-        merged.insert(merged.end(), code.begin() + last + 1, code.end());
-        code = std::move(merged);
-        return true;
-    }
-
-    /** Merge single-use queue pops into their consumer (LDG_CONSUMER
-     * folding, Section IV-B). */
-    void
-    mergePops(StageCode &code)
-    {
-        for (size_t k = 0; k < code.size(); ++k) {
-            Instruction &pop = code[k].second;
-            if (pop.op != Opcode::MOV || pop.srcs.size() != 1 ||
-                pop.srcs[0].kind != OperandKind::Queue || pop.isGuarded())
-                continue;
-            int reg = pop.dsts[0].reg;
-            // Scan forward within the same original basic block.
-            int reader = -1;
-            int reads = 0;
-            bool blocked = false;
-            for (size_t j = k + 1; j < code.size(); ++j) {
-                const Instruction &cand = code[j].second;
-                if (cand.isBranch() || cand.op == Opcode::EXIT ||
-                    cand.isBarrier())
-                    break; // end of straight-line region
-                int reg_reads = 0;
-                for (const auto &srcs : cand.srcs) {
-                    if (srcs.kind == OperandKind::Reg && srcs.reg == reg)
-                        ++reg_reads;
-                    if (srcs.kind == OperandKind::Mem && srcs.reg == reg)
-                        blocked = true; // address use: keep the MOV
-                }
-                for (const auto &d : cand.dsts) {
-                    if (d.kind == OperandKind::Mem && d.reg == reg)
-                        blocked = true;
-                }
-                if (reg_reads > 0) {
-                    reads += reg_reads;
-                    reader = static_cast<int>(j);
-                    if (cand.isGuarded())
-                        blocked = true;
-                }
-                if (cand.writesReg(reg))
-                    break; // redefinition: uses beyond read the new value
-            }
-            // Also blocked if the value lives past the region.
-            bool live_out = false;
-            if (reader >= 0) {
-                for (size_t j = static_cast<size_t>(reader) + 1;
-                     j < code.size(); ++j) {
-                    const Instruction &cand = code[j].second;
-                    if (cand.writesReg(reg))
-                        break;
-                    if (cand.readsReg(reg)) {
-                        live_out = true;
-                        break;
-                    }
-                }
-            }
-            if (reader < 0 || reads != 1 || blocked || live_out)
-                continue;
-            Instruction &target = code[static_cast<size_t>(reader)].second;
-            for (auto &srcs : target.srcs) {
-                if (srcs.kind == OperandKind::Reg && srcs.reg == reg) {
-                    srcs = pop.srcs[0];
-                    break;
-                }
-            }
-            code.erase(code.begin() + static_cast<long>(k));
-            --k;
-        }
-    }
-
-    /** Rename registers to a dense 0..N-1 range; returns N. */
-    int
-    compactRegisters(StageCode &code)
-    {
-        std::map<int, int> remap;
-        auto touch = [&](int r) {
-            if (r != isa::kRegZero && !remap.count(r))
-                remap[r] = 0;
-        };
-        for (const auto &[old, inst] : code) {
-            (void)old;
-            for (const auto &d : inst.dsts) {
-                if (d.kind == OperandKind::Reg ||
-                    d.kind == OperandKind::Mem)
-                    touch(d.reg);
-            }
-            for (const auto &s : inst.srcs) {
-                if (s.kind == OperandKind::Reg ||
-                    s.kind == OperandKind::Mem)
-                    touch(s.reg);
-            }
-        }
-        int next = 0;
-        for (auto &[r, m] : remap)
-            m = next++;
-        for (auto &[old, inst] : code) {
-            (void)old;
-            for (auto *ops : {&inst.dsts, &inst.srcs}) {
-                for (auto &op : *ops) {
-                    if ((op.kind == OperandKind::Reg ||
-                         op.kind == OperandKind::Mem) &&
-                        op.reg != isa::kRegZero)
-                        op.reg = static_cast<int16_t>(remap[op.reg]);
-                }
-            }
-        }
-        return std::max(next, 1);
-    }
-
-    /** Append a stage's code to the output, fixing branch targets. */
-    void
-    appendStage(isa::Program &out, const StageCode &code)
-    {
-        const int base = static_cast<int>(out.instrs.size());
-        // old index -> new index (first occurrence wins, for unrolled
-        // loops the backedge must target copy A).
-        std::vector<std::pair<int, int>> mapping;
-        for (size_t k = 0; k < code.size(); ++k) {
-            if (code[k].first >= 0)
-                mapping.emplace_back(code[k].first,
-                                     base + static_cast<int>(k));
-        }
-        std::stable_sort(mapping.begin(), mapping.end(),
-                         [](const auto &a, const auto &b) {
-                             return a.first < b.first;
-                         });
-        auto resolve = [&](int old_target) {
-            auto it = std::lower_bound(
-                mapping.begin(), mapping.end(),
-                std::make_pair(old_target, INT_MIN),
-                [](const auto &a, const auto &b) {
-                    return a.first < b.first;
-                });
-            if (it == mapping.end())
-                return base + static_cast<int>(code.size()) - 1; // EXIT
-            return it->second;
-        };
-        for (const auto &[old, inst] : code) {
-            (void)old;
-            Instruction ni = inst;
-            if (ni.isBranch() && ni.target >= 0)
-                ni.target = resolve(ni.target);
-            out.instrs.push_back(std::move(ni));
-        }
-    }
-
-    // -- state ------------------------------------------------------------
-    const isa::Program &in_;
-    CompileOptions opts_;
-    isa::Cfg cfg_;
-    UseDef ud_;
-    AffineAnalysis affine_;
-    std::set<int> skeleton_;
-    std::map<int, LoadPlan> loads_;
-    std::map<int, int> level_to_stage_;
-    int compute_stage_ = 0;
-    int numStages_ = 1;
-    bool tile_active_ = false;
-    bool double_buffered_ = false;
-    int bar_empty_id_ = -1;
-    int bar_filled_id_ = -1;
-    std::vector<std::string> notes_;
-};
+    *candidates_out = candidates;
+    return best;
+}
 
 } // namespace
 
 CompileResult
+warpSpecialize(const isa::Program &input, const CompileOptions &opts,
+               const CompileContext &ctx)
+{
+    const AnalyzeHints hints{ctx.tripHints, opts.feedback};
+    auto attachPerf = [&](CompileResult &r) {
+        r.report.perf =
+            analyzeProgram(r.program, ctx.machine, ctx.launch, hints);
+    };
+
+    CompileResult result;
+    result.program = input;
+    if (input.tb.numStages > 1) {
+        result.report.notes.push_back("input already warp specialized");
+        attachPerf(result);
+        return result;
+    }
+
+    Extraction ex(input, opts);
+    StagePartition plan = heuristicPartition(ex);
+    if (plan.numStages <= 1) {
+        result.report.notes.push_back("no extractable loads");
+        result.report = reportWith(ex, plan, result.report);
+        attachPerf(result);
+        return result;
+    }
+
+    isa::Program heuristic_prog;
+    if (!emitPartitioned(ex, plan, heuristic_prog)) {
+        result.report.notes.push_back("emission bailed out; "
+                                      "kernel left unchanged");
+        attachPerf(result);
+        return result;
+    }
+
+    Candidate chosen{plan, std::move(heuristic_prog),
+                     std::numeric_limits<double>::infinity(),
+                     plan.key()};
+    const Extraction *chosen_ex = &ex;
+    std::unique_ptr<Extraction> ex_no_tma;
+    if (opts.strategy == PartitionStrategy::Search) {
+        // The heuristic seed only keeps its slot on merit: an
+        // unverifiable seed scores infinity and any legal candidate
+        // displaces it.
+        chosen.cycles = verifyProgram(chosen.prog).ok()
+                            ? scoreProgram(chosen.prog, ctx, hints)
+                            : std::numeric_limits<double>::infinity();
+        chosen = searchPartitions(ex, opts, ctx, hints, std::move(chosen),
+                                  &result.report.searchCandidates);
+
+        // Second search family: the same kernel extracted without
+        // WASP-TMA, so every engine-fed (pinned) stage reappears as a
+        // plain decoupled producer chain with full merge/split/depth
+        // freedom. TMA demotion is a partition decision here, priced
+        // by the same model — the tune loop exploits this when the
+        // measured stalls say the engine, not the warps, is the slow
+        // side. Strictly-better-only, so the TMA family wins ties.
+        if (opts.emitTma) {
+            CompileOptions alt = opts;
+            alt.emitTma = false;
+            ex_no_tma = std::make_unique<Extraction>(input, alt);
+            StagePartition alt_plan = heuristicPartition(*ex_no_tma);
+            isa::Program alt_prog;
+            if (alt_plan.numStages > 1 &&
+                emitPartitioned(*ex_no_tma, alt_plan, alt_prog) &&
+                verifyProgram(alt_prog).ok()) {
+                int alt_candidates = 0;
+                double alt_cycles = scoreProgram(alt_prog, ctx, hints);
+                Candidate alt_seed{alt_plan, std::move(alt_prog),
+                                   alt_cycles, alt_plan.key()};
+                Candidate alt_best = searchPartitions(
+                    *ex_no_tma, alt, ctx, hints, std::move(alt_seed),
+                    &alt_candidates);
+                result.report.searchCandidates += alt_candidates;
+                if (alt_best.cycles + 1e-9 < chosen.cycles) {
+                    chosen = std::move(alt_best);
+                    chosen_ex = ex_no_tma.get();
+                }
+            }
+        }
+    }
+
+    result.program = std::move(chosen.prog);
+    result.report.transformed = true;
+    result.report = reportWith(*chosen_ex, chosen.plan, result.report);
+    result.report.strategy = opts.strategy;
+    result.report.plan = chosen.plan.summary(*chosen_ex);
+    // Hard post-pass gate: a transformed program must prove itself
+    // deadlock-free and resource-legal before anyone runs it.
+    VerifyResult vr = verifyProgram(result.program);
+    if (!vr.ok())
+        result.report.verified = false;
+    for (const auto &d : vr.diags) {
+        result.report.notes.push_back(
+            "verify: " + renderDiagnostic(result.program, d));
+    }
+    attachPerf(result);
+    return result;
+}
+
+CompileResult
 warpSpecialize(const isa::Program &input, const CompileOptions &opts)
 {
-    CompileResult result = Compiler(input, opts).run();
-    // Compile-time performance prediction on the default machine; the
-    // harness re-runs this with the real GpuConfig and launch facts.
-    result.report.perf =
-        analyzeProgram(result.program, MachineModel{}, LaunchInfo{});
-    return result;
+    return warpSpecialize(input, opts, CompileContext{});
 }
 
 } // namespace wasp::compiler

@@ -34,6 +34,19 @@
 namespace wasp::compiler
 {
 
+/**
+ * How the middle end chooses the stage partition (partition.hh).
+ * Heuristic is the paper's fixed indirection-level merge; Search
+ * explores legal merges/splits and queue-depth ladders around it,
+ * scoring candidates with the static performance model and keeping
+ * the minimum predicted cycles.
+ */
+enum class PartitionStrategy : uint8_t
+{
+    Heuristic = 0,
+    Search = 1,
+};
+
 struct CompileOptions
 {
     /** Transform coarse-grained tile transfers (LDGSTS + barriers). */
@@ -46,6 +59,29 @@ struct CompileOptions
     bool doubleBuffer = true;
     int maxStages = 16;
     int queueEntries = 32;
+    /** Stage-partition selection strategy. */
+    PartitionStrategy strategy = PartitionStrategy::Heuristic;
+    /** Search: candidate plans kept per refinement round. */
+    int searchBeam = 8;
+    /** Search: measured-stall feedback corrections folded into every
+     * candidate's cost (neutral by default; set by `wasp-cli tune`). */
+    RateCorrections feedback;
+};
+
+/**
+ * Ambient facts the compiler scores candidate partitions against:
+ * the machine the program will run on and its launch shape. The
+ * defaults mirror warpSpecialize's historical behaviour (default
+ * MachineModel, no launch facts); the harness passes the real
+ * GpuConfig-derived model so search decisions and simulations always
+ * describe the same machine.
+ */
+struct CompileContext
+{
+    MachineModel machine;
+    LaunchInfo launch;
+    /** Measured trip hints forwarded to candidate scoring. */
+    TripHints tripHints;
 };
 
 struct CompileReport
@@ -73,6 +109,13 @@ struct CompileReport
      * compile time, next to the verify result.
      */
     PerfPrediction perf;
+    /** Strategy that produced the emitted program. */
+    PartitionStrategy strategy = PartitionStrategy::Heuristic;
+    /** Chosen stage partition, one token per stage ("s0:ldg@8,ldg@8"
+     * style; see StagePartition::summary). Empty when untransformed. */
+    std::string plan;
+    /** Search: legal candidates scored (0 for Heuristic compiles). */
+    int searchCandidates = 0;
     std::vector<std::string> notes;
 };
 
@@ -89,6 +132,16 @@ struct CompileResult
  */
 CompileResult warpSpecialize(const isa::Program &input,
                              const CompileOptions &opts);
+
+/**
+ * As above, with an explicit machine/launch context: candidate
+ * partitions (strategy == Search) are scored against `ctx`, and the
+ * report's compile-time prediction is computed on it. The two-argument
+ * overload forwards a default context.
+ */
+CompileResult warpSpecialize(const isa::Program &input,
+                             const CompileOptions &opts,
+                             const CompileContext &ctx);
 
 } // namespace wasp::compiler
 

@@ -96,6 +96,14 @@ cellCacheKey(const ConfigSpec &spec, const workloads::BenchmarkDef &bench)
     s.io(copts.doubleBuffer);
     s.io(copts.maxStages);
     s.io(copts.queueEntries);
+    // Partition-search knobs: a different strategy or feedback state
+    // compiles a different program, so they are cache identity too.
+    int strategy = static_cast<int>(copts.strategy);
+    s.io(strategy);
+    s.io(copts.searchBeam);
+    s.io(copts.feedback.producerPenalty);
+    s.io(copts.feedback.consumerPenalty);
+    s.io(copts.feedback.chainScale);
     uint64_t seed = taskSeed(spec.name, bench.name);
     s.io(seed);
     std::string bname = bench.name;

@@ -55,8 +55,13 @@ runKernel(const ConfigSpec &spec, workloads::BuiltKernel &k,
         copts.tile = true;
     }
     if (transform) {
+        // Score candidate partitions (strategy == Search) against the
+        // machine the kernel will actually run on, not the default.
+        compiler::CompileContext cctx;
+        cctx.machine = machineModel(spec.gpu);
+        cctx.launch = {k.grid, k.params};
         compiler::CompileResult cr =
-            compiler::warpSpecialize(k.prog, copts);
+            compiler::warpSpecialize(k.prog, copts, cctx);
         if (cr.report.transformed && !cr.report.verified) {
             // The static verifier found a deadlock or resource error in
             // the emitted pipeline: never run it, keep the original.

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Schema and acceptance check for the committed BENCH_autotune.json.
+
+The autotune baseline (tools/run_tune.sh) is tracked in git so drift
+in the partition search's effectiveness shows up as a reviewable diff.
+This check pins what every regeneration must preserve:
+
+ - the canonical schema: per-benchmark heuristic / searched / tuned
+   rounds each carrying spec, predicted and measured cycles, queue
+   stall shares, plan and correction state, plus the suite summary;
+ - the acceptance floor: the search improves predicted cycles on at
+   least 5 of the 20 benchmarks, and some tune round reduces the
+   measured queue-empty+queue-full share on 3d_unet.
+"""
+
+import json
+import sys
+
+ROUND_KEYS = {
+    "spec", "predictedCycles", "outcome", "measuredCycles",
+    "queueEmptyShare", "queueFullShare", "scoreboardShare", "plan",
+}
+
+
+def fail(msg):
+    print("autotune-baseline: FAIL %s" % msg)
+    sys.exit(1)
+
+
+def check_round(bench, key, r):
+    missing = ROUND_KEYS - set(r)
+    if missing:
+        fail("%s.%s missing keys %s" % (bench, key, sorted(missing)))
+    for share in ("queueEmptyShare", "queueFullShare",
+                  "scoreboardShare"):
+        if not 0.0 <= r[share] <= 1.0:
+            fail("%s.%s.%s=%r out of [0,1]" % (bench, key, share,
+                                               r[share]))
+    # searchCandidates appears on search-strategy rounds, corrections
+    # once the feedback state is non-neutral; both are optional but
+    # must be well-formed when present.
+    corr = r.get("corrections")
+    if corr is not None:
+        for k in ("producerPenalty", "consumerPenalty", "chainScale"):
+            if k not in corr:
+                fail("%s.%s.corrections missing %s" % (bench, key, k))
+
+
+def main(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "autotune":
+        fail("bench key is %r, want 'autotune'" % doc.get("bench"))
+    results = doc.get("results", [])
+    if len(results) != 20:
+        fail("expected 20 benchmark results, got %d" % len(results))
+
+    for r in results:
+        bench = r.get("benchmark", "?")
+        for key in ("heuristic", "searched", "tuned"):
+            if key not in r:
+                fail("%s missing %s round" % (bench, key))
+            check_round(bench, key, r[key])
+        for i, tr in enumerate(r.get("rounds", [])):
+            check_round(bench, "rounds[%d]" % i, tr["round"])
+        for key in ("tunedRound", "converged", "predictedImproved",
+                    "measuredImproved", "stallShareReduced"):
+            if key not in r:
+                fail("%s missing %s" % (bench, key))
+        # The tuned pick may never regress: it includes the heuristic
+        # baseline as a candidate by construction.
+        if (r["heuristic"]["outcome"] == "ok"
+                and r["tuned"]["outcome"] == "ok"
+                and r["tuned"]["measuredCycles"]
+                > r["heuristic"]["measuredCycles"] + 1e-6):
+            fail("%s tuned (%r) measured worse than heuristic (%r)"
+                 % (bench, r["tuned"]["measuredCycles"],
+                    r["heuristic"]["measuredCycles"]))
+
+    summary = doc.get("summary", {})
+    if summary.get("predictedImproved", 0) < 5:
+        fail("predictedImproved %r < 5"
+             % summary.get("predictedImproved"))
+    unet = next((r for r in results if r["benchmark"] == "3d_unet"),
+                None)
+    if unet is None:
+        fail("3d_unet missing from results")
+    if not unet["stallShareReduced"]:
+        fail("3d_unet queue stall share not reduced")
+
+    print("autotune-baseline: OK (%d benchmarks, predicted improved "
+          "%d, stall share reduced %d)"
+          % (len(results), summary["predictedImproved"],
+             summary["stallShareReduced"]))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1])

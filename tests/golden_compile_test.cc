@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Golden-disassembly gate for the extract/partition/emit refactor.
+ *
+ * The Heuristic partition strategy must emit byte-identical programs
+ * to the pre-refactor monolithic compiler. The committed fixture
+ * (tests/golden/waspc_heuristic.txt) was generated from the compiler
+ * as it stood before waspc.cc was split; this test recompiles every
+ * benchmark kernel under all 16 {tile, streamGather, emitTma,
+ * doubleBuffer} combinations and compares an FNV-1a hash of the
+ * disassembly against the fixture, so any behavioural drift in the
+ * refactored pipeline shows up as a named (bench/kernel, option-bits)
+ * mismatch instead of a silent output change.
+ *
+ * Regeneration (only legitimate when intentionally changing emitted
+ * code): WASP_GOLDEN_REGEN=/path/to/out.txt ctest -R GoldenDisasm
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "compiler/waspc.hh"
+#include "isa/program.hh"
+#include "mem/global_memory.hh"
+#include "workloads/benchmarks.hh"
+
+namespace
+{
+
+using namespace wasp;
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** "bench/kernel bits" -> hash-of-disassembly for the whole sweep. */
+std::map<std::string, std::string>
+currentHashes()
+{
+    std::map<std::string, std::string> out;
+    for (const auto &bench : workloads::suite()) {
+        for (const auto &mix : bench.kernels) {
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            for (int bits = 0; bits < 16; ++bits) {
+                compiler::CompileOptions copts;
+                copts.tile = bits & 1;
+                copts.streamGather = bits & 2;
+                copts.emitTma = bits & 4;
+                copts.doubleBuffer = bits & 8;
+                compiler::CompileResult cr =
+                    compiler::warpSpecialize(k.prog, copts);
+                std::string key = bench.name + "/" + mix.label + " " +
+                                  std::to_string(bits);
+                out[key] = hex(fnv1a(isa::disassemble(cr.program)));
+            }
+        }
+    }
+    return out;
+}
+
+std::map<std::string, std::string>
+loadFixture(const std::string &path)
+{
+    std::map<std::string, std::string> out;
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        // "<bench/kernel> <bits> <hash>": hash is the last field.
+        auto pos = line.rfind(' ');
+        if (pos == std::string::npos)
+            continue;
+        out[line.substr(0, pos)] = line.substr(pos + 1);
+    }
+    return out;
+}
+
+TEST(GoldenDisasm, HeuristicMatchesPreRefactorCompiler)
+{
+    std::map<std::string, std::string> cur = currentHashes();
+
+    if (const char *regen = std::getenv("WASP_GOLDEN_REGEN")) {
+        std::ofstream out(regen);
+        out << "# Golden disassembly hashes: FNV-1a over "
+               "disassemble(warpSpecialize(prog, opts).program)\n"
+            << "# key = <bench>/<kernel> <option bits "
+               "tile|streamGather<<1|emitTma<<2|doubleBuffer<<3>\n";
+        for (const auto &[key, hash] : cur)
+            out << key << " " << hash << "\n";
+        ASSERT_TRUE(out.good()) << "failed writing " << regen;
+        GTEST_SKIP() << "regenerated fixture at " << regen;
+    }
+
+    std::map<std::string, std::string> want = loadFixture(WASP_GOLDEN_FILE);
+    ASSERT_FALSE(want.empty())
+        << "missing or empty fixture " << WASP_GOLDEN_FILE;
+    ASSERT_EQ(want.size(), cur.size())
+        << "sweep shape changed: fixture has " << want.size()
+        << " entries, current compiler produced " << cur.size();
+    int mismatches = 0;
+    for (const auto &[key, hash] : want) {
+        auto it = cur.find(key);
+        ASSERT_NE(it, cur.end()) << "missing sweep cell " << key;
+        if (it->second != hash) {
+            ++mismatches;
+            ADD_FAILURE() << key << ": emitted program changed (golden "
+                          << hash << ", got " << it->second << ")";
+        }
+    }
+    EXPECT_EQ(mismatches, 0)
+        << mismatches << " of " << want.size()
+        << " (benchmark-kernel, option-set) cells drifted from the "
+           "pre-refactor compiler output";
+}
+
+} // namespace

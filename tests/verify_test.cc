@@ -142,6 +142,39 @@ TEST(WarningFixtures, QueueDeeperThanMaxInflightPushes)
                               "queue.oversized"));
 }
 
+// Steady-state depth bounds (rate_graph.hh depthServiceFloor): a
+// 2-entry queue against a ~129-cycle refill throttles its producer,
+// and a 128-entry one can never be filled past ~26 — each fixture
+// seeds exactly one of the two, and neither may read as the other.
+TEST(WarningFixtures, QueueTooShallowForFillLatency)
+{
+    VerifyResult vr = lintFixture("warn_undersized_queue.wsass");
+    EXPECT_TRUE(hasWarningId(vr, "queue.undersized")) << idList(vr);
+    EXPECT_EQ(vr.errors(), 0) << idList(vr);
+    EXPECT_FALSE(hasWarningId(vr, "queue.oversized-steady"))
+        << idList(vr);
+}
+
+TEST(WarningFixtures, QueueDeeperThanSteadyStateNeeds)
+{
+    VerifyResult vr = lintFixture("warn_oversized_steady.wsass");
+    EXPECT_TRUE(hasWarningId(vr, "queue.oversized-steady"))
+        << idList(vr);
+    EXPECT_EQ(vr.errors(), 0) << idList(vr);
+    EXPECT_FALSE(hasWarningId(vr, "queue.undersized")) << idList(vr);
+    // The straight-line oversized check must not double-report a
+    // loop-resident producer.
+    EXPECT_FALSE(hasWarningId(vr, "queue.oversized")) << idList(vr);
+    // A sane depth between the two bounds stays silent: the
+    // runtime-deadlock fixture's 16-entry queue with the same loop
+    // shape trips neither.
+    VerifyResult sane = lintFixture("runtime_deadlock.wsass");
+    EXPECT_FALSE(hasWarningId(sane, "queue.undersized"))
+        << idList(sane);
+    EXPECT_FALSE(hasWarningId(sane, "queue.oversized-steady"))
+        << idList(sane);
+}
+
 // Each fixture seeds exactly one defect; the ids must not bleed into
 // one another (e.g. a queue cycle must not also read as a rate bug).
 TEST(BrokenFixtures, DiagnosticsAreSpecific)

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
-# Build the tree with ThreadSanitizer and run the fault-injection test
-# label. The `fault` label covers the watchdog/fault-injection suite
-# plus the parallel runMatrix isolation tests, which is exactly where a
-# data race between worker threads would corrupt a cell's diagnosis.
+# Build the tree with ThreadSanitizer and run the fault-injection and
+# autotune test labels. The `fault` label covers the
+# watchdog/fault-injection suite plus the parallel runMatrix isolation
+# tests, which is exactly where a data race between worker threads
+# would corrupt a cell's diagnosis; the `tune` label drives the same
+# parallel matrix through the stall-feedback autotune loop (including
+# its -j1 vs -j4 byte-identity drill).
 #
 #   ./tools/run_fault_tsan.sh [build-dir] [extra ctest args...]
 #
@@ -21,4 +24,4 @@ cmake -B "$build_dir" -S . -DWASP_SANITIZE=thread \
 cmake --build "$build_dir" -j "$(nproc)" --target fault_test wasp-cli
 
 cd "$build_dir"
-exec ctest -L fault --output-on-failure "$@"
+exec ctest -L "fault|tune" --output-on-failure "$@"

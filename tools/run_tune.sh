@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Stall-feedback autotune baseline for the full Table II suite.
+#
+# Wraps `wasp-cli tune --all` (compile -> simulate -> fold measured
+# stall shares back into the cost model -> re-search, DESIGN.md §13),
+# stamps the git sha and host, and writes BENCH_autotune.json at the
+# repo root: per benchmark the heuristic / searched / per-round tuned
+# results (measured cycles, queue-empty+queue-full shares, chosen
+# plans, correction state) plus the suite summary. Tracked in git, it
+# makes drift in the partition search's effectiveness a reviewable
+# diff, the same way BENCH_predicted_stalls.json tracks the static
+# model's accuracy.
+#
+# Exits non-zero if the acceptance floor regresses: the search must
+# improve predicted cycles on at least 5 benchmarks and some tune
+# round must reduce the measured queue-empty+queue-full share on
+# 3d_unet.
+#
+# Usage: tools/run_tune.sh [output.json]
+# Env:   BUILD_DIR (default: build), JOBS (default: nproc),
+#        ROUNDS (default: 3)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+JOBS=${JOBS:-$(nproc)}
+ROUNDS=${ROUNDS:-3}
+OUT=${1:-BENCH_autotune.json}
+CLI="$BUILD_DIR/tools/wasp-cli"
+[ -x "$CLI" ] || { echo "error: $CLI not built" >&2; exit 1; }
+
+SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+HOST="$(uname -srm), $(nproc) cpu"
+
+RAW=/tmp/autotune.$$.json
+trap 'rm -f "$RAW"' EXIT
+
+"$CLI" tune --all --rounds "$ROUNDS" --json -j "$JOBS" -o "$RAW"
+
+python3 - "$RAW" "$OUT" "$SHA" "$HOST" <<'EOF'
+import json, sys
+raw = json.load(open(sys.argv[1]))
+raw["git_sha"] = sys.argv[3]
+raw["host"] = sys.argv[4]
+with open(sys.argv[2], "w") as f:
+    json.dump(raw, f, indent=2)
+    f.write("\n")
+
+summary = raw["summary"]
+unet = next(r for r in raw["results"] if r["benchmark"] == "3d_unet")
+ok = True
+if summary["predictedImproved"] < 5:
+    print("autotune: FAIL predictedImproved %d < 5"
+          % summary["predictedImproved"], file=sys.stderr)
+    ok = False
+if not unet["stallShareReduced"]:
+    print("autotune: FAIL 3d_unet queue stall share not reduced",
+          file=sys.stderr)
+    ok = False
+if not ok:
+    sys.exit(1)
+print("autotune: OK (predicted improved %d/%d, measured improved %d, "
+      "stall share reduced %d)"
+      % (summary["predictedImproved"], summary["benchmarks"],
+         summary["measuredImproved"], summary["stallShareReduced"]),
+      file=sys.stderr)
+EOF
+
+echo "wrote $OUT" >&2

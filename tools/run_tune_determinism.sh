@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Determinism drill for the partition-search autotune loop: the same
+# `wasp-cli tune` invocation must produce byte-identical JSON on one
+# worker thread and on four. The tune loop's search (beam over
+# partition plans and queue-depth ladders, two extraction families)
+# breaks ties on canonical plan keys and the matrix runner emits cells
+# in canonical order, so parallelism must never leak into the report
+# — the same property run_crash_recovery.sh pins for the durable
+# matrix.
+#
+#   ./tools/run_tune_determinism.sh [build-dir] [benchmark] [rounds]
+#
+# Exits 0 when the two reports are byte-identical.
+set -eu
+
+build_dir="${1:-build}"
+bench="${2:-3d_unet}"
+rounds="${3:-2}"
+
+cd "$(dirname "$0")/.."
+cli="$build_dir/tools/wasp-cli"
+[ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
+
+a="/tmp/tune_det_a.$$.json"
+b="/tmp/tune_det_b.$$.json"
+trap 'rm -f "$a" "$b"' EXIT
+
+"$cli" tune "$bench" --rounds "$rounds" --json -j 1 -o "$a"
+"$cli" tune "$bench" --rounds "$rounds" --json -j 4 -o "$b"
+
+if ! cmp -s "$a" "$b"; then
+    echo "tune-determinism: FAIL ($bench: -j1 and -j4 reports differ)" >&2
+    diff "$a" "$b" >&2 || true
+    exit 1
+fi
+echo "tune-determinism: OK ($bench, $rounds round(s))"
