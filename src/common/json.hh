@@ -20,6 +20,54 @@
 namespace wasp
 {
 
+/**
+ * Append `s` to `out` as a quoted JSON string literal. The one escaping
+ * routine shared by JsonWriter, the TraceSink exporter, and the
+ * telemetry ledger — exporters must not grow private copies that can
+ * drift on edge cases (control characters, backslashes).
+ */
+inline void
+jsonAppendEscaped(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/**
+ * Append the canonical JSON rendering of a double: round-trippable
+ * %.17g, with non-finite values mapped to null (JSON has no NaN/Inf).
+ * Shared by every exporter for byte-stable output across runs.
+ */
+inline void
+jsonAppendNumber(std::string &out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
 class JsonWriter
 {
   public:
@@ -89,13 +137,7 @@ class JsonWriter
     value(double v)
     {
         preValue();
-        if (!std::isfinite(v)) {
-            out_ += "null";
-            return *this;
-        }
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.17g", v);
-        out_ += buf;
+        jsonAppendNumber(out_, v);
         return *this;
     }
     JsonWriter &
@@ -150,30 +192,7 @@ class JsonWriter
         else
             separate();
     }
-    void
-    appendString(std::string_view s)
-    {
-        out_ += '"';
-        for (char c : s) {
-            switch (c) {
-              case '"': out_ += "\\\""; break;
-              case '\\': out_ += "\\\\"; break;
-              case '\n': out_ += "\\n"; break;
-              case '\r': out_ += "\\r"; break;
-              case '\t': out_ += "\\t"; break;
-              default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x",
-                                  static_cast<unsigned char>(c));
-                    out_ += buf;
-                } else {
-                    out_ += c;
-                }
-            }
-        }
-        out_ += '"';
-    }
+    void appendString(std::string_view s) { jsonAppendEscaped(out_, s); }
 
     std::string out_;
     std::vector<bool> first_;

@@ -222,4 +222,53 @@ readFileBytes(const std::string &path, std::string *out, std::string *err)
     return ok;
 }
 
+bool
+appendFileLine(const std::string &path, std::string_view line,
+               std::string *err)
+{
+    std::string rec(line);
+    if (!rec.empty() && rec.back() != '\n')
+        rec += '\n';
+#ifdef __unix__
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        if (err)
+            *err = strprintf("open(%s): %s", path.c_str(),
+                             std::strerror(errno));
+        return false;
+    }
+    // One write per record: O_APPEND makes the seek+write atomic with
+    // respect to other appenders, so records never interleave
+    // mid-line. EINTR before any byte lands is the only retry case
+    // that preserves that guarantee; a short write is reported.
+    ssize_t n;
+    do {
+        n = ::write(fd, rec.data(), rec.size());
+    } while (n < 0 && errno == EINTR);
+    bool ok = n == static_cast<ssize_t>(rec.size());
+    if (!ok && err)
+        *err = strprintf("write(%s): %s", path.c_str(),
+                         n < 0 ? std::strerror(errno) : "short write");
+    if (::close(fd) != 0 && ok) {
+        ok = false;
+        if (err)
+            *err = strprintf("close(%s): %s", path.c_str(),
+                             std::strerror(errno));
+    }
+    return ok;
+#else
+    std::FILE *f = std::fopen(path.c_str(), "ab");
+    if (!f) {
+        if (err)
+            *err = strprintf("fopen(%s) failed", path.c_str());
+        return false;
+    }
+    bool ok = std::fwrite(rec.data(), 1, rec.size(), f) == rec.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok && err)
+        *err = strprintf("append to %s failed", path.c_str());
+    return ok;
+#endif
+}
+
 } // namespace wasp

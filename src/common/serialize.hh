@@ -441,6 +441,19 @@ bool writeFileAtomic(const std::string &path, std::string_view data,
 bool readFileBytes(const std::string &path, std::string *out,
                    std::string *err);
 
+/**
+ * Append one record to an append-only log (the telemetry run ledger).
+ * An empty `line` only creates the file (no bytes written) — the
+ * "touch" used when a ledger is opened. Otherwise a trailing newline
+ * is added if `line` lacks one and the record is
+ * pushed with a single write(2) on an O_APPEND descriptor, so
+ * concurrent appenders interleave at line granularity — a reader sees
+ * whole lines, never spliced halves. Returns false (with *err set) on
+ * I/O failure.
+ */
+bool appendFileLine(const std::string &path, std::string_view line,
+                    std::string *err);
+
 } // namespace wasp
 
 #endif // WASP_COMMON_SERIALIZE_HH

@@ -1,0 +1,343 @@
+#include "common/telemetry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "common/json.hh"
+#include "common/serialize.hh"
+#include "common/trace.hh"
+
+namespace wasp::telem
+{
+
+namespace
+{
+
+/**
+ * Completed spans for one recording thread. The owning thread appends
+ * under `mu`, which is uncontended except while an exporter harvests —
+ * recording never takes a process-wide lock. The open-span stack is
+ * touched only by the owner, so it needs no lock at all.
+ */
+struct ThreadBuf
+{
+    std::mutex mu;
+    std::vector<SpanRecord> spans; ///< completed, owner-appended
+    std::vector<uint64_t> stack;   ///< open span ids (owner only)
+    int tid = 0;
+};
+
+struct Registry
+{
+    std::mutex mu; ///< guards buffers list, metrics, gauges
+    std::vector<std::unique_ptr<ThreadBuf>> buffers;
+    StatGroup stats;
+    std::map<std::string, double> gauges;
+
+    std::mutex ledger_mu;
+    std::string ledger_path; ///< empty = closed
+    uint64_t ledger_seq = 0;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+ThreadBuf &
+threadBuf()
+{
+    thread_local ThreadBuf *buf = nullptr;
+    if (!buf) {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mu);
+        r.buffers.push_back(std::make_unique<ThreadBuf>());
+        buf = r.buffers.back().get();
+        buf->tid = static_cast<int>(r.buffers.size()) - 1;
+    }
+    return *buf;
+}
+
+void
+appendAttrs(std::string &out, const std::vector<Attr> &attrs)
+{
+    for (const Attr &a : attrs) {
+        out += ',';
+        jsonAppendEscaped(out, a.key);
+        out += ':';
+        out += a.json;
+    }
+}
+
+} // namespace
+
+Attr::Attr(const char *k, std::string_view v) : key(k)
+{
+    jsonAppendEscaped(json, v);
+}
+Attr::Attr(const char *k, const char *v) : Attr(k, std::string_view(v)) {}
+Attr::Attr(const char *k, double v) : key(k) { jsonAppendNumber(json, v); }
+Attr::Attr(const char *k, uint64_t v) : key(k), json(std::to_string(v)) {}
+Attr::Attr(const char *k, int v) : key(k), json(std::to_string(v)) {}
+Attr::Attr(const char *k, bool v) : key(k), json(v ? "true" : "false") {}
+
+namespace detail
+{
+
+std::atomic<bool> g_enabled{false};
+
+uint64_t
+nowNs()
+{
+    // One process-wide epoch so span timestamps from different threads
+    // share an origin. The epoch is pinned on first use and never
+    // moves across enable/disable cycles.
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             epoch)
+            .count());
+}
+
+uint64_t
+beginSpanSlow(const char *name)
+{
+    (void)name;
+    uint64_t id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+    threadBuf().stack.push_back(id);
+    return id;
+}
+
+void
+endSpanSlow(uint64_t id, const char *name, uint64_t begin_ns,
+            std::vector<Attr> &&attrs)
+{
+    ThreadBuf &buf = threadBuf();
+    // Scoped construction guarantees LIFO destruction, so this span is
+    // the top of the thread's open stack; its parent is the next entry
+    // down.
+    if (!buf.stack.empty() && buf.stack.back() == id)
+        buf.stack.pop_back();
+    SpanRecord rec;
+    rec.id = id;
+    rec.parent = buf.stack.empty() ? 0 : buf.stack.back();
+    rec.tid = buf.tid;
+    rec.beginNs = begin_ns;
+    rec.endNs = nowNs();
+    rec.name = name;
+    rec.attrs = std::move(attrs);
+    std::lock_guard<std::mutex> lock(buf.mu);
+    buf.spans.push_back(std::move(rec));
+}
+
+} // namespace detail
+
+void
+enable(bool on)
+{
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+openLedger(const std::string &path, std::string *err)
+{
+    // Touch the file up front so an empty run still leaves a ledger
+    // and open errors surface at setup time, not mid-run.
+    if (!appendFileLine(path, std::string_view("", 0), err))
+        return false;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.ledger_mu);
+    r.ledger_path = path;
+    enable(true);
+    return true;
+}
+
+void
+closeLedger()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.ledger_mu);
+    r.ledger_path.clear();
+}
+
+void
+event(const char *type, const std::vector<Attr> &attrs)
+{
+    if (!enabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.ledger_mu);
+    if (r.ledger_path.empty())
+        return;
+    uint64_t wall_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    std::string line = "{\"seq\":";
+    line += std::to_string(r.ledger_seq++);
+    line += ",\"wallMs\":";
+    line += std::to_string(wall_ms);
+    line += ",\"type\":";
+    jsonAppendEscaped(line, type);
+    appendAttrs(line, attrs);
+    line += '}';
+    // Best-effort: a full disk must not abort a multi-hour sweep, and
+    // every line is a single O_APPEND write so concurrent cells never
+    // interleave mid-record.
+    appendFileLine(r.ledger_path, line, nullptr);
+}
+
+void
+event(const char *type, std::initializer_list<Attr> attrs)
+{
+    if (!enabled())
+        return;
+    event(type, std::vector<Attr>(attrs));
+}
+
+void
+counterAdd(std::string_view name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.stats.counter(std::string(name)) += delta;
+}
+
+void
+gaugeSet(std::string_view name, double value)
+{
+    if (!enabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.gauges[std::string(name)] = value;
+}
+
+void
+sampleValue(std::string_view name, uint64_t value)
+{
+    if (!enabled())
+        return;
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.stats.distribution(std::string(name)).sample(value);
+}
+
+MetricsSnapshot
+metricsSnapshot()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    MetricsSnapshot snap;
+    snap.stats = r.stats;
+    snap.gauges.assign(r.gauges.begin(), r.gauges.end());
+    return snap;
+}
+
+std::vector<SpanRecord>
+harvestSpans()
+{
+    Registry &r = registry();
+    std::vector<ThreadBuf *> bufs;
+    {
+        std::lock_guard<std::mutex> lock(r.mu);
+        for (auto &b : r.buffers)
+            bufs.push_back(b.get());
+    }
+    std::vector<SpanRecord> out;
+    for (ThreadBuf *b : bufs) {
+        std::lock_guard<std::mutex> lock(b->mu);
+        out.insert(out.end(), b->spans.begin(), b->spans.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.beginNs != b.beginNs)
+                      return a.beginNs < b.beginNs;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::string
+metricsJson()
+{
+    MetricsSnapshot snap = metricsSnapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : snap.stats.all())
+        w.key(name).value(c.value());
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, v] : snap.gauges)
+        w.key(name).value(v);
+    w.endObject();
+    w.key("distributions").beginObject();
+    for (const auto &[name, d] : snap.stats.dists()) {
+        w.key(name).beginObject();
+        w.key("count").value(d.count());
+        w.key("sum").value(d.sum());
+        w.key("min").value(d.min());
+        w.key("max").value(d.max());
+        w.key("mean").value(d.mean());
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+void
+exportChromeTrace(TraceSink &sink)
+{
+    std::vector<SpanRecord> spans = harvestSpans();
+    sink.processName(0, "wasp toolchain");
+    int last_tid = -1;
+    for (const SpanRecord &s : spans) {
+        if (s.tid != last_tid) {
+            sink.threadName(0, s.tid, "thread-" + std::to_string(s.tid));
+            last_tid = s.tid;
+        }
+        std::string args = "{\"span\":" + std::to_string(s.id) +
+                           ",\"parent\":" + std::to_string(s.parent);
+        appendAttrs(args, s.attrs);
+        args += '}';
+        // Chrome trace timestamps are microseconds.
+        sink.complete(0, s.tid, s.name, "telem", s.beginNs / 1000,
+                      (s.endNs - s.beginNs) / 1000, std::move(args));
+    }
+}
+
+void
+resetForTest()
+{
+    enable(false);
+    closeLedger();
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (auto &b : r.buffers) {
+        std::lock_guard<std::mutex> bl(b->mu);
+        b->spans.clear();
+        // Open spans (live Span objects) keep their stack entries; a
+        // test must not reset while spans are in flight on any thread.
+    }
+    r.stats = StatGroup{};
+    r.gauges.clear();
+    {
+        std::lock_guard<std::mutex> ll(r.ledger_mu);
+        r.ledger_seq = 0;
+    }
+}
+
+} // namespace wasp::telem

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Process-wide toolchain telemetry: RAII wall-clock spans, a named
+ * metrics registry, and an append-only JSONL run ledger.
+ *
+ * The simulator made *simulated* time observable (StallReason buckets,
+ * RunStats, Chrome traces); this layer does the same for the wall-clock
+ * of the toolchain around it — compiler passes, search rounds, matrix
+ * cells, cache lookups — so long sweeps and the future sim-as-a-service
+ * daemon can be operated, not just trusted.
+ *
+ * Contracts (DESIGN.md §14):
+ *  - Off by default, and off is free: every recording call starts with
+ *    one relaxed atomic load; no allocation, no locking, no clock read.
+ *    tests/perf_smoke_test.cc enforces this the same way it does for
+ *    TraceSink.
+ *  - Enabling never perturbs simulation results: telemetry only reads
+ *    wall clocks and its own state, so RunStats stays bit-identical
+ *    with telemetry on vs off (guardrail in tests/telemetry_test.cc).
+ *  - Recording is contention-free across threads: spans land in a
+ *    per-thread buffer owned by the recording thread; the per-buffer
+ *    lock is uncontended except while an exporter harvests.
+ *
+ * Naming scheme: dot-separated lowercase paths, subsystem first —
+ * "compile.search.round", "matrix.cell", "sim.run", "cache.hit". The
+ * ledger mirrors span names for its event types plus job lifecycle
+ * verbs: "job.submitted", "job.cached", "job.failed", "job.budget".
+ */
+
+#ifndef WASP_COMMON_TELEMETRY_HH
+#define WASP_COMMON_TELEMETRY_HH
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace wasp
+{
+class TraceSink;
+}
+
+namespace wasp::telem
+{
+
+/**
+ * One key plus a pre-rendered JSON value fragment. Pre-rendering at
+ * record time (through the shared json.hh helpers) means exporters
+ * splice attributes verbatim and cannot re-escape inconsistently.
+ */
+struct Attr
+{
+    Attr(const char *k, std::string_view v);
+    Attr(const char *k, const char *v);
+    Attr(const char *k, double v);
+    Attr(const char *k, uint64_t v);
+    Attr(const char *k, int v);
+    Attr(const char *k, bool v);
+
+    std::string key;
+    std::string json; ///< rendered JSON value ("\"x\"", "3.5", "true")
+};
+
+/** A completed span as harvested from a thread buffer. */
+struct SpanRecord
+{
+    uint64_t id = 0;      ///< process-unique, allocated from 1
+    uint64_t parent = 0;  ///< enclosing span on the same thread, 0=root
+    int tid = 0;          ///< dense telemetry thread index
+    uint64_t beginNs = 0; ///< steady-clock ns since process epoch
+    uint64_t endNs = 0;
+    std::string name;
+    std::vector<Attr> attrs;
+};
+
+/** Snapshot of the metrics registry (counters share StatGroup). */
+struct MetricsSnapshot
+{
+    StatGroup stats; ///< counters + distributions, bit-exact merge
+    std::vector<std::pair<std::string, double>> gauges; ///< name-sorted
+};
+
+bool enabled();
+
+/** Turn recording on/off; off also stops ledger events. */
+void enable(bool on);
+
+/**
+ * Open the run ledger at `path` (append-only JSONL; the file is
+ * created if missing and never truncated). Implies enable(true).
+ * Returns false with *err on I/O failure.
+ */
+bool openLedger(const std::string &path, std::string *err);
+
+/** Stop writing ledger events (recording stays as-is). */
+void closeLedger();
+
+/**
+ * Append one event line to the run ledger: a JSON object with "seq"
+ * (per-process sequence number), "wallMs" (system clock), "type", and
+ * the given attributes. No-op unless a ledger is open and telemetry is
+ * enabled. Line ordering across threads is arbitrary; consumers must
+ * treat seq/wallMs as informational (the -j1 vs -j4 equivalence test
+ * compares ledgers modulo exactly these fields plus ordering).
+ */
+void event(const char *type, std::initializer_list<Attr> attrs);
+void event(const char *type, const std::vector<Attr> &attrs);
+
+/** Add to a named counter (created on first use). */
+void counterAdd(std::string_view name, uint64_t delta = 1);
+
+/** Set a named gauge to an instantaneous value (last write wins). */
+void gaugeSet(std::string_view name, double value);
+
+/** Sample a value into a named distribution (wasp::Distribution). */
+void sampleValue(std::string_view name, uint64_t value);
+
+/** Copy of the metrics registry (counters, gauges, distributions). */
+MetricsSnapshot metricsSnapshot();
+
+/** All completed spans, sorted by (tid, beginNs, id). */
+std::vector<SpanRecord> harvestSpans();
+
+/**
+ * Canonical JSON object for the metrics registry: {"counters":{...},
+ * "gauges":{...},"distributions":{name:{count,sum,min,max,mean}}},
+ * keys sorted, doubles via the shared %.17g helper. This is the
+ * fragment `wasp-cli matrix --telemetry --json-out` appends.
+ */
+std::string metricsJson();
+
+/**
+ * Export completed spans into `sink` as Chrome-trace complete events
+ * (one pid for the toolchain, one tid per recording thread), with span
+ * attributes as event args — the `wasp-cli trace --telemetry` path.
+ */
+void exportChromeTrace(TraceSink &sink);
+
+/** Drop all spans/metrics, close the ledger, disable. Tests only. */
+void resetForTest();
+
+namespace detail
+{
+extern std::atomic<bool> g_enabled;
+uint64_t beginSpanSlow(const char *name);
+void endSpanSlow(uint64_t id, const char *name, uint64_t begin_ns,
+                 std::vector<Attr> &&attrs);
+uint64_t nowNs();
+} // namespace detail
+
+inline bool
+enabled()
+{
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/**
+ * RAII span. Construction stamps the begin time and pushes onto the
+ * thread's parent stack; destruction pops and records the completed
+ * span into the thread buffer. When telemetry is disabled at
+ * construction the span is inert (id 0) and every member is a no-op.
+ * Spans are scope-local by design: not copyable, not movable, and
+ * must be destroyed in LIFO order per thread (guaranteed by scoping).
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name) : name_(name)
+    {
+        if (enabled()) {
+            begin_ns_ = detail::nowNs();
+            id_ = detail::beginSpanSlow(name);
+        }
+    }
+    Span(const char *name, std::initializer_list<Attr> attrs) : Span(name)
+    {
+        if (id_)
+            attrs_.insert(attrs_.end(), attrs.begin(), attrs.end());
+    }
+    ~Span()
+    {
+        if (id_)
+            detail::endSpanSlow(id_, name_, begin_ns_, std::move(attrs_));
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach an attribute computed after construction. */
+    template <typename V>
+    void
+    attr(const char *key, V value)
+    {
+        if (id_)
+            attrs_.emplace_back(key, value);
+    }
+
+    bool active() const { return id_ != 0; }
+
+  private:
+    const char *name_;
+    uint64_t id_ = 0;
+    uint64_t begin_ns_ = 0;
+    std::vector<Attr> attrs_;
+};
+
+} // namespace wasp::telem
+
+#define WASP_TELEM_CONCAT2(a, b) a##b
+#define WASP_TELEM_CONCAT(a, b) WASP_TELEM_CONCAT2(a, b)
+/** Scope-level span: TELEM_SPAN("compile.emit") or
+ *  TELEM_SPAN("matrix.cell", {{"benchmark", name}}). */
+#define TELEM_SPAN(...)                                                   \
+    ::wasp::telem::Span WASP_TELEM_CONCAT(telem_span_,                    \
+                                          __LINE__)(__VA_ARGS__)
+
+#endif // WASP_COMMON_TELEMETRY_HH

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.hh"
+#include "common/telemetry.hh"
 #include "compiler/emit.hh"
 #include "compiler/extract.hh"
 #include "compiler/partition.hh"
@@ -82,6 +83,9 @@ searchPartitions(const Extraction &ex, const CompileOptions &opts,
     beam.push_back(seed);
     Candidate best = std::move(seed);
     for (int round = 0; round < kMaxRounds; ++round) {
+        telem::Span round_span("compile.search.round");
+        round_span.attr("round", round);
+        int round_candidates = 0;
         std::vector<Candidate> pool = beam;
         for (const auto &b : beam) {
             for (auto &n : partitionNeighbors(ex, b.plan)) {
@@ -94,11 +98,14 @@ searchPartitions(const Extraction &ex, const CompileOptions &opts,
                 if (!verifyProgram(prog).ok())
                     continue;
                 ++candidates;
+                ++round_candidates;
+                telem::counterAdd("compile.search.scored");
                 double cycles = scoreProgram(prog, ctx, hints);
                 pool.push_back({std::move(n), std::move(prog), cycles,
                                 std::move(key)});
             }
         }
+        round_span.attr("candidates", round_candidates);
         std::sort(pool.begin(), pool.end(),
                   [](const Candidate &a, const Candidate &b) {
                       if (a.cycles != b.cycles)
@@ -123,6 +130,7 @@ CompileResult
 warpSpecialize(const isa::Program &input, const CompileOptions &opts,
                const CompileContext &ctx)
 {
+    telem::Span compile_span("compile.specialize");
     const AnalyzeHints hints{ctx.tripHints, opts.feedback};
     auto attachPerf = [&](CompileResult &r) {
         r.report.perf =
@@ -137,8 +145,16 @@ warpSpecialize(const isa::Program &input, const CompileOptions &opts,
         return result;
     }
 
-    Extraction ex(input, opts);
-    StagePartition plan = heuristicPartition(ex);
+    // Per-pass spans use immediately-invoked lambdas so each span's
+    // lifetime is exactly the pass it names.
+    Extraction ex = [&] {
+        TELEM_SPAN("compile.extract");
+        return Extraction(input, opts);
+    }();
+    StagePartition plan = [&] {
+        TELEM_SPAN("compile.partition");
+        return heuristicPartition(ex);
+    }();
     if (plan.numStages <= 1) {
         result.report.notes.push_back("no extractable loads");
         result.report = reportWith(ex, plan, result.report);
@@ -147,7 +163,11 @@ warpSpecialize(const isa::Program &input, const CompileOptions &opts,
     }
 
     isa::Program heuristic_prog;
-    if (!emitPartitioned(ex, plan, heuristic_prog)) {
+    bool emitted = [&] {
+        TELEM_SPAN("compile.emit");
+        return emitPartitioned(ex, plan, heuristic_prog);
+    }();
+    if (!emitted) {
         result.report.notes.push_back("emission bailed out; "
                                       "kernel left unchanged");
         attachPerf(result);
@@ -208,7 +228,11 @@ warpSpecialize(const isa::Program &input, const CompileOptions &opts,
     result.report.plan = chosen.plan.summary(*chosen_ex);
     // Hard post-pass gate: a transformed program must prove itself
     // deadlock-free and resource-legal before anyone runs it.
-    VerifyResult vr = verifyProgram(result.program);
+    VerifyResult vr = [&] {
+        TELEM_SPAN("compile.verify");
+        return verifyProgram(result.program);
+    }();
+    compile_span.attr("candidates", result.report.searchCandidates);
     if (!vr.ok())
         result.report.verified = false;
     for (const auto &d : vr.diags) {

@@ -177,8 +177,41 @@ MatrixReport::renderJson() const
             w.endObject();
         }
     }
-    w.endArray().endObject();
+    w.endArray();
+    if (cache_.used) {
+        w.key("cache").beginObject()
+            .key("hits").value(cache_.hits)
+            .key("misses").value(cache_.misses)
+            .key("quarantined").value(cache_.quarantined)
+            .endObject();
+    }
+    if (!telemetry_json_.empty())
+        w.key("telemetry").raw(telemetry_json_);
+    w.endObject();
     return w.str();
+}
+
+void
+MatrixReport::setCacheCounters(const CacheCounters &counters)
+{
+    cache_ = counters;
+}
+
+void
+MatrixReport::setTelemetryJson(std::string json)
+{
+    telemetry_json_ = std::move(json);
+}
+
+std::string
+MatrixReport::renderCacheFooter() const
+{
+    if (!cache_.used)
+        return "";
+    std::ostringstream os;
+    os << "cache: " << cache_.hits << " hits, " << cache_.misses
+       << " misses, " << cache_.quarantined << " quarantined\n";
+    return os.str();
 }
 
 Table::Table(std::vector<std::string> headers)

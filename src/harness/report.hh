@@ -84,15 +84,34 @@ class MatrixReport
      *               "stall": {reason: f64, ...},
      *               "diagnosis" (failed cells only)}, ...]}
      *
-     * Missing cells are skipped rather than emitted as placeholders.
+     * When cache counters were attached, a trailing
+     * `"cache": {"hits", "misses", "quarantined"}` object follows the
+     * cells; when a telemetry fragment was attached, it is spliced as
+     * `"telemetry": {...}`. Missing cells are skipped rather than
+     * emitted as placeholders.
      */
     std::string renderJson() const;
+
+    /** Attach this-run result-cache counters (renderJson + footer). */
+    void setCacheCounters(const CacheCounters &counters);
+
+    /** Attach a pre-rendered telemetry metrics JSON object. */
+    void setTelemetryJson(std::string json);
+
+    /**
+     * One-line cache summary for the matrix footer, e.g.
+     * "cache: 38 hits, 2 misses, 0 quarantined"; empty string when no
+     * cache counters were attached.
+     */
+    std::string renderCacheFooter() const;
 
   private:
     std::vector<std::string> apps_;
     std::vector<std::string> configs_;
     mutable std::mutex mu_;
     std::map<std::pair<std::string, std::string>, BenchResult> cells_;
+    CacheCounters cache_;
+    std::string telemetry_json_;
 };
 
 /** "1.47x" style formatting. */

@@ -1,13 +1,16 @@
 #include "harness/runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include <unistd.h>
 
 #include "common/log.hh"
+#include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "harness/result_cache.hh"
 
@@ -518,7 +521,28 @@ runMatrix(const std::vector<ConfigSpec> &specs,
     // needed on the results themselves. The cache is safe to share:
     // lookups/stores touch distinct per-key files.
     std::vector<BenchResult> results(specs.size() * apps.size());
-    parallelFor(opts.jobs, results.size(), [&](size_t i) {
+
+    // Telemetry + progress bookkeeping wraps the cell body from the
+    // outside: it observes results[i] after the fact and never feeds
+    // anything back into a cell, so results stay bit-identical with
+    // telemetry on or off and for any job count.
+    using MatrixClock = std::chrono::steady_clock;
+    const MatrixClock::time_point matrix_start = MatrixClock::now();
+    telem::Span matrix_span("matrix.run");
+    matrix_span.attr("cells", static_cast<uint64_t>(results.size()));
+    std::atomic<uint64_t> busy_us{0};
+    std::mutex progress_mu;
+    MatrixProgress progress;
+    progress.total = static_cast<int>(results.size());
+    if (telem::enabled()) {
+        for (size_t i = 0; i < results.size(); ++i) {
+            telem::event("job.submitted",
+                         {{"benchmark", apps[i % apps.size()]},
+                          {"config", specs[i / apps.size()].name}});
+        }
+    }
+
+    auto runCell = [&](size_t i) {
         size_t s = i / apps.size();
         size_t a = i % apps.size();
         const ConfigSpec &spec = specs[s];
@@ -638,7 +662,113 @@ runMatrix(const std::vector<ConfigSpec> &specs,
                                    "");
         }
         results[i].attempts = 2;
+    };
+
+    parallelFor(opts.jobs, results.size(), [&](size_t i) {
+        const std::string &app = apps[i % apps.size()];
+        const std::string &cfg = specs[i / apps.size()].name;
+        if (opts.onProgress) {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            ++progress.inFlight;
+            opts.onProgress(progress);
+        }
+        telem::event("job.started",
+                     {{"benchmark", app}, {"config", cfg}});
+        telem::Span cell_span("matrix.cell");
+        cell_span.attr("benchmark", std::string_view(app));
+        cell_span.attr("config", std::string_view(cfg));
+        const MatrixClock::time_point t0 = MatrixClock::now();
+        try {
+            runCell(i);
+        } catch (...) {
+            // FaultPolicy::Abort propagates the cell's exception to
+            // the caller; note the death in the ledger on the way out.
+            telem::event("job.failed",
+                         {{"benchmark", app},
+                          {"config", cfg},
+                          {"diagnosis", "exception propagated "
+                                        "(FaultPolicy::Abort)"}});
+            throw;
+        }
+        const uint64_t run_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                MatrixClock::now() - t0)
+                .count());
+        busy_us.fetch_add(run_us, std::memory_order_relaxed);
+        const BenchResult &r = results[i];
+        if (telem::enabled()) {
+            telem::counterAdd("matrix.cells");
+            telem::sampleValue(
+                "matrix.queue_wait_ms",
+                static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        t0 - matrix_start)
+                        .count()));
+            telem::sampleValue("matrix.cell_run_ms", run_us / 1000);
+            cell_span.attr("provenance", std::string_view(r.provenance));
+            cell_span.attr("outcome", sim::outcomeName(r.outcome));
+            if (r.provenance == "cached")
+                telem::event("job.cached",
+                             {{"benchmark", app}, {"config", cfg}});
+            else if (r.provenance == "resumed")
+                telem::event("job.resumed",
+                             {{"benchmark", app}, {"config", cfg}});
+            if (r.outcome == sim::RunOutcome::BudgetExceeded)
+                telem::event("job.budget",
+                             {{"benchmark", app},
+                              {"config", cfg},
+                              {"diagnosis", r.diagnosis}});
+            else if (r.outcome != sim::RunOutcome::Ok)
+                telem::event("job.failed",
+                             {{"benchmark", app},
+                              {"config", cfg},
+                              {"outcome", sim::outcomeName(r.outcome)},
+                              {"diagnosis", r.diagnosis}});
+            else
+                telem::event("job.completed",
+                             {{"benchmark", app},
+                              {"config", cfg},
+                              {"weightedCycles", r.weightedCycles},
+                              {"attempts", static_cast<uint64_t>(
+                                               r.attempts)},
+                              {"provenance", r.provenance}});
+        }
+        if (opts.onProgress) {
+            std::lock_guard<std::mutex> lock(progress_mu);
+            --progress.inFlight;
+            ++progress.done;
+            if (r.provenance == "cached")
+                ++progress.cacheHits;
+            if (r.outcome != sim::RunOutcome::Ok)
+                ++progress.failed;
+            opts.onProgress(progress);
+        }
     });
+
+    if (cache) {
+        ResultCache::Stats st = cache->stats();
+        if (opts.cacheCounters) {
+            opts.cacheCounters->used = true;
+            opts.cacheCounters->hits = st.hits;
+            opts.cacheCounters->misses = st.misses;
+            opts.cacheCounters->quarantined = st.quarantined;
+        }
+        telem::counterAdd("cache.hits", st.hits);
+        telem::counterAdd("cache.misses", st.misses);
+        telem::counterAdd("cache.quarantined", st.quarantined);
+    }
+    if (telem::enabled()) {
+        double elapsed_us = static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                MatrixClock::now() - matrix_start)
+                .count());
+        int jobs = opts.jobs > 0 ? opts.jobs : ThreadPool::defaultJobs();
+        if (elapsed_us > 0.0 && jobs > 0)
+            telem::gaugeSet(
+                "matrix.worker_utilization",
+                static_cast<double>(busy_us.load()) /
+                    (elapsed_us * static_cast<double>(jobs)));
+    }
     return results;
 }
 

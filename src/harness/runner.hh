@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -194,6 +195,29 @@ enum class BudgetPolicy : uint8_t
 };
 
 /** Options for the durable runMatrix overload. */
+/**
+ * This-run result-cache counters, filled by runMatrix when a cache
+ * directory is configured (the per-directory totals remain available
+ * via `wasp-cli cache stats`).
+ */
+struct CacheCounters
+{
+    bool used = false; ///< a cache directory was configured
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t quarantined = 0;
+};
+
+/** Live matrix progress, delivered to MatrixOptions::onProgress. */
+struct MatrixProgress
+{
+    int total = 0;
+    int done = 0;      ///< completed cells, any outcome
+    int inFlight = 0;  ///< cells currently executing
+    int cacheHits = 0; ///< done cells served from the result cache
+    int failed = 0;    ///< done cells whose outcome is not Ok
+};
+
 struct MatrixOptions
 {
     int jobs = 0;
@@ -209,6 +233,12 @@ struct MatrixOptions
      * to completion without re-applying the ceiling that tripped, so
      * repeated --resume invocations converge. */
     bool resume = false;
+    /** Called from worker threads, under an internal lock, each time a
+     * cell starts or completes. Keep it cheap (the --progress
+     * heartbeat rate-limits on its side); results are unaffected. */
+    std::function<void(const MatrixProgress &)> onProgress;
+    /** Out-param: this-run cache counters (ignored when null). */
+    CacheCounters *cacheCounters = nullptr;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/log.hh"
+#include "common/telemetry.hh"
 #include "common/trace.hh"
 
 namespace wasp::sim
@@ -409,7 +410,17 @@ Gpu::run(const Launch &launch, const RunControl &ctl)
     wasp_check(!durable || config_.trace == nullptr,
                "snapshot/resume/budget control is not supported with a "
                "trace sink attached");
-    buildMachine();
+    // Wall-clock phase spans for the toolchain telemetry layer. The
+    // span granularity is per run/phase, never per cycle, and nothing
+    // here feeds back into simulation state: RunStats is bit-identical
+    // with telemetry on or off.
+    telem::Span run_span("sim.run");
+    run_span.attr("grid", launch.gridDim);
+    run_span.attr("sms", config_.numSms);
+    {
+        TELEM_SPAN("sim.run.build");
+        buildMachine();
+    }
     launch_ = &launch;
     next_cta_ = 0;
     next_sm_ = 0;
@@ -464,56 +475,65 @@ Gpu::run(const Launch &launch, const RunControl &ctl)
     if (ctl.resumeFrom)
         restoreSnapshot(*ctl.resumeFrom, launch, now, tick_progress);
 
-    for (;;) {
-        if (durable)
-            durableHead(ctl, now, tick_progress);
-        tick(now);
-        if (next_cta_ >= launch.gridDim) {
-            bool all_idle = true;
-            for (const auto &sm : sms_) {
-                if (!sm->idle()) {
-                    all_idle = false;
-                    break;
+    auto runLoop = [&] {
+        for (;;) {
+            if (durable)
+                durableHead(ctl, now, tick_progress);
+            tick(now);
+            if (next_cta_ >= launch.gridDim) {
+                bool all_idle = true;
+                for (const auto &sm : sms_) {
+                    if (!sm->idle()) {
+                        all_idle = false;
+                        break;
+                    }
                 }
+                if (all_idle)
+                    break;
             }
-            if (all_idle)
-                break;
-        }
-        // Forward-progress watchdog: fail fast on a wedged pipeline
-        // instead of spinning to maxCycles.
-        if (config_.watchdogInterval > 0 &&
-            now - last_watchdog_check_ >= config_.watchdogInterval) {
+            // Forward-progress watchdog: fail fast on a wedged pipeline
+            // instead of spinning to maxCycles.
+            if (config_.watchdogInterval > 0 &&
+                now - last_watchdog_check_ >= config_.watchdogInterval) {
+                uint64_t progress = progressCounter();
+                if (progress == last_progress_)
+                    raiseStall(now, /*zero_progress=*/true);
+                last_progress_ = progress;
+                last_watchdog_check_ = now;
+            }
+            if (now >= config_.maxCycles)
+                raiseStall(now, /*zero_progress=*/false);
+            if (reference_clock_) {
+                ++now;
+                continue;
+            }
+            // Busy-cycle fast path: when the tick retired an instruction or
+            // moved memory/TMA bytes, the next cycle almost certainly has
+            // work too — advance one cycle without paying for the probe.
+            // Always safe: now + 1 is the smallest legal advance.
             uint64_t progress = progressCounter();
-            if (progress == last_progress_)
-                raiseStall(now, /*zero_progress=*/true);
-            last_progress_ = progress;
-            last_watchdog_check_ = now;
+            ++dbg_ticks_;
+            if (progress != tick_progress) {
+                tick_progress = progress;
+                ++now;
+            } else {
+                ++dbg_probes_;
+                uint64_t next = nextWakeCycle(now);
+                if (next == now + 1)
+                    ++dbg_probe_now1_;
+                now = next;
+            }
         }
-        if (now >= config_.maxCycles)
-            raiseStall(now, /*zero_progress=*/false);
-        if (reference_clock_) {
-            ++now;
-            continue;
-        }
-        // Busy-cycle fast path: when the tick retired an instruction or
-        // moved memory/TMA bytes, the next cycle almost certainly has
-        // work too — advance one cycle without paying for the probe.
-        // Always safe: now + 1 is the smallest legal advance.
-        uint64_t progress = progressCounter();
-        ++dbg_ticks_;
-        if (progress != tick_progress) {
-            tick_progress = progress;
-            ++now;
-        } else {
-            ++dbg_probes_;
-            uint64_t next = nextWakeCycle(now);
-            if (next == now + 1)
-                ++dbg_probe_now1_;
-            now = next;
-        }
+    };
+    {
+        TELEM_SPAN("sim.run.loop");
+        runLoop();
     }
 
-    collectStats(now);
+    {
+        TELEM_SPAN("sim.run.collect");
+        collectStats(now);
+    }
     if (auditor_ && !auditor_->clean()) {
         wasp_check(false,
                    "cross-SM gmem conflict(s) detected — the workload "

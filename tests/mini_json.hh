@@ -1,289 +1,14 @@
 /**
  * @file
- * Minimal recursive-descent JSON parser for the test suite: just
- * enough to validate the machine-readable exports (runStatsJson, the
- * matrix report, Chrome trace files) without an external dependency.
- * Numbers are held as doubles, which is exact for the integer ranges
- * the exports emit in practice and irrelevant for schema checks.
+ * Historical location of the minimal JSON parser. The implementation
+ * moved to src/common/json_parse.hh when `wasp-cli report` started
+ * parsing the committed BENCH_*.json baselines; this shim keeps the
+ * long-standing test include path working.
  */
 
 #ifndef WASP_TESTS_MINI_JSON_HH
 #define WASP_TESTS_MINI_JSON_HH
 
-#include <cctype>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
-
-namespace wasp::minijson
-{
-
-struct Value
-{
-    enum class Type
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<Value> array;
-    std::map<std::string, Value> object;
-
-    bool isObject() const { return type == Type::Object; }
-    bool isArray() const { return type == Type::Array; }
-    bool isNumber() const { return type == Type::Number; }
-    bool isString() const { return type == Type::String; }
-
-    bool has(const std::string &key) const
-    {
-        return object.find(key) != object.end();
-    }
-    const Value &operator[](const std::string &key) const
-    {
-        static const Value kNull;
-        auto it = object.find(key);
-        return it == object.end() ? kNull : it->second;
-    }
-};
-
-class Parser
-{
-  public:
-    explicit Parser(const std::string &text) : text_(text) {}
-
-    /** Parse the whole document; false (with error()) on bad input. */
-    bool
-    parse(Value &out)
-    {
-        pos_ = 0;
-        if (!parseValue(out))
-            return false;
-        skipWs();
-        if (pos_ != text_.size())
-            return fail("trailing characters");
-        return true;
-    }
-
-    const std::string &error() const { return error_; }
-    size_t errorPos() const { return pos_; }
-
-  private:
-    bool
-    fail(const std::string &why)
-    {
-        if (error_.empty())
-            error_ = why;
-        return false;
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] != c)
-            return false;
-        ++pos_;
-        return true;
-    }
-
-    bool
-    parseValue(Value &out)
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return fail("unexpected end of input");
-        char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out.type = Value::Type::String;
-            return parseString(out.str);
-        }
-        if (c == 't' || c == 'f')
-            return parseKeyword(out);
-        if (c == 'n')
-            return parseKeyword(out);
-        return parseNumber(out);
-    }
-
-    bool
-    parseObject(Value &out)
-    {
-        out.type = Value::Type::Object;
-        if (!consume('{'))
-            return fail("expected '{'");
-        skipWs();
-        if (consume('}'))
-            return true;
-        while (true) {
-            skipWs();
-            std::string key;
-            if (!parseString(key))
-                return fail("expected object key");
-            if (!consume(':'))
-                return fail("expected ':'");
-            Value v;
-            if (!parseValue(v))
-                return false;
-            out.object.emplace(std::move(key), std::move(v));
-            if (consume(','))
-                continue;
-            if (consume('}'))
-                return true;
-            return fail("expected ',' or '}'");
-        }
-    }
-
-    bool
-    parseArray(Value &out)
-    {
-        out.type = Value::Type::Array;
-        if (!consume('['))
-            return fail("expected '['");
-        skipWs();
-        if (consume(']'))
-            return true;
-        while (true) {
-            Value v;
-            if (!parseValue(v))
-                return false;
-            out.array.push_back(std::move(v));
-            if (consume(','))
-                continue;
-            if (consume(']'))
-                return true;
-            return fail("expected ',' or ']'");
-        }
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        skipWs();
-        if (pos_ >= text_.size() || text_[pos_] != '"')
-            return fail("expected '\"'");
-        ++pos_;
-        out.clear();
-        while (pos_ < text_.size()) {
-            char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return fail("bad escape");
-                char e = text_[pos_++];
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  case 'n': out += '\n'; break;
-                  case 'r': out += '\r'; break;
-                  case 't': out += '\t'; break;
-                  case 'u': {
-                      if (pos_ + 4 > text_.size())
-                          return fail("bad \\u escape");
-                      // Schema checks never compare escaped text;
-                      // decode to '?' rather than full UTF-8.
-                      pos_ += 4;
-                      out += '?';
-                      break;
-                  }
-                  default: return fail("unknown escape");
-                }
-            } else {
-                out += c;
-            }
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    parseKeyword(Value &out)
-    {
-        auto match = [&](const char *kw) {
-            size_t n = std::string(kw).size();
-            if (text_.compare(pos_, n, kw) != 0)
-                return false;
-            pos_ += n;
-            return true;
-        };
-        if (match("true")) {
-            out.type = Value::Type::Bool;
-            out.boolean = true;
-            return true;
-        }
-        if (match("false")) {
-            out.type = Value::Type::Bool;
-            out.boolean = false;
-            return true;
-        }
-        if (match("null")) {
-            out.type = Value::Type::Null;
-            return true;
-        }
-        return fail("unknown keyword");
-    }
-
-    bool
-    parseNumber(Value &out)
-    {
-        size_t start = pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '-' ||
-                text_[pos_] == '+'))
-            ++pos_;
-        if (pos_ == start)
-            return fail("expected number");
-        try {
-            out.number = std::stod(text_.substr(start, pos_ - start));
-        } catch (...) {
-            return fail("bad number");
-        }
-        out.type = Value::Type::Number;
-        return true;
-    }
-
-    const std::string &text_;
-    size_t pos_ = 0;
-    std::string error_;
-};
-
-/** Parse or die trying: returns the document, asserts via *ok. */
-inline bool
-parse(const std::string &text, Value &out, std::string *error = nullptr)
-{
-    Parser p(text);
-    bool ok = p.parse(out);
-    if (!ok && error != nullptr)
-        *error = p.error();
-    return ok;
-}
-
-} // namespace wasp::minijson
+#include "common/json_parse.hh"
 
 #endif // WASP_TESTS_MINI_JSON_HH

@@ -15,6 +15,7 @@
 #include <limits>
 #include <string>
 
+#include "common/telemetry.hh"
 #include "common/trace.hh"
 #include "harness/configs.hh"
 #include "harness/runner.hh"
@@ -142,6 +143,65 @@ TEST(PerfSmoke, TracingOffHasNoCostAndTracingOnIsBitIdentical)
     }
     EXPECT_LE(best_off, best_on * 1.25)
         << "tracing-off run slower than tracing-on: the null-pointer "
+           "guard is no longer free";
+}
+
+TEST(PerfSmoke, TelemetryOffHasNoCostAndTelemetryOnIsBitIdentical)
+{
+    // Telemetry follows the TraceSink contract: off by default, and
+    // off is one relaxed atomic load per hook — so a telemetry-enabled
+    // run must produce bit-identical RunStats, and leaving telemetry
+    // off must not slow the toolchain down. Same 1.25x noise allowance
+    // as the tracing gate: the enabled() guard is the regression
+    // target, not the scheduler.
+    telem::resetForTest();
+    harness::ConfigSpec spec =
+        harness::makeConfig(harness::PaperConfig::WaspGpu);
+    const workloads::BenchmarkDef &bench = workloads::benchmark("gpt2");
+    using Clock = std::chrono::steady_clock;
+    double best_off = std::numeric_limits<double>::infinity();
+    double best_on = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < 3; ++r) {
+        for (int on = 0; on < 2; ++on) {
+            telem::enable(on != 0);
+            double total = 0.0;
+            for (const workloads::KernelMix &mix : bench.kernels) {
+                mem::GlobalMemory gmem;
+                workloads::BuiltKernel k = mix.build(gmem);
+                auto t0 = Clock::now();
+                harness::KernelResult kr =
+                    harness::runKernel(spec, k, gmem);
+                std::chrono::duration<double> dt = Clock::now() - t0;
+                total += dt.count();
+                EXPECT_TRUE(kr.verified) << mix.label;
+                if (on) {
+                    // Same build with telemetry off: bit-identical.
+                    telem::enable(false);
+                    mem::GlobalMemory gmem2;
+                    workloads::BuiltKernel k2 = mix.build(gmem2);
+                    harness::KernelResult kr2 =
+                        harness::runKernel(spec, k2, gmem2);
+                    telem::enable(true);
+                    EXPECT_EQ(kr.stats.cycles, kr2.stats.cycles)
+                        << mix.label;
+                    EXPECT_EQ(kr.stats.stallCycles, kr2.stats.stallCycles)
+                        << mix.label;
+                    EXPECT_EQ(kr.stats.dynInstrs, kr2.stats.dynInstrs)
+                        << mix.label;
+                }
+            }
+            if (on)
+                best_on = std::min(best_on, total);
+            else
+                best_off = std::min(best_off, total);
+        }
+    }
+    telem::enable(false);
+    EXPECT_GT(telem::harvestSpans().size(), 0u)
+        << "telemetry-on runs recorded no spans";
+    telem::resetForTest();
+    EXPECT_LE(best_off, best_on * 1.25)
+        << "telemetry-off run slower than telemetry-on: the enabled() "
            "guard is no longer free";
 }
 

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Toolchain telemetry units and determinism guardrails (ctest label
+ * `telemetry`, wired into tier1):
+ *
+ *  - spans are well-nested per thread with correct parent linkage,
+ *    including across worker threads;
+ *  - counters and distributions merge bit-exactly (the registry reuses
+ *    wasp::Distribution, so StatGroup equality is the oracle);
+ *  - the run ledger is one valid JSON object per line with the
+ *    documented lifecycle schema;
+ *  - telemetry on vs off leaves BenchResults bit-identical across a
+ *    quick matrix under the reference clock, the cycle-skipping clock,
+ *    and --sm-threads=4;
+ *  - a -j1 and a -j4 run write equivalent ledgers modulo seq/wallMs
+ *    and line order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "common/stats.hh"
+#include "common/telemetry.hh"
+#include "common/trace.hh"
+#include "harness/configs.hh"
+#include "harness/runner.hh"
+#include "mini_json.hh"
+#include "sim/config.hh"
+
+using namespace wasp;
+
+namespace
+{
+
+/** RAII reset: every test starts and ends with a clean registry. */
+struct TelemetryReset
+{
+    TelemetryReset() { telem::resetForTest(); }
+    ~TelemetryReset() { telem::resetForTest(); }
+};
+
+/** A temp file path removed on destruction. */
+struct TempFile
+{
+    TempFile()
+    {
+        char tmpl[] = "/tmp/wasp_telemetry_XXXXXX";
+        int fd = ::mkstemp(tmpl);
+        EXPECT_GE(fd, 0);
+        if (fd >= 0)
+            ::close(fd);
+        path = tmpl;
+    }
+    ~TempFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+/** Quick two-cell matrix used by the determinism guardrails. */
+std::vector<harness::BenchResult>
+quickMatrix(sim::ClockMode mode, int sm_threads, int jobs)
+{
+    std::vector<harness::ConfigSpec> specs = {
+        harness::makeConfig(harness::PaperConfig::Baseline),
+        harness::makeConfig(harness::PaperConfig::WaspGpu)};
+    for (auto &s : specs) {
+        s.gpu.clockMode = mode;
+        if (sm_threads > 0)
+            s.gpu.smParallelism = sm_threads;
+    }
+    harness::MatrixOptions opts;
+    opts.jobs = jobs;
+    return harness::runMatrix(specs, {"3d_unet"}, opts);
+}
+
+void
+expectSameResults(const std::vector<harness::BenchResult> &a,
+                  const std::vector<harness::BenchResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+        EXPECT_EQ(a[i].config, b[i].config);
+        // Bit-identity, not tolerance: telemetry only reads wall
+        // clocks, so the simulated numbers must not move at all.
+        EXPECT_EQ(a[i].weightedCycles, b[i].weightedCycles) << i;
+        EXPECT_EQ(a[i].stallCycles, b[i].stallCycles) << i;
+        EXPECT_EQ(a[i].dynInstrs, b[i].dynInstrs) << i;
+        EXPECT_EQ(a[i].seed, b[i].seed) << i;
+        EXPECT_EQ(a[i].verified, b[i].verified) << i;
+    }
+}
+
+} // namespace
+
+TEST(TelemetrySpans, WellNestedWithParentLinkagePerThread)
+{
+    TelemetryReset reset;
+    telem::enable(true);
+    {
+        telem::Span outer("test.outer");
+        outer.attr("k", 1);
+        {
+            telem::Span inner("test.inner");
+            TELEM_SPAN("test.leaf");
+        }
+        TELEM_SPAN("test.sibling");
+    }
+    std::vector<telem::SpanRecord> spans = telem::harvestSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    std::map<std::string, const telem::SpanRecord *> by_name;
+    for (const auto &s : spans)
+        by_name[s.name] = &s;
+    ASSERT_TRUE(by_name.count("test.outer"));
+    const auto *outer = by_name["test.outer"];
+    EXPECT_EQ(outer->parent, 0u);
+    EXPECT_EQ(by_name["test.inner"]->parent, outer->id);
+    EXPECT_EQ(by_name["test.leaf"]->parent, by_name["test.inner"]->id);
+    EXPECT_EQ(by_name["test.sibling"]->parent, outer->id);
+    ASSERT_EQ(outer->attrs.size(), 1u);
+    EXPECT_EQ(outer->attrs[0].key, "k");
+    EXPECT_EQ(outer->attrs[0].json, "1");
+    for (const auto &s : spans) {
+        EXPECT_GT(s.id, 0u);
+        EXPECT_LE(s.beginNs, s.endNs) << s.name;
+    }
+    // Well-nesting: children begin and end inside their parent.
+    std::map<uint64_t, const telem::SpanRecord *> by_id;
+    for (const auto &s : spans)
+        by_id[s.id] = &s;
+    for (const auto &s : spans) {
+        if (s.parent == 0)
+            continue;
+        const auto *p = by_id[s.parent];
+        ASSERT_NE(p, nullptr) << s.name;
+        EXPECT_GE(s.beginNs, p->beginNs) << s.name;
+        EXPECT_LE(s.endNs, p->endNs) << s.name;
+        EXPECT_EQ(s.tid, p->tid) << s.name;
+    }
+}
+
+TEST(TelemetrySpans, ThreadsGetDistinctTidsAndIndependentStacks)
+{
+    TelemetryReset reset;
+    telem::enable(true);
+    {
+        TELEM_SPAN("test.main");
+        std::thread a([] {
+            telem::Span s("test.worker_a");
+            TELEM_SPAN("test.worker_a.child");
+        });
+        std::thread b([] { TELEM_SPAN("test.worker_b"); });
+        a.join();
+        b.join();
+    }
+    std::vector<telem::SpanRecord> spans = telem::harvestSpans();
+    ASSERT_EQ(spans.size(), 4u);
+    std::map<std::string, const telem::SpanRecord *> by_name;
+    for (const auto &s : spans)
+        by_name[s.name] = &s;
+    // Parent linkage never crosses threads: worker roots are roots
+    // even though test.main was open on the main thread.
+    EXPECT_EQ(by_name["test.worker_a"]->parent, 0u);
+    EXPECT_EQ(by_name["test.worker_b"]->parent, 0u);
+    EXPECT_EQ(by_name["test.worker_a.child"]->parent,
+              by_name["test.worker_a"]->id);
+    std::set<int> tids = {by_name["test.main"]->tid,
+                          by_name["test.worker_a"]->tid,
+                          by_name["test.worker_b"]->tid};
+    EXPECT_EQ(tids.size(), 3u) << "threads must get distinct tids";
+    EXPECT_EQ(by_name["test.worker_a.child"]->tid,
+              by_name["test.worker_a"]->tid);
+}
+
+TEST(TelemetrySpans, DisabledSpansAreInertAndUnharvested)
+{
+    TelemetryReset reset;
+    {
+        telem::Span s("test.off");
+        s.attr("ignored", true);
+        EXPECT_FALSE(s.active());
+    }
+    telem::counterAdd("test.off.counter");
+    telem::sampleValue("test.off.dist", 7);
+    telem::gaugeSet("test.off.gauge", 1.0);
+    EXPECT_TRUE(telem::harvestSpans().empty());
+    telem::MetricsSnapshot snap = telem::metricsSnapshot();
+    EXPECT_TRUE(snap.stats.all().empty());
+    EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST(TelemetryMetrics, CounterAndDistributionMergeBitExact)
+{
+    TelemetryReset reset;
+    telem::enable(true);
+    // Hammer the registry from four threads, then rebuild the same
+    // values serially: the registry reuses Counter/Distribution, so
+    // StatGroup equality is exact, not approximate.
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                telem::counterAdd("test.merge.count");
+                telem::counterAdd("test.merge.bytes",
+                                  static_cast<uint64_t>(t + 1));
+                telem::sampleValue("test.merge.dist",
+                                   static_cast<uint64_t>(i % 17));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    telem::MetricsSnapshot snap = telem::metricsSnapshot();
+
+    StatGroup expect;
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            expect.counter("test.merge.count") += 1;
+            expect.counter("test.merge.bytes") +=
+                static_cast<uint64_t>(t + 1);
+            expect.distribution("test.merge.dist")
+                .sample(static_cast<uint64_t>(i % 17));
+        }
+    }
+    EXPECT_TRUE(snap.stats == expect)
+        << "concurrent metric recording diverged from the serial sum";
+
+    telem::gaugeSet("test.merge.gauge", 0.25);
+    telem::gaugeSet("test.merge.gauge", 0.75); // last write wins
+    snap = telem::metricsSnapshot();
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].first, "test.merge.gauge");
+    EXPECT_EQ(snap.gauges[0].second, 0.75);
+}
+
+TEST(TelemetryMetrics, MetricsJsonIsValidAndComplete)
+{
+    TelemetryReset reset;
+    telem::enable(true);
+    telem::counterAdd("test.json.count", 3);
+    telem::sampleValue("test.json.dist", 5);
+    telem::sampleValue("test.json.dist", 15);
+    telem::gaugeSet("test.json.gauge", 0.5);
+    std::string json = telem::metricsJson();
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(json, doc, &err)) << err << "\n" << json;
+    EXPECT_EQ(doc["counters"]["test.json.count"].number, 3.0);
+    EXPECT_EQ(doc["gauges"]["test.json.gauge"].number, 0.5);
+    const minijson::Value &dist = doc["distributions"]["test.json.dist"];
+    EXPECT_EQ(dist["count"].number, 2.0);
+    EXPECT_EQ(dist["sum"].number, 20.0);
+    EXPECT_EQ(dist["min"].number, 5.0);
+    EXPECT_EQ(dist["max"].number, 15.0);
+    EXPECT_EQ(dist["mean"].number, 10.0);
+}
+
+TEST(TelemetryLedger, EventsAreValidJsonlWithSchema)
+{
+    TelemetryReset reset;
+    TempFile ledger;
+    std::string err;
+    ASSERT_TRUE(telem::openLedger(ledger.path, &err)) << err;
+    telem::event("job.started", {{"benchmark", "3d_unet"},
+                                 {"config", "BASELINE"}});
+    telem::event("job.completed",
+                 {{"benchmark", "3d_unet"},
+                  {"config", "BASELINE"},
+                  {"weightedCycles", 9653.2},
+                  {"attempts", 1},
+                  {"provenance", "computed"}});
+    telem::event("job.failed", {{"diagnosis", "quoted \"reason\"\n"}});
+    telem::closeLedger();
+
+    std::vector<std::string> lines = readLines(ledger.path);
+    ASSERT_EQ(lines.size(), 3u);
+    uint64_t prev_seq = 0;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        minijson::Value doc;
+        std::string perr;
+        ASSERT_TRUE(minijson::parse(lines[i], doc, &perr))
+            << perr << ": " << lines[i];
+        ASSERT_TRUE(doc.isObject());
+        EXPECT_TRUE(doc.has("seq"));
+        EXPECT_TRUE(doc.has("wallMs"));
+        EXPECT_TRUE(doc.has("type"));
+        uint64_t seq = static_cast<uint64_t>(doc["seq"].number);
+        if (i > 0) {
+            EXPECT_GT(seq, prev_seq);
+        }
+        prev_seq = seq;
+    }
+    minijson::Value done;
+    ASSERT_TRUE(minijson::parse(lines[1], done, &err));
+    EXPECT_EQ(done["type"].str, "job.completed");
+    EXPECT_EQ(done["benchmark"].str, "3d_unet");
+    EXPECT_EQ(done["weightedCycles"].number, 9653.2);
+    EXPECT_EQ(done["attempts"].number, 1.0);
+    minijson::Value failed;
+    ASSERT_TRUE(minijson::parse(lines[2], failed, &err));
+    EXPECT_EQ(failed["diagnosis"].str, "quoted \"reason\"\n")
+        << "attr escaping must round-trip through the shared helper";
+}
+
+TEST(TelemetryLedger, MatrixLifecycleEventsCoverEveryCell)
+{
+    TelemetryReset reset;
+    TempFile ledger;
+    std::string err;
+    ASSERT_TRUE(telem::openLedger(ledger.path, &err)) << err;
+    quickMatrix(sim::ClockMode::CycleSkip, 0, 2);
+    telem::closeLedger();
+    telem::enable(false);
+
+    std::map<std::string, int> types;
+    for (const auto &line : readLines(ledger.path)) {
+        minijson::Value doc;
+        ASSERT_TRUE(minijson::parse(line, doc, &err)) << err;
+        ++types[doc["type"].str];
+    }
+    EXPECT_EQ(types["job.submitted"], 2);
+    EXPECT_EQ(types["job.started"], 2);
+    EXPECT_EQ(types["job.completed"], 2);
+    EXPECT_EQ(types["job.failed"], 0);
+}
+
+TEST(TelemetryDeterminism, OnVsOffBenchResultsBitIdentical)
+{
+    TelemetryReset reset;
+    struct Case
+    {
+        const char *label;
+        sim::ClockMode mode;
+        int smThreads;
+    };
+    const Case cases[] = {
+        {"reference", sim::ClockMode::Reference, 0},
+        {"cycle-skip", sim::ClockMode::CycleSkip, 0},
+        {"sm-threads=4", sim::ClockMode::CycleSkip, 4},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(c.label);
+        telem::resetForTest();
+        std::vector<harness::BenchResult> off =
+            quickMatrix(c.mode, c.smThreads, 2);
+        telem::enable(true);
+        std::vector<harness::BenchResult> on =
+            quickMatrix(c.mode, c.smThreads, 2);
+        telem::enable(false);
+        expectSameResults(off, on);
+    }
+    EXPECT_FALSE(telem::harvestSpans().empty())
+        << "telemetry-on matrix recorded nothing";
+}
+
+TEST(TelemetryDeterminism, LedgerEquivalentAcrossJobCounts)
+{
+    // Ledger lines land in completion order (arbitrary across
+    // workers), and seq/wallMs are explicitly informational; after
+    // dropping them and sorting, a -j1 and a -j4 run of the same
+    // matrix must tell the same story.
+    auto normalized = [](const std::string &path) {
+        std::vector<std::string> out;
+        for (const auto &line : readLines(path)) {
+            minijson::Value doc;
+            std::string err;
+            EXPECT_TRUE(minijson::parse(line, doc, &err)) << err;
+            std::ostringstream os;
+            for (const auto &[k, v] : doc.object) {
+                if (k == "seq" || k == "wallMs")
+                    continue;
+                os << k << "=";
+                switch (v.type) {
+                  case minijson::Value::Type::String: os << v.str; break;
+                  case minijson::Value::Type::Number:
+                      os << v.number;
+                      break;
+                  case minijson::Value::Type::Bool:
+                      os << (v.boolean ? "true" : "false");
+                      break;
+                  default: os << "?"; break;
+                }
+                os << ";";
+            }
+            out.push_back(os.str());
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+
+    TelemetryReset reset;
+    TempFile ledger1;
+    std::string err;
+    ASSERT_TRUE(telem::openLedger(ledger1.path, &err)) << err;
+    quickMatrix(sim::ClockMode::CycleSkip, 0, 1);
+    telem::closeLedger();
+
+    telem::resetForTest();
+    TempFile ledger4;
+    ASSERT_TRUE(telem::openLedger(ledger4.path, &err)) << err;
+    quickMatrix(sim::ClockMode::CycleSkip, 0, 4);
+    telem::closeLedger();
+
+    std::vector<std::string> a = normalized(ledger1.path);
+    std::vector<std::string> b = normalized(ledger4.path);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(TelemetryDeterminism, SmParallelRunProducesValidLedger)
+{
+    TelemetryReset reset;
+    TempFile ledger;
+    std::string err;
+    ASSERT_TRUE(telem::openLedger(ledger.path, &err)) << err;
+    std::vector<harness::BenchResult> results =
+        quickMatrix(sim::ClockMode::CycleSkip, 4, 2);
+    telem::closeLedger();
+    telem::enable(false);
+    for (const auto &r : results)
+        EXPECT_TRUE(r.verified) << r.benchmark << "/" << r.config;
+    std::vector<std::string> lines = readLines(ledger.path);
+    EXPECT_GE(lines.size(), 6u);
+    for (const auto &line : lines) {
+        minijson::Value doc;
+        ASSERT_TRUE(minijson::parse(line, doc, &err))
+            << err << ": " << line;
+        EXPECT_TRUE(doc.has("type"));
+    }
+}
+
+TEST(TelemetryExport, ChromeTraceIsValidAndWellNestedPerTid)
+{
+    TelemetryReset reset;
+    telem::enable(true);
+    {
+        TELEM_SPAN("test.export.outer");
+        TELEM_SPAN("test.export.inner", {{"depth", 2}});
+    }
+    quickMatrix(sim::ClockMode::CycleSkip, 0, 2);
+    telem::enable(false);
+
+    TraceSink sink;
+    telem::exportChromeTrace(sink);
+    std::string json = sink.render();
+    minijson::Value doc;
+    std::string err;
+    ASSERT_TRUE(minijson::parse(json, doc, &err)) << err;
+    const auto &events = doc["traceEvents"].array;
+    ASSERT_FALSE(events.empty());
+    // Complete events must nest per tid: sweep begin/end edges and
+    // check no span partially overlaps another on its track.
+    struct Edge
+    {
+        double ts;
+        int open; // +1 begin, -1 end
+        double dur;
+    };
+    std::map<double, std::vector<std::pair<double, double>>> by_tid;
+    bool saw_matrix_cell = false;
+    for (const auto &e : events) {
+        if (e["ph"].str != "X")
+            continue;
+        by_tid[e["tid"].number].push_back(
+            {e["ts"].number, e["ts"].number + e["dur"].number});
+        if (e["name"].str == "matrix.cell")
+            saw_matrix_cell = true;
+    }
+    EXPECT_TRUE(saw_matrix_cell);
+    for (auto &[tid, spans] : by_tid) {
+        // Enclosing-first order: ascending begin, and for equal begins
+        // (microsecond truncation collapses a parent and its first
+        // child onto the same timestamp) the longer span first.
+        std::sort(spans.begin(), spans.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first < b.first;
+                      return a.second > b.second;
+                  });
+        std::vector<std::pair<double, double>> stack;
+        for (const auto &[b, e] : spans) {
+            while (!stack.empty() && stack.back().second <= b)
+                stack.pop_back();
+            if (!stack.empty()) {
+                // +1us: ts and dur are floored independently, so a
+                // child's computed end may land 1us past its parent's.
+                EXPECT_LE(e, stack.back().second + 1)
+                    << "span on tid " << tid
+                    << " escapes its enclosing span";
+            }
+            stack.push_back({b, e});
+        }
+    }
+}

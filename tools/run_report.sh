@@ -1,0 +1,81 @@
+#!/usr/bin/env sh
+# Regenerate the Markdown run report from the committed benchmark
+# baselines and gate on regressions:
+#
+#   ./tools/run_report.sh [build-dir] [extra wasp-cli report args...]
+#       Re-simulates the full stall-breakdown matrix, checks every
+#       baseline metric against its tolerance, and writes RUN_REPORT.md
+#       at the repo root. Non-zero exit names the offending metric.
+#
+#   ./tools/run_report.sh --gate [build-dir]
+#       The ctest self-test (label `telemetry`): the clean tree must
+#       pass `report --check` on a two-benchmark subset, and a
+#       deliberately perturbed stall baseline must fail it with the
+#       perturbed metric named. Prints "report-gate: OK" on success.
+set -eu
+
+mode=run
+if [ "${1:-}" = "--gate" ]; then
+    mode=gate
+    shift
+fi
+build_dir=build
+case "${1:-}" in
+"" | -*) ;; # no build dir given; everything else is report args
+*)
+    build_dir="$1"
+    shift
+    ;;
+esac
+
+cd "$(dirname "$0")/.."
+cli="$build_dir/tools/wasp-cli"
+[ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
+
+if [ "$mode" = "run" ]; then
+    exec "$cli" report --check -o RUN_REPORT.md "$@"
+fi
+
+work="$(mktemp -d /tmp/wasp_report_gate.XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+
+# 1. Clean tree, quick subset: every metric must be within tolerance.
+"$cli" report --check --apps 3d_unet,hpcg -j2 -o "$work/report.md" \
+    2> "$work/clean.err" || {
+    echo "report-gate: FAIL — clean tree did not pass --check:" >&2
+    cat "$work/clean.err" >&2
+    exit 1
+}
+grep -q "report-check: OK" "$work/clean.err" || {
+    echo "report-gate: FAIL — no OK line from the clean check" >&2
+    exit 1
+}
+grep -q "## Baseline comparison" "$work/report.md" || {
+    echo "report-gate: FAIL — Markdown report missing sections" >&2
+    exit 1
+}
+
+# 2. Perturb one baseline cell beyond the 2% weightedCycles tolerance;
+# the check must now fail and name that metric.
+python3 - "$work/perturbed.json" <<'EOF'
+import json, sys
+doc = json.load(open("BENCH_stall_breakdown.json"))
+for cell in doc["results"]:
+    if cell["benchmark"] == "3d_unet" and cell["config"] == "WASP_GPU":
+        cell["weightedCycles"] *= 1.10
+json.dump(doc, open(sys.argv[1], "w"))
+EOF
+if "$cli" report --check --apps 3d_unet,hpcg -j2 \
+    --stall-baseline="$work/perturbed.json" -o /dev/null \
+    2> "$work/perturbed.err"; then
+    echo "report-gate: FAIL — perturbed baseline passed --check" >&2
+    exit 1
+fi
+grep -q "REGRESSION stall.3d_unet.WASP_GPU.weightedCycles" \
+    "$work/perturbed.err" || {
+    echo "report-gate: FAIL — regression did not name the metric:" >&2
+    cat "$work/perturbed.err" >&2
+    exit 1
+}
+
+echo "report-gate: OK (clean check passed, perturbation caught)"

@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Build the tree with ThreadSanitizer and run the telemetry label plus
+# the report regression gate. Telemetry records from every worker
+# thread into per-thread buffers while exporters harvest concurrently,
+# and the ledger is appended from arbitrary threads — exactly the
+# surfaces a data race would corrupt. `wasp-cli report --check` then
+# drives the instrumented matrix end-to-end (spans, counters, cache
+# counters) under the same instrumented build.
+#
+#   ./tools/run_telemetry_tsan.sh [build-dir] [extra ctest args...]
+#
+# Uses a dedicated build directory (default build-tsan) so the regular
+# build stays uninstrumented. Exits non-zero on any failure, so it can
+# serve as a CI gate.
+set -eu
+
+build_dir="${1:-build-tsan}"
+[ $# -gt 0 ] && shift
+
+cd "$(dirname "$0")/.."
+
+cmake -B "$build_dir" -S . -DWASP_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)" --target telemetry_test \
+    perf_smoke_test wasp-cli
+
+(cd "$build_dir" && ctest -L telemetry --output-on-failure "$@")
+
+"$build_dir/tools/wasp-cli" report --check --apps 3d_unet,hpcg -j4 \
+    -o /dev/null
+echo "telemetry-tsan: OK"

@@ -70,7 +70,8 @@
  *
  *   wasp-cli matrix [--apps a,b,..] [--configs c1,c2,..] [-j N]
  *             [--sm-threads N] [--on-fault={abort,skip,retry}]
- *             [--json-out=FILE]
+ *             [--json-out=FILE] [--telemetry] [--ledger=FILE]
+ *             [--progress]
  *       Run the Table II benchmark × paper-config matrix on N worker
  *       threads (default: hardware concurrency) and print speedups
  *       against the first config plus raw cycles. Output is
@@ -82,7 +83,17 @@
  *       simulation deadlocks or trips the watchdog is isolated per
  *       --on-fault (default skip): the rest of the matrix completes,
  *       the failed cell is reported with its pipeline dump, and the
- *       exit code is 3.
+ *       exit code is 3. --telemetry records spans/metrics for this run
+ *       and appends a "telemetry" section to --json-out plus a cache
+ *       counter footer; --ledger=FILE (implies --telemetry) appends the
+ *       per-job JSONL event stream (job.submitted/started/completed/
+ *       cached/resumed/failed and budget trips) to FILE; --progress
+ *       prints a rate-limited one-line heartbeat (cells done, in
+ *       flight, cache hits) to stderr while the matrix runs — only
+ *       when stderr is a TTY unless WASP_PROGRESS_FORCE=1. Telemetry
+ *       never perturbs simulation results: RunStats are bit-identical
+ *       with it on or off, and the env vars WASP_TELEMETRY=1 /
+ *       WASP_LEDGER=FILE enable the same recording for any command.
  *
  *   wasp-cli stats <benchmark> [--config NAME] [--json] [--timeline]
  *             [-o FILE]
@@ -95,13 +106,16 @@
  *       adds the utilization timeline to the text output (always
  *       present in JSON). -o writes to a file instead of stdout.
  *
- *   wasp-cli trace <benchmark> [--config NAME] [-o FILE]
+ *   wasp-cli trace <benchmark> [--config NAME] [-o FILE] [--telemetry]
  *       Re-run the benchmark with the event trace sink attached and
  *       write a Chrome-trace/Perfetto JSON file (default trace.json;
  *       open in chrome://tracing or ui.perfetto.dev). Kernels of the
  *       benchmark are laid end-to-end on one timeline. The traced run
  *       executes exactly the program the matrix would run: compile
- *       decisions are settled in an untraced pass first.
+ *       decisions are settled in an untraced pass first. --telemetry
+ *       swaps the simulated-event timeline for the toolchain's own
+ *       telemetry spans (compile passes, sim phases) rendered as a
+ *       Chrome trace — one track per toolchain thread.
  *
  *       Durability options: --cache=DIR keeps a crash-safe persistent
  *       result cache (content-addressed on kernel text, machine
@@ -137,6 +151,25 @@
  *       machine. Emits JSON (tools/run_perf.sh wraps this to stamp the
  *       git sha and host and write BENCH_sim_throughput.json).
  *
+ *   wasp-cli report [--check] [--apps a,b,..] [-j N] [-o FILE]
+ *             [--stall-baseline=F] [--throughput-baseline=F]
+ *             [--autotune-baseline=F]
+ *       Render a Markdown run report from the committed benchmark
+ *       baselines plus a fresh simulation of the stall-breakdown
+ *       matrix: top benchmarks by weighted cycles, per-config stall-
+ *       share table, cache efficiency of the live rerun, and a
+ *       regression comparison of live numbers against
+ *       BENCH_stall_breakdown.json with per-metric tolerances
+ *       (weightedCycles 2% relative; stall shares 0.02 absolute;
+ *       l1/l2/dram utilizations 0.05 absolute). The throughput
+ *       baseline is checked for internal consistency (cps = cycles /
+ *       seconds, speedup = skip/ref) and the autotune baseline for
+ *       summary-vs-results agreement and the "tuned never regresses
+ *       measured cycles" invariant. --check exits non-zero on the
+ *       first out-of-tolerance metric and names it; --apps restricts
+ *       the re-simulated subset (default: every benchmark in the
+ *       stall baseline).
+ *
  * Kernel parameters are 32-bit values passed to c[0], c[1], ... in
  * order. `run` allocates no data; kernels that need input arrays should
  * use `--alloc BYTES` parameters, which allocate zeroed global memory
@@ -149,16 +182,24 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "common/json.hh"
+#include "common/json_parse.hh"
 #include "common/log.hh"
+#include "common/telemetry.hh"
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "compiler/verify.hh"
@@ -221,6 +262,13 @@ usage()
                  "                [--budget-cycles=N] "
                  "[--budget-rss-mb=N]\n"
                  "                [--on-budget={skip,retry,checkpoint}]\n"
+                 "                [--telemetry] [--ledger=FILE] "
+                 "[--progress]\n"
+                 "       wasp-cli report [--check] [--apps a,b,..] "
+                 "[-j N] [-o FILE]\n"
+                 "                [--stall-baseline=F] "
+                 "[--throughput-baseline=F]\n"
+                 "                [--autotune-baseline=F]\n"
                  "       wasp-cli cache {stats|verify|gc} --dir=DIR "
                  "[--max-bytes=N]\n"
                  "       wasp-cli perf [--apps a,b,..] "
@@ -304,10 +352,21 @@ cmdMatrix(const std::vector<std::string> &args)
     int sm_threads = 0;
     harness::FaultPolicy on_fault = harness::FaultPolicy::Skip;
     std::string json_out;
+    bool telemetry = false;
+    bool progress = false;
+    std::string ledger;
     harness::MatrixOptions mopts;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
-        if (arg.rfind("--json-out=", 0) == 0) {
+        if (arg == "--telemetry") {
+            telemetry = true;
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (arg.rfind("--ledger=", 0) == 0) {
+            ledger = arg.substr(std::strlen("--ledger="));
+            if (ledger.empty())
+                return usage();
+        } else if (arg.rfind("--json-out=", 0) == 0) {
             json_out = arg.substr(std::strlen("--json-out="));
             if (json_out.empty())
                 return usage();
@@ -402,6 +461,49 @@ cmdMatrix(const std::vector<std::string> &args)
         config_names.push_back(specs.back().name);
     }
 
+    if (!ledger.empty()) {
+        std::string err;
+        if (!telem::openLedger(ledger, &err))
+            fatal("cannot open ledger '%s': %s", ledger.c_str(),
+                  err.c_str());
+        telemetry = true;
+    } else if (telemetry) {
+        telem::enable(true);
+    }
+
+    harness::CacheCounters cache_counters;
+    mopts.cacheCounters = &cache_counters;
+
+    // --progress heartbeat: one line to stderr, rate-limited so a fast
+    // matrix doesn't scroll, final cell always reported. Off when
+    // stderr is not a TTY (CI logs stay clean) unless forced for
+    // tests. runMatrix serializes onProgress calls, so the captured
+    // rate-limiter state needs no lock of its own.
+    bool progress_on = progress;
+#ifndef _WIN32
+    if (progress_on && isatty(2) == 0 &&
+        std::getenv("WASP_PROGRESS_FORCE") == nullptr)
+        progress_on = false;
+#endif
+    auto last_beat = std::chrono::steady_clock::now();
+    bool any_beat = false;
+    if (progress_on) {
+        mopts.onProgress = [&](const harness::MatrixProgress &p) {
+            auto now = std::chrono::steady_clock::now();
+            bool final = p.done == p.total;
+            if (any_beat && !final &&
+                now - last_beat < std::chrono::milliseconds(500))
+                return;
+            any_beat = true;
+            last_beat = now;
+            std::fprintf(stderr,
+                         "matrix: %d/%d cells done, %d in flight, "
+                         "%d cache hits, %d failed\n",
+                         p.done, p.total, p.inFlight, p.cacheHits,
+                         p.failed);
+        };
+    }
+
     auto start = std::chrono::steady_clock::now();
     mopts.jobs = jobs;
     mopts.onFault = on_fault;
@@ -418,11 +520,17 @@ cmdMatrix(const std::vector<std::string> &args)
     harness::MatrixReport report(apps, config_names);
     for (const auto &r : results)
         report.add(r);
+    report.setCacheCounters(cache_counters);
+    if (telemetry)
+        report.setTelemetryJson(telem::metricsJson());
     std::printf("=== speedup vs %s ===\n%s\n",
                 config_names.front().c_str(),
                 report.renderSpeedups(config_names.front()).c_str());
     std::printf("=== raw results ===\n%s",
                 report.renderCycles().c_str());
+    std::string cache_footer = report.renderCacheFooter();
+    if (!cache_footer.empty())
+        std::printf("%s", cache_footer.c_str());
     int failed = report.failedCells();
     if (failed > 0) {
         std::printf("\n=== failed cells (%d) ===\n%s", failed,
@@ -435,6 +543,8 @@ cmdMatrix(const std::vector<std::string> &args)
         out << report.renderJson() << "\n";
         std::fprintf(stderr, "matrix: wrote %s\n", json_out.c_str());
     }
+    if (!ledger.empty())
+        telem::closeLedger();
     bool all_verified = true;
     for (const auto &r : results)
         all_verified = all_verified && r.verified;
@@ -1533,10 +1643,14 @@ cmdTune(const std::string &bench_arg,
     // Heuristic and uncorrected-search rounds share options across
     // benchmarks, so both measure as one fault-isolated matrix sweep
     // (parallel across benchmarks under -j).
-    std::vector<harness::BenchResult> mh =
-        harness::runMatrix({base}, apps, mopts);
-    std::vector<harness::BenchResult> ms =
-        harness::runMatrix({searched}, apps, mopts);
+    std::vector<harness::BenchResult> mh = [&] {
+        TELEM_SPAN("tune.sweep.heuristic");
+        return harness::runMatrix({base}, apps, mopts);
+    }();
+    std::vector<harness::BenchResult> ms = [&] {
+        TELEM_SPAN("tune.sweep.search");
+        return harness::runMatrix({searched}, apps, mopts);
+    }();
 
     struct BenchTune
     {
@@ -1576,6 +1690,9 @@ cmdTune(const std::string &bench_arg,
         for (int r = 1; r <= max_rounds && !bt.converged; ++r) {
             if (prev->measured.outcome != sim::RunOutcome::Ok)
                 break;
+            telem::Span round_span("tune.round");
+            round_span.attr("benchmark", bench.name);
+            round_span.attr("round", r);
             double scale = std::max(prev->predictedPeriod, 1.0);
             corr.producerPenalty =
                 std::max(0.0, corr.producerPenalty +
@@ -1773,6 +1890,7 @@ cmdTrace(const std::string &bench_name,
 {
     harness::PaperConfig which = harness::PaperConfig::WaspGpu;
     std::string out_path = "trace.json";
+    bool telemetry = false;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--config" && i + 1 < args.size()) {
@@ -1780,6 +1898,8 @@ cmdTrace(const std::string &bench_name,
                 fatal("unknown config '%s'", args[i].c_str());
         } else if (arg == "-o" && i + 1 < args.size()) {
             out_path = args[++i];
+        } else if (arg == "--telemetry") {
+            telemetry = true;
         } else {
             return usage();
         }
@@ -1787,6 +1907,28 @@ cmdTrace(const std::string &bench_name,
     harness::ConfigSpec spec = harness::makeConfig(which);
     const workloads::BenchmarkDef &bench =
         workloads::benchmark(bench_name);
+
+    if (telemetry) {
+        // Toolchain-telemetry mode: run the benchmark with telemetry
+        // recording (no simulated-event sink) and export the span
+        // timeline as the Chrome trace instead.
+        telem::enable(true);
+        for (const auto &mix : bench.kernels) {
+            mem::GlobalMemory gmem;
+            workloads::BuiltKernel k = mix.build(gmem);
+            telem::Span kernel_span("trace.kernel");
+            kernel_span.attr("kernel", mix.label);
+            (void)harness::runKernel(spec, k, gmem);
+        }
+        TraceSink tsink;
+        telem::exportChromeTrace(tsink);
+        writeOut(out_path, tsink.render() + "\n", "trace");
+        std::fprintf(stderr,
+                     "trace: %llu telemetry events from %zu kernel(s)\n",
+                     static_cast<unsigned long long>(tsink.eventCount()),
+                     bench.kernels.size());
+        return 0;
+    }
 
     TraceSink sink;
     uint64_t base = 0;
@@ -1953,6 +2095,480 @@ cmdRun(const std::string &path, int grid,
     return 0;
 }
 
+/** One out-of-tolerance metric found by `report --check`. */
+struct Regression
+{
+    std::string metric;
+    std::string detail;
+};
+
+/**
+ * wasp-cli report: Markdown run report plus regression gate against
+ * the committed benchmark baselines. The stall-breakdown baseline is
+ * re-simulated live (it is cheap and fully deterministic); the
+ * throughput and autotune baselines are checked for internal
+ * consistency (wall-clock numbers are host-dependent, so re-timing
+ * them here would gate on the machine, not the code).
+ */
+int
+cmdReport(const std::vector<std::string> &args)
+{
+    bool check = false;
+    int jobs = 0;
+    std::string out_path;
+    std::vector<std::string> only_apps;
+    std::string stall_path = "BENCH_stall_breakdown.json";
+    std::string thr_path = "BENCH_sim_throughput.json";
+    std::string tune_path = "BENCH_autotune.json";
+    harness::MatrixOptions mopts;
+    for (size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--check") {
+            check = true;
+        } else if (arg == "--apps" && i + 1 < args.size()) {
+            only_apps = splitCommas(args[++i]);
+        } else if (arg == "-j" && i + 1 < args.size()) {
+            jobs = std::atoi(args[++i].c_str());
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            jobs = std::atoi(arg.c_str() + 2);
+        } else if (arg == "-o" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else if (arg.rfind("--cache=", 0) == 0) {
+            mopts.cacheDir = arg.substr(std::strlen("--cache="));
+            if (mopts.cacheDir.empty())
+                return usage();
+        } else if (arg.rfind("--stall-baseline=", 0) == 0) {
+            stall_path = arg.substr(std::strlen("--stall-baseline="));
+        } else if (arg.rfind("--throughput-baseline=", 0) == 0) {
+            thr_path = arg.substr(std::strlen("--throughput-baseline="));
+        } else if (arg.rfind("--autotune-baseline=", 0) == 0) {
+            tune_path = arg.substr(std::strlen("--autotune-baseline="));
+        } else {
+            return usage();
+        }
+    }
+
+    auto loadJson = [](const std::string &path, minijson::Value &out) {
+        std::ifstream in(path);
+        if (!in)
+            return false;
+        std::ostringstream os;
+        os << in.rdbuf();
+        std::string err;
+        if (!minijson::parse(os.str(), out, &err))
+            fatal("%s: bad JSON: %s", path.c_str(), err.c_str());
+        return true;
+    };
+
+    minijson::Value stall;
+    if (!loadJson(stall_path, stall))
+        fatal("cannot open stall baseline '%s'", stall_path.c_str());
+    if (!stall["results"].isArray())
+        fatal("%s: missing results array", stall_path.c_str());
+
+    std::vector<Regression> regressions;
+    int checked = 0;
+    auto flag = [&](const std::string &metric, const std::string &detail) {
+        regressions.push_back({metric, detail});
+    };
+    char buf[256];
+
+    // Scope: the benchmarks and configs the baseline names, optionally
+    // restricted to --apps. Config names in the baseline are the
+    // paper's (BASELINE, WASP_GPU, ...); parseConfig accepts them.
+    auto wantApp = [&](const std::string &name) {
+        return only_apps.empty() ||
+               std::find(only_apps.begin(), only_apps.end(), name) !=
+                   only_apps.end();
+    };
+    std::vector<std::string> apps;
+    std::vector<harness::PaperConfig> configs;
+    std::vector<std::string> paper_names;
+    for (const auto &cell : stall["results"].array) {
+        const std::string &app = cell["benchmark"].str;
+        const std::string &cfg = cell["config"].str;
+        if (wantApp(app) &&
+            std::find(apps.begin(), apps.end(), app) == apps.end())
+            apps.push_back(app);
+        if (std::find(paper_names.begin(), paper_names.end(), cfg) ==
+            paper_names.end()) {
+            harness::PaperConfig which;
+            if (!parseConfig(cfg, &which))
+                fatal("%s: unknown config '%s'", stall_path.c_str(),
+                      cfg.c_str());
+            paper_names.push_back(cfg);
+            configs.push_back(which);
+        }
+    }
+    if (apps.empty())
+        fatal("report: no baseline benchmarks in scope (bad --apps?)");
+
+    // Re-simulate the in-scope slice with telemetry on: matrix.cell
+    // spans provide the per-benchmark wall-time table, the counters
+    // the cache summary. Telemetry never perturbs the simulated
+    // numbers being compared.
+    telem::enable(true);
+    std::vector<harness::ConfigSpec> specs;
+    std::vector<std::string> config_names;
+    for (harness::PaperConfig which : configs) {
+        specs.push_back(harness::makeConfig(which));
+        config_names.push_back(specs.back().name);
+    }
+    mopts.jobs = jobs > 0 ? jobs : ThreadPool::defaultJobs();
+    harness::CacheCounters cache_counters;
+    mopts.cacheCounters = &cache_counters;
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::BenchResult> results =
+        harness::runMatrix(specs, apps, mopts);
+    double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::map<std::pair<std::string, std::string>,
+             const harness::BenchResult *>
+        live;
+    for (const auto &r : results)
+        live[{r.benchmark, r.config}] = &r;
+
+    // --- Stage 1: live rerun vs the stall baseline, per-metric
+    // tolerances. weightedCycles: 2% relative. Stall shares: 0.02
+    // absolute. Utilizations / hit rate: 0.05 absolute.
+    for (const auto &cell : stall["results"].array) {
+        const std::string &app = cell["benchmark"].str;
+        if (!wantApp(app))
+            continue;
+        const std::string &paper = cell["config"].str;
+        size_t ci = static_cast<size_t>(
+            std::find(paper_names.begin(), paper_names.end(), paper) -
+            paper_names.begin());
+        std::string where = "stall." + app + "." + paper;
+        auto it = live.find({app, config_names[ci]});
+        ++checked;
+        if (it == live.end()) {
+            flag(where, "cell missing from live rerun");
+            continue;
+        }
+        const harness::BenchResult &r = *it->second;
+        ++checked;
+        if (!r.verified)
+            flag(where + ".verified", "live cell failed verification");
+        ++checked;
+        if (r.outcome != sim::RunOutcome::Ok) {
+            flag(where + ".outcome",
+                 std::string("live outcome ") +
+                     sim::outcomeName(r.outcome));
+            continue;
+        }
+        double base_wc = cell["weightedCycles"].number;
+        ++checked;
+        if (std::fabs(r.weightedCycles - base_wc) >
+            0.02 * std::max(1.0, std::fabs(base_wc))) {
+            std::snprintf(buf, sizeof(buf),
+                          "baseline %.2f vs live %.2f (tolerance 2%%)",
+                          base_wc, r.weightedCycles);
+            flag(where + ".weightedCycles", buf);
+        }
+        double base_total = 0.0;
+        for (const auto &[k, v] : cell["stall"].object) {
+            (void)k;
+            base_total += v.number;
+        }
+        double live_total = 0.0;
+        for (double v : r.stallCycles)
+            live_total += v;
+        for (size_t s = 0; s < sim::kNumStallReasons; ++s) {
+            const char *rn =
+                sim::stallReasonName(static_cast<sim::StallReason>(s));
+            double bs = base_total > 0.0
+                            ? cell["stall"][rn].number / base_total
+                            : 0.0;
+            double ls =
+                live_total > 0.0 ? r.stallCycles[s] / live_total : 0.0;
+            ++checked;
+            if (std::fabs(bs - ls) > 0.02) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "share baseline %.4f vs live %.4f (tolerance 0.02)",
+                    bs, ls);
+                flag(where + ".stall." + rn, buf);
+            }
+        }
+        auto checkAbs = [&](const char *field, double base_v,
+                            double live_v) {
+            ++checked;
+            if (std::fabs(base_v - live_v) > 0.05) {
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "baseline %.4f vs live %.4f (tolerance 0.05)",
+                    base_v, live_v);
+                flag(where + "." + field, buf);
+            }
+        };
+        checkAbs("l2Utilization", cell["l2Utilization"].number,
+                 r.l2Utilization);
+        checkAbs("dramUtilization", cell["dramUtilization"].number,
+                 r.dramUtilization);
+        checkAbs("l1HitRate", cell["l1HitRate"].number, r.l1HitRate);
+    }
+
+    // --- Stage 2: throughput baseline internal consistency. The
+    // committed cycles/second numbers must agree with their own
+    // cycles and seconds (1% relative; the JSON rounds cps to
+    // integers and speedups to 3 decimals).
+    auto closeRel = [](double a, double b, double tol) {
+        return std::fabs(a - b) <=
+               std::max(tol, tol * std::max(std::fabs(a), std::fabs(b)));
+    };
+    minijson::Value thr;
+    bool have_thr = loadJson(thr_path, thr);
+    if (!have_thr) {
+        flag("throughput.baseline",
+             "cannot open '" + thr_path + "'");
+    } else if (!thr["results"].isArray()) {
+        flag("throughput.baseline",
+             thr_path + ": missing results array");
+    } else {
+        for (const auto &row : thr["results"].array) {
+            std::string where = "throughput." + row["benchmark"].str +
+                                "." + row["config"].str;
+            double cycles = row["cycles"].number;
+            double ref_s = row["reference_seconds"].number;
+            double skip_s = row["skip_seconds"].number;
+            ++checked;
+            if (cycles <= 0.0 || ref_s <= 0.0 || skip_s <= 0.0) {
+                flag(where, "non-positive cycles or seconds");
+                continue;
+            }
+            ++checked;
+            if (!closeRel(row["reference_cps"].number, cycles / ref_s,
+                          0.01)) {
+                std::snprintf(buf, sizeof(buf),
+                              "reference_cps %.0f != cycles/seconds "
+                              "%.0f (tolerance 1%%)",
+                              row["reference_cps"].number,
+                              cycles / ref_s);
+                flag(where + ".reference_cps", buf);
+            }
+            ++checked;
+            if (!closeRel(row["skip_cps"].number, cycles / skip_s,
+                          0.01)) {
+                std::snprintf(buf, sizeof(buf),
+                              "skip_cps %.0f != cycles/seconds %.0f "
+                              "(tolerance 1%%)",
+                              row["skip_cps"].number, cycles / skip_s);
+                flag(where + ".skip_cps", buf);
+            }
+            double want_speedup = row["skip_cps"].number /
+                                  std::max(1.0, row["reference_cps"].number);
+            ++checked;
+            if (std::fabs(row["speedup"].number - want_speedup) >
+                std::max(0.005, 0.01 * want_speedup)) {
+                std::snprintf(buf, sizeof(buf),
+                              "speedup %.3f != skip/ref %.3f",
+                              row["speedup"].number, want_speedup);
+                flag(where + ".speedup", buf);
+            }
+            const auto &scaling = row["sm_scaling"].array;
+            for (size_t s = 0; s < scaling.size(); ++s) {
+                const auto &pt = scaling[s];
+                std::string pwhere =
+                    where + ".sm_scaling[" +
+                    std::to_string(
+                        static_cast<long long>(pt["threads"].number)) +
+                    "]";
+                ++checked;
+                if (pt["seconds"].number <= 0.0 ||
+                    !closeRel(pt["cps"].number,
+                              cycles / pt["seconds"].number, 0.01)) {
+                    flag(pwhere + ".cps",
+                         "cps disagrees with cycles/seconds");
+                }
+                double base_cps = scaling[0]["cps"].number;
+                double want = pt["cps"].number / std::max(1.0, base_cps);
+                ++checked;
+                if (std::fabs(pt["speedup"].number - want) >
+                    std::max(0.005, 0.01 * want)) {
+                    std::snprintf(buf, sizeof(buf),
+                                  "speedup %.3f != cps ratio %.3f",
+                                  pt["speedup"].number, want);
+                    flag(pwhere + ".speedup", buf);
+                }
+            }
+        }
+    }
+
+    // --- Stage 3: autotune baseline. The summary tallies must agree
+    // with the per-result flags, and the tuned pick must honor the
+    // "never ships a measured regression" contract.
+    minijson::Value tune;
+    bool have_tune = loadJson(tune_path, tune);
+    if (!have_tune) {
+        flag("autotune.baseline", "cannot open '" + tune_path + "'");
+    } else if (!tune["results"].isArray()) {
+        flag("autotune.baseline", tune_path + ": missing results array");
+    } else {
+        const auto &tres = tune["results"].array;
+        int predicted = 0;
+        int measured = 0;
+        int stall_red = 0;
+        int converged = 0;
+        for (const auto &res : tres) {
+            std::string where = "autotune." + res["benchmark"].str;
+            predicted += res["predictedImproved"].boolean ? 1 : 0;
+            measured += res["measuredImproved"].boolean ? 1 : 0;
+            stall_red += res["stallShareReduced"].boolean ? 1 : 0;
+            converged += res["converged"].boolean ? 1 : 0;
+            double h = res["heuristic"]["measuredCycles"].number;
+            double t = res["tuned"]["measuredCycles"].number;
+            ++checked;
+            if (h > 0.0 && t > h * (1.0 + 1e-9)) {
+                std::snprintf(buf, sizeof(buf),
+                              "tuned measured %.2f regresses heuristic "
+                              "%.2f",
+                              t, h);
+                flag(where + ".tunedRegression", buf);
+            }
+        }
+        const auto &summary = tune["summary"];
+        auto checkCount = [&](const char *field, double want) {
+            ++checked;
+            if (summary[field].number != want) {
+                std::snprintf(buf, sizeof(buf),
+                              "summary %.0f != recomputed %.0f",
+                              summary[field].number, want);
+                flag(std::string("autotune.summary.") + field, buf);
+            }
+        };
+        checkCount("benchmarks", static_cast<double>(tres.size()));
+        checkCount("predictedImproved", predicted);
+        checkCount("measuredImproved", measured);
+        checkCount("stallShareReduced", stall_red);
+        checkCount("converged", converged);
+    }
+
+    // --- Markdown rendering.
+    telem::MetricsSnapshot snap = telem::metricsSnapshot();
+    std::vector<telem::SpanRecord> spans = telem::harvestSpans();
+    std::map<std::string, double> bench_wall_ms;
+    for (const auto &sp : spans) {
+        if (sp.name != "matrix.cell")
+            continue;
+        for (const auto &a : sp.attrs) {
+            if (a.key == "benchmark" && a.json.size() >= 2) {
+                // Attr values are pre-rendered JSON; benchmark names
+                // never need escaping, so stripping quotes suffices.
+                bench_wall_ms[a.json.substr(1, a.json.size() - 2)] +=
+                    static_cast<double>(sp.endNs - sp.beginNs) / 1e6;
+            }
+        }
+    }
+
+    std::ostringstream md;
+    md << "# WASP run report\n\n";
+    md << "Live rerun: " << apps.size() << " benchmark(s) x "
+       << config_names.size() << " config(s) on " << mopts.jobs
+       << " worker thread(s) in " << harness::fmtDouble(wall_ms, 0) << " ms";
+    for (const auto &[name, value] : snap.gauges) {
+        if (name == "matrix.worker_utilization")
+            md << " (worker utilization " << harness::fmtPercent(value, 1) << ")";
+    }
+    md << ".\n\n";
+
+    md << "## Top benchmarks by wall time\n\n";
+    md << "| Benchmark | Wall ms | Weighted cycles ("
+       << paper_names.front() << ") |\n";
+    md << "|---|---:|---:|\n";
+    std::vector<std::pair<double, std::string>> by_wall;
+    for (const auto &[name, ms] : bench_wall_ms)
+        by_wall.push_back({ms, name});
+    std::sort(by_wall.rbegin(), by_wall.rend());
+    for (size_t i = 0; i < by_wall.size() && i < 10; ++i) {
+        const auto &[ms, name] = by_wall[i];
+        auto it = live.find({name, config_names.front()});
+        md << "| " << name << " | " << harness::fmtDouble(ms, 1) << " | "
+           << (it != live.end()
+                   ? harness::fmtDouble(it->second->weightedCycles, 0)
+                   : std::string("-"))
+           << " |\n";
+    }
+    md << "\n";
+
+    md << "## Cache efficiency\n\n";
+    if (cache_counters.used) {
+        uint64_t lookups = cache_counters.hits + cache_counters.misses;
+        md << "- hits: " << cache_counters.hits << "\n"
+           << "- misses: " << cache_counters.misses << "\n"
+           << "- quarantined: " << cache_counters.quarantined << "\n"
+           << "- hit rate: "
+           << (lookups > 0
+                   ? harness::fmtPercent(static_cast<double>(cache_counters.hits) /
+                                    static_cast<double>(lookups),
+                                1)
+                   : std::string("-"))
+           << "\n\n";
+    } else {
+        md << "No result cache in use (pass --cache=DIR to warm one)."
+           << "\n\n";
+    }
+
+    md << "## Stall shares (live rerun)\n\n";
+    md << "| Stall reason |";
+    for (const auto &paper : paper_names)
+        md << " " << paper << " |";
+    md << "\n|---|";
+    for (size_t c = 0; c < paper_names.size(); ++c)
+        md << "---:|";
+    md << "\n";
+    for (size_t s = 0; s < sim::kNumStallReasons; ++s) {
+        md << "| "
+           << sim::stallReasonName(static_cast<sim::StallReason>(s))
+           << " |";
+        for (size_t c = 0; c < config_names.size(); ++c) {
+            double total = 0.0;
+            double bucket = 0.0;
+            for (const auto &app : apps) {
+                auto it = live.find({app, config_names[c]});
+                if (it == live.end())
+                    continue;
+                for (double v : it->second->stallCycles)
+                    total += v;
+                bucket += it->second->stallCycles[s];
+            }
+            md << " " << (total > 0.0
+                              ? harness::fmtPercent(bucket / total, 1)
+                              : std::string("-"))
+               << " |";
+        }
+        md << "\n";
+    }
+    md << "\n";
+
+    md << "## Baseline comparison\n\n";
+    md << "- metrics checked: " << checked << "\n";
+    md << "- regressions: " << regressions.size() << "\n";
+    if (regressions.empty()) {
+        md << "\nAll metrics within tolerance.\n";
+    } else {
+        md << "\n| Metric | Detail |\n|---|---|\n";
+        for (const auto &reg : regressions)
+            md << "| " << reg.metric << " | " << reg.detail << " |\n";
+    }
+    writeOut(out_path, md.str(), "report");
+
+    for (const auto &reg : regressions)
+        std::fprintf(stderr, "report: REGRESSION %s: %s\n",
+                     reg.metric.c_str(), reg.detail.c_str());
+    if (check) {
+        if (!regressions.empty())
+            return 1;
+        std::fprintf(stderr,
+                     "report-check: OK (%d metrics within tolerance)\n",
+                     checked);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1960,7 +2576,23 @@ dispatch(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    // Env-var telemetry works for every command (the tune loop has no
+    // dedicated flags): WASP_TELEMETRY=1 records spans/metrics,
+    // WASP_LEDGER=FILE additionally appends the run ledger there.
+    if (const char *ledger = std::getenv("WASP_LEDGER");
+        ledger != nullptr && ledger[0] != '\0') {
+        std::string err;
+        if (!telem::openLedger(ledger, &err))
+            fatal("cannot open ledger '%s': %s", ledger, err.c_str());
+    } else if (const char *t = std::getenv("WASP_TELEMETRY");
+               t != nullptr && t[0] == '1') {
+        telem::enable(true);
+    }
     std::string cmd = argv[1];
+    if (cmd == "report") {
+        std::vector<std::string> args(argv + 2, argv + argc);
+        return cmdReport(args);
+    }
     if (cmd == "cache") {
         std::vector<std::string> args(argv + 2, argv + argc);
         return cmdCache(args);
